@@ -1,0 +1,228 @@
+//! CTW compressor (Willems, Shtarkov & Tjalkens — paper ref \[25\]).
+//!
+//! Each base is decomposed into two bits (high bit first) and coded by a
+//! shared depth-`D` CTW tree driving the arithmetic coder. The paper's
+//! observations all emerge from this construction:
+//!
+//! * good compression ratio on DNA (the weighted mixture adapts to any
+//!   Markov order up to D/2 bases);
+//! * high RAM (the lazily-built context tree grows with the input —
+//!   "CTW consumes more memory", §V-E);
+//! * decompression as slow as compression ("when it comes to
+//!   decompressing the sequence, on average CTW performs the worst",
+//!   §V-E) — the decoder must rebuild the identical tree walk per bit,
+//!   whereas the repeat-based decoders just replay copies.
+
+use crate::blob::{Algorithm, CompressedBlob};
+use crate::stats::{Meter, ResourceStats};
+use crate::Compressor;
+use dnacomp_codec::arith::{ArithDecoder, ArithEncoder};
+use dnacomp_codec::ctw::{BitHistory, CtwTree};
+use dnacomp_codec::CodecError;
+use dnacomp_seq::{Base, PackedSeq};
+
+/// The CTW compressor.
+#[derive(Clone, Debug)]
+pub struct Ctw {
+    /// Context depth in **bits** (2 bits per base). The paper-era CTW
+    /// binaries default to depths around 12–16 bits.
+    pub depth: usize,
+    /// Node-pool cap bounding memory.
+    pub max_nodes: usize,
+}
+
+impl Default for Ctw {
+    fn default() -> Self {
+        Ctw {
+            depth: 16,
+            max_nodes: 4 << 20,
+        }
+    }
+}
+
+impl Ctw {
+    /// CTW with a custom context depth (in bits).
+    pub fn with_depth(depth: usize) -> Self {
+        Ctw {
+            depth,
+            ..Ctw::default()
+        }
+    }
+
+    /// Per-bit work estimate: one tree walk of `depth` nodes.
+    fn work_per_bit(&self) -> u64 {
+        self.depth as u64 + 2
+    }
+}
+
+impl Compressor for Ctw {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::Ctw
+    }
+
+    fn compress_with_stats(
+        &self,
+        seq: &PackedSeq,
+    ) -> Result<(CompressedBlob, ResourceStats), CodecError> {
+        let mut meter = Meter::new();
+        let mut tree = CtwTree::with_capacity(self.depth, self.max_nodes);
+        let mut hist = BitHistory::new();
+        let mut enc = ArithEncoder::new();
+        for base in seq.iter() {
+            let code = base.code();
+            for shift in [1u8, 0] {
+                let bit = (code >> shift) & 1 == 1;
+                let (num, den) = tree.predict(hist.value());
+                enc.encode_bit(bit, num, den);
+                tree.commit(bit);
+                hist.push(bit);
+            }
+        }
+        meter.work(seq.len() as u64 * 2 * self.work_per_bit());
+        meter.heap_snapshot(tree.heap_bytes() as u64 + seq.heap_bytes() as u64);
+        let blob = CompressedBlob::new(Algorithm::Ctw, seq, enc.finish());
+        Ok((blob, meter.finish()))
+    }
+
+    fn decompress_with_stats(
+        &self,
+        blob: &CompressedBlob,
+    ) -> Result<(PackedSeq, ResourceStats), CodecError> {
+        blob.expect_algorithm(Algorithm::Ctw)?;
+        let mut meter = Meter::new();
+        let mut tree = CtwTree::with_capacity(self.depth, self.max_nodes);
+        let mut hist = BitHistory::new();
+        let mut dec = ArithDecoder::new(&blob.payload);
+        let mut seq = PackedSeq::with_capacity(blob.original_len);
+        for _ in 0..blob.original_len {
+            let mut code = 0u8;
+            for _ in 0..2 {
+                let (num, den) = tree.predict(hist.value());
+                let bit = dec.decode_bit(num, den);
+                tree.commit(bit);
+                hist.push(bit);
+                code = (code << 1) | bit as u8;
+            }
+            seq.push(Base::from_code(code));
+        }
+        // Decode performs the identical tree walk — same work as encode.
+        meter.work(blob.original_len as u64 * 2 * self.work_per_bit());
+        meter.heap_snapshot(tree.heap_bytes() as u64 + seq.heap_bytes() as u64);
+        blob.verify(&seq)?;
+        Ok((seq, meter.finish()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnacomp_seq::gen::GenomeModel;
+    use proptest::prelude::*;
+
+    fn roundtrip(c: &Ctw, seq: &PackedSeq) -> CompressedBlob {
+        let (blob, _) = c.compress_with_stats(seq).unwrap();
+        let (back, _) = c.decompress_with_stats(&blob).unwrap();
+        assert_eq!(&back, seq);
+        blob
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        let c = Ctw::default();
+        roundtrip(&c, &PackedSeq::new());
+        for s in ["A", "ACGT", "TTTTTTT"] {
+            roundtrip(&c, &PackedSeq::from_ascii(s.as_bytes()).unwrap());
+        }
+    }
+
+    #[test]
+    fn beats_two_bits_per_base_on_dna() {
+        let seq = GenomeModel::default().generate(30_000, 7);
+        let blob = roundtrip(&Ctw::default(), &seq);
+        assert!(
+            blob.bits_per_base() < 2.0,
+            "bits/base = {}",
+            blob.bits_per_base()
+        );
+    }
+
+    #[test]
+    fn strong_on_repetitive_dna() {
+        let seq = GenomeModel::highly_repetitive().generate(30_000, 7);
+        let blob = roundtrip(&Ctw::default(), &seq);
+        assert!(
+            blob.bits_per_base() < 1.8,
+            "bits/base = {}",
+            blob.bits_per_base()
+        );
+    }
+
+    #[test]
+    fn near_two_bits_on_random_dna() {
+        let seq = GenomeModel::random_only(0.5).generate(20_000, 7);
+        let blob = roundtrip(&Ctw::default(), &seq);
+        let bpb = blob.bits_per_base();
+        assert!(bpb < 2.15, "bits/base = {bpb}");
+        assert!(bpb > 1.9, "bits/base = {bpb}");
+    }
+
+    #[test]
+    fn decompress_work_equals_compress_work() {
+        let seq = GenomeModel::default().generate(5_000, 3);
+        let c = Ctw::default();
+        let (blob, cs) = c.compress_with_stats(&seq).unwrap();
+        let (_, ds) = c.decompress_with_stats(&blob).unwrap();
+        assert_eq!(cs.work_units, ds.work_units);
+    }
+
+    #[test]
+    fn ram_grows_with_input() {
+        let c = Ctw::default();
+        let small = GenomeModel::random_only(0.5).generate(2_000, 1);
+        let large = GenomeModel::random_only(0.5).generate(40_000, 1);
+        let (_, s1) = c.compress_with_stats(&small).unwrap();
+        let (_, s2) = c.compress_with_stats(&large).unwrap();
+        assert!(s2.peak_heap_bytes > s1.peak_heap_bytes);
+    }
+
+    #[test]
+    fn deeper_context_compresses_periodic_better() {
+        let seq = PackedSeq::from_ascii("ACGTTACG".repeat(2000).as_bytes()).unwrap();
+        let shallow = roundtrip(&Ctw::with_depth(2), &seq);
+        let deep = roundtrip(&Ctw::with_depth(16), &seq);
+        assert!(deep.total_bytes() < shallow.total_bytes());
+    }
+
+    #[test]
+    fn bounded_pool_still_roundtrips() {
+        let seq = GenomeModel::default().generate(10_000, 5);
+        let c = Ctw {
+            depth: 16,
+            max_nodes: 256,
+        };
+        roundtrip(&c, &seq);
+    }
+
+    #[test]
+    fn rejects_foreign_and_corrupt_blobs() {
+        let seq = GenomeModel::default().generate(1_000, 2);
+        let c = Ctw::default();
+        let mut blob = c.compress(&seq).unwrap();
+        let mut wrong = blob.clone();
+        wrong.algorithm = Algorithm::Gzip;
+        assert!(c.decompress(&wrong).is_err());
+        let mid = blob.payload.len() / 2;
+        blob.payload[mid] ^= 0x40;
+        assert!(c.decompress(&blob).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn roundtrip_arbitrary(s in "[ACGT]{0,800}", depth in 0usize..20) {
+            let seq = PackedSeq::from_ascii(s.as_bytes()).unwrap();
+            let c = Ctw::with_depth(depth);
+            roundtrip(&c, &seq);
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! DNACompress port (extension algorithm; paper §III-A / Table 1).
+//!
+//! "DNA Compress … finds all approximate repeats by using Software
+//! Pattern Hunter. To encode both approximate and exact repeats it uses
+//! LZ"; it is a "two pass algo" that also handles "complement
+//! palindrome" repeats, and the paper credits it with being "faster than
+//! other algorithms" at a solid ratio (13.7 % over 2-bit baseline).
+//!
+//! * **pass 1** — sweep a PatternHunter **spaced-seed** index
+//!   ([`dnacomp_codec::spaced`]); each candidate is extended with
+//!   mismatch tolerance into an approximate repeat; reverse-complement
+//!   (complemented palindrome) repeats come from the exact
+//!   [`RepeatFinder`];
+//! * **pass 2** — LZ-style emission: `(distance, length, substitutions)`
+//!   triples for repeats, 2-bit literals otherwise.
+//!
+//! Versus GenCompress, the spaced seed anchors matches *across* point
+//! mutations, so fewer probes are needed per anchor — the source of
+//! DNACompress's speed advantage.
+
+use crate::blob::{Algorithm, CompressedBlob};
+use crate::stats::{Meter, ResourceStats};
+use crate::Compressor;
+use dnacomp_codec::bitio::{BitReader, BitWriter};
+use dnacomp_codec::fibonacci::{gamma_decode, gamma_encode};
+use dnacomp_codec::repeats::{RepeatConfig, RepeatFinder, RepeatKind};
+use dnacomp_codec::spaced::{SpacedIndex, SpacedSeed};
+use dnacomp_codec::CodecError;
+use dnacomp_seq::{Base, PackedSeq};
+
+/// The DNACompress compressor.
+#[derive(Clone, Debug)]
+pub struct DnaCompress {
+    /// Spaced seed used for approximate anchoring.
+    pub seed: SpacedSeed,
+    /// Candidates tried per anchor.
+    pub max_chain: usize,
+    /// Minimum repeat length worth a pointer.
+    pub min_repeat: usize,
+    /// Mismatch budget per repeat.
+    pub max_mismatches: usize,
+}
+
+impl Default for DnaCompress {
+    fn default() -> Self {
+        DnaCompress {
+            seed: SpacedSeed::pattern_hunter(),
+            max_chain: 8,
+            min_repeat: 24,
+            max_mismatches: 20,
+        }
+    }
+}
+
+struct Repeat {
+    src: usize,
+    len: usize,
+    revcomp: bool,
+    subs: Vec<(u32, Base)>,
+}
+
+impl DnaCompress {
+    /// Hamming extension identical in spirit to GenCompress's, but the
+    /// spaced anchor lets it start *on top of* a mutation.
+    fn extend(
+        &self,
+        bases: &[Base],
+        src: usize,
+        dst: usize,
+        meter: &mut Meter,
+    ) -> (usize, Vec<(u32, Base)>) {
+        let n = bases.len();
+        let max_len = (n - dst).min(dst - src);
+        let mut subs = Vec::new();
+        let mut l = 0usize;
+        let mut best = (0usize, 0usize); // (len, subs committed)
+        while l < max_len {
+            meter.work(1);
+            if bases[src + l] == bases[dst + l] {
+                l += 1;
+                best = (l, subs.len());
+                continue;
+            }
+            if subs.len() >= self.max_mismatches {
+                break;
+            }
+            // Tolerate if at least 3 of the next 4 positions match.
+            let good = (1..=4)
+                .filter(|&k| l + k < max_len && bases[src + l + k] == bases[dst + l + k])
+                .count();
+            if good < 3 {
+                break;
+            }
+            subs.push((l as u32, bases[dst + l]));
+            l += 1;
+        }
+        subs.truncate(best.1);
+        (best.0, subs)
+    }
+}
+
+impl Compressor for DnaCompress {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::DnaCompress
+    }
+
+    fn compress_with_stats(
+        &self,
+        seq: &PackedSeq,
+    ) -> Result<(CompressedBlob, ResourceStats), CodecError> {
+        let mut meter = Meter::new();
+        let bases = seq.unpack();
+        let mut spaced = SpacedIndex::new(&bases, &self.seed);
+        let mut exact = RepeatFinder::new(
+            &bases,
+            RepeatConfig {
+                seed_len: 16,
+                max_chain: 8,
+                window: 0,
+                search_revcomp: true,
+            },
+        );
+
+        let mut w = BitWriter::new();
+        let mut lit_run: Vec<Base> = Vec::new();
+        let flush = |w: &mut BitWriter, run: &mut Vec<Base>| -> Result<(), CodecError> {
+            if !run.is_empty() {
+                w.push_bit(false);
+                gamma_encode(w, run.len() as u64)?;
+                for b in run.drain(..) {
+                    w.push_bits(b.code() as u64, 2);
+                }
+            }
+            Ok(())
+        };
+        let mut i = 0usize;
+        while i < bases.len() {
+            spaced.advance(i);
+            exact.advance(i);
+            meter.work(self.max_chain as u64 / 2 + 2);
+            // Best approximate forward repeat from spaced anchors.
+            let mut best: Option<Repeat> = None;
+            for cand in spaced.candidates(i, self.max_chain) {
+                meter.work(2);
+                let (len, subs) = self.extend(&bases, cand, i, &mut meter);
+                if len >= self.min_repeat
+                    && best.as_ref().is_none_or(|b| len > b.len)
+                {
+                    best = Some(Repeat {
+                        src: cand,
+                        len,
+                        revcomp: false,
+                        subs,
+                    });
+                }
+            }
+            // Complemented palindrome (reverse-complement) repeats.
+            if let Some(m) = exact.find_revcomp(i) {
+                if m.len >= self.min_repeat
+                    && best.as_ref().is_none_or(|b| m.len > b.len)
+                {
+                    debug_assert_eq!(m.kind, RepeatKind::ReverseComplement);
+                    best = Some(Repeat {
+                        src: m.src,
+                        len: m.len,
+                        revcomp: true,
+                        subs: Vec::new(),
+                    });
+                }
+            }
+            match best {
+                Some(rep) => {
+                    flush(&mut w, &mut lit_run)?;
+                    w.push_bit(true);
+                    w.push_bit(rep.revcomp);
+                    gamma_encode(&mut w, (rep.len - self.min_repeat + 1) as u64)?;
+                    let delta = if rep.revcomp {
+                        (i - rep.src) as u64
+                    } else {
+                        (i - 1 - rep.src) as u64
+                    };
+                    gamma_encode(&mut w, delta + 1)?;
+                    gamma_encode(&mut w, rep.subs.len() as u64 + 1)?;
+                    let mut prev = 0u32;
+                    for &(off, base) in &rep.subs {
+                        gamma_encode(&mut w, (off - prev + 1) as u64)?;
+                        w.push_bits(base.code() as u64, 2);
+                        prev = off + 1;
+                    }
+                    meter.work(rep.len as u64 / 8 + rep.subs.len() as u64 + 2);
+                    i += rep.len;
+                }
+                None => {
+                    lit_run.push(bases[i]);
+                    i += 1;
+                }
+            }
+        }
+        flush(&mut w, &mut lit_run)?;
+        meter.heap_snapshot(
+            spaced.heap_bytes() as u64 + exact.heap_bytes() as u64 + bases.len() as u64,
+        );
+        let blob = CompressedBlob::new(Algorithm::DnaCompress, seq, w.into_bytes());
+        Ok((blob, meter.finish()))
+    }
+
+    fn decompress_with_stats(
+        &self,
+        blob: &CompressedBlob,
+    ) -> Result<(PackedSeq, ResourceStats), CodecError> {
+        blob.expect_algorithm(Algorithm::DnaCompress)?;
+        let mut meter = Meter::new();
+        let mut r = BitReader::new(&blob.payload);
+        let mut out: Vec<Base> = Vec::with_capacity(blob.original_len);
+        while out.len() < blob.original_len {
+            if r.read_bit()? {
+                let revcomp = r.read_bit()?;
+                let len = gamma_decode(&mut r)? as usize + self.min_repeat - 1;
+                let delta = (gamma_decode(&mut r)? - 1) as usize;
+                let n_subs = (gamma_decode(&mut r)? - 1) as usize;
+                if n_subs > self.max_mismatches || n_subs > len {
+                    return Err(CodecError::Corrupt("mismatch count out of range"));
+                }
+                let dst = out.len();
+                if dst + len > blob.original_len {
+                    return Err(CodecError::Corrupt("repeat overruns output"));
+                }
+                if revcomp {
+                    if n_subs != 0 {
+                        return Err(CodecError::Corrupt("revcomp repeat with subs"));
+                    }
+                    let src_end = dst
+                        .checked_sub(delta)
+                        .ok_or(CodecError::Corrupt("revcomp distance"))?;
+                    if len > src_end {
+                        return Err(CodecError::Corrupt("revcomp length"));
+                    }
+                    for l in 0..len {
+                        let b = out[src_end - 1 - l].complement();
+                        out.push(b);
+                    }
+                } else {
+                    let src = dst
+                        .checked_sub(delta + 1)
+                        .ok_or(CodecError::Corrupt("forward distance"))?;
+                    if src + len > dst {
+                        return Err(CodecError::Corrupt("approximate repeat overlaps"));
+                    }
+                    let start = out.len();
+                    for l in 0..len {
+                        let b = out[src + l];
+                        out.push(b);
+                    }
+                    let mut prev = 0u32;
+                    for _ in 0..n_subs {
+                        let gap = gamma_decode(&mut r)? - 1;
+                        let off = prev as u64 + gap;
+                        if off >= len as u64 {
+                            return Err(CodecError::Corrupt("substitution offset"));
+                        }
+                        out[start + off as usize] =
+                            Base::from_code(r.read_bits(2)? as u8);
+                        prev = off as u32 + 1;
+                    }
+                }
+                meter.work(len as u64 / 4 + n_subs as u64 + 2);
+            } else {
+                let run = gamma_decode(&mut r)? as usize;
+                if run == 0 || out.len() + run > blob.original_len {
+                    return Err(CodecError::Corrupt("literal run overruns output"));
+                }
+                for _ in 0..run {
+                    out.push(Base::from_code(r.read_bits(2)? as u8));
+                }
+                meter.work(run as u64);
+            }
+        }
+        meter.heap_snapshot(out.len() as u64);
+        let seq = PackedSeq::from(out.as_slice());
+        blob.verify(&seq)?;
+        Ok((seq, meter.finish()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gencompress::GenCompress;
+    use dnacomp_seq::gen::GenomeModel;
+    use proptest::prelude::*;
+
+    fn roundtrip(c: &DnaCompress, seq: &PackedSeq) -> CompressedBlob {
+        let (blob, _) = c.compress_with_stats(seq).unwrap();
+        let (back, _) = c.decompress_with_stats(&blob).unwrap();
+        assert_eq!(&back, seq);
+        blob
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        let c = DnaCompress::default();
+        roundtrip(&c, &PackedSeq::new());
+        for s in ["A", "ACGT", "TTTTTTTT"] {
+            roundtrip(&c, &PackedSeq::from_ascii(s.as_bytes()).unwrap());
+        }
+    }
+
+    #[test]
+    fn handles_mutated_repeats() {
+        let mut model = GenomeModel::random_only(0.5);
+        model.mutated = dnacomp_seq::gen::RepeatClass {
+            rate: 0.015,
+            min_len: 120,
+            max_len: 700,
+            mutation_rate: 0.02,
+        };
+        model.back_window = 1 << 16;
+        let seq = model.generate(50_000, 21);
+        let blob = roundtrip(&DnaCompress::default(), &seq);
+        assert!(blob.bits_per_base() < 1.9, "{}", blob.bits_per_base());
+    }
+
+    #[test]
+    fn faster_than_gencompress_at_similar_job() {
+        // The spaced-seed anchor needs far fewer probes: DNACompress's
+        // metered work should undercut GenCompress's (the paper calls
+        // DNACompress "faster than other algorithms").
+        let seq = GenomeModel::default().generate(40_000, 5);
+        let (_, dc) = DnaCompress::default().compress_with_stats(&seq).unwrap();
+        let (_, gc) = GenCompress::default().compress_with_stats(&seq).unwrap();
+        assert!(
+            dc.work_units < gc.work_units,
+            "DNACompress {} vs GenCompress {}",
+            dc.work_units,
+            gc.work_units
+        );
+    }
+
+    #[test]
+    fn exploits_complement_palindromes() {
+        let fwd = GenomeModel::random_only(0.5).generate(4_000, 9);
+        let mut text = fwd.to_ascii();
+        text.push_str(&fwd.reverse_complement().to_ascii());
+        let seq = PackedSeq::from_ascii(text.as_bytes()).unwrap();
+        let blob = roundtrip(&DnaCompress::default(), &seq);
+        assert!(blob.bits_per_base() < 1.5, "{}", blob.bits_per_base());
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let seq = GenomeModel::default().generate(3_000, 13);
+        let c = DnaCompress::default();
+        let blob = c.compress(&seq).unwrap();
+        let mut trunc = blob.clone();
+        trunc.payload.truncate(2);
+        assert!(c.decompress(&trunc).is_err());
+        for at in 0..blob.payload.len().min(24) {
+            let mut bad = blob.clone();
+            bad.payload[at] ^= 0x33;
+            if let Ok(back) = c.decompress(&bad) {
+                assert_eq!(back, seq, "silent corruption at byte {at}");
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(20))]
+        #[test]
+        fn roundtrip_arbitrary(s in "[ACGT]{0,2000}") {
+            let seq = PackedSeq::from_ascii(s.as_bytes()).unwrap();
+            roundtrip(&DnaCompress::default(), &seq);
+        }
+
+        #[test]
+        fn roundtrip_structured(seed in any::<u64>(), len in 64usize..2500) {
+            let seq = GenomeModel::highly_repetitive().generate(len, seed);
+            roundtrip(&DnaCompress::default(), &seq);
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! G-SQZ port (extension; paper §III-B).
+//!
+//! "Another approach G-SQZ (Tembe et al.) uses Huffman-coding to compress
+//! data without altering the sequence" — the published scheme builds one
+//! Huffman code over joint **(base, quality)** symbols, exploiting the
+//! strong correlation between calls and their Phred scores, and keeps the
+//! records individually addressable (no reordering, as the paper notes).
+//!
+//! Container layout per read set: record count, then per record the id
+//! (length-prefixed ASCII), read length, and the Huffman-coded
+//! (base, quality) pair stream. The joint code table travels as 8-bit
+//! code lengths for the 4×94 symbol alphabet.
+
+use crate::stats::{Meter, ResourceStats};
+use dnacomp_codec::bitio::{BitReader, BitWriter};
+use dnacomp_codec::checksum::Fnv1a;
+use dnacomp_codec::huffman::HuffmanCode;
+use dnacomp_codec::varint::{read_u64_le, read_uvarint, write_u64_le, write_uvarint};
+use dnacomp_codec::CodecError;
+use dnacomp_seq::fastq::{FastqRecord, MAX_QUALITY};
+use dnacomp_seq::{Base, PackedSeq};
+
+/// Joint alphabet size: 4 bases × 94 quality levels.
+const N_SYMBOLS: usize = 4 * (MAX_QUALITY as usize + 1);
+
+/// The G-SQZ read-set compressor.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GSqz;
+
+fn joint_symbol(base: Base, qual: u8) -> usize {
+    base.code() as usize * (MAX_QUALITY as usize + 1) + qual.min(MAX_QUALITY) as usize
+}
+
+fn split_symbol(sym: usize) -> (Base, u8) {
+    let base = Base::from_code((sym / (MAX_QUALITY as usize + 1)) as u8);
+    let qual = (sym % (MAX_QUALITY as usize + 1)) as u8;
+    (base, qual)
+}
+
+fn checksum_records(records: &[FastqRecord]) -> u64 {
+    let mut h = Fnv1a::new();
+    for r in records {
+        h.update(r.id.as_bytes());
+        h.update(r.seq.as_words());
+        h.update(&r.quals);
+    }
+    h.digest()
+}
+
+impl GSqz {
+    /// Compress a FASTQ read set.
+    pub fn compress_with_stats(
+        &self,
+        records: &[FastqRecord],
+    ) -> Result<(Vec<u8>, ResourceStats), CodecError> {
+        let mut meter = Meter::new();
+        // Joint histogram.
+        let mut freqs = vec![0u64; N_SYMBOLS];
+        for r in records {
+            for (b, &q) in r.seq.iter().zip(&r.quals) {
+                freqs[joint_symbol(b, q)] += 1;
+            }
+        }
+        let code = HuffmanCode::from_freqs(&freqs)?;
+        let total_bases: usize = records.iter().map(FastqRecord::len).sum();
+        meter.work(total_bases as u64 * 3 + N_SYMBOLS as u64);
+        meter.heap_snapshot(
+            total_bases as u64 * 2 + N_SYMBOLS as u64 * 16 + records.len() as u64 * 32,
+        );
+
+        let mut out = Vec::new();
+        out.extend_from_slice(b"GQ");
+        write_uvarint(&mut out, records.len() as u64);
+        write_u64_le(&mut out, checksum_records(records));
+        // Code lengths: 8 bits each (max length 15 fits easily).
+        for &l in code.lens() {
+            out.push(l as u8);
+        }
+        let mut w = BitWriter::new();
+        for r in records {
+            for (b, &q) in r.seq.iter().zip(&r.quals) {
+                code.encode(&mut w, joint_symbol(b, q))?;
+            }
+        }
+        // Per-record metadata, then the bit stream.
+        for r in records {
+            write_uvarint(&mut out, r.id.len() as u64);
+            out.extend_from_slice(r.id.as_bytes());
+            write_uvarint(&mut out, r.len() as u64);
+        }
+        out.extend_from_slice(&w.into_bytes());
+        Ok((out, meter.finish()))
+    }
+
+    /// Compress, dropping statistics.
+    pub fn compress(&self, records: &[FastqRecord]) -> Result<Vec<u8>, CodecError> {
+        self.compress_with_stats(records).map(|(b, _)| b)
+    }
+
+    /// Decompress a G-SQZ container back into records.
+    pub fn decompress(&self, bytes: &[u8]) -> Result<Vec<FastqRecord>, CodecError> {
+        if bytes.len() < 2 || &bytes[0..2] != b"GQ" {
+            return Err(CodecError::Corrupt("bad gsqz magic"));
+        }
+        let mut pos = 2usize;
+        let n_records = read_uvarint(bytes, &mut pos)? as usize;
+        if n_records > bytes.len() {
+            return Err(CodecError::Corrupt("gsqz record count"));
+        }
+        let expected_sum = read_u64_le(bytes, &mut pos)?;
+        let lens_end = pos
+            .checked_add(N_SYMBOLS)
+            .filter(|&e| e <= bytes.len())
+            .ok_or(CodecError::UnexpectedEof)?;
+        let lens: Vec<u32> = bytes[pos..lens_end].iter().map(|&b| b as u32).collect();
+        pos = lens_end;
+        let code = HuffmanCode::from_lens(lens)?;
+        let decoder = code.decoder();
+        // Metadata.
+        let mut metas: Vec<(String, usize)> = Vec::with_capacity(n_records);
+        for _ in 0..n_records {
+            let id_len = read_uvarint(bytes, &mut pos)? as usize;
+            let id_end = pos
+                .checked_add(id_len)
+                .filter(|&e| e <= bytes.len())
+                .ok_or(CodecError::UnexpectedEof)?;
+            let id = std::str::from_utf8(&bytes[pos..id_end])
+                .map_err(|_| CodecError::Corrupt("gsqz id not utf-8"))?
+                .to_owned();
+            pos = id_end;
+            let len = read_uvarint(bytes, &mut pos)? as usize;
+            metas.push((id, len));
+        }
+        let mut r = BitReader::new(&bytes[pos..]);
+        let mut records = Vec::with_capacity(n_records);
+        for (id, len) in metas {
+            let mut seq = PackedSeq::with_capacity(len);
+            let mut quals = Vec::with_capacity(len);
+            for _ in 0..len {
+                let sym = decoder.decode(&mut r)?;
+                let (b, q) = split_symbol(sym);
+                seq.push(b);
+                quals.push(q);
+            }
+            records.push(FastqRecord { id, seq, quals });
+        }
+        if checksum_records(&records) != expected_sum {
+            return Err(CodecError::ChecksumMismatch {
+                expected: expected_sum,
+                actual: checksum_records(&records),
+            });
+        }
+        Ok(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnacomp_seq::fastq::synth_reads;
+    use dnacomp_seq::gen::GenomeModel;
+
+    fn sample_reads() -> Vec<FastqRecord> {
+        let genome = GenomeModel::default().generate(20_000, 5);
+        synth_reads(&genome, 200, 100, 9)
+    }
+
+    #[test]
+    fn roundtrip_read_set() {
+        let reads = sample_reads();
+        let g = GSqz;
+        let bytes = g.compress(&reads).unwrap();
+        let back = g.decompress(&bytes).unwrap();
+        assert_eq!(back, reads);
+    }
+
+    #[test]
+    fn beats_raw_fastq_text() {
+        // The paper's point: joint Huffman coding compacts seq+quality.
+        let reads = sample_reads();
+        let raw = dnacomp_seq::fastq::write_fastq(&reads).len();
+        let bytes = GSqz.compress(&reads).unwrap();
+        assert!(
+            bytes.len() * 2 < raw,
+            "gsqz {} vs raw fastq {raw}",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn joint_code_beats_independent_bound() {
+        // The joint (base, quality) alphabet exploits correlation that
+        // separate streams cannot: measured bits/pair must undercut
+        // H(base) + H(quality) would-be 2 + ~6 bits noticeably.
+        let reads = sample_reads();
+        let total_pairs: usize = reads.iter().map(FastqRecord::len).sum();
+        let bytes = GSqz.compress(&reads).unwrap();
+        let bits_per_pair = bytes.len() as f64 * 8.0 / total_pairs as f64;
+        assert!(bits_per_pair < 8.0, "bits/pair = {bits_per_pair}");
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let g = GSqz;
+        let bytes = g.compress(&[]).unwrap();
+        assert_eq!(g.decompress(&bytes).unwrap(), vec![]);
+        let one = vec![FastqRecord {
+            id: "solo".into(),
+            seq: PackedSeq::from_ascii(b"ACGT").unwrap(),
+            quals: vec![30, 31, 32, 33],
+        }];
+        let bytes = g.compress(&one).unwrap();
+        assert_eq!(g.decompress(&bytes).unwrap(), one);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let reads = sample_reads();
+        let bytes = GSqz.compress(&reads).unwrap();
+        let mut bad = bytes.clone();
+        let at = bad.len() - 3;
+        bad[at] ^= 0xFF;
+        if let Ok(back) = GSqz.decompress(&bad) { assert_eq!(back, reads) }
+        assert!(GSqz.decompress(&bytes[..bytes.len() / 2]).is_err());
+        assert!(GSqz.decompress(b"XX").is_err());
+        assert!(GSqz.decompress(b"").is_err());
+    }
+
+    #[test]
+    fn symbol_mapping_roundtrips() {
+        for b in dnacomp_seq::Base::ALL {
+            for q in [0u8, 1, 40, MAX_QUALITY] {
+                let (b2, q2) = split_symbol(joint_symbol(b, q));
+                assert_eq!((b, q), (b2, q2));
+            }
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! DNASequitur: grammar-based compression (extension; paper §III-A).
+//!
+//! The paper's taxonomy has a third horizontal category beyond
+//! substitution and statistics: "Grammar-based algorithms construct
+//! context free grammar to represent input data. That CFG is then encoded
+//! to binary after converting into streams. One algorithm in this
+//! category is DNASequitur" (Cherniavsky & Ladner).
+//!
+//! This port constructs the grammar with the offline **recursive
+//! pairing** strategy (Re-Pair): repeatedly replace the most frequent
+//! digram with a fresh nonterminal until no digram repeats enough to pay
+//! for its rule. Cherniavsky & Ladner's study covers exactly this family
+//! of digram-replacement grammars for DNA. The grammar (rules + final
+//! sentence) is then entropy-coded with an adaptive model over the symbol
+//! alphabet.
+
+use crate::blob::{Algorithm, CompressedBlob};
+use crate::stats::{Meter, ResourceStats};
+use crate::Compressor;
+use dnacomp_codec::arith::{ArithDecoder, ArithEncoder};
+use dnacomp_codec::models::AdaptiveModel;
+use dnacomp_codec::varint::{read_uvarint, write_uvarint};
+use dnacomp_codec::CodecError;
+use dnacomp_seq::{Base, PackedSeq};
+use std::collections::HashMap;
+
+/// Terminal symbols 0..4 are the bases; nonterminals start here.
+const FIRST_RULE: u32 = 4;
+
+/// The DNASequitur compressor.
+#[derive(Clone, Debug)]
+pub struct DnaSequitur {
+    /// A digram must occur at least this often to become a rule
+    /// (2 barely pays its overhead; 3 is the sweet spot).
+    pub min_count: u32,
+    /// Cap on the number of rules (bounds model size and decode memory).
+    pub max_rules: usize,
+}
+
+impl Default for DnaSequitur {
+    fn default() -> Self {
+        DnaSequitur {
+            min_count: 3,
+            max_rules: 1 << 16,
+        }
+    }
+}
+
+/// Build the grammar: returns (rules, final sentence). Rule `r` (index
+/// into the vec) defines nonterminal `FIRST_RULE + r` as the digram
+/// `(left, right)`.
+fn build_grammar(
+    bases: &[Base],
+    min_count: u32,
+    max_rules: usize,
+    meter: &mut Meter,
+) -> (Vec<(u32, u32)>, Vec<u32>) {
+    let mut sentence: Vec<u32> = bases.iter().map(|b| b.code() as u32).collect();
+    let mut rules: Vec<(u32, u32)> = Vec::new();
+    loop {
+        if rules.len() >= max_rules || sentence.len() < 2 {
+            break;
+        }
+        // Count digrams (non-overlapping counting is handled at replace
+        // time; over-counting AA in AAA is harmless for *selection*).
+        let mut counts: HashMap<(u32, u32), u32> = HashMap::new();
+        for w in sentence.windows(2) {
+            *counts.entry((w[0], w[1])).or_insert(0) += 1;
+        }
+        meter.work(sentence.len() as u64);
+        let Some((&digram, &count)) = counts.iter().max_by_key(|&(d, &c)| (c, *d)) else {
+            break;
+        };
+        if count < min_count {
+            break;
+        }
+        // Replace non-overlapping occurrences left to right.
+        let sym = FIRST_RULE + rules.len() as u32;
+        let mut out = Vec::with_capacity(sentence.len());
+        let mut i = 0usize;
+        let mut replaced = 0u32;
+        while i < sentence.len() {
+            if i + 1 < sentence.len() && (sentence[i], sentence[i + 1]) == digram {
+                out.push(sym);
+                i += 2;
+                replaced += 1;
+            } else {
+                out.push(sentence[i]);
+                i += 1;
+            }
+        }
+        meter.work(sentence.len() as u64);
+        if replaced < min_count {
+            // Overlap shrank the real count below profitability; emit the
+            // original sentence back and stop (rare: e.g. "AAA" runs).
+            break;
+        }
+        rules.push(digram);
+        sentence = out;
+    }
+    (rules, sentence)
+}
+
+/// Expand a symbol into bases, iteratively (grammars can be deep).
+fn expand(
+    sym: u32,
+    rules: &[(u32, u32)],
+    out: &mut Vec<Base>,
+    limit: usize,
+) -> Result<(), CodecError> {
+    let mut stack = vec![sym];
+    while let Some(s) = stack.pop() {
+        if out.len() > limit {
+            return Err(CodecError::Corrupt("grammar expands past declared length"));
+        }
+        if s < FIRST_RULE {
+            out.push(Base::from_code(s as u8));
+        } else {
+            let idx = (s - FIRST_RULE) as usize;
+            let &(l, r) = rules
+                .get(idx)
+                .ok_or(CodecError::Corrupt("undefined grammar rule"))?;
+            // A rule may only reference earlier rules (Re-Pair builds them
+            // in order), which also guarantees expansion terminates.
+            if l >= s || r >= s {
+                return Err(CodecError::Corrupt("grammar rule forward reference"));
+            }
+            stack.push(r);
+            stack.push(l);
+        }
+    }
+    Ok(())
+}
+
+impl Compressor for DnaSequitur {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::DnaSequitur
+    }
+
+    fn compress_with_stats(
+        &self,
+        seq: &PackedSeq,
+    ) -> Result<(CompressedBlob, ResourceStats), CodecError> {
+        let mut meter = Meter::new();
+        let bases = seq.unpack();
+        let (rules, sentence) = build_grammar(&bases, self.min_count, self.max_rules, &mut meter);
+        let n_symbols = FIRST_RULE as usize + rules.len();
+        meter.heap_snapshot(
+            bases.len() as u64 * 4
+                + rules.len() as u64 * 8
+                + sentence.len() as u64 * 4
+                + n_symbols as u64 * 4,
+        );
+
+        // Header: rule count + sentence length, then arithmetic-coded
+        // rule bodies and sentence over the symbol alphabet.
+        let mut payload = Vec::new();
+        write_uvarint(&mut payload, rules.len() as u64);
+        write_uvarint(&mut payload, sentence.len() as u64);
+        let mut model = AdaptiveModel::new(n_symbols.max(4));
+        let mut enc = ArithEncoder::new();
+        for &(l, r) in &rules {
+            model.encode(&mut enc, l as usize);
+            model.encode(&mut enc, r as usize);
+        }
+        for &s in &sentence {
+            model.encode(&mut enc, s as usize);
+        }
+        meter.work((rules.len() * 2 + sentence.len()) as u64 * 2);
+        payload.extend_from_slice(&enc.finish());
+        let blob = CompressedBlob::new(Algorithm::DnaSequitur, seq, payload);
+        Ok((blob, meter.finish()))
+    }
+
+    fn decompress_with_stats(
+        &self,
+        blob: &CompressedBlob,
+    ) -> Result<(PackedSeq, ResourceStats), CodecError> {
+        blob.expect_algorithm(Algorithm::DnaSequitur)?;
+        let mut meter = Meter::new();
+        let mut pos = 0usize;
+        let n_rules = read_uvarint(&blob.payload, &mut pos)? as usize;
+        let sent_len = read_uvarint(&blob.payload, &mut pos)? as usize;
+        if n_rules > self.max_rules || sent_len > blob.original_len.max(1) {
+            return Err(CodecError::Corrupt("grammar header out of range"));
+        }
+        let n_symbols = FIRST_RULE as usize + n_rules;
+        let mut model = AdaptiveModel::new(n_symbols.max(4));
+        let mut dec = ArithDecoder::new(&blob.payload[pos..]);
+        let mut rules: Vec<(u32, u32)> = Vec::with_capacity(n_rules);
+        for _ in 0..n_rules {
+            let l = model.decode(&mut dec)? as u32;
+            let r = model.decode(&mut dec)? as u32;
+            rules.push((l, r));
+        }
+        let mut out: Vec<Base> = Vec::with_capacity(blob.original_len);
+        for _ in 0..sent_len {
+            let s = model.decode(&mut dec)? as u32;
+            expand(s, &rules, &mut out, blob.original_len)?;
+        }
+        meter.work((n_rules * 2 + sent_len) as u64 * 2 + out.len() as u64);
+        meter.heap_snapshot(out.len() as u64 + rules.len() as u64 * 8);
+        let seq = PackedSeq::from(out.as_slice());
+        blob.verify(&seq)?;
+        Ok((seq, meter.finish()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnacomp_seq::gen::GenomeModel;
+    use proptest::prelude::*;
+
+    fn roundtrip(c: &DnaSequitur, seq: &PackedSeq) -> CompressedBlob {
+        let (blob, _) = c.compress_with_stats(seq).unwrap();
+        let (back, _) = c.decompress_with_stats(&blob).unwrap();
+        assert_eq!(&back, seq);
+        blob
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        let c = DnaSequitur::default();
+        roundtrip(&c, &PackedSeq::new());
+        for s in ["A", "ACGT", "AAAAAAAAA"] {
+            roundtrip(&c, &PackedSeq::from_ascii(s.as_bytes()).unwrap());
+        }
+    }
+
+    #[test]
+    fn grammar_compresses_periodic_text_hard() {
+        // "ACGT" × 4096: the grammar needs only ~log2(4096) rules.
+        let seq = PackedSeq::from_ascii("ACGT".repeat(4096).as_bytes()).unwrap();
+        let blob = roundtrip(&DnaSequitur::default(), &seq);
+        assert!(blob.total_bytes() < 120, "{} bytes", blob.total_bytes());
+    }
+
+    #[test]
+    fn build_grammar_hierarchy_is_logarithmic() {
+        let bases = PackedSeq::from_ascii("AC".repeat(1 << 12).as_bytes())
+            .unwrap()
+            .unpack();
+        let mut meter = Meter::new();
+        let (rules, sentence) = build_grammar(&bases, 2, 1 << 16, &mut meter);
+        // Repeated doubling: ~12 rules, sentence collapses to ~1 symbol.
+        assert!(rules.len() <= 16, "{} rules", rules.len());
+        assert!(sentence.len() <= 4, "sentence {}", sentence.len());
+    }
+
+    #[test]
+    fn rules_only_reference_earlier_symbols() {
+        let seq = GenomeModel::highly_repetitive().generate(20_000, 3);
+        let mut meter = Meter::new();
+        let (rules, _) = build_grammar(&seq.unpack(), 3, 1 << 16, &mut meter);
+        for (i, &(l, r)) in rules.iter().enumerate() {
+            let sym = FIRST_RULE + i as u32;
+            assert!(l < sym && r < sym, "rule {i} references forward");
+        }
+    }
+
+    #[test]
+    fn reasonable_on_dna() {
+        let seq = GenomeModel::default().generate(30_000, 7);
+        let blob = roundtrip(&DnaSequitur::default(), &seq);
+        assert!(blob.bits_per_base() < 2.3, "{}", blob.bits_per_base());
+    }
+
+    #[test]
+    fn homopolymer_runs() {
+        let seq = PackedSeq::from_ascii("A".repeat(10_000).as_bytes()).unwrap();
+        let blob = roundtrip(&DnaSequitur::default(), &seq);
+        assert!(blob.total_bytes() < 100, "{} bytes", blob.total_bytes());
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let seq = GenomeModel::highly_repetitive().generate(5_000, 13);
+        let c = DnaSequitur::default();
+        let blob = c.compress(&seq).unwrap();
+        let mut trunc = blob.clone();
+        trunc.payload.truncate(1);
+        assert!(c.decompress(&trunc).is_err());
+        for at in 0..blob.payload.len().min(24) {
+            let mut bad = blob.clone();
+            bad.payload[at] ^= 0x44;
+            if let Ok(back) = c.decompress(&bad) {
+                assert_eq!(back, seq, "silent corruption at byte {at}");
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(20))]
+        #[test]
+        fn roundtrip_arbitrary(s in "[ACGT]{0,1500}") {
+            let seq = PackedSeq::from_ascii(s.as_bytes()).unwrap();
+            roundtrip(&DnaSequitur::default(), &seq);
+        }
+
+        #[test]
+        fn roundtrip_structured(seed in any::<u64>(), len in 64usize..2000) {
+            let seq = GenomeModel::highly_repetitive().generate(len, seed);
+            roundtrip(&DnaSequitur::default(), &seq);
+        }
+    }
+}

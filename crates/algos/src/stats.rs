@@ -1,0 +1,111 @@
+//! Deterministic resource accounting.
+//!
+//! The paper's dependent variables are *time* (compress, decompress,
+//! upload, download) and *RAM used*. Wall-clock time on the host machine
+//! would not reproduce the paper's context grid (their contexts are
+//! different VMs), so each compressor counts abstract **work units** —
+//! elementary operations: symbols coded, chain probes, DP cells, tree-node
+//! visits — and reports its **peak heap footprint**. The cloud simulator
+//! (`dnacomp-cloud`) converts work to milliseconds under a machine
+//! context; Criterion benches measure real wall time separately.
+
+/// Resource statistics from one compress or decompress run.
+#[derive(
+    Clone,
+    Copy,
+    Debug,
+    Default,
+    PartialEq,
+    Eq,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct ResourceStats {
+    /// Abstract work units (≈ elementary operations) consumed.
+    pub work_units: u64,
+    /// Peak heap bytes held by the algorithm's data structures
+    /// (match-finder chains, model tables, token buffers, …).
+    pub peak_heap_bytes: u64,
+}
+
+impl ResourceStats {
+    /// Zero stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merge another run's stats (sequential composition).
+    pub fn merge(&mut self, other: ResourceStats) {
+        self.work_units += other.work_units;
+        self.peak_heap_bytes = self.peak_heap_bytes.max(other.peak_heap_bytes);
+    }
+}
+
+/// Work/heap counter threaded through an algorithm's hot loops.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Meter {
+    work: u64,
+    current_heap: u64,
+    peak_heap: u64,
+}
+
+impl Meter {
+    /// Fresh meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` work units.
+    #[inline]
+    pub fn work(&mut self, n: u64) {
+        self.work += n;
+    }
+
+    /// Record that `bytes` of heap are now live (absolute snapshot of one
+    /// component; callers sum their components before calling).
+    #[inline]
+    pub fn heap_snapshot(&mut self, bytes: u64) {
+        self.current_heap = bytes;
+        self.peak_heap = self.peak_heap.max(bytes);
+    }
+
+    /// Finalise into [`ResourceStats`].
+    pub fn finish(self) -> ResourceStats {
+        ResourceStats {
+            work_units: self.work,
+            peak_heap_bytes: self.peak_heap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_accumulates_work_and_tracks_peak() {
+        let mut m = Meter::new();
+        m.work(10);
+        m.work(5);
+        m.heap_snapshot(1000);
+        m.heap_snapshot(4000);
+        m.heap_snapshot(200);
+        let s = m.finish();
+        assert_eq!(s.work_units, 15);
+        assert_eq!(s.peak_heap_bytes, 4000);
+    }
+
+    #[test]
+    fn merge_sums_work_maxes_heap() {
+        let mut a = ResourceStats {
+            work_units: 5,
+            peak_heap_bytes: 100,
+        };
+        a.merge(ResourceStats {
+            work_units: 7,
+            peak_heap_bytes: 60,
+        });
+        assert_eq!(a.work_units, 12);
+        assert_eq!(a.peak_heap_bytes, 100);
+    }
+}

@@ -1,0 +1,317 @@
+//! XM-lite: expert-model statistical compressor (extension; paper
+//! §III-A, ref \[19\]).
+//!
+//! The paper's survey places XM at the top of the *statistics-based*
+//! horizontal compressors: "encoding is based on predicting the
+//! probability distribution of the symbol to be encoded … XM is the
+//! popular one and it has competitive compression ratio", with the caveat
+//! that "these techniques require more computation … practically these
+//! are usable for small sequences only".
+//!
+//! This lite port keeps XM's defining structure — a panel of context
+//! **experts** whose predictions are combined by Bayesian-style
+//! multiplicative weighting — with hashed order-k frequency experts
+//! instead of the original's copy experts:
+//!
+//! * experts: adaptive order-k models for k ∈ {1, 2, 4, 6, 8, 11}
+//!   (hashed context tables, bounded memory);
+//! * mixture: each expert's weight is multiplied by the probability it
+//!   assigned to the symbol that actually occurred, floored and
+//!   renormalised — experts that predict well dominate quickly;
+//! * coding: the quantised mixture drives the arithmetic coder.
+//!
+//! Both the paper's observations emerge: the ratio is competitive with
+//! CTW, and the per-symbol cost (every expert consulted on every base)
+//! makes it one of the slowest algorithms here.
+
+use crate::blob::{Algorithm, CompressedBlob};
+use crate::stats::{Meter, ResourceStats};
+use crate::Compressor;
+use dnacomp_codec::arith::{ArithDecoder, ArithEncoder};
+use dnacomp_codec::CodecError;
+use dnacomp_seq::{Base, PackedSeq};
+
+/// Hashed context table size per expert (2^16 rows of 4 counters).
+const TABLE_BITS: u32 = 16;
+/// Mixture quantisation total for the arithmetic coder.
+const MIX_TOTAL: u32 = 1 << 16;
+/// Weight floor: experts never die entirely, so regime changes recover.
+const WEIGHT_FLOOR: f64 = 1e-4;
+
+/// One order-k frequency expert with a hashed context table.
+#[derive(Clone)]
+struct Expert {
+    order: u32,
+    table: Vec<[u16; 4]>,
+}
+
+impl Expert {
+    fn new(order: u32) -> Expert {
+        Expert {
+            order,
+            table: vec![[0; 4]; 1 << TABLE_BITS],
+        }
+    }
+
+    #[inline]
+    fn slot(&self, history: u64) -> usize {
+        // Low 2·order bits of the base history, mixed so different
+        // orders use decorrelated slots.
+        let ctx = history & ((1u64 << (2 * self.order)) - 1);
+        let mut h = ctx ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(self.order as u64 + 1));
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        (h >> (64 - TABLE_BITS)) as usize
+    }
+
+    /// Laplace-smoothed probabilities for the next symbol.
+    fn predict(&self, history: u64) -> [f64; 4] {
+        let row = &self.table[self.slot(history)];
+        let total: u32 = row.iter().map(|&c| c as u32).sum();
+        let denom = total as f64 + 4.0;
+        [
+            (row[0] as f64 + 1.0) / denom,
+            (row[1] as f64 + 1.0) / denom,
+            (row[2] as f64 + 1.0) / denom,
+            (row[3] as f64 + 1.0) / denom,
+        ]
+    }
+
+    fn update(&mut self, history: u64, sym: usize) {
+        let slot = self.slot(history);
+        let row = &mut self.table[slot];
+        if row[sym] == u16::MAX {
+            for c in row.iter_mut() {
+                *c /= 2;
+            }
+        }
+        row[sym] += 1;
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.table.capacity() * std::mem::size_of::<[u16; 4]>()
+    }
+}
+
+/// The expert panel with its mixture weights and rolling base history.
+struct XmModel {
+    experts: Vec<Expert>,
+    weights: Vec<f64>,
+    history: u64,
+}
+
+impl XmModel {
+    fn new(orders: &[u32]) -> XmModel {
+        let experts: Vec<Expert> = orders.iter().map(|&k| Expert::new(k)).collect();
+        let w = 1.0 / experts.len() as f64;
+        XmModel {
+            weights: vec![w; experts.len()],
+            experts,
+            history: 0,
+        }
+    }
+
+    /// Quantised mixture distribution as cumulative bounds
+    /// `[c0, c1, c2, c3, total]`.
+    fn mixture(&self) -> ([f64; 4], [u32; 5]) {
+        let mut mix = [0.0f64; 4];
+        for (e, &w) in self.experts.iter().zip(&self.weights) {
+            let p = e.predict(self.history);
+            for s in 0..4 {
+                mix[s] += w * p[s];
+            }
+        }
+        // Quantise with a floor of 1 per symbol.
+        let mut cum = [0u32; 5];
+        let mut acc = 0u32;
+        for s in 0..4 {
+            let f = ((mix[s] * (MIX_TOTAL - 4) as f64) as u32) + 1;
+            cum[s] = acc;
+            acc += f;
+        }
+        cum[4] = acc;
+        (mix, cum)
+    }
+
+    /// Record the actual symbol: update weights, experts, history.
+    fn observe(&mut self, sym: usize) {
+        let mut norm = 0.0;
+        for (i, e) in self.experts.iter().enumerate() {
+            let p = e.predict(self.history)[sym];
+            self.weights[i] = (self.weights[i] * p).max(WEIGHT_FLOOR);
+            norm += self.weights[i];
+        }
+        for w in &mut self.weights {
+            *w /= norm;
+        }
+        for e in &mut self.experts {
+            e.update(self.history, sym);
+        }
+        self.history = (self.history << 2) | sym as u64;
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.experts.iter().map(Expert::heap_bytes).sum::<usize>()
+            + self.weights.capacity() * 8
+    }
+}
+
+/// The XM-lite compressor.
+#[derive(Clone, Debug)]
+pub struct XmLite {
+    /// Expert context orders (bases).
+    pub orders: Vec<u32>,
+}
+
+impl Default for XmLite {
+    fn default() -> Self {
+        XmLite {
+            orders: vec![1, 2, 4, 6, 8, 11],
+        }
+    }
+}
+
+impl Compressor for XmLite {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::XmLite
+    }
+
+    fn compress_with_stats(
+        &self,
+        seq: &PackedSeq,
+    ) -> Result<(CompressedBlob, ResourceStats), CodecError> {
+        let mut meter = Meter::new();
+        let mut model = XmModel::new(&self.orders);
+        let mut enc = ArithEncoder::new();
+        for b in seq.iter() {
+            let sym = b.code() as usize;
+            let (_, cum) = model.mixture();
+            enc.encode(cum[sym], cum[sym + 1], cum[4]);
+            model.observe(sym);
+        }
+        // Every expert consulted twice (predict + weight update) per base.
+        meter.work(seq.len() as u64 * self.orders.len() as u64 * 6);
+        meter.heap_snapshot(model.heap_bytes() as u64 + seq.heap_bytes() as u64);
+        let blob = CompressedBlob::new(Algorithm::XmLite, seq, enc.finish());
+        Ok((blob, meter.finish()))
+    }
+
+    fn decompress_with_stats(
+        &self,
+        blob: &CompressedBlob,
+    ) -> Result<(PackedSeq, ResourceStats), CodecError> {
+        blob.expect_algorithm(Algorithm::XmLite)?;
+        let mut meter = Meter::new();
+        let mut model = XmModel::new(&self.orders);
+        let mut dec = ArithDecoder::new(&blob.payload);
+        let mut seq = PackedSeq::with_capacity(blob.original_len);
+        for _ in 0..blob.original_len {
+            let (_, cum) = model.mixture();
+            let target = dec.decode_target(cum[4]);
+            let sym = match cum[1..=4].iter().position(|&c| target < c) {
+                Some(s) => s,
+                None => return Err(CodecError::Corrupt("xm target out of range")),
+            };
+            dec.update(cum[sym], cum[sym + 1], cum[4]);
+            model.observe(sym);
+            seq.push(Base::from_code(sym as u8));
+        }
+        meter.work(blob.original_len as u64 * self.orders.len() as u64 * 6);
+        meter.heap_snapshot(model.heap_bytes() as u64 + seq.heap_bytes() as u64);
+        blob.verify(&seq)?;
+        Ok((seq, meter.finish()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctw::Ctw;
+    use dnacomp_seq::gen::GenomeModel;
+    use proptest::prelude::*;
+
+    fn roundtrip(c: &XmLite, seq: &PackedSeq) -> CompressedBlob {
+        let (blob, _) = c.compress_with_stats(seq).unwrap();
+        let (back, _) = c.decompress_with_stats(&blob).unwrap();
+        assert_eq!(&back, seq);
+        blob
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        let c = XmLite::default();
+        roundtrip(&c, &PackedSeq::new());
+        for s in ["A", "ACGT", "GGGGG"] {
+            roundtrip(&c, &PackedSeq::from_ascii(s.as_bytes()).unwrap());
+        }
+    }
+
+    #[test]
+    fn competitive_with_ctw_on_dna() {
+        let seq = GenomeModel::default().generate(40_000, 7);
+        let xm = roundtrip(&XmLite::default(), &seq);
+        let ctw = Ctw::default().compress(&seq).unwrap();
+        // Within 15 % of CTW either way — "competitive compression ratio".
+        let ratio = xm.total_bytes() as f64 / ctw.total_bytes() as f64;
+        assert!((0.7..1.15).contains(&ratio), "xm/ctw = {ratio}");
+    }
+
+    #[test]
+    fn strong_on_periodic_sequences() {
+        let seq = PackedSeq::from_ascii("ACGTTGA".repeat(3000).as_bytes()).unwrap();
+        let blob = roundtrip(&XmLite::default(), &seq);
+        assert!(blob.bits_per_base() < 0.3, "{}", blob.bits_per_base());
+    }
+
+    #[test]
+    fn near_two_bits_on_random() {
+        let seq = GenomeModel::random_only(0.5).generate(20_000, 3);
+        let blob = roundtrip(&XmLite::default(), &seq);
+        assert!(blob.bits_per_base() < 2.2, "{}", blob.bits_per_base());
+    }
+
+    #[test]
+    fn weights_concentrate_on_informative_expert() {
+        // Period-5 text: the order-6/8/11 experts see the full period and
+        // should out-weigh the order-1 expert.
+        let seq = PackedSeq::from_ascii("ACGTT".repeat(2000).as_bytes()).unwrap();
+        let mut model = XmModel::new(&[1, 6]);
+        for b in seq.iter() {
+            model.observe(b.code() as usize);
+        }
+        assert!(
+            model.weights[1] > model.weights[0] * 10.0,
+            "weights {:?}",
+            model.weights
+        );
+    }
+
+    #[test]
+    fn single_expert_panel_still_works() {
+        let c = XmLite { orders: vec![2] };
+        let seq = GenomeModel::default().generate(5_000, 9);
+        roundtrip(&c, &seq);
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let seq = GenomeModel::default().generate(2_000, 13);
+        let c = XmLite::default();
+        let blob = c.compress(&seq).unwrap();
+        let mut bad = blob.clone();
+        let at = bad.payload.len() / 2;
+        bad.payload[at] ^= 0x40;
+        if let Ok(back) = c.decompress(&bad) { assert_eq!(back, seq) }
+        let mut wrong = blob.clone();
+        wrong.algorithm = Algorithm::Dnax;
+        assert!(c.decompress(&wrong).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn roundtrip_arbitrary(s in "[ACGT]{0,1200}") {
+            let seq = PackedSeq::from_ascii(s.as_bytes()).unwrap();
+            roundtrip(&XmLite::default(), &seq);
+        }
+    }
+}

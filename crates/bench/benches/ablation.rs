@@ -1,0 +1,103 @@
+//! Ablation benches for the design choices DESIGN.md §4 calls out:
+//! DNAX's repeat threshold, GenCompress's mismatch budget, CTW's depth,
+//! and gzip's effort preset. Each reports wall time; ratio ablations are
+//! asserted in the integration tests and printed here via
+//! `--noplot`-friendly labels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dnacomp_algos::{Compressor, Ctw, Dnax, GenCompress, GzipRs};
+use dnacomp_seq::gen::GenomeModel;
+use std::hint::black_box;
+use std::time::Duration;
+
+const N: usize = 64_000;
+
+fn bench_dnax_threshold(c: &mut Criterion) {
+    let seq = GenomeModel::highly_repetitive().generate(N, 21);
+    let mut group = c.benchmark_group("ablation_dnax_min_repeat");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(N as u64));
+    for min_repeat in [16usize, 24, 48, 96] {
+        let alg = Dnax::with_min_repeat(min_repeat);
+        let bytes = alg.compress(&seq).unwrap().total_bytes();
+        group.bench_with_input(
+            BenchmarkId::new("compress", format!("t{min_repeat}_{bytes}B")),
+            &alg,
+            |b, alg| b.iter(|| black_box(alg.compress(black_box(&seq)).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_gencompress_budget(c: &mut Criterion) {
+    let mut model = GenomeModel::default();
+    model.mutated.rate = 0.01;
+    let seq = model.generate(N, 23);
+    let mut group = c.benchmark_group("ablation_gencompress_mismatches");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(N as u64));
+    for budget in [0usize, 8, 24, 64] {
+        let alg = GenCompress::with_mismatch_budget(budget);
+        let bytes = alg.compress(&seq).unwrap().total_bytes();
+        group.bench_with_input(
+            BenchmarkId::new("compress", format!("m{budget}_{bytes}B")),
+            &alg,
+            |b, alg| b.iter(|| black_box(alg.compress(black_box(&seq)).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_ctw_depth(c: &mut Criterion) {
+    let seq = GenomeModel::default().generate(N / 2, 25);
+    let mut group = c.benchmark_group("ablation_ctw_depth");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(seq.len() as u64));
+    for depth in [4usize, 8, 16, 24] {
+        let alg = Ctw::with_depth(depth);
+        let bytes = alg.compress(&seq).unwrap().total_bytes();
+        group.bench_with_input(
+            BenchmarkId::new("compress", format!("d{depth}_{bytes}B")),
+            &alg,
+            |b, alg| b.iter(|| black_box(alg.compress(black_box(&seq)).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_gzip_effort(c: &mut Criterion) {
+    let seq = GenomeModel::default().generate(N, 27);
+    let mut group = c.benchmark_group("ablation_gzip_effort");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(N as u64));
+    for (name, alg) in [
+        ("fast", GzipRs::fast()),
+        ("default", GzipRs::default()),
+        ("best", GzipRs::best()),
+    ] {
+        let bytes = alg.compress(&seq).unwrap().total_bytes();
+        group.bench_with_input(
+            BenchmarkId::new("compress", format!("{name}_{bytes}B")),
+            &alg,
+            |b, alg| b.iter(|| black_box(alg.compress(black_box(&seq)).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dnax_threshold,
+    bench_gencompress_budget,
+    bench_ctw_depth,
+    bench_gzip_effort
+);
+criterion_main!(benches);

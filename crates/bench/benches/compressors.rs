@@ -1,0 +1,64 @@
+//! Per-algorithm compress/decompress wall-time benches — the Criterion
+//! counterpart of Figures 4/5 (size & time per algorithm). The repro
+//! binary derives the paper's context-scaled times from work units; these
+//! benches measure the actual Rust ports on this machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dnacomp_algos::all_algorithms;
+use dnacomp_seq::gen::GenomeModel;
+use dnacomp_seq::PackedSeq;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn sequences() -> Vec<(&'static str, PackedSeq)> {
+    vec![
+        ("bacterial_16k", GenomeModel::default().generate(16_000, 1)),
+        (
+            "repetitive_16k",
+            GenomeModel::highly_repetitive().generate(16_000, 2),
+        ),
+        ("random_16k", GenomeModel::random_only(0.5).generate(16_000, 3)),
+    ]
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let seqs = sequences();
+    let mut group = c.benchmark_group("compress");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(10);
+    for compressor in all_algorithms() {
+        for (kind, seq) in &seqs {
+            group.throughput(Throughput::Bytes(seq.len() as u64));
+            group.bench_with_input(
+                BenchmarkId::new(compressor.name(), kind),
+                seq,
+                |b, seq| b.iter(|| black_box(compressor.compress(black_box(seq)).unwrap())),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let seqs = sequences();
+    let mut group = c.benchmark_group("decompress");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(10);
+    for compressor in all_algorithms() {
+        for (kind, seq) in &seqs {
+            let blob = compressor.compress(seq).unwrap();
+            group.throughput(Throughput::Bytes(seq.len() as u64));
+            group.bench_with_input(
+                BenchmarkId::new(compressor.name(), kind),
+                &blob,
+                |b, blob| b.iter(|| black_box(compressor.decompress(black_box(blob)).unwrap())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decompress);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Benches for the learning half of the paper: CHAID/CART training and
+//! the inference engine's per-decision latency — the machinery behind
+//! Figures 9–16 and Table 2.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dnacomp_algos::Algorithm;
+use dnacomp_core::{ContextAwareFramework, Context, LabeledRow};
+use dnacomp_ml::TreeMethod;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Synthetic labelled rows with the paper's structure: size-driven
+/// winner plus context interactions.
+fn synthetic_rows(n: usize) -> Vec<LabeledRow> {
+    (0..n)
+        .map(|i| {
+            let kb = 1.0 + (i % 977) as f64 * 2.0;
+            let ram = [1024u32, 2048, 3072, 4096][i % 4];
+            let cpu = [1600u32, 2000, 2393, 2800][(i / 4) % 4];
+            let winner = if kb < 12.0 {
+                Algorithm::GenCompress
+            } else if kb < 40.0 && cpu <= 2000 {
+                Algorithm::Ctw
+            } else {
+                Algorithm::Dnax
+            };
+            LabeledRow {
+                file: format!("f{i}"),
+                file_bytes: (kb * 1024.0) as u64,
+                ram_mb: ram,
+                cpu_mhz: cpu,
+                bandwidth_mbps: if i % 2 == 0 { 0.5 } else { 2.0 },
+                winner,
+                score: 0.0,
+            }
+        })
+        .collect()
+}
+
+fn bench_training(c: &mut Criterion) {
+    let rows = synthetic_rows(4224); // the paper's grid size
+    let mut group = c.benchmark_group("train");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(rows.len() as u64));
+    for method in [TreeMethod::Cart, TreeMethod::Chaid] {
+        group.bench_function(method.to_string(), |b| {
+            b.iter(|| black_box(ContextAwareFramework::train(black_box(&rows), method)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let rows = synthetic_rows(4224);
+    let mut group = c.benchmark_group("infer");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    for method in [TreeMethod::Cart, TreeMethod::Chaid] {
+        let fw = ContextAwareFramework::train(&rows, method);
+        let contexts: Vec<Context> = rows
+            .iter()
+            .take(1000)
+            .map(|r| Context {
+                ram_mb: r.ram_mb,
+                cpu_mhz: r.cpu_mhz,
+                bandwidth_mbps: r.bandwidth_mbps,
+                file_bytes: r.file_bytes,
+            })
+            .collect();
+        group.throughput(Throughput::Elements(contexts.len() as u64));
+        group.bench_function(format!("decide_{method}"), |b| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for ctx in &contexts {
+                    acc = acc.wrapping_add(fw.decide(black_box(ctx)).tag() as u32);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tree_hyperparams(c: &mut Criterion) {
+    use dnacomp_core::dataset::build_dataset;
+    use dnacomp_ml::{cart, chaid, CartParams, ChaidParams};
+    let rows = synthetic_rows(4224);
+    let data = build_dataset(&rows, &[]);
+    let mut group = c.benchmark_group("tree_hyperparams");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_millis(1200));
+    group.sample_size(10);
+    // CART pruning strength (DESIGN.md §4 ablation) — the benchmark id
+    // embeds the resulting leaf count.
+    for alpha in [0.0f64, 1.0, 8.0] {
+        let params = CartParams {
+            prune_alpha: alpha,
+            ..CartParams::default()
+        };
+        let leaves = cart::train_cart(&data, &params).n_leaves();
+        group.bench_function(format!("cart_alpha{alpha}_{leaves}leaves"), |b| {
+            b.iter(|| black_box(cart::train_cart(black_box(&data), &params)))
+        });
+    }
+    // CHAID merge significance.
+    for alpha in [0.01f64, 0.05, 0.20] {
+        let params = ChaidParams {
+            alpha_merge: alpha,
+            alpha_split: alpha,
+            ..ChaidParams::default()
+        };
+        let leaves = chaid::train_chaid(&data, &params).n_leaves();
+        group.bench_function(format!("chaid_alpha{alpha}_{leaves}leaves"), |b| {
+            b.iter(|| black_box(chaid::train_chaid(black_box(&data), &params)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_inference, bench_tree_hyperparams);
+criterion_main!(benches);

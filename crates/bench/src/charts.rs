@@ -1,0 +1,149 @@
+//! Plain-text chart rendering for the repro reports.
+//!
+//! The paper's figures are bar/line charts; the harness renders ASCII
+//! equivalents so EXPERIMENTS.md can embed them and a terminal run shows
+//! the shape at a glance. CSV twins carry the exact numbers.
+
+/// Horizontal bar chart: one labelled bar per row.
+pub fn bar_chart(title: &str, rows: &[(String, f64)], unit: &str) -> String {
+    let mut out = format!("## {title}\n");
+    let max = rows.iter().map(|r| r.1).fold(f64::EPSILON, f64::max);
+    let label_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(0);
+    for (label, value) in rows {
+        let filled = ((value / max) * 50.0).round() as usize;
+        out.push_str(&format!(
+            "{label:<label_w$} | {}{} {value:.1} {unit}\n",
+            "#".repeat(filled),
+            " ".repeat(50 - filled.min(50)),
+        ));
+    }
+    out
+}
+
+/// Grouped series rendered as aligned columns: for each x-label, one
+/// value per series.
+pub fn series_table(
+    title: &str,
+    x_label: &str,
+    series_names: &[String],
+    rows: &[(String, Vec<f64>)],
+) -> String {
+    let mut out = format!("## {title}\n{x_label:<24}");
+    for name in series_names {
+        out.push_str(&format!("{name:>16}"));
+    }
+    out.push('\n');
+    for (x, values) in rows {
+        out.push_str(&format!("{x:<24}"));
+        for v in values {
+            out.push_str(&format!("{v:>16.1}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Match/gap strip: the validation figures (9, 11, 13, 15) show gaps
+/// where rules mispredict. One character per test row: `#` match,
+/// `.` gap.
+pub fn gap_strip(title: &str, matches: &[bool], width: usize) -> String {
+    let mut out = format!("## {title}\n");
+    let width = width.max(8);
+    for chunk in matches.chunks(width) {
+        let line: String = chunk.iter().map(|&m| if m { '#' } else { '.' }).collect();
+        out.push_str(&line);
+        out.push('\n');
+    }
+    let acc = if matches.is_empty() {
+        0.0
+    } else {
+        matches.iter().filter(|&&m| m).count() as f64 / matches.len() as f64
+    };
+    out.push_str(&format!(
+        "rows={} matched={} accuracy={:.4}\n",
+        matches.len(),
+        matches.iter().filter(|&&m| m).count(),
+        acc
+    ));
+    out
+}
+
+/// Normalised multi-line chart (the "analysis based on context" figures
+/// 10/12/14/16): several series in \[0,1\] plus a ±1 match line, sampled
+/// row by row.
+pub fn context_analysis(
+    title: &str,
+    series_names: &[String],
+    rows: &[Vec<f64>],
+    matches: &[bool],
+) -> String {
+    let mut out = format!("## {title}\nrow  match ");
+    for n in series_names {
+        out.push_str(&format!("{n:>14}"));
+    }
+    out.push('\n');
+    for (i, (vals, &m)) in rows.iter().zip(matches).enumerate() {
+        out.push_str(&format!("{i:<4} {:>5} ", if m { "+1" } else { "-1" }));
+        for v in vals {
+            out.push_str(&format!("{v:>14.3}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let rows = vec![("a".to_owned(), 10.0), ("bb".to_owned(), 5.0)];
+        let c = bar_chart("t", &rows, "ms");
+        assert!(c.contains("## t"));
+        let lines: Vec<&str> = c.lines().collect();
+        let a_bars = lines[1].matches('#').count();
+        let b_bars = lines[2].matches('#').count();
+        assert_eq!(a_bars, 50);
+        assert_eq!(b_bars, 25);
+    }
+
+    #[test]
+    fn gap_strip_counts() {
+        let c = gap_strip("v", &[true, true, false, true], 2);
+        assert!(c.contains("accuracy=0.7500"));
+        assert!(c.contains("##"));
+        assert!(c.contains(".#"));
+    }
+
+    #[test]
+    fn gap_strip_empty() {
+        let c = gap_strip("v", &[], 10);
+        assert!(c.contains("accuracy=0.0000"));
+    }
+
+    #[test]
+    fn series_table_layout() {
+        let c = series_table(
+            "t",
+            "ctx",
+            &["A".into(), "B".into()],
+            &[("x1".into(), vec![1.0, 2.0])],
+        );
+        assert!(c.contains("x1"));
+        assert!(c.contains("1.0"));
+        assert!(c.contains("2.0"));
+    }
+
+    #[test]
+    fn context_analysis_renders_matches() {
+        let c = context_analysis(
+            "t",
+            &["cpu".into()],
+            &[vec![0.5], vec![0.7]],
+            &[true, false],
+        );
+        assert!(c.contains("+1"));
+        assert!(c.contains("-1"));
+    }
+}

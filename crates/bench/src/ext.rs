@@ -1,0 +1,348 @@
+//! Extension experiments beyond the paper's own figures — each realises
+//! one of the paper's related-work/future-work threads (DESIGN.md §4).
+
+use crate::pipeline::Pipeline;
+use crate::{to_csv, write_result};
+use dnacomp_algos::refcomp::{ReferenceCompressor, ReferenceIndex};
+use dnacomp_algos::{Compressor, Dnax};
+use dnacomp_cloud::{Ace, ClientContext, PerfModel};
+use dnacomp_seq::gen::GenomeModel;
+use dnacomp_seq::{Base, PackedSeq};
+
+/// ext1 — vertical-mode reference compression: ratio vs block size
+/// (paper §III: "by increasing block size more efficient results are
+/// achieved"; §VI future work on vertical sequences).
+pub fn ext1(_p: &Pipeline) -> String {
+    let reference = GenomeModel::default().generate(400_000, 1001);
+    // A same-species target: 99.9 % identical (§II-B).
+    let target = {
+        let mut bases = reference.unpack();
+        let mut x = 12345u64;
+        let mut i = 997usize;
+        while i < bases.len() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            bases[i] = Base::from_code(bases[i].code().wrapping_add(1 + (x >> 60) as u8 % 3));
+            i += 997;
+        }
+        PackedSeq::from(bases.as_slice())
+    };
+    let horizontal = Dnax::default().compress(&target).expect("dnax");
+    let mut csv_rows = Vec::new();
+    let mut txt = String::from("## ext1 — reference (vertical) compression vs block size\n");
+    txt.push_str(&format!(
+        "target: {} bases, 1 substitution per 997 (99.9% identity)\n",
+        target.len()
+    ));
+    txt.push_str(&format!(
+        "horizontal baseline (DNAX, no reference): {} bytes ({:.3} bits/base)\n",
+        horizontal.total_bytes(),
+        horizontal.bits_per_base()
+    ));
+    let mut last = usize::MAX;
+    for block_log2 in [10u32, 12, 14, 16, 18] {
+        let block = 1usize << block_log2;
+        let rc = ReferenceCompressor {
+            block,
+            ..ReferenceCompressor::default()
+        };
+        let index = ReferenceIndex::build(&reference, block);
+        let blob = rc.compress(&index, &target).expect("refcomp");
+        let back = rc.decompress(&index, &blob).expect("ref decode");
+        assert_eq!(back, target, "vertical roundtrip");
+        let ratio = target.len() as f64 / blob.total_bytes() as f64;
+        txt.push_str(&format!(
+            "block 2^{block_log2:<2} = {block:>7} B : {:>6} bytes  (1:{ratio:.0})\n",
+            blob.total_bytes()
+        ));
+        csv_rows.push(vec![
+            block.to_string(),
+            blob.total_bytes().to_string(),
+            format!("{ratio:.1}"),
+        ]);
+        last = blob.total_bytes().min(last);
+    }
+    write_result(
+        "ext1.csv",
+        &to_csv(&["block_bases", "compressed_bytes", "ratio_to_one"], &csv_rows),
+    )
+    .expect("write csv");
+    write_result("ext1.txt", &txt).expect("write txt");
+    format!(
+        "ext1: vertical reference compression — best {} bytes vs horizontal {} bytes",
+        last,
+        horizontal.total_bytes()
+    )
+}
+
+/// ext2 — ACE-style adaptive on-the-fly compression across bandwidths
+/// (paper §III, Krintz & Sucu): fraction of chunks compressed and total
+/// time vs the two static policies.
+pub fn ext2(_p: &Pipeline) -> String {
+    let perf = PerfModel {
+        time_jitter: 0.0,
+        ..PerfModel::default()
+    };
+    let seq = GenomeModel::default().generate(240_000, 2002);
+    let mut csv_rows = Vec::new();
+    let mut txt = String::from("## ext2 — ACE adaptive streaming vs static policies\n");
+    txt.push_str(&format!(
+        "{:<10} {:>10} {:>12} {:>12} {:>12}\n",
+        "bw_mbps", "comp_frac", "ace_ms", "all_raw_ms", "all_comp_ms"
+    ));
+    for bw in [0.25f64, 0.5, 1.0, 2.0, 8.0, 50.0, 200.0] {
+        let mut ace = Ace::new(8_192);
+        let ctx = ClientContext::new(3072, 2393, bw);
+        let dnax = Dnax::default();
+        let report = ace
+            .ship_stream(&perf, &ctx, &dnax, &format!("s{bw}"), &seq)
+            .expect("ace stream");
+        txt.push_str(&format!(
+            "{bw:<10} {:>10.2} {:>12.0} {:>12.0} {:>12.0}\n",
+            report.compressed_fraction(),
+            report.total_ms,
+            report.all_raw_ms,
+            report.all_compressed_ms
+        ));
+        csv_rows.push(vec![
+            bw.to_string(),
+            format!("{:.3}", report.compressed_fraction()),
+            format!("{:.1}", report.total_ms),
+            format!("{:.1}", report.all_raw_ms),
+            format!("{:.1}", report.all_compressed_ms),
+        ]);
+    }
+    write_result(
+        "ext2.csv",
+        &to_csv(
+            &["bw_mbps", "compressed_fraction", "ace_ms", "all_raw_ms", "all_compressed_ms"],
+            &csv_rows,
+        ),
+    )
+    .expect("write csv");
+    write_result("ext2.txt", &txt).expect("write txt");
+    "ext2: ACE adaptive streaming sweep written".to_owned()
+}
+
+/// ext3 — the extension compressors alongside the paper four: measured
+/// bits/base and resource profile on a common input.
+pub fn ext3(_p: &Pipeline) -> String {
+    let seq = GenomeModel::default().generate(120_000, 3003);
+    let mut csv_rows = Vec::new();
+    let mut txt = String::from("## ext3 — full algorithm portfolio on a 120 kB bacterial-like input\n");
+    txt.push_str(&format!(
+        "{:<14} {:>10} {:>10} {:>12} {:>12}\n",
+        "algorithm", "bytes", "bits/base", "comp_work", "heap_kB"
+    ));
+    for c in dnacomp_algos::all_algorithms() {
+        let (blob, stats) = c.compress_with_stats(&seq).expect("compress");
+        let back = c.decompress(&blob).expect("decode");
+        assert_eq!(back, seq);
+        txt.push_str(&format!(
+            "{:<14} {:>10} {:>10.3} {:>12} {:>12}\n",
+            c.name(),
+            blob.total_bytes(),
+            blob.bits_per_base(),
+            stats.work_units,
+            stats.peak_heap_bytes / 1024
+        ));
+        csv_rows.push(vec![
+            c.name().to_owned(),
+            blob.total_bytes().to_string(),
+            format!("{:.4}", blob.bits_per_base()),
+            stats.work_units.to_string(),
+            (stats.peak_heap_bytes / 1024).to_string(),
+        ]);
+    }
+    write_result(
+        "ext3.csv",
+        &to_csv(
+            &["algorithm", "bytes", "bits_per_base", "work_units", "heap_kb"],
+            &csv_rows,
+        ),
+    )
+    .expect("write csv");
+    write_result("ext3.txt", &txt).expect("write txt");
+    "ext3: full portfolio table written".to_owned()
+}
+
+/// ext4 — multi-sequence sets: horizontal vs vertical strategies (paper
+/// §VI future work: "the compression of multiple sequences, that is,
+/// vertical sequences using horizontal algorithm vs the vertical
+/// algorithms").
+pub fn ext4(_p: &Pipeline) -> String {
+    // Five same-species samples: one ancestor plus four mutated copies.
+    let ancestor = GenomeModel::default().generate(150_000, 4004);
+    let samples: Vec<PackedSeq> = (0..5)
+        .map(|k| {
+            if k == 0 {
+                ancestor.clone()
+            } else {
+                let mut bases = ancestor.unpack();
+                let mut x = 999u64 + k as u64;
+                let mut i = 800 + k * 37;
+                while i < bases.len() {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    bases[i] =
+                        Base::from_code(bases[i].code().wrapping_add(1 + (x >> 60) as u8 % 3));
+                    i += 800;
+                }
+                PackedSeq::from(bases.as_slice())
+            }
+        })
+        .collect();
+    let dnax = Dnax::default();
+    // (a) Horizontal, each sample independently.
+    let independent: usize = samples
+        .iter()
+        .map(|s| dnax.compress(s).expect("dnax").total_bytes())
+        .sum();
+    // (b) Horizontal over the concatenated set: cross-sample repeats
+    // become in-sequence repeats.
+    let concatenated = {
+        let mut all: Vec<Base> = Vec::new();
+        for s in &samples {
+            all.extend(s.unpack());
+        }
+        let seq = PackedSeq::from(all.as_slice());
+        dnax.compress(&seq).expect("dnax concat").total_bytes()
+    };
+    // (c) Vertical: first sample as reference, the rest as RM entries.
+    let rc = ReferenceCompressor::default();
+    let index = ReferenceIndex::build(&samples[0], rc.block);
+    let vertical: usize = dnax.compress(&samples[0]).expect("ref self").total_bytes()
+        + samples[1..]
+            .iter()
+            .map(|s| {
+                let blob = rc.compress(&index, s).expect("refcomp");
+                assert_eq!(rc.decompress(&index, &blob).expect("ref decode"), *s);
+                blob.total_bytes()
+            })
+            .sum::<usize>();
+    let raw: usize = samples.iter().map(PackedSeq::len).sum();
+    let txt = format!(
+        "## ext4 — multi-sequence set (5 samples × 150 kB, 99.9% identity)\n\
+         raw bytes:                      {raw}\n\
+         (a) horizontal, independent:    {independent}\n\
+         (b) horizontal, concatenated:   {concatenated}\n\
+         (c) vertical (ref + RM blobs):  {vertical}\n"
+    );
+    write_result("ext4.txt", &txt).expect("write txt");
+    write_result(
+        "ext4.csv",
+        &to_csv(
+            &["strategy", "bytes"],
+            &[
+                vec!["raw".into(), raw.to_string()],
+                vec!["horizontal_independent".into(), independent.to_string()],
+                vec!["horizontal_concatenated".into(), concatenated.to_string()],
+                vec!["vertical_reference".into(), vertical.to_string()],
+            ],
+        ),
+    )
+    .expect("write csv");
+    format!(
+        "ext4: multi-sequence — independent {independent} vs concatenated {concatenated} vs vertical {vertical} bytes"
+    )
+}
+
+/// ext5 — varying the *cloud-side* context (paper §VI future work: "the
+/// context at cloud could be changed to analyze the impact at
+/// decompression and download time as in current research only client
+/// context was changed").
+pub fn ext5(p: &Pipeline) -> String {
+    use dnacomp_cloud::MachineSpec;
+    let vms = [
+        MachineSpec::new("cloud-small-1.6GHz-1.75GB", 1792, 1600, 1),
+        MachineSpec::azure_vm(),
+        MachineSpec::new("cloud-large-2.8GHz-7GB", 7168, 2800, 2),
+    ];
+    let mut csv_rows = Vec::new();
+    let mut txt = String::from("## ext5 — decompression/download time vs cloud VM size\n");
+    txt.push_str(&format!(
+        "{:<28} {:>14} {:>14} {:>14} {:>14}\n",
+        "cloud VM", "CTW dec ms", "DNAX dec ms", "GC dec ms", "Gzip dec ms"
+    ));
+    for vm in &vms {
+        let mut row = vec![vm.name.clone()];
+        let mut cells = Vec::new();
+        for alg in dnacomp_algos::Algorithm::PAPER {
+            let mean: f64 = {
+                let v: Vec<f64> = p
+                    .measurements
+                    .iter()
+                    .filter(|m| m.algorithm == alg)
+                    .map(|m| p.perf.decompress_ms(vm, alg, &m.file, &m.dec_stats))
+                    .collect();
+                v.iter().sum::<f64>() / v.len() as f64
+            };
+            cells.push(mean);
+            row.push(format!("{mean:.1}"));
+        }
+        // Report in the paper's algorithm order CTW, DNAX, GC, Gzip.
+        txt.push_str(&format!(
+            "{:<28} {:>14.1} {:>14.1} {:>14.1} {:>14.1}\n",
+            vm.name, cells[0], cells[1], cells[2], cells[3]
+        ));
+        csv_rows.push(row);
+    }
+    write_result(
+        "ext5.csv",
+        &to_csv(&["cloud_vm", "ctw_ms", "dnax_ms", "gencompress_ms", "gzip_ms"], &csv_rows),
+    )
+    .expect("write csv");
+    write_result("ext5.txt", &txt).expect("write txt");
+    "ext5: cloud-side context sweep written".to_owned()
+}
+
+/// ext6 — cross-corpus generalisation: rules trained on one corpus seed
+/// validated on a *disjoint* corpus (different files, same context grid).
+/// The paper's 75/25 split shares the generation process; this asks the
+/// stronger question a deployment would — do the learned rules carry to
+/// genuinely new sequences?
+pub fn ext6(_p: &Pipeline) -> String {
+    use dnacomp_algos::paper_algorithms;
+    use dnacomp_cloud::{context_grid, MachineSpec};
+    use dnacomp_core::{build_rows, label_rows, measure_corpus, ContextAwareFramework, WeightVector};
+    use dnacomp_ml::TreeMethod;
+    use dnacomp_seq::corpus::CorpusBuilder;
+
+    let perf = PerfModel::default();
+    let vm = MachineSpec::azure_vm();
+    let grid = context_grid();
+    let mut label_sets = Vec::new();
+    for seed in [42u64, 4242] {
+        let files = CorpusBuilder::paper(seed)
+            .ncbi_files(29)
+            .include_standard(seed == 42)
+            .size_range(1_000, 400_000)
+            .build();
+        let ms = measure_corpus(&files, &paper_algorithms()).expect("grid");
+        let rows = build_rows(&ms, &grid, &perf, &vm);
+        label_sets.push(label_rows(&rows, &WeightVector::time_only()));
+    }
+    let (train, test) = (&label_sets[0], &label_sets[1]);
+    let mut txt = String::from("## ext6 — cross-corpus generalisation (time rules)\n");
+    let mut csv_rows = Vec::new();
+    let mut summary = Vec::new();
+    for method in [TreeMethod::Cart, TreeMethod::Chaid] {
+        let fw = ContextAwareFramework::train(train, method);
+        let in_corpus = fw.evaluate(train);
+        let cross = fw.evaluate(test);
+        txt.push_str(&format!(
+            "{method}: in-corpus {in_corpus:.4}, cross-corpus {cross:.4}\n"
+        ));
+        csv_rows.push(vec![
+            method.to_string(),
+            format!("{in_corpus:.4}"),
+            format!("{cross:.4}"),
+        ]);
+        summary.push(format!("{method} {cross:.3}"));
+    }
+    write_result(
+        "ext6.csv",
+        &to_csv(&["method", "in_corpus_accuracy", "cross_corpus_accuracy"], &csv_rows),
+    )
+    .expect("write csv");
+    write_result("ext6.txt", &txt).expect("write txt");
+    format!("ext6: cross-corpus accuracy — {}", summary.join(", "))
+}

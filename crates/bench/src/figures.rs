@@ -1,0 +1,470 @@
+//! Generators for every figure of the paper's evaluation.
+//!
+//! Each `figN` function writes `results/figN.csv` (exact numbers) and
+//! `results/figN.txt` (ASCII chart) and returns a one-line summary for
+//! the console / EXPERIMENTS.md.
+
+use crate::charts;
+use crate::pipeline::Pipeline;
+use crate::{to_csv, write_result};
+use dnacomp_algos::Algorithm;
+use dnacomp_core::{ExperimentRow, LabeledRow, WeightVector};
+use dnacomp_ml::TreeMethod;
+
+const ALGOS: [Algorithm; 4] = Algorithm::PAPER;
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Mean of `metric` per (context, algorithm).
+fn per_context_metric(
+    p: &Pipeline,
+    metric: impl Fn(&ExperimentRow) -> f64,
+) -> Vec<(String, Vec<f64>)> {
+    p.contexts
+        .iter()
+        .map(|ctx| {
+            let values: Vec<f64> = ALGOS
+                .iter()
+                .map(|&alg| {
+                    mean(
+                        p.rows
+                            .iter()
+                            .filter(|r| {
+                                r.algorithm == alg
+                                    && r.ram_mb == ctx.ram_mb
+                                    && r.cpu_mhz == ctx.cpu_mhz
+                                    && r.bandwidth_mbps == ctx.bandwidth.0
+                            })
+                            .map(&metric),
+                    )
+                })
+                .collect();
+            (ctx.key(), values)
+        })
+        .collect()
+}
+
+fn context_figure(
+    p: &Pipeline,
+    id: &str,
+    title: &str,
+    unit: &str,
+    metric: impl Fn(&ExperimentRow) -> f64,
+) -> String {
+    let rows = per_context_metric(p, metric);
+    let names: Vec<String> = ALGOS.iter().map(|a| a.name().to_owned()).collect();
+    let chart = charts::series_table(title, "context", &names, &rows);
+    let csv_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(k, v)| {
+            let mut row = vec![k.clone()];
+            row.extend(v.iter().map(|x| format!("{x:.3}")));
+            row
+        })
+        .collect();
+    let mut header = vec!["context"];
+    header.extend(ALGOS.iter().map(|a| a.name()));
+    write_result(&format!("{id}.csv"), &to_csv(&header, &csv_rows)).expect("write csv");
+    write_result(&format!("{id}.txt"), &chart).expect("write chart");
+    // Summary: overall mean per algorithm.
+    let overall: Vec<String> = ALGOS
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let m = mean(rows.iter().map(|(_, v)| v[i]));
+            format!("{}={m:.1}{unit}", a.name())
+        })
+        .collect();
+    format!("{id}: {title} — mean {}", overall.join(" "))
+}
+
+/// Figure 2 — upload time in different contexts.
+pub fn fig2(p: &Pipeline) -> String {
+    context_figure(
+        p,
+        "fig2",
+        "Uploading time by context (ms)",
+        "ms",
+        |r| r.upload_ms,
+    )
+}
+
+/// Figure 3 — RAM used (MB) per algorithm per context.
+pub fn fig3(p: &Pipeline) -> String {
+    context_figure(
+        p,
+        "fig3",
+        "RAM used by context (MB)",
+        "MB",
+        |r| r.ram_used_bytes as f64 / (1024.0 * 1024.0),
+    )
+}
+
+/// Figure 4 — compressed file size per algorithm over the corpus.
+pub fn fig4(p: &Pipeline) -> String {
+    // One row per file (sorted by size): original + per-algo bytes.
+    let mut files: Vec<(String, u64)> = p
+        .measurements
+        .iter()
+        .map(|m| (m.file.clone(), m.original_len as u64))
+        .collect();
+    files.sort();
+    files.dedup();
+    files.sort_by_key(|&(_, len)| len);
+    let mut csv_rows = Vec::new();
+    for (file, len) in &files {
+        let mut row = vec![file.clone(), len.to_string()];
+        for &alg in &ALGOS {
+            let bytes = p
+                .measurements
+                .iter()
+                .find(|m| &m.file == file && m.algorithm == alg)
+                .map(|m| m.blob_bytes)
+                .unwrap_or(0);
+            row.push(bytes.to_string());
+        }
+        csv_rows.push(row);
+    }
+    let mut header = vec!["file", "original_bytes"];
+    header.extend(ALGOS.iter().map(|a| a.name()));
+    write_result("fig4.csv", &to_csv(&header, &csv_rows)).expect("write csv");
+    // Chart: mean bits/base per algorithm.
+    let bars: Vec<(String, f64)> = ALGOS
+        .iter()
+        .map(|&alg| {
+            let bpb = mean(
+                p.measurements
+                    .iter()
+                    .filter(|m| m.algorithm == alg && m.original_len > 0)
+                    .map(|m| m.blob_bytes as f64 * 8.0 / m.original_len as f64),
+            );
+            (alg.name().to_owned(), bpb)
+        })
+        .collect();
+    let chart = charts::bar_chart("Compressed size (mean bits/base)", &bars, "bits/base");
+    write_result("fig4.txt", &chart).expect("write chart");
+    let s: Vec<String> = bars
+        .iter()
+        .map(|(n, v)| format!("{n}={v:.3}"))
+        .collect();
+    format!("fig4: compressed size — mean bits/base {}", s.join(" "))
+}
+
+/// Figure 5 — compression time by context.
+pub fn fig5(p: &Pipeline) -> String {
+    context_figure(
+        p,
+        "fig5",
+        "Compression time by context (ms)",
+        "ms",
+        |r| r.compress_ms,
+    )
+}
+
+/// Figure 6 — download time per algorithm.
+pub fn fig6(p: &Pipeline) -> String {
+    let bars: Vec<(String, f64)> = ALGOS
+        .iter()
+        .map(|&alg| {
+            let v = mean(
+                p.rows
+                    .iter()
+                    .filter(|r| r.algorithm == alg)
+                    .map(|r| r.download_ms),
+            );
+            (alg.name().to_owned(), v)
+        })
+        .collect();
+    let chart = charts::bar_chart("Download time (mean ms)", &bars, "ms");
+    write_result("fig6.txt", &chart).expect("write chart");
+    let csv_rows: Vec<Vec<String>> = bars
+        .iter()
+        .map(|(n, v)| vec![n.clone(), format!("{v:.3}")])
+        .collect();
+    write_result("fig6.csv", &to_csv(&["algorithm", "download_ms"], &csv_rows))
+        .expect("write csv");
+    let lo = bars.iter().map(|b| b.1).fold(f64::INFINITY, f64::min);
+    let hi = bars.iter().map(|b| b.1).fold(0.0f64, f64::max);
+    format!(
+        "fig6: download time — per-algorithm means span {:.1}..{:.1} ms (gap {:.1} ms)",
+        lo,
+        hi,
+        hi - lo
+    )
+}
+
+/// Figure 8 — test-set file size vs row id.
+pub fn fig8(p: &Pipeline) -> String {
+    let labeled = p.labeled(&WeightVector::time_only());
+    let (_, test) = p.split_by_file(&labeled);
+    let ordered = Pipeline::order_rows(test);
+    let csv_rows: Vec<Vec<String>> = ordered
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            vec![
+                i.to_string(),
+                r.file.clone(),
+                format!("{:.1}", r.file_bytes as f64 / 1024.0),
+            ]
+        })
+        .collect();
+    write_result("fig8.csv", &to_csv(&["row_id", "file", "file_kb"], &csv_rows))
+        .expect("write csv");
+    format!(
+        "fig8: test layout — {} rows over {} files, sizes {:.1}..{:.1} kB",
+        ordered.len(),
+        ordered
+            .iter()
+            .map(|r| r.file.as_str())
+            .collect::<std::collections::HashSet<_>>()
+            .len(),
+        ordered.first().map(|r| r.file_bytes as f64 / 1024.0).unwrap_or(0.0),
+        ordered.last().map(|r| r.file_bytes as f64 / 1024.0).unwrap_or(0.0),
+    )
+}
+
+/// Outcome of one validation experiment (figures 9/11/13/15).
+pub struct Validation {
+    /// `Cases Matched / TotalCases`.
+    pub accuracy: f64,
+    /// Per-test-row match flags, size-ordered.
+    pub matches: Vec<bool>,
+    /// The size-ordered test rows.
+    pub rows: Vec<LabeledRow>,
+    /// Learned rules.
+    pub rules: Vec<String>,
+}
+
+/// Train on 75 % of files, validate on the held-out 25 %.
+pub fn validate(p: &Pipeline, method: TreeMethod, weights: &WeightVector) -> Validation {
+    validate_with(p, method, weights, false)
+}
+
+/// [`validate`] with a choice of Eq.-1 unit combination (`normalized =
+/// true` uses the improved max-normalised variant).
+pub fn validate_with(
+    p: &Pipeline,
+    method: TreeMethod,
+    weights: &WeightVector,
+    normalized: bool,
+) -> Validation {
+    let labeled = if normalized {
+        p.labeled_normalized(weights)
+    } else {
+        p.labeled(weights)
+    };
+    let (train, test) = p.split_by_file(&labeled);
+    let fw = dnacomp_core::ContextAwareFramework::train(&train, method);
+    let ordered = Pipeline::order_rows(test);
+    let matches: Vec<bool> = ordered
+        .iter()
+        .map(|r| {
+            fw.decide(&dnacomp_core::Context {
+                ram_mb: r.ram_mb,
+                cpu_mhz: r.cpu_mhz,
+                bandwidth_mbps: r.bandwidth_mbps,
+                file_bytes: r.file_bytes,
+            }) == r.winner
+        })
+        .collect();
+    let accuracy = if matches.is_empty() {
+        0.0
+    } else {
+        matches.iter().filter(|&&m| m).count() as f64 / matches.len() as f64
+    };
+    Validation {
+        accuracy,
+        matches,
+        rows: ordered,
+        rules: fw.rules(),
+    }
+}
+
+fn validation_figure(
+    p: &Pipeline,
+    id: &str,
+    title: &str,
+    method: TreeMethod,
+    weights: &WeightVector,
+) -> String {
+    let v = validate(p, method, weights);
+    let mut out = charts::gap_strip(title, &v.matches, 64);
+    out.push_str("\n### Rules\n");
+    for r in &v.rules {
+        out.push_str(r);
+        out.push('\n');
+    }
+    write_result(&format!("{id}.txt"), &out).expect("write chart");
+    let csv_rows: Vec<Vec<String>> = v
+        .rows
+        .iter()
+        .zip(&v.matches)
+        .enumerate()
+        .map(|(i, (r, &m))| {
+            vec![
+                i.to_string(),
+                format!("{:.1}", r.file_bytes as f64 / 1024.0),
+                r.ram_mb.to_string(),
+                r.cpu_mhz.to_string(),
+                format!("{}", r.bandwidth_mbps),
+                r.winner.name().to_owned(),
+                if m { "1" } else { "0" }.to_owned(),
+            ]
+        })
+        .collect();
+    write_result(
+        &format!("{id}.csv"),
+        &to_csv(
+            &["row_id", "file_kb", "ram_mb", "cpu_mhz", "bw_mbps", "label", "matched"],
+            &csv_rows,
+        ),
+    )
+    .expect("write csv");
+    format!("{id}: {title} — accuracy {:.4} over {} rows", v.accuracy, v.rows.len())
+}
+
+fn analysis_figure(
+    p: &Pipeline,
+    id: &str,
+    title: &str,
+    method: TreeMethod,
+    weights: &WeightVector,
+    take: usize,
+) -> String {
+    let v = validate(p, method, weights);
+    // Normalised CPU / RAM / file size for the first `take` rows (the
+    // paper plots the first ~86 records / the <50 kB region).
+    let rows: Vec<&LabeledRow> = v.rows.iter().take(take).collect();
+    let matches: Vec<bool> = v.matches.iter().take(take).copied().collect();
+    let max_kb = rows
+        .iter()
+        .map(|r| r.file_bytes as f64 / 1024.0)
+        .fold(f64::EPSILON, f64::max);
+    let series: Vec<Vec<f64>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.cpu_mhz as f64 / 2800.0,
+                r.ram_mb as f64 / 4096.0,
+                (r.file_bytes as f64 / 1024.0) / max_kb,
+            ]
+        })
+        .collect();
+    let chart = charts::context_analysis(
+        title,
+        &["cpu_norm".into(), "ram_norm".into(), "size_norm".into()],
+        &series,
+        &matches,
+    );
+    write_result(&format!("{id}.txt"), &chart).expect("write chart");
+    let matched = matches.iter().filter(|&&m| m).count();
+    format!(
+        "{id}: {title} — {matched}/{} of the first rows matched",
+        matches.len()
+    )
+}
+
+/// Figure 9 — CHAID validation, time 100 %.
+pub fn fig9(p: &Pipeline) -> String {
+    validation_figure(
+        p,
+        "fig9",
+        "CHAID results for time (100% weight), validation",
+        TreeMethod::Chaid,
+        &WeightVector::time_only(),
+    )
+}
+
+/// Figure 10 — CHAID context analysis (small files).
+pub fn fig10(p: &Pipeline) -> String {
+    analysis_figure(
+        p,
+        "fig10",
+        "CHAID analysis based on context",
+        TreeMethod::Chaid,
+        &WeightVector::time_only(),
+        86,
+    )
+}
+
+/// Figure 11 — CART validation, time 100 %.
+pub fn fig11(p: &Pipeline) -> String {
+    validation_figure(
+        p,
+        "fig11",
+        "CART results for total time (100% weight), validation",
+        TreeMethod::Cart,
+        &WeightVector::time_only(),
+    )
+}
+
+/// Figure 12 — CART context analysis (first 86 records).
+pub fn fig12(p: &Pipeline) -> String {
+    analysis_figure(
+        p,
+        "fig12",
+        "CART analysis based on context",
+        TreeMethod::Cart,
+        &WeightVector::time_only(),
+        86,
+    )
+}
+
+/// Figure 13 — CHAID validation, RAM 100 %.
+pub fn fig13(p: &Pipeline) -> String {
+    validation_figure(
+        p,
+        "fig13",
+        "CHAID results for RAM (100% weight), validation",
+        TreeMethod::Chaid,
+        &WeightVector::ram_only(),
+    )
+}
+
+/// Figure 14 — CHAID RAM context analysis (first 87 records).
+pub fn fig14(p: &Pipeline) -> String {
+    analysis_figure(
+        p,
+        "fig14",
+        "CHAID analysis for RAM based on context",
+        TreeMethod::Chaid,
+        &WeightVector::ram_only(),
+        87,
+    )
+}
+
+/// Figure 15 — CART validation, RAM 100 %.
+pub fn fig15(p: &Pipeline) -> String {
+    validation_figure(
+        p,
+        "fig15",
+        "CART results for RAM (100% weight), validation",
+        TreeMethod::Cart,
+        &WeightVector::ram_only(),
+    )
+}
+
+/// Figure 16 — CART RAM context analysis (first 88 records).
+pub fn fig16(p: &Pipeline) -> String {
+    analysis_figure(
+        p,
+        "fig16",
+        "CART analysis for RAM based on context",
+        TreeMethod::Cart,
+        &WeightVector::ram_only(),
+        88,
+    )
+}

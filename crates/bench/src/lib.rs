@@ -1,0 +1,63 @@
+//! # dnacomp-bench — evaluation harness
+//!
+//! Library side of the `repro` binary: the shared experiment pipeline
+//! (corpus → measurements → context grid → labels → trees), plain-text
+//! chart rendering, and CSV output. Each figure/table of the paper has a
+//! generator in [`figures`] / [`tables`]; the binary dispatches on the
+//! experiment id (see DESIGN.md §3 for the index).
+
+#![forbid(unsafe_code)]
+
+pub mod charts;
+pub mod ext;
+pub mod figures;
+pub mod pipeline;
+pub mod tables;
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Where results land (`results/` at the workspace root by default,
+/// override with `DNACOMP_RESULTS`).
+pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("DNACOMP_RESULTS") {
+        return PathBuf::from(dir);
+    }
+    PathBuf::from("results")
+}
+
+/// Write `content` under the results dir, creating it if needed.
+pub fn write_result(name: &str, content: &str) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(content.as_bytes())?;
+    Ok(path)
+}
+
+/// Render rows of (name, values...) as CSV.
+pub fn to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Load a cached JSON value if present.
+pub fn load_cache<T: serde::de::DeserializeOwned>(path: &Path) -> Option<T> {
+    let text = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+/// Store a JSON cache.
+pub fn store_cache<T: serde::Serialize>(path: &Path, value: &T) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, serde_json::to_string(value)?)
+}

@@ -1,0 +1,80 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p dnacomp-bench --release --bin repro            # everything
+//! cargo run -p dnacomp-bench --release --bin repro -- fig9    # one artefact
+//! DNACOMP_SCALE=quick cargo run -p dnacomp-bench --bin repro  # reduced grid
+//! ```
+//!
+//! Results land in `results/` (CSV + ASCII chart per artefact) plus a
+//! `summary.txt` with the one-line outcome of every experiment.
+
+use dnacomp_bench::pipeline::{Pipeline, Scale};
+use dnacomp_bench::{ext, figures, tables, write_result};
+
+type Generator = (&'static str, fn(&Pipeline) -> String);
+
+const GENERATORS: [Generator; 23] = [
+    ("fig2", figures::fig2),
+    ("fig3", figures::fig3),
+    ("fig4", figures::fig4),
+    ("fig5", figures::fig5),
+    ("fig6", figures::fig6),
+    ("fig8", figures::fig8),
+    ("fig9", figures::fig9),
+    ("fig10", figures::fig10),
+    ("fig11", figures::fig11),
+    ("fig12", figures::fig12),
+    ("fig13", figures::fig13),
+    ("fig14", figures::fig14),
+    ("fig15", figures::fig15),
+    ("fig16", figures::fig16),
+    ("tab1", tables::tab1),
+    ("tab2", tables::tab2),
+    ("tab2x", tables::tab2x),
+    ("ext1", ext::ext1),
+    ("ext2", ext::ext2),
+    ("ext3", ext::ext3),
+    ("ext4", ext::ext4),
+    ("ext5", ext::ext5),
+    ("ext6", ext::ext6),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_env();
+    eprintln!("[repro] scale = {scale:?}");
+    let pipeline = Pipeline::load_or_run(42, scale);
+    eprintln!(
+        "[repro] {} files, {} measurements, {} rows",
+        pipeline.files.len(),
+        pipeline.measurements.len(),
+        pipeline.rows.len()
+    );
+    let wanted: Vec<&Generator> = if args.is_empty() {
+        GENERATORS.iter().collect()
+    } else {
+        GENERATORS
+            .iter()
+            .filter(|(id, _)| args.iter().any(|a| a == id))
+            .collect()
+    };
+    if wanted.is_empty() {
+        eprintln!(
+            "unknown experiment id(s) {args:?}; known: {:?}",
+            GENERATORS.map(|(id, _)| id)
+        );
+        std::process::exit(2);
+    }
+    let mut summary = String::new();
+    for (id, gen) in wanted {
+        let line = gen(&pipeline);
+        println!("{line}");
+        summary.push_str(&line);
+        summary.push('\n');
+        let _ = id;
+    }
+    if args.is_empty() {
+        write_result("summary.txt", &summary).expect("write summary");
+    }
+}

@@ -1,0 +1,205 @@
+//! The shared experiment pipeline behind every figure and table.
+//!
+//! Corpus → per-(file, algorithm) measurements (cached on disk — the
+//! expensive part) → context-grid expansion → Eq.-1 labelling →
+//! file-level train/test split (the paper holds out 33 of 132 files,
+//! §V: "33 files so 33·32 = 1056 rows").
+
+use dnacomp_algos::paper_algorithms;
+use dnacomp_cloud::{context_grid, ClientContext, MachineSpec, PerfModel};
+use dnacomp_core::{build_rows, measure_corpus, ExperimentRow, Measurement};
+use dnacomp_core::{label_rows, LabeledRow, WeightVector};
+use dnacomp_seq::corpus::{CorpusBuilder, FileSpec};
+
+/// Experiment scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper grid: 132 files up to 2 MB. Minutes of measurement,
+    /// cached after the first run.
+    Paper,
+    /// A reduced grid for CI and quick iterations: 24 files up to 200 kB.
+    Quick,
+}
+
+impl Scale {
+    /// Resolve from the environment (`DNACOMP_SCALE=quick|paper`),
+    /// defaulting to `Paper`.
+    pub fn from_env() -> Scale {
+        match std::env::var("DNACOMP_SCALE").as_deref() {
+            Ok("quick") | Ok("QUICK") => Scale::Quick,
+            _ => Scale::Paper,
+        }
+    }
+
+    fn corpus(&self, seed: u64) -> Vec<FileSpec> {
+        match self {
+            Scale::Paper => CorpusBuilder::paper(seed).build(),
+            Scale::Quick => CorpusBuilder::paper(seed)
+                .ncbi_files(13)
+                .include_standard(true)
+                .size_range(1_000, 200_000)
+                .build(),
+        }
+    }
+
+    fn tag(&self) -> &'static str {
+        match self {
+            Scale::Paper => "paper",
+            Scale::Quick => "quick",
+        }
+    }
+}
+
+/// Everything downstream experiments need.
+pub struct Pipeline {
+    /// Corpus file specs.
+    pub files: Vec<FileSpec>,
+    /// Per-(file, algorithm) measurements.
+    pub measurements: Vec<Measurement>,
+    /// Fully expanded experiment rows (files × 32 contexts × algos).
+    pub rows: Vec<ExperimentRow>,
+    /// The context grid.
+    pub contexts: Vec<ClientContext>,
+    /// The performance model used.
+    pub perf: PerfModel,
+    /// The cloud VM.
+    pub cloud_vm: MachineSpec,
+}
+
+impl Pipeline {
+    /// Build the pipeline, reusing the measurement cache when present.
+    pub fn load_or_run(seed: u64, scale: Scale) -> Pipeline {
+        let files = scale.corpus(seed);
+        // Key the cache on the corpus content so corpus changes cannot
+        // serve stale measurements.
+        let mut spec_hash = dnacomp_codec::checksum::Fnv1a::new();
+        for f in &files {
+            spec_hash.update(f.name.as_bytes());
+            spec_hash.update(&(f.len as u64).to_le_bytes());
+            spec_hash.update(&f.seed.to_le_bytes());
+        }
+        let cache = crate::results_dir().join(format!(
+            "cache_measurements_{}_{}_{:016x}.json",
+            scale.tag(),
+            seed,
+            spec_hash.digest()
+        ));
+        let measurements: Vec<Measurement> = match crate::load_cache(&cache) {
+            Some(m) => m,
+            None => {
+                eprintln!(
+                    "[pipeline] measuring {} files × 4 algorithms (cached at {}) …",
+                    files.len(),
+                    cache.display()
+                );
+                let m = measure_corpus(&files, &paper_algorithms())
+                    .expect("corpus measurement failed");
+                let _ = crate::store_cache(&cache, &m);
+                m
+            }
+        };
+        let contexts = context_grid();
+        let perf = PerfModel::default();
+        let cloud_vm = MachineSpec::azure_vm();
+        let rows = build_rows(&measurements, &contexts, &perf, &cloud_vm);
+        Pipeline {
+            files,
+            measurements,
+            rows,
+            contexts,
+            perf,
+            cloud_vm,
+        }
+    }
+
+    /// Label every (file, context) cell under `weights` (paper Eq. 1,
+    /// raw units).
+    pub fn labeled(&self, weights: &WeightVector) -> Vec<LabeledRow> {
+        label_rows(&self.rows, weights)
+    }
+
+    /// Label with the improved (max-normalised) Eq. 1 — the paper's
+    /// future-work variant.
+    pub fn labeled_normalized(&self, weights: &WeightVector) -> Vec<LabeledRow> {
+        dnacomp_core::label_rows_with(
+            &self.rows,
+            weights,
+            dnacomp_core::Normalization::MaxNormalized,
+        )
+    }
+
+    /// File-level 75/25 split of labelled rows: every fourth file (by
+    /// corpus order) is held out, mirroring the paper's 33-file test set.
+    pub fn split_by_file(&self, labeled: &[LabeledRow]) -> (Vec<LabeledRow>, Vec<LabeledRow>) {
+        let test_files: std::collections::HashSet<&str> = self
+            .files
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 4 == 3)
+            .map(|(_, f)| f.name.as_str())
+            .collect();
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for row in labeled {
+            if test_files.contains(row.file.as_str()) {
+                test.push(row.clone());
+            } else {
+                train.push(row.clone());
+            }
+        }
+        (train, test)
+    }
+
+    /// Test rows sorted by file size then context — the row-id axis the
+    /// validation figures use (Figure 8 plots exactly this layout).
+    pub fn order_rows(mut rows: Vec<LabeledRow>) -> Vec<LabeledRow> {
+        rows.sort_by(|a, b| {
+            a.file_bytes
+                .cmp(&b.file_bytes)
+                .then_with(|| a.file.cmp(&b.file))
+                .then_with(|| a.ram_mb.cmp(&b.ram_mb))
+                .then_with(|| a.cpu_mhz.cmp(&b.cpu_mhz))
+                .then_with(|| a.bandwidth_mbps.total_cmp(&b.bandwidth_mbps))
+        });
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_pipeline() -> Pipeline {
+        // Use a private results dir to avoid clobbering user results.
+        std::env::set_var("DNACOMP_RESULTS", "/tmp/dnacomp-bench-test-results");
+        Pipeline::load_or_run(7, Scale::Quick)
+    }
+
+    #[test]
+    fn pipeline_shapes() {
+        let p = quick_pipeline();
+        assert_eq!(p.files.len(), 24);
+        assert_eq!(p.measurements.len(), 24 * 4);
+        assert_eq!(p.rows.len(), 24 * 4 * 32);
+        let labeled = p.labeled(&WeightVector::time_only());
+        assert_eq!(labeled.len(), 24 * 32);
+        let (train, test) = p.split_by_file(&labeled);
+        assert_eq!(test.len(), 6 * 32);
+        assert_eq!(train.len(), 18 * 32);
+    }
+
+    #[test]
+    fn cache_roundtrip() {
+        let p1 = quick_pipeline();
+        let p2 = quick_pipeline(); // second load hits the cache
+        assert_eq!(p1.measurements, p2.measurements);
+    }
+
+    #[test]
+    fn ordering_is_by_size() {
+        let p = quick_pipeline();
+        let labeled = p.labeled(&WeightVector::time_only());
+        let ordered = Pipeline::order_rows(labeled);
+        assert!(ordered.windows(2).all(|w| w[0].file_bytes <= w[1].file_bytes));
+    }
+}

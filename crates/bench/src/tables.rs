@@ -1,0 +1,159 @@
+//! Generators for the paper's tables.
+
+use crate::pipeline::Pipeline;
+use crate::{to_csv, write_result};
+use dnacomp_algos::Algorithm;
+use dnacomp_core::WeightVector;
+use dnacomp_ml::TreeMethod;
+
+/// Table 1 — algorithm survey: methodology/encoding per Table 1 of the
+/// paper, plus *measured* mean bits/base of our ports over the corpus.
+pub fn tab1(p: &Pipeline) -> String {
+    // (name, methodology, repeat encoding, non-repeat encoding)
+    let survey: [(Algorithm, &str, &str, &str); 4] = [
+        (
+            Algorithm::Ctw,
+            "context tree weighting over bit-decomposed bases",
+            "n/a (statistical)",
+            "arithmetic coding of the CTW mixture",
+        ),
+        (
+            Algorithm::Dnax,
+            "exact repeats and reverse complement",
+            "gamma-coded (kind, length, distance) pointers",
+            "order-2 arithmetic coding",
+        ),
+        (
+            Algorithm::GenCompress,
+            "approximate repeats via edit (Hamming) operations",
+            "pointer + substitution list",
+            "order-2 arithmetic coding",
+        ),
+        (
+            Algorithm::Gzip,
+            "LZ77 window matching on the ASCII file",
+            "Huffman-coded length/distance pairs",
+            "Huffman-coded literals",
+        ),
+    ];
+    let mut csv_rows = Vec::new();
+    let mut txt = String::from("## Table 1 — algorithms, encodings, measured ratio\n");
+    for (alg, method, rep, nonrep) in survey {
+        let bpb = {
+            let mut sum = 0.0;
+            let mut n = 0;
+            for m in p.measurements.iter().filter(|m| m.algorithm == alg) {
+                if m.original_len > 0 {
+                    sum += m.blob_bytes as f64 * 8.0 / m.original_len as f64;
+                    n += 1;
+                }
+            }
+            if n == 0 {
+                0.0
+            } else {
+                sum / n as f64
+            }
+        };
+        txt.push_str(&format!(
+            "{:<12} | {method}\n{:<12} |   repeats: {rep}\n{:<12} |   non-repeats: {nonrep}\n{:<12} |   measured: {bpb:.3} bits/base\n",
+            alg.name(), "", "", ""
+        ));
+        csv_rows.push(vec![
+            alg.name().to_owned(),
+            method.to_owned(),
+            rep.to_owned(),
+            nonrep.to_owned(),
+            format!("{bpb:.4}"),
+        ]);
+    }
+    write_result(
+        "tab1.csv",
+        &to_csv(
+            &["algorithm", "methodology", "repeat_encoding", "nonrepeat_encoding", "bits_per_base"],
+            &csv_rows,
+        ),
+    )
+    .expect("write csv");
+    write_result("tab1.txt", &txt).expect("write txt");
+    "tab1: algorithm survey with measured bits/base written".to_owned()
+}
+
+/// The weight combinations of Table 2, in its row order.
+pub fn tab2_configs() -> Vec<(&'static str, WeightVector)> {
+    vec![
+        ("RAM 100", WeightVector::ram_only()),
+        ("TIME 100", WeightVector::time_only()),
+        ("CompressionTime 100", WeightVector::compress_time_only()),
+        ("RAM:TIME 60:40", WeightVector::ram_time(60.0, 40.0)),
+        ("RAM:TIME 40:60", WeightVector::ram_time(40.0, 60.0)),
+        ("RAM:TIME 70:30", WeightVector::ram_time(70.0, 30.0)),
+        ("RAM:TIME 30:70", WeightVector::ram_time(30.0, 70.0)),
+        ("RAM:TIME 80:20", WeightVector::ram_time(80.0, 20.0)),
+        ("RAM:TIME 20:80", WeightVector::ram_time(20.0, 80.0)),
+        ("RAM:TIME 90:10", WeightVector::ram_time(90.0, 10.0)),
+        ("RAM:TIME 10:90", WeightVector::ram_time(10.0, 90.0)),
+        ("RAM:CT 50:50", WeightVector::ram_compress(50.0, 50.0)),
+        (
+            "RAM:CT:UP 33:33:33",
+            WeightVector::ram_compress_upload(33.0, 33.0, 33.0),
+        ),
+        (
+            "RAM:CT:UP 20:40:40",
+            WeightVector::ram_compress_upload(20.0, 40.0, 40.0),
+        ),
+        (
+            "RAM:CT:UP 40:40:20",
+            WeightVector::ram_compress_upload(40.0, 40.0, 20.0),
+        ),
+        (
+            "RAM:CT:UP 40:50:10",
+            WeightVector::ram_compress_upload(40.0, 50.0, 10.0),
+        ),
+    ]
+}
+
+/// Table 2 — accuracy of the generated rules for every weight
+/// combination × method, under the paper's literal Eq. 1.
+pub fn tab2(p: &Pipeline) -> String {
+    tab2_impl(p, "tab2", false)
+}
+
+/// Extension: Table 2 re-run with the improved (max-normalised) Eq. 1 —
+/// the paper's stated future work ("improve the Eq. 1", §VI).
+pub fn tab2x(p: &Pipeline) -> String {
+    tab2_impl(p, "tab2x", true)
+}
+
+fn tab2_impl(p: &Pipeline, id: &str, normalized: bool) -> String {
+    let variant = if normalized {
+        "improved (max-normalised) Eq. 1"
+    } else {
+        "paper Eq. 1 (raw units)"
+    };
+    let mut csv_rows = Vec::new();
+    let mut txt = format!("## Table 2 — accuracy of generated rules — {variant}\n");
+    txt.push_str(&format!("{:<24} {:>8} {:>8}\n", "weights", "CART", "CHAID"));
+    for (name, weights) in tab2_configs() {
+        let cart = crate::figures::validate_with(p, TreeMethod::Cart, &weights, normalized)
+            .accuracy;
+        let chaid =
+            crate::figures::validate_with(p, TreeMethod::Chaid, &weights, normalized).accuracy;
+        txt.push_str(&format!(
+            "{name:<24} {:>8.2} {:>8.2}\n",
+            cart * 100.0,
+            chaid * 100.0
+        ));
+        csv_rows.push(vec![
+            name.to_owned(),
+            format!("{:.2}", cart * 100.0),
+            format!("{:.2}", chaid * 100.0),
+        ]);
+    }
+    write_result(
+        &format!("{id}.csv"),
+        &to_csv(&["weights", "cart_accuracy_pct", "chaid_accuracy_pct"], &csv_rows),
+    )
+    .expect("write csv");
+    write_result(&format!("{id}.txt"), &txt).expect("write txt");
+    format!("{id}: accuracy sweep written ({variant})")
+}

@@ -1,0 +1,335 @@
+//! ACE-style adaptive on-the-fly compression (extension; paper §III).
+//!
+//! The paper's related work describes Krintz & Sucu's **Adaptive
+//! Compression Environment**: it "automatically and transparently applies
+//! compression on stream … to improve transfer performance", using
+//! light-weight **network sensors** (the Network Weather Service) to
+//! forecast whether compressing the next block will pay off, and falling
+//! back to CPU-load/bandwidth heuristics when no recent compression
+//! samples exist. This module implements that control loop on top of our
+//! simulator:
+//!
+//! * [`Forecaster`] — an NWS-like exponentially-weighted moving average
+//!   over recent observations;
+//! * [`Ace`] — per-chunk decide → act → observe: it forecasts the raw
+//!   path (wire time only) against the compressed path (compression
+//!   time plus smaller wire time) and picks the cheaper, updating its
+//!   forecasts with what actually happened.
+//!
+//! The paper's framework makes one decision per file from trained rules;
+//! ACE is the streaming alternative that learns *online* — a useful
+//! comparison point the `ace` integration tests exercise.
+
+use crate::machine::ClientContext;
+use crate::perf::PerfModel;
+use dnacomp_algos::Compressor;
+use dnacomp_codec::CodecError;
+use dnacomp_seq::PackedSeq;
+
+/// NWS-style EWMA forecaster.
+#[derive(Clone, Copy, Debug)]
+pub struct Forecaster {
+    value: Option<f64>,
+    alpha: f64,
+}
+
+impl Forecaster {
+    /// Forecaster with smoothing factor `alpha` ∈ (0, 1]; higher = more
+    /// reactive.
+    pub fn new(alpha: f64) -> Forecaster {
+        assert!(alpha > 0.0 && alpha <= 1.0);
+        Forecaster { value: None, alpha }
+    }
+
+    /// Current forecast, if any observation has been made.
+    pub fn forecast(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Absorb an observation.
+    pub fn observe(&mut self, x: f64) {
+        self.value = Some(match self.value {
+            None => x,
+            Some(v) => v + self.alpha * (x - v),
+        });
+    }
+}
+
+/// Per-chunk decision record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChunkDecision {
+    /// Chunk shipped raw.
+    Raw,
+    /// Chunk compressed before shipping.
+    Compressed,
+}
+
+/// Outcome of streaming one sequence through ACE.
+#[derive(Clone, Debug)]
+pub struct AceReport {
+    /// Decision per chunk, in order.
+    pub decisions: Vec<ChunkDecision>,
+    /// Total simulated transfer time (ms) with ACE's choices.
+    pub total_ms: f64,
+    /// What shipping everything raw would have cost (ms).
+    pub all_raw_ms: f64,
+    /// What compressing everything would have cost (ms).
+    pub all_compressed_ms: f64,
+    /// Bytes on the wire under ACE's choices.
+    pub wire_bytes: usize,
+}
+
+impl AceReport {
+    /// Fraction of chunks ACE chose to compress.
+    pub fn compressed_fraction(&self) -> f64 {
+        if self.decisions.is_empty() {
+            return 0.0;
+        }
+        self.decisions
+            .iter()
+            .filter(|&&d| d == ChunkDecision::Compressed)
+            .count() as f64
+            / self.decisions.len() as f64
+    }
+}
+
+/// The adaptive compression environment.
+pub struct Ace {
+    /// Chunk size in bases.
+    pub chunk: usize,
+    /// Bandwidth forecaster (bytes/ms actually achieved on the wire).
+    pub bw: Forecaster,
+    /// Compression throughput forecaster (bases/ms).
+    pub comp_rate: Forecaster,
+    /// Compression ratio forecaster (compressed bytes / base).
+    pub ratio: Forecaster,
+}
+
+impl Default for Ace {
+    fn default() -> Self {
+        Ace::new(16 * 1024)
+    }
+}
+
+impl Ace {
+    /// ACE with the given chunk size (bases) and NWS-default smoothing.
+    pub fn new(chunk: usize) -> Ace {
+        assert!(chunk > 0);
+        Ace {
+            chunk,
+            bw: Forecaster::new(0.4),
+            comp_rate: Forecaster::new(0.4),
+            ratio: Forecaster::new(0.4),
+        }
+    }
+
+    /// Should the next chunk of `n` bases be compressed, under current
+    /// forecasts? With no compression samples yet, ACE probes by
+    /// compressing (the paper's ACE falls back to CPU-load/bandwidth
+    /// estimates; probing gathers the sample immediately).
+    pub fn decide(&self, n: usize) -> ChunkDecision {
+        let (Some(bw), Some(rate), Some(ratio)) = (
+            self.bw.forecast(),
+            self.comp_rate.forecast(),
+            self.ratio.forecast(),
+        ) else {
+            return ChunkDecision::Compressed;
+        };
+        let raw_ms = n as f64 / bw;
+        let comp_ms = n as f64 / rate + (n as f64 * ratio) / bw;
+        if comp_ms < raw_ms {
+            ChunkDecision::Compressed
+        } else {
+            ChunkDecision::Raw
+        }
+    }
+
+    /// Stream `seq` under `ctx`, deciding per chunk. `compressor` is the
+    /// codec ACE wraps (the original used bzip/LZO/zlib; any
+    /// [`Compressor`] works here).
+    pub fn ship_stream(
+        &mut self,
+        perf: &PerfModel,
+        ctx: &ClientContext,
+        compressor: &dyn Compressor,
+        file: &str,
+        seq: &PackedSeq,
+    ) -> Result<AceReport, CodecError> {
+        let mut decisions = Vec::new();
+        let mut total_ms = 0.0;
+        let mut all_raw_ms = 0.0;
+        let mut all_compressed_ms = 0.0;
+        let mut wire_bytes = 0usize;
+        let alg = compressor.algorithm();
+        let mut start = 0usize;
+        let mut chunk_id = 0usize;
+        while start < seq.len() {
+            let end = (start + self.chunk).min(seq.len());
+            let chunk = seq.slice(start, end);
+            let n = chunk.len();
+            let tag = format!("{file}#{chunk_id}");
+            // Price both paths with the simulator (ACE's sensors observe
+            // the real outcomes; we observe the simulated ones).
+            let raw_wire = n as f64 / ctx.bandwidth.bytes_per_ms();
+            let (blob, stats) = compressor.compress_with_stats(&chunk)?;
+            // Resident pricing: the streaming process pays its startup
+            // once, not per chunk.
+            let comp_ms = perf.compress_resident_ms(ctx, alg, &tag, &stats);
+            let comp_wire = blob.total_bytes() as f64 / ctx.bandwidth.bytes_per_ms();
+            let comp_total = comp_ms + comp_wire;
+            all_raw_ms += raw_wire;
+            all_compressed_ms += comp_total;
+            let decision = self.decide(n);
+            match decision {
+                ChunkDecision::Raw => {
+                    total_ms += raw_wire;
+                    wire_bytes += n;
+                }
+                ChunkDecision::Compressed => {
+                    total_ms += comp_total;
+                    wire_bytes += blob.total_bytes();
+                    // Sensors only see compression outcomes when it runs.
+                    self.comp_rate
+                        .observe(n as f64 / (comp_ms / 1.0).max(1e-9));
+                    self.ratio.observe(blob.total_bytes() as f64 / n as f64);
+                }
+            }
+            // Bandwidth is observed either way.
+            self.bw.observe(ctx.bandwidth.bytes_per_ms());
+            decisions.push(decision);
+            start = end;
+            chunk_id += 1;
+        }
+        Ok(AceReport {
+            decisions,
+            total_ms,
+            all_raw_ms,
+            all_compressed_ms,
+            wire_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::ClientContext;
+    use dnacomp_algos::Dnax;
+    use dnacomp_seq::gen::GenomeModel;
+
+    fn quiet_perf() -> PerfModel {
+        PerfModel {
+            time_jitter: 0.0,
+            ..PerfModel::default()
+        }
+    }
+
+    #[test]
+    fn forecaster_converges() {
+        let mut f = Forecaster::new(0.5);
+        assert!(f.forecast().is_none());
+        for _ in 0..20 {
+            f.observe(10.0);
+        }
+        assert!((f.forecast().unwrap() - 10.0).abs() < 1e-9);
+        // Step change: converges toward the new level.
+        for _ in 0..20 {
+            f.observe(2.0);
+        }
+        assert!((f.forecast().unwrap() - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_alpha_rejected() {
+        let _ = Forecaster::new(0.0);
+    }
+
+    #[test]
+    fn slow_link_converges_to_compressing() {
+        // DNAX achieves ~1 bit/base; on a 0.5 Mbit/s uplink the wire
+        // saving dwarfs the compression cost.
+        let mut ace = Ace::new(8_192);
+        let ctx = ClientContext::new(4096, 2800, 0.5);
+        let seq = GenomeModel::default().generate(160_000, 3);
+        let report = ace
+            .ship_stream(&quiet_perf(), &ctx, &Dnax::default(), "f", &seq)
+            .unwrap();
+        assert!(
+            report.compressed_fraction() > 0.8,
+            "compressed fraction {}",
+            report.compressed_fraction()
+        );
+        assert!(report.total_ms <= report.all_raw_ms * 1.05);
+    }
+
+    #[test]
+    fn fast_link_converges_to_raw() {
+        // A (hypothetical) 500 Mbit/s uplink: compression cost cannot be
+        // recovered; ACE probes once, then ships raw.
+        let mut ace = Ace::new(8_192);
+        let ctx = ClientContext::new(4096, 2000, 500.0);
+        let seq = GenomeModel::default().generate(160_000, 3);
+        let report = ace
+            .ship_stream(&quiet_perf(), &ctx, &Dnax::default(), "f", &seq)
+            .unwrap();
+        assert!(
+            report.compressed_fraction() < 0.2,
+            "compressed fraction {}",
+            report.compressed_fraction()
+        );
+        // ACE is never much worse than the best static policy — up to
+        // the cost of its initial probe chunks.
+        let best = report.all_raw_ms.min(report.all_compressed_ms);
+        assert!(
+            report.total_ms <= best + 50.0,
+            "{} vs {}",
+            report.total_ms,
+            best
+        );
+    }
+
+    #[test]
+    fn adapts_to_bandwidth_change_mid_stream() {
+        // First phase on a fast link (raw wins), second phase slow
+        // (compression wins): the decision mix must flip once the EWMA
+        // sensors catch up with the new bandwidth.
+        let perf = quiet_perf();
+        let seq = GenomeModel::default().generate(300_000, 5);
+        let mut ace = Ace::new(4_096);
+        let fast = ClientContext::new(4096, 2800, 500.0);
+        let first = ace
+            .ship_stream(&perf, &fast, &Dnax::default(), "a", &seq.slice(0, 100_000))
+            .unwrap();
+        let slow = ClientContext::new(4096, 2800, 0.5);
+        let second = ace
+            .ship_stream(&perf, &slow, &Dnax::default(), "b", &seq.slice(100_000, 300_000))
+            .unwrap();
+        assert!(first.compressed_fraction() < 0.3, "{}", first.compressed_fraction());
+        assert!(second.compressed_fraction() > 0.5, "{}", second.compressed_fraction());
+    }
+
+    #[test]
+    fn empty_stream() {
+        let mut ace = Ace::default();
+        let ctx = ClientContext::new(2048, 2000, 2.0);
+        let report = ace
+            .ship_stream(&quiet_perf(), &ctx, &Dnax::default(), "f", &PackedSeq::new())
+            .unwrap();
+        assert!(report.decisions.is_empty());
+        assert_eq!(report.total_ms, 0.0);
+        assert_eq!(report.compressed_fraction(), 0.0);
+    }
+
+    #[test]
+    fn wire_bytes_reflect_decisions() {
+        let mut ace = Ace::new(4_096);
+        let ctx = ClientContext::new(4096, 2800, 0.5);
+        let seq = GenomeModel::highly_repetitive().generate(60_000, 9);
+        let report = ace
+            .ship_stream(&quiet_perf(), &ctx, &Dnax::default(), "f", &seq)
+            .unwrap();
+        // Mostly compressed → wire bytes far below raw size.
+        assert!(report.wire_bytes < seq.len() / 2, "{}", report.wire_bytes);
+    }
+}

@@ -1,0 +1,156 @@
+//! The simulated storage account.
+//!
+//! §IV-A: *"a storage account (SAAS) was used to store the uploaded files
+//! in the form of Blobs (Binary large object). A container is created and
+//! these files are uploaded as BLOBs."* Uploading requires "the file to
+//! be converted into a continuous stream and then uploaded as BLOB"
+//! (§VI) — the CPU-bound step the perf model charges for.
+
+use bytes::Bytes;
+use std::collections::HashMap;
+
+/// Azure block blobs are staged in chunks; 4 MiB is the classic block
+/// size for the 2014-era SDKs.
+pub const BLOCK_BYTES: usize = 4 << 20;
+
+/// Handle to a stored blob.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct BlobHandle {
+    /// Container name.
+    pub container: String,
+    /// Blob name within the container.
+    pub name: String,
+}
+
+/// An in-memory storage account: containers of named blobs.
+#[derive(Clone, Debug, Default)]
+pub struct BlobStore {
+    containers: HashMap<String, HashMap<String, Bytes>>,
+}
+
+impl BlobStore {
+    /// Fresh empty account.
+    pub fn new() -> Self {
+        BlobStore::default()
+    }
+
+    /// Create a container (idempotent).
+    pub fn create_container(&mut self, name: &str) {
+        self.containers.entry(name.to_owned()).or_default();
+    }
+
+    /// `true` if the container exists.
+    pub fn has_container(&self, name: &str) -> bool {
+        self.containers.contains_key(name)
+    }
+
+    /// Upload `data` as a block blob. The container is created on demand
+    /// (as the Azure SDK's `CreateIfNotExists` pattern does). Returns the
+    /// handle and the number of blocks staged.
+    pub fn upload(&mut self, container: &str, name: &str, data: &[u8]) -> (BlobHandle, usize) {
+        let blocks = data.len().div_ceil(BLOCK_BYTES).max(1);
+        self.containers
+            .entry(container.to_owned())
+            .or_default()
+            .insert(name.to_owned(), Bytes::copy_from_slice(data));
+        (
+            BlobHandle {
+                container: container.to_owned(),
+                name: name.to_owned(),
+            },
+            blocks,
+        )
+    }
+
+    /// Download a blob (zero-copy clone of the stored bytes).
+    pub fn download(&self, handle: &BlobHandle) -> Option<Bytes> {
+        self.containers
+            .get(&handle.container)?
+            .get(&handle.name)
+            .cloned()
+    }
+
+    /// Delete a blob; returns whether it existed.
+    pub fn delete(&mut self, handle: &BlobHandle) -> bool {
+        self.containers
+            .get_mut(&handle.container)
+            .map(|c| c.remove(&handle.name).is_some())
+            .unwrap_or(false)
+    }
+
+    /// Blobs stored in `container`.
+    pub fn list(&self, container: &str) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .containers
+            .get(container)
+            .map(|c| c.keys().cloned().collect())
+            .unwrap_or_default();
+        names.sort_unstable();
+        names
+    }
+
+    /// Total bytes held by the account (the storage-cost metric).
+    pub fn stored_bytes(&self) -> u64 {
+        self.containers
+            .values()
+            .flat_map(|c| c.values())
+            .map(|b| b.len() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upload_download_roundtrip() {
+        let mut store = BlobStore::new();
+        let (h, blocks) = store.upload("genomes", "chmpxx.dx", b"payload");
+        assert_eq!(blocks, 1);
+        assert_eq!(store.download(&h).unwrap().as_ref(), b"payload");
+        assert!(store.has_container("genomes"));
+    }
+
+    #[test]
+    fn block_counting() {
+        let mut store = BlobStore::new();
+        let big = vec![0u8; BLOCK_BYTES * 2 + 1];
+        let (_, blocks) = store.upload("c", "big", &big);
+        assert_eq!(blocks, 3);
+        let (_, blocks) = store.upload("c", "empty", b"");
+        assert_eq!(blocks, 1);
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let mut store = BlobStore::new();
+        let (h, _) = store.upload("c", "x", b"one");
+        store.upload("c", "x", b"two");
+        assert_eq!(store.download(&h).unwrap().as_ref(), b"two");
+        assert_eq!(store.stored_bytes(), 3);
+    }
+
+    #[test]
+    fn delete_and_list() {
+        let mut store = BlobStore::new();
+        let (h1, _) = store.upload("c", "b", b"1");
+        store.upload("c", "a", b"22");
+        assert_eq!(store.list("c"), vec!["a".to_owned(), "b".to_owned()]);
+        assert!(store.delete(&h1));
+        assert!(!store.delete(&h1));
+        assert_eq!(store.list("c"), vec!["a".to_owned()]);
+        assert_eq!(store.stored_bytes(), 2);
+        assert!(store.list("missing").is_empty());
+    }
+
+    #[test]
+    fn missing_blob_is_none() {
+        let store = BlobStore::new();
+        let h = BlobHandle {
+            container: "c".into(),
+            name: "x".into(),
+        };
+        assert!(store.download(&h).is_none());
+    }
+}

@@ -1,0 +1,68 @@
+//! The experimental context grid.
+//!
+//! §V: the test set is "33 files so 33·32 (with different context) = 1056
+//! rows" — every file is exchanged under **32 client contexts**. We build
+//! the grid as 4 RAM levels × 4 CPU speeds × 2 bandwidths = 32. The CPU
+//! level 2393 MHz reproduces the split point CHAID found ("CPU speed less
+//! than or equal to 2393", §V-A), and the RAM levels straddle the paper's
+//! "RAM is less than 2 GB" rule.
+
+use crate::machine::{ClientContext, MachineSpec};
+
+/// RAM levels (MB) simulated in the VMware guests.
+pub const RAM_LEVELS_MB: [u32; 4] = [1024, 2048, 3072, 4096];
+/// CPU levels (MHz) simulated in the VMware guests.
+pub const CPU_LEVELS_MHZ: [u32; 4] = [1600, 2000, 2393, 2800];
+/// Uplink bandwidths (Mbit/s) — 2014-era asymmetric uplinks, slow enough
+/// that upload time is a first-class cost (the paper reports multi-second
+/// upload gaps between algorithms).
+pub const BANDWIDTH_LEVELS_MBPS: [f64; 2] = [0.5, 2.0];
+
+/// The full 32-context grid, in deterministic order.
+pub fn context_grid() -> Vec<ClientContext> {
+    let mut out = Vec::with_capacity(32);
+    for &ram in &RAM_LEVELS_MB {
+        for &cpu in &CPU_LEVELS_MHZ {
+            for &bw in &BANDWIDTH_LEVELS_MBPS {
+                out.push(ClientContext::new(ram, cpu, bw));
+            }
+        }
+    }
+    out
+}
+
+/// The three machines of §IV-A (two client hosts + the cloud VM).
+pub fn paper_machines() -> (MachineSpec, MachineSpec, MachineSpec) {
+    (
+        MachineSpec::i5(),
+        MachineSpec::core2duo(),
+        MachineSpec::azure_vm(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn grid_has_32_distinct_contexts() {
+        let grid = context_grid();
+        assert_eq!(grid.len(), 32);
+        let keys: HashSet<String> = grid.iter().map(|c| c.key()).collect();
+        assert_eq!(keys.len(), 32);
+    }
+
+    #[test]
+    fn grid_covers_the_paper_split_points() {
+        let grid = context_grid();
+        assert!(grid.iter().any(|c| c.cpu_mhz == 2393));
+        assert!(grid.iter().any(|c| c.ram_mb < 2048));
+        assert!(grid.iter().any(|c| c.ram_mb >= 2048));
+    }
+
+    #[test]
+    fn grid_order_is_deterministic() {
+        assert_eq!(context_grid(), context_grid());
+    }
+}

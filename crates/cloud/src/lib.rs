@@ -1,0 +1,41 @@
+//! # dnacomp-cloud — deterministic cloud-exchange simulator
+//!
+//! The paper's testbed (§IV-A) is physical: an i5/6 GB and a Core 2
+//! Duo/3 GB running VMware-simulated contexts, exchanging blobs with a
+//! Windows Azure storage account, plus an Azure VM doing the download and
+//! decompression. That hardware is not available offline, so this crate
+//! models it:
+//!
+//! * [`MachineSpec`] / [`ClientContext`] — the machines and the VMware
+//!   context grid (RAM × CPU × bandwidth);
+//! * [`BlobStore`] — the storage account (container of BLOBs, chunked
+//!   stream upload);
+//! * [`PerfModel`] — converts the compressors' deterministic work/RAM
+//!   statistics into milliseconds under a context, including the paper's
+//!   two key couplings: upload cost depends on CPU and RAM (stream/BLOB
+//!   conversion), and observed RAM usage is perturbed by background CPU
+//!   load ("when CPU usage is greater than 30 % the RAM usage got
+//!   double", §V-E) — the very noise that makes RAM-based rules learn
+//!   poorly in Table 2;
+//! * [`CloudSim`] — the end-to-end exchange: compress → upload → download
+//!   → decompress, producing an [`ExchangeReport`].
+//!
+//! Everything is seeded; the same (context, algorithm, file) always
+//! yields the same report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ace;
+pub mod blobstore;
+pub mod grid;
+pub mod machine;
+pub mod perf;
+pub mod sim;
+
+pub use ace::{Ace, AceReport, ChunkDecision, Forecaster};
+pub use blobstore::{BlobHandle, BlobStore};
+pub use grid::{context_grid, paper_machines};
+pub use machine::{BandwidthMbps, ClientContext, MachineSpec};
+pub use perf::PerfModel;
+pub use sim::{CloudSim, ExchangeReport};

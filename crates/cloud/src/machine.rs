@@ -1,0 +1,120 @@
+//! Machine and context specifications.
+
+use serde::{Deserialize, Serialize};
+
+/// Network bandwidth in megabits per second.
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct BandwidthMbps(pub f64);
+
+impl BandwidthMbps {
+    /// Bytes per millisecond at this bandwidth.
+    pub fn bytes_per_ms(self) -> f64 {
+        // Mbit/s → bytes/ms: ×1e6 / 8 / 1e3.
+        self.0 * 125.0
+    }
+}
+
+/// A physical or virtual machine.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Installed RAM in megabytes.
+    pub ram_mb: u32,
+    /// CPU clock in MHz.
+    pub cpu_mhz: u32,
+    /// Core count (the paper's single-threaded binaries use one).
+    pub cores: u32,
+}
+
+impl MachineSpec {
+    /// Convenience constructor.
+    pub fn new(name: &str, ram_mb: u32, cpu_mhz: u32, cores: u32) -> Self {
+        MachineSpec {
+            name: name.to_owned(),
+            ram_mb,
+            cpu_mhz,
+            cores,
+        }
+    }
+
+    /// The paper's i5 host: 6 GB RAM, 2.4 GHz.
+    pub fn i5() -> Self {
+        MachineSpec::new("i5-6GB-2.4GHz", 6 * 1024, 2400, 4)
+    }
+
+    /// The paper's Core 2 Duo host: 3 GB RAM, 2.0 GHz.
+    pub fn core2duo() -> Self {
+        MachineSpec::new("core2duo-3GB-2.0GHz", 3 * 1024, 2000, 2)
+    }
+
+    /// The paper's Azure VM: 3.5 GB RAM, 2.1 GHz AMD.
+    pub fn azure_vm() -> Self {
+        MachineSpec::new("azure-3.5GB-2.1GHz-AMD", 3584, 2100, 1)
+    }
+}
+
+/// A client-side context: the independent variables of the experiments
+/// (§IV-A: "The parameters for context such as RAM and Bandwidth were
+/// simulated on these machines").
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClientContext {
+    /// RAM available to the VM, megabytes.
+    pub ram_mb: u32,
+    /// CPU clock of the VM, MHz.
+    pub cpu_mhz: u32,
+    /// Uplink bandwidth to the storage account.
+    pub bandwidth: BandwidthMbps,
+}
+
+impl ClientContext {
+    /// Convenience constructor.
+    pub fn new(ram_mb: u32, cpu_mhz: u32, bandwidth_mbps: f64) -> Self {
+        ClientContext {
+            ram_mb,
+            cpu_mhz,
+            bandwidth: BandwidthMbps(bandwidth_mbps),
+        }
+    }
+
+    /// Stable identifier used for seeding jitter and labelling rows.
+    pub fn key(&self) -> String {
+        format!(
+            "ram{}-cpu{}-bw{}",
+            self.ram_mb, self.cpu_mhz, self.bandwidth.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_conversion() {
+        // 8 Mbit/s = 1 MB/s = 1000 bytes/ms.
+        assert!((BandwidthMbps(8.0).bytes_per_ms() - 1000.0).abs() < 1e-9);
+        assert!((BandwidthMbps(2.0).bytes_per_ms() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_machines_match_the_text() {
+        let i5 = MachineSpec::i5();
+        assert_eq!(i5.ram_mb, 6144);
+        assert_eq!(i5.cpu_mhz, 2400);
+        let c2d = MachineSpec::core2duo();
+        assert_eq!(c2d.ram_mb, 3072);
+        assert_eq!(c2d.cpu_mhz, 2000);
+        let az = MachineSpec::azure_vm();
+        assert_eq!(az.ram_mb, 3584);
+        assert_eq!(az.cpu_mhz, 2100);
+    }
+
+    #[test]
+    fn context_key_is_stable_and_distinct() {
+        let a = ClientContext::new(2048, 2393, 2.0);
+        let b = ClientContext::new(2048, 2393, 10.0);
+        assert_eq!(a.key(), ClientContext::new(2048, 2393, 2.0).key());
+        assert_ne!(a.key(), b.key());
+    }
+}

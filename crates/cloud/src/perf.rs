@@ -1,0 +1,485 @@
+//! The performance model: deterministic work/RAM statistics → time.
+//!
+//! Compressors report abstract work units and peak heap
+//! (`dnacomp_algos::ResourceStats`). This model converts them into
+//! milliseconds under a [`ClientContext`], calibrated so the *shape* of
+//! the paper's measurements is reproduced:
+//!
+//! * **Per-algorithm fixed startup cost.** The paper observes "the file
+//!   with a small size can take more time than a larger file. This
+//!   anomaly varies with algorithm to algorithm" (§I) — the constant
+//!   table/index initialisation of the 2015-era binaries. This fixed
+//!   cost is what makes CTW/GenCompress beat DNAX below ≈50 kB and
+//!   produces the crossovers CART learns (Figures 9–12).
+//! * **CPU & RAM affect upload.** "Uploading data at cloud was not only
+//!   dependent on bandwidth but the processor speed and RAM also
+//!   mattered" (§IV-A): the file must be "converted into a continuous
+//!   stream and then uploaded as BLOB" (§VI). Upload = request latency +
+//!   wire time + CPU-bound stream conversion, the latter scaled by RAM
+//!   pressure.
+//! * **Observed RAM is noisy.** "When CPU usage is greater than 30 % the
+//!   RAM usage got double" (§V-E) and background processes are "not
+//!   deterministic" (§VI). Observed RAM multiplies the true peak heap by
+//!   a seeded background-load factor — precisely why the paper's
+//!   RAM-trained rules only reach ≈33–36 % accuracy (Table 2).
+//!
+//! All randomness is a pure hash of (seed, context, algorithm, file,
+//! metric): the same experiment always yields the same numbers.
+
+use crate::machine::{ClientContext, MachineSpec};
+use dnacomp_algos::{Algorithm, ResourceStats};
+
+/// Reference CPU the calibration constants are expressed against (the
+/// i5 host's 2.4 GHz).
+pub const REF_CPU_MHZ: f64 = 2400.0;
+
+/// Per-algorithm calibration: fixed startup plus a scale factor applied
+/// to the measured work units.
+#[derive(Clone, Copy, Debug)]
+struct Calibration {
+    /// Fixed compress-side startup in ms at the reference CPU.
+    comp_init_ms: f64,
+    /// Work-unit scale for compression.
+    comp_scale: f64,
+    /// Fixed decompress-side startup in ms at the reference CPU.
+    dec_init_ms: f64,
+    /// Work-unit scale for decompression.
+    dec_scale: f64,
+}
+
+/// Calibration table. Scales map each algorithm's observed work/base to
+/// the per-base timings that reproduce the paper's orderings (DNAX
+/// fastest compress & decompress; GenCompress slowest compress; CTW
+/// slowest decompress; Gzip worst overall).
+fn calibration(alg: Algorithm) -> Calibration {
+    match alg {
+        Algorithm::Dnax => Calibration {
+            comp_init_ms: 1400.0,
+            comp_scale: 0.48,
+            dec_init_ms: 50.0,
+            dec_scale: 0.48,
+        },
+        Algorithm::Ctw => Calibration {
+            comp_init_ms: 150.0,
+            comp_scale: 1.0,
+            dec_init_ms: 150.0,
+            dec_scale: 1.0,
+        },
+        Algorithm::GenCompress => Calibration {
+            // High scale: the 1999 GenCompress binary re-searches the
+            // whole processed prefix per position; our hash-chain port
+            // amortises that away, so the scale restores the observed
+            // "compression time for Gencompress is bad" behaviour.
+            comp_init_ms: 40.0,
+            comp_scale: 6.7,
+            dec_init_ms: 40.0,
+            dec_scale: 1.6,
+        },
+        Algorithm::Gzip => Calibration {
+            // Slowest per-base overall (abstract: "worst compression
+            // ratio and time") — the paper's gzip timings include the
+            // full process + file I/O on the Windows guests.
+            comp_init_ms: 130.0,
+            comp_scale: 11.3,
+            dec_init_ms: 30.0,
+            dec_scale: 2.0,
+        },
+        Algorithm::BioCompress2 => Calibration {
+            comp_init_ms: 500.0,
+            comp_scale: 0.9,
+            dec_init_ms: 60.0,
+            dec_scale: 0.9,
+        },
+        Algorithm::DnaPackLite => Calibration {
+            comp_init_ms: 100.0,
+            comp_scale: 3.4,
+            dec_init_ms: 40.0,
+            dec_scale: 1.0,
+        },
+        Algorithm::Cfact => Calibration {
+            comp_init_ms: 200.0,
+            comp_scale: 1.2,
+            dec_init_ms: 40.0,
+            dec_scale: 0.6,
+        },
+        Algorithm::XmLite => Calibration {
+            // "Require more computation … usable for small sequences
+            // only" (§III-A).
+            comp_init_ms: 80.0,
+            comp_scale: 2.2,
+            dec_init_ms: 80.0,
+            dec_scale: 2.2,
+        },
+        Algorithm::Reference => Calibration {
+            // Index lookups only; decompression is pure copying.
+            comp_init_ms: 120.0,
+            comp_scale: 1.0,
+            dec_init_ms: 30.0,
+            dec_scale: 0.4,
+        },
+        Algorithm::Dnac => Calibration {
+            comp_init_ms: 250.0,
+            comp_scale: 1.4,
+            dec_init_ms: 40.0,
+            dec_scale: 0.6,
+        },
+        Algorithm::DnaCompress => Calibration {
+            // "Faster than other algorithms" (§III-A).
+            comp_init_ms: 80.0,
+            comp_scale: 0.9,
+            dec_init_ms: 40.0,
+            dec_scale: 0.7,
+        },
+        Algorithm::DnaSequitur => Calibration {
+            comp_init_ms: 120.0,
+            comp_scale: 1.8,
+            dec_init_ms: 40.0,
+            dec_scale: 0.8,
+        },
+        Algorithm::CtwLz => Calibration {
+            // The slowest generation of DNA compressors: CTW literals on
+            // top of the repeat search.
+            comp_init_ms: 200.0,
+            comp_scale: 1.1,
+            dec_init_ms: 200.0,
+            dec_scale: 1.1,
+        },
+    }
+}
+
+/// Knobs of the exchange environment shared by all contexts.
+#[derive(Clone, Debug)]
+pub struct PerfModel {
+    /// Seed for all jitter.
+    pub seed: u64,
+    /// Per-request latency to the storage account, ms.
+    pub request_latency_ms: f64,
+    /// Stream/BLOB conversion throughput, bytes per ms per MHz.
+    pub stream_bytes_per_ms_per_mhz: f64,
+    /// RAM reserved by the guest OS, MB (working memory below this
+    /// starts incurring pressure).
+    pub os_reserved_mb: f64,
+    /// Multiplicative jitter half-width for timing (e.g. 0.04 = ±4 %).
+    pub time_jitter: f64,
+    /// Probability that background CPU load doubles observed RAM.
+    pub ram_double_prob: f64,
+    /// Cloud-side download bandwidth, bytes per ms.
+    pub cloud_bw_bytes_per_ms: f64,
+}
+
+impl Default for PerfModel {
+    fn default() -> Self {
+        PerfModel {
+            seed: 0x00D7_A57E,
+            request_latency_ms: 120.0,
+            stream_bytes_per_ms_per_mhz: 0.15,
+            os_reserved_mb: 700.0,
+            time_jitter: 0.04,
+            ram_double_prob: 0.45,
+            cloud_bw_bytes_per_ms: 500.0,
+        }
+    }
+}
+
+impl PerfModel {
+    /// Deterministic unit-interval hash for (context, algorithm, file,
+    /// metric tag).
+    fn unit(&self, ctx_key: &str, alg: Algorithm, file: &str, tag: u8) -> f64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.seed;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(ctx_key.as_bytes());
+        eat(&[alg.tag(), tag]);
+        eat(file.as_bytes());
+        // SplitMix64 finaliser: FNV alone leaves the high bits weak for
+        // short inputs, and we consume the top 53 bits below.
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn jitter(&self, ctx_key: &str, alg: Algorithm, file: &str, tag: u8) -> f64 {
+        1.0 + self.time_jitter * (2.0 * self.unit(ctx_key, alg, file, tag) - 1.0)
+    }
+
+    /// RAM-pressure multiplier for CPU-bound phases on the client.
+    pub fn ram_penalty(&self, ctx: &ClientContext, peak_heap_bytes: u64) -> f64 {
+        let available_mb = (ctx.ram_mb as f64 - self.os_reserved_mb).max(128.0);
+        let heap_mb = peak_heap_bytes as f64 / (1024.0 * 1024.0);
+        (1.0 + 2.0 * heap_mb / available_mb).min(4.0)
+    }
+
+    /// Client-side compression time in ms.
+    pub fn compress_ms(
+        &self,
+        ctx: &ClientContext,
+        alg: Algorithm,
+        file: &str,
+        stats: &ResourceStats,
+    ) -> f64 {
+        let cal = calibration(alg);
+        let cpu = ctx.cpu_mhz as f64;
+        let base = cal.comp_init_ms * REF_CPU_MHZ / cpu
+            + stats.work_units as f64 * cal.comp_scale / cpu;
+        base * self.ram_penalty(ctx, stats.peak_heap_bytes)
+            * self.jitter(&ctx.key(), alg, file, 0)
+    }
+
+    /// Client-side compression time for a *resident* streaming process
+    /// (no per-invocation startup): the marginal cost ACE-style on-the-fly
+    /// compression pays per chunk.
+    pub fn compress_resident_ms(
+        &self,
+        ctx: &ClientContext,
+        alg: Algorithm,
+        file: &str,
+        stats: &ResourceStats,
+    ) -> f64 {
+        let cal = calibration(alg);
+        let cpu = ctx.cpu_mhz as f64;
+        let base = stats.work_units as f64 * cal.comp_scale / cpu;
+        base * self.ram_penalty(ctx, stats.peak_heap_bytes)
+            * self.jitter(&ctx.key(), alg, file, 0)
+    }
+
+    /// Cloud-side decompression time in ms (fixed cloud VM).
+    pub fn decompress_ms(
+        &self,
+        cloud: &MachineSpec,
+        alg: Algorithm,
+        file: &str,
+        stats: &ResourceStats,
+    ) -> f64 {
+        let cal = calibration(alg);
+        let cpu = cloud.cpu_mhz as f64;
+        let base = cal.dec_init_ms * REF_CPU_MHZ / cpu
+            + stats.work_units as f64 * cal.dec_scale / cpu;
+        // Cloud VM RAM is fixed; pressure computed against its spec.
+        let available_mb = (cloud.ram_mb as f64 - self.os_reserved_mb).max(128.0);
+        let heap_mb = stats.peak_heap_bytes as f64 / (1024.0 * 1024.0);
+        let penalty = (1.0 + 2.0 * heap_mb / available_mb).min(4.0);
+        base * penalty * self.jitter(&cloud.name, alg, file, 1)
+    }
+
+    /// Client → storage upload time in ms for a blob of `bytes`.
+    pub fn upload_ms(
+        &self,
+        ctx: &ClientContext,
+        alg: Algorithm,
+        file: &str,
+        bytes: usize,
+        peak_heap_bytes: u64,
+    ) -> f64 {
+        let wire = bytes as f64 / ctx.bandwidth.bytes_per_ms();
+        // Stream/BLOB conversion: CPU-bound, RAM-pressure-scaled — the
+        // paper's "upload depends on CPU and RAM too".
+        let stream = bytes as f64
+            / (self.stream_bytes_per_ms_per_mhz * ctx.cpu_mhz as f64)
+            * self.ram_penalty(ctx, peak_heap_bytes);
+        (self.request_latency_ms + wire + stream) * self.jitter(&ctx.key(), alg, file, 2)
+    }
+
+    /// Storage → cloud-VM download time in ms.
+    pub fn download_ms(
+        &self,
+        cloud: &MachineSpec,
+        alg: Algorithm,
+        file: &str,
+        bytes: usize,
+    ) -> f64 {
+        let wire = bytes as f64 / self.cloud_bw_bytes_per_ms;
+        let cpu = bytes as f64 / (self.stream_bytes_per_ms_per_mhz * cloud.cpu_mhz as f64 * 4.0);
+        (self.request_latency_ms / 4.0 + wire + cpu) * self.jitter(&cloud.name, alg, file, 3)
+    }
+
+    /// Fixed process baseline RSS per algorithm, bytes. The 2015-era
+    /// binaries carry megabytes of runtime/buffer overhead regardless of
+    /// input, which is why the paper finds "the RAM usage … is nearly
+    /// same for all algorithms" (§V-E) on typical files — the
+    /// input-proportional part only dominates for large inputs.
+    pub fn baseline_rss_bytes(alg: Algorithm) -> u64 {
+        // Values chosen so that on typical corpus files the *total*
+        // (baseline + heap) overlaps across algorithms — zlib's small
+        // window sits inside a heavyweight process, while CTW's growing
+        // node pool starts from a lean runtime.
+        let mb = match alg {
+            Algorithm::Gzip => 3.4,
+            Algorithm::Dnax => 2.9,
+            Algorithm::Ctw => 1.6,
+            Algorithm::GenCompress => 2.8,
+            Algorithm::BioCompress2 => 2.7,
+            Algorithm::DnaPackLite => 2.5,
+            Algorithm::Cfact => 2.0,
+            Algorithm::XmLite => 2.4,
+            Algorithm::Reference => 2.6,
+            Algorithm::Dnac => 2.1,
+            Algorithm::DnaCompress => 2.7,
+            Algorithm::DnaSequitur => 2.3,
+            Algorithm::CtwLz => 2.2,
+        };
+        (mb * 1024.0 * 1024.0) as u64
+    }
+
+    /// Observed RAM in bytes: baseline RSS + true peak heap, perturbed
+    /// by background CPU load. Above the load threshold the observation
+    /// doubles (§V-E: "when CPU usage is greater than 30 % the RAM usage
+    /// got double").
+    pub fn observed_ram_bytes(
+        &self,
+        ctx: &ClientContext,
+        alg: Algorithm,
+        file: &str,
+        peak_heap_bytes: u64,
+    ) -> u64 {
+        let u = self.unit(&ctx.key(), alg, file, 4);
+        let doubled = u < self.ram_double_prob;
+        // Background processes make single-shot RSS readings very noisy
+        // (§VI: "not deterministic because of sudden background
+        // processes") — ±35 % wobble on top of the doubling.
+        let wobble = 1.0 + 0.35 * (2.0 * self.unit(&ctx.key(), alg, file, 5) - 1.0);
+        let base = (Self::baseline_rss_bytes(alg) + peak_heap_bytes).max(1) as f64;
+        (base * if doubled { 2.0 } else { 1.0 } * wobble) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(ram: u32, cpu: u32, bw: f64) -> ClientContext {
+        ClientContext::new(ram, cpu, bw)
+    }
+
+    fn stats(work: u64, heap: u64) -> ResourceStats {
+        ResourceStats {
+            work_units: work,
+            peak_heap_bytes: heap,
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = PerfModel::default();
+        let c = ctx(2048, 2393, 2.0);
+        let s = stats(1_000_000, 10 << 20);
+        let a = m.compress_ms(&c, Algorithm::Dnax, "f1", &s);
+        let b = m.compress_ms(&c, Algorithm::Dnax, "f1", &s);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn faster_cpu_reduces_compress_time() {
+        let m = PerfModel {
+            time_jitter: 0.0,
+            ..PerfModel::default()
+        };
+        let s = stats(5_000_000, 10 << 20);
+        let slow = m.compress_ms(&ctx(2048, 1600, 2.0), Algorithm::Ctw, "f", &s);
+        let fast = m.compress_ms(&ctx(2048, 2800, 2.0), Algorithm::Ctw, "f", &s);
+        assert!(fast < slow);
+    }
+
+    #[test]
+    fn more_ram_reduces_compress_time() {
+        let m = PerfModel {
+            time_jitter: 0.0,
+            ..PerfModel::default()
+        };
+        let s = stats(5_000_000, 200 << 20);
+        let low = m.compress_ms(&ctx(1024, 2000, 2.0), Algorithm::GenCompress, "f", &s);
+        let high = m.compress_ms(&ctx(4096, 2000, 2.0), Algorithm::GenCompress, "f", &s);
+        assert!(high < low);
+    }
+
+    #[test]
+    fn upload_depends_on_bandwidth_cpu_and_ram() {
+        let m = PerfModel {
+            time_jitter: 0.0,
+            ..PerfModel::default()
+        };
+        let heap = 100 << 20;
+        let base = m.upload_ms(&ctx(2048, 2000, 2.0), Algorithm::Dnax, "f", 500_000, heap);
+        let more_bw = m.upload_ms(&ctx(2048, 2000, 10.0), Algorithm::Dnax, "f", 500_000, heap);
+        let more_cpu = m.upload_ms(&ctx(2048, 2800, 2.0), Algorithm::Dnax, "f", 500_000, heap);
+        let more_ram = m.upload_ms(&ctx(4096, 2000, 2.0), Algorithm::Dnax, "f", 500_000, heap);
+        assert!(more_bw < base, "{more_bw} vs {base}");
+        assert!(more_cpu < base, "{more_cpu} vs {base}");
+        assert!(more_ram < base, "{more_ram} vs {base}");
+    }
+
+    #[test]
+    fn ram_penalty_bounds() {
+        let m = PerfModel::default();
+        assert!(m.ram_penalty(&ctx(4096, 2000, 2.0), 0) >= 1.0);
+        let p = m.ram_penalty(&ctx(1024, 2000, 2.0), 10 << 30);
+        assert!(p <= 4.0);
+    }
+
+    #[test]
+    fn small_file_crossover_exists() {
+        // With calibrated startup costs, DNAX must *lose* the compress
+        // race on a small file and win it on a large one (the paper's
+        // <50 kB observation). Work/base approximations mirror the real
+        // meters: DNAX ≈ 10/base, GenCompress ≈ 14/base.
+        let m = PerfModel {
+            time_jitter: 0.0,
+            ..PerfModel::default()
+        };
+        let c = ctx(3072, 2393, 2.0);
+        let small = 10_000u64;
+        let large = 1_000_000u64;
+        let dnax_small = m.compress_ms(&c, Algorithm::Dnax, "f", &stats(small * 10, 1 << 20));
+        let gc_small =
+            m.compress_ms(&c, Algorithm::GenCompress, "f", &stats(small * 14, 1 << 20));
+        assert!(gc_small < dnax_small, "{gc_small} vs {dnax_small}");
+        let dnax_large = m.compress_ms(&c, Algorithm::Dnax, "f", &stats(large * 10, 40 << 20));
+        let gc_large =
+            m.compress_ms(&c, Algorithm::GenCompress, "f", &stats(large * 14, 60 << 20));
+        assert!(dnax_large < gc_large, "{dnax_large} vs {gc_large}");
+    }
+
+    #[test]
+    fn observed_ram_is_noisy_but_bounded() {
+        let m = PerfModel::default();
+        let heap = 50u64 << 20;
+        let base = heap + PerfModel::baseline_rss_bytes(Algorithm::Ctw);
+        let mut doubled = 0;
+        let mut total = 0;
+        for f in 0..200 {
+            let obs = m.observed_ram_bytes(
+                &ctx(2048, 2000, 2.0),
+                Algorithm::Ctw,
+                &format!("file{f}"),
+                heap,
+            );
+            assert!(obs as f64 >= base as f64 * 0.6);
+            assert!(obs as f64 <= base as f64 * 2.8);
+            if obs as f64 > base as f64 * 1.4 {
+                doubled += 1;
+            }
+            total += 1;
+        }
+        // Doubling must occur for a substantial minority of observations.
+        assert!(doubled > total / 5, "doubled {doubled}/{total}");
+        assert!(doubled < total * 4 / 5, "doubled {doubled}/{total}");
+    }
+
+    #[test]
+    fn download_differences_are_modest() {
+        // Paper Fig. 6: per-algorithm download gaps are tens of ms.
+        let m = PerfModel {
+            time_jitter: 0.0,
+            ..PerfModel::default()
+        };
+        let cloud = MachineSpec::azure_vm();
+        let a = m.download_ms(&cloud, Algorithm::Dnax, "f", 24_000);
+        let b = m.download_ms(&cloud, Algorithm::Gzip, "f", 29_000);
+        let gap = (b - a).abs();
+        assert!(gap > 1.0 && gap < 100.0, "gap = {gap}");
+    }
+}

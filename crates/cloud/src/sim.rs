@@ -1,0 +1,302 @@
+//! End-to-end exchange simulation.
+//!
+//! Figure 1's pipeline: compress on the client VM → upload to the storage
+//! account as a BLOB → download at the cloud VM → decompress. [`CloudSim`]
+//! runs the *real* compressor (so sizes, work and heap are genuine) and
+//! prices each phase with the [`PerfModel`].
+
+use crate::blobstore::BlobStore;
+use crate::machine::{ClientContext, MachineSpec};
+use crate::perf::PerfModel;
+use dnacomp_algos::{Algorithm, Compressor};
+use dnacomp_codec::CodecError;
+use dnacomp_seq::PackedSeq;
+use serde::{Deserialize, Serialize};
+
+/// Measured outcome of one exchange — one row of the paper's dataset.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExchangeReport {
+    /// File identifier.
+    pub file: String,
+    /// Original size in bases (= raw file bytes, 1 byte/base).
+    pub original_len: usize,
+    /// Algorithm used.
+    pub algorithm: Algorithm,
+    /// Serialised blob size in bytes (Figure 4's variable).
+    pub compressed_bytes: usize,
+    /// Client-side compression time, ms (Figure 5).
+    pub compress_ms: f64,
+    /// Upload time, ms (Figure 2).
+    pub upload_ms: f64,
+    /// Download time at the cloud VM, ms (Figure 6).
+    pub download_ms: f64,
+    /// Decompression time at the cloud VM, ms.
+    pub decompress_ms: f64,
+    /// Observed RAM on the client, bytes (Figure 3).
+    pub ram_used_bytes: u64,
+}
+
+impl ExchangeReport {
+    /// Total exchange time in ms.
+    pub fn total_ms(&self) -> f64 {
+        self.compress_ms + self.upload_ms + self.download_ms + self.decompress_ms
+    }
+
+    /// Compression ratio in bits per base.
+    pub fn bits_per_base(&self) -> f64 {
+        if self.original_len == 0 {
+            0.0
+        } else {
+            self.compressed_bytes as f64 * 8.0 / self.original_len as f64
+        }
+    }
+}
+
+/// The simulated exchange environment.
+///
+/// ```
+/// use dnacomp_cloud::{ClientContext, CloudSim};
+/// use dnacomp_algos::Dnax;
+/// use dnacomp_seq::gen::GenomeModel;
+/// let mut sim = CloudSim::default();
+/// let seq = GenomeModel::default().generate(10_000, 1);
+/// let ctx = ClientContext::new(2048, 2393, 2.0);
+/// let report = sim.exchange(&ctx, &Dnax::default(), "demo", &seq).unwrap();
+/// assert!(report.total_ms() > 0.0);
+/// assert_eq!(report.original_len, 10_000);
+/// ```
+pub struct CloudSim {
+    /// Performance model (seeds, latencies, calibration).
+    pub perf: PerfModel,
+    /// The cloud VM doing download + decompression.
+    pub cloud_vm: MachineSpec,
+    /// The storage account.
+    pub store: BlobStore,
+    /// Container name used for uploads.
+    pub container: String,
+}
+
+impl Default for CloudSim {
+    fn default() -> Self {
+        CloudSim::new(PerfModel::default(), MachineSpec::azure_vm())
+    }
+}
+
+impl CloudSim {
+    /// New simulator with the given model and cloud VM.
+    pub fn new(perf: PerfModel, cloud_vm: MachineSpec) -> Self {
+        let mut store = BlobStore::new();
+        store.create_container("sequences");
+        CloudSim {
+            perf,
+            cloud_vm,
+            store,
+            container: "sequences".to_owned(),
+        }
+    }
+
+    /// Run the full exchange of `seq` under `ctx` with `compressor`,
+    /// verifying the roundtrip.
+    pub fn exchange(
+        &mut self,
+        ctx: &ClientContext,
+        compressor: &dyn Compressor,
+        file: &str,
+        seq: &PackedSeq,
+    ) -> Result<ExchangeReport, CodecError> {
+        let alg = compressor.algorithm();
+        // 1. Compress on the client.
+        let (blob, cstats) = compressor.compress_with_stats(seq)?;
+        let bytes = blob.to_bytes();
+        let compress_ms = self.perf.compress_ms(ctx, alg, file, &cstats);
+        // 2. Upload: stream conversion + wire.
+        let upload_ms = self
+            .perf
+            .upload_ms(ctx, alg, file, bytes.len(), cstats.peak_heap_bytes);
+        let blob_name = format!("{file}.{}.dx", alg.name().to_ascii_lowercase());
+        let (handle, _blocks) = self.store.upload(&self.container, &blob_name, &bytes);
+        // 3. Download at the cloud VM.
+        let fetched = self
+            .store
+            .download(&handle)
+            .ok_or(CodecError::Corrupt("blob vanished from store"))?;
+        let download_ms = self
+            .perf
+            .download_ms(&self.cloud_vm, alg, file, fetched.len());
+        // 4. Decompress at the cloud VM and verify.
+        let parsed = dnacomp_algos::CompressedBlob::from_bytes(&fetched)?;
+        let (decoded, dstats) = compressor.decompress_with_stats(&parsed)?;
+        if &decoded != seq {
+            return Err(CodecError::Corrupt("roundtrip mismatch"));
+        }
+        let decompress_ms = self
+            .perf
+            .decompress_ms(&self.cloud_vm, alg, file, &dstats);
+        let ram_used_bytes =
+            self.perf
+                .observed_ram_bytes(ctx, alg, file, cstats.peak_heap_bytes);
+        Ok(ExchangeReport {
+            file: file.to_owned(),
+            original_len: seq.len(),
+            algorithm: alg,
+            compressed_bytes: bytes.len(),
+            compress_ms,
+            upload_ms,
+            download_ms,
+            decompress_ms,
+            ram_used_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnacomp_algos::{Ctw, Dnax, GenCompress, GzipRs};
+    use dnacomp_seq::gen::GenomeModel;
+
+    fn ctx() -> ClientContext {
+        ClientContext::new(3072, 2393, 2.0)
+    }
+
+    #[test]
+    fn exchange_produces_consistent_report() {
+        let mut sim = CloudSim::default();
+        let seq = GenomeModel::default().generate(20_000, 3);
+        let r = sim
+            .exchange(&ctx(), &Dnax::default(), "f1", &seq)
+            .unwrap();
+        assert_eq!(r.original_len, 20_000);
+        assert!(r.compressed_bytes > 0);
+        assert!(r.compress_ms > 0.0);
+        assert!(r.upload_ms > 0.0);
+        assert!(r.download_ms > 0.0);
+        assert!(r.decompress_ms > 0.0);
+        assert!(r.ram_used_bytes > 0);
+        assert!(r.total_ms() >= r.compress_ms);
+        // Blob actually stored.
+        assert_eq!(sim.store.list("sequences").len(), 1);
+    }
+
+    #[test]
+    fn exchange_is_deterministic() {
+        let seq = GenomeModel::default().generate(10_000, 5);
+        let run = || {
+            let mut sim = CloudSim::default();
+            sim.exchange(&ctx(), &Ctw::default(), "f", &seq).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn dnax_wins_total_time_on_large_files() {
+        let mut sim = CloudSim::default();
+        let seq = GenomeModel::default().generate(400_000, 7);
+        let dnax = sim.exchange(&ctx(), &Dnax::default(), "big", &seq).unwrap();
+        let gc = sim
+            .exchange(&ctx(), &GenCompress::default(), "big", &seq)
+            .unwrap();
+        let ctw = sim.exchange(&ctx(), &Ctw::default(), "big", &seq).unwrap();
+        let gz = sim.exchange(&ctx(), &GzipRs::default(), "big", &seq).unwrap();
+        assert!(dnax.total_ms() < gc.total_ms(), "DNAX {} GC {}", dnax.total_ms(), gc.total_ms());
+        assert!(dnax.total_ms() < ctw.total_ms());
+        assert!(dnax.total_ms() < gz.total_ms());
+    }
+
+    #[test]
+    fn dnax_loses_on_small_files() {
+        // The paper's <50 kB observation: the selection framework exists
+        // because small files favour GenCompress/CTW.
+        let mut sim = CloudSim::default();
+        let seq = GenomeModel::default().generate(8_000, 7);
+        let dnax = sim.exchange(&ctx(), &Dnax::default(), "small", &seq).unwrap();
+        let gc = sim
+            .exchange(&ctx(), &GenCompress::default(), "small", &seq)
+            .unwrap();
+        assert!(
+            gc.total_ms() < dnax.total_ms(),
+            "GC {} vs DNAX {}",
+            gc.total_ms(),
+            dnax.total_ms()
+        );
+    }
+
+    #[test]
+    fn gzip_never_wins_total_time() {
+        let mut sim = CloudSim::default();
+        for (i, len) in [3_000usize, 30_000, 150_000].into_iter().enumerate() {
+            let seq = GenomeModel::default().generate(len, 11 + i as u64);
+            let file = format!("f{len}");
+            let gz = sim
+                .exchange(&ctx(), &GzipRs::default(), &file, &seq)
+                .unwrap();
+            // Gzip may beat individual algorithms at some sizes, but it
+            // must never be the overall winner (§V: "no records where
+            // Gzip was used as label").
+            let best_other = [
+                sim.exchange(&ctx(), &Dnax::default(), &file, &seq).unwrap(),
+                sim.exchange(&ctx(), &GenCompress::default(), &file, &seq)
+                    .unwrap(),
+                sim.exchange(&ctx(), &Ctw::default(), &file, &seq).unwrap(),
+            ]
+            .into_iter()
+            .map(|r| r.total_ms())
+            .fold(f64::INFINITY, f64::min);
+            assert!(
+                best_other < gz.total_ms(),
+                "gzip wins at len {len}: {} vs best {}",
+                gz.total_ms(),
+                best_other
+            );
+        }
+    }
+
+    #[test]
+    fn ctw_has_worst_decompression() {
+        let mut sim = CloudSim::default();
+        let seq = GenomeModel::default().generate(100_000, 13);
+        let reports: Vec<ExchangeReport> = [
+            Box::new(Ctw::default()) as Box<dyn Compressor>,
+            Box::new(Dnax::default()),
+            Box::new(GenCompress::default()),
+            Box::new(GzipRs::default()),
+        ]
+        .iter()
+        .map(|c| sim.exchange(&ctx(), c.as_ref(), "f", &seq).unwrap())
+        .collect();
+        let ctw = &reports[0];
+        for other in &reports[1..] {
+            assert!(
+                ctw.decompress_ms > other.decompress_ms,
+                "CTW {} vs {} {}",
+                ctw.decompress_ms,
+                other.algorithm,
+                other.decompress_ms
+            );
+        }
+        // And DNAX has the least decompression time (§IV-B).
+        let dnax = &reports[1];
+        for other in [&reports[0], &reports[2], &reports[3]] {
+            assert!(dnax.decompress_ms < other.decompress_ms);
+        }
+    }
+
+    #[test]
+    fn gzip_has_worst_ratio_on_dna() {
+        let mut sim = CloudSim::default();
+        let seq = GenomeModel::default().generate(80_000, 17);
+        let gz = sim.exchange(&ctx(), &GzipRs::default(), "f", &seq).unwrap();
+        for c in [
+            Box::new(Ctw::default()) as Box<dyn Compressor>,
+            Box::new(Dnax::default()),
+            Box::new(GenCompress::default()),
+        ] {
+            let r = sim.exchange(&ctx(), c.as_ref(), "f", &seq).unwrap();
+            assert!(
+                r.compressed_bytes < gz.compressed_bytes,
+                "{} not smaller than gzip",
+                r.algorithm
+            );
+        }
+    }
+}

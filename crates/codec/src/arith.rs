@@ -1,0 +1,369 @@
+//! Integer arithmetic coder (Witten–Neal–Cleary style, 32-bit registers).
+//!
+//! This is the entropy-coding backend the paper's DNA compressors share:
+//! DNAX encodes non-repeat regions arithmetically, BioCompress-2 and
+//! DNAPack use order-2 arithmetic coding, and CTW drives the binary
+//! encoder with its weighted probabilities (Table 1).
+//!
+//! The coder works on cumulative frequency ranges `[lo, hi) / total` and
+//! performs the classic E1/E2 renormalisation plus E3 (pending-bit)
+//! underflow handling. Precision is 32 bits; `total` must not exceed
+//! [`MAX_TOTAL`] so that every symbol keeps a nonzero code range.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::error::CodecError;
+
+const PRECISION: u32 = 32;
+const TOP: u64 = (1 << PRECISION) - 1;
+const HALF: u64 = 1 << (PRECISION - 1);
+const QUARTER: u64 = 1 << (PRECISION - 2);
+const THREE_QUARTERS: u64 = 3 * QUARTER;
+
+/// Maximum allowed `total` of a frequency distribution (2^24). Keeping
+/// `total ≤ range/4` guarantees `range/total ≥ 1` after renormalisation,
+/// so no symbol's interval collapses.
+pub const MAX_TOTAL: u64 = 1 << 24;
+
+/// Arithmetic encoder writing to an internal [`BitWriter`].
+#[derive(Clone, Debug)]
+pub struct ArithEncoder {
+    low: u64,
+    high: u64,
+    pending: u64,
+    out: BitWriter,
+}
+
+impl Default for ArithEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ArithEncoder {
+    /// Fresh encoder.
+    pub fn new() -> Self {
+        ArithEncoder {
+            low: 0,
+            high: TOP,
+            pending: 0,
+            out: BitWriter::new(),
+        }
+    }
+
+    /// Encode a symbol occupying the cumulative range `[cum_lo, cum_hi)`
+    /// out of `total`.
+    ///
+    /// # Panics
+    /// Debug-asserts `cum_lo < cum_hi ≤ total ≤ MAX_TOTAL`.
+    pub fn encode(&mut self, cum_lo: u32, cum_hi: u32, total: u32) {
+        let (cum_lo, cum_hi, total) = (cum_lo as u64, cum_hi as u64, total as u64);
+        debug_assert!(cum_lo < cum_hi && cum_hi <= total);
+        debug_assert!(total <= MAX_TOTAL);
+        let range = self.high - self.low + 1;
+        self.high = self.low + range * cum_hi / total - 1;
+        self.low += range * cum_lo / total;
+        loop {
+            if self.high < HALF {
+                self.emit(false);
+            } else if self.low >= HALF {
+                self.emit(true);
+                self.low -= HALF;
+                self.high -= HALF;
+            } else if self.low >= QUARTER && self.high < THREE_QUARTERS {
+                self.pending += 1;
+                self.low -= QUARTER;
+                self.high -= QUARTER;
+            } else {
+                break;
+            }
+            self.low <<= 1;
+            self.high = (self.high << 1) | 1;
+        }
+    }
+
+    /// Encode one bit with probability `p0_num/p_den` of being zero.
+    /// Convenience wrapper used by the CTW compressor.
+    pub fn encode_bit(&mut self, bit: bool, p0_num: u32, p_den: u32) {
+        debug_assert!(0 < p0_num && p0_num < p_den);
+        if bit {
+            self.encode(p0_num, p_den, p_den);
+        } else {
+            self.encode(0, p0_num, p_den);
+        }
+    }
+
+    fn emit(&mut self, bit: bool) {
+        self.out.push_bit(bit);
+        for _ in 0..self.pending {
+            self.out.push_bit(!bit);
+        }
+        self.pending = 0;
+    }
+
+    /// Flush the final interval and return the encoded bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        // Disambiguate the final interval with one more bit (+pending).
+        self.pending += 1;
+        if self.low < QUARTER {
+            self.emit(false);
+        } else {
+            self.emit(true);
+        }
+        self.out.into_bytes()
+    }
+
+    /// Bits emitted so far (excludes the final flush).
+    pub fn bit_len(&self) -> usize {
+        self.out.bit_len()
+    }
+}
+
+/// Arithmetic decoder reading from a [`BitReader`].
+///
+/// The decoder deliberately reads *past* the physical end of the stream —
+/// the encoder's flush guarantees those phantom bits decode correctly as
+/// zeros — so the caller must know (from a container header) how many
+/// symbols to decode.
+#[derive(Clone, Debug)]
+pub struct ArithDecoder<'a> {
+    low: u64,
+    high: u64,
+    value: u64,
+    input: BitReader<'a>,
+}
+
+impl<'a> ArithDecoder<'a> {
+    /// Start decoding from `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        let mut input = BitReader::new(bytes);
+        let mut value = 0u64;
+        for _ in 0..PRECISION {
+            value = (value << 1) | input.read_bit_padded() as u64;
+        }
+        ArithDecoder {
+            low: 0,
+            high: TOP,
+            value,
+            input,
+        }
+    }
+
+    /// The cumulative-frequency slot the next symbol falls into, given the
+    /// current model `total`. The caller maps this to a symbol and then
+    /// must call [`ArithDecoder::update`] with that symbol's range.
+    pub fn decode_target(&self, total: u32) -> u32 {
+        let total = total as u64;
+        debug_assert!(total <= MAX_TOTAL && total > 0);
+        let range = self.high - self.low + 1;
+        let target = ((self.value - self.low + 1) * total - 1) / range;
+        debug_assert!(target < total);
+        target as u32
+    }
+
+    /// Narrow the interval to the decoded symbol's range and renormalise.
+    pub fn update(&mut self, cum_lo: u32, cum_hi: u32, total: u32) {
+        let (cum_lo, cum_hi, total) = (cum_lo as u64, cum_hi as u64, total as u64);
+        debug_assert!(cum_lo < cum_hi && cum_hi <= total);
+        let range = self.high - self.low + 1;
+        self.high = self.low + range * cum_hi / total - 1;
+        self.low += range * cum_lo / total;
+        loop {
+            if self.high < HALF {
+                // nothing to subtract
+            } else if self.low >= HALF {
+                self.low -= HALF;
+                self.high -= HALF;
+                self.value -= HALF;
+            } else if self.low >= QUARTER && self.high < THREE_QUARTERS {
+                self.low -= QUARTER;
+                self.high -= QUARTER;
+                self.value -= QUARTER;
+            } else {
+                break;
+            }
+            self.low <<= 1;
+            self.high = (self.high << 1) | 1;
+            self.value = (self.value << 1) | self.input.read_bit_padded() as u64;
+        }
+    }
+
+    /// Decode one bit given probability `p0_num/p_den` of zero — the
+    /// mirror of [`ArithEncoder::encode_bit`].
+    pub fn decode_bit(&mut self, p0_num: u32, p_den: u32) -> bool {
+        debug_assert!(0 < p0_num && p0_num < p_den);
+        let target = self.decode_target(p_den);
+        let bit = target >= p0_num;
+        if bit {
+            self.update(p0_num, p_den, p_den);
+        } else {
+            self.update(0, p0_num, p_den);
+        }
+        bit
+    }
+
+    /// `true` once the decoder has consumed more bits than physically
+    /// existed — useful only as a corruption heuristic, not for framing.
+    pub fn exhausted(&self) -> bool {
+        self.input.position() > self.input.bit_len()
+    }
+}
+
+/// Decode error helper: validates that a target maps inside `total`.
+pub fn target_to_symbol<F>(target: u32, total: u32, mut cum: F) -> Result<usize, CodecError>
+where
+    F: FnMut(usize) -> u32,
+{
+    // Linear scan; models with many symbols keep their own lookup.
+    let mut sym = 0usize;
+    loop {
+        let hi = cum(sym + 1);
+        if target < hi {
+            return Ok(sym);
+        }
+        if hi >= total {
+            return Err(CodecError::Corrupt("arith target beyond total"));
+        }
+        sym += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Encode/decode a symbol string under a fixed distribution.
+    fn roundtrip_fixed(symbols: &[usize], freqs: &[u32]) {
+        let total: u32 = freqs.iter().sum();
+        let cums: Vec<u32> = std::iter::once(0)
+            .chain(freqs.iter().scan(0, |acc, &f| {
+                *acc += f;
+                Some(*acc)
+            }))
+            .collect();
+        let mut enc = ArithEncoder::new();
+        for &s in symbols {
+            enc.encode(cums[s], cums[s + 1], total);
+        }
+        let bytes = enc.finish();
+        let mut dec = ArithDecoder::new(&bytes);
+        for &s in symbols {
+            let t = dec.decode_target(total);
+            let sym = cums.iter().rposition(|&c| c <= t).unwrap();
+            assert_eq!(sym, s);
+            dec.update(cums[sym], cums[sym + 1], total);
+        }
+    }
+
+    #[test]
+    fn uniform_quaternary_roundtrip() {
+        let symbols: Vec<usize> = (0..1000).map(|i| i % 4).collect();
+        roundtrip_fixed(&symbols, &[1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn skewed_distribution_roundtrip_and_compresses() {
+        // 97% zeros should code well under 1 bit/symbol.
+        let symbols: Vec<usize> = (0..5000).map(|i| usize::from(i % 33 == 0)).collect();
+        let freqs = [97u32, 3];
+        let total: u32 = 100;
+        let mut enc = ArithEncoder::new();
+        for &s in &symbols {
+            let (lo, hi) = if s == 0 { (0, 97) } else { (97, 100) };
+            enc.encode(lo, hi, total);
+        }
+        let bytes = enc.finish();
+        // Entropy of 3% ones ≈ 0.194 bits → 5000 syms ≈ 122 bytes.
+        assert!(bytes.len() < 200, "got {} bytes", bytes.len());
+        let mut dec = ArithDecoder::new(&bytes);
+        for &s in &symbols {
+            let t = dec.decode_target(total);
+            let sym = usize::from(t >= 97);
+            assert_eq!(sym, s);
+            let (lo, hi) = if sym == 0 { (0, 97) } else { (97, 100) };
+            dec.update(lo, hi, total);
+        }
+        let _ = symbols;
+        roundtrip_fixed(&symbols, &freqs);
+    }
+
+    #[test]
+    fn single_symbol_stream() {
+        roundtrip_fixed(&[0; 100], &[1, 1]);
+        roundtrip_fixed(&[1; 100], &[1, 1]);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let enc = ArithEncoder::new();
+        let bytes = enc.finish();
+        assert!(bytes.len() <= 2);
+    }
+
+    #[test]
+    fn encode_bit_decode_bit_mirror() {
+        let bits = [true, false, false, true, true, true, false];
+        let mut enc = ArithEncoder::new();
+        for &b in &bits {
+            enc.encode_bit(b, 3, 7);
+        }
+        let bytes = enc.finish();
+        let mut dec = ArithDecoder::new(&bytes);
+        for &b in &bits {
+            assert_eq!(dec.decode_bit(3, 7), b);
+        }
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        // p0 = 1/MAX, p0 = (MAX-1)/MAX with MAX near MAX_TOTAL.
+        let den = MAX_TOTAL as u32;
+        let mut enc = ArithEncoder::new();
+        enc.encode_bit(true, 1, den);
+        enc.encode_bit(false, 1, den);
+        enc.encode_bit(false, den - 1, den);
+        enc.encode_bit(true, den - 1, den);
+        let bytes = enc.finish();
+        let mut dec = ArithDecoder::new(&bytes);
+        assert!(dec.decode_bit(1, den));
+        assert!(!dec.decode_bit(1, den));
+        assert!(!dec.decode_bit(den - 1, den));
+        assert!(dec.decode_bit(den - 1, den));
+    }
+
+    #[test]
+    fn target_to_symbol_detects_corruption() {
+        let cums = [0u32, 2, 4];
+        let r = target_to_symbol(3, 4, |i| cums[i.min(2)]);
+        assert_eq!(r, Ok(1));
+        let r = target_to_symbol(9, 4, |i| cums[i.min(2)]);
+        assert!(r.is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn arbitrary_symbols_roundtrip(
+            symbols in prop::collection::vec(0usize..4, 0..800),
+            f0 in 1u32..100, f1 in 1u32..100, f2 in 1u32..100, f3 in 1u32..100,
+        ) {
+            roundtrip_fixed(&symbols, &[f0, f1, f2, f3]);
+        }
+
+        #[test]
+        fn arbitrary_bit_probs_roundtrip(
+            bits in prop::collection::vec(any::<bool>(), 0..400),
+            num in 1u32..255,
+        ) {
+            let mut enc = ArithEncoder::new();
+            for &b in &bits {
+                enc.encode_bit(b, num, 256);
+            }
+            let bytes = enc.finish();
+            let mut dec = ArithDecoder::new(&bytes);
+            for &b in &bits {
+                prop_assert_eq!(dec.decode_bit(num, 256), b);
+            }
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Bit-level I/O.
+//!
+//! MSB-first bit order: the first bit written becomes the most significant
+//! bit of the first byte. Every entropy coder and universal code in this
+//! crate is built on these two types.
+
+use crate::error::CodecError;
+
+/// Accumulates bits into a byte vector, MSB-first.
+#[derive(Clone, Debug, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits already used in the final byte (0..8). 0 means byte-aligned.
+    used: u32,
+}
+
+impl BitWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Writer with capacity for roughly `bits` bits.
+    pub fn with_capacity_bits(bits: usize) -> Self {
+        BitWriter {
+            bytes: Vec::with_capacity(bits.div_ceil(8)),
+            used: 0,
+        }
+    }
+
+    /// Total number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.used == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + self.used as usize
+        }
+    }
+
+    /// Append a single bit.
+    #[inline]
+    pub fn push_bit(&mut self, bit: bool) {
+        if self.used == 0 || self.used == 8 {
+            self.bytes.push(0);
+            self.used = 0;
+        }
+        if bit {
+            let last = self.bytes.last_mut().expect("byte pushed above");
+            *last |= 0x80 >> self.used;
+        }
+        self.used += 1;
+    }
+
+    /// Append the low `width` bits of `value`, most significant first.
+    /// `width` may be 0 (writes nothing) up to 64.
+    #[inline]
+    pub fn push_bits(&mut self, value: u64, width: u32) {
+        debug_assert!(width <= 64);
+        for i in (0..width).rev() {
+            self.push_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Pad with zero bits to the next byte boundary.
+    pub fn align_byte(&mut self) {
+        if self.used != 0 && self.used != 8 {
+            self.used = 8;
+        }
+    }
+
+    /// Finish writing and return the backing bytes (zero-padded to a whole
+    /// number of bytes).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Bytes written so far (the final byte may be partially filled).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+/// Reads bits from a byte slice, MSB-first.
+#[derive(Clone, Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Next bit position (absolute, in bits).
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Read from the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Total bits available.
+    pub fn bit_len(&self) -> usize {
+        self.bytes.len() * 8
+    }
+
+    /// Bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.bit_len() - self.pos
+    }
+
+    /// Current position in bits from the start.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Read one bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool, CodecError> {
+        if self.pos >= self.bit_len() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let byte = self.bytes[self.pos / 8];
+        let bit = (byte >> (7 - (self.pos % 8))) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// Read one bit, returning 0 past end-of-stream.
+    ///
+    /// Arithmetic decoders legitimately read a few bits past the flushed
+    /// end of the stream; those virtual bits are zero by construction.
+    #[inline]
+    pub fn read_bit_padded(&mut self) -> bool {
+        if self.pos >= self.bit_len() {
+            self.pos += 1;
+            false
+        } else {
+            let byte = self.bytes[self.pos / 8];
+            let bit = (byte >> (7 - (self.pos % 8))) & 1 == 1;
+            self.pos += 1;
+            bit
+        }
+    }
+
+    /// Read `width` bits (≤ 64) into the low bits of a `u64`.
+    #[inline]
+    pub fn read_bits(&mut self, width: u32) -> Result<u64, CodecError> {
+        debug_assert!(width <= 64);
+        let mut v = 0u64;
+        for _ in 0..width {
+            v = (v << 1) | self.read_bit()? as u64;
+        }
+        Ok(v)
+    }
+
+    /// Skip to the next byte boundary.
+    pub fn align_byte(&mut self) {
+        self.pos = self.pos.div_ceil(8) * 8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_bits_roundtrip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.push_bit(b);
+        }
+        assert_eq!(w.bit_len(), 9);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit().unwrap(), b);
+        }
+        // Remaining padding bits are zero.
+        for _ in 9..16 {
+            assert!(!r.read_bit().unwrap());
+        }
+        assert_eq!(r.read_bit(), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn msb_first_layout() {
+        let mut w = BitWriter::new();
+        w.push_bit(true); // 0b1000_0000
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0x80]);
+    }
+
+    #[test]
+    fn push_bits_layout() {
+        let mut w = BitWriter::new();
+        w.push_bits(0b1011, 4);
+        w.push_bits(0b0110, 4);
+        assert_eq!(w.into_bytes(), vec![0b1011_0110]);
+    }
+
+    #[test]
+    fn zero_width_is_noop() {
+        let mut w = BitWriter::new();
+        w.push_bits(0xFFFF, 0);
+        assert_eq!(w.bit_len(), 0);
+        assert!(w.into_bytes().is_empty());
+    }
+
+    #[test]
+    fn align_byte_pads_with_zeros() {
+        let mut w = BitWriter::new();
+        w.push_bits(0b11, 2);
+        w.align_byte();
+        w.push_bits(0xAB, 8);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0b1100_0000, 0xAB]);
+
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(2).unwrap(), 0b11);
+        r.align_byte();
+        assert_eq!(r.read_bits(8).unwrap(), 0xAB);
+    }
+
+    #[test]
+    fn read_bit_padded_past_end() {
+        let bytes = [0xFFu8];
+        let mut r = BitReader::new(&bytes);
+        for _ in 0..8 {
+            assert!(r.read_bit_padded());
+        }
+        for _ in 0..16 {
+            assert!(!r.read_bit_padded());
+        }
+    }
+
+    #[test]
+    fn full_u64_roundtrip() {
+        let mut w = BitWriter::new();
+        w.push_bits(u64::MAX, 64);
+        w.push_bits(0x0123_4567_89AB_CDEF, 64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert_eq!(r.read_bits(64).unwrap(), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn position_tracking() {
+        let bytes = [0u8; 4];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.remaining(), 32);
+        r.read_bits(5).unwrap();
+        assert_eq!(r.position(), 5);
+        assert_eq!(r.remaining(), 27);
+    }
+
+    proptest! {
+        #[test]
+        fn bits_roundtrip(values in prop::collection::vec((any::<u64>(), 0u32..=64), 0..64)) {
+            let mut w = BitWriter::new();
+            for &(v, width) in &values {
+                let v = if width == 64 { v } else { v & ((1u64 << width) - 1) };
+                w.push_bits(v, width);
+            }
+            let total: usize = values.iter().map(|&(_, w)| w as usize).sum();
+            prop_assert_eq!(w.bit_len(), total);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            for &(v, width) in &values {
+                let v = if width == 64 { v } else { v & ((1u64 << width) - 1) };
+                prop_assert_eq!(r.read_bits(width).unwrap(), v);
+            }
+        }
+
+        #[test]
+        fn bool_stream_roundtrip(bits in prop::collection::vec(any::<bool>(), 0..512)) {
+            let mut w = BitWriter::new();
+            for &b in &bits {
+                w.push_bit(b);
+            }
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            for &b in &bits {
+                prop_assert_eq!(r.read_bit().unwrap(), b);
+            }
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! Context Tree Weighting (Willems, Shtarkov & Tjalkens 1995 — paper
+//! ref \[25\]).
+//!
+//! CTW maintains a binary context tree of depth `D`. Every node holds a
+//! Krichevsky–Trofimov estimator; the weighted probability of a node
+//! mixes its own KT estimate with the product of its children's weighted
+//! probabilities:
+//!
+//! ```text
+//! Pw(s) = ½·Pe(s) + ½·Pw(0s)·Pw(1s)      (internal nodes)
+//! Pw(s) = Pe(s)                          (depth-D leaves)
+//! ```
+//!
+//! This implementation uses the standard *beta* trick: each node stores
+//! `β(s) = Pe(s) / (Pw(0s)·Pw(1s))` (in log space), which turns the mix
+//! into a one-pass walk along the current context path. Nodes are pooled
+//! and created lazily; the pool is capped so the compressor's memory
+//! stays bounded (when the cap is hit, deeper context is simply ignored —
+//! both encoder and decoder hit the cap identically, so streams stay
+//! decodable).
+//!
+//! The paper evaluates CTW as one of its four algorithms and observes it
+//! achieves a good ratio but high RAM and the worst decompression time —
+//! both emerge naturally from this structure (decode performs the same
+//! full tree walk per bit as encode, unlike DNAX's table decode).
+
+use crate::models::KtEstimator;
+
+const NO_CHILD: u32 = u32::MAX;
+
+/// Probability denominator used when quantising the weighted probability
+/// for the arithmetic coder.
+pub const CTW_PROB_DEN: u32 = 1 << 16;
+
+#[derive(Clone, Debug)]
+struct Node {
+    kt: KtEstimator,
+    /// log β(s); 0 at creation (β = 1).
+    log_beta: f64,
+    children: [u32; 2],
+}
+
+impl Node {
+    fn new() -> Self {
+        Node {
+            kt: KtEstimator::new(),
+            log_beta: 0.0,
+            children: [NO_CHILD, NO_CHILD],
+        }
+    }
+}
+
+/// A depth-`D` CTW tree over a binary alphabet.
+///
+/// Protocol per bit: call [`CtwTree::predict`] with the context, feed the
+/// returned probability to the arithmetic coder, then call
+/// [`CtwTree::commit`] with the actual bit. `predict` caches the context
+/// path, so the two calls must alternate strictly.
+#[derive(Clone, Debug)]
+pub struct CtwTree {
+    depth: usize,
+    nodes: Vec<Node>,
+    max_nodes: usize,
+    /// Scratch: the node path of the last `predict`, leaf-ward order,
+    /// with each node's KT p0 and weighted p0 at prediction time.
+    path: Vec<PathEntry>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PathEntry {
+    node: u32,
+    p0_kt: f64,
+    p0_w: f64,
+}
+
+impl CtwTree {
+    /// Tree of context depth `depth` (bits) with the default 4M-node cap.
+    pub fn new(depth: usize) -> Self {
+        Self::with_capacity(depth, 4 << 20)
+    }
+
+    /// Tree with an explicit node-pool cap (≥ 1).
+    pub fn with_capacity(depth: usize, max_nodes: usize) -> Self {
+        assert!(max_nodes >= 1);
+        let mut nodes = Vec::with_capacity(1024.min(max_nodes));
+        nodes.push(Node::new()); // root
+        CtwTree {
+            depth,
+            nodes,
+            max_nodes,
+            path: Vec::with_capacity(depth + 1),
+        }
+    }
+
+    /// Context depth in bits.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Nodes currently allocated.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Approximate heap usage in bytes (for the RAM meter).
+    pub fn heap_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self.path.capacity() * std::mem::size_of::<PathEntry>()
+    }
+
+    /// Predict `P(next bit = 0)` given `history`, whose bit `i` is the
+    /// i-th most recent bit (bit 0 = previous bit). Returns `(num, den)`
+    /// with `0 < num < den = CTW_PROB_DEN`.
+    pub fn predict(&mut self, history: u64) -> (u32, u32) {
+        self.walk_path(history);
+        // Mix bottom-up: leaf-ward entry last.
+        let mut p0: f64 = {
+            let leaf = self.path.last().expect("path non-empty");
+            leaf.p0_kt
+        };
+        // Record weighted p0 at the leaf.
+        let last = self.path.len() - 1;
+        self.path[last].p0_w = p0;
+        if self.path.len() >= 2 {
+            for i in (0..self.path.len() - 1).rev() {
+                let node = &self.nodes[self.path[i].node as usize];
+                let b = node.log_beta.exp();
+                let p0_kt = self.path[i].p0_kt;
+                // Conditional weighted probability: the off-path child's
+                // block probability cancels out of the conditional.
+                p0 = (b * p0_kt + p0) / (b + 1.0);
+                self.path[i].p0_w = p0;
+            }
+        }
+        quantise_p0(p0)
+    }
+
+    /// Record the actual `bit` for the context passed to the immediately
+    /// preceding [`CtwTree::predict`] call.
+    pub fn commit(&mut self, bit: bool) {
+        assert!(!self.path.is_empty(), "commit without predict");
+        // Update β bottom-up using the *pre-update* conditionals cached by
+        // predict, then bump the KT counts.
+        for i in 0..self.path.len() {
+            let entry = self.path[i];
+            let node = &mut self.nodes[entry.node as usize];
+            let is_leaf_of_path = i == self.path.len() - 1;
+            if !is_leaf_of_path {
+                let p_kt = if bit { 1.0 - entry.p0_kt } else { entry.p0_kt };
+                let child = self.path[i + 1];
+                let p_child = if bit { 1.0 - child.p0_w } else { child.p0_w };
+                node.log_beta += p_kt.ln() - p_child.ln();
+                // Keep β bounded to avoid drift to ±inf on long streams.
+                node.log_beta = node.log_beta.clamp(-50.0, 50.0);
+            }
+            node.kt.update(bit);
+        }
+        self.path.clear();
+    }
+
+    /// Walk (and lazily build) the context path, filling `self.path` with
+    /// each node's KT p0. Entry 0 is the root; deeper entries follow the
+    /// most-recent-bit-first context.
+    fn walk_path(&mut self, history: u64) {
+        self.path.clear();
+        let mut cur = 0u32;
+        for d in 0..=self.depth {
+            let node = &self.nodes[cur as usize];
+            let (num, den) = node.kt.prob_zero();
+            self.path.push(PathEntry {
+                node: cur,
+                p0_kt: num as f64 / den as f64,
+                p0_w: 0.0,
+            });
+            if d == self.depth {
+                break;
+            }
+            let bit = ((history >> d) & 1) as usize;
+            let child = self.nodes[cur as usize].children[bit];
+            if child != NO_CHILD {
+                cur = child;
+            } else if self.nodes.len() < self.max_nodes {
+                let idx = self.nodes.len() as u32;
+                self.nodes.push(Node::new());
+                self.nodes[cur as usize].children[bit] = idx;
+                cur = idx;
+            } else {
+                // Pool exhausted: truncate the context here. Encoder and
+                // decoder exhaust identically, so this stays symmetric.
+                break;
+            }
+        }
+    }
+}
+
+/// Quantise a weighted probability into the arithmetic coder's integer
+/// domain, clamped so neither symbol gets a zero-width interval.
+fn quantise_p0(p0: f64) -> (u32, u32) {
+    let den = CTW_PROB_DEN;
+    let num = (p0 * den as f64).round() as i64;
+    let num = num.clamp(1, (den - 1) as i64) as u32;
+    (num, den)
+}
+
+/// Rolling bit history for CTW contexts: bit 0 is the most recent bit.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BitHistory(u64);
+
+impl BitHistory {
+    /// Empty history (all zeros — CTW's conventional initial context).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The packed history word.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+
+    /// Shift in a new most-recent bit.
+    pub fn push(&mut self, bit: bool) {
+        self.0 = (self.0 << 1) | bit as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::{ArithDecoder, ArithEncoder};
+    use proptest::prelude::*;
+
+    /// Encode a bit string with CTW + arithmetic coding; return bytes.
+    fn ctw_encode(bits: &[bool], depth: usize) -> Vec<u8> {
+        let mut tree = CtwTree::new(depth);
+        let mut hist = BitHistory::new();
+        let mut enc = ArithEncoder::new();
+        for &b in bits {
+            let (num, den) = tree.predict(hist.value());
+            enc.encode_bit(b, num, den);
+            tree.commit(b);
+            hist.push(b);
+        }
+        enc.finish()
+    }
+
+    fn ctw_decode(bytes: &[u8], n: usize, depth: usize) -> Vec<bool> {
+        let mut tree = CtwTree::new(depth);
+        let mut hist = BitHistory::new();
+        let mut dec = ArithDecoder::new(bytes);
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (num, den) = tree.predict(hist.value());
+            let b = dec.decode_bit(num, den);
+            tree.commit(b);
+            hist.push(b);
+            out.push(b);
+        }
+        out
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        let bits: Vec<bool> = (0..500).map(|i| i % 3 == 0).collect();
+        let bytes = ctw_encode(&bits, 8);
+        assert_eq!(ctw_decode(&bytes, bits.len(), 8), bits);
+    }
+
+    #[test]
+    fn compresses_periodic_sequence_well() {
+        // Period-7 pattern: with depth ≥ 7 CTW should approach 0 bits/bit.
+        let pattern = [true, false, false, true, true, false, true];
+        let bits: Vec<bool> = (0..7000).map(|i| pattern[i % 7]).collect();
+        let bytes = ctw_encode(&bits, 10);
+        let ratio = bytes.len() as f64 * 8.0 / bits.len() as f64;
+        assert!(ratio < 0.15, "bits/bit = {ratio}");
+    }
+
+    #[test]
+    fn random_bits_cost_about_one_bit() {
+        // Pseudo-random bits are incompressible; CTW must not expand them
+        // by more than a few percent.
+        let mut x = 0x12345678u64;
+        let bits: Vec<bool> = (0..8000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x & 1 == 1
+            })
+            .collect();
+        let bytes = ctw_encode(&bits, 8);
+        let ratio = bytes.len() as f64 * 8.0 / bits.len() as f64;
+        assert!(ratio < 1.1, "bits/bit = {ratio}");
+        assert!(ratio > 0.9, "suspiciously good: {ratio}");
+    }
+
+    #[test]
+    fn depth_zero_is_plain_kt() {
+        let bits: Vec<bool> = (0..100).map(|i| i >= 50).collect();
+        let bytes = ctw_encode(&bits, 0);
+        assert_eq!(ctw_decode(&bytes, bits.len(), 0), bits);
+    }
+
+    #[test]
+    fn node_pool_cap_is_symmetric() {
+        let mut x = 1u64;
+        let bits: Vec<bool> = (0..3000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x >> 33) & 1 == 1
+            })
+            .collect();
+        // Tiny cap forces constant pool exhaustion.
+        let encode = |bits: &[bool]| {
+            let mut tree = CtwTree::with_capacity(12, 64);
+            let mut hist = BitHistory::new();
+            let mut enc = ArithEncoder::new();
+            for &b in bits {
+                let (num, den) = tree.predict(hist.value());
+                enc.encode_bit(b, num, den);
+                tree.commit(b);
+                hist.push(b);
+            }
+            enc.finish()
+        };
+        let bytes = encode(&bits);
+        let mut tree = CtwTree::with_capacity(12, 64);
+        let mut hist = BitHistory::new();
+        let mut dec = ArithDecoder::new(&bytes);
+        for &b in &bits {
+            let (num, den) = tree.predict(hist.value());
+            assert_eq!(dec.decode_bit(num, den), b);
+            tree.commit(b);
+            hist.push(b);
+        }
+        assert_eq!(tree.node_count(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "commit without predict")]
+    fn commit_without_predict_panics() {
+        let mut tree = CtwTree::new(4);
+        tree.commit(true);
+    }
+
+    #[test]
+    fn predictions_are_proper_probabilities() {
+        let mut tree = CtwTree::new(6);
+        let mut hist = BitHistory::new();
+        for i in 0..200 {
+            let (num, den) = tree.predict(hist.value());
+            assert!(num > 0 && num < den);
+            let b = i % 5 == 0;
+            tree.commit(b);
+            hist.push(b);
+        }
+    }
+
+    #[test]
+    fn learns_biased_source() {
+        // 90% zeros: after warm-up, P(0) should exceed 0.8.
+        let mut tree = CtwTree::new(4);
+        let mut hist = BitHistory::new();
+        for i in 0..1000 {
+            let b = i % 10 == 0;
+            tree.predict(hist.value());
+            tree.commit(b);
+            hist.push(b);
+        }
+        let (num, den) = tree.predict(hist.value());
+        tree.commit(false);
+        assert!(num as f64 / den as f64 > 0.8);
+    }
+
+    #[test]
+    fn heap_usage_grows_with_depth() {
+        let make = |depth| {
+            let mut tree = CtwTree::new(depth);
+            let mut hist = BitHistory::new();
+            let mut x = 7u64;
+            for _ in 0..2000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(13);
+                let b = (x >> 40) & 1 == 1;
+                tree.predict(hist.value());
+                tree.commit(b);
+                hist.push(b);
+            }
+            tree.node_count()
+        };
+        assert!(make(16) > make(4));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn roundtrip_arbitrary(bits in prop::collection::vec(any::<bool>(), 0..600), depth in 0usize..12) {
+            let bytes = ctw_encode(&bits, depth);
+            prop_assert_eq!(ctw_decode(&bytes, bits.len(), depth), bits);
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! Edit distance and edit scripts for approximate repeats.
+//!
+//! GenCompress (paper ref \[14\]) encodes *approximate* repeats: a copy of
+//! an earlier substring plus a short list of edit operations — insert,
+//! delete and replace, exactly the three the paper names (§III-A). This
+//! module provides a banded Levenshtein alignment that produces such a
+//! script, plus an applier used during decompression.
+
+use dnacomp_seq::Base;
+
+/// One edit operation transforming the *source* substring toward the
+/// *target*, positions indexed in the evolving output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EditOp {
+    /// Replace the base at `pos` with `base`.
+    Replace {
+        /// Position in the output being built.
+        pos: u32,
+        /// New base.
+        base: Base,
+    },
+    /// Insert `base` at `pos`.
+    Insert {
+        /// Position in the output being built.
+        pos: u32,
+        /// Inserted base.
+        base: Base,
+    },
+    /// Delete the base at `pos`.
+    Delete {
+        /// Position in the output being built.
+        pos: u32,
+    },
+}
+
+/// Plain Levenshtein distance (unit costs), full matrix. O(n·m) — used by
+/// tests and as the reference for the banded variant.
+pub fn levenshtein(a: &[Base], b: &[Base]) -> usize {
+    let (n, m) = (a.len(), b.len());
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut cur = vec![0usize; m + 1];
+    for i in 1..=n {
+        cur[0] = i;
+        for j in 1..=m {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            cur[j] = (prev[j] + 1).min(cur[j - 1] + 1).min(prev[j - 1] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// Banded alignment of `src` onto `dst` with at most `max_edits` edits.
+///
+/// Returns the edit script (in source-to-target order, with positions in
+/// the evolving string) or `None` if the distance exceeds `max_edits`.
+/// The band restricts |i - j| ≤ `max_edits`, so cost is
+/// O(max(n,m) · max_edits) — GenCompress's edit-bound "constraint at the
+/// edit operation using a threshold value".
+pub fn banded_edit_script(src: &[Base], dst: &[Base], max_edits: usize) -> Option<Vec<EditOp>> {
+    let (n, m) = (src.len(), dst.len());
+    if n.abs_diff(m) > max_edits {
+        return None;
+    }
+    let band = max_edits;
+    let width = 2 * band + 1;
+    const INF: u32 = u32::MAX / 2;
+    // dp[i][d] where d = j - i + band ∈ [0, width).
+    let mut dp = vec![INF; (n + 1) * width];
+    let idx = |i: usize, j: usize| -> Option<usize> {
+        let d = j as isize - i as isize + band as isize;
+        if (0..width as isize).contains(&d) {
+            Some(i * width + d as usize)
+        } else {
+            None
+        }
+    };
+    if let Some(k) = idx(0, 0) {
+        dp[k] = 0;
+    }
+    for j in 1..=m.min(band) {
+        if let Some(k) = idx(0, j) {
+            dp[k] = j as u32;
+        }
+    }
+    for i in 1..=n {
+        // j ranges over the band around i.
+        let j_lo = i.saturating_sub(band);
+        let j_hi = (i + band).min(m);
+        for j in j_lo..=j_hi {
+            let mut best = INF;
+            if j == 0 {
+                best = i as u32;
+            } else {
+                if let Some(k) = idx(i - 1, j - 1) {
+                    let cost = u32::from(src[i - 1] != dst[j - 1]);
+                    best = best.min(dp[k].saturating_add(cost));
+                }
+                if let Some(k) = idx(i, j - 1) {
+                    best = best.min(dp[k].saturating_add(1)); // insert dst[j-1]
+                }
+            }
+            if let Some(k) = idx(i - 1, j) {
+                best = best.min(dp[k].saturating_add(1)); // delete src[i-1]
+            }
+            if let Some(k) = idx(i, j) {
+                dp[k] = best;
+            }
+        }
+    }
+    let total = *idx(n, m).map(|k| &dp[k])?;
+    if total as usize > max_edits {
+        return None;
+    }
+    // Trace back to build the script. Positions are recorded in terms of
+    // the output (dst) coordinates, emitted front-to-back at the end.
+    let mut ops_rev: Vec<EditOp> = Vec::with_capacity(total as usize);
+    let (mut i, mut j) = (n, m);
+    while i > 0 || j > 0 {
+        let here = idx(i, j).map(|k| dp[k]).unwrap_or(INF);
+        // Prefer the diagonal (match/replace) to keep scripts short.
+        if i > 0 && j > 0 {
+            if let Some(k) = idx(i - 1, j - 1) {
+                let cost = u32::from(src[i - 1] != dst[j - 1]);
+                if dp[k].saturating_add(cost) == here {
+                    if cost == 1 {
+                        ops_rev.push(EditOp::Replace {
+                            pos: (j - 1) as u32,
+                            base: dst[j - 1],
+                        });
+                    }
+                    i -= 1;
+                    j -= 1;
+                    continue;
+                }
+            }
+        }
+        if j > 0 {
+            if let Some(k) = idx(i, j - 1) {
+                if dp[k].saturating_add(1) == here {
+                    ops_rev.push(EditOp::Insert {
+                        pos: (j - 1) as u32,
+                        base: dst[j - 1],
+                    });
+                    j -= 1;
+                    continue;
+                }
+            }
+        }
+        if i > 0 {
+            if let Some(k) = idx(i - 1, j) {
+                if dp[k].saturating_add(1) == here {
+                    ops_rev.push(EditOp::Delete { pos: j as u32 });
+                    i -= 1;
+                    continue;
+                }
+            }
+        }
+        // Should be unreachable on a consistent DP table.
+        return None;
+    }
+    ops_rev.reverse();
+    Some(ops_rev)
+}
+
+/// Apply an edit script to `src`, producing the target. Operations must
+/// be ordered as produced by [`banded_edit_script`]. Returns `None` if
+/// the script references positions out of range (corrupt stream).
+pub fn apply_edit_script(src: &[Base], ops: &[EditOp]) -> Option<Vec<Base>> {
+    // Replay against dst coordinates: walk src and ops simultaneously.
+    let mut out: Vec<Base> = Vec::with_capacity(src.len() + ops.len());
+    let mut si = 0usize; // next unconsumed source base
+    for op in ops {
+        match *op {
+            EditOp::Replace { pos, base } => {
+                let pos = pos as usize;
+                // Copy source bases until output reaches `pos`.
+                while out.len() < pos {
+                    out.push(*src.get(si)?);
+                    si += 1;
+                }
+                if out.len() != pos {
+                    return None;
+                }
+                out.push(base);
+                si += 1; // consumed (and replaced) one source base
+                if si > src.len() {
+                    return None;
+                }
+            }
+            EditOp::Insert { pos, base } => {
+                let pos = pos as usize;
+                while out.len() < pos {
+                    out.push(*src.get(si)?);
+                    si += 1;
+                }
+                if out.len() != pos {
+                    return None;
+                }
+                out.push(base);
+            }
+            EditOp::Delete { pos } => {
+                let pos = pos as usize;
+                while out.len() < pos {
+                    out.push(*src.get(si)?);
+                    si += 1;
+                }
+                if out.len() != pos {
+                    return None;
+                }
+                si += 1; // skip one source base
+                if si > src.len() {
+                    return None;
+                }
+            }
+        }
+    }
+    // Copy the tail.
+    out.extend_from_slice(src.get(si..)?);
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnacomp_seq::PackedSeq;
+    use proptest::prelude::*;
+
+    fn bases(s: &str) -> Vec<Base> {
+        PackedSeq::from_ascii(s.as_bytes()).unwrap().unpack()
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein(&bases("ACGT"), &bases("ACGT")), 0);
+        assert_eq!(levenshtein(&bases("ACGT"), &bases("AGGT")), 1);
+        assert_eq!(levenshtein(&bases("ACGT"), &bases("ACG")), 1);
+        assert_eq!(levenshtein(&bases("ACGT"), &bases("AACGT")), 1);
+        assert_eq!(levenshtein(&bases(""), &bases("ACG")), 3);
+        assert_eq!(levenshtein(&bases("AAAA"), &bases("TTTT")), 4);
+    }
+
+    #[test]
+    fn identical_gives_empty_script() {
+        let s = bases("ACGTACGTAC");
+        let script = banded_edit_script(&s, &s, 3).unwrap();
+        assert!(script.is_empty());
+        assert_eq!(apply_edit_script(&s, &script).unwrap(), s);
+    }
+
+    #[test]
+    fn single_replace() {
+        let src = bases("ACGTACGT");
+        let dst = bases("ACGTTCGT");
+        let script = banded_edit_script(&src, &dst, 2).unwrap();
+        assert_eq!(script.len(), 1);
+        assert!(matches!(script[0], EditOp::Replace { pos: 4, .. }));
+        assert_eq!(apply_edit_script(&src, &script).unwrap(), dst);
+    }
+
+    #[test]
+    fn insert_and_delete() {
+        let src = bases("ACGT");
+        let dst = bases("AACGT"); // insert A at front
+        let script = banded_edit_script(&src, &dst, 2).unwrap();
+        assert_eq!(script.len(), 1);
+        assert_eq!(apply_edit_script(&src, &script).unwrap(), dst);
+
+        let dst = bases("AGT"); // delete C
+        let script = banded_edit_script(&src, &dst, 2).unwrap();
+        assert_eq!(script.len(), 1);
+        assert_eq!(apply_edit_script(&src, &script).unwrap(), dst);
+    }
+
+    #[test]
+    fn exceeding_budget_returns_none() {
+        let src = bases("AAAAAAAA");
+        let dst = bases("TTTTTTTT");
+        assert!(banded_edit_script(&src, &dst, 3).is_none());
+        assert!(banded_edit_script(&src, &dst, 8).is_some());
+    }
+
+    #[test]
+    fn length_gap_beyond_band_returns_none() {
+        let src = bases("ACGT");
+        let dst = bases("ACGTACGTACGT");
+        assert!(banded_edit_script(&src, &dst, 3).is_none());
+    }
+
+    #[test]
+    fn script_length_equals_distance() {
+        let src = bases("ACGTACGTACGTACGT");
+        let dst = bases("ACGAACGTACTTACG");
+        let d = levenshtein(&src, &dst);
+        let script = banded_edit_script(&src, &dst, 8).unwrap();
+        assert_eq!(script.len(), d);
+        assert_eq!(apply_edit_script(&src, &script).unwrap(), dst);
+    }
+
+    #[test]
+    fn apply_rejects_out_of_range() {
+        let src = bases("ACGT");
+        let bad = [EditOp::Replace {
+            pos: 10,
+            base: Base::A,
+        }];
+        assert!(apply_edit_script(&src, &bad).is_none());
+        let bad = [EditOp::Delete { pos: 4 }];
+        assert!(apply_edit_script(&src, &bad).is_none());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(banded_edit_script(&[], &[], 0).unwrap(), vec![]);
+        let dst = bases("ACG");
+        let script = banded_edit_script(&[], &dst, 3).unwrap();
+        assert_eq!(script.len(), 3);
+        assert_eq!(apply_edit_script(&[], &script).unwrap(), dst);
+        let src = bases("ACG");
+        let script = banded_edit_script(&src, &[], 3).unwrap();
+        assert_eq!(script.len(), 3);
+        assert_eq!(apply_edit_script(&src, &script).unwrap(), vec![]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn banded_matches_levenshtein_within_band(a in "[ACGT]{0,40}", b in "[ACGT]{0,40}") {
+            let (a, b) = (bases(&a), bases(&b));
+            let d = levenshtein(&a, &b);
+            match banded_edit_script(&a, &b, 12) {
+                Some(script) => {
+                    prop_assert!(d <= 12);
+                    prop_assert_eq!(script.len(), d);
+                    prop_assert_eq!(apply_edit_script(&a, &script).unwrap(), b);
+                }
+                None => prop_assert!(d > 12),
+            }
+        }
+
+        #[test]
+        fn mutated_copies_have_short_scripts(s in "[ACGT]{20,120}", flips in prop::collection::vec((any::<u16>(), 0u8..3), 0..5) ) {
+            let src = bases(&s);
+            let mut dst = src.clone();
+            for &(pos, delta) in &flips {
+                let p = pos as usize % dst.len();
+                dst[p] = Base::from_code(dst[p].code().wrapping_add(delta + 1));
+            }
+            let script = banded_edit_script(&src, &dst, 8).expect("few replaces fit band");
+            prop_assert!(script.len() <= flips.len());
+            prop_assert_eq!(apply_edit_script(&src, &script).unwrap(), dst);
+        }
+
+        #[test]
+        fn distance_metric_axioms(a in "[ACGT]{0,25}", b in "[ACGT]{0,25}", c in "[ACGT]{0,25}") {
+            let (a, b, c) = (bases(&a), bases(&b), bases(&c));
+            let dab = levenshtein(&a, &b);
+            let dba = levenshtein(&b, &a);
+            prop_assert_eq!(dab, dba);                       // symmetry
+            prop_assert_eq!(levenshtein(&a, &a), 0);          // identity
+            let dac = levenshtein(&a, &c);
+            let dbc = levenshtein(&b, &c);
+            prop_assert!(dac <= dab + dbc);                   // triangle
+        }
+    }
+}

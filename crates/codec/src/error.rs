@@ -1,0 +1,58 @@
+//! Error type shared by all codecs.
+
+use std::fmt;
+
+/// Errors produced while encoding or decoding bit streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The reader ran past the end of the input bit stream.
+    UnexpectedEof,
+    /// A decoded value was outside its legal range.
+    Corrupt(&'static str),
+    /// Container checksum mismatch — the payload was damaged in transit.
+    ChecksumMismatch {
+        /// Checksum stored in the container header.
+        expected: u64,
+        /// Checksum of the decoded data.
+        actual: u64,
+    },
+    /// A container declared an unknown format or algorithm tag.
+    UnknownFormat(u8),
+    /// A value to encode exceeded what the code can represent.
+    ValueTooLarge(u64),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of bit stream"),
+            CodecError::Corrupt(what) => write!(f, "corrupt stream: {what}"),
+            CodecError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checksum mismatch: header says {expected:#018x}, data hashes to {actual:#018x}"
+            ),
+            CodecError::UnknownFormat(tag) => write!(f, "unknown format tag {tag:#04x}"),
+            CodecError::ValueTooLarge(v) => write!(f, "value {v} too large for this code"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CodecError::UnexpectedEof.to_string().contains("end"));
+        assert!(CodecError::Corrupt("bad length").to_string().contains("bad length"));
+        let e = CodecError::ChecksumMismatch {
+            expected: 1,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("checksum"));
+        assert!(CodecError::UnknownFormat(0xAB).to_string().contains("0xab"));
+        assert!(CodecError::ValueTooLarge(99).to_string().contains("99"));
+    }
+}

@@ -1,0 +1,296 @@
+//! Universal integer codes: Fibonacci and Elias gamma/delta.
+//!
+//! BioCompress and DNAC encode repeat lengths/positions with **Fibonacci
+//! coding** (paper Table 1); Elias codes are the standard alternative and
+//! are used by our DNAPack-lite port. All codes here encode integers
+//! `≥ 1`; callers shift by one for zero-based values.
+//!
+//! Fibonacci coding writes the Zeckendorf representation of `n` (a sum of
+//! non-consecutive Fibonacci numbers) as a bit set, least-significant
+//! Fibonacci term first, terminated by an extra `1` — the only place two
+//! consecutive `1`s appear, making the code self-delimiting and robust to
+//! bit slips.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::error::CodecError;
+
+/// Fibonacci numbers F(2)=1, F(3)=2, … up to the largest that fits in u64.
+/// `FIBS[0] = 1, FIBS[1] = 2, FIBS[2] = 3, FIBS[3] = 5, …`
+const fn build_fibs() -> ([u64; 92], usize) {
+    let mut fibs = [0u64; 92];
+    fibs[0] = 1;
+    fibs[1] = 2;
+    let mut i = 2;
+    loop {
+        if i == 92 {
+            break;
+        }
+        let next = fibs[i - 1].wrapping_add(fibs[i - 2]);
+        if next < fibs[i - 1] {
+            break; // overflowed u64
+        }
+        fibs[i] = next;
+        i += 1;
+    }
+    (fibs, i)
+}
+
+const FIBS_AND_LEN: ([u64; 92], usize) = build_fibs();
+const FIBS: [u64; 92] = FIBS_AND_LEN.0;
+const NFIBS: usize = FIBS_AND_LEN.1;
+
+/// Encode `n ≥ 1` in Fibonacci code.
+pub fn fib_encode(w: &mut BitWriter, n: u64) -> Result<(), CodecError> {
+    if n == 0 {
+        return Err(CodecError::ValueTooLarge(0));
+    }
+    // Find the largest Fibonacci number ≤ n, then greedily subtract.
+    let mut hi = 0usize;
+    for (i, &f) in FIBS[..NFIBS].iter().enumerate() {
+        if f <= n {
+            hi = i;
+        } else {
+            break;
+        }
+    }
+    let mut bits = vec![false; hi + 1];
+    let mut rem = n;
+    let mut i = hi as isize;
+    while rem > 0 && i >= 0 {
+        if FIBS[i as usize] <= rem {
+            rem -= FIBS[i as usize];
+            bits[i as usize] = true;
+            i -= 2; // Zeckendorf: no two consecutive terms
+        } else {
+            i -= 1;
+        }
+    }
+    debug_assert_eq!(rem, 0);
+    for bit in bits {
+        w.push_bit(bit);
+    }
+    w.push_bit(true); // terminator: creates the unique "11" pair
+    Ok(())
+}
+
+/// Decode one Fibonacci-coded integer.
+pub fn fib_decode(r: &mut BitReader<'_>) -> Result<u64, CodecError> {
+    let mut value: u64 = 0;
+    let mut prev = false;
+    let mut i = 0usize;
+    loop {
+        let bit = r.read_bit()?;
+        if bit && prev {
+            return Ok(value);
+        }
+        if bit {
+            if i >= NFIBS {
+                return Err(CodecError::Corrupt("fibonacci code too long"));
+            }
+            value = value
+                .checked_add(FIBS[i])
+                .ok_or(CodecError::Corrupt("fibonacci overflow"))?;
+        }
+        prev = bit;
+        i += 1;
+        if i > NFIBS + 1 {
+            return Err(CodecError::Corrupt("unterminated fibonacci code"));
+        }
+    }
+}
+
+/// Encode `n ≥ 1` in Elias gamma: `floor(log2 n)` zeros, then `n` in
+/// binary.
+pub fn gamma_encode(w: &mut BitWriter, n: u64) -> Result<(), CodecError> {
+    if n == 0 {
+        return Err(CodecError::ValueTooLarge(0));
+    }
+    let width = 63 - n.leading_zeros(); // floor(log2 n)
+    for _ in 0..width {
+        w.push_bit(false);
+    }
+    w.push_bits(n, width + 1);
+    Ok(())
+}
+
+/// Decode one Elias-gamma integer.
+pub fn gamma_decode(r: &mut BitReader<'_>) -> Result<u64, CodecError> {
+    let mut zeros = 0u32;
+    while !r.read_bit()? {
+        zeros += 1;
+        if zeros > 63 {
+            return Err(CodecError::Corrupt("gamma prefix too long"));
+        }
+    }
+    let rest = r.read_bits(zeros)?;
+    Ok((1u64 << zeros) | rest)
+}
+
+/// Encode `n ≥ 1` in Elias delta: gamma-code the bit length, then the
+/// mantissa. Shorter than gamma for large n.
+pub fn delta_encode(w: &mut BitWriter, n: u64) -> Result<(), CodecError> {
+    if n == 0 {
+        return Err(CodecError::ValueTooLarge(0));
+    }
+    let width = 63 - n.leading_zeros();
+    gamma_encode(w, (width + 1) as u64)?;
+    w.push_bits(n & !(1u64 << width), width); // drop the leading 1 bit
+    Ok(())
+}
+
+/// Decode one Elias-delta integer.
+pub fn delta_decode(r: &mut BitReader<'_>) -> Result<u64, CodecError> {
+    let len = gamma_decode(r)?;
+    if len == 0 || len > 64 {
+        return Err(CodecError::Corrupt("delta length out of range"));
+    }
+    let width = (len - 1) as u32;
+    let rest = r.read_bits(width)?;
+    Ok(if width == 64 {
+        rest // cannot happen: width ≤ 63 since len ≤ 64 and 1 << 63 is the top bit
+    } else {
+        (1u64 << width) | rest
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fib_table_starts_correctly() {
+        assert_eq!(&FIBS[..8], &[1, 2, 3, 5, 8, 13, 21, 34]);
+        const { assert!(NFIBS >= 86) } // F(87) ≈ 6.8e17 < u64::MAX < F(93)
+    }
+
+    #[test]
+    fn fib_known_codewords() {
+        // Classic examples: 1 -> "11", 2 -> "011", 3 -> "0011", 4 -> "1011".
+        let cases: [(u64, &str); 5] =
+            [(1, "11"), (2, "011"), (3, "0011"), (4, "1011"), (11, "001011")];
+        for (n, code) in cases {
+            let mut w = BitWriter::new();
+            fib_encode(&mut w, n).unwrap();
+            let bits: String = {
+                let bytes = w.as_bytes().to_vec();
+                let mut r = BitReader::new(&bytes);
+                (0..w.bit_len())
+                    .map(|_| if r.read_bit().unwrap() { '1' } else { '0' })
+                    .collect()
+            };
+            assert_eq!(bits, code, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn fib_zero_rejected() {
+        let mut w = BitWriter::new();
+        assert!(fib_encode(&mut w, 0).is_err());
+    }
+
+    #[test]
+    fn gamma_known_codewords() {
+        // 1 -> "1", 2 -> "010", 3 -> "011", 4 -> "00100".
+        for (n, code) in [(1u64, "1"), (2, "010"), (3, "011"), (4, "00100")] {
+            let mut w = BitWriter::new();
+            gamma_encode(&mut w, n).unwrap();
+            assert_eq!(w.bit_len(), code.len(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn sequences_of_mixed_codes_roundtrip() {
+        let values = [1u64, 2, 3, 7, 100, 12_345, u32::MAX as u64, 1, 1];
+        let mut w = BitWriter::new();
+        for &v in &values {
+            fib_encode(&mut w, v).unwrap();
+            gamma_encode(&mut w, v).unwrap();
+            delta_encode(&mut w, v).unwrap();
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(fib_decode(&mut r).unwrap(), v);
+            assert_eq!(gamma_decode(&mut r).unwrap(), v);
+            assert_eq!(delta_decode(&mut r).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn u64_extremes() {
+        for v in [1u64, u64::MAX / 2, u64::MAX - 1, u64::MAX] {
+            let mut w = BitWriter::new();
+            fib_encode(&mut w, v).unwrap();
+            delta_encode(&mut w, v).unwrap();
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            assert_eq!(fib_decode(&mut r).unwrap(), v);
+            assert_eq!(delta_decode(&mut r).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn truncated_streams_error() {
+        let mut w = BitWriter::new();
+        fib_encode(&mut w, 1_000_000).unwrap();
+        let bytes = w.into_bytes();
+        let trunc = &bytes[..bytes.len() - 1];
+        let mut r = BitReader::new(trunc);
+        // Either EOF or corrupt — must not panic or loop forever.
+        assert!(fib_decode(&mut r).is_err() || fib_decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn all_zero_stream_is_corrupt_for_fib() {
+        let bytes = vec![0u8; 32];
+        let mut r = BitReader::new(&bytes);
+        assert!(fib_decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn gamma_all_zeros_is_corrupt() {
+        let bytes = vec![0u8; 16];
+        let mut r = BitReader::new(&bytes);
+        assert!(gamma_decode(&mut r).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn fib_roundtrip(v in 1u64..=u64::MAX) {
+            let mut w = BitWriter::new();
+            fib_encode(&mut w, v).unwrap();
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            prop_assert_eq!(fib_decode(&mut r).unwrap(), v);
+        }
+
+        #[test]
+        fn gamma_roundtrip(v in 1u64..=u64::MAX) {
+            let mut w = BitWriter::new();
+            gamma_encode(&mut w, v).unwrap();
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            prop_assert_eq!(gamma_decode(&mut r).unwrap(), v);
+        }
+
+        #[test]
+        fn delta_roundtrip(v in 1u64..=u64::MAX) {
+            let mut w = BitWriter::new();
+            delta_encode(&mut w, v).unwrap();
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            prop_assert_eq!(delta_decode(&mut r).unwrap(), v);
+        }
+
+        #[test]
+        fn fib_never_panics_on_random_bytes(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+            let mut r = BitReader::new(&bytes);
+            let _ = fib_decode(&mut r);
+            let mut r = BitReader::new(&bytes);
+            let _ = gamma_decode(&mut r);
+            let mut r = BitReader::new(&bytes);
+            let _ = delta_decode(&mut r);
+        }
+    }
+}

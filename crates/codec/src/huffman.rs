@@ -1,0 +1,407 @@
+//! Canonical Huffman coding.
+//!
+//! Gzip's second stage (paper: "gzip which utilizes huffman + LZ") encodes
+//! LZ77 token streams with Huffman codes. This module builds
+//! length-limited canonical codes from symbol frequencies, serialises just
+//! the code lengths (as DEFLATE does), and provides encode/decode.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::error::CodecError;
+
+/// Maximum codeword length. 15 matches DEFLATE's limit.
+pub const MAX_CODE_LEN: u32 = 15;
+
+/// A canonical Huffman code over `n` symbols.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HuffmanCode {
+    /// Code length per symbol; 0 = symbol unused.
+    lens: Vec<u32>,
+    /// Canonical codeword per symbol (valid where `lens > 0`).
+    codes: Vec<u32>,
+}
+
+impl HuffmanCode {
+    /// Build a length-limited canonical code from frequencies.
+    ///
+    /// Symbols with zero frequency get no code. If only one symbol occurs
+    /// it is assigned a 1-bit code (as DEFLATE does) so the stream is
+    /// still decodable.
+    pub fn from_freqs(freqs: &[u64]) -> Result<HuffmanCode, CodecError> {
+        let n = freqs.len();
+        let used: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
+        let mut lens = vec![0u32; n];
+        match used.len() {
+            0 => return Ok(HuffmanCode { lens, codes: vec![0; n] }),
+            1 => lens[used[0]] = 1,
+            _ => {
+                // Standard two-queue Huffman on (freq, node) pairs, then
+                // depth extraction; lengths above MAX_CODE_LEN are fixed
+                // up with the simple "flatten" heuristic.
+                #[derive(Clone)]
+                enum Node {
+                    Leaf(usize),
+                    Internal(usize, usize),
+                }
+                let mut nodes: Vec<Node> = used.iter().map(|&s| Node::Leaf(s)).collect();
+                // (freq, node_index); use a binary heap via sort-based merge.
+                let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> =
+                    used.iter()
+                        .enumerate()
+                        .map(|(i, &s)| std::cmp::Reverse((freqs[s], i)))
+                        .collect();
+                while heap.len() > 1 {
+                    let std::cmp::Reverse((fa, a)) = heap.pop().expect("len > 1");
+                    let std::cmp::Reverse((fb, b)) = heap.pop().expect("len > 1");
+                    nodes.push(Node::Internal(a, b));
+                    heap.push(std::cmp::Reverse((fa + fb, nodes.len() - 1)));
+                }
+                // Depth-first traversal to assign lengths.
+                let root = heap.pop().expect("one root").0 .1;
+                let mut stack = vec![(root, 0u32)];
+                while let Some((idx, depth)) = stack.pop() {
+                    match nodes[idx] {
+                        Node::Leaf(sym) => lens[sym] = depth.max(1),
+                        Node::Internal(a, b) => {
+                            stack.push((a, depth + 1));
+                            stack.push((b, depth + 1));
+                        }
+                    }
+                }
+                limit_lengths(&mut lens, MAX_CODE_LEN)?;
+            }
+        }
+        let codes = canonical_codes(&lens)?;
+        Ok(HuffmanCode { lens, codes })
+    }
+
+    /// Reconstruct a code from its canonical lengths (as read from a
+    /// container header).
+    pub fn from_lens(lens: Vec<u32>) -> Result<HuffmanCode, CodecError> {
+        if lens.iter().any(|&l| l > MAX_CODE_LEN) {
+            return Err(CodecError::Corrupt("huffman length above limit"));
+        }
+        let codes = canonical_codes(&lens)?;
+        Ok(HuffmanCode { lens, codes })
+    }
+
+    /// Code length per symbol (0 = unused).
+    pub fn lens(&self) -> &[u32] {
+        &self.lens
+    }
+
+    /// Encode `sym` into `w`.
+    pub fn encode(&self, w: &mut BitWriter, sym: usize) -> Result<(), CodecError> {
+        let len = *self.lens.get(sym).ok_or(CodecError::Corrupt("symbol out of range"))?;
+        if len == 0 {
+            return Err(CodecError::Corrupt("encoding symbol with no code"));
+        }
+        w.push_bits(self.codes[sym] as u64, len);
+        Ok(())
+    }
+
+    /// Decoder table for this code.
+    pub fn decoder(&self) -> HuffmanDecoder {
+        HuffmanDecoder::new(self)
+    }
+
+    /// Mean code length in bits under the given frequency distribution.
+    pub fn mean_len(&self, freqs: &[u64]) -> f64 {
+        let total: u64 = freqs.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let bits: u64 = freqs
+            .iter()
+            .zip(&self.lens)
+            .map(|(&f, &l)| f * l as u64)
+            .sum();
+        bits as f64 / total as f64
+    }
+}
+
+/// Kraft-sum-preserving length limiting: repeatedly shorten the deepest
+/// overlong leaf by deepening a shallower one.
+fn limit_lengths(lens: &mut [u32], max: u32) -> Result<(), CodecError> {
+    loop {
+        let Some(over) = (0..lens.len()).find(|&i| lens[i] > max) else {
+            return Ok(());
+        };
+        // Demote: clamp the overlong code and re-balance by extending the
+        // longest code shorter than max-1.
+        lens[over] = max;
+        // Check Kraft inequality; if violated, deepen the shallowest other.
+        while kraft_sum(lens) > 1.0 + 1e-12 {
+            let donor = (0..lens.len())
+                .filter(|&i| lens[i] > 0 && lens[i] < max)
+                .max_by_key(|&i| lens[i])
+                .ok_or(CodecError::Corrupt("cannot length-limit code"))?;
+            lens[donor] += 1;
+        }
+    }
+}
+
+fn kraft_sum(lens: &[u32]) -> f64 {
+    lens.iter()
+        .filter(|&&l| l > 0)
+        .map(|&l| (0.5f64).powi(l as i32))
+        .sum()
+}
+
+/// Assign canonical codewords given lengths. Validates the Kraft sum.
+fn canonical_codes(lens: &[u32]) -> Result<Vec<u32>, CodecError> {
+    let mut codes = vec![0u32; lens.len()];
+    let max_len = lens.iter().copied().max().unwrap_or(0);
+    if max_len == 0 {
+        return Ok(codes);
+    }
+    let mut bl_count = vec![0u32; (max_len + 1) as usize];
+    for &l in lens {
+        if l > 0 {
+            bl_count[l as usize] += 1;
+        }
+    }
+    // DEFLATE's next_code computation.
+    let mut code = 0u32;
+    let mut next_code = vec![0u32; (max_len + 2) as usize];
+    for bits in 1..=max_len {
+        code = (code + bl_count[(bits - 1) as usize]) << 1;
+        next_code[bits as usize] = code;
+    }
+    // Overfull check: codes of length L must fit in L bits.
+    for bits in 1..=max_len {
+        let end = next_code[bits as usize] + bl_count[bits as usize];
+        if end > (1u32 << bits) {
+            return Err(CodecError::Corrupt("huffman lengths overfull"));
+        }
+    }
+    // Canonical order: by (length, symbol index).
+    for (sym, &l) in lens.iter().enumerate() {
+        if l > 0 {
+            codes[sym] = next_code[l as usize];
+            next_code[l as usize] += 1;
+        }
+    }
+    Ok(codes)
+}
+
+/// Table-driven decoder for a canonical code.
+#[derive(Clone, Debug)]
+pub struct HuffmanDecoder {
+    /// For each length L: (first_code[L], first_index[L]).
+    first_code: Vec<u32>,
+    first_index: Vec<u32>,
+    /// Symbols sorted canonically (by length then index).
+    sorted_syms: Vec<u32>,
+    max_len: u32,
+}
+
+impl HuffmanDecoder {
+    fn new(code: &HuffmanCode) -> Self {
+        let max_len = code.lens.iter().copied().max().unwrap_or(0);
+        let mut sorted: Vec<(u32, u32)> = code
+            .lens
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l > 0)
+            .map(|(s, &l)| (l, s as u32))
+            .collect();
+        sorted.sort_unstable();
+        let sorted_syms: Vec<u32> = sorted.iter().map(|&(_, s)| s).collect();
+        let mut first_code = vec![u32::MAX; (max_len + 2) as usize];
+        let mut first_index = vec![0u32; (max_len + 2) as usize];
+        for (idx, &(l, s)) in sorted.iter().enumerate() {
+            if first_code[l as usize] == u32::MAX {
+                first_code[l as usize] = code.codes[s as usize];
+                first_index[l as usize] = idx as u32;
+            }
+        }
+        HuffmanDecoder {
+            first_code,
+            first_index,
+            sorted_syms,
+            max_len,
+        }
+    }
+
+    /// Decode one symbol from `r`.
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<usize, CodecError> {
+        if self.max_len == 0 {
+            return Err(CodecError::Corrupt("decoding with empty huffman code"));
+        }
+        let mut code = 0u32;
+        for len in 1..=self.max_len {
+            code = (code << 1) | r.read_bit()? as u32;
+            let fc = self.first_code[len as usize];
+            if fc == u32::MAX {
+                continue;
+            }
+            // Count of codes at this length:
+            let count = self.count_at(len);
+            if code >= fc && code < fc + count {
+                let idx = self.first_index[len as usize] + (code - fc);
+                return Ok(self.sorted_syms[idx as usize] as usize);
+            }
+        }
+        Err(CodecError::Corrupt("invalid huffman codeword"))
+    }
+
+    fn count_at(&self, len: u32) -> u32 {
+        let start = self.first_index[len as usize];
+        // Next populated length's first_index bounds the count.
+        let mut end = self.sorted_syms.len() as u32;
+        for l in (len + 1)..=self.max_len {
+            if self.first_code[l as usize] != u32::MAX {
+                end = self.first_index[l as usize];
+                break;
+            }
+        }
+        end - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(freqs: &[u64], stream: &[usize]) {
+        let code = HuffmanCode::from_freqs(freqs).unwrap();
+        let mut w = BitWriter::new();
+        for &s in stream {
+            code.encode(&mut w, s).unwrap();
+        }
+        let bytes = w.into_bytes();
+        // Simulate header transport: rebuild from lengths alone.
+        let rebuilt = HuffmanCode::from_lens(code.lens().to_vec()).unwrap();
+        assert_eq!(rebuilt, code);
+        let dec = rebuilt.decoder();
+        let mut r = BitReader::new(&bytes);
+        for &s in stream {
+            assert_eq!(dec.decode(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn two_symbol_code() {
+        roundtrip(&[3, 1], &[0, 0, 1, 0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn single_symbol_gets_one_bit() {
+        let code = HuffmanCode::from_freqs(&[0, 7, 0]).unwrap();
+        assert_eq!(code.lens(), &[0, 1, 0]);
+        roundtrip(&[0, 7, 0], &[1, 1, 1]);
+    }
+
+    #[test]
+    fn empty_distribution() {
+        let code = HuffmanCode::from_freqs(&[0, 0, 0]).unwrap();
+        assert_eq!(code.lens(), &[0, 0, 0]);
+        let mut w = BitWriter::new();
+        assert!(code.encode(&mut w, 0).is_err());
+    }
+
+    #[test]
+    fn optimality_on_dyadic_distribution() {
+        // freqs 8,4,2,1,1 -> lengths 1,2,3,4,4 (entropy-optimal).
+        let code = HuffmanCode::from_freqs(&[8, 4, 2, 1, 1]).unwrap();
+        let mut lens = code.lens().to_vec();
+        lens.sort_unstable();
+        assert_eq!(lens, vec![1, 2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn mean_len_close_to_entropy() {
+        let freqs = [50u64, 25, 15, 10];
+        let code = HuffmanCode::from_freqs(&freqs).unwrap();
+        let entropy: f64 = {
+            let total: u64 = freqs.iter().sum();
+            freqs
+                .iter()
+                .map(|&f| {
+                    let p = f as f64 / total as f64;
+                    -p * p.log2()
+                })
+                .sum()
+        };
+        let mean = code.mean_len(&freqs);
+        assert!(mean >= entropy - 1e-9);
+        assert!(mean <= entropy + 1.0, "mean {mean} vs entropy {entropy}");
+    }
+
+    #[test]
+    fn skewed_distribution_is_length_limited() {
+        // Fibonacci-like frequencies force deep trees; lengths must be
+        // clamped to MAX_CODE_LEN yet remain decodable.
+        let mut freqs = vec![0u64; 40];
+        let mut a = 1u64;
+        let mut b = 1u64;
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let code = HuffmanCode::from_freqs(&freqs).unwrap();
+        assert!(code.lens().iter().all(|&l| l <= MAX_CODE_LEN));
+        let stream: Vec<usize> = (0..40).chain((0..40).rev()).collect();
+        roundtrip(&freqs, &stream);
+    }
+
+    #[test]
+    fn from_lens_rejects_overfull() {
+        // Three codes of length 1 cannot exist.
+        assert!(HuffmanCode::from_lens(vec![1, 1, 1]).is_err());
+        assert!(HuffmanCode::from_lens(vec![16]).is_err());
+    }
+
+    #[test]
+    fn decoder_rejects_invalid_codeword() {
+        // Lengths {1, 2, 3}: codeword space not full (Kraft sum 7/8), so
+        // some 3-bit pattern is invalid.
+        let code = HuffmanCode::from_lens(vec![1, 2, 3]).unwrap();
+        let dec = code.decoder();
+        // canonical: sym0="0", sym1="10", sym2="110"; "111" is invalid.
+        let bytes = [0b1110_0000u8];
+        let mut r = BitReader::new(&bytes);
+        assert!(dec.decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn decoder_eof_mid_codeword() {
+        let code = HuffmanCode::from_freqs(&[1, 1, 1, 1]).unwrap();
+        let dec = code.decoder();
+        let mut r = BitReader::new(&[]);
+        assert_eq!(dec.decode(&mut r), Err(CodecError::UnexpectedEof));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn arbitrary_freqs_roundtrip(
+            freqs in prop::collection::vec(0u64..10_000, 1..64),
+            picks in prop::collection::vec(any::<u16>(), 0..200),
+        ) {
+            let used: Vec<usize> = (0..freqs.len()).filter(|&i| freqs[i] > 0).collect();
+            prop_assume!(!used.is_empty());
+            let stream: Vec<usize> = picks
+                .iter()
+                .map(|&p| used[p as usize % used.len()])
+                .collect();
+            roundtrip(&freqs, &stream);
+        }
+
+        #[test]
+        fn decode_never_panics_on_noise(
+            lens_seed in prop::collection::vec(1u32..=8, 2..20),
+            noise in prop::collection::vec(any::<u8>(), 0..64),
+        ) {
+            // Build *some* valid code from frequencies derived from seed.
+            let freqs: Vec<u64> = lens_seed.iter().map(|&l| 1u64 << l).collect();
+            let code = HuffmanCode::from_freqs(&freqs).unwrap();
+            let dec = code.decoder();
+            let mut r = BitReader::new(&noise);
+            while dec.decode(&mut r).is_ok() {}
+        }
+    }
+}

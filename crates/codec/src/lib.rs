@@ -1,0 +1,43 @@
+//! # dnacomp-codec — shared compression machinery
+//!
+//! Every compressor in Table 1 of the paper is assembled from a small set
+//! of primitives: bit-level I/O, an arithmetic coder, adaptive context
+//! models, universal integer codes (Fibonacci, Elias), Huffman coding,
+//! LZ77 matching, repeat search (exact and reverse-complement), and edit
+//! distance. This crate implements all of them from scratch so that
+//! `dnacomp-algos` can port CTW, DNAX, GenCompress and Gzip faithfully.
+//!
+//! Layering:
+//!
+//! ```text
+//! bitio ── arith ── models ── ctw
+//!    │        │
+//!    ├── fibonacci / elias / varint
+//!    ├── huffman
+//!    └── lz  ── repeats ── edit
+//! ```
+//!
+//! All decoders are hardened: corrupt input yields [`CodecError`], never a
+//! panic or silently wrong output (containers carry an FNV-1a checksum,
+//! see [`checksum`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arith;
+pub mod bitio;
+pub mod checksum;
+pub mod ctw;
+pub mod edit;
+pub mod error;
+pub mod fibonacci;
+pub mod huffman;
+pub mod lz;
+pub mod models;
+pub mod repeats;
+pub mod spaced;
+pub mod suffix;
+pub mod varint;
+
+pub use bitio::{BitReader, BitWriter};
+pub use error::CodecError;

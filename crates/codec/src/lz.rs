@@ -1,0 +1,355 @@
+//! LZ77 matching over byte streams.
+//!
+//! The backbone of the Gzip port ("gzip … utilizes huffman + LZ", §III)
+//! and of DNACompress-style repeat encoding. A hash-chain match finder
+//! produces a stream of [`Token`]s; parameters mirror zlib's knobs
+//! (window size, chain depth, lazy matching).
+
+use crate::error::CodecError;
+
+/// Minimum match length worth emitting (as in DEFLATE).
+pub const MIN_MATCH: usize = 3;
+/// Maximum match length (DEFLATE's 258).
+pub const MAX_MATCH: usize = 258;
+
+/// One LZ77 token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// A single literal byte.
+    Literal(u8),
+    /// A back-reference: copy `len` bytes from `dist` bytes behind the
+    /// current position. `1 ≤ dist ≤ window`, `MIN_MATCH ≤ len ≤ MAX_MATCH`.
+    Match {
+        /// Backwards distance in bytes.
+        dist: u32,
+        /// Copy length in bytes.
+        len: u32,
+    },
+}
+
+/// Match-finder configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LzConfig {
+    /// Sliding-window size in bytes (power of two ≤ 1 MiB).
+    pub window: usize,
+    /// Maximum hash-chain probes per position (compression effort).
+    pub max_chain: usize,
+    /// Enable one-step lazy matching (defer a match if the next position
+    /// matches longer), as zlib levels ≥ 4 do.
+    pub lazy: bool,
+}
+
+impl Default for LzConfig {
+    /// zlib-level-6-like effort: 32 KiB window, 128 probes, lazy on.
+    fn default() -> Self {
+        LzConfig {
+            window: 32 << 10,
+            max_chain: 128,
+            lazy: true,
+        }
+    }
+}
+
+impl LzConfig {
+    /// Fast preset (like zlib level 1).
+    pub fn fast() -> Self {
+        LzConfig {
+            window: 32 << 10,
+            max_chain: 8,
+            lazy: false,
+        }
+    }
+
+    /// Max-effort preset (like zlib level 9).
+    pub fn best() -> Self {
+        LzConfig {
+            window: 32 << 10,
+            max_chain: 1024,
+            lazy: true,
+        }
+    }
+}
+
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+#[inline]
+fn hash3(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], 0]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Tokenise `data` with hash-chain LZ77.
+pub fn tokenize(data: &[u8], cfg: &LzConfig) -> Vec<Token> {
+    assert!(cfg.window.is_power_of_two() && cfg.window <= 1 << 20);
+    let n = data.len();
+    let mut tokens = Vec::with_capacity(n / 4 + 16);
+    if n < MIN_MATCH {
+        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+    // head[h] = most recent position with hash h; prev[i % window] = chain.
+    let mut head = vec![u32::MAX; HASH_SIZE];
+    let mut prev = vec![u32::MAX; cfg.window];
+    let window = cfg.window;
+
+    let insert = |head: &mut [u32], prev: &mut [u32], data: &[u8], i: usize| {
+        if i + MIN_MATCH <= data.len() {
+            let h = hash3(data, i);
+            prev[i & (window - 1)] = head[h];
+            head[h] = i as u32;
+        }
+    };
+
+    let find_best = |head: &[u32], prev: &[u32], i: usize, min_len: usize| -> Option<(u32, u32)> {
+        if i + MIN_MATCH > n {
+            return None;
+        }
+        let h = hash3(data, i);
+        let mut cand = head[h];
+        let max_len = MAX_MATCH.min(n - i);
+        let mut best_len = min_len.max(MIN_MATCH - 1);
+        let mut best_dist = 0u32;
+        let mut probes = cfg.max_chain;
+        while cand != u32::MAX && probes > 0 {
+            let c = cand as usize;
+            if c >= i {
+                // Self or future position (stale chain entry): skip.
+                cand = prev[c & (window - 1)];
+                probes -= 1;
+                continue;
+            }
+            if i - c > window {
+                break;
+            }
+            // Quick reject on the byte after the current best.
+            if c + best_len < n
+                && i + best_len < n
+                && data[c + best_len] == data[i + best_len]
+            {
+                let mut l = 0usize;
+                while l < max_len && data[c + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = (i - c) as u32;
+                    if l >= max_len {
+                        break;
+                    }
+                }
+            } else if best_len < MIN_MATCH {
+                let mut l = 0usize;
+                while l < max_len && data[c + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = (i - c) as u32;
+                }
+            }
+            cand = prev[c & (window - 1)];
+            probes -= 1;
+        }
+        if best_len >= MIN_MATCH && best_dist > 0 {
+            Some((best_dist, best_len as u32))
+        } else {
+            None
+        }
+    };
+
+    let mut i = 0usize;
+    while i < n {
+        let here = find_best(&head, &prev, i, 0);
+        let use_match = match (here, cfg.lazy) {
+            (None, _) => None,
+            (Some((d, l)), false) => Some((d, l)),
+            (Some((d, l)), true) => {
+                // Lazy: peek one ahead; if strictly longer, emit a literal
+                // now and take the later match next iteration.
+                insert(&mut head, &mut prev, data, i);
+                let next = find_best(&head, &prev, i + 1, l as usize);
+                if next.is_some() {
+                    tokens.push(Token::Literal(data[i]));
+                    i += 1;
+                    continue;
+                }
+                Some((d, l))
+            }
+        };
+        match use_match {
+            Some((dist, len)) => {
+                tokens.push(Token::Match { dist, len });
+                // Insert every covered position into the chains. With lazy
+                // matching position i was already inserted by the probe;
+                // inserting twice would self-loop the chain.
+                let start = if cfg.lazy { i + 1 } else { i };
+                for p in start..(i + len as usize).min(n) {
+                    insert(&mut head, &mut prev, data, p);
+                }
+                i += len as usize;
+            }
+            None => {
+                tokens.push(Token::Literal(data[i]));
+                insert(&mut head, &mut prev, data, i);
+                i += 1;
+            }
+        }
+    }
+    tokens
+}
+
+/// Expand a token stream back into bytes.
+pub fn detokenize(tokens: &[Token]) -> Result<Vec<u8>, CodecError> {
+    let mut out: Vec<u8> = Vec::with_capacity(tokens.len() * 2);
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { dist, len } => {
+                let dist = dist as usize;
+                let len = len as usize;
+                if dist == 0 || dist > out.len() {
+                    return Err(CodecError::Corrupt("lz match distance out of range"));
+                }
+                if len > MAX_MATCH {
+                    return Err(CodecError::Corrupt("lz match length out of range"));
+                }
+                // Overlapping copies are legal (run-length style).
+                let start = out.len() - dist;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(data: &[u8], cfg: &LzConfig) {
+        let tokens = tokenize(data, cfg);
+        assert_eq!(detokenize(&tokens).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        for cfg in [LzConfig::default(), LzConfig::fast(), LzConfig::best()] {
+            roundtrip(b"", &cfg);
+            roundtrip(b"a", &cfg);
+            roundtrip(b"ab", &cfg);
+            roundtrip(b"abc", &cfg);
+        }
+    }
+
+    #[test]
+    fn repetitive_input_produces_matches() {
+        let data = b"abcabcabcabcabcabcabc".to_vec();
+        let tokens = tokenize(&data, &LzConfig::default());
+        assert!(
+            tokens.iter().any(|t| matches!(t, Token::Match { .. })),
+            "{tokens:?}"
+        );
+        assert_eq!(detokenize(&tokens).unwrap(), data);
+        // Token count well under input length.
+        assert!(tokens.len() < data.len() / 2);
+    }
+
+    #[test]
+    fn run_length_overlap() {
+        let data = vec![b'x'; 1000];
+        let tokens = tokenize(&data, &LzConfig::default());
+        assert_eq!(detokenize(&tokens).unwrap(), data);
+        assert!(tokens.len() <= 1 + 1000_usize.div_ceil(MAX_MATCH));
+    }
+
+    #[test]
+    fn long_random_roundtrip_all_presets() {
+        let mut x = 42u64;
+        let data: Vec<u8> = (0..20_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 56) as u8 % 7 // small alphabet to force matches
+            })
+            .collect();
+        for cfg in [LzConfig::default(), LzConfig::fast(), LzConfig::best()] {
+            roundtrip(&data, &cfg);
+        }
+    }
+
+    #[test]
+    fn matches_respect_window() {
+        let mut data = b"uniqueprefixXYZ".to_vec();
+        data.extend(std::iter::repeat_n(b'q', 5000));
+        data.extend_from_slice(b"uniqueprefixXYZ");
+        let cfg = LzConfig {
+            window: 4096,
+            max_chain: 64,
+            lazy: false,
+        };
+        let tokens = tokenize(&data, &cfg);
+        for t in &tokens {
+            if let Token::Match { dist, .. } = t {
+                assert!(*dist as usize <= 4096);
+            }
+        }
+        assert_eq!(detokenize(&tokens).unwrap(), data);
+    }
+
+    #[test]
+    fn detokenize_rejects_bad_distance() {
+        let bad = [Token::Match { dist: 5, len: 4 }];
+        assert!(detokenize(&bad).is_err());
+        let bad = [Token::Literal(1), Token::Match { dist: 0, len: 3 }];
+        assert!(detokenize(&bad).is_err());
+    }
+
+    #[test]
+    fn detokenize_rejects_bad_length() {
+        let bad = [
+            Token::Literal(1),
+            Token::Match {
+                dist: 1,
+                len: MAX_MATCH as u32 + 1,
+            },
+        ];
+        assert!(detokenize(&bad).is_err());
+    }
+
+    #[test]
+    fn lazy_beats_or_ties_greedy_on_classic_case() {
+        // "ab" then "bcde" then "abcde": greedy takes "ab" match (len 2 <
+        // MIN_MATCH, so actually literal) — use a case with real gains:
+        let data = b"xabcy_abcde_xabcde".to_vec();
+        let greedy = tokenize(
+            &data,
+            &LzConfig {
+                lazy: false,
+                ..LzConfig::default()
+            },
+        );
+        let lazy = tokenize(&data, &LzConfig::default());
+        assert_eq!(detokenize(&greedy).unwrap(), data);
+        assert_eq!(detokenize(&lazy).unwrap(), data);
+        assert!(lazy.len() <= greedy.len());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn roundtrip_arbitrary(data in prop::collection::vec(any::<u8>(), 0..4000)) {
+            roundtrip(&data, &LzConfig::default());
+        }
+
+        #[test]
+        fn roundtrip_small_alphabet(data in prop::collection::vec(0u8..4, 0..4000)) {
+            for cfg in [LzConfig::default(), LzConfig::fast(), LzConfig::best()] {
+                roundtrip(&data, &cfg);
+            }
+        }
+    }
+}

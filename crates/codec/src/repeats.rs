@@ -1,0 +1,464 @@
+//! Repeat search over DNA sequences.
+//!
+//! DNA-specific compressors exploit the paper's repeat classes (§II-B):
+//! DNAX encodes **exact** repeats and **reverse-complement** repeats
+//! ("'A' always having a pair with 'T', and 'C' with 'G'"), while
+//! GenCompress extends exact seeds into **approximate** repeats with edit
+//! operations. This module provides the shared seed-and-extend machinery:
+//! a hash-chain index over 2-bit-packed k-mers that answers "longest
+//! forward match" and "longest reverse-complement match" queries as the
+//! compressor sweeps left to right.
+
+use dnacomp_seq::Base;
+use std::collections::HashMap;
+
+/// Orientation of a repeat.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RepeatKind {
+    /// `text[dst..dst+len] == text[src..src+len]` with `src < dst`
+    /// (LZ-style overlap allowed: `src + len` may exceed `dst`).
+    Forward,
+    /// `text[dst+l] == complement(text[src_end-1-l])` for `l < len`, with
+    /// `src_end ≤ dst` — the copy reads *backwards* from `src_end`,
+    /// complementing each base.
+    ReverseComplement,
+}
+
+/// A repeat found at some destination position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RepeatMatch {
+    /// Forward: source start. ReverseComplement: source *end* (exclusive).
+    pub src: usize,
+    /// Match length in bases.
+    pub len: usize,
+    /// Orientation.
+    pub kind: RepeatKind,
+}
+
+impl RepeatMatch {
+    /// Materialise the referenced bases given the already-decoded prefix.
+    /// Used by decoders; returns `None` if the reference is invalid.
+    pub fn resolve(&self, prefix: &[Base], dst: usize) -> Option<Vec<Base>> {
+        match self.kind {
+            RepeatKind::Forward => {
+                if self.src >= dst || self.src >= prefix.len() {
+                    return None;
+                }
+                // Overlapping copy (LZ-style): base `src + l` may land in
+                // the part this match itself produced; since `src < dst`,
+                // that part is already in `out` when needed.
+                let mut out: Vec<Base> = Vec::with_capacity(self.len);
+                for l in 0..self.len {
+                    let idx = self.src + l;
+                    let b = if idx < prefix.len() {
+                        prefix[idx]
+                    } else {
+                        *out.get(idx - prefix.len())?
+                    };
+                    out.push(b);
+                }
+                Some(out)
+            }
+            RepeatKind::ReverseComplement => {
+                if self.src > dst || self.src > prefix.len() || self.len > self.src {
+                    return None;
+                }
+                Some(
+                    (0..self.len)
+                        .map(|l| prefix[self.src - 1 - l].complement())
+                        .collect(),
+                )
+            }
+        }
+    }
+}
+
+/// Configuration for the repeat finder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RepeatConfig {
+    /// Seed k-mer length (4..=31). Longer seeds are faster but miss short
+    /// repeats; DNAX-style compressors use ~12–16.
+    pub seed_len: usize,
+    /// Maximum chain probes per query (effort knob — the paper's
+    /// "threshold is what changes the RAM consumption and time").
+    pub max_chain: usize,
+    /// Search window: only sources within this many bases are considered
+    /// (0 = unbounded).
+    pub window: usize,
+    /// Also search reverse-complement repeats.
+    pub search_revcomp: bool,
+}
+
+impl Default for RepeatConfig {
+    fn default() -> Self {
+        RepeatConfig {
+            seed_len: 12,
+            max_chain: 64,
+            window: 0,
+            search_revcomp: true,
+        }
+    }
+}
+
+/// Hash-chain index answering longest-match queries as a left-to-right
+/// sweep advances. The caller must call [`RepeatFinder::advance`] to
+/// publish positions into the index before querying past them.
+pub struct RepeatFinder<'a> {
+    text: &'a [Base],
+    cfg: RepeatConfig,
+    /// kmer -> most recent published start position.
+    head: HashMap<u64, u32>,
+    /// prev[pos] = previous position with the same kmer.
+    prev: Vec<u32>,
+    /// Positions `< published` are in the index.
+    published: usize,
+    /// Rolling k-mer of the last published window.
+    mask: u64,
+}
+
+const NO_POS: u32 = u32::MAX;
+
+impl<'a> RepeatFinder<'a> {
+    /// Build an empty index over `text`.
+    pub fn new(text: &'a [Base], cfg: RepeatConfig) -> Self {
+        assert!((4..=31).contains(&cfg.seed_len), "seed_len out of range");
+        RepeatFinder {
+            text,
+            cfg,
+            head: HashMap::new(),
+            prev: vec![NO_POS; text.len()],
+            published: 0,
+            mask: (1u64 << (2 * cfg.seed_len)) - 1,
+        }
+    }
+
+    /// Approximate heap footprint in bytes (for the RAM meter).
+    pub fn heap_bytes(&self) -> usize {
+        self.prev.capacity() * 4 + self.head.capacity() * (8 + 4 + 8)
+    }
+
+    fn kmer_at(&self, pos: usize) -> u64 {
+        let mut v = 0u64;
+        for b in &self.text[pos..pos + self.cfg.seed_len] {
+            v = (v << 2) | b.code() as u64;
+        }
+        v
+    }
+
+    fn revcomp_kmer(&self, mut v: u64) -> u64 {
+        // Reverse the k 2-bit groups and complement each (XOR 0b11).
+        let k = self.cfg.seed_len;
+        let mut out = 0u64;
+        for _ in 0..k {
+            out = (out << 2) | ((v & 0b11) ^ 0b11);
+            v >>= 2;
+        }
+        out
+    }
+
+    /// Publish all positions `< upto` into the index.
+    pub fn advance(&mut self, upto: usize) {
+        let k = self.cfg.seed_len;
+        while self.published < upto.min(self.text.len().saturating_sub(k - 1)) {
+            let pos = self.published;
+            let kmer = self.kmer_at(pos) & self.mask;
+            let old = self.head.insert(kmer, pos as u32).unwrap_or(NO_POS);
+            self.prev[pos] = old;
+            self.published += 1;
+        }
+        self.published = self.published.max(upto.min(self.text.len()));
+    }
+
+    /// Longest repeat (of either configured orientation) whose copy starts
+    /// at `dst`. Only returns matches of length ≥ `seed_len`.
+    pub fn find(&self, dst: usize) -> Option<RepeatMatch> {
+        let fwd = self.find_forward(dst);
+        if !self.cfg.search_revcomp {
+            return fwd;
+        }
+        let rc = self.find_revcomp(dst);
+        match (fwd, rc) {
+            (Some(f), Some(r)) => Some(if r.len > f.len { r } else { f }),
+            (f, r) => f.or(r),
+        }
+    }
+
+    /// Longest forward repeat copying to `dst`.
+    pub fn find_forward(&self, dst: usize) -> Option<RepeatMatch> {
+        let k = self.cfg.seed_len;
+        let n = self.text.len();
+        if dst + k > n {
+            return None;
+        }
+        let kmer = self.kmer_at(dst) & self.mask;
+        let mut cand = *self.head.get(&kmer)?;
+        let mut best: Option<RepeatMatch> = None;
+        let mut probes = self.cfg.max_chain;
+        while cand != NO_POS && probes > 0 {
+            let c = cand as usize;
+            if self.cfg.window > 0 && dst - c > self.cfg.window {
+                break;
+            }
+            // Verify seed (hash chains are exact here, but stay defensive)
+            // and extend.
+            let max_len = n - dst;
+            let mut l = 0usize;
+            while l < max_len && self.text[c + l] == self.text[dst + l] {
+                l += 1;
+            }
+            if l >= k && best.is_none_or(|b| l > b.len) {
+                best = Some(RepeatMatch {
+                    src: c,
+                    len: l,
+                    kind: RepeatKind::Forward,
+                });
+            }
+            cand = self.prev[c];
+            probes -= 1;
+        }
+        best
+    }
+
+    /// All published chain candidates whose seed k-mer matches the one at
+    /// `dst`, most recent first, up to `max_chain` entries. Used by
+    /// approximate matchers (GenCompress) that score every candidate
+    /// rather than just the longest exact extension.
+    pub fn forward_chain(&self, dst: usize, max_chain: usize) -> Vec<usize> {
+        let k = self.cfg.seed_len;
+        if dst + k > self.text.len() {
+            return Vec::new();
+        }
+        let kmer = self.kmer_at(dst) & self.mask;
+        let mut out = Vec::new();
+        let Some(&mut_first) = self.head.get(&kmer) else {
+            return out;
+        };
+        let mut cand = mut_first;
+        while cand != NO_POS && out.len() < max_chain {
+            let c = cand as usize;
+            if self.cfg.window > 0 && dst.saturating_sub(c) > self.cfg.window {
+                break;
+            }
+            if c < dst {
+                out.push(c);
+            }
+            cand = self.prev[c];
+        }
+        out
+    }
+
+    /// Longest reverse-complement repeat copying to `dst`.
+    pub fn find_revcomp(&self, dst: usize) -> Option<RepeatMatch> {
+        let k = self.cfg.seed_len;
+        let n = self.text.len();
+        if dst + k > n {
+            return None;
+        }
+        // A reverse-complement repeat anchors where an earlier k-mer
+        // equals revcomp(text[dst..dst+k]).
+        let target = self.revcomp_kmer(self.kmer_at(dst) & self.mask);
+        let mut cand = *self.head.get(&target)?;
+        let mut best: Option<RepeatMatch> = None;
+        let mut probes = self.cfg.max_chain;
+        while cand != NO_POS && probes > 0 {
+            let c = cand as usize; // source k-mer start; src_end = c + k
+            let src_end = c + k;
+            if src_end <= dst {
+                if self.cfg.window == 0 || dst - c <= self.cfg.window {
+                    // Extend: text[dst+l] == complement(text[src_end-1-l]).
+                    let max_len = (n - dst).min(src_end);
+                    let mut l = 0usize;
+                    while l < max_len
+                        && self.text[dst + l] == self.text[src_end - 1 - l].complement()
+                    {
+                        l += 1;
+                    }
+                    if l >= k && best.is_none_or(|b| l > b.len) {
+                        best = Some(RepeatMatch {
+                            src: src_end,
+                            len: l,
+                            kind: RepeatKind::ReverseComplement,
+                        });
+                    }
+                } else {
+                    break;
+                }
+            }
+            cand = self.prev[c];
+            probes -= 1;
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnacomp_seq::PackedSeq;
+    use proptest::prelude::*;
+
+    fn bases(s: &str) -> Vec<Base> {
+        PackedSeq::from_ascii(s.as_bytes()).unwrap().unpack()
+    }
+
+    fn small_cfg() -> RepeatConfig {
+        RepeatConfig {
+            seed_len: 4,
+            max_chain: 32,
+            window: 0,
+            search_revcomp: true,
+        }
+    }
+
+    #[test]
+    fn finds_planted_forward_repeat() {
+        // "ACGTTGCA" planted at 0 and again at 14.
+        let text = bases("ACGTTGCAGGGTTTACGTTGCA");
+        let mut f = RepeatFinder::new(&text, small_cfg());
+        f.advance(14);
+        let m = f.find_forward(14).expect("repeat found");
+        assert_eq!(m.src, 0);
+        assert_eq!(m.len, 8);
+        assert_eq!(m.kind, RepeatKind::Forward);
+        let resolved = m.resolve(&text[..14], 14).unwrap();
+        assert_eq!(resolved, bases("ACGTTGCA"));
+    }
+
+    #[test]
+    fn finds_planted_revcomp_repeat() {
+        // source "AACCGG" at 0..6; its revcomp is "CCGGTT".
+        let text = bases("AACCGGTTTTTTTTCCGGTT");
+        let mut f = RepeatFinder::new(&text, small_cfg());
+        f.advance(14);
+        let m = f.find_revcomp(14).expect("revcomp repeat");
+        assert_eq!(m.kind, RepeatKind::ReverseComplement);
+        assert_eq!(m.len, 6);
+        assert_eq!(m.src, 6); // src_end = 6 → reads text[5],text[4],… complemented
+        // Verify via resolve.
+        let resolved = m.resolve(&text[..14], 14).unwrap();
+        assert_eq!(resolved, bases("CCGGTT"));
+    }
+
+    #[test]
+    fn no_match_on_unique_text() {
+        let text = bases("ACGTACTGATCGATGCTAGCTAGCATCGT");
+        let mut f = RepeatFinder::new(&text, RepeatConfig {
+            seed_len: 12,
+            ..small_cfg()
+        });
+        f.advance(20);
+        assert!(f.find(20).is_none());
+    }
+
+    #[test]
+    fn overlap_forward_match_resolves() {
+        // "AAAAAAAA…": match at dst=4 with src=0 can have len > 4 (overlap).
+        let text = bases("AAAAAAAAAAAAAAAA");
+        let mut f = RepeatFinder::new(&text, small_cfg());
+        f.advance(4);
+        let m = f.find_forward(4).expect("run match");
+        assert!(m.src < 4);
+        assert!(m.len >= 8, "len = {}", m.len);
+        let resolved = m.resolve(&text[..4], 4).unwrap();
+        assert!(resolved.iter().all(|&b| b == Base::A));
+        assert_eq!(resolved.len(), m.len);
+    }
+
+    #[test]
+    fn window_limits_sources() {
+        let mut text = bases("ACGTTGCAGCA");
+        text.extend(bases(&"T".repeat(5000)));
+        text.extend(bases("ACGTTGCAGCA"));
+        let dst = 11 + 5000;
+        let mut f = RepeatFinder::new(
+            &text,
+            RepeatConfig {
+                seed_len: 8,
+                max_chain: 64,
+                window: 100,
+                search_revcomp: false,
+            },
+        );
+        f.advance(dst);
+        // The only 8-seed match source is at 0, which is outside window.
+        assert!(f.find(dst).is_none());
+    }
+
+    #[test]
+    fn resolve_rejects_invalid_references() {
+        let prefix = bases("ACGT");
+        let bad = RepeatMatch {
+            src: 9,
+            len: 3,
+            kind: RepeatKind::Forward,
+        };
+        assert!(bad.resolve(&prefix, 4).is_none());
+        let bad = RepeatMatch {
+            src: 2,
+            len: 5,
+            kind: RepeatKind::ReverseComplement,
+        };
+        assert!(bad.resolve(&prefix, 4).is_none());
+    }
+
+    #[test]
+    fn advance_is_idempotent_and_monotone() {
+        let text = bases(&"ACGT".repeat(50));
+        let mut f = RepeatFinder::new(&text, small_cfg());
+        f.advance(10);
+        f.advance(10);
+        f.advance(5); // going backwards must not corrupt
+        f.advance(30);
+        let m = f.find_forward(30);
+        assert!(m.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "seed_len out of range")]
+    fn tiny_seed_rejected() {
+        let text = bases("ACGT");
+        let _ = RepeatFinder::new(
+            &text,
+            RepeatConfig {
+                seed_len: 2,
+                ..RepeatConfig::default()
+            },
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn found_matches_are_always_valid(s in "[ACGT]{30,300}", dst_frac in 0.3f64..0.95) {
+            let text = bases(&s);
+            let dst = ((text.len() as f64) * dst_frac) as usize;
+            let mut f = RepeatFinder::new(&text, small_cfg());
+            f.advance(dst);
+            if let Some(m) = f.find(dst) {
+                let resolved = m.resolve(&text[..dst], dst).expect("resolvable");
+                prop_assert_eq!(&resolved[..], &text[dst..dst + m.len]);
+                prop_assert!(m.len >= 4);
+            }
+        }
+
+        #[test]
+        fn revcomp_matches_verify(s in "[ACGT]{10,80}") {
+            // Construct text = s ++ filler ++ revcomp(s); finder must
+            // discover a revcomp match at the start of the third part.
+            let mut text = bases(&s);
+            text.extend(bases("ACGTACGTACGTACGT"));
+            let dst = text.len();
+            let rc: Vec<Base> = text[..s.len()].iter().rev().map(|b| b.complement()).collect();
+            text.extend(rc);
+            let mut f = RepeatFinder::new(&text, small_cfg());
+            f.advance(dst);
+            if s.len() >= 4 {
+                let m = f.find(dst);
+                prop_assert!(m.is_some());
+                let m = m.unwrap();
+                let resolved = m.resolve(&text[..dst], dst).expect("resolvable");
+                prop_assert_eq!(&resolved[..], &text[dst..dst + m.len]);
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Byte-oriented variable-length integers (LEB128) for container headers.
+
+use crate::error::CodecError;
+
+/// Append `value` to `out` as unsigned LEB128.
+pub fn write_uvarint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read an unsigned LEB128 from `bytes` starting at `*pos`, advancing it.
+pub fn read_uvarint(bytes: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = bytes.get(*pos).ok_or(CodecError::UnexpectedEof)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(CodecError::Corrupt("uvarint overflows u64"));
+        }
+        value |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(CodecError::Corrupt("uvarint too long"));
+        }
+    }
+}
+
+/// Append a fixed little-endian u64 (for checksums).
+pub fn write_u64_le(out: &mut Vec<u8>, value: u64) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Read a fixed little-endian u64.
+pub fn read_u64_le(bytes: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let end = pos.checked_add(8).ok_or(CodecError::UnexpectedEof)?;
+    let slice = bytes.get(*pos..end).ok_or(CodecError::UnexpectedEof)?;
+    *pos = end;
+    Ok(u64::from_le_bytes(slice.try_into().expect("8 bytes")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_values_one_byte() {
+        for v in [0u64, 1, 63, 127] {
+            let mut out = Vec::new();
+            write_uvarint(&mut out, v);
+            assert_eq!(out.len(), 1);
+            let mut pos = 0;
+            assert_eq!(read_uvarint(&out, &mut pos).unwrap(), v);
+            assert_eq!(pos, 1);
+        }
+    }
+
+    #[test]
+    fn boundary_values() {
+        for v in [128u64, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut out = Vec::new();
+            write_uvarint(&mut out, v);
+            let mut pos = 0;
+            assert_eq!(read_uvarint(&out, &mut pos).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut out = Vec::new();
+        write_uvarint(&mut out, u64::MAX);
+        out.pop();
+        let mut pos = 0;
+        assert_eq!(
+            read_uvarint(&out, &mut pos),
+            Err(CodecError::UnexpectedEof)
+        );
+    }
+
+    #[test]
+    fn overlong_input_errors() {
+        // 11 continuation bytes can't fit in u64.
+        let bytes = [0xFFu8; 11];
+        let mut pos = 0;
+        assert!(read_uvarint(&bytes, &mut pos).is_err());
+    }
+
+    #[test]
+    fn u64_le_roundtrip() {
+        let mut out = Vec::new();
+        write_u64_le(&mut out, 0x0102_0304_0506_0708);
+        let mut pos = 0;
+        assert_eq!(read_u64_le(&out, &mut pos).unwrap(), 0x0102_0304_0506_0708);
+        assert_eq!(pos, 8);
+        assert_eq!(read_u64_le(&out, &mut pos), Err(CodecError::UnexpectedEof));
+    }
+
+    proptest! {
+        #[test]
+        fn uvarint_roundtrip(values in prop::collection::vec(any::<u64>(), 0..50)) {
+            let mut out = Vec::new();
+            for &v in &values {
+                write_uvarint(&mut out, v);
+            }
+            let mut pos = 0;
+            for &v in &values {
+                prop_assert_eq!(read_uvarint(&out, &mut pos).unwrap(), v);
+            }
+            prop_assert_eq!(pos, out.len());
+        }
+    }
+}

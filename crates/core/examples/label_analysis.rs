@@ -1,0 +1,47 @@
+//! Diagnostic: who wins the time label per size band, and how close the
+//! race is. Run with `DNACOMP_SCALE` semantics of the bench pipeline but
+//! self-contained here.
+use dnacomp_algos::paper_algorithms;
+use dnacomp_cloud::{context_grid, MachineSpec, PerfModel};
+use dnacomp_core::{build_rows, label_rows, measure_corpus, WeightVector};
+use dnacomp_seq::corpus::CorpusBuilder;
+use std::collections::BTreeMap;
+
+fn main() {
+    let files = CorpusBuilder::paper(42).build();
+    let ms = measure_corpus(&files, &paper_algorithms()).unwrap();
+    let rows = build_rows(&ms, &context_grid(), &PerfModel::default(), &MachineSpec::azure_vm());
+    let labeled = label_rows(&rows, &WeightVector::time_only());
+    // winner histogram per size decade
+    let mut bands: BTreeMap<u32, BTreeMap<String, u32>> = BTreeMap::new();
+    for l in &labeled {
+        let band = (l.file_bytes as f64).log10().floor() as u32;
+        *bands
+            .entry(band)
+            .or_default()
+            .entry(l.winner.name().to_owned())
+            .or_default() += 1;
+    }
+    for (band, hist) in &bands {
+        println!("10^{band}B: {hist:?}");
+    }
+    // margin analysis: per cell, (best, second) total-ms gap relative.
+    let mut cells: BTreeMap<(String, u32, u32, u64), Vec<f64>> = BTreeMap::new();
+    for r in &rows {
+        cells
+            .entry((r.file.clone(), r.ram_mb, r.cpu_mhz, (r.bandwidth_mbps * 1000.0) as u64))
+            .or_default()
+            .push(r.total_ms());
+    }
+    let mut tight = 0;
+    let mut total = 0;
+    for (_, mut v) in cells {
+        v.sort_by(f64::total_cmp);
+        let margin = (v[1] - v[0]) / v[0];
+        if margin < 0.08 {
+            tight += 1;
+        }
+        total += 1;
+    }
+    println!("cells with <8% winner margin: {tight}/{total}");
+}

@@ -1,0 +1,90 @@
+//! The context the framework decides on.
+
+use dnacomp_cloud::{BandwidthMbps, ClientContext};
+use serde::{Deserialize, Serialize};
+
+/// Everything the Inference Engine sees before choosing an algorithm
+/// (§IV-D: "Size of file, Algorithm, Bandwidth, CPU Speed, and Memory
+/// Available" — the algorithm is the *output*, the rest is the input).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Context {
+    /// RAM available on the client, MB.
+    pub ram_mb: u32,
+    /// Client CPU clock, MHz.
+    pub cpu_mhz: u32,
+    /// Uplink bandwidth, Mbit/s.
+    pub bandwidth_mbps: f64,
+    /// File size in bytes (1 byte per base for raw NCBI-style files).
+    pub file_bytes: u64,
+}
+
+impl Context {
+    /// Build from a machine context plus the file to ship.
+    pub fn new(client: &ClientContext, file_bytes: u64) -> Self {
+        Context {
+            ram_mb: client.ram_mb,
+            cpu_mhz: client.cpu_mhz,
+            bandwidth_mbps: client.bandwidth.0,
+            file_bytes,
+        }
+    }
+
+    /// The machine part of the context.
+    pub fn client(&self) -> ClientContext {
+        ClientContext {
+            ram_mb: self.ram_mb,
+            cpu_mhz: self.cpu_mhz,
+            bandwidth: BandwidthMbps(self.bandwidth_mbps),
+        }
+    }
+
+    /// File size in kB — the unit the paper's rules are phrased in
+    /// ("if the file size is less than 50kb…").
+    pub fn file_kb(&self) -> f64 {
+        self.file_bytes as f64 / 1024.0
+    }
+}
+
+/// The Context Gatherer of Figure 7: "collects the information regarding
+/// the resources available". In the simulator the resources are supplied
+/// by the experiment grid; a production deployment would probe the OS.
+pub trait ContextGatherer {
+    /// Gather the current context for a file of `file_bytes`.
+    fn gather(&self, file_bytes: u64) -> Context;
+}
+
+/// A gatherer with fixed machine resources (the simulated VM).
+#[derive(Clone, Debug)]
+pub struct StaticGatherer {
+    /// The machine context this gatherer reports.
+    pub client: ClientContext,
+}
+
+impl ContextGatherer for StaticGatherer {
+    fn gather(&self, file_bytes: u64) -> Context {
+        Context::new(&self.client, file_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_client() {
+        let c = ClientContext::new(2048, 2393, 10.0);
+        let ctx = Context::new(&c, 51_200);
+        assert_eq!(ctx.client(), c);
+        assert!((ctx.file_kb() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn static_gatherer() {
+        let g = StaticGatherer {
+            client: ClientContext::new(1024, 1600, 2.0),
+        };
+        let ctx = g.gather(1000);
+        assert_eq!(ctx.ram_mb, 1024);
+        assert_eq!(ctx.file_bytes, 1000);
+    }
+}

@@ -1,0 +1,116 @@
+//! From labelled rows to an ML dataset.
+//!
+//! Features are the paper's context variables — file size, RAM, CPU
+//! speed, bandwidth — and the class is the winning algorithm.
+
+use crate::labeler::LabeledRow;
+use dnacomp_algos::Algorithm;
+use dnacomp_ml::{Dataset, Feature, FeatureKind, Value};
+
+/// Column order of the built dataset.
+pub const FEATURE_NAMES: [&str; 4] = ["file_kb", "ram_mb", "cpu_mhz", "bandwidth_mbps"];
+
+/// Build a classification dataset from labelled rows. Classes cover all
+/// algorithms that appear (plus any in `force_classes`, so train and
+/// test sets share one class space).
+pub fn build_dataset(rows: &[LabeledRow], force_classes: &[Algorithm]) -> Dataset {
+    let mut classes: Vec<Algorithm> = force_classes.to_vec();
+    for r in rows {
+        if !classes.contains(&r.winner) {
+            classes.push(r.winner);
+        }
+    }
+    classes.sort();
+    let features = FEATURE_NAMES
+        .iter()
+        .map(|&name| Feature {
+            name: name.to_owned(),
+            kind: FeatureKind::Continuous,
+        })
+        .collect();
+    let mut data = Dataset::new(
+        features,
+        classes.iter().map(|a| a.name().to_owned()).collect(),
+    );
+    for r in rows {
+        let label = classes
+            .iter()
+            .position(|&a| a == r.winner)
+            .expect("winner registered above") as u32;
+        data.push(
+            vec![
+                Value::Num(r.file_bytes as f64 / 1024.0),
+                Value::Num(r.ram_mb as f64),
+                Value::Num(r.cpu_mhz as f64),
+                Value::Num(r.bandwidth_mbps),
+            ],
+            label,
+        );
+    }
+    data
+}
+
+/// Map a predicted class id back to an algorithm.
+pub fn class_to_algorithm(data: &Dataset, class: u32) -> Option<Algorithm> {
+    data.classes
+        .get(class as usize)
+        .and_then(|n| Algorithm::from_name(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labeled(file_kb: f64, winner: Algorithm) -> LabeledRow {
+        LabeledRow {
+            file: "f".into(),
+            file_bytes: (file_kb * 1024.0) as u64,
+            ram_mb: 2048,
+            cpu_mhz: 2000,
+            bandwidth_mbps: 2.0,
+            winner,
+            score: 0.0,
+        }
+    }
+
+    #[test]
+    fn builds_schema_and_rows() {
+        let rows = vec![
+            labeled(10.0, Algorithm::GenCompress),
+            labeled(500.0, Algorithm::Dnax),
+        ];
+        let d = build_dataset(&rows, &Algorithm::PAPER);
+        assert_eq!(d.features.len(), 4);
+        assert_eq!(d.classes.len(), 4);
+        assert_eq!(d.rows.len(), 2);
+        // Class set sorted by algorithm tag order.
+        assert_eq!(d.classes, vec!["Gzip", "CTW", "GenCompress", "DNAX"]);
+    }
+
+    #[test]
+    fn labels_map_back() {
+        let rows = vec![labeled(10.0, Algorithm::Dnax)];
+        let d = build_dataset(&rows, &Algorithm::PAPER);
+        let label = d.rows[0].label;
+        assert_eq!(class_to_algorithm(&d, label), Some(Algorithm::Dnax));
+    }
+
+    #[test]
+    fn unseen_winner_extends_classes() {
+        let rows = vec![labeled(10.0, Algorithm::BioCompress2)];
+        let d = build_dataset(&rows, &Algorithm::PAPER);
+        assert_eq!(d.classes.len(), 5);
+        assert!(d.classes.contains(&"BioCompress2".to_owned()));
+    }
+
+    #[test]
+    fn feature_values_in_order() {
+        let rows = vec![labeled(50.0, Algorithm::Ctw)];
+        let d = build_dataset(&rows, &[]);
+        let v = &d.rows[0].values;
+        assert_eq!(v[0], Value::Num(50.0));
+        assert_eq!(v[1], Value::Num(2048.0));
+        assert_eq!(v[2], Value::Num(2000.0));
+        assert_eq!(v[3], Value::Num(2.0));
+    }
+}

@@ -1,0 +1,291 @@
+//! The deployed framework of Figure 7.
+//!
+//! Components, as the paper names them: the **Context Gatherer**
+//! (collects resources — [`crate::context`]), the **Inference Engine**
+//! ("decides which algorithm should be chosen for compression" — the
+//! learned decision tree), and the **Compressor**. The framework answers
+//! the paper's two framing questions (§I):
+//!
+//! 1. *whether it is crucial to compress* the sequence at all, and
+//! 2. *which algorithm should be used*.
+
+use crate::context::Context;
+use crate::dataset::{build_dataset, class_to_algorithm};
+use crate::labeler::LabeledRow;
+use dnacomp_algos::{compressor_for, Algorithm};
+use dnacomp_cloud::{CloudSim, ExchangeReport, PerfModel};
+use dnacomp_codec::CodecError;
+use dnacomp_ml::{accuracy, CartParams, ChaidParams, Dataset, DecisionTree, TreeMethod, Value};
+use dnacomp_seq::PackedSeq;
+
+/// The trained context-aware selection framework.
+///
+/// ```
+/// use dnacomp_core::{Context, ContextAwareFramework, LabeledRow};
+/// use dnacomp_algos::Algorithm;
+/// use dnacomp_ml::TreeMethod;
+/// // Labelled rows normally come from the measurement grid; a crisp
+/// // synthetic rule suffices to demonstrate the API.
+/// let rows: Vec<LabeledRow> = (0..60).map(|i| LabeledRow {
+///     file: format!("f{i}"),
+///     file_bytes: 1_000 + i * 10_000,
+///     ram_mb: 2048, cpu_mhz: 2393, bandwidth_mbps: 2.0,
+///     winner: if i < 30 { Algorithm::GenCompress } else { Algorithm::Dnax },
+///     score: 0.0,
+/// }).collect();
+/// let fw = ContextAwareFramework::train(&rows, TreeMethod::Cart);
+/// let small = Context { ram_mb: 2048, cpu_mhz: 2393, bandwidth_mbps: 2.0,
+///                       file_bytes: 50_000 };
+/// assert_eq!(fw.decide(&small), Algorithm::GenCompress);
+/// ```
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct ContextAwareFramework {
+    tree: DecisionTree,
+    /// Dataset schema used at training time (for class mapping).
+    schema: Dataset,
+    /// Fallback when the tree's prediction cannot be mapped.
+    fallback: Algorithm,
+}
+
+impl ContextAwareFramework {
+    /// Train from labelled rows with the given method and default
+    /// parameters.
+    pub fn train(rows: &[LabeledRow], method: TreeMethod) -> Self {
+        let data = build_dataset(rows, &Algorithm::PAPER);
+        let tree = match method {
+            TreeMethod::Cart => dnacomp_ml::cart::train_cart(&data, &CartParams::default()),
+            TreeMethod::Chaid => dnacomp_ml::chaid::train_chaid(&data, &ChaidParams::default()),
+        };
+        let mut schema = data;
+        schema.rows.clear();
+        ContextAwareFramework {
+            tree,
+            schema,
+            fallback: Algorithm::Dnax,
+        }
+    }
+
+    /// The learned tree.
+    pub fn tree(&self) -> &DecisionTree {
+        &self.tree
+    }
+
+    /// Serialise the trained model (rules + schema) to JSON — the
+    /// persisted "rules" the Figure-7 deployment reads at startup.
+    pub fn to_json(&self) -> Result<String, CodecError> {
+        serde_json::to_string(self).map_err(|_| CodecError::Corrupt("framework serialisation"))
+    }
+
+    /// Load a model previously saved with
+    /// [`ContextAwareFramework::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, CodecError> {
+        serde_json::from_str(json).map_err(|_| CodecError::Corrupt("framework deserialisation"))
+    }
+
+    /// Human-readable rules (Figure 7: "the rules available").
+    pub fn rules(&self) -> Vec<String> {
+        self.tree.rules()
+    }
+
+    /// The Inference Engine: pick the algorithm for a context.
+    pub fn decide(&self, ctx: &Context) -> Algorithm {
+        let values = [
+            Value::Num(ctx.file_kb()),
+            Value::Num(ctx.ram_mb as f64),
+            Value::Num(ctx.cpu_mhz as f64),
+            Value::Num(ctx.bandwidth_mbps),
+        ];
+        let class = self.tree.predict(&values);
+        class_to_algorithm(&self.schema, class).unwrap_or(self.fallback)
+    }
+
+    /// The paper's first question: is compressing worth it at all?
+    ///
+    /// Compares the estimated exchange cost of shipping raw against
+    /// compressing with the context's chosen algorithm (assuming a
+    /// typical DNA ratio), using the same performance model that prices
+    /// the simulator. On very fast links with slow CPUs, raw wins.
+    pub fn worth_compressing(&self, ctx: &Context, perf: &PerfModel) -> bool {
+        let client = ctx.client();
+        let n = ctx.file_bytes as usize;
+        let alg = self.decide(ctx);
+        // Raw path: upload the uncompressed file.
+        let raw_ms = perf.upload_ms(&client, alg, "raw", n, 0);
+        // Compressed path: estimated compress cost + upload of ~0.25×.
+        // Work/base estimates mirror each port's measured meter rates.
+        let work_per_base: u64 = match alg {
+            Algorithm::Dnax => 10,
+            Algorithm::Ctw => 36,
+            Algorithm::GenCompress => 14,
+            Algorithm::Gzip => 11,
+            Algorithm::BioCompress2 => 9,
+            Algorithm::DnaPackLite => 7,
+            Algorithm::Cfact => 40,
+            Algorithm::XmLite => 36,
+            Algorithm::Reference => 6,
+            Algorithm::Dnac => 42,
+            Algorithm::DnaCompress => 12,
+            Algorithm::DnaSequitur => 20,
+            Algorithm::CtwLz => 40,
+        };
+        let est_stats = dnacomp_algos::ResourceStats {
+            work_units: n as u64 * work_per_base,
+            peak_heap_bytes: n as u64 * 16,
+        };
+        let comp_ms = perf.compress_ms(&client, alg, "raw", &est_stats);
+        let up_ms = perf.upload_ms(&client, alg, "raw", n / 4, est_stats.peak_heap_bytes);
+        comp_ms + up_ms < raw_ms
+    }
+
+    /// Accuracy of the framework's decisions against labelled rows —
+    /// the paper's `Cases Matched / TotalCases`.
+    pub fn evaluate(&self, rows: &[LabeledRow]) -> f64 {
+        if rows.is_empty() {
+            return 0.0;
+        }
+        let preds: Vec<Algorithm> = rows
+            .iter()
+            .map(|r| {
+                self.decide(&Context {
+                    ram_mb: r.ram_mb,
+                    cpu_mhz: r.cpu_mhz,
+                    bandwidth_mbps: r.bandwidth_mbps,
+                    file_bytes: r.file_bytes,
+                })
+            })
+            .collect();
+        let pred_ids: Vec<u32> = preds.iter().map(|a| a.tag() as u32).collect();
+        let label_ids: Vec<u32> = rows.iter().map(|r| r.winner.tag() as u32).collect();
+        accuracy(&pred_ids, &label_ids)
+    }
+
+    /// Full Figure-7 exchange: gather → infer → compress → upload →
+    /// download → decompress, on the simulator.
+    pub fn exchange(
+        &self,
+        sim: &mut CloudSim,
+        ctx: &Context,
+        file: &str,
+        seq: &PackedSeq,
+    ) -> Result<(Algorithm, ExchangeReport), CodecError> {
+        let alg = self.decide(ctx);
+        let compressor = compressor_for(alg);
+        let report = sim.exchange(&ctx.client(), compressor.as_ref(), file, seq)?;
+        Ok((alg, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labeler::LabeledRow;
+
+    /// Synthetic labelled rows with a crisp rule: small files →
+    /// GenCompress, large → DNAX (the paper's headline pattern).
+    fn synthetic_rows() -> Vec<LabeledRow> {
+        let mut rows = Vec::new();
+        for i in 0..200 {
+            let kb = 1.0 + (i as f64) * 5.0;
+            rows.push(LabeledRow {
+                file: format!("f{i}"),
+                file_bytes: (kb * 1024.0) as u64,
+                ram_mb: [1024u32, 4096][i % 2],
+                cpu_mhz: [1600u32, 2800][(i / 2) % 2],
+                bandwidth_mbps: 2.0,
+                winner: if kb < 250.0 {
+                    Algorithm::GenCompress
+                } else {
+                    Algorithm::Dnax
+                },
+                score: 0.0,
+            });
+        }
+        rows
+    }
+
+    #[test]
+    fn learns_the_size_rule_with_both_methods() {
+        let rows = synthetic_rows();
+        for method in [TreeMethod::Cart, TreeMethod::Chaid] {
+            let fw = ContextAwareFramework::train(&rows, method);
+            let acc = fw.evaluate(&rows);
+            assert!(acc > 0.9, "{method} accuracy {acc}");
+            let small = Context {
+                ram_mb: 2048,
+                cpu_mhz: 2000,
+                bandwidth_mbps: 2.0,
+                file_bytes: 10 * 1024,
+            };
+            let large = Context {
+                file_bytes: 900 * 1024,
+                ..small.clone()
+            };
+            assert_eq!(fw.decide(&small), Algorithm::GenCompress, "{method}");
+            assert_eq!(fw.decide(&large), Algorithm::Dnax, "{method}");
+        }
+    }
+
+    #[test]
+    fn rules_are_renderable() {
+        let fw = ContextAwareFramework::train(&synthetic_rows(), TreeMethod::Cart);
+        let rules = fw.rules();
+        assert!(!rules.is_empty());
+        assert!(rules.iter().any(|r| r.contains("file_kb")));
+    }
+
+    #[test]
+    fn evaluate_empty_is_zero() {
+        let fw = ContextAwareFramework::train(&synthetic_rows(), TreeMethod::Cart);
+        assert_eq!(fw.evaluate(&[]), 0.0);
+    }
+
+    #[test]
+    fn worth_compressing_typical_context() {
+        let fw = ContextAwareFramework::train(&synthetic_rows(), TreeMethod::Cart);
+        let perf = PerfModel::default();
+        // Slow link, decent CPU, sizeable file: compression pays.
+        let ctx = Context {
+            ram_mb: 4096,
+            cpu_mhz: 2800,
+            bandwidth_mbps: 2.0,
+            file_bytes: 2_000_000,
+        };
+        assert!(fw.worth_compressing(&ctx, &perf));
+    }
+
+    #[test]
+    fn model_persistence_roundtrip() {
+        let fw = ContextAwareFramework::train(&synthetic_rows(), TreeMethod::Cart);
+        let json = fw.to_json().unwrap();
+        let back = ContextAwareFramework::from_json(&json).unwrap();
+        // Same decisions over a sweep of contexts.
+        for kb in [1u64, 10, 100, 400, 900] {
+            let ctx = Context {
+                ram_mb: 2048,
+                cpu_mhz: 2000,
+                bandwidth_mbps: 2.0,
+                file_bytes: kb * 1024,
+            };
+            assert_eq!(fw.decide(&ctx), back.decide(&ctx), "{kb} kB");
+        }
+        assert!(ContextAwareFramework::from_json("{broken").is_err());
+    }
+
+    #[test]
+    fn end_to_end_exchange() {
+        use dnacomp_seq::gen::GenomeModel;
+        let fw = ContextAwareFramework::train(&synthetic_rows(), TreeMethod::Cart);
+        let mut sim = CloudSim::default();
+        let seq = GenomeModel::default().generate(20_000, 3);
+        let ctx = Context {
+            ram_mb: 3072,
+            cpu_mhz: 2393,
+            bandwidth_mbps: 2.0,
+            file_bytes: seq.len() as u64,
+        };
+        let (alg, report) = fw.exchange(&mut sim, &ctx, "f", &seq).unwrap();
+        assert_eq!(alg, Algorithm::GenCompress); // 20 kB < 250 kB rule
+        assert_eq!(report.algorithm, alg);
+        assert!(report.total_ms() > 0.0);
+    }
+}

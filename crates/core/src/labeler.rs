@@ -1,0 +1,398 @@
+//! Labelling the training data (§IV-C, Eq. 1).
+//!
+//! *"Labeling is actually deciding which algorithm is good in a given
+//! context. … Using [Eq. 1], label were assigned based on which
+//! algorithm is giving less value for this equation."*
+//!
+//! The four time components are commensurable (all milliseconds), so the
+//! time part of Eq. 1 is the *raw* weighted sum — exactly "the algorithm
+//! which minimizes the overall time is the winner" (§I). RAM (bytes)
+//! lives on a different scale; when a weight vector mixes RAM with time
+//! (Table 2's "RAM : TIME 60:40" rows), both aggregates are normalised
+//! by their cell maximum before combining, so the ratio of the weights is
+//! what matters.
+
+use crate::experiment::ExperimentRow;
+use dnacomp_algos::Algorithm;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The five cost components of Eq. 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Metric {
+    /// Client-side compression time.
+    CompressTime,
+    /// Cloud-side decompression time.
+    DecompressTime,
+    /// Upload time.
+    UploadTime,
+    /// Download time.
+    DownloadTime,
+    /// Observed RAM.
+    RamUsed,
+}
+
+impl Metric {
+    /// All metrics, Eq.-1 order.
+    pub const ALL: [Metric; 5] = [
+        Metric::CompressTime,
+        Metric::DecompressTime,
+        Metric::UploadTime,
+        Metric::DownloadTime,
+        Metric::RamUsed,
+    ];
+
+    /// Extract the metric value from a row.
+    pub fn of(self, row: &ExperimentRow) -> f64 {
+        match self {
+            Metric::CompressTime => row.compress_ms,
+            Metric::DecompressTime => row.decompress_ms,
+            Metric::UploadTime => row.upload_ms,
+            Metric::DownloadTime => row.download_ms,
+            Metric::RamUsed => row.ram_used_bytes as f64,
+        }
+    }
+}
+
+/// Weights of Eq. 1. They need not sum to 1; only ratios matter.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WeightVector {
+    /// Weight of compression time.
+    pub compress: f64,
+    /// Weight of decompression time.
+    pub decompress: f64,
+    /// Weight of upload time.
+    pub upload: f64,
+    /// Weight of download time.
+    pub download: f64,
+    /// Weight of observed RAM.
+    pub ram: f64,
+}
+
+impl WeightVector {
+    /// Eq. 1 with equal weights on the four times, no RAM — the paper's
+    /// "TIME (100 % weight)" configuration.
+    pub fn time_only() -> Self {
+        WeightVector {
+            compress: 0.25,
+            decompress: 0.25,
+            upload: 0.25,
+            download: 0.25,
+            ram: 0.0,
+        }
+    }
+
+    /// "RAM (100 %)".
+    pub fn ram_only() -> Self {
+        WeightVector {
+            compress: 0.0,
+            decompress: 0.0,
+            upload: 0.0,
+            download: 0.0,
+            ram: 1.0,
+        }
+    }
+
+    /// "Compression Time (100 %)".
+    pub fn compress_time_only() -> Self {
+        WeightVector {
+            compress: 1.0,
+            decompress: 0.0,
+            upload: 0.0,
+            download: 0.0,
+            ram: 0.0,
+        }
+    }
+
+    /// Table 2's `RAM:TIME` rows — `ram_pct : time_pct`, the time share
+    /// split equally over the four time components.
+    pub fn ram_time(ram_pct: f64, time_pct: f64) -> Self {
+        WeightVector {
+            compress: time_pct / 4.0,
+            decompress: time_pct / 4.0,
+            upload: time_pct / 4.0,
+            download: time_pct / 4.0,
+            ram: ram_pct,
+        }
+    }
+
+    /// Table 2's `RAM : CompressionTime` rows.
+    pub fn ram_compress(ram_pct: f64, comp_pct: f64) -> Self {
+        WeightVector {
+            compress: comp_pct,
+            decompress: 0.0,
+            upload: 0.0,
+            download: 0.0,
+            ram: ram_pct,
+        }
+    }
+
+    /// Table 2's `RAM : CompressionTime : UploadTime` rows.
+    pub fn ram_compress_upload(ram_pct: f64, comp_pct: f64, up_pct: f64) -> Self {
+        WeightVector {
+            compress: comp_pct,
+            decompress: 0.0,
+            upload: up_pct,
+            download: 0.0,
+            ram: ram_pct,
+        }
+    }
+
+    /// The weight of one Eq.-1 component.
+    pub fn weight(&self, m: Metric) -> f64 {
+        match m {
+            Metric::CompressTime => self.compress,
+            Metric::DecompressTime => self.decompress,
+            Metric::UploadTime => self.upload,
+            Metric::DownloadTime => self.download,
+            Metric::RamUsed => self.ram,
+        }
+    }
+}
+
+/// How Eq. 1 combines metrics of different units.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Normalization {
+    /// The paper's literal Eq. 1: raw milliseconds plus raw bytes. RAM
+    /// (≈10⁷ bytes) numerically dwarfs times (≈10³ ms), so any nonzero
+    /// RAM weight makes the label RAM-driven — which is exactly why the
+    /// paper's mixed-weight rows in Table 2 all score close to its
+    /// RAM-only rows. Default, for fidelity.
+    #[default]
+    RawEq1,
+    /// Improved combination (the paper's future work: "improve the
+    /// Eq. 1"): time aggregate and RAM are each normalised by their cell
+    /// maximum before weighting, so the RAM:TIME ratio is meaningful.
+    MaxNormalized,
+}
+
+/// A labelled (file, context) cell: the context features plus the
+/// winning algorithm.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LabeledRow {
+    /// File name.
+    pub file: String,
+    /// Raw file size, bytes.
+    pub file_bytes: u64,
+    /// Client RAM, MB.
+    pub ram_mb: u32,
+    /// Client CPU, MHz.
+    pub cpu_mhz: u32,
+    /// Bandwidth, Mbit/s.
+    pub bandwidth_mbps: f64,
+    /// The algorithm minimising Eq. 1 in this cell.
+    pub winner: Algorithm,
+    /// Eq.-1 score of the winner (normalised units).
+    pub score: f64,
+}
+
+/// Group experiment rows by (file, context) and label each group with
+/// the Eq.-1 winner under [`Normalization::RawEq1`]. Rows must contain
+/// every algorithm for every cell.
+pub fn label_rows(rows: &[ExperimentRow], weights: &WeightVector) -> Vec<LabeledRow> {
+    label_rows_with(rows, weights, Normalization::RawEq1)
+}
+
+/// [`label_rows`] with an explicit unit-combination scheme.
+pub fn label_rows_with(
+    rows: &[ExperimentRow],
+    weights: &WeightVector,
+    norm: Normalization,
+) -> Vec<LabeledRow> {
+    // BTreeMap keeps deterministic output order.
+    let mut cells: BTreeMap<(String, u32, u32, u64), Vec<&ExperimentRow>> = BTreeMap::new();
+    for r in rows {
+        cells
+            .entry((
+                r.file.clone(),
+                r.ram_mb,
+                r.cpu_mhz,
+                (r.bandwidth_mbps * 1000.0) as u64,
+            ))
+            .or_default()
+            .push(r);
+    }
+    let mut out = Vec::with_capacity(cells.len());
+    for ((file, ram_mb, cpu_mhz, bw_milli), group) in cells {
+        debug_assert!(group.len() >= 2, "cell with fewer than two algorithms");
+        // Time aggregate: raw weighted milliseconds (Eq. 1).
+        let w_time_total =
+            weights.compress + weights.decompress + weights.upload + weights.download;
+        let time_agg: Vec<f64> = group
+            .iter()
+            .map(|r| {
+                weights.compress * r.compress_ms
+                    + weights.decompress * r.decompress_ms
+                    + weights.upload * r.upload_ms
+                    + weights.download * r.download_ms
+            })
+            .collect();
+        let scores: Vec<f64> = if weights.ram == 0.0 {
+            // Pure time: argmin of the raw weighted time.
+            time_agg.clone()
+        } else if w_time_total == 0.0 {
+            // Pure RAM.
+            group.iter().map(|r| r.ram_used_bytes as f64).collect()
+        } else {
+            match norm {
+                Normalization::RawEq1 => group
+                    .iter()
+                    .zip(&time_agg)
+                    .map(|(r, &t)| t + weights.ram * r.ram_used_bytes as f64)
+                    .collect(),
+                Normalization::MaxNormalized => {
+                    let t_max = time_agg.iter().copied().fold(f64::EPSILON, f64::max);
+                    let r_max = group
+                        .iter()
+                        .map(|r| r.ram_used_bytes as f64)
+                        .fold(f64::EPSILON, f64::max);
+                    group
+                        .iter()
+                        .zip(&time_agg)
+                        .map(|(r, &t)| {
+                            w_time_total * (t / t_max)
+                                + weights.ram * (r.ram_used_bytes as f64 / r_max)
+                        })
+                        .collect()
+                }
+            }
+        };
+        let (best, score) = scores
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, &s)| (i, s))
+            .expect("non-empty cell");
+        out.push(LabeledRow {
+            file,
+            file_bytes: group[best].file_bytes,
+            ram_mb,
+            cpu_mhz,
+            bandwidth_mbps: bw_milli as f64 / 1000.0,
+            winner: group[best].algorithm,
+            score,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(alg: Algorithm, comp: f64, up: f64, ram: u64) -> ExperimentRow {
+        ExperimentRow {
+            file: "f".into(),
+            file_bytes: 1000,
+            ram_mb: 2048,
+            cpu_mhz: 2000,
+            bandwidth_mbps: 2.0,
+            algorithm: alg,
+            compressed_bytes: 100,
+            compress_ms: comp,
+            decompress_ms: 10.0,
+            upload_ms: up,
+            download_ms: 5.0,
+            ram_used_bytes: ram,
+        }
+    }
+
+    #[test]
+    fn time_only_picks_fastest_total() {
+        let rows = vec![
+            row(Algorithm::Dnax, 100.0, 50.0, 999_999),
+            row(Algorithm::Gzip, 400.0, 80.0, 1),
+        ];
+        let labeled = label_rows(&rows, &WeightVector::time_only());
+        assert_eq!(labeled.len(), 1);
+        assert_eq!(labeled[0].winner, Algorithm::Dnax);
+    }
+
+    #[test]
+    fn ram_only_picks_smallest_ram() {
+        let rows = vec![
+            row(Algorithm::Dnax, 100.0, 50.0, 999_999),
+            row(Algorithm::Gzip, 400.0, 80.0, 1),
+        ];
+        let labeled = label_rows(&rows, &WeightVector::ram_only());
+        assert_eq!(labeled[0].winner, Algorithm::Gzip);
+    }
+
+    #[test]
+    fn mixed_weights_interpolate_when_normalized() {
+        // DNAX much faster; Gzip much lighter. Under the improved Eq. 1
+        // a heavy RAM weight flips the winner.
+        let rows = vec![
+            row(Algorithm::Dnax, 100.0, 50.0, 1_000_000),
+            row(Algorithm::Gzip, 150.0, 60.0, 100_000),
+        ];
+        let time_win = label_rows_with(
+            &rows,
+            &WeightVector::ram_time(10.0, 90.0),
+            Normalization::MaxNormalized,
+        );
+        assert_eq!(time_win[0].winner, Algorithm::Dnax);
+        let ram_win = label_rows_with(
+            &rows,
+            &WeightVector::ram_time(90.0, 10.0),
+            Normalization::MaxNormalized,
+        );
+        assert_eq!(ram_win[0].winner, Algorithm::Gzip);
+    }
+
+    #[test]
+    fn raw_eq1_is_ram_dominated_when_mixed() {
+        // The paper's literal Eq. 1 sums ms and bytes: RAM numerically
+        // dominates any mixed weighting (the Table 2 signature).
+        let rows = vec![
+            row(Algorithm::Dnax, 100.0, 50.0, 1_000_000),
+            row(Algorithm::Gzip, 150.0, 60.0, 100_000),
+        ];
+        for (ram_w, time_w) in [(10.0, 90.0), (50.0, 50.0), (90.0, 10.0)] {
+            let l = label_rows(&rows, &WeightVector::ram_time(ram_w, time_w));
+            assert_eq!(l[0].winner, Algorithm::Gzip, "ram:{ram_w} time:{time_w}");
+        }
+    }
+
+    #[test]
+    fn cells_are_grouped_per_context() {
+        let mut rows = vec![
+            row(Algorithm::Dnax, 1.0, 1.0, 10),
+            row(Algorithm::Gzip, 2.0, 2.0, 20),
+        ];
+        let mut other = vec![
+            row(Algorithm::Dnax, 5.0, 5.0, 50),
+            row(Algorithm::Gzip, 1.0, 1.0, 5),
+        ];
+        for r in &mut other {
+            r.cpu_mhz = 2800;
+        }
+        rows.extend(other);
+        let labeled = label_rows(&rows, &WeightVector::time_only());
+        assert_eq!(labeled.len(), 2);
+        let winners: Vec<Algorithm> = labeled.iter().map(|l| l.winner).collect();
+        assert!(winners.contains(&Algorithm::Dnax));
+        assert!(winners.contains(&Algorithm::Gzip));
+    }
+
+    #[test]
+    fn ties_are_deterministic() {
+        let rows = vec![
+            row(Algorithm::Dnax, 1.0, 1.0, 10),
+            row(Algorithm::Gzip, 1.0, 1.0, 10),
+        ];
+        let a = label_rows(&rows, &WeightVector::time_only());
+        let b = label_rows(&rows, &WeightVector::time_only());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn preset_weights_shape() {
+        let w = WeightVector::time_only();
+        assert_eq!(w.ram, 0.0);
+        assert!((w.compress + w.decompress + w.upload + w.download - 1.0).abs() < 1e-12);
+        let w = WeightVector::ram_compress_upload(33.0, 33.0, 33.0);
+        assert_eq!(w.decompress, 0.0);
+        assert_eq!(w.download, 0.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # dnacomp-core — the context-aware compression framework
+//!
+//! The paper's primary contribution (Figures 1 and 7): given a *context*
+//! — available RAM, CPU speed, bandwidth and file size — choose the
+//! compression algorithm that minimises the weighted exchange cost
+//!
+//! ```text
+//! E = w·T_compress + w·T_decompress + w·T_upload + w·T_download + w·RAM
+//! ```
+//!
+//! Pipeline, mirroring §IV–V:
+//!
+//! 1. [`experiment`] — run the measurement grid (corpus × 32 contexts ×
+//!    algorithms) on the cloud simulator;
+//! 2. [`labeler`] — label each (file, context) with the winning
+//!    algorithm under a [`WeightVector`] (Table 2's weight combinations);
+//! 3. [`dataset`] — turn labelled rows into an `dnacomp_ml::Dataset`;
+//! 4. train CHAID/CART rules (`dnacomp_ml`), validate on the held-out
+//!    25 %;
+//! 5. [`framework`] — the deployed Figure-7 loop: Context Gatherer →
+//!    Inference Engine (the learned rules) → Compressor → upload.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod dataset;
+pub mod experiment;
+pub mod framework;
+pub mod labeler;
+
+pub use context::Context;
+pub use experiment::{build_rows, measure_corpus, ExperimentRow, Measurement};
+pub use framework::ContextAwareFramework;
+pub use labeler::{label_rows, label_rows_with, LabeledRow, Metric, Normalization, WeightVector};

@@ -1,0 +1,545 @@
+//! CART: binary classification trees with Gini impurity.
+//!
+//! §V-B: CART "identifies the resemblance within the class and generates
+//! binary tree accordingly" — binary splits on continuous thresholds and
+//! on category-subset membership, chosen to maximise the Gini impurity
+//! decrease, with minimum-sample and depth stopping rules.
+
+use crate::dataset::{Dataset, FeatureKind, Value};
+use crate::tree::{DecisionTree, Node, SplitRule, TreeMethod};
+
+/// CART hyper-parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CartParams {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum rows required to attempt a split.
+    pub min_split: usize,
+    /// Minimum rows in each child.
+    pub min_leaf: usize,
+    /// Minimum Gini decrease for a split to be kept (pre-pruning).
+    pub min_gain: f64,
+    /// Cost-complexity (weakest-link) pruning strength α: subtrees whose
+    /// per-leaf misclassification improvement is below α are collapsed.
+    /// 0 disables post-pruning.
+    pub prune_alpha: f64,
+}
+
+impl Default for CartParams {
+    fn default() -> Self {
+        CartParams {
+            max_depth: 12,
+            min_split: 8,
+            min_leaf: 3,
+            min_gain: 1e-4,
+            prune_alpha: 0.0,
+        }
+    }
+}
+
+/// Gini impurity of a class-count vector.
+pub fn gini(counts: &[u32]) -> f64 {
+    let total: u32 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    1.0 - counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / t;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+struct BestSplit {
+    feature: usize,
+    rule: SplitRule,
+    gain: f64,
+    left: Vec<u32>,
+    right: Vec<u32>,
+}
+
+/// Train a CART tree.
+pub fn train_cart(data: &Dataset, params: &CartParams) -> DecisionTree {
+    let idx: Vec<u32> = (0..data.rows.len() as u32).collect();
+    let mut root = build(data, params, idx, 0);
+    if params.prune_alpha > 0.0 {
+        prune(&mut root, params.prune_alpha);
+    }
+    DecisionTree {
+        method: TreeMethod::Cart,
+        feature_names: data.features.iter().map(|f| f.name.clone()).collect(),
+        classes: data.classes.clone(),
+        root,
+    }
+}
+
+/// Weakest-link (cost-complexity) pruning, bottom-up. A subtree is
+/// collapsed into a leaf when the misclassification errors it saves per
+/// extra leaf fall below `alpha` (errors measured on the training
+/// counts, in rows).
+///
+/// Returns `(class_counts, n_leaves, subtree_errors)` for the node.
+fn prune(node: &mut Node, alpha: f64) -> (Vec<u32>, usize, u32) {
+    match node {
+        Node::Leaf { counts, class } => {
+            let errors: u32 = counts.iter().sum::<u32>()
+                - counts.get(*class as usize).copied().unwrap_or(0);
+            (counts.clone(), 1, errors)
+        }
+        Node::Split { children, .. } => {
+            let mut counts: Vec<u32> = Vec::new();
+            let mut leaves = 0usize;
+            let mut sub_errors = 0u32;
+            for child in children.iter_mut() {
+                let (c, l, e) = prune(child, alpha);
+                if counts.is_empty() {
+                    counts = c;
+                } else {
+                    for (a, b) in counts.iter_mut().zip(&c) {
+                        *a += b;
+                    }
+                }
+                leaves += l;
+                sub_errors += e;
+            }
+            let total: u32 = counts.iter().sum();
+            let best = counts.iter().copied().max().unwrap_or(0);
+            let leaf_errors = total - best;
+            // g(t) = (R(leaf) - R(subtree)) / (leaves - 1)
+            let g = (leaf_errors.saturating_sub(sub_errors)) as f64
+                / (leaves.max(2) - 1) as f64;
+            if g <= alpha {
+                // Collapse into a leaf.
+                let class = counts
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(i, &c)| (c, usize::MAX - i))
+                    .map(|(i, _)| i as u32)
+                    .unwrap_or(0);
+                *node = Node::Leaf {
+                    class,
+                    counts: counts.clone(),
+                };
+                (counts, 1, leaf_errors)
+            } else {
+                (counts, leaves, sub_errors)
+            }
+        }
+    }
+}
+
+fn build(data: &Dataset, params: &CartParams, idx: Vec<u32>, depth: usize) -> Node {
+    let counts = data.class_counts(&idx);
+    let majority = data.majority(&idx);
+    let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
+    if pure || depth >= params.max_depth || idx.len() < params.min_split {
+        return Node::Leaf {
+            class: majority,
+            counts,
+        };
+    }
+    let Some(best) = find_best_split(data, params, &idx) else {
+        return Node::Leaf {
+            class: majority,
+            counts,
+        };
+    };
+    if best.gain < params.min_gain {
+        return Node::Leaf {
+            class: majority,
+            counts,
+        };
+    }
+    let left = build(data, params, best.left, depth + 1);
+    let right = build(data, params, best.right, depth + 1);
+    Node::Split {
+        feature: best.feature,
+        rule: best.rule,
+        children: vec![left, right],
+        majority,
+    }
+}
+
+fn find_best_split(data: &Dataset, params: &CartParams, idx: &[u32]) -> Option<BestSplit> {
+    let parent_gini = gini(&data.class_counts(idx));
+    let n = idx.len() as f64;
+    let mut best: Option<BestSplit> = None;
+    for (f, feat) in data.features.iter().enumerate() {
+        let candidate = match feat.kind {
+            FeatureKind::Continuous => best_threshold_split(data, idx, f),
+            FeatureKind::Categorical => best_subset_split(data, idx, f),
+        };
+        if let Some((rule, left, right)) = candidate {
+            if left.len() < params.min_leaf || right.len() < params.min_leaf {
+                continue;
+            }
+            let gl = gini(&data.class_counts(&left));
+            let gr = gini(&data.class_counts(&right));
+            let weighted =
+                (left.len() as f64 * gl + right.len() as f64 * gr) / n;
+            let gain = parent_gini - weighted;
+            if best.as_ref().is_none_or(|b| gain > b.gain) {
+                best = Some(BestSplit {
+                    feature: f,
+                    rule,
+                    gain,
+                    left,
+                    right,
+                });
+            }
+        }
+    }
+    best
+}
+
+/// Best `value ≤ t` split on a continuous feature: scan the sorted
+/// midpoints, tracking class counts incrementally.
+fn best_threshold_split(
+    data: &Dataset,
+    idx: &[u32],
+    f: usize,
+) -> Option<(SplitRule, Vec<u32>, Vec<u32>)> {
+    let mut vals: Vec<(f64, u32)> = idx
+        .iter()
+        .map(|&i| (data.rows[i as usize].values[f].as_f64(), i))
+        .collect();
+    vals.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let k = data.n_classes();
+    let mut left_counts = vec![0u32; k];
+    let mut right_counts = data.class_counts(idx);
+    let total = idx.len() as f64;
+    let parent = gini(&right_counts);
+    let mut best: Option<(f64, f64)> = None; // (gain, threshold)
+    for w in 0..vals.len().saturating_sub(1) {
+        let (v, i) = vals[w];
+        let label = data.rows[i as usize].label as usize;
+        left_counts[label] += 1;
+        right_counts[label] -= 1;
+        let next_v = vals[w + 1].0;
+        if next_v <= v {
+            continue; // same value; threshold must separate
+        }
+        let nl = (w + 1) as f64;
+        let nr = total - nl;
+        let weighted = (nl * gini(&left_counts) + nr * gini(&right_counts)) / total;
+        let gain = parent - weighted;
+        let threshold = (v + next_v) / 2.0;
+        if best.is_none_or(|(g, _)| gain > g) {
+            best = Some((gain, threshold));
+        }
+    }
+    let (_, threshold) = best?;
+    let (mut left, mut right) = (Vec::new(), Vec::new());
+    for &i in idx {
+        if data.rows[i as usize].values[f].as_f64() <= threshold {
+            left.push(i);
+        } else {
+            right.push(i);
+        }
+    }
+    Some((SplitRule::Threshold { threshold }, left, right))
+}
+
+/// Best one-group-vs-rest categorical split (for the small cardinalities
+/// of this problem — algorithm id, machine id — this matches full subset
+/// search closely at a fraction of the cost; classic CART twoing).
+fn best_subset_split(
+    data: &Dataset,
+    idx: &[u32],
+    f: usize,
+) -> Option<(SplitRule, Vec<u32>, Vec<u32>)> {
+    let mut cats: Vec<u32> = idx
+        .iter()
+        .map(|&i| match data.rows[i as usize].values[f] {
+            Value::Cat(c) => c,
+            Value::Num(x) => x as u32,
+        })
+        .collect();
+    cats.sort_unstable();
+    cats.dedup();
+    if cats.len() < 2 {
+        return None;
+    }
+    let parent = gini(&data.class_counts(idx));
+    let total = idx.len() as f64;
+    let mut best: Option<(f64, u32)> = None;
+    for &c in &cats {
+        let (mut l, mut r) = (Vec::new(), Vec::new());
+        for &i in idx {
+            let v = match data.rows[i as usize].values[f] {
+                Value::Cat(x) => x,
+                Value::Num(x) => x as u32,
+            };
+            if v == c {
+                l.push(i);
+            } else {
+                r.push(i);
+            }
+        }
+        if l.is_empty() || r.is_empty() {
+            continue;
+        }
+        let weighted = (l.len() as f64 * gini(&data.class_counts(&l))
+            + r.len() as f64 * gini(&data.class_counts(&r)))
+            / total;
+        let gain = parent - weighted;
+        if best.is_none_or(|(g, _)| gain > g) {
+            best = Some((gain, c));
+        }
+    }
+    let (_, c) = best?;
+    let rest: Vec<u32> = cats.iter().copied().filter(|&x| x != c).collect();
+    let (mut left, mut right) = (Vec::new(), Vec::new());
+    for &i in idx {
+        let v = match data.rows[i as usize].values[f] {
+            Value::Cat(x) => x,
+            Value::Num(x) => x as u32,
+        };
+        if v == c {
+            left.push(i);
+        } else {
+            right.push(i);
+        }
+    }
+    Some((
+        SplitRule::Groups {
+            groups: vec![vec![c], rest],
+        },
+        left,
+        right,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Feature;
+    use crate::metrics::accuracy;
+
+    fn dataset_xor_like() -> Dataset {
+        // Two continuous features; class = (x > 5) XOR (y > 5) — needs
+        // depth 2.
+        let mut d = Dataset::new(
+            vec![
+                Feature { name: "x".into(), kind: FeatureKind::Continuous },
+                Feature { name: "y".into(), kind: FeatureKind::Continuous },
+            ],
+            vec!["0".into(), "1".into()],
+        );
+        for xi in 0..10 {
+            for yi in 0..10 {
+                let label = u32::from((xi > 5) ^ (yi > 5));
+                d.push(
+                    vec![Value::Num(xi as f64), Value::Num(yi as f64)],
+                    label,
+                );
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn gini_values() {
+        assert_eq!(gini(&[10, 0]), 0.0);
+        assert!((gini(&[5, 5]) - 0.5).abs() < 1e-12);
+        assert!((gini(&[1, 1, 1, 1]) - 0.75).abs() < 1e-12);
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn learns_simple_threshold() {
+        let mut d = Dataset::new(
+            vec![Feature { name: "x".into(), kind: FeatureKind::Continuous }],
+            vec!["lo".into(), "hi".into()],
+        );
+        for i in 0..40 {
+            d.push(vec![Value::Num(i as f64)], u32::from(i >= 20));
+        }
+        let t = train_cart(&d, &CartParams::default());
+        let preds = t.predict_all(&d);
+        let labels: Vec<u32> = d.rows.iter().map(|r| r.label).collect();
+        assert_eq!(accuracy(&preds, &labels), 1.0);
+        assert_eq!(t.depth(), 2); // single split suffices
+    }
+
+    #[test]
+    fn learns_xor_with_depth_two() {
+        let d = dataset_xor_like();
+        let t = train_cart(&d, &CartParams::default());
+        let preds = t.predict_all(&d);
+        let labels: Vec<u32> = d.rows.iter().map(|r| r.label).collect();
+        assert!(accuracy(&preds, &labels) > 0.95);
+    }
+
+    #[test]
+    fn categorical_split() {
+        let mut d = Dataset::new(
+            vec![Feature { name: "algo".into(), kind: FeatureKind::Categorical }],
+            vec!["slow".into(), "fast".into()],
+        );
+        for i in 0..30 {
+            let cat = i % 3;
+            d.push(vec![Value::Cat(cat)], u32::from(cat == 2));
+        }
+        let t = train_cart(&d, &CartParams::default());
+        let labels: Vec<u32> = d.rows.iter().map(|r| r.label).collect();
+        assert_eq!(accuracy(&t.predict_all(&d), &labels), 1.0);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let d = dataset_xor_like();
+        let t = train_cart(
+            &d,
+            &CartParams {
+                max_depth: 1,
+                ..CartParams::default()
+            },
+        );
+        assert!(t.depth() <= 2);
+    }
+
+    #[test]
+    fn pure_dataset_is_single_leaf() {
+        let mut d = Dataset::new(
+            vec![Feature { name: "x".into(), kind: FeatureKind::Continuous }],
+            vec!["only".into()],
+        );
+        for i in 0..10 {
+            d.push(vec![Value::Num(i as f64)], 0);
+        }
+        let t = train_cart(&d, &CartParams::default());
+        assert_eq!(t.n_leaves(), 1);
+    }
+
+    #[test]
+    fn constant_feature_yields_leaf() {
+        let mut d = Dataset::new(
+            vec![Feature { name: "x".into(), kind: FeatureKind::Continuous }],
+            vec!["a".into(), "b".into()],
+        );
+        for i in 0..20 {
+            d.push(vec![Value::Num(1.0)], (i % 2) as u32);
+        }
+        let t = train_cart(&d, &CartParams::default());
+        assert_eq!(t.n_leaves(), 1);
+    }
+
+    #[test]
+    fn min_leaf_respected() {
+        let mut d = Dataset::new(
+            vec![Feature { name: "x".into(), kind: FeatureKind::Continuous }],
+            vec!["a".into(), "b".into()],
+        );
+        // One outlier of class b.
+        for i in 0..20 {
+            d.push(vec![Value::Num(i as f64)], 0);
+        }
+        d.push(vec![Value::Num(100.0)], 1);
+        let t = train_cart(
+            &d,
+            &CartParams {
+                min_leaf: 3,
+                ..CartParams::default()
+            },
+        );
+        // The outlier cannot be isolated: single leaf.
+        assert_eq!(t.n_leaves(), 1);
+    }
+}
+
+#[cfg(test)]
+mod prune_tests {
+    use super::*;
+    use crate::dataset::{Dataset, Feature, FeatureKind, Value};
+    use crate::metrics::accuracy;
+
+    /// A clean threshold signal plus label noise: unpruned CART chases
+    /// the noise; pruning should collapse those splits.
+    fn noisy_dataset() -> Dataset {
+        let mut d = Dataset::new(
+            vec![Feature {
+                name: "x".into(),
+                kind: FeatureKind::Continuous,
+            }],
+            vec!["a".into(), "b".into()],
+        );
+        for i in 0..400 {
+            let label = u32::from(i >= 200) ^ u32::from(i % 17 == 0); // ~6% noise
+            d.push(vec![Value::Num(i as f64)], label);
+        }
+        d
+    }
+
+    #[test]
+    fn pruning_shrinks_the_tree() {
+        let d = noisy_dataset();
+        let unpruned = train_cart(&d, &CartParams::default());
+        let pruned = train_cart(
+            &d,
+            &CartParams {
+                prune_alpha: 3.0,
+                ..CartParams::default()
+            },
+        );
+        assert!(
+            pruned.n_leaves() < unpruned.n_leaves(),
+            "pruned {} vs unpruned {}",
+            pruned.n_leaves(),
+            unpruned.n_leaves()
+        );
+        // The pruned tree still captures the main signal.
+        let labels: Vec<u32> = (0..400).map(|i| u32::from(i >= 200)).collect();
+        let acc = accuracy(&pruned.predict_all(&d), &labels);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn huge_alpha_collapses_to_single_leaf() {
+        let d = noisy_dataset();
+        let t = train_cart(
+            &d,
+            &CartParams {
+                prune_alpha: 1e9,
+                ..CartParams::default()
+            },
+        );
+        assert_eq!(t.n_leaves(), 1);
+    }
+
+    #[test]
+    fn zero_alpha_is_a_noop() {
+        let d = noisy_dataset();
+        let a = train_cart(&d, &CartParams::default());
+        let b = train_cart(
+            &d,
+            &CartParams {
+                prune_alpha: 0.0,
+                ..CartParams::default()
+            },
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pruned_counts_are_preserved() {
+        // Collapsed leaves carry the merged class counts of the subtree.
+        let d = noisy_dataset();
+        let t = train_cart(
+            &d,
+            &CartParams {
+                prune_alpha: 1e9,
+                ..CartParams::default()
+            },
+        );
+        if let Node::Leaf { counts, .. } = &t.root {
+            assert_eq!(counts.iter().sum::<u32>(), 400);
+        } else {
+            panic!("expected a single leaf");
+        }
+    }
+}

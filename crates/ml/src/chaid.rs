@@ -1,0 +1,430 @@
+//! CHAID: Chi-squared Automatic Interaction Detector.
+//!
+//! §IV-D names CHAID as one of the two rule generators; §V-A notes "CHAID
+//! uses the methodology based on the variable which splits more" — the
+//! χ²-most-significant predictor wins each node, with the classic
+//! category-merge step first.
+//!
+//! Implementation notes:
+//!
+//! * Continuous predictors are discretised once, globally, into at most
+//!   `max_bins` quantile bins (SPSS does the same). Within a node, only
+//!   *adjacent* bins may merge (ordinal treatment); nominal features may
+//!   merge any pair.
+//! * Merging continues while the least-significant pair's χ² p-value
+//!   exceeds `alpha_merge`.
+//! * The winning feature's p-value is Bonferroni-adjusted by the number
+//!   of ways its categories can collapse into the final group count; the
+//!   node splits only if the adjusted p is below `alpha_split`.
+
+use crate::dataset::{Dataset, FeatureKind, Value};
+use crate::stats::chi2_p_value;
+use crate::tree::{DecisionTree, Node, SplitRule, TreeMethod};
+
+/// CHAID hyper-parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChaidParams {
+    /// Significance threshold to *stop* merging (pairs with p above this
+    /// keep merging).
+    pub alpha_merge: f64,
+    /// Significance threshold required to split a node.
+    pub alpha_split: f64,
+    /// Maximum quantile bins for continuous predictors.
+    pub max_bins: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum rows to attempt a split.
+    pub min_split: usize,
+    /// Minimum rows per child.
+    pub min_leaf: usize,
+}
+
+impl Default for ChaidParams {
+    fn default() -> Self {
+        ChaidParams {
+            alpha_merge: 0.05,
+            alpha_split: 0.05,
+            max_bins: 8,
+            max_depth: 10,
+            min_split: 12,
+            min_leaf: 4,
+        }
+    }
+}
+
+/// Train a CHAID tree.
+pub fn train_chaid(data: &Dataset, params: &ChaidParams) -> DecisionTree {
+    // Global quantile bin edges for each continuous feature.
+    let bin_edges: Vec<Option<Vec<f64>>> = data
+        .features
+        .iter()
+        .enumerate()
+        .map(|(f, feat)| match feat.kind {
+            FeatureKind::Continuous => Some(quantile_edges(data, f, params.max_bins)),
+            FeatureKind::Categorical => None,
+        })
+        .collect();
+    let idx: Vec<u32> = (0..data.rows.len() as u32).collect();
+    let root = build(data, params, &bin_edges, idx, 0);
+    DecisionTree {
+        method: TreeMethod::Chaid,
+        feature_names: data.features.iter().map(|f| f.name.clone()).collect(),
+        classes: data.classes.clone(),
+        root,
+    }
+}
+
+/// Inner quantile edges (ascending, deduplicated) giving ≤ `max_bins`
+/// bins over feature `f`.
+fn quantile_edges(data: &Dataset, f: usize, max_bins: usize) -> Vec<f64> {
+    let mut vals: Vec<f64> = data
+        .rows
+        .iter()
+        .map(|r| r.values[f].as_f64())
+        .collect();
+    vals.sort_by(f64::total_cmp);
+    vals.dedup();
+    if vals.len() <= max_bins {
+        // Each distinct value is its own bin; edges at midpoints.
+        return vals
+            .windows(2)
+            .map(|w| (w[0] + w[1]) / 2.0)
+            .collect();
+    }
+    let mut edges = Vec::with_capacity(max_bins - 1);
+    for b in 1..max_bins {
+        let q = b as f64 / max_bins as f64;
+        let pos = ((vals.len() - 1) as f64 * q) as usize;
+        edges.push(vals[pos]);
+    }
+    edges.sort_by(f64::total_cmp);
+    edges.dedup();
+    edges
+}
+
+/// The category (bin id) of a value under the node's feature encoding.
+fn category_of(v: &Value, edges: Option<&Vec<f64>>) -> u32 {
+    match (v, edges) {
+        (Value::Num(x), Some(e)) => e.iter().take_while(|&&t| *x > t).count() as u32,
+        (Value::Cat(c), _) => *c,
+        (Value::Num(x), None) => *x as u32,
+    }
+}
+
+struct ChaidSplit {
+    feature: usize,
+    /// Groups of category ids (bin ids for continuous), each non-empty.
+    groups: Vec<Vec<u32>>,
+    adjusted_p: f64,
+    children_idx: Vec<Vec<u32>>,
+}
+
+fn build(
+    data: &Dataset,
+    params: &ChaidParams,
+    bin_edges: &[Option<Vec<f64>>],
+    idx: Vec<u32>,
+    depth: usize,
+) -> Node {
+    let counts = data.class_counts(&idx);
+    let majority = data.majority(&idx);
+    let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
+    if pure || depth >= params.max_depth || idx.len() < params.min_split {
+        return Node::Leaf {
+            class: majority,
+            counts,
+        };
+    }
+    let best = (0..data.features.len())
+        .filter_map(|f| evaluate_feature(data, params, bin_edges, &idx, f))
+        .min_by(|a, b| a.adjusted_p.total_cmp(&b.adjusted_p));
+    let Some(best) = best else {
+        return Node::Leaf {
+            class: majority,
+            counts,
+        };
+    };
+    if best.adjusted_p > params.alpha_split {
+        return Node::Leaf {
+            class: majority,
+            counts,
+        };
+    }
+    let rule = match &bin_edges[best.feature] {
+        Some(edges) => {
+            // Adjacent bin groups → interval edges at group boundaries.
+            let mut split_edges = Vec::with_capacity(best.groups.len() - 1);
+            for g in &best.groups[..best.groups.len() - 1] {
+                let hi_bin = *g.iter().max().expect("non-empty group") as usize;
+                // Edge between bin hi and hi+1 is edges[hi]; the last bin
+                // has no upper edge.
+                if hi_bin < edges.len() {
+                    split_edges.push(edges[hi_bin]);
+                }
+            }
+            SplitRule::Intervals { edges: split_edges }
+        }
+        None => SplitRule::Groups {
+            groups: best.groups.clone(),
+        },
+    };
+    let children = best
+        .children_idx
+        .into_iter()
+        .map(|child_idx| build(data, params, bin_edges, child_idx, depth + 1))
+        .collect();
+    Node::Split {
+        feature: best.feature,
+        rule,
+        children,
+        majority,
+    }
+}
+
+/// Merge categories and compute the adjusted p-value for one feature.
+fn evaluate_feature(
+    data: &Dataset,
+    params: &ChaidParams,
+    bin_edges: &[Option<Vec<f64>>],
+    idx: &[u32],
+    f: usize,
+) -> Option<ChaidSplit> {
+    let edges = bin_edges[f].as_ref();
+    let ordinal = edges.is_some();
+    // Rows per category present at this node.
+    let mut cat_rows: std::collections::BTreeMap<u32, Vec<u32>> = Default::default();
+    for &i in idx {
+        let c = category_of(&data.rows[i as usize].values[f], edges);
+        cat_rows.entry(c).or_default().push(i);
+    }
+    if cat_rows.len() < 2 {
+        return None;
+    }
+    let n_original = cat_rows.len();
+    // Groups start as singleton categories (sorted for ordinal).
+    let mut groups: Vec<Vec<u32>> = cat_rows.keys().map(|&c| vec![c]).collect();
+    let mut group_rows: Vec<Vec<u32>> = cat_rows.values().cloned().collect();
+
+    let class_table = |rows: &[u32]| data.class_counts(rows);
+
+    // Merge loop.
+    while groups.len() > 2 {
+        // Candidate pairs: adjacent only for ordinal features.
+        let mut worst: Option<(usize, usize, f64)> = None;
+        for a in 0..groups.len() {
+            let bs: Vec<usize> = if ordinal {
+                if a + 1 < groups.len() {
+                    vec![a + 1]
+                } else {
+                    vec![]
+                }
+            } else {
+                ((a + 1)..groups.len()).collect()
+            };
+            for b in bs {
+                let table = vec![class_table(&group_rows[a]), class_table(&group_rows[b])];
+                let p = chi2_p_value(&table);
+                if worst.is_none_or(|(_, _, wp)| p > wp) {
+                    worst = Some((a, b, p));
+                }
+            }
+        }
+        let Some((a, b, p)) = worst else { break };
+        if p <= params.alpha_merge {
+            break; // all pairs significantly different — stop merging
+        }
+        let (bg, brows) = (groups.remove(b), group_rows.remove(b));
+        groups[a].extend(bg);
+        groups[a].sort_unstable();
+        group_rows[a].extend(brows);
+    }
+
+    // Children must satisfy min_leaf.
+    if group_rows.iter().any(|g| g.len() < params.min_leaf) {
+        return None;
+    }
+    let table: Vec<Vec<u32>> = group_rows.iter().map(|g| class_table(g)).collect();
+    let p = chi2_p_value(&table);
+    // Bonferroni: number of ways to reduce n_original categories to g
+    // groups — C(n-1, g-1) for ordinal, Stirling-ish bound for nominal
+    // (we use the same binomial bound; conservative enough here).
+    let g = groups.len();
+    let multiplier = binomial(n_original - 1, g - 1).max(1.0);
+    let adjusted_p = (p * multiplier).min(1.0);
+    Some(ChaidSplit {
+        feature: f,
+        groups,
+        adjusted_p,
+        children_idx: group_rows,
+    })
+}
+
+fn binomial(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut r = 1.0f64;
+    for i in 0..k {
+        r = r * (n - i) as f64 / (i + 1) as f64;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Feature;
+    use crate::metrics::accuracy;
+
+    #[test]
+    fn quantile_edges_small_domain() {
+        let mut d = Dataset::new(
+            vec![Feature { name: "x".into(), kind: FeatureKind::Continuous }],
+            vec!["a".into(), "b".into()],
+        );
+        for i in 0..10 {
+            d.push(vec![Value::Num((i % 3) as f64)], (i % 2) as u32);
+        }
+        let e = quantile_edges(&d, 0, 8);
+        assert_eq!(e, vec![0.5, 1.5]);
+    }
+
+    #[test]
+    fn quantile_edges_large_domain() {
+        let mut d = Dataset::new(
+            vec![Feature { name: "x".into(), kind: FeatureKind::Continuous }],
+            vec!["a".into(), "b".into()],
+        );
+        for i in 0..1000 {
+            d.push(vec![Value::Num(i as f64)], (i % 2) as u32);
+        }
+        let e = quantile_edges(&d, 0, 8);
+        assert_eq!(e.len(), 7);
+        assert!(e.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(7, 0), 1.0);
+        assert_eq!(binomial(3, 5), 0.0);
+    }
+
+    #[test]
+    fn learns_threshold_classification() {
+        let mut d = Dataset::new(
+            vec![Feature { name: "x".into(), kind: FeatureKind::Continuous }],
+            vec!["lo".into(), "hi".into()],
+        );
+        for i in 0..200 {
+            d.push(vec![Value::Num(i as f64)], u32::from(i >= 100));
+        }
+        let t = train_chaid(&d, &ChaidParams::default());
+        let labels: Vec<u32> = d.rows.iter().map(|r| r.label).collect();
+        let acc = accuracy(&t.predict_all(&d), &labels);
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn learns_categorical_grouping() {
+        // Categories {0,2,4} → class 0; {1,3} → class 1.
+        let mut d = Dataset::new(
+            vec![Feature { name: "c".into(), kind: FeatureKind::Categorical }],
+            vec!["even".into(), "odd".into()],
+        );
+        for i in 0..250 {
+            let c = (i % 5) as u32;
+            d.push(vec![Value::Cat(c)], c % 2);
+        }
+        let t = train_chaid(&d, &ChaidParams::default());
+        let labels: Vec<u32> = d.rows.iter().map(|r| r.label).collect();
+        assert_eq!(accuracy(&t.predict_all(&d), &labels), 1.0);
+        // The merge step should have collapsed to exactly two groups.
+        if let Node::Split { rule: SplitRule::Groups { groups }, .. } = &t.root {
+            assert_eq!(groups.len(), 2);
+            let mut g: Vec<Vec<u32>> = groups.clone();
+            g.iter_mut().for_each(|x| x.sort_unstable());
+            g.sort();
+            assert_eq!(g, vec![vec![0, 2, 4], vec![1, 3]]);
+        } else {
+            panic!("expected a categorical split at the root, got {:?}", t.root);
+        }
+    }
+
+    #[test]
+    fn multiway_split_on_three_way_signal() {
+        // x in [0,30) → class depends on thirds: 3 intervals, one split.
+        let mut d = Dataset::new(
+            vec![Feature { name: "x".into(), kind: FeatureKind::Continuous }],
+            vec!["a".into(), "b".into(), "c".into()],
+        );
+        for i in 0..300 {
+            let x = (i % 30) as f64;
+            let label = (x as u32) / 10;
+            d.push(vec![Value::Num(x)], label);
+        }
+        // Enough bins that the global quantile grid aligns with the
+        // class boundaries (binning resolution is a real CHAID limit).
+        let params = ChaidParams {
+            max_bins: 15,
+            ..ChaidParams::default()
+        };
+        let t = train_chaid(&d, &params);
+        let labels: Vec<u32> = d.rows.iter().map(|r| r.label).collect();
+        assert_eq!(accuracy(&t.predict_all(&d), &labels), 1.0);
+        // Root should be one multiway Intervals split with 3 children.
+        if let Node::Split { rule: SplitRule::Intervals { edges }, children, .. } = &t.root {
+            assert_eq!(children.len(), 3);
+            assert_eq!(edges.len(), 2);
+        } else {
+            panic!("expected multiway intervals root, got {:?}", t.root);
+        }
+    }
+
+    #[test]
+    fn no_signal_yields_leaf() {
+        let mut d = Dataset::new(
+            vec![Feature { name: "x".into(), kind: FeatureKind::Continuous }],
+            vec!["a".into(), "b".into()],
+        );
+        // Label independent of x (alternating).
+        for i in 0..100 {
+            d.push(vec![Value::Num((i / 2) as f64)], (i % 2) as u32);
+        }
+        let t = train_chaid(&d, &ChaidParams::default());
+        assert_eq!(t.n_leaves(), 1, "rules: {:?}", t.rules());
+    }
+
+    #[test]
+    fn pure_node_is_leaf() {
+        let mut d = Dataset::new(
+            vec![Feature { name: "x".into(), kind: FeatureKind::Continuous }],
+            vec!["only".into(), "other".into()],
+        );
+        for i in 0..50 {
+            d.push(vec![Value::Num(i as f64)], 0);
+        }
+        let t = train_chaid(&d, &ChaidParams::default());
+        assert_eq!(t.n_leaves(), 1);
+    }
+
+    #[test]
+    fn respects_min_split() {
+        let mut d = Dataset::new(
+            vec![Feature { name: "x".into(), kind: FeatureKind::Continuous }],
+            vec!["a".into(), "b".into()],
+        );
+        for i in 0..10 {
+            d.push(vec![Value::Num(i as f64)], u32::from(i >= 5));
+        }
+        let t = train_chaid(
+            &d,
+            &ChaidParams {
+                min_split: 50,
+                ..ChaidParams::default()
+            },
+        );
+        assert_eq!(t.n_leaves(), 1);
+    }
+}

@@ -1,0 +1,196 @@
+//! Tabular datasets for tree induction.
+
+use serde::{Deserialize, Serialize};
+
+/// Feature type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeatureKind {
+    /// Ordered numeric (file size, RAM, CPU MHz, bandwidth).
+    Continuous,
+    /// Unordered categories identified by small integers.
+    Categorical,
+}
+
+/// Feature descriptor.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Feature {
+    /// Column name, e.g. `"file_kb"`.
+    pub name: String,
+    /// Continuous or categorical.
+    pub kind: FeatureKind,
+}
+
+/// One cell value.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Numeric value of a continuous feature.
+    Num(f64),
+    /// Category id of a categorical feature.
+    Cat(u32),
+}
+
+impl Value {
+    /// Numeric view; categorical ids coerce to their id value.
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Value::Num(x) => x,
+            Value::Cat(c) => c as f64,
+        }
+    }
+}
+
+/// One observation: feature values plus a class label.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Values aligned with [`Dataset::features`].
+    pub values: Vec<Value>,
+    /// Class label id (index into [`Dataset::classes`]).
+    pub label: u32,
+}
+
+/// A labelled dataset.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Feature descriptors.
+    pub features: Vec<Feature>,
+    /// Class names, indexed by label id.
+    pub classes: Vec<String>,
+    /// Observations.
+    pub rows: Vec<Row>,
+}
+
+impl Dataset {
+    /// New empty dataset with the given schema.
+    pub fn new(features: Vec<Feature>, classes: Vec<String>) -> Self {
+        Dataset {
+            features,
+            classes,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Add an observation. Panics if the arity mismatches the schema or
+    /// the label is out of range.
+    pub fn push(&mut self, values: Vec<Value>, label: u32) {
+        assert_eq!(values.len(), self.features.len(), "arity mismatch");
+        assert!((label as usize) < self.classes.len(), "label out of range");
+        self.rows.push(Row { values, label });
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Class counts over the given row indices.
+    pub fn class_counts(&self, idx: &[u32]) -> Vec<u32> {
+        let mut counts = vec![0u32; self.n_classes()];
+        for &i in idx {
+            counts[self.rows[i as usize].label as usize] += 1;
+        }
+        counts
+    }
+
+    /// Majority class over the given row indices (ties → smallest id).
+    pub fn majority(&self, idx: &[u32]) -> u32 {
+        let counts = self.class_counts(idx);
+        counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &c)| (c, usize::MAX - i))
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0)
+    }
+
+    /// Deterministic train/test split: every `1/test_every`-th row (by
+    /// index, offset `phase`) goes to test. The paper holds out 25 % —
+    /// `test_every = 4`.
+    pub fn split(&self, test_every: usize, phase: usize) -> (Dataset, Dataset) {
+        assert!(test_every >= 2);
+        let mut train = Dataset::new(self.features.clone(), self.classes.clone());
+        let mut test = Dataset::new(self.features.clone(), self.classes.clone());
+        for (i, row) in self.rows.iter().enumerate() {
+            if i % test_every == phase % test_every {
+                test.rows.push(row.clone());
+            } else {
+                train.rows.push(row.clone());
+            }
+        }
+        (train, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Dataset {
+        Dataset::new(
+            vec![
+                Feature {
+                    name: "x".into(),
+                    kind: FeatureKind::Continuous,
+                },
+                Feature {
+                    name: "c".into(),
+                    kind: FeatureKind::Categorical,
+                },
+            ],
+            vec!["a".into(), "b".into()],
+        )
+    }
+
+    #[test]
+    fn push_and_counts() {
+        let mut d = schema();
+        d.push(vec![Value::Num(1.0), Value::Cat(0)], 0);
+        d.push(vec![Value::Num(2.0), Value::Cat(1)], 1);
+        d.push(vec![Value::Num(3.0), Value::Cat(1)], 1);
+        let idx: Vec<u32> = (0..3).collect();
+        assert_eq!(d.class_counts(&idx), vec![1, 2]);
+        assert_eq!(d.majority(&idx), 1);
+        assert_eq!(d.majority(&[0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        let mut d = schema();
+        d.push(vec![Value::Num(1.0)], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn label_checked() {
+        let mut d = schema();
+        d.push(vec![Value::Num(1.0), Value::Cat(0)], 5);
+    }
+
+    #[test]
+    fn split_75_25() {
+        let mut d = schema();
+        for i in 0..100 {
+            d.push(vec![Value::Num(i as f64), Value::Cat(0)], (i % 2) as u32);
+        }
+        let (train, test) = d.split(4, 0);
+        assert_eq!(train.rows.len(), 75);
+        assert_eq!(test.rows.len(), 25);
+        // Different phases give different test sets.
+        let (_, test1) = d.split(4, 1);
+        assert_ne!(test.rows[0], test1.rows[0]);
+    }
+
+    #[test]
+    fn majority_tie_breaks_low() {
+        let mut d = schema();
+        d.push(vec![Value::Num(1.0), Value::Cat(0)], 1);
+        d.push(vec![Value::Num(2.0), Value::Cat(0)], 0);
+        assert_eq!(d.majority(&[0, 1]), 0);
+    }
+
+    #[test]
+    fn value_as_f64() {
+        assert_eq!(Value::Num(2.5).as_f64(), 2.5);
+        assert_eq!(Value::Cat(3).as_f64(), 3.0);
+    }
+}

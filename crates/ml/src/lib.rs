@@ -1,0 +1,43 @@
+//! # dnacomp-ml — decision-tree rule induction
+//!
+//! The paper generates its context-aware selection rules "through
+//! Decision tree induction using methods CHAID (Chi-squared Automatic
+//! Interaction Detector) and CART (Classification and Regression Trees)"
+//! (§IV-D). SPSS-style tooling is not available here, so both learners
+//! are implemented from scratch:
+//!
+//! * [`cart`] — CART: binary splits maximising Gini impurity decrease,
+//!   depth/sample stopping rules;
+//! * [`chaid`] — CHAID: multiway splits chosen by χ² significance with
+//!   the classic category-merge step and Bonferroni adjustment;
+//! * [`stats`] — the χ² survival function (regularised incomplete gamma)
+//!   both methods and the tests rely on;
+//! * [`tree`] — the shared tree representation, prediction, and
+//!   rule extraction ("the rules are incorporated in framework", §V);
+//! * [`dataset`] — tabular data with continuous and categorical features;
+//! * [`metrics`] — accuracy (the paper's `Cases Matched/TotalCases`) and
+//!   confusion matrices.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cart;
+pub mod chaid;
+pub mod dataset;
+pub mod metrics;
+pub mod stats;
+pub mod tree;
+
+pub use cart::CartParams;
+pub use chaid::ChaidParams;
+pub use dataset::{Dataset, Feature, FeatureKind, Row, Value};
+pub use metrics::{accuracy, confusion_matrix};
+pub use tree::{DecisionTree, TreeMethod};
+
+/// Train a tree with either method using its default parameters.
+pub fn train(method: TreeMethod, data: &Dataset) -> DecisionTree {
+    match method {
+        TreeMethod::Cart => cart::train_cart(data, &CartParams::default()),
+        TreeMethod::Chaid => chaid::train_chaid(data, &ChaidParams::default()),
+    }
+}

@@ -1,0 +1,87 @@
+//! Evaluation metrics.
+//!
+//! The paper reports `Accuracy = Cases Matched / TotalCases` for every
+//! rule set (§V-A…E, Table 2); the confusion matrix backs the per-class
+//! "gap" analysis of Figures 9–16.
+
+/// Fraction of predictions equal to the labels. Empty input → 0.0.
+pub fn accuracy(predictions: &[u32], labels: &[u32]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let matched = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    matched as f64 / predictions.len() as f64
+}
+
+/// `matrix[actual][predicted]` counts over `n_classes`.
+pub fn confusion_matrix(predictions: &[u32], labels: &[u32], n_classes: usize) -> Vec<Vec<u32>> {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    let mut m = vec![vec![0u32; n_classes]; n_classes];
+    for (&p, &l) in predictions.iter().zip(labels) {
+        if (p as usize) < n_classes && (l as usize) < n_classes {
+            m[l as usize][p as usize] += 1;
+        }
+    }
+    m
+}
+
+/// Per-class recall from a confusion matrix (`None` if the class has no
+/// actual instances).
+pub fn recalls(matrix: &[Vec<u32>]) -> Vec<Option<f64>> {
+    matrix
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let total: u32 = row.iter().sum();
+            if total == 0 {
+                None
+            } else {
+                Some(row[i] as f64 / total as f64)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 0, 0]), 1.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_length_checked() {
+        let _ = accuracy(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn confusion_and_recalls() {
+        let preds = [0, 0, 1, 1, 1, 2];
+        let labels = [0, 1, 1, 1, 2, 2];
+        let m = confusion_matrix(&preds, &labels, 3);
+        assert_eq!(m[0], vec![1, 0, 0]);
+        assert_eq!(m[1], vec![1, 2, 0]);
+        assert_eq!(m[2], vec![0, 1, 1]);
+        let r = recalls(&m);
+        assert_eq!(r[0], Some(1.0));
+        assert_eq!(r[1], Some(2.0 / 3.0));
+        assert_eq!(r[2], Some(0.5));
+    }
+
+    #[test]
+    fn empty_class_has_no_recall() {
+        let m = confusion_matrix(&[0, 0], &[0, 0], 2);
+        let r = recalls(&m);
+        assert_eq!(r[1], None);
+    }
+}

@@ -1,0 +1,229 @@
+//! Statistical primitives: χ² tests via the regularised incomplete gamma
+//! function (series + continued-fraction evaluation, Numerical-Recipes
+//! style, implemented from scratch).
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+pub fn ln_gamma(x: f64) -> f64 {
+    // Coefficients for g=7, n=9.
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        pi.ln() - (pi * x).sin().ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        let t = x + 7.5;
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+    }
+}
+
+/// Regularised lower incomplete gamma P(a, x) by series expansion
+/// (converges well for x < a + 1).
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut sum = 1.0 / a;
+    let mut term = sum;
+    let mut n = a;
+    for _ in 0..500 {
+        n += 1.0;
+        term *= x / n;
+        sum += term;
+        if term.abs() < sum.abs() * 1e-15 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Regularised upper incomplete gamma Q(a, x) by continued fraction
+/// (converges well for x ≥ a + 1).
+fn gamma_q_cf(a: f64, x: f64) -> f64 {
+    let tiny = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / tiny;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < tiny {
+            d = tiny;
+        }
+        c = b + an / c;
+        if c.abs() < tiny {
+            c = tiny;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Regularised lower incomplete gamma P(a, x).
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "gamma_p domain");
+    if x == 0.0 {
+        0.0
+    } else if x < a + 1.0 {
+        gamma_p_series(a, x).clamp(0.0, 1.0)
+    } else {
+        (1.0 - gamma_q_cf(a, x)).clamp(0.0, 1.0)
+    }
+}
+
+/// χ² survival function: `P(X ≥ x)` for `df` degrees of freedom.
+pub fn chi2_sf(x: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "df must be positive");
+    if x <= 0.0 {
+        return 1.0;
+    }
+    let a = df / 2.0;
+    let x2 = x / 2.0;
+    if x2 < a + 1.0 {
+        (1.0 - gamma_p_series(a, x2)).clamp(0.0, 1.0)
+    } else {
+        gamma_q_cf(a, x2).clamp(0.0, 1.0)
+    }
+}
+
+/// Pearson χ² statistic and degrees of freedom for an r×c contingency
+/// table given as rows of counts. Rows/columns with zero totals are
+/// ignored (they contribute no information).
+pub fn chi2_statistic(table: &[Vec<u32>]) -> (f64, f64) {
+    let r = table.len();
+    let c = table.first().map_or(0, |row| row.len());
+    if r == 0 || c == 0 {
+        return (0.0, 1.0);
+    }
+    let row_tot: Vec<f64> = table.iter().map(|row| row.iter().sum::<u32>() as f64).collect();
+    let mut col_tot = vec![0f64; c];
+    for row in table {
+        for (j, &v) in row.iter().enumerate() {
+            col_tot[j] += v as f64;
+        }
+    }
+    let total: f64 = row_tot.iter().sum();
+    if total == 0.0 {
+        return (0.0, 1.0);
+    }
+    let live_rows = row_tot.iter().filter(|&&t| t > 0.0).count();
+    let live_cols = col_tot.iter().filter(|&&t| t > 0.0).count();
+    if live_rows < 2 || live_cols < 2 {
+        return (0.0, 1.0);
+    }
+    let mut stat = 0.0;
+    for (i, row) in table.iter().enumerate() {
+        if row_tot[i] == 0.0 {
+            continue;
+        }
+        for (j, &v) in row.iter().enumerate() {
+            if col_tot[j] == 0.0 {
+                continue;
+            }
+            let expected = row_tot[i] * col_tot[j] / total;
+            let d = v as f64 - expected;
+            stat += d * d / expected;
+        }
+    }
+    let df = ((live_rows - 1) * (live_cols - 1)) as f64;
+    (stat, df.max(1.0))
+}
+
+/// p-value of the Pearson χ² independence test on a contingency table.
+pub fn chi2_p_value(table: &[Vec<u32>]) -> f64 {
+    let (stat, df) = chi2_statistic(table);
+    if stat == 0.0 {
+        1.0
+    } else {
+        chi2_sf(stat, df)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1)=1, Γ(2)=1, Γ(5)=24, Γ(0.5)=√π.
+        assert!((ln_gamma(1.0)).abs() < 1e-12);
+        assert!((ln_gamma(2.0)).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn chi2_sf_known_values() {
+        // df=1: P(X ≥ 3.841) ≈ 0.05; df=2: P(X ≥ 5.991) ≈ 0.05.
+        assert!((chi2_sf(3.841, 1.0) - 0.05).abs() < 2e-3);
+        assert!((chi2_sf(5.991, 2.0) - 0.05).abs() < 2e-3);
+        // df=2 has closed form exp(-x/2).
+        for x in [0.5f64, 1.0, 3.0, 10.0] {
+            assert!((chi2_sf(x, 2.0) - (-x / 2.0).exp()).abs() < 1e-10, "x={x}");
+        }
+        assert_eq!(chi2_sf(0.0, 3.0), 1.0);
+        assert!(chi2_sf(1000.0, 3.0) < 1e-12);
+    }
+
+    #[test]
+    fn gamma_p_monotone_in_x() {
+        let mut prev = 0.0;
+        for i in 1..50 {
+            let p = gamma_p(2.5, i as f64 * 0.3);
+            assert!(p >= prev - 1e-12);
+            prev = p;
+        }
+        assert!(prev > 0.999);
+    }
+
+    #[test]
+    fn chi2_statistic_hand_computed() {
+        // Table [[10, 20], [20, 10]]: expected 15 everywhere, stat =
+        // 4 × 25/15 = 6.6667, df = 1.
+        let (stat, df) = chi2_statistic(&[vec![10, 20], vec![20, 10]]);
+        assert!((stat - 20.0 / 3.0).abs() < 1e-9);
+        assert_eq!(df, 1.0);
+    }
+
+    #[test]
+    fn independent_table_has_high_p() {
+        let p = chi2_p_value(&[vec![30, 30], vec![30, 30]]);
+        assert!((p - 1.0).abs() < 1e-9);
+        let p = chi2_p_value(&[vec![29, 31], vec![31, 29]]);
+        assert!(p > 0.5);
+    }
+
+    #[test]
+    fn dependent_table_has_low_p() {
+        let p = chi2_p_value(&[vec![50, 0], vec![0, 50]]);
+        assert!(p < 1e-10);
+    }
+
+    #[test]
+    fn degenerate_tables() {
+        assert_eq!(chi2_p_value(&[]), 1.0);
+        assert_eq!(chi2_p_value(&[vec![0, 0], vec![0, 0]]), 1.0);
+        // Single live row: no information.
+        assert_eq!(chi2_p_value(&[vec![10, 20], vec![0, 0]]), 1.0);
+        // Single live column.
+        assert_eq!(chi2_p_value(&[vec![10, 0], vec![20, 0]]), 1.0);
+    }
+}

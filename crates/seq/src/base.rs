@@ -1,0 +1,204 @@
+//! The nucleotide alphabet.
+//!
+//! DNA sequences consist of four bases — adenine, cytosine, guanine and
+//! thymine (§II-B of the paper). [`Base`] encodes them in two bits, the
+//! density every DNA-specific compressor's "non-repeat" fallback encoding
+//! assumes (Table 1: "naïve 2 bits per symbol").
+
+use std::fmt;
+
+/// One nucleotide. The discriminant is the canonical 2-bit code.
+///
+/// The code assignment (`A=0, C=1, G=2, T=3`) makes complementation a
+/// single XOR with `0b11`: `A(00) ↔ T(11)` and `C(01) ↔ G(10)`, mirroring
+/// the Watson–Crick pairing the paper's "reverse complement repeat" class
+/// relies on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Base {
+    /// Adenine.
+    A = 0,
+    /// Cytosine.
+    C = 1,
+    /// Guanine.
+    G = 2,
+    /// Thymine.
+    T = 3,
+}
+
+impl Base {
+    /// All four bases in 2-bit-code order.
+    pub const ALL: [Base; 4] = [Base::A, Base::C, Base::G, Base::T];
+
+    /// Number of distinct bases.
+    pub const CARDINALITY: usize = 4;
+
+    /// Decode a 2-bit code. Only the low two bits are inspected.
+    #[inline]
+    pub fn from_code(code: u8) -> Base {
+        match code & 0b11 {
+            0 => Base::A,
+            1 => Base::C,
+            2 => Base::G,
+            _ => Base::T,
+        }
+    }
+
+    /// The 2-bit code of this base.
+    #[inline]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Parse an ASCII character (case-insensitive). Returns `None` for
+    /// ambiguity codes (N, R, Y, …) and non-nucleotide characters; the
+    /// [`crate::fasta`] cleanser decides how those are handled.
+    #[inline]
+    pub fn from_ascii(ch: u8) -> Option<Base> {
+        match ch {
+            b'A' | b'a' => Some(Base::A),
+            b'C' | b'c' => Some(Base::C),
+            b'G' | b'g' => Some(Base::G),
+            b'T' | b't' => Some(Base::T),
+            _ => None,
+        }
+    }
+
+    /// Upper-case ASCII representation.
+    #[inline]
+    pub fn to_ascii(self) -> u8 {
+        match self {
+            Base::A => b'A',
+            Base::C => b'C',
+            Base::G => b'G',
+            Base::T => b'T',
+        }
+    }
+
+    /// Watson–Crick complement: `A↔T`, `C↔G`.
+    #[inline]
+    pub fn complement(self) -> Base {
+        Base::from_code(self.code() ^ 0b11)
+    }
+
+    /// `true` for G or C — used for GC-content statistics.
+    #[inline]
+    pub fn is_gc(self) -> bool {
+        matches!(self, Base::G | Base::C)
+    }
+}
+
+impl fmt::Display for Base {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_ascii() as char)
+    }
+}
+
+impl TryFrom<char> for Base {
+    type Error = crate::SeqError;
+
+    fn try_from(value: char) -> Result<Self, Self::Error> {
+        u8::try_from(value)
+            .ok()
+            .and_then(Base::from_ascii)
+            .ok_or(crate::SeqError::InvalidBase(value))
+    }
+}
+
+/// Complement every base of `bases` in place and reverse the slice,
+/// producing the reverse complement — the second repeat class of §II-B.
+pub fn reverse_complement_in_place(bases: &mut [Base]) {
+    for b in bases.iter_mut() {
+        *b = b.complement();
+    }
+    bases.reverse();
+}
+
+/// Allocate the reverse complement of `bases`.
+pub fn reverse_complement(bases: &[Base]) -> Vec<Base> {
+    bases.iter().rev().map(|b| b.complement()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip() {
+        for b in Base::ALL {
+            assert_eq!(Base::from_code(b.code()), b);
+        }
+    }
+
+    #[test]
+    fn from_code_masks_high_bits() {
+        assert_eq!(Base::from_code(0b100), Base::A);
+        assert_eq!(Base::from_code(0xFF), Base::T);
+    }
+
+    #[test]
+    fn ascii_roundtrip_both_cases() {
+        for b in Base::ALL {
+            assert_eq!(Base::from_ascii(b.to_ascii()), Some(b));
+            assert_eq!(Base::from_ascii(b.to_ascii().to_ascii_lowercase()), Some(b));
+        }
+    }
+
+    #[test]
+    fn ambiguity_codes_rejected() {
+        for ch in [b'N', b'n', b'R', b'Y', b'-', b' ', b'>', b'0'] {
+            assert_eq!(Base::from_ascii(ch), None, "{}", ch as char);
+        }
+    }
+
+    #[test]
+    fn complement_pairs() {
+        assert_eq!(Base::A.complement(), Base::T);
+        assert_eq!(Base::T.complement(), Base::A);
+        assert_eq!(Base::C.complement(), Base::G);
+        assert_eq!(Base::G.complement(), Base::C);
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        for b in Base::ALL {
+            assert_eq!(b.complement().complement(), b);
+        }
+    }
+
+    #[test]
+    fn gc_flags() {
+        assert!(Base::G.is_gc());
+        assert!(Base::C.is_gc());
+        assert!(!Base::A.is_gc());
+        assert!(!Base::T.is_gc());
+    }
+
+    #[test]
+    fn reverse_complement_small() {
+        // ACGT -> complement TGCA -> reversed ACGT is its own revcomp.
+        let s = [Base::A, Base::C, Base::G, Base::T];
+        assert_eq!(reverse_complement(&s), s.to_vec());
+        // AACG -> revcomp CGTT
+        let s = [Base::A, Base::A, Base::C, Base::G];
+        assert_eq!(
+            reverse_complement(&s),
+            vec![Base::C, Base::G, Base::T, Base::T]
+        );
+    }
+
+    #[test]
+    fn reverse_complement_in_place_matches_alloc() {
+        let s = [Base::T, Base::T, Base::G, Base::A, Base::C];
+        let mut inplace = s;
+        reverse_complement_in_place(&mut inplace);
+        assert_eq!(inplace.to_vec(), reverse_complement(&s));
+    }
+
+    #[test]
+    fn try_from_char() {
+        assert_eq!(Base::try_from('g').unwrap(), Base::G);
+        assert!(Base::try_from('N').is_err());
+        assert!(Base::try_from('日').is_err());
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for the sequence substrate.
+
+use std::fmt;
+
+/// Errors produced while parsing or constructing sequences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeqError {
+    /// A character that is not one of `ACGTacgt` where a base was required.
+    InvalidBase(char),
+    /// FASTA input contained no sequence records.
+    EmptyFasta,
+    /// A FASTA record body contained a character the strict parser rejects.
+    ///
+    /// Carries the record header and the 1-based line number.
+    MalformedRecord {
+        /// Header line of the offending record (without `>`).
+        header: String,
+        /// 1-based line number of the offending body line.
+        line: usize,
+        /// The offending character.
+        ch: char,
+    },
+    /// An index was out of bounds for the sequence length.
+    OutOfBounds {
+        /// Requested index.
+        index: usize,
+        /// Sequence length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for SeqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeqError::InvalidBase(c) => write!(f, "invalid nucleotide character {c:?}"),
+            SeqError::EmptyFasta => write!(f, "FASTA input contained no records"),
+            SeqError::MalformedRecord { header, line, ch } => write!(
+                f,
+                "record {header:?}: invalid character {ch:?} at line {line}"
+            ),
+            SeqError::OutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for sequence of length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SeqError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SeqError::InvalidBase('N').to_string().contains("'N'"));
+        assert!(SeqError::EmptyFasta.to_string().contains("no records"));
+        let e = SeqError::MalformedRecord {
+            header: "chr1".into(),
+            line: 3,
+            ch: '!',
+        };
+        assert!(e.to_string().contains("chr1"));
+        assert!(e.to_string().contains("line 3"));
+        let e = SeqError::OutOfBounds { index: 9, len: 4 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+    }
+}

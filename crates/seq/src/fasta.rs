@@ -1,0 +1,257 @@
+//! FASTA parsing, writing, and the paper's **Cleanser** component.
+//!
+//! §IV-A: *"After decompression, the file contains multiple sequences along
+//! with text. We separated the sequences and removed the extra text so that
+//! single sequence experiments can be carried out smoothly."* — that
+//! separation/cleaning step is [`Cleanser`]. The framework (Figure 7) also
+//! names a Cleanser box: *"Extra information is cleansed by the Cleanser."*
+
+use crate::base::Base;
+use crate::error::SeqError;
+use crate::packed::PackedSeq;
+
+/// One FASTA record: a header line and its sequence body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Record {
+    /// Header text (without the leading `>`).
+    pub header: String,
+    /// The cleaned sequence.
+    pub seq: PackedSeq,
+    /// How many non-ACGT body characters the cleanser dropped or mapped.
+    pub cleaned: usize,
+}
+
+/// Policy for characters that are not `ACGT` in a record body.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum AmbiguityPolicy {
+    /// Drop ambiguity codes and stray text entirely (the paper removes
+    /// "extra text"). This is the default.
+    #[default]
+    Drop,
+    /// Map every ambiguity code to adenine. Some published corpora do this
+    /// so that file sizes are preserved exactly.
+    MapToA,
+    /// Fail the parse with [`SeqError::MalformedRecord`].
+    Strict,
+}
+
+/// The Cleanser: FASTA reader with configurable ambiguity handling.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Cleanser {
+    /// Ambiguity-code policy applied to record bodies.
+    pub policy: AmbiguityPolicy,
+}
+
+impl Cleanser {
+    /// Cleanser with the given policy.
+    pub fn new(policy: AmbiguityPolicy) -> Self {
+        Cleanser { policy }
+    }
+
+    /// Parse every record in `input`.
+    ///
+    /// Text before the first `>` header is treated as the body of an
+    /// implicit unnamed record when it contains nucleotides (headerless
+    /// raw-sequence files are common in the standard corpus); pure
+    /// whitespace is ignored.
+    pub fn parse(&self, input: &str) -> Result<Vec<Record>, SeqError> {
+        let mut records: Vec<Record> = Vec::new();
+        let mut current: Option<Record> = None;
+
+        for (lineno, line) in input.lines().enumerate() {
+            let line = line.trim_end();
+            if let Some(h) = line.strip_prefix('>') {
+                if let Some(rec) = current.take() {
+                    records.push(rec);
+                }
+                current = Some(Record {
+                    header: h.trim().to_owned(),
+                    seq: PackedSeq::new(),
+                    cleaned: 0,
+                });
+                continue;
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rec = current.get_or_insert_with(|| Record {
+                header: String::new(),
+                seq: PackedSeq::new(),
+                cleaned: 0,
+            });
+            for ch in line.bytes() {
+                if ch.is_ascii_whitespace() || ch.is_ascii_digit() {
+                    // Line numbers / column counts are "extra text".
+                    rec.cleaned += 1;
+                    continue;
+                }
+                match Base::from_ascii(ch) {
+                    Some(b) => rec.seq.push(b),
+                    None => match self.policy {
+                        AmbiguityPolicy::Drop => rec.cleaned += 1,
+                        AmbiguityPolicy::MapToA => {
+                            rec.cleaned += 1;
+                            rec.seq.push(Base::A);
+                        }
+                        AmbiguityPolicy::Strict => {
+                            return Err(SeqError::MalformedRecord {
+                                header: rec.header.clone(),
+                                line: lineno + 1,
+                                ch: ch as char,
+                            })
+                        }
+                    },
+                }
+            }
+        }
+        if let Some(rec) = current.take() {
+            records.push(rec);
+        }
+        if records.is_empty() {
+            return Err(SeqError::EmptyFasta);
+        }
+        Ok(records)
+    }
+
+    /// Parse and concatenate all records into one sequence — the paper's
+    /// "single sequence" preparation for an experiment file.
+    pub fn parse_single(&self, input: &str) -> Result<PackedSeq, SeqError> {
+        let records = self.parse(input)?;
+        let total: usize = records.iter().map(|r| r.seq.len()).sum();
+        let mut out = PackedSeq::with_capacity(total);
+        for rec in &records {
+            for b in rec.seq.iter() {
+                out.push(b);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Render records back to FASTA with `width`-column bodies.
+pub fn write_fasta(records: &[Record], width: usize) -> String {
+    let width = width.max(1);
+    let mut out = String::new();
+    for rec in records {
+        out.push('>');
+        out.push_str(&rec.header);
+        out.push('\n');
+        let ascii = rec.seq.to_ascii();
+        let bytes = ascii.as_bytes();
+        for chunk in bytes.chunks(width) {
+            out.push_str(std::str::from_utf8(chunk).expect("ascii"));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const SAMPLE: &str = ">seq one\nACGTAC\nGTNNAC\n>seq two\nTTTT\n";
+
+    #[test]
+    fn parses_two_records_dropping_ambiguity() {
+        let recs = Cleanser::default().parse(SAMPLE).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].header, "seq one");
+        assert_eq!(recs[0].seq.to_ascii(), "ACGTACGTAC");
+        assert_eq!(recs[0].cleaned, 2);
+        assert_eq!(recs[1].seq.to_ascii(), "TTTT");
+        assert_eq!(recs[1].cleaned, 0);
+    }
+
+    #[test]
+    fn map_to_a_policy() {
+        let recs = Cleanser::new(AmbiguityPolicy::MapToA).parse(SAMPLE).unwrap();
+        assert_eq!(recs[0].seq.to_ascii(), "ACGTACGTAAAC");
+        assert_eq!(recs[0].seq.len(), 12);
+    }
+
+    #[test]
+    fn strict_policy_reports_location() {
+        let err = Cleanser::new(AmbiguityPolicy::Strict)
+            .parse(SAMPLE)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SeqError::MalformedRecord {
+                header: "seq one".into(),
+                line: 3,
+                ch: 'N'
+            }
+        );
+    }
+
+    #[test]
+    fn headerless_body_becomes_unnamed_record() {
+        let recs = Cleanser::default().parse("ACGT\nacgt\n").unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].header, "");
+        assert_eq!(recs[0].seq.to_ascii(), "ACGTACGT");
+    }
+
+    #[test]
+    fn digits_and_whitespace_are_extra_text() {
+        let recs = Cleanser::default()
+            .parse(">x\n  1 ACGT 10\n 11 TTAA 20\n")
+            .unwrap();
+        assert_eq!(recs[0].seq.to_ascii(), "ACGTTTAA");
+        assert!(recs[0].cleaned > 0);
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert_eq!(Cleanser::default().parse(""), Err(SeqError::EmptyFasta));
+        assert_eq!(Cleanser::default().parse("\n\n"), Err(SeqError::EmptyFasta));
+    }
+
+    #[test]
+    fn parse_single_concatenates() {
+        let s = Cleanser::default().parse_single(SAMPLE).unwrap();
+        assert_eq!(s.to_ascii(), "ACGTACGTACTTTT");
+    }
+
+    #[test]
+    fn write_then_parse_roundtrips() {
+        let recs = Cleanser::default().parse(SAMPLE).unwrap();
+        let text = write_fasta(&recs, 5);
+        let back = Cleanser::default().parse(&text).unwrap();
+        assert_eq!(back.len(), recs.len());
+        for (a, b) in back.iter().zip(&recs) {
+            assert_eq!(a.header, b.header);
+            assert_eq!(a.seq, b.seq);
+        }
+    }
+
+    #[test]
+    fn write_fasta_wraps_columns() {
+        let recs = Cleanser::default().parse(">h\nACGTACGTAC\n").unwrap();
+        let text = write_fasta(&recs, 4);
+        assert_eq!(text, ">h\nACGT\nACGT\nAC\n");
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary_sequences(body in "[ACGT]{1,300}", width in 1usize..100) {
+            let rec = Record {
+                header: "r".into(),
+                seq: PackedSeq::from_ascii(body.as_bytes()).unwrap(),
+                cleaned: 0,
+            };
+            let text = write_fasta(std::slice::from_ref(&rec), width);
+            let back = Cleanser::default().parse(&text).unwrap();
+            prop_assert_eq!(back[0].seq.to_ascii(), body);
+        }
+
+        #[test]
+        fn cleanser_never_panics_on_junk(junk in "[ -~\n]{0,400}") {
+            let _ = Cleanser::default().parse(&junk);
+            let _ = Cleanser::new(AmbiguityPolicy::MapToA).parse(&junk);
+            let _ = Cleanser::new(AmbiguityPolicy::Strict).parse(&junk);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # dnacomp-seq — DNA sequence substrate
+//!
+//! Foundation types for the context-aware DNA compression framework:
+//!
+//! * [`Base`] — the four-letter nucleotide alphabet (A, C, G, T) with
+//!   complement arithmetic.
+//! * [`PackedSeq`] — a 2-bits-per-base packed sequence, the in-memory
+//!   representation every compressor in `dnacomp-algos` consumes.
+//! * [`fasta`] — FASTA parsing, writing, and the paper's "Cleanser"
+//!   component (strip headers/ambiguity codes so single-sequence
+//!   experiments run "smoothly", §IV-A).
+//! * [`gen`] — seeded synthetic genome generator producing the three
+//!   repeat classes the paper describes (§II-B): exact repeats,
+//!   reverse-complement repeats, and 99.9 %-similarity mutated repeats.
+//! * [`corpus`] — a reproducible 132-file benchmark corpus standing in for
+//!   the NCBI downloads plus the 11-file standard DNA corpus.
+//! * [`stats`] — sequence statistics (GC content, order-k entropy, repeat
+//!   coverage) used to sanity-check generated workloads.
+//!
+//! All randomness is seeded; the corpus is byte-reproducible across runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod base;
+pub mod corpus;
+pub mod error;
+pub mod fasta;
+pub mod fastq;
+pub mod gen;
+pub mod kmer;
+pub mod packed;
+pub mod stats;
+
+pub use base::Base;
+pub use error::SeqError;
+pub use packed::PackedSeq;

@@ -1,0 +1,403 @@
+//! 2-bits-per-base packed DNA sequences.
+//!
+//! [`PackedSeq`] is the working representation handed to every compressor:
+//! it stores four bases per byte (the paper's baseline "2 bpc" encoding from
+//! Table 1) while exposing random access, slicing, iteration, and
+//! reverse-complement views. Compressors that need byte-level scans can
+//! borrow the raw words; everything else goes through the typed API.
+
+use crate::base::Base;
+use crate::error::SeqError;
+use std::fmt;
+
+/// A DNA sequence packed at 2 bits per base (4 bases per byte).
+///
+/// Bases are stored little-endian within a byte: base `i` occupies bits
+/// `2*(i % 4) ..` of byte `i / 4`. The tail byte's unused bits are always
+/// zero, which makes equality and hashing structural.
+///
+/// ```
+/// use dnacomp_seq::PackedSeq;
+/// let seq = PackedSeq::from_ascii(b"ACGTAC").unwrap();
+/// assert_eq!(seq.len(), 6);
+/// assert_eq!(seq.as_words().len(), 2);           // 4 bases/byte
+/// assert_eq!(seq.reverse_complement().to_ascii(), "GTACGT");
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct PackedSeq {
+    words: Vec<u8>,
+    len: usize,
+}
+
+impl PackedSeq {
+    /// Empty sequence.
+    pub fn new() -> Self {
+        PackedSeq::default()
+    }
+
+    /// Empty sequence with capacity for `n` bases pre-allocated.
+    pub fn with_capacity(n: usize) -> Self {
+        PackedSeq {
+            words: Vec::with_capacity(n.div_ceil(4)),
+            len: 0,
+        }
+    }
+
+    /// Number of bases.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the sequence holds no bases.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append one base.
+    #[inline]
+    pub fn push(&mut self, base: Base) {
+        let bit = (self.len % 4) * 2;
+        if bit == 0 {
+            self.words.push(base.code());
+        } else {
+            // Tail byte already exists; or-in the new base.
+            *self.words.last_mut().expect("tail byte exists") |= base.code() << bit;
+        }
+        self.len += 1;
+    }
+
+    /// Random access. Panics if `i >= len()`; use [`PackedSeq::try_get`]
+    /// for a fallible variant.
+    #[inline]
+    pub fn get(&self, i: usize) -> Base {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        Base::from_code(self.words[i / 4] >> ((i % 4) * 2))
+    }
+
+    /// Fallible random access.
+    #[inline]
+    pub fn try_get(&self, i: usize) -> Result<Base, SeqError> {
+        if i < self.len {
+            Ok(self.get(i))
+        } else {
+            Err(SeqError::OutOfBounds {
+                index: i,
+                len: self.len,
+            })
+        }
+    }
+
+    /// Overwrite position `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, base: Base) {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        let bit = (i % 4) * 2;
+        let w = &mut self.words[i / 4];
+        *w = (*w & !(0b11 << bit)) | (base.code() << bit);
+    }
+
+    /// Iterate over bases front to back.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { seq: self, pos: 0 }
+    }
+
+    /// Unpack into a `Vec<Base>`. Compressors that need O(1) random access
+    /// with no shift arithmetic work on the unpacked form.
+    pub fn unpack(&self) -> Vec<Base> {
+        let mut out = Vec::with_capacity(self.len);
+        for chunk in 0..self.words.len() {
+            let w = self.words[chunk];
+            let take = (self.len - chunk * 4).min(4);
+            for k in 0..take {
+                out.push(Base::from_code(w >> (k * 2)));
+            }
+        }
+        out
+    }
+
+    /// Copy of the bases in `[start, end)`.
+    pub fn slice(&self, start: usize, end: usize) -> PackedSeq {
+        assert!(start <= end && end <= self.len, "bad slice {start}..{end}");
+        let mut out = PackedSeq::with_capacity(end - start);
+        for i in start..end {
+            out.push(self.get(i));
+        }
+        out
+    }
+
+    /// The reverse complement of the whole sequence.
+    pub fn reverse_complement(&self) -> PackedSeq {
+        let mut out = PackedSeq::with_capacity(self.len);
+        for i in (0..self.len).rev() {
+            out.push(self.get(i).complement());
+        }
+        out
+    }
+
+    /// The raw packed words. The tail byte's unused high bits are zero.
+    pub fn as_words(&self) -> &[u8] {
+        &self.words
+    }
+
+    /// Reconstruct from raw packed words plus a base count.
+    ///
+    /// Trailing garbage bits in the final byte are cleared so that the
+    /// structural-equality invariant holds.
+    pub fn from_words(mut words: Vec<u8>, len: usize) -> Result<PackedSeq, SeqError> {
+        let need = len.div_ceil(4);
+        if words.len() < need {
+            return Err(SeqError::OutOfBounds {
+                index: len,
+                len: words.len() * 4,
+            });
+        }
+        words.truncate(need);
+        if !len.is_multiple_of(4) {
+            if let Some(tail) = words.last_mut() {
+                let keep = (len % 4) * 2;
+                *tail &= (1u8 << keep) - 1;
+            }
+        }
+        Ok(PackedSeq { words, len })
+    }
+
+    /// Parse from an ASCII byte string of `ACGTacgt` characters.
+    pub fn from_ascii(text: &[u8]) -> Result<PackedSeq, SeqError> {
+        let mut out = PackedSeq::with_capacity(text.len());
+        for &ch in text {
+            out.push(Base::from_ascii(ch).ok_or(SeqError::InvalidBase(ch as char))?);
+        }
+        Ok(out)
+    }
+
+    /// Render as an upper-case ASCII string.
+    pub fn to_ascii(&self) -> String {
+        self.iter().map(|b| b.to_ascii() as char).collect()
+    }
+
+    /// Heap bytes used by the packed representation (for the resource
+    /// meter in `dnacomp-cloud`).
+    pub fn heap_bytes(&self) -> usize {
+        self.words.capacity()
+    }
+}
+
+impl fmt::Debug for PackedSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.len <= 64 {
+            write!(f, "PackedSeq({:?})", self.to_ascii())
+        } else {
+            write!(
+                f,
+                "PackedSeq(len={}, head={:?}…)",
+                self.len,
+                self.slice(0, 32).to_ascii()
+            )
+        }
+    }
+}
+
+impl FromIterator<Base> for PackedSeq {
+    fn from_iter<T: IntoIterator<Item = Base>>(iter: T) -> Self {
+        let it = iter.into_iter();
+        let mut out = PackedSeq::with_capacity(it.size_hint().0);
+        for b in it {
+            out.push(b);
+        }
+        out
+    }
+}
+
+impl From<&[Base]> for PackedSeq {
+    fn from(bases: &[Base]) -> Self {
+        bases.iter().copied().collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a PackedSeq {
+    type Item = Base;
+    type IntoIter = Iter<'a>;
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over the bases of a [`PackedSeq`].
+pub struct Iter<'a> {
+    seq: &'a PackedSeq,
+    pos: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = Base;
+
+    #[inline]
+    fn next(&mut self) -> Option<Base> {
+        if self.pos < self.seq.len {
+            let b = self.seq.get(self.pos);
+            self.pos += 1;
+            Some(b)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.seq.len - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn seq_of(s: &str) -> PackedSeq {
+        PackedSeq::from_ascii(s.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn empty() {
+        let s = PackedSeq::new();
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+        assert_eq!(s.to_ascii(), "");
+        assert_eq!(s.as_words(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn push_get_across_byte_boundaries() {
+        let mut s = PackedSeq::new();
+        let pattern = "ACGTTGCAAC";
+        for ch in pattern.chars() {
+            s.push(Base::try_from(ch).unwrap());
+        }
+        assert_eq!(s.len(), pattern.len());
+        assert_eq!(s.to_ascii(), pattern);
+        // 10 bases -> 3 bytes
+        assert_eq!(s.as_words().len(), 3);
+    }
+
+    #[test]
+    fn set_overwrites_without_disturbing_neighbours() {
+        let mut s = seq_of("AAAAAAAA");
+        s.set(3, Base::G);
+        s.set(4, Base::T);
+        assert_eq!(s.to_ascii(), "AAAGTAAA");
+    }
+
+    #[test]
+    fn slice_and_unpack() {
+        let s = seq_of("ACGTACGTACGT");
+        assert_eq!(s.slice(2, 7).to_ascii(), "GTACG");
+        assert_eq!(s.slice(0, 0).len(), 0);
+        assert_eq!(
+            s.unpack()[..4],
+            [Base::A, Base::C, Base::G, Base::T]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        seq_of("ACG").get(3);
+    }
+
+    #[test]
+    fn try_get_out_of_bounds_errors() {
+        let s = seq_of("ACG");
+        assert_eq!(
+            s.try_get(5),
+            Err(SeqError::OutOfBounds { index: 5, len: 3 })
+        );
+        assert_eq!(s.try_get(2), Ok(Base::G));
+    }
+
+    #[test]
+    fn reverse_complement_matches_unpacked() {
+        let s = seq_of("AACGTT");
+        assert_eq!(s.reverse_complement().to_ascii(), "AACGTT");
+        let s = seq_of("AAACCC");
+        assert_eq!(s.reverse_complement().to_ascii(), "GGGTTT");
+    }
+
+    #[test]
+    fn from_words_clears_tail_garbage() {
+        // 3 bases in one byte; set garbage in the top 2 bits.
+        let words = vec![0b11_10_01_00 | 0b11_000000];
+        let s = PackedSeq::from_words(words, 3).unwrap();
+        let direct = seq_of("ACG");
+        assert_eq!(s, direct);
+    }
+
+    #[test]
+    fn from_words_rejects_short_buffers() {
+        assert!(PackedSeq::from_words(vec![0], 5).is_err());
+    }
+
+    #[test]
+    fn from_ascii_rejects_ambiguity() {
+        assert_eq!(
+            PackedSeq::from_ascii(b"ACGN"),
+            Err(SeqError::InvalidBase('N'))
+        );
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let a = seq_of("ACGTAC");
+        let mut b = PackedSeq::with_capacity(100);
+        for base in a.iter() {
+            b.push(base);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn iterator_len() {
+        let s = seq_of("ACGTA");
+        let it = s.iter();
+        assert_eq!(it.len(), 5);
+        assert_eq!(it.count(), 5);
+    }
+
+    proptest! {
+        #[test]
+        fn ascii_roundtrip(s in "[ACGT]{0,512}") {
+            let p = seq_of(&s);
+            prop_assert_eq!(p.to_ascii(), s);
+        }
+
+        #[test]
+        fn words_roundtrip(s in "[ACGT]{0,512}") {
+            let p = seq_of(&s);
+            let back = PackedSeq::from_words(p.as_words().to_vec(), p.len()).unwrap();
+            prop_assert_eq!(back, p);
+        }
+
+        #[test]
+        fn revcomp_involution(s in "[ACGT]{0,256}") {
+            let p = seq_of(&s);
+            prop_assert_eq!(p.reverse_complement().reverse_complement(), p);
+        }
+
+        #[test]
+        fn unpack_matches_iter(s in "[ACGT]{0,256}") {
+            let p = seq_of(&s);
+            prop_assert_eq!(p.unpack(), p.iter().collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn slice_agrees_with_string(s in "[ACGT]{1,200}", a in 0usize..200, b in 0usize..200) {
+            let p = seq_of(&s);
+            let (a, b) = (a % (s.len() + 1), b % (s.len() + 1));
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert_eq!(p.slice(lo, hi).to_ascii(), &s[lo..hi]);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Sequence statistics used to characterise workloads.
+//!
+//! The experiment harness reports these alongside every corpus file so
+//! that EXPERIMENTS.md can show the generated workloads really carry the
+//! repeat structure the paper's compressors exploit.
+
+use crate::packed::PackedSeq;
+use std::collections::HashMap;
+
+/// Fraction of bases that are G or C. Returns 0.0 for the empty sequence.
+pub fn gc_content(seq: &PackedSeq) -> f64 {
+    if seq.is_empty() {
+        return 0.0;
+    }
+    let gc = seq.iter().filter(|b| b.is_gc()).count();
+    gc as f64 / seq.len() as f64
+}
+
+/// Per-base counts in `A, C, G, T` order.
+pub fn base_counts(seq: &PackedSeq) -> [usize; 4] {
+    let mut counts = [0usize; 4];
+    for b in seq.iter() {
+        counts[b.code() as usize] += 1;
+    }
+    counts
+}
+
+/// Empirical order-`k` conditional entropy in bits per base.
+///
+/// `k == 0` is the plain symbol entropy; larger `k` conditions each symbol
+/// on its `k` predecessors. Repetitive sequences have sharply lower
+/// high-order entropy, which is the signal CTW and the repeat-based
+/// compressors turn into compression.
+pub fn order_k_entropy(seq: &PackedSeq, k: usize) -> f64 {
+    if seq.len() <= k {
+        return 0.0;
+    }
+    // context (k bases, 2 bits each) -> per-symbol counts
+    let mut table: HashMap<u64, [u32; 4]> = HashMap::new();
+    let mask: u64 = if k == 0 { 0 } else { (1u64 << (2 * k.min(31))) - 1 };
+    let mut ctx: u64 = 0;
+    for (i, b) in seq.iter().enumerate() {
+        if i >= k {
+            table.entry(ctx).or_insert([0; 4])[b.code() as usize] += 1;
+        }
+        ctx = ((ctx << 2) | b.code() as u64) & mask;
+    }
+    let total = (seq.len() - k) as f64;
+    let mut bits = 0.0;
+    for counts in table.values() {
+        let ctx_total: u32 = counts.iter().sum();
+        for &c in counts {
+            if c > 0 {
+                let p = c as f64 / ctx_total as f64;
+                bits -= c as f64 * p.log2();
+            }
+        }
+    }
+    // Each symbol contributed -log2 p(sym | ctx) weighted by count… the
+    // inner loop already accumulates count * log2(p) so normalise by total.
+    bits / total
+}
+
+/// Fraction of positions covered by an exact repeat of length ≥ `min_len`
+/// occurring earlier in the sequence (greedy left-to-right scan with a
+/// hash index on `min_len`-grams).
+pub fn exact_repeat_coverage(seq: &PackedSeq, min_len: usize) -> f64 {
+    if seq.len() < min_len || min_len == 0 || min_len > 31 {
+        return 0.0;
+    }
+    let bases = seq.unpack();
+    let mut index: HashMap<u64, u32> = HashMap::new();
+    let mask = (1u64 << (2 * min_len)) - 1;
+    let mut hash: u64 = 0;
+    let mut covered = 0usize;
+    let mut i = 0usize;
+    // Maintain rolling hash of the min_len-gram ending at position j.
+    let mut filled = 0usize;
+    let mut j = 0usize;
+    while i < bases.len() {
+        // Advance the index up to position i (grams fully before i).
+        while j < i {
+            hash = ((hash << 2) | bases[j].code() as u64) & mask;
+            filled += 1;
+            if filled >= min_len {
+                let start = j + 1 - min_len;
+                index.entry(hash).or_insert(start as u32);
+            }
+            j += 1;
+        }
+        if i + min_len <= bases.len() {
+            let mut probe: u64 = 0;
+            for b in &bases[i..i + min_len] {
+                probe = (probe << 2) | b.code() as u64;
+            }
+            if let Some(&src) = index.get(&probe) {
+                // Extend the match greedily.
+                let mut len = min_len;
+                let src = src as usize;
+                while i + len < bases.len()
+                    && src + len < i
+                    && bases[src + len] == bases[i + len]
+                {
+                    len += 1;
+                }
+                covered += len;
+                i += len;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    covered as f64 / bases.len() as f64
+}
+
+/// Summary statistics for one sequence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeqStats {
+    /// Sequence length in bases.
+    pub len: usize,
+    /// GC fraction.
+    pub gc: f64,
+    /// Order-0 entropy (bits/base).
+    pub h0: f64,
+    /// Order-8 entropy (bits/base).
+    pub h8: f64,
+    /// Fraction covered by ≥16-base exact repeats.
+    pub repeat16_coverage: f64,
+}
+
+/// Compute [`SeqStats`] for `seq`.
+pub fn summarize(seq: &PackedSeq) -> SeqStats {
+    SeqStats {
+        len: seq.len(),
+        gc: gc_content(seq),
+        h0: order_k_entropy(seq, 0),
+        h8: order_k_entropy(seq, 8),
+        repeat16_coverage: exact_repeat_coverage(seq, 16),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GenomeModel;
+
+    fn seq_of(s: &str) -> PackedSeq {
+        PackedSeq::from_ascii(s.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn gc_content_exact() {
+        assert_eq!(gc_content(&seq_of("GGCC")), 1.0);
+        assert_eq!(gc_content(&seq_of("AATT")), 0.0);
+        assert_eq!(gc_content(&seq_of("ACGT")), 0.5);
+        assert_eq!(gc_content(&PackedSeq::new()), 0.0);
+    }
+
+    #[test]
+    fn base_counts_exact() {
+        assert_eq!(base_counts(&seq_of("AACGTTTG")), [2, 1, 2, 3]);
+    }
+
+    #[test]
+    fn order0_entropy_uniform_is_two_bits() {
+        let h = order_k_entropy(&seq_of(&"ACGT".repeat(100)), 0);
+        assert!((h - 2.0).abs() < 1e-9, "h = {h}");
+    }
+
+    #[test]
+    fn order0_entropy_constant_is_zero() {
+        assert_eq!(order_k_entropy(&seq_of(&"A".repeat(64)), 0), 0.0);
+    }
+
+    #[test]
+    fn order1_entropy_of_period2_string_is_zero() {
+        // In ACACAC…, each symbol is fully determined by its predecessor.
+        let h = order_k_entropy(&seq_of(&"AC".repeat(200)), 1);
+        assert!(h < 1e-9, "h = {h}");
+    }
+
+    #[test]
+    fn entropy_short_sequences() {
+        assert_eq!(order_k_entropy(&PackedSeq::new(), 0), 0.0);
+        assert_eq!(order_k_entropy(&seq_of("ACG"), 5), 0.0);
+    }
+
+    #[test]
+    fn repeat_coverage_detects_planted_repeat() {
+        let unique = GenomeModel::random_only(0.5).generate(2_000, 42);
+        let mut text = unique.to_ascii();
+        let repeat = &text[100..400].to_owned();
+        text.push_str(repeat);
+        let cov = exact_repeat_coverage(&seq_of(&text), 16);
+        assert!(cov > 0.1, "coverage = {cov}");
+        // The i.i.d. part alone should have near-zero 16-mer coverage.
+        let base_cov = exact_repeat_coverage(&unique, 16);
+        assert!(base_cov < 0.02, "base coverage = {base_cov}");
+    }
+
+    #[test]
+    fn repeat_coverage_degenerate_inputs() {
+        assert_eq!(exact_repeat_coverage(&PackedSeq::new(), 16), 0.0);
+        assert_eq!(exact_repeat_coverage(&seq_of("ACGT"), 16), 0.0);
+        assert_eq!(exact_repeat_coverage(&seq_of("ACGT"), 0), 0.0);
+    }
+
+    #[test]
+    fn summarize_is_consistent() {
+        let s = GenomeModel::default().generate(10_000, 3);
+        let st = summarize(&s);
+        assert_eq!(st.len, 10_000);
+        assert!(st.h0 <= 2.0 + 1e-9);
+        assert!(st.h8 <= st.h0 + 1e-9);
+        assert!((0.0..=1.0).contains(&st.repeat16_coverage));
+    }
+}

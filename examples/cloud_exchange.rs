@@ -1,0 +1,79 @@
+//! The deployed Figure-7 loop: a trained framework gathers the context,
+//! infers the algorithm, compresses, ships the blob through the simulated
+//! storage account to the cloud VM and decompresses there.
+//!
+//! ```text
+//! cargo run --release --example cloud_exchange
+//! ```
+
+use dnacomp::cloud::{context_grid, CloudSim, MachineSpec, PerfModel};
+use dnacomp::core::{
+    build_rows, label_rows, measure_corpus, Context, ContextAwareFramework, WeightVector,
+};
+use dnacomp::ml::TreeMethod;
+use dnacomp::prelude::*;
+
+fn main() {
+    // 1. Train the selector on a reduced measurement grid. The size
+    // range must span the sizes we will decide on later — rules don't
+    // extrapolate past their training support.
+    let files = CorpusBuilder::paper(3)
+        .ncbi_files(25)
+        .include_standard(false)
+        .size_range(1_000, 1_000_000)
+        .build();
+    println!("measuring {} training files …", files.len());
+    let measurements =
+        measure_corpus(&files, &dnacomp::algos::paper_algorithms()).expect("grid failed");
+    let rows = build_rows(
+        &measurements,
+        &context_grid(),
+        &PerfModel::default(),
+        &MachineSpec::azure_vm(),
+    );
+    let labeled = label_rows(&rows, &WeightVector::time_only());
+    let framework = ContextAwareFramework::train(&labeled, TreeMethod::Cart);
+    println!("trained CART selector; {} rules\n", framework.rules().len());
+
+    // 2. Exchange three fresh sequences under three different contexts.
+    let mut sim = CloudSim::default();
+    let perf = PerfModel::default();
+    let scenarios = [
+        ("small file, weak laptop", 8_000usize, 1024u32, 1600u32, 0.5),
+        ("medium file, office PC", 120_000, 3072, 2393, 0.5),
+        ("large file, better uplink", 900_000, 4096, 2800, 2.0),
+    ];
+    for (what, len, ram, cpu, bw) in scenarios {
+        let seq = GenomeModel::default().generate(len, len as u64);
+        let ctx = Context {
+            ram_mb: ram,
+            cpu_mhz: cpu,
+            bandwidth_mbps: bw,
+            file_bytes: seq.len() as u64,
+        };
+        let worth = framework.worth_compressing(&ctx, &perf);
+        let (alg, report) = framework
+            .exchange(&mut sim, &ctx, &format!("seq_{len}"), &seq)
+            .expect("exchange failed");
+        println!("{what}: {len} bases @ {ram} MB / {cpu} MHz / {bw} Mbit/s");
+        println!(
+            "  compress at all? {}   chosen: {alg}",
+            if worth { "yes" } else { "no" }
+        );
+        println!(
+            "  {} B blob ({:.3} bits/base) | comp {:.0} ms, up {:.0} ms, down {:.0} ms, dec {:.0} ms → total {:.0} ms\n",
+            report.compressed_bytes,
+            report.bits_per_base(),
+            report.compress_ms,
+            report.upload_ms,
+            report.download_ms,
+            report.decompress_ms,
+            report.total_ms(),
+        );
+    }
+    println!(
+        "storage account now holds {} blobs, {} bytes",
+        sim.store.list("sequences").len(),
+        sim.store.stored_bytes()
+    );
+}

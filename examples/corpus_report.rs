@@ -1,0 +1,48 @@
+//! Inspect the synthetic benchmark corpus: per-file statistics showing
+//! the generated workloads really carry the repeat structure the paper's
+//! compressors exploit (DESIGN.md's substitution justification).
+//!
+//! ```text
+//! cargo run --release --example corpus_report
+//! ```
+
+use dnacomp::prelude::*;
+use dnacomp::seq::stats;
+
+fn main() {
+    let files = CorpusBuilder::paper(42).build();
+    println!("{} corpus files; showing the 11 standard stand-ins + 5 NCBI-style\n", files.len());
+    println!(
+        "{:<12} {:>9} {:>6} {:>7} {:>7} {:>9}  kind",
+        "name", "bases", "GC%", "H0", "H8", "rep16%"
+    );
+    for spec in files.iter().filter(|f| f.len <= 400_000).take(16) {
+        let seq = spec.generate();
+        let s = stats::summarize(&seq);
+        println!(
+            "{:<12} {:>9} {:>6.1} {:>7.3} {:>7.3} {:>9.1}  {:?}",
+            spec.name,
+            s.len,
+            s.gc * 100.0,
+            s.h0,
+            s.h8,
+            s.repeat16_coverage * 100.0,
+            spec.kind,
+        );
+    }
+    // FASTA roundtrip through the Cleanser, as the experiment prep does.
+    let sample = &files[3];
+    let seq = sample.generate();
+    let rec = dnacomp::seq::fasta::Record {
+        header: sample.name.clone(),
+        seq: seq.slice(0, 240.min(seq.len())),
+        cleaned: 0,
+    };
+    let fasta = dnacomp::seq::fasta::write_fasta(std::slice::from_ref(&rec), 60);
+    println!("\nFASTA preview of {} (first 240 bases):\n{fasta}", sample.name);
+    let parsed = dnacomp::seq::fasta::Cleanser::default()
+        .parse(&fasta)
+        .expect("parse back");
+    assert_eq!(parsed[0].seq, rec.seq);
+    println!("cleanser roundtrip OK");
+}

@@ -1,0 +1,46 @@
+//! Quickstart: compress a DNA sequence with every implemented algorithm
+//! and compare ratio, work and memory.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dnacomp::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    // A bacterial-like synthetic genome: 200 kB with the three repeat
+    // classes of the paper (exact, reverse-complement, mutated copies).
+    let seq = GenomeModel::default().generate(200_000, 2024);
+    println!(
+        "input: {} bases (GC {:.1} %)\n",
+        seq.len(),
+        dnacomp::seq::stats::gc_content(&seq) * 100.0
+    );
+    println!(
+        "{:<14} {:>12} {:>10} {:>12} {:>12} {:>10}",
+        "algorithm", "bytes", "bits/base", "comp work", "peak heap", "wall ms"
+    );
+    for compressor in dnacomp::algos::all_algorithms() {
+        let t0 = Instant::now();
+        let (blob, stats) = compressor
+            .compress_with_stats(&seq)
+            .expect("compression failed");
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        // Verify the roundtrip before reporting anything.
+        let back = compressor.decompress(&blob).expect("decompression failed");
+        assert_eq!(back, seq, "roundtrip mismatch for {}", compressor.name());
+        println!(
+            "{:<14} {:>12} {:>10.3} {:>12} {:>10}kB {:>10.1}",
+            compressor.name(),
+            blob.total_bytes(),
+            blob.bits_per_base(),
+            stats.work_units,
+            stats.peak_heap_bytes / 1024,
+            wall,
+        );
+    }
+    println!("\n(2-bit packing baseline: 2.000 bits/base — everything below that");
+    println!(" is exploiting the repeat structure; gzip sits above it because it");
+    println!(" works on the ASCII file, exactly as the paper reports.)");
+}

@@ -1,0 +1,62 @@
+//! Train the context-aware selector end-to-end (the paper's §IV–V
+//! pipeline at reduced scale) and print the learned rules.
+//!
+//! ```text
+//! cargo run --release --example train_selector
+//! ```
+
+use dnacomp::cloud::{context_grid, MachineSpec, PerfModel};
+use dnacomp::core::{build_rows, label_rows, measure_corpus, ContextAwareFramework, WeightVector};
+use dnacomp::ml::TreeMethod;
+use dnacomp::prelude::*;
+
+fn main() {
+    // Reduced corpus: 40 files up to 300 kB (the full 132-file grid is
+    // what `cargo run -p dnacomp-bench --bin repro` runs).
+    let files = CorpusBuilder::paper(7)
+        .ncbi_files(29)
+        .size_range(1_000, 300_000)
+        .build();
+    println!("measuring {} files × 4 algorithms …", files.len());
+    let measurements =
+        measure_corpus(&files, &dnacomp::algos::paper_algorithms()).expect("grid failed");
+    let rows = build_rows(
+        &measurements,
+        &context_grid(),
+        &PerfModel::default(),
+        &MachineSpec::azure_vm(),
+    );
+    println!("{} experiment rows", rows.len());
+
+    // Label with Eq. 1, equal time weights (the paper's headline config).
+    let labeled = label_rows(&rows, &WeightVector::time_only());
+    let mut wins = std::collections::BTreeMap::new();
+    for l in &labeled {
+        *wins.entry(l.winner.name()).or_insert(0u32) += 1;
+    }
+    println!("label distribution: {wins:?}");
+
+    // 75/25 file split, then train both methods.
+    let n_test_files = files.len() / 4;
+    let test_names: std::collections::HashSet<_> = files
+        .iter()
+        .rev()
+        .take(n_test_files)
+        .map(|f| f.name.clone())
+        .collect();
+    let (train, test): (Vec<_>, Vec<_>) = labeled
+        .into_iter()
+        .partition(|l| !test_names.contains(&l.file));
+
+    for method in [TreeMethod::Chaid, TreeMethod::Cart] {
+        let fw = ContextAwareFramework::train(&train, method);
+        println!(
+            "\n=== {method} === accuracy: train {:.3}, test {:.3}",
+            fw.evaluate(&train),
+            fw.evaluate(&test)
+        );
+        for rule in fw.rules().iter().take(12) {
+            println!("  {rule}");
+        }
+    }
+}

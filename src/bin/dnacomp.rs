@@ -1,0 +1,285 @@
+//! `dnacomp` — command-line front end.
+//!
+//! ```text
+//! dnacomp gen --len 100000 --seed 7 --model bacterial out.fa
+//! dnacomp compress -a dnax in.fa out.dx
+//! dnacomp decompress in.dx out.fa
+//! dnacomp info in.dx
+//! dnacomp decide --ram-mb 2048 --cpu-mhz 2393 --bw-mbps 2 --file-kb 120
+//! ```
+//!
+//! `decide` trains the selector on a reduced measurement grid on first
+//! use (a few seconds) and prints the chosen algorithm plus the learned
+//! rules that fired.
+
+use dnacomp::algos::{compressor_for, Algorithm, CompressedBlob};
+use dnacomp::cloud::{context_grid, MachineSpec, PerfModel};
+use dnacomp::core::{build_rows, label_rows, measure_corpus, Context, ContextAwareFramework, WeightVector};
+use dnacomp::ml::TreeMethod;
+use dnacomp::seq::fasta::{write_fasta, Cleanser, Record};
+use dnacomp::seq::gen::GenomeModel;
+use dnacomp::seq::corpus::CorpusBuilder;
+use dnacomp::seq::PackedSeq;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  dnacomp gen --len <bases> [--seed <n>] [--model bacterial|repetitive|random] <out.fa>
+  dnacomp compress -a <algorithm> <in.fa> <out.dx>
+  dnacomp decompress <in.dx> <out.fa>
+  dnacomp info <in.dx>
+  dnacomp decide --ram-mb <n> --cpu-mhz <n> --bw-mbps <x> --file-kb <x>
+  dnacomp list
+algorithms: gzip, ctw, gencompress, dnax, biocompress2, dnapack-lite, cfact, xm-lite";
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("compress") => cmd_compress(&args[1..]),
+        Some("decompress") => cmd_decompress(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("decide") => cmd_decide(&args[1..]),
+        Some("list") => {
+            for alg in Algorithm::HORIZONTAL {
+                println!("{}", alg.name());
+            }
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}")),
+        None => Err("no command given".into()),
+    }
+}
+
+/// Pull `--flag value` out of an argument list; remaining positionals
+/// are returned in order.
+fn parse_flags(args: &[String]) -> (std::collections::HashMap<String, String>, Vec<String>) {
+    let mut flags = std::collections::HashMap::new();
+    let mut positional = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            if let Some(v) = it.next() {
+                flags.insert(name.to_owned(), v.clone());
+            }
+        } else if a == "-a" {
+            if let Some(v) = it.next() {
+                flags.insert("algorithm".to_owned(), v.clone());
+            }
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    (flags, positional)
+}
+
+fn read_fasta(path: &str) -> Result<PackedSeq, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Cleanser::default()
+        .parse_single(&text)
+        .map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let (flags, pos) = parse_flags(args);
+    let out = pos.first().ok_or("gen: missing output path")?;
+    let len: usize = flags
+        .get("len")
+        .ok_or("gen: --len required")?
+        .parse()
+        .map_err(|e| format!("--len: {e}"))?;
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("--seed: {e}"))?
+        .unwrap_or(42);
+    let model = match flags.get("model").map(String::as_str) {
+        None | Some("bacterial") => GenomeModel::default(),
+        Some("repetitive") => GenomeModel::highly_repetitive(),
+        Some("random") => GenomeModel::random_only(0.5),
+        Some(other) => return Err(format!("unknown model {other:?}")),
+    };
+    let seq = model.generate(len, seed);
+    let rec = Record {
+        header: format!("dnacomp synthetic len={len} seed={seed}"),
+        seq,
+        cleaned: 0,
+    };
+    std::fs::write(out, write_fasta(std::slice::from_ref(&rec), 70))
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!("wrote {len} bases to {out}");
+    Ok(())
+}
+
+fn cmd_compress(args: &[String]) -> Result<(), String> {
+    let (flags, pos) = parse_flags(args);
+    let (input, output) = match pos.as_slice() {
+        [i, o] => (i, o),
+        _ => return Err("compress: need <in.fa> <out.dx>".into()),
+    };
+    let alg_name = flags
+        .get("algorithm")
+        .map(String::as_str)
+        .unwrap_or("dnax");
+    let alg = Algorithm::from_name(alg_name)
+        .filter(|a| Algorithm::HORIZONTAL.contains(a))
+        .ok_or_else(|| format!("unknown algorithm {alg_name:?}"))?;
+    let seq = read_fasta(input)?;
+    let compressor = compressor_for(alg);
+    let t0 = std::time::Instant::now();
+    let (blob, stats) = compressor
+        .compress_with_stats(&seq)
+        .map_err(|e| format!("compression failed: {e}"))?;
+    let bytes = blob.to_bytes();
+    std::fs::write(output, &bytes).map_err(|e| format!("writing {output}: {e}"))?;
+    eprintln!(
+        "{}: {} bases -> {} bytes ({:.3} bits/base) in {:.0} ms (peak heap {} kB)",
+        alg.name(),
+        seq.len(),
+        bytes.len(),
+        blob.bits_per_base(),
+        t0.elapsed().as_secs_f64() * 1e3,
+        stats.peak_heap_bytes / 1024,
+    );
+    Ok(())
+}
+
+fn cmd_decompress(args: &[String]) -> Result<(), String> {
+    let (_, pos) = parse_flags(args);
+    let (input, output) = match pos.as_slice() {
+        [i, o] => (i, o),
+        _ => return Err("decompress: need <in.dx> <out.fa>".into()),
+    };
+    let bytes = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let blob = CompressedBlob::from_bytes(&bytes).map_err(|e| format!("{input}: {e}"))?;
+    if blob.algorithm == Algorithm::Reference {
+        return Err("reference-based blobs need the reference; use the library API".into());
+    }
+    let compressor = compressor_for(blob.algorithm);
+    let seq = compressor
+        .decompress(&blob)
+        .map_err(|e| format!("decompression failed: {e}"))?;
+    let rec = Record {
+        header: format!("decompressed from {input} ({})", blob.algorithm.name()),
+        seq,
+        cleaned: 0,
+    };
+    std::fs::write(output, write_fasta(std::slice::from_ref(&rec), 70))
+        .map_err(|e| format!("writing {output}: {e}"))?;
+    eprintln!("verified checksum; wrote {output}");
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let (_, pos) = parse_flags(args);
+    let input = pos.first().ok_or("info: need <in.dx>")?;
+    let bytes = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let blob = CompressedBlob::from_bytes(&bytes).map_err(|e| format!("{input}: {e}"))?;
+    println!("algorithm:      {}", blob.algorithm.name());
+    println!("original bases: {}", blob.original_len);
+    println!("container:      {} bytes", blob.total_bytes());
+    println!("bits/base:      {:.4}", blob.bits_per_base());
+    println!("checksum:       {:#018x}", blob.checksum);
+    Ok(())
+}
+
+fn cmd_decide(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse_flags(args);
+    let get = |name: &str| -> Result<f64, String> {
+        flags
+            .get(name)
+            .ok_or_else(|| format!("decide: --{name} required"))?
+            .parse()
+            .map_err(|e| format!("--{name}: {e}"))
+    };
+    let ctx = Context {
+        ram_mb: get("ram-mb")? as u32,
+        cpu_mhz: get("cpu-mhz")? as u32,
+        bandwidth_mbps: get("bw-mbps")?,
+        file_bytes: (get("file-kb")? * 1024.0) as u64,
+    };
+    eprintln!("training selector on a reduced grid …");
+    let files = CorpusBuilder::paper(42)
+        .ncbi_files(25)
+        .include_standard(false)
+        .size_range(1_000, 1_000_000)
+        .build();
+    let ms = measure_corpus(&files, &dnacomp::algos::paper_algorithms())
+        .map_err(|e| format!("measurement grid failed: {e}"))?;
+    let rows = build_rows(
+        &ms,
+        &context_grid(),
+        &PerfModel::default(),
+        &MachineSpec::azure_vm(),
+    );
+    let labeled = label_rows(&rows, &WeightVector::time_only());
+    let fw = ContextAwareFramework::train(&labeled, TreeMethod::Cart);
+    let alg = fw.decide(&ctx);
+    let worth = fw.worth_compressing(&ctx, &PerfModel::default());
+    println!("context: {ctx:?}");
+    println!("compress at all: {}", if worth { "yes" } else { "no" });
+    println!("algorithm:       {}", alg.name());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_flags_mixed() {
+        let (flags, pos) = parse_flags(&s(&["--len", "100", "-a", "dnax", "out.fa"]));
+        assert_eq!(flags.get("len").unwrap(), "100");
+        assert_eq!(flags.get("algorithm").unwrap(), "dnax");
+        assert_eq!(pos, vec!["out.fa"]);
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn gen_compress_decompress_cycle() {
+        let dir = std::env::temp_dir().join("dnacomp-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let fa = dir.join("t.fa").to_string_lossy().into_owned();
+        let dx = dir.join("t.dx").to_string_lossy().into_owned();
+        let out = dir.join("t.out.fa").to_string_lossy().into_owned();
+        run(&s(&["gen", "--len", "5000", "--seed", "9", &fa])).unwrap();
+        run(&s(&["compress", "-a", "dnax", &fa, &dx])).unwrap();
+        run(&s(&["info", &dx])).unwrap();
+        run(&s(&["decompress", &dx, &out])).unwrap();
+        let a = read_fasta(&fa).unwrap();
+        let b = read_fasta(&out).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compress_rejects_unknown_algorithm() {
+        let err = run(&s(&["compress", "-a", "nope", "x.fa", "y.dx"])).unwrap_err();
+        assert!(err.contains("unknown algorithm"));
+    }
+
+    #[test]
+    fn list_runs() {
+        run(&s(&["list"])).unwrap();
+    }
+}

@@ -1,0 +1,46 @@
+//! # dnacomp — context-aware DNA sequence compression
+//!
+//! Umbrella crate re-exporting the whole workspace: the compression
+//! algorithms, the cloud-exchange simulator, the decision-tree learners,
+//! and the context-aware selection framework that is the paper's
+//! contribution.
+//!
+//! Reproduction of *"Towards Context-Aware DNA Sequence Compression for
+//! Efficient Data Exchange"* (Lohana, Shamsi, Syed, Hasan — IPPS 2015).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dnacomp::prelude::*;
+//!
+//! // Generate a DNA sequence and compress it with DNAX.
+//! let seq = GenomeModel::default().generate(10_000, 42);
+//! let dnax = Dnax::default();
+//! let blob = dnax.compress(&seq).unwrap();
+//! assert!(blob.payload.len() < seq.len() / 4 + 64); // beats 2 bits/base
+//! assert_eq!(dnax.decompress(&blob).unwrap(), seq);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use dnacomp_algos as algos;
+pub use dnacomp_cloud as cloud;
+pub use dnacomp_codec as codec;
+pub use dnacomp_core as core;
+pub use dnacomp_ml as ml;
+pub use dnacomp_seq as seq;
+
+/// The most commonly used items across the workspace.
+pub mod prelude {
+    pub use dnacomp_algos::{
+        Algorithm, CompressedBlob, Compressor, Ctw, Dnax, GenCompress, GzipRs,
+    };
+    pub use dnacomp_cloud::{BandwidthMbps, CloudSim, MachineSpec};
+    pub use dnacomp_core::{
+        label_rows, Context, ContextAwareFramework, LabeledRow, WeightVector,
+    };
+    pub use dnacomp_ml::{DecisionTree, TreeMethod};
+    pub use dnacomp_seq::{
+        corpus::CorpusBuilder, gen::GenomeModel, Base, PackedSeq,
+    };
+}

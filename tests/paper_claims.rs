@@ -1,0 +1,217 @@
+//! End-to-end checks of the paper's qualitative claims (the "shape" the
+//! reproduction must preserve — see DESIGN.md §3).
+
+use dnacomp::algos::paper_algorithms;
+use dnacomp::cloud::{context_grid, CloudSim, MachineSpec, PerfModel};
+use dnacomp::core::{
+    build_rows, label_rows, measure_corpus, ContextAwareFramework, WeightVector,
+};
+use dnacomp::ml::TreeMethod;
+use dnacomp::prelude::*;
+
+type Grid = (
+    Vec<dnacomp::seq::corpus::FileSpec>,
+    Vec<dnacomp::core::Measurement>,
+    Vec<dnacomp::core::ExperimentRow>,
+);
+
+/// Shared reduced grid (files to 300 kB) — big enough to exhibit every
+/// crossover, small enough for CI. Measured once per test binary.
+fn shared_grid() -> &'static Grid {
+    static GRID: std::sync::OnceLock<Grid> = std::sync::OnceLock::new();
+    GRID.get_or_init(|| {
+        let files = CorpusBuilder::paper(42)
+            .ncbi_files(37)
+            .size_range(1_000, 300_000)
+            .build();
+        let ms = measure_corpus(&files, &paper_algorithms()).expect("grid");
+        let rows = build_rows(
+            &ms,
+            &context_grid(),
+            &PerfModel::default(),
+            &MachineSpec::azure_vm(),
+        );
+        (files, ms, rows)
+    })
+}
+
+fn grid() -> (&'static [dnacomp::core::Measurement], &'static [dnacomp::core::ExperimentRow]) {
+    let (_, ms, rows) = shared_grid();
+    (ms, rows)
+}
+
+#[test]
+fn compression_ratio_ordering_matches_paper() {
+    // GenCompress ≤ DNAX < CTW < Gzip in mean bits/base on this corpus
+    // (Figure 4: "DNAX is fine in compression ratio after Gencompress
+    // and CTW"; gzip worst).
+    let (ms, _) = grid();
+    let mean_bpb = |name: &str| {
+        let v: Vec<f64> = ms
+            .iter()
+            .filter(|m| m.algorithm.name() == name && m.original_len > 0)
+            .map(|m| m.blob_bytes as f64 * 8.0 / m.original_len as f64)
+            .collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    let (gc, dnax, ctw, gzip) = (
+        mean_bpb("GenCompress"),
+        mean_bpb("DNAX"),
+        mean_bpb("CTW"),
+        mean_bpb("Gzip"),
+    );
+    assert!(gc < dnax, "GenCompress {gc} !< DNAX {dnax}");
+    assert!(dnax < ctw, "DNAX {dnax} !< CTW {ctw}");
+    assert!(ctw < gzip, "CTW {ctw} !< Gzip {gzip}");
+    // All DNA-aware algorithms beat 2 bits/base on average.
+    assert!(gc < 2.0 && dnax < 2.0);
+}
+
+#[test]
+fn gzip_is_never_labelled_best() {
+    // §V: "there were no records where Gzip was used as label".
+    let (_, rows) = grid();
+    let labeled = label_rows(rows, &WeightVector::time_only());
+    assert!(
+        labeled.iter().all(|l| l.winner.name() != "Gzip"),
+        "gzip won {} cells",
+        labeled.iter().filter(|l| l.winner.name() == "Gzip").count()
+    );
+}
+
+#[test]
+fn small_files_prefer_gencompress_or_ctw_large_prefer_dnax() {
+    let (_, rows) = grid();
+    let labeled = label_rows(rows, &WeightVector::time_only());
+    let small: Vec<_> = labeled.iter().filter(|l| l.file_bytes < 10_000).collect();
+    let large: Vec<_> = labeled.iter().filter(|l| l.file_bytes > 100_000).collect();
+    assert!(!small.is_empty() && !large.is_empty());
+    let small_ok = small
+        .iter()
+        .filter(|l| matches!(l.winner.name(), "GenCompress" | "CTW"))
+        .count();
+    assert!(
+        small_ok * 10 >= small.len() * 9,
+        "small files: {}/{} GenCompress/CTW",
+        small_ok,
+        small.len()
+    );
+    let large_dnax = large.iter().filter(|l| l.winner.name() == "DNAX").count();
+    assert!(
+        large_dnax * 10 >= large.len() * 9,
+        "large files: {}/{} DNAX",
+        large_dnax,
+        large.len()
+    );
+}
+
+#[test]
+fn time_rules_are_accurate_ram_rules_are_not() {
+    // Table 2's headline: time-trained trees ≈ 95 %, RAM-trained ≈ 35 %.
+    let (files, _, rows) = shared_grid();
+    let test_files: std::collections::HashSet<&str> = files
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 4 == 3)
+        .map(|(_, f)| f.name.as_str())
+        .collect();
+    for (weights, lo, hi) in [
+        (WeightVector::time_only(), 0.85, 1.0),
+        (WeightVector::ram_only(), 0.15, 0.60),
+    ] {
+        let labeled = label_rows(rows, &weights);
+        let (train, test): (Vec<_>, Vec<_>) = labeled
+            .into_iter()
+            .partition(|l| !test_files.contains(l.file.as_str()));
+        for method in [TreeMethod::Cart, TreeMethod::Chaid] {
+            let fw = ContextAwareFramework::train(&train, method);
+            let acc = fw.evaluate(&test);
+            assert!(
+                (lo..=hi).contains(&acc),
+                "{method} accuracy {acc} outside [{lo}, {hi}] for {weights:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mixed_raw_eq1_weights_score_like_ram_only() {
+    // Table 2's signature: raw Eq. 1 with any RAM weight collapses to
+    // RAM-like (poor) accuracy — "training by assigning different
+    // weights … provides results up to max 45%" (§VI).
+    let (_, rows) = grid();
+    let ram_labels = label_rows(rows, &WeightVector::ram_only());
+    let mixed_labels = label_rows(rows, &WeightVector::ram_time(40.0, 60.0));
+    let agree = ram_labels
+        .iter()
+        .zip(&mixed_labels)
+        .filter(|(a, b)| a.winner == b.winner)
+        .count();
+    assert!(
+        agree * 10 >= ram_labels.len() * 9,
+        "mixed labels agree with RAM-only on only {agree}/{}",
+        ram_labels.len()
+    );
+}
+
+#[test]
+fn framework_end_to_end_picks_sensible_algorithms() {
+    let (_, rows) = grid();
+    let labeled = label_rows(rows, &WeightVector::time_only());
+    let fw = ContextAwareFramework::train(&labeled, TreeMethod::Cart);
+    let mut sim = CloudSim::default();
+    // Small file → GenCompress (or CTW); verify actual exchange works.
+    let small = GenomeModel::default().generate(5_000, 77);
+    let ctx = dnacomp::core::Context {
+        ram_mb: 2048,
+        cpu_mhz: 2393,
+        bandwidth_mbps: 2.0,
+        file_bytes: small.len() as u64,
+    };
+    let (alg, report) = fw.exchange(&mut sim, &ctx, "small", &small).unwrap();
+    assert!(
+        matches!(alg.name(), "GenCompress" | "CTW"),
+        "small file got {alg}"
+    );
+    assert!(report.total_ms() > 0.0);
+    // Large file → DNAX.
+    let large = GenomeModel::default().generate(250_000, 78);
+    let ctx = dnacomp::core::Context {
+        file_bytes: large.len() as u64,
+        ..ctx
+    };
+    let (alg, _) = fw.exchange(&mut sim, &ctx, "large", &large).unwrap();
+    assert_eq!(alg.name(), "DNAX", "large file got {alg}");
+}
+
+#[test]
+fn ctw_worst_decompression_dnax_best() {
+    // §IV-B / §V-E orderings, at simulated-time level.
+    let (_, rows) = grid();
+    let big: Vec<_> = rows
+        .iter()
+        .filter(|r| r.file_bytes > 100_000 && r.cpu_mhz == 2393)
+        .collect();
+    assert!(!big.is_empty());
+    let mean = |name: &str, f: fn(&dnacomp::core::ExperimentRow) -> f64| {
+        let v: Vec<f64> = big
+            .iter()
+            .filter(|r| r.algorithm.name() == name)
+            .map(|r| f(r))
+            .collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    let dec = |r: &dnacomp::core::ExperimentRow| r.decompress_ms;
+    assert!(mean("CTW", dec) > mean("Gzip", dec));
+    assert!(mean("CTW", dec) > mean("GenCompress", dec));
+    assert!(mean("DNAX", dec) < mean("GenCompress", dec));
+    assert!(mean("DNAX", dec) < mean("Gzip", dec));
+    // DNAX fastest compression on large files (Figure 5).
+    let comp = |r: &dnacomp::core::ExperimentRow| r.compress_ms;
+    for other in ["CTW", "GenCompress", "Gzip"] {
+        assert!(
+            mean("DNAX", comp) < mean(other, comp),
+            "DNAX not fastest vs {other}"
+        );
+    }
+}

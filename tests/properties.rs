@@ -1,0 +1,114 @@
+//! Workspace-level property tests: compressor roundtrips over arbitrary
+//! and structured inputs, framework totality, and labeler invariants.
+
+use dnacomp::algos::{all_algorithms, Algorithm};
+use dnacomp::core::{label_rows, ExperimentRow, WeightVector};
+use dnacomp::ml::TreeMethod;
+use dnacomp::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn all_algorithms_roundtrip_arbitrary(s in "[ACGT]{0,1500}") {
+        let seq = PackedSeq::from_ascii(s.as_bytes()).unwrap();
+        for c in all_algorithms() {
+            let blob = c.compress(&seq).unwrap();
+            prop_assert_eq!(c.decompress(&blob).unwrap(), seq.clone(), "{}", c.name());
+        }
+    }
+
+    #[test]
+    fn all_algorithms_roundtrip_structured(seed in any::<u64>(), len in 64usize..4000) {
+        let seq = GenomeModel::highly_repetitive().generate(len, seed);
+        for c in all_algorithms() {
+            let blob = c.compress(&seq).unwrap();
+            prop_assert_eq!(c.decompress(&blob).unwrap(), seq.clone(), "{}", c.name());
+        }
+    }
+
+    #[test]
+    fn framework_decisions_are_total(
+        ram in 128u32..16_384,
+        cpu in 800u32..4_000,
+        bw in 0.1f64..100.0,
+        kb in 0.1f64..50_000.0,
+    ) {
+        // A framework trained on any labelled data must return *some*
+        // paper algorithm for any context, however far outside the
+        // training distribution.
+        let rows: Vec<dnacomp::core::LabeledRow> = (0..40)
+            .map(|i| dnacomp::core::LabeledRow {
+                file: format!("f{i}"),
+                file_bytes: 1_000 + i * 7_000,
+                ram_mb: 2048,
+                cpu_mhz: 2000,
+                bandwidth_mbps: 2.0,
+                winner: if i < 20 { Algorithm::GenCompress } else { Algorithm::Dnax },
+                score: 0.0,
+            })
+            .collect();
+        for method in [TreeMethod::Cart, TreeMethod::Chaid] {
+            let fw = dnacomp::core::ContextAwareFramework::train(&rows, method);
+            let alg = fw.decide(&dnacomp::core::Context {
+                ram_mb: ram,
+                cpu_mhz: cpu,
+                bandwidth_mbps: bw,
+                file_bytes: (kb * 1024.0) as u64,
+            });
+            prop_assert!(Algorithm::PAPER.contains(&alg) || Algorithm::ALL.contains(&alg));
+        }
+    }
+
+    #[test]
+    fn labeler_winner_is_argmin_of_pure_time(
+        comp in prop::collection::vec(1.0f64..10_000.0, 4),
+        up in prop::collection::vec(1.0f64..5_000.0, 4),
+    ) {
+        let algs = Algorithm::PAPER;
+        let rows: Vec<ExperimentRow> = algs
+            .iter()
+            .zip(comp.iter().zip(&up))
+            .map(|(&a, (&c, &u))| ExperimentRow {
+                file: "f".into(),
+                file_bytes: 1000,
+                ram_mb: 2048,
+                cpu_mhz: 2000,
+                bandwidth_mbps: 2.0,
+                algorithm: a,
+                compressed_bytes: 100,
+                compress_ms: c,
+                decompress_ms: 10.0,
+                upload_ms: u,
+                download_ms: 5.0,
+                ram_used_bytes: 1,
+            })
+            .collect();
+        let labeled = label_rows(&rows, &WeightVector::time_only());
+        prop_assert_eq!(labeled.len(), 1);
+        let expect = rows
+            .iter()
+            .min_by(|a, b| {
+                (a.compress_ms + a.upload_ms).total_cmp(&(b.compress_ms + b.upload_ms))
+            })
+            .unwrap()
+            .algorithm;
+        prop_assert_eq!(labeled[0].winner, expect);
+    }
+
+    #[test]
+    fn blob_serialisation_roundtrips(payload in prop::collection::vec(any::<u8>(), 0..300), s in "[ACGT]{1,64}") {
+        let seq = PackedSeq::from_ascii(s.as_bytes()).unwrap();
+        let blob = dnacomp::algos::CompressedBlob::new(Algorithm::Ctw, &seq, payload);
+        let bytes = blob.to_bytes();
+        prop_assert_eq!(dnacomp::algos::CompressedBlob::from_bytes(&bytes).unwrap(), blob);
+    }
+
+    #[test]
+    fn parser_never_accepts_wrong_magic(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        if bytes.len() < 2 || bytes[0..2] != *b"DX" {
+            prop_assert!(dnacomp::algos::CompressedBlob::from_bytes(&bytes).is_err());
+        }
+    }
+}

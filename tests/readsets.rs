@@ -1,0 +1,75 @@
+//! Integration tests for the FASTQ / read-set path (G-SQZ) and the
+//! vertical reference path — the two data flows beyond single-sequence
+//! horizontal compression.
+
+use dnacomp::algos::refcomp::{ReferenceCompressor, ReferenceIndex};
+use dnacomp::algos::GSqz;
+use dnacomp::prelude::*;
+use dnacomp::seq::fastq::{parse_fastq, synth_reads, write_fastq};
+
+#[test]
+fn fastq_text_to_gsqz_and_back() {
+    // Full path: synthesise → FASTQ text → parse → G-SQZ → decode →
+    // FASTQ text must match byte for byte.
+    let genome = GenomeModel::default().generate(30_000, 11);
+    let reads = synth_reads(&genome, 300, 120, 5);
+    let text = write_fastq(&reads);
+    let parsed = parse_fastq(&text).unwrap();
+    assert_eq!(parsed, reads);
+    let packed = GSqz.compress(&parsed).unwrap();
+    let decoded = GSqz.decompress(&packed).unwrap();
+    assert_eq!(write_fastq(&decoded), text);
+    // And it genuinely compresses.
+    assert!(packed.len() < text.len());
+}
+
+#[test]
+fn gsqz_is_order_preserving() {
+    // The paper highlights that G-SQZ compresses "without altering the
+    // sequence" — record order and ids must survive.
+    let genome = GenomeModel::default().generate(10_000, 3);
+    let reads = synth_reads(&genome, 50, 80, 9);
+    let decoded = GSqz.decompress(&GSqz.compress(&reads).unwrap()).unwrap();
+    for (a, b) in reads.iter().zip(&decoded) {
+        assert_eq!(a.id, b.id);
+    }
+}
+
+#[test]
+fn reference_path_beats_horizontal_on_same_species() {
+    let reference = GenomeModel::default().generate(100_000, 21);
+    // A 99.9 %-identical sample.
+    let target = {
+        let mut b = reference.unpack();
+        for i in (500..b.len()).step_by(1000) {
+            b[i] = b[i].complement();
+        }
+        PackedSeq::from(b.as_slice())
+    };
+    let rc = ReferenceCompressor::default();
+    let index = ReferenceIndex::build(&reference, rc.block);
+    let vertical = rc.compress(&index, &target).unwrap();
+    assert_eq!(rc.decompress(&index, &vertical).unwrap(), target);
+    let horizontal = Dnax::default().compress(&target).unwrap();
+    assert!(
+        vertical.total_bytes() * 5 < horizontal.total_bytes(),
+        "vertical {} vs horizontal {}",
+        vertical.total_bytes(),
+        horizontal.total_bytes()
+    );
+}
+
+#[test]
+fn reference_blobs_are_not_accepted_by_horizontal_decoders() {
+    let reference = GenomeModel::default().generate(20_000, 7);
+    let rc = ReferenceCompressor::default();
+    let index = ReferenceIndex::build(&reference, rc.block);
+    let blob = rc.compress(&index, &reference).unwrap();
+    for c in dnacomp::algos::all_algorithms() {
+        assert!(
+            c.decompress(&blob).is_err(),
+            "{} accepted a Reference blob",
+            c.name()
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Cross-crate roundtrip guarantees: every compressor must reproduce
+//! every kind of workload exactly, reject foreign blobs, and fail loudly
+//! (never silently) on damaged containers.
+
+use dnacomp::algos::{all_algorithms, CompressedBlob};
+use dnacomp::prelude::*;
+
+fn workloads() -> Vec<(&'static str, PackedSeq)> {
+    let mut v = vec![
+        ("empty", PackedSeq::new()),
+        ("single", PackedSeq::from_ascii(b"G").unwrap()),
+        ("tiny", PackedSeq::from_ascii(b"ACGTACGTAC").unwrap()),
+        (
+            "homopolymer",
+            PackedSeq::from_ascii("A".repeat(5_000).as_bytes()).unwrap(),
+        ),
+        (
+            "period3",
+            PackedSeq::from_ascii("ACG".repeat(4_000).as_bytes()).unwrap(),
+        ),
+        ("bacterial", GenomeModel::default().generate(30_000, 1)),
+        (
+            "repetitive",
+            GenomeModel::highly_repetitive().generate(30_000, 2),
+        ),
+        ("random", GenomeModel::random_only(0.5).generate(30_000, 3)),
+        ("gc_rich", GenomeModel::random_only(0.9).generate(10_000, 4)),
+        ("at_rich", GenomeModel::random_only(0.1).generate(10_000, 5)),
+    ];
+    // A sequence with a planted reverse-complement arm (palindrome-ish).
+    let fwd = GenomeModel::random_only(0.5).generate(4_000, 6);
+    let mut arm = fwd.to_ascii();
+    arm.push_str(&fwd.reverse_complement().to_ascii());
+    v.push((
+        "revcomp_arm",
+        PackedSeq::from_ascii(arm.as_bytes()).unwrap(),
+    ));
+    v
+}
+
+#[test]
+fn every_algorithm_roundtrips_every_workload() {
+    for compressor in all_algorithms() {
+        for (name, seq) in workloads() {
+            let blob = compressor
+                .compress(&seq)
+                .unwrap_or_else(|e| panic!("{} failed on {name}: {e}", compressor.name()));
+            let back = compressor
+                .decompress(&blob)
+                .unwrap_or_else(|e| panic!("{} failed to decode {name}: {e}", compressor.name()));
+            assert_eq!(back, seq, "{} mismatched on {name}", compressor.name());
+        }
+    }
+}
+
+#[test]
+fn wire_format_roundtrips() {
+    let seq = GenomeModel::default().generate(10_000, 9);
+    for compressor in all_algorithms() {
+        let blob = compressor.compress(&seq).unwrap();
+        let bytes = blob.to_bytes();
+        let parsed = CompressedBlob::from_bytes(&bytes).unwrap();
+        assert_eq!(parsed, blob);
+        assert_eq!(compressor.decompress(&parsed).unwrap(), seq);
+    }
+}
+
+#[test]
+fn every_decoder_rejects_every_other_algorithms_blob() {
+    let seq = GenomeModel::default().generate(2_000, 10);
+    let compressors = all_algorithms();
+    let blobs: Vec<CompressedBlob> =
+        compressors.iter().map(|c| c.compress(&seq).unwrap()).collect();
+    for (i, dec) in compressors.iter().enumerate() {
+        for (j, blob) in blobs.iter().enumerate() {
+            if i == j {
+                assert!(dec.decompress(blob).is_ok());
+            } else {
+                assert!(
+                    dec.decompress(blob).is_err(),
+                    "{} accepted a {} blob",
+                    dec.name(),
+                    compressors[j].name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn corruption_is_detected_or_harmless_everywhere() {
+    let seq = GenomeModel::default().generate(4_000, 11);
+    for compressor in all_algorithms() {
+        let blob = compressor.compress(&seq).unwrap();
+        // Walk a sample of byte positions; every flip must either error
+        // out or decode to the exact original (inert padding bits).
+        let step = (blob.payload.len() / 24).max(1);
+        for at in (0..blob.payload.len()).step_by(step) {
+            let mut bad = blob.clone();
+            bad.payload[at] ^= 0x55;
+            if let Ok(back) = compressor.decompress(&bad) { assert_eq!(
+                back,
+                seq,
+                "{} silently produced wrong data (byte {at})",
+                compressor.name()
+            ) }
+        }
+        // Truncation must always error.
+        if blob.payload.len() > 2 {
+            let mut trunc = blob.clone();
+            trunc.payload.truncate(blob.payload.len() / 2);
+            assert!(
+                compressor.decompress(&trunc).is_err(),
+                "{} accepted truncated payload",
+                compressor.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn header_corruption_rejected() {
+    let seq = GenomeModel::default().generate(1_000, 12);
+    let blob = Dnax::default().compress(&seq).unwrap();
+    let mut bytes = blob.to_bytes();
+    bytes[0] ^= 0xFF; // magic
+    assert!(CompressedBlob::from_bytes(&bytes).is_err());
+    let mut bytes = blob.to_bytes();
+    bytes[2] = 99; // version
+    assert!(CompressedBlob::from_bytes(&bytes).is_err());
+}
+
+#[test]
+fn declared_length_mismatch_detected() {
+    // Tamper with original_len: decoders must not return wrong-length
+    // output (checksum/length verification catches it).
+    let seq = GenomeModel::default().generate(3_000, 13);
+    for compressor in all_algorithms() {
+        let mut blob = compressor.compress(&seq).unwrap();
+        blob.original_len = 2_999;
+        assert!(
+            compressor.decompress(&blob).is_err(),
+            "{} accepted a tampered length",
+            compressor.name()
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Simulator invariants: the perf model must respond monotonically to
+//! resources, and the blob store must behave like a storage account.
+
+use dnacomp::algos::{Algorithm, ResourceStats};
+use dnacomp::cloud::{
+    context_grid, BlobStore, ClientContext, CloudSim, MachineSpec, PerfModel,
+};
+use dnacomp::prelude::*;
+
+fn noiseless() -> PerfModel {
+    PerfModel {
+        time_jitter: 0.0,
+        ..PerfModel::default()
+    }
+}
+
+#[test]
+fn more_bandwidth_never_slows_upload() {
+    let perf = noiseless();
+    for alg in Algorithm::PAPER {
+        for bytes in [1_000usize, 100_000, 5_000_000] {
+            let slow = perf.upload_ms(
+                &ClientContext::new(2048, 2000, 0.5),
+                alg,
+                "f",
+                bytes,
+                1 << 20,
+            );
+            let fast = perf.upload_ms(
+                &ClientContext::new(2048, 2000, 2.0),
+                alg,
+                "f",
+                bytes,
+                1 << 20,
+            );
+            assert!(fast <= slow, "{alg:?} {bytes}B: {fast} > {slow}");
+        }
+    }
+}
+
+#[test]
+fn faster_cpu_never_slows_any_phase() {
+    let perf = noiseless();
+    let stats = ResourceStats {
+        work_units: 1_000_000,
+        peak_heap_bytes: 10 << 20,
+    };
+    for alg in Algorithm::PAPER {
+        let slow_ctx = ClientContext::new(2048, 1600, 2.0);
+        let fast_ctx = ClientContext::new(2048, 2800, 2.0);
+        assert!(
+            perf.compress_ms(&fast_ctx, alg, "f", &stats)
+                <= perf.compress_ms(&slow_ctx, alg, "f", &stats)
+        );
+        assert!(
+            perf.upload_ms(&fast_ctx, alg, "f", 100_000, 1 << 20)
+                <= perf.upload_ms(&slow_ctx, alg, "f", 100_000, 1 << 20)
+        );
+    }
+}
+
+#[test]
+fn more_ram_never_slows_compression() {
+    let perf = noiseless();
+    let stats = ResourceStats {
+        work_units: 1_000_000,
+        peak_heap_bytes: 400 << 20, // enough to matter
+    };
+    for alg in Algorithm::PAPER {
+        let low = perf.compress_ms(&ClientContext::new(1024, 2000, 2.0), alg, "f", &stats);
+        let high = perf.compress_ms(&ClientContext::new(4096, 2000, 2.0), alg, "f", &stats);
+        assert!(high <= low, "{alg:?}: {high} > {low}");
+    }
+}
+
+#[test]
+fn larger_blobs_upload_and_download_slower() {
+    let perf = noiseless();
+    let ctx = ClientContext::new(2048, 2393, 2.0);
+    let cloud = MachineSpec::azure_vm();
+    let mut prev_up = 0.0;
+    let mut prev_down = 0.0;
+    for bytes in [0usize, 1_000, 50_000, 1_000_000] {
+        let up = perf.upload_ms(&ctx, Algorithm::Dnax, "f", bytes, 1 << 20);
+        let down = perf.download_ms(&cloud, Algorithm::Dnax, "f", bytes);
+        assert!(up >= prev_up);
+        assert!(down >= prev_down);
+        prev_up = up;
+        prev_down = down;
+    }
+}
+
+#[test]
+fn grid_exchange_reports_are_reproducible() {
+    let seq = GenomeModel::default().generate(15_000, 3);
+    let run = || {
+        let mut sim = CloudSim::default();
+        context_grid()
+            .iter()
+            .take(4)
+            .map(|ctx| sim.exchange(ctx, &Dnax::default(), "f", &seq).unwrap())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn blob_store_is_consistent_through_sim() {
+    let mut sim = CloudSim::default();
+    let seq = GenomeModel::default().generate(5_000, 5);
+    for (i, alg) in dnacomp::algos::paper_algorithms().iter().enumerate() {
+        let ctx = ClientContext::new(2048, 2000, 2.0);
+        sim.exchange(&ctx, alg.as_ref(), &format!("f{i}"), &seq)
+            .unwrap();
+    }
+    assert_eq!(sim.store.list("sequences").len(), 4);
+    assert!(sim.store.stored_bytes() > 0);
+}
+
+#[test]
+fn blobstore_block_semantics() {
+    let mut store = BlobStore::new();
+    let payload = vec![7u8; (4 << 20) + 1];
+    let (h, blocks) = store.upload("c", "big", &payload);
+    assert_eq!(blocks, 2);
+    assert_eq!(store.download(&h).unwrap().len(), payload.len());
+    assert!(store.delete(&h));
+    assert_eq!(store.stored_bytes(), 0);
+}
+
+#[test]
+fn ram_observation_noise_has_the_papers_structure() {
+    // Doubling happens for a large minority of observations; observations
+    // never drop below ~60 % of the true working set.
+    let perf = PerfModel::default();
+    let ctx = ClientContext::new(2048, 2393, 2.0);
+    let heap = 8u64 << 20;
+    let mut doubled = 0;
+    for i in 0..500 {
+        let obs = perf.observed_ram_bytes(&ctx, Algorithm::Ctw, &format!("f{i}"), heap);
+        let base = heap + PerfModel::baseline_rss_bytes(Algorithm::Ctw);
+        assert!(obs as f64 >= base as f64 * 0.6);
+        if obs as f64 > base as f64 * 1.4 {
+            doubled += 1;
+        }
+    }
+    assert!((100..400).contains(&doubled), "doubled {doubled}/500");
+}
