@@ -74,11 +74,16 @@ pub enum Algorithm {
     /// CTW+LZ hybrid: LZ repeats + CTW-coded literals (extension; paper
     /// Table 1).
     CtwLz = 12,
+    /// Uncompressed 2-bit packing — no model, no search, ~2 bits/base.
+    /// The graceful-degradation ladder's last resort: when every real
+    /// compressor has failed or been circuit-broken, the exchange still
+    /// ships a checksummed container.
+    Raw = 13,
 }
 
 impl Algorithm {
     /// All algorithms, tag order.
-    pub const ALL: [Algorithm; 13] = [
+    pub const ALL: [Algorithm; 14] = [
         Algorithm::Gzip,
         Algorithm::Ctw,
         Algorithm::GenCompress,
@@ -92,11 +97,12 @@ impl Algorithm {
         Algorithm::DnaCompress,
         Algorithm::DnaSequitur,
         Algorithm::CtwLz,
+        Algorithm::Raw,
     ];
 
     /// The horizontal (self-contained) algorithms — everything that
     /// implements [`crate::Compressor`].
-    pub const HORIZONTAL: [Algorithm; 12] = [
+    pub const HORIZONTAL: [Algorithm; 13] = [
         Algorithm::Gzip,
         Algorithm::Ctw,
         Algorithm::GenCompress,
@@ -109,6 +115,7 @@ impl Algorithm {
         Algorithm::DnaCompress,
         Algorithm::DnaSequitur,
         Algorithm::CtwLz,
+        Algorithm::Raw,
     ];
 
     /// The paper's four evaluated algorithms.
@@ -135,6 +142,7 @@ impl Algorithm {
             Algorithm::DnaCompress => "DNACompress",
             Algorithm::DnaSequitur => "DNASequitur",
             Algorithm::CtwLz => "CTW+LZ",
+            Algorithm::Raw => "Raw",
         }
     }
 

@@ -59,7 +59,10 @@ impl Compressor for Cfact {
         let logn = (64 - n.max(2).leading_zeros()) as u64;
         meter.work(2 * n * logn);
         meter.heap_snapshot(
-            sa.heap_bytes() as u64 + table.capacity() as u64 * 8 + bases.len() as u64,
+            sa.heap_bytes() as u64
+                + sa.prev_table_heap_bytes() as u64
+                + table.capacity() as u64 * 8
+                + bases.len() as u64,
         );
 
         // Pass 2: greedy encode.

@@ -34,6 +34,7 @@ pub mod dnax;
 pub mod gencompress;
 pub mod gsqz;
 pub mod gzip;
+pub mod rawpack;
 pub mod stats;
 pub mod refcomp;
 pub mod sequitur;
@@ -51,6 +52,7 @@ pub use dnax::Dnax;
 pub use gencompress::GenCompress;
 pub use gsqz::GSqz;
 pub use gzip::GzipRs;
+pub use rawpack::RawPack;
 pub use stats::ResourceStats;
 pub use refcomp::{ReferenceCompressor, ReferenceIndex};
 pub use sequitur::DnaSequitur;
@@ -117,6 +119,7 @@ pub fn compressor_for(algorithm: Algorithm) -> Box<dyn Compressor> {
         Algorithm::DnaCompress => Box::new(DnaCompress::default()),
         Algorithm::DnaSequitur => Box::new(DnaSequitur::default()),
         Algorithm::CtwLz => Box::new(CtwLz::default()),
+        Algorithm::Raw => Box::new(RawPack),
     }
 }
 
@@ -141,6 +144,7 @@ pub fn all_algorithms() -> Vec<Box<dyn Compressor>> {
     v.push(Box::new(DnaCompress::default()));
     v.push(Box::new(DnaSequitur::default()));
     v.push(Box::new(CtwLz::default()));
+    v.push(Box::new(RawPack));
     v
 }
 

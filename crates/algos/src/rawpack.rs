@@ -1,0 +1,130 @@
+//! Raw 2-bit packing — the degradation ladder's last resort.
+//!
+//! No model, no repeat search: the payload is a uvarint length echo
+//! followed by the sequence's packed 2-bit words verbatim. Compression
+//! ratio is a fixed ~2 bits/base plus the container header, but the
+//! encode/decode cost is a memory copy, so an exchange that has already
+//! burned its retry budget on fancier compressors can always fall back
+//! here and still ship a checksummed, integrity-verifiable container.
+//!
+//! The payload echoes the base count because the container's
+//! `original_len` is attacker/corruption-reachable: without the echo, a
+//! tampered length whose dropped bases pack to zero bits would decode
+//! silently. The echo makes any length tamper a hard error.
+
+use crate::blob::{Algorithm, CompressedBlob};
+use crate::stats::{Meter, ResourceStats};
+use crate::Compressor;
+use dnacomp_codec::varint::{read_uvarint, write_uvarint};
+use dnacomp_codec::CodecError;
+use dnacomp_seq::PackedSeq;
+
+/// The raw 2-bit pass-through "compressor".
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RawPack;
+
+impl Compressor for RawPack {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::Raw
+    }
+
+    fn compress_with_stats(
+        &self,
+        seq: &PackedSeq,
+    ) -> Result<(CompressedBlob, ResourceStats), CodecError> {
+        let mut meter = Meter::new();
+        let words = seq.as_words();
+        let mut payload = Vec::with_capacity(words.len() + 4);
+        write_uvarint(&mut payload, seq.len() as u64);
+        payload.extend_from_slice(words);
+        // A straight copy: ~1 work unit per 16 bases (one word move).
+        meter.work(seq.len() as u64 / 16 + 1);
+        meter.heap_snapshot(payload.len() as u64);
+        let blob = CompressedBlob::new(Algorithm::Raw, seq, payload);
+        Ok((blob, meter.finish()))
+    }
+
+    fn decompress_with_stats(
+        &self,
+        blob: &CompressedBlob,
+    ) -> Result<(PackedSeq, ResourceStats), CodecError> {
+        blob.expect_algorithm(Algorithm::Raw)?;
+        let mut meter = Meter::new();
+        let mut pos = 0usize;
+        let echoed = read_uvarint(&blob.payload, &mut pos)? as usize;
+        if echoed != blob.original_len {
+            return Err(CodecError::Corrupt("raw payload length echo mismatch"));
+        }
+        let words = blob.payload[pos..].to_vec();
+        if words.len() != blob.original_len.div_ceil(4) {
+            return Err(CodecError::Corrupt("raw payload size mismatch"));
+        }
+        let seq = PackedSeq::from_words(words, blob.original_len)
+            .map_err(|_| CodecError::Corrupt("raw payload shorter than declared length"))?;
+        blob.verify(&seq)?;
+        meter.work(blob.original_len as u64 / 16 + 1);
+        meter.heap_snapshot(seq.as_words().len() as u64);
+        Ok((seq, meter.finish()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnacomp_seq::gen::GenomeModel;
+
+    #[test]
+    fn roundtrip() {
+        let seq = GenomeModel::default().generate(5_000, 21);
+        let c = RawPack;
+        let (blob, stats) = c.compress_with_stats(&seq).unwrap();
+        assert_eq!(blob.algorithm, Algorithm::Raw);
+        let (back, _) = c.decompress_with_stats(&blob).unwrap();
+        assert_eq!(back, seq);
+        assert!(stats.work_units > 0);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let seq = PackedSeq::new();
+        let blob = RawPack.compress(&seq).unwrap();
+        assert_eq!(RawPack.decompress(&blob).unwrap(), seq);
+    }
+
+    #[test]
+    fn ratio_is_two_bits_per_base_plus_header() {
+        let seq = GenomeModel::default().generate(40_000, 22);
+        let blob = RawPack.compress(&seq).unwrap();
+        let bpb = blob.bits_per_base();
+        assert!((2.0..2.01).contains(&bpb), "bpb = {bpb}");
+    }
+
+    #[test]
+    fn rejects_length_tamper() {
+        let seq = GenomeModel::default().generate(3_000, 23);
+        let mut blob = RawPack.compress(&seq).unwrap();
+        blob.original_len = 2_999;
+        assert!(RawPack.decompress(&blob).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation_and_flips() {
+        let seq = GenomeModel::default().generate(2_000, 24);
+        let blob = RawPack.compress(&seq).unwrap();
+        let mut trunc = blob.clone();
+        trunc.payload.truncate(trunc.payload.len() / 2);
+        assert!(RawPack.decompress(&trunc).is_err());
+        let mut flipped = blob.clone();
+        let mid = flipped.payload.len() / 2;
+        flipped.payload[mid] ^= 0x0F;
+        assert!(RawPack.decompress(&flipped).is_err());
+    }
+
+    #[test]
+    fn rejects_other_algorithms() {
+        let seq = GenomeModel::default().generate(1_000, 25);
+        let mut blob = RawPack.compress(&seq).unwrap();
+        blob.algorithm = Algorithm::Dnax;
+        assert!(RawPack.decompress(&blob).is_err());
+    }
+}

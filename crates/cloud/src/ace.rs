@@ -46,8 +46,14 @@ impl Forecaster {
         self.value
     }
 
-    /// Absorb an observation.
+    /// Absorb an observation. Observations are durations/costs, so
+    /// non-finite or negative samples (a failed or mis-clocked
+    /// measurement) are ignored rather than poisoning the EWMA — a NaN
+    /// absorbed once would otherwise stick forever.
     pub fn observe(&mut self, x: f64) {
+        if !x.is_finite() || x < 0.0 {
+            return;
+        }
         self.value = Some(match self.value {
             None => x,
             Some(v) => v + self.alpha * (x - v),
@@ -222,6 +228,25 @@ mod tests {
             time_jitter: 0.0,
             ..PerfModel::default()
         }
+    }
+
+    #[test]
+    fn forecaster_ignores_poisonous_observations() {
+        let mut f = Forecaster::new(0.5);
+        // Bad samples before any good one leave the forecaster empty.
+        f.observe(f64::NAN);
+        f.observe(f64::INFINITY);
+        f.observe(-1.0);
+        assert_eq!(f.forecast(), None);
+        // And bad samples after a good one leave the EWMA untouched.
+        f.observe(10.0);
+        assert_eq!(f.forecast(), Some(10.0));
+        f.observe(f64::NAN);
+        f.observe(f64::NEG_INFINITY);
+        f.observe(-0.001);
+        assert_eq!(f.forecast(), Some(10.0));
+        f.observe(20.0);
+        assert_eq!(f.forecast(), Some(15.0));
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Typed failures of the resilient exchange.
+//!
+//! The chaos suite's core guarantee is *no silent corruption*: every
+//! exchange either returns a byte-identical roundtrip or one of these
+//! errors. Each variant carries enough context (phase, block, attempts)
+//! for a caller — or the framework's circuit breaker — to decide whether
+//! to degrade, retry later, or surface the failure.
+
+use dnacomp_codec::CodecError;
+
+/// Pipeline phase an error occurred in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExchangePhase {
+    /// Client-side compression.
+    Compress,
+    /// Block upload to the storage account.
+    Upload,
+    /// Block download at the cloud VM.
+    Download,
+    /// Cloud-side decompression and verification.
+    Decompress,
+}
+
+impl std::fmt::Display for ExchangePhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ExchangePhase::Compress => "compress",
+            ExchangePhase::Upload => "upload",
+            ExchangePhase::Download => "download",
+            ExchangePhase::Decompress => "decompress",
+        })
+    }
+}
+
+/// Why a resilient exchange gave up.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExchangeError {
+    /// A codec-level failure (compression, parsing, checksum, roundtrip).
+    Codec(CodecError),
+    /// An upload block kept failing after exhausting its attempts.
+    UploadFailed {
+        /// Zero-based block index.
+        block: usize,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// A download block kept failing after exhausting its attempts.
+    DownloadFailed {
+        /// Zero-based block index.
+        block: usize,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// A block kept arriving corrupt (per-block checksum mismatch) after
+    /// exhausting its re-fetch attempts.
+    Integrity {
+        /// Zero-based block index.
+        block: usize,
+        /// Fetch attempts made before giving up.
+        attempts: u32,
+    },
+    /// A phase ran past its wall-clock cap.
+    Timeout {
+        /// Which phase timed out.
+        phase: ExchangePhase,
+        /// Simulated ms the phase had consumed.
+        elapsed_ms: f64,
+        /// The configured cap.
+        limit_ms: f64,
+    },
+    /// The exchange's total backoff budget was spent before the transfer
+    /// completed.
+    RetryBudgetExhausted {
+        /// Phase that wanted one more retry.
+        phase: ExchangePhase,
+        /// Backoff ms already spent.
+        spent_ms: f64,
+        /// The configured budget.
+        budget_ms: f64,
+    },
+}
+
+impl From<CodecError> for ExchangeError {
+    fn from(e: CodecError) -> Self {
+        ExchangeError::Codec(e)
+    }
+}
+
+impl std::fmt::Display for ExchangeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExchangeError::Codec(e) => write!(f, "codec error: {e}"),
+            ExchangeError::UploadFailed { block, attempts } => {
+                write!(f, "upload of block {block} failed after {attempts} attempts")
+            }
+            ExchangeError::DownloadFailed { block, attempts } => {
+                write!(f, "download of block {block} failed after {attempts} attempts")
+            }
+            ExchangeError::Integrity { block, attempts } => write!(
+                f,
+                "block {block} failed checksum verification after {attempts} fetches"
+            ),
+            ExchangeError::Timeout {
+                phase,
+                elapsed_ms,
+                limit_ms,
+            } => write!(
+                f,
+                "{phase} phase timed out: {elapsed_ms:.0} ms > {limit_ms:.0} ms"
+            ),
+            ExchangeError::RetryBudgetExhausted {
+                phase,
+                spent_ms,
+                budget_ms,
+            } => write!(
+                f,
+                "{phase} phase exhausted the retry budget: {spent_ms:.0} of {budget_ms:.0} ms spent"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExchangeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExchangeError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_context() {
+        let e = ExchangeError::UploadFailed {
+            block: 3,
+            attempts: 4,
+        };
+        assert!(e.to_string().contains("block 3"));
+        let e = ExchangeError::Timeout {
+            phase: ExchangePhase::Download,
+            elapsed_ms: 1200.0,
+            limit_ms: 1000.0,
+        };
+        assert!(e.to_string().contains("download"));
+        let e: ExchangeError = CodecError::UnexpectedEof.into();
+        assert!(matches!(e, ExchangeError::Codec(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

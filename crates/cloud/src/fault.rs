@@ -1,0 +1,259 @@
+//! Seeded deterministic fault injection for the exchange pipeline.
+//!
+//! Real blob-store exchanges fail in mundane ways the paper's testbed
+//! never shows: requests drop, transfers stall, links degrade, bytes
+//! arrive flipped. A [`FaultPlan`] decides — purely as a hash of
+//! `(seed, fault kind, algorithm, file, block, attempt)` — whether a
+//! given block-level operation fails, stalls, slows down or corrupts.
+//! The same plan always injects the same faults, so every chaos test is
+//! reproducible, and retried attempts get fresh draws (an operation that
+//! failed at attempt 0 may succeed at attempt 1, like a real transient).
+//!
+//! All rates are probabilities in `[0, 1]`; a rate of zero short-circuits
+//! without hashing, so a [`FaultPlan::none`] plan adds no work and no
+//! behaviour change to the fault-free pipeline.
+
+use dnacomp_algos::Algorithm;
+
+/// Deterministic per-block fault schedule for one simulated environment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed all fault decisions derive from.
+    pub seed: u64,
+    /// Probability an upload block attempt fails outright.
+    pub upload_fail_rate: f64,
+    /// Probability a download block attempt fails outright.
+    pub download_fail_rate: f64,
+    /// Probability a downloaded block arrives corrupted (detected by the
+    /// per-block checksum, then re-fetched).
+    pub corrupt_rate: f64,
+    /// Probability an attempt stalls for [`stall_ms`](Self::stall_ms)
+    /// before completing.
+    pub stall_rate: f64,
+    /// Extra latency a stalled attempt pays, ms.
+    pub stall_ms: f64,
+    /// Probability an attempt runs over a degraded link.
+    pub degrade_rate: f64,
+    /// Wire-time multiplier (> 1) for degraded attempts.
+    pub degrade_factor: f64,
+}
+
+/// Which pipeline operation a fault decision is for. Folded into the
+/// hash so upload/download/corruption/stall/degrade draws are
+/// independent streams.
+#[derive(Clone, Copy, Debug)]
+enum FaultKind {
+    UploadFail = 1,
+    DownloadFail = 2,
+    Corrupt = 3,
+    Stall = 4,
+    Degrade = 5,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The fault-free plan: every rate zero. Exchanges behave exactly as
+    /// the un-instrumented pipeline.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            upload_fail_rate: 0.0,
+            download_fail_rate: 0.0,
+            corrupt_rate: 0.0,
+            stall_rate: 0.0,
+            stall_ms: 0.0,
+            degrade_rate: 0.0,
+            degrade_factor: 1.0,
+        }
+    }
+
+    /// A uniform chaos plan: transfers fail at `fail_rate`, and the
+    /// secondary faults (corruption, stalls, degradation) each occur at
+    /// half that rate. Convenient for rate sweeps.
+    pub fn uniform(seed: u64, fail_rate: f64) -> Self {
+        FaultPlan {
+            seed,
+            upload_fail_rate: fail_rate,
+            download_fail_rate: fail_rate,
+            corrupt_rate: fail_rate / 2.0,
+            stall_rate: fail_rate / 2.0,
+            stall_ms: 40.0,
+            degrade_rate: fail_rate / 2.0,
+            degrade_factor: 3.0,
+        }
+    }
+
+    /// `true` when every rate is zero (the pipeline can skip bookkeeping).
+    pub fn is_none(&self) -> bool {
+        self.upload_fail_rate == 0.0
+            && self.download_fail_rate == 0.0
+            && self.corrupt_rate == 0.0
+            && self.stall_rate == 0.0
+            && self.degrade_rate == 0.0
+    }
+
+    /// Deterministic unit-interval draw for one (kind, operation) tuple.
+    fn unit(&self, kind: FaultKind, alg: Algorithm, file: &str, block: usize, attempt: u32) -> f64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.seed;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(&[kind as u8, alg.tag()]);
+        eat(file.as_bytes());
+        eat(&(block as u64).to_le_bytes());
+        eat(&attempt.to_le_bytes());
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn hit(
+        &self,
+        rate: f64,
+        kind: FaultKind,
+        alg: Algorithm,
+        file: &str,
+        block: usize,
+        attempt: u32,
+    ) -> bool {
+        rate > 0.0 && self.unit(kind, alg, file, block, attempt) < rate
+    }
+
+    /// Does this upload block attempt fail?
+    pub fn upload_fails(&self, alg: Algorithm, file: &str, block: usize, attempt: u32) -> bool {
+        self.hit(
+            self.upload_fail_rate,
+            FaultKind::UploadFail,
+            alg,
+            file,
+            block,
+            attempt,
+        )
+    }
+
+    /// Does this download block attempt fail?
+    pub fn download_fails(&self, alg: Algorithm, file: &str, block: usize, attempt: u32) -> bool {
+        self.hit(
+            self.download_fail_rate,
+            FaultKind::DownloadFail,
+            alg,
+            file,
+            block,
+            attempt,
+        )
+    }
+
+    /// Does this downloaded block arrive corrupted?
+    pub fn corrupts(&self, alg: Algorithm, file: &str, block: usize, attempt: u32) -> bool {
+        self.hit(
+            self.corrupt_rate,
+            FaultKind::Corrupt,
+            alg,
+            file,
+            block,
+            attempt,
+        )
+    }
+
+    /// Extra stall latency for this attempt, if it stalls.
+    pub fn stall(&self, alg: Algorithm, file: &str, block: usize, attempt: u32) -> f64 {
+        if self.hit(self.stall_rate, FaultKind::Stall, alg, file, block, attempt) {
+            self.stall_ms
+        } else {
+            0.0
+        }
+    }
+
+    /// Wire-time multiplier for this attempt (1.0 = full-speed link).
+    pub fn degrade(&self, alg: Algorithm, file: &str, block: usize, attempt: u32) -> f64 {
+        if self.hit(
+            self.degrade_rate,
+            FaultKind::Degrade,
+            alg,
+            file,
+            block,
+            attempt,
+        ) {
+            self.degrade_factor
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_fires() {
+        let p = FaultPlan::none();
+        assert!(p.is_none());
+        for block in 0..50 {
+            assert!(!p.upload_fails(Algorithm::Dnax, "f", block, 0));
+            assert!(!p.download_fails(Algorithm::Dnax, "f", block, 0));
+            assert!(!p.corrupts(Algorithm::Dnax, "f", block, 0));
+            assert_eq!(p.stall(Algorithm::Dnax, "f", block, 0), 0.0);
+            assert_eq!(p.degrade(Algorithm::Dnax, "f", block, 0), 1.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = FaultPlan::uniform(42, 0.3);
+        let b = FaultPlan::uniform(42, 0.3);
+        for block in 0..100 {
+            for attempt in 0..4 {
+                assert_eq!(
+                    a.upload_fails(Algorithm::Gzip, "x", block, attempt),
+                    b.upload_fails(Algorithm::Gzip, "x", block, attempt)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rates_are_respected_roughly() {
+        let p = FaultPlan::uniform(7, 0.25);
+        let hits = (0..4000)
+            .filter(|&b| p.upload_fails(Algorithm::Ctw, "f", b, 0))
+            .count();
+        assert!((700..1300).contains(&hits), "{hits}/4000");
+    }
+
+    #[test]
+    fn attempts_draw_independently() {
+        // A block that fails at attempt 0 must not be doomed forever.
+        let p = FaultPlan::uniform(11, 0.5);
+        let survived = (0..200).any(|b| {
+            p.upload_fails(Algorithm::Dnax, "f", b, 0)
+                && !p.upload_fails(Algorithm::Dnax, "f", b, 1)
+        });
+        assert!(survived);
+    }
+
+    #[test]
+    fn streams_differ_by_kind_and_algorithm() {
+        let p = FaultPlan::uniform(3, 0.5);
+        let up: Vec<bool> = (0..200)
+            .map(|b| p.upload_fails(Algorithm::Dnax, "f", b, 0))
+            .collect();
+        let down: Vec<bool> = (0..200)
+            .map(|b| p.download_fails(Algorithm::Dnax, "f", b, 0))
+            .collect();
+        let up_gzip: Vec<bool> = (0..200)
+            .map(|b| p.upload_fails(Algorithm::Gzip, "f", b, 0))
+            .collect();
+        assert_ne!(up, down);
+        assert_ne!(up, up_gzip);
+    }
+}

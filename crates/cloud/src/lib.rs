@@ -18,24 +18,34 @@
 //!   double", §V-E) — the very noise that makes RAM-based rules learn
 //!   poorly in Table 2;
 //! * [`CloudSim`] — the end-to-end exchange: compress → upload → download
-//!   → decompress, producing an [`ExchangeReport`].
+//!   → decompress, producing an [`ExchangeReport`];
+//! * [`FaultPlan`] / [`RetryPolicy`] / [`ExchangeError`] — the resilience
+//!   layer: seeded fault injection on block transfers, exponential
+//!   backoff with deterministic jitter, per-phase timeouts and a retry
+//!   budget, with every unrecoverable fault surfaced as a typed error.
 //!
 //! Everything is seeded; the same (context, algorithm, file) always
-//! yields the same report.
+//! yields the same report — including the faults it suffers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ace;
 pub mod blobstore;
+pub mod error;
+pub mod fault;
 pub mod grid;
 pub mod machine;
 pub mod perf;
+pub mod retry;
 pub mod sim;
 
 pub use ace::{Ace, AceReport, ChunkDecision, Forecaster};
 pub use blobstore::{BlobHandle, BlobStore};
+pub use error::{ExchangeError, ExchangePhase};
+pub use fault::FaultPlan;
 pub use grid::{context_grid, paper_machines};
 pub use machine::{BandwidthMbps, ClientContext, MachineSpec};
 pub use perf::PerfModel;
+pub use retry::RetryPolicy;
 pub use sim::{CloudSim, ExchangeReport};

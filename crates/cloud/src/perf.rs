@@ -144,6 +144,15 @@ fn calibration(alg: Algorithm) -> Calibration {
             dec_init_ms: 200.0,
             dec_scale: 1.1,
         },
+        Algorithm::Raw => Calibration {
+            // Pure 2-bit packing: a memory copy each way. The degraded
+            // path must be near-free in CPU so its cost is dominated by
+            // the larger blob on the wire.
+            comp_init_ms: 5.0,
+            comp_scale: 0.1,
+            dec_init_ms: 5.0,
+            dec_scale: 0.1,
+        },
     }
 }
 
@@ -321,6 +330,8 @@ impl PerfModel {
             Algorithm::DnaCompress => 2.7,
             Algorithm::DnaSequitur => 2.3,
             Algorithm::CtwLz => 2.2,
+            // Bare packer: no model tables, leanest process of all.
+            Algorithm::Raw => 1.1,
         };
         (mb * 1024.0 * 1024.0) as u64
     }

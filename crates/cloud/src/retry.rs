@@ -1,0 +1,173 @@
+//! Retry policy: exponential backoff with deterministic jitter,
+//! per-phase timeouts and a per-exchange backoff budget.
+//!
+//! The simulator charges backoff delays through the same millisecond
+//! accounting as real transfer work, so a retried exchange is visibly
+//! slower in its [`crate::ExchangeReport`] — retries are never free.
+//!
+//! Three invariants the property tests pin down:
+//!
+//! 1. **Monotonicity** — successive delays for one operation never
+//!    decrease (jitter wobbles the exponential curve but a running max
+//!    keeps the sequence non-decreasing);
+//! 2. **Determinism** — the same `(seed, key)` always yields the same
+//!    schedule;
+//! 3. **Budget** — the sum of scheduled delays never exceeds
+//!    [`RetryPolicy::budget_ms`].
+
+/// Backoff and timeout knobs for the resilient exchange.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per block, including the first (so `max_attempts -
+    /// 1` retries).
+    pub max_attempts: u32,
+    /// First retry delay, ms.
+    pub base_delay_ms: f64,
+    /// Exponential growth factor between retries.
+    pub multiplier: f64,
+    /// Upper bound on a single delay before jitter, ms.
+    pub max_delay_ms: f64,
+    /// Jitter half-width as a fraction of the delay (0.2 = ±20 %).
+    pub jitter: f64,
+    /// Seed for the deterministic jitter.
+    pub seed: u64,
+    /// Total backoff budget per exchange, ms. Once spent, further
+    /// failures abort with a typed error rather than waiting more.
+    pub budget_ms: f64,
+    /// Wall-clock cap per phase (upload or download), ms.
+    pub phase_timeout_ms: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay_ms: 50.0,
+            multiplier: 2.0,
+            max_delay_ms: 2_000.0,
+            jitter: 0.2,
+            seed: 0x0BAC_0FF5,
+            budget_ms: 10_000.0,
+            phase_timeout_ms: 600_000.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries: one attempt, no backoff.
+    pub fn no_retries() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            budget_ms: 0.0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Deterministic jitter factor in `[1 - jitter, 1 + jitter]` for one
+    /// (key, retry) pair.
+    fn jitter_factor(&self, key: u64, retry: u32) -> f64 {
+        let mut h = 0x9E37_79B9_7F4A_7C15u64 ^ self.seed;
+        h ^= key;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= retry as u64;
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+        1.0 + self.jitter * (2.0 * unit - 1.0)
+    }
+
+    /// Delay in ms before retry number `retry` (1-based) of the
+    /// operation identified by `key`. Not budget- or
+    /// monotonicity-adjusted; [`schedule`](Self::schedule) applies both.
+    pub fn raw_delay_ms(&self, key: u64, retry: u32) -> f64 {
+        let exp = self.base_delay_ms * self.multiplier.powi(retry.saturating_sub(1) as i32);
+        exp.min(self.max_delay_ms) * self.jitter_factor(key, retry)
+    }
+
+    /// The full backoff schedule for one operation: at most
+    /// `max_attempts - 1` delays, monotonically non-decreasing, with a
+    /// cumulative sum that never exceeds `budget_ms` (the schedule is
+    /// truncated at the first delay that would overrun it).
+    pub fn schedule(&self, key: u64) -> Vec<f64> {
+        let mut delays = Vec::new();
+        let mut prev = 0.0f64;
+        let mut total = 0.0f64;
+        for retry in 1..self.max_attempts {
+            // Running max: jitter may dip below the previous delay, but
+            // the emitted sequence must never back off *less* over time.
+            let d = self.raw_delay_ms(key, retry).max(prev);
+            if total + d > self.budget_ms {
+                break;
+            }
+            total += d;
+            prev = d;
+            delays.push(d);
+        }
+        delays
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_monotone_and_budgeted() {
+        let p = RetryPolicy::default();
+        for key in 0..200u64 {
+            let s = p.schedule(key);
+            assert!(s.len() <= (p.max_attempts - 1) as usize);
+            for w in s.windows(2) {
+                assert!(w[1] >= w[0], "key {key}: {s:?}");
+            }
+            let total: f64 = s.iter().sum();
+            assert!(total <= p.budget_ms, "key {key}: {total}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.schedule(99), p.schedule(99));
+        let other_seed = RetryPolicy {
+            seed: 1,
+            ..RetryPolicy::default()
+        };
+        assert_ne!(p.schedule(99), other_seed.schedule(99));
+    }
+
+    #[test]
+    fn tight_budget_truncates() {
+        let p = RetryPolicy {
+            budget_ms: 60.0,
+            ..RetryPolicy::default()
+        };
+        // base 50 ms ± 20 % → first delay fits, second (≈100 ms) cannot.
+        for key in 0..50u64 {
+            let s = p.schedule(key);
+            assert!(s.len() <= 1, "key {key}: {s:?}");
+        }
+    }
+
+    #[test]
+    fn no_retries_policy_is_empty() {
+        assert!(RetryPolicy::no_retries().schedule(7).is_empty());
+    }
+
+    #[test]
+    fn delays_grow_exponentially_under_cap() {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            max_attempts: 8,
+            budget_ms: f64::INFINITY,
+            ..RetryPolicy::default()
+        };
+        let s = p.schedule(0);
+        assert_eq!(s.len(), 7);
+        assert_eq!(s[0], 50.0);
+        assert_eq!(s[1], 100.0);
+        assert_eq!(s[2], 200.0);
+        assert_eq!(*s.last().unwrap(), 2_000.0); // capped
+    }
+}

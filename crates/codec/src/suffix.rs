@@ -111,6 +111,18 @@ impl SuffixArray {
         (self.sa.capacity() + self.rank.capacity() + self.lcp.capacity()) * 4
     }
 
+    /// Approximate transient heap used while building the
+    /// [`prev_occurrence_table`](Self::prev_occurrence_table): the RMQ
+    /// segment tree over `lcp` plus the ordered rank set. Callers that
+    /// meter RAM should add this to [`heap_bytes`](Self::heap_bytes) for
+    /// the table-construction phase.
+    pub fn prev_table_heap_bytes(&self) -> usize {
+        let n = self.len();
+        let tree = 2 * n.next_power_of_two().max(1) * 4;
+        // BTreeSet<u32>: ~8 bytes/entry amortised (key + node overhead).
+        tree + n * 8
+    }
+
     /// The longest repeated substring: `(position_a, position_b, len)`,
     /// or `None` if nothing repeats.
     pub fn longest_repeat(&self) -> Option<(usize, usize, usize)> {

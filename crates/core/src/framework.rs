@@ -13,10 +13,78 @@ use crate::context::Context;
 use crate::dataset::{build_dataset, class_to_algorithm};
 use crate::labeler::LabeledRow;
 use dnacomp_algos::{compressor_for, Algorithm};
-use dnacomp_cloud::{CloudSim, ExchangeReport, PerfModel};
+use dnacomp_cloud::{CloudSim, ExchangeError, ExchangeReport, PerfModel};
 use dnacomp_codec::CodecError;
 use dnacomp_ml::{accuracy, CartParams, ChaidParams, Dataset, DecisionTree, TreeMethod, Value};
 use dnacomp_seq::PackedSeq;
+
+/// Per-algorithm circuit breaker for the degradation ladder.
+///
+/// Each algorithm accumulates *consecutive* exchange failures; once the
+/// count reaches the threshold its circuit **opens** and
+/// [`ContextAwareFramework::exchange_resilient`] skips it rather than
+/// burning retries on a compressor that keeps failing in this
+/// environment. A successful exchange closes the circuit again. The last
+/// rung of the ladder ([`Algorithm::Raw`]) is never skipped — when
+/// everything else is open, shipping 2-bit-packed bases is still
+/// attempted as the last resort.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    /// `(algorithm tag, consecutive failures)` pairs, created on demand.
+    counts: Vec<(u8, u32)>,
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        CircuitBreaker::with_threshold(3)
+    }
+}
+
+impl CircuitBreaker {
+    /// Breaker opening after `threshold` consecutive failures (≥ 1).
+    pub fn with_threshold(threshold: u32) -> Self {
+        assert!(threshold > 0, "threshold must be positive");
+        CircuitBreaker {
+            threshold,
+            counts: Vec::new(),
+        }
+    }
+
+    /// Consecutive failures recorded for `alg`.
+    pub fn failures(&self, alg: Algorithm) -> u32 {
+        self.counts
+            .iter()
+            .find(|(tag, _)| *tag == alg.tag())
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    }
+
+    /// Is `alg`'s circuit open (should the ladder skip it)?
+    pub fn is_open(&self, alg: Algorithm) -> bool {
+        self.failures(alg) >= self.threshold
+    }
+
+    fn slot(&mut self, alg: Algorithm) -> &mut u32 {
+        let tag = alg.tag();
+        if let Some(i) = self.counts.iter().position(|(t, _)| *t == tag) {
+            &mut self.counts[i].1
+        } else {
+            self.counts.push((tag, 0));
+            &mut self.counts.last_mut().expect("just pushed").1
+        }
+    }
+
+    /// Record a failed exchange with `alg`.
+    pub fn record_failure(&mut self, alg: Algorithm) {
+        *self.slot(alg) += 1;
+    }
+
+    /// Record a successful exchange with `alg` (closes the circuit).
+    pub fn record_success(&mut self, alg: Algorithm) {
+        *self.slot(alg) = 0;
+    }
+}
 
 /// The trained context-aware selection framework.
 ///
@@ -45,6 +113,8 @@ pub struct ContextAwareFramework {
     schema: Dataset,
     /// Fallback when the tree's prediction cannot be mapped.
     fallback: Algorithm,
+    /// Per-algorithm circuit breaker driving the degradation ladder.
+    breaker: CircuitBreaker,
 }
 
 impl ContextAwareFramework {
@@ -62,7 +132,13 @@ impl ContextAwareFramework {
             tree,
             schema,
             fallback: Algorithm::Dnax,
+            breaker: CircuitBreaker::default(),
         }
+    }
+
+    /// The circuit breaker's current state.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
     }
 
     /// The learned tree.
@@ -127,6 +203,7 @@ impl ContextAwareFramework {
             Algorithm::DnaCompress => 12,
             Algorithm::DnaSequitur => 20,
             Algorithm::CtwLz => 40,
+            Algorithm::Raw => 1,
         };
         let est_stats = dnacomp_algos::ResourceStats {
             work_units: n as u64 * work_per_base,
@@ -160,18 +237,73 @@ impl ContextAwareFramework {
     }
 
     /// Full Figure-7 exchange: gather → infer → compress → upload →
-    /// download → decompress, on the simulator.
+    /// download → decompress, on the simulator. One shot: the chosen
+    /// algorithm's failure (if any) is surfaced, not worked around —
+    /// use [`exchange_resilient`](Self::exchange_resilient) for the
+    /// degradation ladder.
     pub fn exchange(
         &self,
         sim: &mut CloudSim,
         ctx: &Context,
         file: &str,
         seq: &PackedSeq,
-    ) -> Result<(Algorithm, ExchangeReport), CodecError> {
+    ) -> Result<(Algorithm, ExchangeReport), ExchangeError> {
         let alg = self.decide(ctx);
         let compressor = compressor_for(alg);
         let report = sim.exchange(&ctx.client(), compressor.as_ref(), file, seq)?;
         Ok((alg, report))
+    }
+
+    /// Resilient exchange with graceful degradation.
+    ///
+    /// Walks the ladder *chosen algorithm → Gzip → Raw (2-bit pass-
+    /// through)*: each rung is attempted unless its circuit is open
+    /// (Raw, the last resort, is never skipped). A rung that fails — or
+    /// is skipped — is recorded in the successful report's
+    /// [`ExchangeReport::degraded_from`], and its breaker count is
+    /// incremented so persistently failing compressors get skipped
+    /// outright on later calls. If every rung fails, the last rung's
+    /// typed error is returned: the caller always gets either a verified
+    /// roundtrip or an explicit failure.
+    pub fn exchange_resilient(
+        &mut self,
+        sim: &mut CloudSim,
+        ctx: &Context,
+        file: &str,
+        seq: &PackedSeq,
+    ) -> Result<(Algorithm, ExchangeReport), ExchangeError> {
+        let chosen = self.decide(ctx);
+        let mut ladder = vec![chosen];
+        if chosen != Algorithm::Gzip {
+            ladder.push(Algorithm::Gzip);
+        }
+        if chosen != Algorithm::Raw {
+            ladder.push(Algorithm::Raw);
+        }
+        let mut degraded: Vec<Algorithm> = Vec::new();
+        let mut last_err: Option<ExchangeError> = None;
+        for (i, alg) in ladder.iter().copied().enumerate() {
+            let last_resort = i == ladder.len() - 1;
+            if !last_resort && self.breaker.is_open(alg) {
+                degraded.push(alg);
+                continue;
+            }
+            let compressor = compressor_for(alg);
+            match sim.exchange(&ctx.client(), compressor.as_ref(), file, seq) {
+                Ok(mut report) => {
+                    self.breaker.record_success(alg);
+                    report.degraded_from = degraded;
+                    return Ok((alg, report));
+                }
+                Err(e) => {
+                    self.breaker.record_failure(alg);
+                    degraded.push(alg);
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err
+            .unwrap_or_else(|| CodecError::Corrupt("no algorithm left to attempt").into()))
     }
 }
 
@@ -287,5 +419,106 @@ mod tests {
         assert_eq!(alg, Algorithm::GenCompress); // 20 kB < 250 kB rule
         assert_eq!(report.algorithm, alg);
         assert!(report.total_ms() > 0.0);
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_resets_on_success() {
+        let mut b = CircuitBreaker::default();
+        assert!(!b.is_open(Algorithm::Dnax));
+        for _ in 0..3 {
+            assert!(!b.is_open(Algorithm::Dnax));
+            b.record_failure(Algorithm::Dnax);
+        }
+        assert!(b.is_open(Algorithm::Dnax));
+        assert_eq!(b.failures(Algorithm::Dnax), 3);
+        // Other algorithms are independent.
+        assert!(!b.is_open(Algorithm::Gzip));
+        b.record_success(Algorithm::Dnax);
+        assert!(!b.is_open(Algorithm::Dnax));
+        assert_eq!(b.failures(Algorithm::Dnax), 0);
+    }
+
+    #[test]
+    fn resilient_exchange_is_plain_when_fault_free() {
+        use dnacomp_seq::gen::GenomeModel;
+        let mut fw = ContextAwareFramework::train(&synthetic_rows(), TreeMethod::Cart);
+        let mut sim = CloudSim::default();
+        let seq = GenomeModel::default().generate(20_000, 3);
+        let ctx = Context {
+            ram_mb: 3072,
+            cpu_mhz: 2393,
+            bandwidth_mbps: 2.0,
+            file_bytes: seq.len() as u64,
+        };
+        let (alg, report) = fw.exchange_resilient(&mut sim, &ctx, "f", &seq).unwrap();
+        assert_eq!(alg, fw.decide(&ctx));
+        assert!(report.degraded_from.is_empty());
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.wasted_ms, 0.0);
+    }
+
+    #[test]
+    fn resilient_exchange_degrades_down_the_ladder() {
+        use dnacomp_cloud::{BlobStore, FaultPlan};
+        use dnacomp_seq::gen::GenomeModel;
+        let mut fw = ContextAwareFramework::train(&synthetic_rows(), TreeMethod::Cart);
+        let seq = GenomeModel::default().generate(20_000, 3);
+        let ctx = Context {
+            ram_mb: 3072,
+            cpu_mhz: 2393,
+            bandwidth_mbps: 2.0,
+            file_bytes: seq.len() as u64,
+        };
+        let chosen = fw.decide(&ctx);
+        let mut saw_degrade = false;
+        for seed in 0..40u64 {
+            let mut sim = CloudSim {
+                store: BlobStore::with_block_bytes(256),
+                faults: FaultPlan::uniform(seed, 0.35),
+                ..CloudSim::default()
+            };
+            // A typed failure is an acceptable outcome; a success must
+            // tell the truth about how it was reached.
+            if let Ok((alg, report)) = fw.exchange_resilient(&mut sim, &ctx, "f", &seq) {
+                assert_eq!(report.algorithm, alg);
+                if !report.degraded_from.is_empty() {
+                    saw_degrade = true;
+                    // The abandoned chain starts at the first choice
+                    // and never contains the algorithm that won.
+                    assert_eq!(report.degraded_from[0], chosen);
+                    assert!(!report.degraded_from.contains(&alg));
+                }
+            }
+        }
+        assert!(saw_degrade, "no degradation observed across 40 seeds");
+    }
+
+    #[test]
+    fn resilient_exchange_fails_typed_when_everything_fails() {
+        use dnacomp_cloud::{BlobStore, ExchangeError, FaultPlan};
+        use dnacomp_seq::gen::GenomeModel;
+        let mut fw = ContextAwareFramework::train(&synthetic_rows(), TreeMethod::Cart);
+        let mut sim = CloudSim {
+            store: BlobStore::with_block_bytes(256),
+            faults: FaultPlan {
+                seed: 9,
+                upload_fail_rate: 1.0,
+                ..FaultPlan::none()
+            },
+            ..CloudSim::default()
+        };
+        let seq = GenomeModel::default().generate(10_000, 3);
+        let ctx = Context {
+            ram_mb: 3072,
+            cpu_mhz: 2393,
+            bandwidth_mbps: 2.0,
+            file_bytes: seq.len() as u64,
+        };
+        let err = fw.exchange_resilient(&mut sim, &ctx, "f", &seq).unwrap_err();
+        assert!(matches!(err, ExchangeError::UploadFailed { .. }));
+        // Every rung of the ladder took a breaker hit.
+        assert_eq!(fw.breaker().failures(fw.decide(&ctx)), 1);
+        assert_eq!(fw.breaker().failures(Algorithm::Gzip), 1);
+        assert_eq!(fw.breaker().failures(Algorithm::Raw), 1);
     }
 }

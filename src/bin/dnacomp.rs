@@ -42,7 +42,8 @@ const USAGE: &str = "usage:
   dnacomp info <in.dx>
   dnacomp decide --ram-mb <n> --cpu-mhz <n> --bw-mbps <x> --file-kb <x>
   dnacomp list
-algorithms: gzip, ctw, gencompress, dnax, biocompress2, dnapack-lite, cfact, xm-lite";
+algorithms: gzip, ctw, gencompress, dnax, biocompress2, dnapack-lite, cfact, xm-lite, raw
+            (`dnacomp list` prints the full set)";
 
 fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {

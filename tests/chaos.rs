@@ -1,0 +1,183 @@
+//! Chaos suite: fault-rate sweeps over the context grid.
+//!
+//! The resilience layer's contract, exercised end to end: under any
+//! injected fault schedule an exchange either delivers a **byte-identical
+//! roundtrip** (verified here independently, by re-downloading the stored
+//! blob and decompressing it) or returns a **typed [`ExchangeError`]** —
+//! never a silently corrupted sequence. Fault-free runs must be
+//! overhead-free: zero retries, zero wasted milliseconds.
+
+use dnacomp::algos::compressor_for;
+use dnacomp::cloud::{
+    context_grid, BlobHandle, BlobStore, CloudSim, ExchangeError, FaultPlan,
+};
+use dnacomp::prelude::*;
+
+/// A sim with tiny blocks so even small blobs span many blocks (the
+/// resilience layer is block-granular) and the given chaos plan.
+fn chaos_sim(seed: u64, rate: f64) -> CloudSim {
+    CloudSim {
+        store: BlobStore::with_block_bytes(512),
+        faults: FaultPlan::uniform(seed, rate),
+        ..CloudSim::default()
+    }
+}
+
+/// Independently verify what the exchange stored: re-download the blob,
+/// parse and decompress it, and compare against the original sequence.
+fn verify_stored(sim: &CloudSim, alg: Algorithm, file: &str, seq: &PackedSeq) {
+    let handle = BlobHandle {
+        container: "sequences".to_owned(),
+        name: format!("{file}.{}.dx", alg.name().to_ascii_lowercase()),
+    };
+    let bytes = sim.store.download(&handle).expect("blob not stored");
+    let blob = CompressedBlob::from_bytes(&bytes).expect("stored blob unparseable");
+    let decoded = compressor_for(alg)
+        .decompress(&blob)
+        .expect("stored blob undecodable");
+    assert_eq!(&decoded, seq, "stored blob decodes to a different sequence");
+}
+
+#[test]
+fn fault_rate_sweep_across_the_grid_never_silently_corrupts() {
+    let algs = [
+        Algorithm::Dnax,
+        Algorithm::GenCompress,
+        Algorithm::Gzip,
+        Algorithm::Ctw,
+    ];
+    let grid = context_grid();
+    // Every other grid point: 16 distinct contexts (≥ 8 required).
+    let contexts: Vec<_> = grid.iter().step_by(2).collect();
+    assert!(contexts.len() >= 8);
+    for (ri, rate) in [0.0f64, 0.05, 0.25].into_iter().enumerate() {
+        let mut successes = 0u32;
+        let mut typed_failures = 0u32;
+        let mut total_retries = 0u32;
+        let mut total_wasted = 0.0f64;
+        for (i, ctx) in contexts.iter().enumerate() {
+            let alg = algs[i % algs.len()];
+            let seq = GenomeModel::default().generate(6_000 + 500 * i, i as u64);
+            let file = format!("chaos_r{ri}_c{i}");
+            let mut sim = chaos_sim(0xC0FFEE + (ri * 100 + i) as u64, rate);
+            match sim.exchange(ctx, compressor_for(alg).as_ref(), &file, &seq) {
+                Ok(report) => {
+                    successes += 1;
+                    total_retries += report.retries;
+                    total_wasted += report.wasted_ms;
+                    assert_eq!(report.algorithm, alg);
+                    assert_eq!(report.original_len, seq.len());
+                    // The report's waste is real phase time, not extra.
+                    assert!(report.wasted_ms <= report.upload_ms + report.download_ms);
+                    if rate == 0.0 {
+                        assert_eq!(report.retries, 0, "retries under zero faults");
+                        assert_eq!(report.wasted_ms, 0.0, "waste under zero faults");
+                        assert_eq!(report.integrity_failures, 0);
+                    }
+                    verify_stored(&sim, alg, &file, &seq);
+                }
+                Err(e) => {
+                    typed_failures += 1;
+                    // Typed, displayable, and never a codec lie: the
+                    // pipeline refused rather than delivered bad bytes.
+                    assert!(!e.to_string().is_empty());
+                    assert!(
+                        !matches!(e, ExchangeError::Codec(_)),
+                        "faults must surface as transfer errors, got {e:?}"
+                    );
+                }
+            }
+        }
+        assert!(successes > 0, "no exchange survived rate {rate}");
+        if rate == 0.0 {
+            assert_eq!(typed_failures, 0, "failures without faults");
+            assert_eq!(total_retries, 0);
+            assert_eq!(total_wasted, 0.0);
+        } else if rate == 0.25 {
+            // Heavy chaos must visibly cost retries and time.
+            assert!(total_retries > 0, "no retries at rate 0.25");
+            assert!(total_wasted > 0.0, "no wasted ms at rate 0.25");
+        }
+    }
+}
+
+#[test]
+fn zero_rate_plan_is_identical_to_no_plan() {
+    let seq = GenomeModel::default().generate(20_000, 7);
+    let ctx = &context_grid()[5];
+    let run = |faults: FaultPlan| {
+        let mut sim = CloudSim {
+            store: BlobStore::with_block_bytes(512),
+            faults,
+            ..CloudSim::default()
+        };
+        sim.exchange(ctx, &Dnax::default(), "f", &seq).unwrap()
+    };
+    // A seeded plan whose rates are all zero changes nothing at all.
+    assert_eq!(run(FaultPlan::none()), run(FaultPlan::uniform(123, 0.0)));
+}
+
+#[test]
+fn chaos_is_reproducible_per_seed() {
+    let seq = GenomeModel::default().generate(15_000, 11);
+    let ctx = &context_grid()[9];
+    let run = || {
+        let mut sim = chaos_sim(31337, 0.25);
+        sim.exchange(ctx, &GenCompress::default(), "f", &seq)
+    };
+    assert_eq!(run(), run());
+    // A different seed gives a different fault history (almost surely a
+    // different report or outcome).
+    let other = {
+        let mut sim = chaos_sim(31338, 0.25);
+        sim.exchange(ctx, &GenCompress::default(), "f", &seq)
+    };
+    assert_ne!(run(), other);
+}
+
+#[test]
+fn resilient_framework_survives_chaos_or_fails_typed() {
+    use dnacomp::core::LabeledRow;
+    let rows: Vec<LabeledRow> = (0..60)
+        .map(|i| LabeledRow {
+            file: format!("f{i}"),
+            file_bytes: 1_000 + i * 10_000,
+            ram_mb: 2048,
+            cpu_mhz: 2393,
+            bandwidth_mbps: 2.0,
+            winner: if i < 30 {
+                Algorithm::GenCompress
+            } else {
+                Algorithm::Dnax
+            },
+            score: 0.0,
+        })
+        .collect();
+    let mut fw = ContextAwareFramework::train(&rows, TreeMethod::Cart);
+    let seq = GenomeModel::default().generate(25_000, 5);
+    let ctx = Context {
+        ram_mb: 2048,
+        cpu_mhz: 2393,
+        bandwidth_mbps: 2.0,
+        file_bytes: seq.len() as u64,
+    };
+    let mut degrades = 0u32;
+    let mut successes = 0u32;
+    for seed in 0..30u64 {
+        let mut sim = chaos_sim(seed, 0.35);
+        match fw.exchange_resilient(&mut sim, &ctx, "f", &seq) {
+            Ok((alg, report)) => {
+                successes += 1;
+                assert_eq!(report.algorithm, alg);
+                if !report.degraded_from.is_empty() {
+                    degrades += 1;
+                    assert!(!report.degraded_from.contains(&alg));
+                }
+                verify_stored(&sim, alg, "f", &seq);
+            }
+            Err(e) => assert!(!e.to_string().is_empty()),
+        }
+    }
+    assert!(successes > 0, "the ladder never succeeded under chaos");
+    assert!(degrades > 0, "the ladder never had to degrade");
+}

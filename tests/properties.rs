@@ -1,7 +1,9 @@
 //! Workspace-level property tests: compressor roundtrips over arbitrary
-//! and structured inputs, framework totality, and labeler invariants.
+//! and structured inputs, framework totality, labeler invariants, and the
+//! retry policy's backoff guarantees.
 
 use dnacomp::algos::{all_algorithms, Algorithm};
+use dnacomp::cloud::RetryPolicy;
 use dnacomp::core::{label_rows, ExperimentRow, WeightVector};
 use dnacomp::ml::TreeMethod;
 use dnacomp::prelude::*;
@@ -110,5 +112,55 @@ proptest! {
         if bytes.len() < 2 || bytes[0..2] != *b"DX" {
             prop_assert!(dnacomp::algos::CompressedBlob::from_bytes(&bytes).is_err());
         }
+    }
+}
+
+// Backoff guarantees of the retry policy, over arbitrary seeds, operation
+// keys and budgets (the invariants the resilient exchange relies on).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn backoff_delays_are_monotone_nondecreasing(seed in any::<u64>(), key in any::<u64>()) {
+        let p = RetryPolicy {
+            seed,
+            max_attempts: 10,
+            budget_ms: 1e12, // budget never truncates here
+            ..RetryPolicy::default()
+        };
+        let s = p.schedule(key);
+        prop_assert_eq!(s.len(), 9);
+        for w in s.windows(2) {
+            prop_assert!(w[1] >= w[0], "schedule not monotone: {:?}", s);
+        }
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_for_a_fixed_seed(seed in any::<u64>(), key in any::<u64>()) {
+        let p = RetryPolicy { seed, ..RetryPolicy::default() };
+        let twin = RetryPolicy { seed, ..RetryPolicy::default() };
+        prop_assert_eq!(p.schedule(key), twin.schedule(key));
+        for retry in 1..4u32 {
+            prop_assert_eq!(p.raw_delay_ms(key, retry), twin.raw_delay_ms(key, retry));
+        }
+    }
+
+    #[test]
+    fn backoff_total_never_exceeds_budget(
+        seed in any::<u64>(),
+        key in any::<u64>(),
+        budget in 0.0f64..5_000.0,
+        attempts in 1u32..12,
+    ) {
+        let p = RetryPolicy {
+            seed,
+            max_attempts: attempts,
+            budget_ms: budget,
+            ..RetryPolicy::default()
+        };
+        let s = p.schedule(key);
+        prop_assert!(s.len() < attempts as usize);
+        let total: f64 = s.iter().sum();
+        prop_assert!(total <= budget, "total {} over budget {}", total, budget);
     }
 }

@@ -1,0 +1,486 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the API subset this workspace's property tests use:
+//! the `proptest!` macro (with optional `#![proptest_config(..)]`),
+//! `prop_assert!` / `prop_assert_eq!`, `any::<T>()`, integer and float
+//! range strategies, simple `[chars]{min,max}` regex string strategies,
+//! tuple strategies, and `prop::collection::vec`. Cases are generated
+//! from a deterministic per-test RNG; there is no shrinking — a failing
+//! case panics with the ordinary assert message.
+
+/// Test-runner configuration and deterministic RNG.
+pub mod test_runner {
+    /// Configuration for a `proptest!` block.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 32 }
+        }
+    }
+
+    /// Deterministic per-test RNG (SplitMix64 seeded from the test name
+    /// and case index).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for one (test, case) pair.
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for &b in test_name.as_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h ^= case as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            TestRng { state: h }
+        }
+
+        /// Next raw 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound = 0` means the full
+        /// 2^64 range.
+        pub fn below(&mut self, bound: u128) -> u64 {
+            if bound == 0 || bound > u64::MAX as u128 {
+                self.next_u64()
+            } else {
+                (self.next_u64() as u128 % bound) as u64
+            }
+        }
+
+        /// Uniform f64 in [0, 1).
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Generates values of `Value` from a deterministic RNG.
+    pub trait Strategy {
+        /// Generated type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty range strategy");
+            lo + rng.unit_f64() * (hi - lo)
+        }
+    }
+
+    /// String strategy from a `[chars]{min,max}` regex (the only regex
+    /// shape this workspace uses). Char classes support literal chars,
+    /// `a-z` ranges, and `\n`/`\t`/`\\` escapes.
+    impl Strategy for str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (alphabet, min, max) = parse_class_regex(self);
+            let len = min + rng.below((max - min + 1) as u128) as usize;
+            (0..len)
+                .map(|_| alphabet[rng.below(alphabet.len() as u128) as usize])
+                .collect()
+        }
+    }
+
+    fn parse_class_regex(pattern: &str) -> (Vec<char>, usize, usize) {
+        let mut chars = pattern.chars().peekable();
+        assert_eq!(
+            chars.next(),
+            Some('['),
+            "proptest stub supports only `[chars]{{min,max}}` regexes, got `{pattern}`"
+        );
+        let mut alphabet: Vec<char> = Vec::new();
+        loop {
+            let c = chars
+                .next()
+                .unwrap_or_else(|| panic!("unterminated char class in `{pattern}`"));
+            match c {
+                ']' => break,
+                '\\' => {
+                    let e = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("trailing escape in `{pattern}`"));
+                    alphabet.push(match e {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => other,
+                    });
+                }
+                _ => {
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("unterminated range in `{pattern}`"));
+                        assert!(hi != ']', "unterminated range in `{pattern}`");
+                        for code in (c as u32)..=(hi as u32) {
+                            if let Some(ch) = char::from_u32(code) {
+                                alphabet.push(ch);
+                            }
+                        }
+                    } else {
+                        alphabet.push(c);
+                    }
+                }
+            }
+        }
+        assert!(!alphabet.is_empty(), "empty char class in `{pattern}`");
+        let rest: String = chars.collect();
+        let inner = rest
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .unwrap_or_else(|| panic!("expected `{{min,max}}` after class in `{pattern}`"));
+        let (lo, hi) = inner
+            .split_once(',')
+            .unwrap_or_else(|| panic!("expected `min,max` in `{pattern}`"));
+        let min: usize = lo.trim().parse().expect("bad min repeat");
+        let max: usize = hi.trim().parse().expect("bad max repeat");
+        assert!(min <= max, "min > max in `{pattern}`");
+        (alphabet, min, max)
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($n:tt $s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy!((0 A, 1 B) (0 A, 1 B, 2 C) (0 A, 1 B, 2 C, 3 D));
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.unit_f64()
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The strategy generating any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive size bounds for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with sizes in a [`SizeRange`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with the given element strategy and size bounds.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.max - self.size.min + 1) as u128;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The proptest prelude subset.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec(..)`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Assert inside a property test (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Skip the current case when a precondition does not hold. (The real
+/// crate rejects and redraws; the stand-in just moves to the next case.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Define property tests. Each generated test runs its body for every
+/// deterministically generated case.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            @cfg(<$crate::test_runner::Config as ::std::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        @cfg($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), __case);
+                    $(
+                        let $arg = {
+                            #[allow(unused_imports)]
+                            use $crate::strategy::Strategy as _;
+                            ($strat).generate(&mut __rng)
+                        };
+                    )+
+                    // One closure per case so `prop_assume!`'s early
+                    // `return` skips this case only, not the whole test.
+                    #[allow(clippy::redundant_closure_call)]
+                    (move || $body)();
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..10, y in 0u8..=255, f in 0.25f64..0.75) {
+            prop_assert!((3..10).contains(&x));
+            let _ = y;
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn regex_strings_match_class(s in "[ACGT]{2,9}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 9, "{}", s.len());
+            prop_assert!(s.chars().all(|c| "ACGT".contains(c)));
+        }
+
+        #[test]
+        fn vecs_and_tuples(v in prop::collection::vec((any::<u16>(), 0u8..3), 0..5)) {
+            prop_assert!(v.len() < 5);
+            for (_, b) in v {
+                prop_assert!(b < 3);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let s = 0u64..1000;
+        let mut a = crate::test_runner::TestRng::for_case("t", 0);
+        let mut b = crate::test_runner::TestRng::for_case("t", 0);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    #[test]
+    fn printable_class_with_escape() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::test_runner::TestRng::for_case("p", 1);
+        let s = "[ -~\n]{0,40}".generate(&mut rng);
+        assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+    }
+}

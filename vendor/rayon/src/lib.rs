@@ -1,0 +1,51 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Exposes the `par_iter` API shape the workspace uses, executed
+//! sequentially — deterministic and dependency-free. If the real crate
+//! ever becomes available the call sites work unchanged.
+
+/// The rayon prelude subset.
+pub mod prelude {
+    /// `par_iter()` on borrowed collections (sequential fallback).
+    pub trait IntoParallelRefIterator<'data> {
+        /// Iterator type returned (a plain sequential iterator here).
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type.
+        type Item: 'data;
+
+        /// Iterate "in parallel" (sequentially in this stand-in).
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        type Item = &'data T;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+        type Item = &'data T;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_collects_like_iter() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let s: &[i32] = &v;
+        assert_eq!(s.par_iter().sum::<i32>(), 6);
+    }
+}

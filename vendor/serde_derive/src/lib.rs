@@ -1,0 +1,423 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crates.io registry is unreachable in this environment, so
+//! this proc-macro crate derives the vendored `serde`'s `Serialize` /
+//! `Deserialize` traits (a simplified content-tree model, not the real
+//! serde visitor API). It parses the item token stream by hand — no
+//! `syn`/`quote` — which is sufficient for the shapes this workspace
+//! uses: non-generic named-field structs, newtype structs, and enums
+//! with unit / newtype / tuple / struct variants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    /// `struct Name { field, .. }`
+    Struct { name: String, fields: Vec<String> },
+    /// `struct Name(T, ..);` with the number of fields.
+    TupleStruct { name: String, arity: usize },
+    /// `enum Name { .. }`
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with arity.
+    Tuple(usize),
+    /// Struct variant with named fields.
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+/// Skip one attribute (`#` + bracket group) if present at `i`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while *i + 1 < tokens.len() {
+        match (&tokens[*i], &tokens[*i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Skip a visibility modifier (`pub`, `pub(crate)`, ...) if present.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Split `tokens` on commas that sit outside `<...>` nesting.
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    if !cur.is_empty() {
+                        out.push(std::mem::take(&mut cur));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Field name from one named-field chunk: `(#[attr])* (pub)? name: Type`.
+fn field_name(chunk: &[TokenTree]) -> String {
+    let mut i = 0;
+    skip_attrs(chunk, &mut i);
+    skip_vis(chunk, &mut i);
+    match chunk.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected field name, got {other:?}"),
+    }
+}
+
+fn parse_named_fields(group_tokens: &[TokenTree]) -> Vec<String> {
+    split_top_level(group_tokens)
+        .iter()
+        .map(|chunk| field_name(chunk))
+        .collect()
+}
+
+fn parse_variant(chunk: &[TokenTree]) -> Variant {
+    let mut i = 0;
+    skip_attrs(chunk, &mut i);
+    let name = match chunk.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected variant name, got {other:?}"),
+    };
+    i += 1;
+    let kind = match chunk.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+            VariantKind::Struct(parse_named_fields(&toks))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+            VariantKind::Tuple(split_top_level(&toks).len())
+        }
+        // `Name = 3` discriminants and bare unit variants both end here.
+        _ => VariantKind::Unit,
+    };
+    Variant { name, kind }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic types are not supported ({name})");
+        }
+    }
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+                Item::Struct {
+                    name,
+                    fields: parse_named_fields(&toks),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+                Item::TupleStruct {
+                    name,
+                    arity: split_top_level(&toks).len(),
+                }
+            }
+            other => panic!("serde_derive stub: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+                let variants = split_top_level(&toks)
+                    .iter()
+                    .map(|chunk| parse_variant(chunk))
+                    .collect();
+                Item::Enum { name, variants }
+            }
+            other => panic!("serde_derive stub: unsupported enum body {other:?}"),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    }
+}
+
+/// Derive the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match item {
+        Item::Struct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Map(vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            if arity == 1 {
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                         fn to_content(&self) -> ::serde::Content {{\n\
+                             ::serde::Serialize::to_content(&self.0)\n\
+                         }}\n\
+                     }}"
+                )
+            } else {
+                let elems: Vec<String> = (0..arity)
+                    .map(|k| format!("::serde::Serialize::to_content(&self.{k})"))
+                    .collect();
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                         fn to_content(&self) -> ::serde::Content {{\n\
+                             ::serde::Content::Seq(vec![{}])\n\
+                         }}\n\
+                     }}",
+                    elems.join(", ")
+                )
+            }
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Content::Str(\"{vn}\".to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Content::Map(vec![(\
+                                 \"{vn}\".to_string(), ::serde::Serialize::to_content(__f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let pats: Vec<String> =
+                                (0..*n).map(|k| format!("__f{k}")).collect();
+                            let elems: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!("::serde::Serialize::to_content(__f{k})")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Content::Map(vec![(\
+                                     \"{vn}\".to_string(), ::serde::Content::Seq(vec![{}]))]),",
+                                pats.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let pats = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_content({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {pats} }} => ::serde::Content::Map(vec![(\
+                                     \"{vn}\".to_string(), ::serde::Content::Map(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    src.parse().expect("serde_derive stub: generated invalid Serialize impl")
+}
+
+/// Derive the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match item {
+        Item::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(\
+                             ::serde::map_get(__m, \"{f}\")\
+                                 .ok_or_else(|| ::serde::DeError::missing_field(\"{name}\", \"{f}\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let __m = __c.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", \"{name}\"))?;\n\
+                         Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            if arity == 1 {
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                         fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                             Ok({name}(::serde::Deserialize::from_content(__c)?))\n\
+                         }}\n\
+                     }}"
+                )
+            } else {
+                let inits: Vec<String> = (0..arity)
+                    .map(|k| {
+                        format!(
+                            "::serde::Deserialize::from_content(\
+                                 __s.get({k}).ok_or_else(|| ::serde::DeError::expected(\"tuple element\", \"{name}\"))?)?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                         fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                             let __s = __c.as_seq().ok_or_else(|| ::serde::DeError::expected(\"seq\", \"{name}\"))?;\n\
+                             Ok({name}({}))\n\
+                         }}\n\
+                     }}",
+                    inits.join(", ")
+                )
+            }
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = Vec::new();
+            let mut keyed_arms = Vec::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push(format!("\"{vn}\" => Ok({name}::{vn}),"));
+                    }
+                    VariantKind::Tuple(1) => {
+                        keyed_arms.push(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_content(__v)?)),"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|k| {
+                                format!(
+                                    "::serde::Deserialize::from_content(\
+                                         __s.get({k}).ok_or_else(|| ::serde::DeError::expected(\"tuple element\", \"{name}::{vn}\"))?)?"
+                                )
+                            })
+                            .collect();
+                        keyed_arms.push(format!(
+                            "\"{vn}\" => {{\n\
+                                 let __s = __v.as_seq().ok_or_else(|| ::serde::DeError::expected(\"seq\", \"{name}::{vn}\"))?;\n\
+                                 Ok({name}::{vn}({}))\n\
+                             }}",
+                            inits.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_content(\
+                                         ::serde::map_get(__m, \"{f}\")\
+                                             .ok_or_else(|| ::serde::DeError::missing_field(\"{name}::{vn}\", \"{f}\"))?)?"
+                                )
+                            })
+                            .collect();
+                        keyed_arms.push(format!(
+                            "\"{vn}\" => {{\n\
+                                 let __m = __v.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", \"{name}::{vn}\"))?;\n\
+                                 Ok({name}::{vn} {{ {} }})\n\
+                             }}",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match __c {{\n\
+                             ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                                 {}\n\
+                                 _ => Err(::serde::DeError::unknown_variant(\"{name}\", __s)),\n\
+                             }},\n\
+                             ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                                 let (__k, __v) = &__entries[0];\n\
+                                 match __k.as_str() {{\n\
+                                     {}\n\
+                                     _ => Err(::serde::DeError::unknown_variant(\"{name}\", __k)),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => Err(::serde::DeError::expected(\"enum\", \"{name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                keyed_arms.join("\n")
+            )
+        }
+    };
+    src.parse().expect("serde_derive stub: generated invalid Deserialize impl")
+}
