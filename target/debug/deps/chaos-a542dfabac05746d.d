@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-a542dfabac05746d.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-a542dfabac05746d: tests/chaos.rs
+
+tests/chaos.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/codecs-8957e102db561da7.d: crates/bench/benches/codecs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcodecs-8957e102db561da7.rmeta: crates/bench/benches/codecs.rs Cargo.toml
+
+crates/bench/benches/codecs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compressors-26598cc95bdbc054.d: crates/bench/benches/compressors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompressors-26598cc95bdbc054.rmeta: crates/bench/benches/compressors.rs Cargo.toml
+
+crates/bench/benches/compressors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

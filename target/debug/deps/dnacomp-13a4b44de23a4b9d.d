@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dnacomp-13a4b44de23a4b9d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdnacomp-13a4b44de23a4b9d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdnacomp-13a4b44de23a4b9d.rmeta: src/lib.rs
+
+src/lib.rs:

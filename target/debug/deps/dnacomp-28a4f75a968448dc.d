@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dnacomp-28a4f75a968448dc.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdnacomp-28a4f75a968448dc.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdnacomp-28a4f75a968448dc.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dnacomp-354e9edc43c9d868.d: src/bin/dnacomp.rs
+
+/root/repo/target/debug/deps/dnacomp-354e9edc43c9d868: src/bin/dnacomp.rs
+
+src/bin/dnacomp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dnacomp-80556150ff5247ef.d: src/bin/dnacomp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdnacomp-80556150ff5247ef.rmeta: src/bin/dnacomp.rs Cargo.toml
+
+src/bin/dnacomp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

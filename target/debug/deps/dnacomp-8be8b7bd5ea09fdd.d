@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dnacomp-8be8b7bd5ea09fdd.d: src/lib.rs
+
+/root/repo/target/debug/deps/dnacomp-8be8b7bd5ea09fdd: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dnacomp-b37ae900afddd702.d: src/bin/dnacomp.rs
+
+/root/repo/target/debug/deps/dnacomp-b37ae900afddd702: src/bin/dnacomp.rs
+
+src/bin/dnacomp.rs:

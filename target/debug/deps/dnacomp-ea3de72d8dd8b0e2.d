@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dnacomp-ea3de72d8dd8b0e2.d: src/bin/dnacomp.rs
+
+/root/repo/target/debug/deps/dnacomp-ea3de72d8dd8b0e2: src/bin/dnacomp.rs
+
+src/bin/dnacomp.rs:

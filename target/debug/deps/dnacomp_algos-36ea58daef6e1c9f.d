@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/dnacomp_algos-36ea58daef6e1c9f.d: crates/algos/src/lib.rs crates/algos/src/biocompress.rs crates/algos/src/cfact.rs crates/algos/src/blob.rs crates/algos/src/ctw.rs crates/algos/src/ctwlz.rs crates/algos/src/dnac.rs crates/algos/src/dnacompress.rs crates/algos/src/dnapack.rs crates/algos/src/dnax.rs crates/algos/src/gencompress.rs crates/algos/src/gsqz.rs crates/algos/src/gzip.rs crates/algos/src/rawpack.rs crates/algos/src/stats.rs crates/algos/src/refcomp.rs crates/algos/src/sequitur.rs crates/algos/src/xm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdnacomp_algos-36ea58daef6e1c9f.rmeta: crates/algos/src/lib.rs crates/algos/src/biocompress.rs crates/algos/src/cfact.rs crates/algos/src/blob.rs crates/algos/src/ctw.rs crates/algos/src/ctwlz.rs crates/algos/src/dnac.rs crates/algos/src/dnacompress.rs crates/algos/src/dnapack.rs crates/algos/src/dnax.rs crates/algos/src/gencompress.rs crates/algos/src/gsqz.rs crates/algos/src/gzip.rs crates/algos/src/rawpack.rs crates/algos/src/stats.rs crates/algos/src/refcomp.rs crates/algos/src/sequitur.rs crates/algos/src/xm.rs Cargo.toml
+
+crates/algos/src/lib.rs:
+crates/algos/src/biocompress.rs:
+crates/algos/src/cfact.rs:
+crates/algos/src/blob.rs:
+crates/algos/src/ctw.rs:
+crates/algos/src/ctwlz.rs:
+crates/algos/src/dnac.rs:
+crates/algos/src/dnacompress.rs:
+crates/algos/src/dnapack.rs:
+crates/algos/src/dnax.rs:
+crates/algos/src/gencompress.rs:
+crates/algos/src/gsqz.rs:
+crates/algos/src/gzip.rs:
+crates/algos/src/rawpack.rs:
+crates/algos/src/stats.rs:
+crates/algos/src/refcomp.rs:
+crates/algos/src/sequitur.rs:
+crates/algos/src/xm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dnacomp_bench-0f16bdf055ce402a.d: crates/bench/src/lib.rs crates/bench/src/charts.rs crates/bench/src/ext.rs crates/bench/src/figures.rs crates/bench/src/pipeline.rs crates/bench/src/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdnacomp_bench-0f16bdf055ce402a.rmeta: crates/bench/src/lib.rs crates/bench/src/charts.rs crates/bench/src/ext.rs crates/bench/src/figures.rs crates/bench/src/pipeline.rs crates/bench/src/tables.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/charts.rs:
+crates/bench/src/ext.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/pipeline.rs:
+crates/bench/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

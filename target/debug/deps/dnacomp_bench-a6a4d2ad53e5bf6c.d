@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dnacomp_bench-a6a4d2ad53e5bf6c.d: crates/bench/src/lib.rs crates/bench/src/charts.rs crates/bench/src/ext.rs crates/bench/src/figures.rs crates/bench/src/pipeline.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libdnacomp_bench-a6a4d2ad53e5bf6c.rlib: crates/bench/src/lib.rs crates/bench/src/charts.rs crates/bench/src/ext.rs crates/bench/src/figures.rs crates/bench/src/pipeline.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libdnacomp_bench-a6a4d2ad53e5bf6c.rmeta: crates/bench/src/lib.rs crates/bench/src/charts.rs crates/bench/src/ext.rs crates/bench/src/figures.rs crates/bench/src/pipeline.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/charts.rs:
+crates/bench/src/ext.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/pipeline.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dnacomp_bench-e4768f2fe612fec9.d: crates/bench/src/lib.rs crates/bench/src/charts.rs crates/bench/src/ext.rs crates/bench/src/figures.rs crates/bench/src/pipeline.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libdnacomp_bench-e4768f2fe612fec9.rlib: crates/bench/src/lib.rs crates/bench/src/charts.rs crates/bench/src/ext.rs crates/bench/src/figures.rs crates/bench/src/pipeline.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libdnacomp_bench-e4768f2fe612fec9.rmeta: crates/bench/src/lib.rs crates/bench/src/charts.rs crates/bench/src/ext.rs crates/bench/src/figures.rs crates/bench/src/pipeline.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/charts.rs:
+crates/bench/src/ext.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/pipeline.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dnacomp_bench-f59687c7f6a9dbf5.d: crates/bench/src/lib.rs crates/bench/src/charts.rs crates/bench/src/ext.rs crates/bench/src/figures.rs crates/bench/src/pipeline.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/dnacomp_bench-f59687c7f6a9dbf5: crates/bench/src/lib.rs crates/bench/src/charts.rs crates/bench/src/ext.rs crates/bench/src/figures.rs crates/bench/src/pipeline.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/charts.rs:
+crates/bench/src/ext.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/pipeline.rs:
+crates/bench/src/tables.rs:

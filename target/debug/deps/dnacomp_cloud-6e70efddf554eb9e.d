@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dnacomp_cloud-6e70efddf554eb9e.d: crates/cloud/src/lib.rs crates/cloud/src/ace.rs crates/cloud/src/blobstore.rs crates/cloud/src/error.rs crates/cloud/src/fault.rs crates/cloud/src/grid.rs crates/cloud/src/machine.rs crates/cloud/src/perf.rs crates/cloud/src/retry.rs crates/cloud/src/sim.rs
+
+/root/repo/target/debug/deps/libdnacomp_cloud-6e70efddf554eb9e.rlib: crates/cloud/src/lib.rs crates/cloud/src/ace.rs crates/cloud/src/blobstore.rs crates/cloud/src/error.rs crates/cloud/src/fault.rs crates/cloud/src/grid.rs crates/cloud/src/machine.rs crates/cloud/src/perf.rs crates/cloud/src/retry.rs crates/cloud/src/sim.rs
+
+/root/repo/target/debug/deps/libdnacomp_cloud-6e70efddf554eb9e.rmeta: crates/cloud/src/lib.rs crates/cloud/src/ace.rs crates/cloud/src/blobstore.rs crates/cloud/src/error.rs crates/cloud/src/fault.rs crates/cloud/src/grid.rs crates/cloud/src/machine.rs crates/cloud/src/perf.rs crates/cloud/src/retry.rs crates/cloud/src/sim.rs
+
+crates/cloud/src/lib.rs:
+crates/cloud/src/ace.rs:
+crates/cloud/src/blobstore.rs:
+crates/cloud/src/error.rs:
+crates/cloud/src/fault.rs:
+crates/cloud/src/grid.rs:
+crates/cloud/src/machine.rs:
+crates/cloud/src/perf.rs:
+crates/cloud/src/retry.rs:
+crates/cloud/src/sim.rs:

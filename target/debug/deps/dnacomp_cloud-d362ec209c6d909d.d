@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dnacomp_cloud-d362ec209c6d909d.d: crates/cloud/src/lib.rs crates/cloud/src/ace.rs crates/cloud/src/blobstore.rs crates/cloud/src/error.rs crates/cloud/src/fault.rs crates/cloud/src/grid.rs crates/cloud/src/machine.rs crates/cloud/src/perf.rs crates/cloud/src/retry.rs crates/cloud/src/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdnacomp_cloud-d362ec209c6d909d.rmeta: crates/cloud/src/lib.rs crates/cloud/src/ace.rs crates/cloud/src/blobstore.rs crates/cloud/src/error.rs crates/cloud/src/fault.rs crates/cloud/src/grid.rs crates/cloud/src/machine.rs crates/cloud/src/perf.rs crates/cloud/src/retry.rs crates/cloud/src/sim.rs Cargo.toml
+
+crates/cloud/src/lib.rs:
+crates/cloud/src/ace.rs:
+crates/cloud/src/blobstore.rs:
+crates/cloud/src/error.rs:
+crates/cloud/src/fault.rs:
+crates/cloud/src/grid.rs:
+crates/cloud/src/machine.rs:
+crates/cloud/src/perf.rs:
+crates/cloud/src/retry.rs:
+crates/cloud/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dnacomp_cloud-df7dabfff97c8721.d: crates/cloud/src/lib.rs crates/cloud/src/ace.rs crates/cloud/src/blobstore.rs crates/cloud/src/error.rs crates/cloud/src/fault.rs crates/cloud/src/grid.rs crates/cloud/src/machine.rs crates/cloud/src/perf.rs crates/cloud/src/retry.rs crates/cloud/src/sim.rs
+
+/root/repo/target/debug/deps/dnacomp_cloud-df7dabfff97c8721: crates/cloud/src/lib.rs crates/cloud/src/ace.rs crates/cloud/src/blobstore.rs crates/cloud/src/error.rs crates/cloud/src/fault.rs crates/cloud/src/grid.rs crates/cloud/src/machine.rs crates/cloud/src/perf.rs crates/cloud/src/retry.rs crates/cloud/src/sim.rs
+
+crates/cloud/src/lib.rs:
+crates/cloud/src/ace.rs:
+crates/cloud/src/blobstore.rs:
+crates/cloud/src/error.rs:
+crates/cloud/src/fault.rs:
+crates/cloud/src/grid.rs:
+crates/cloud/src/machine.rs:
+crates/cloud/src/perf.rs:
+crates/cloud/src/retry.rs:
+crates/cloud/src/sim.rs:

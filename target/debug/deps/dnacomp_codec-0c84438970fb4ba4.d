@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/dnacomp_codec-0c84438970fb4ba4.d: crates/codec/src/lib.rs crates/codec/src/arith.rs crates/codec/src/bitio.rs crates/codec/src/checksum.rs crates/codec/src/ctw.rs crates/codec/src/edit.rs crates/codec/src/error.rs crates/codec/src/fibonacci.rs crates/codec/src/huffman.rs crates/codec/src/lz.rs crates/codec/src/models.rs crates/codec/src/repeats.rs crates/codec/src/spaced.rs crates/codec/src/suffix.rs crates/codec/src/varint.rs
+
+/root/repo/target/debug/deps/dnacomp_codec-0c84438970fb4ba4: crates/codec/src/lib.rs crates/codec/src/arith.rs crates/codec/src/bitio.rs crates/codec/src/checksum.rs crates/codec/src/ctw.rs crates/codec/src/edit.rs crates/codec/src/error.rs crates/codec/src/fibonacci.rs crates/codec/src/huffman.rs crates/codec/src/lz.rs crates/codec/src/models.rs crates/codec/src/repeats.rs crates/codec/src/spaced.rs crates/codec/src/suffix.rs crates/codec/src/varint.rs
+
+crates/codec/src/lib.rs:
+crates/codec/src/arith.rs:
+crates/codec/src/bitio.rs:
+crates/codec/src/checksum.rs:
+crates/codec/src/ctw.rs:
+crates/codec/src/edit.rs:
+crates/codec/src/error.rs:
+crates/codec/src/fibonacci.rs:
+crates/codec/src/huffman.rs:
+crates/codec/src/lz.rs:
+crates/codec/src/models.rs:
+crates/codec/src/repeats.rs:
+crates/codec/src/spaced.rs:
+crates/codec/src/suffix.rs:
+crates/codec/src/varint.rs:

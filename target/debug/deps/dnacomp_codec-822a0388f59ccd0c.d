@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/dnacomp_codec-822a0388f59ccd0c.d: crates/codec/src/lib.rs crates/codec/src/arith.rs crates/codec/src/bitio.rs crates/codec/src/checksum.rs crates/codec/src/ctw.rs crates/codec/src/edit.rs crates/codec/src/error.rs crates/codec/src/fibonacci.rs crates/codec/src/huffman.rs crates/codec/src/lz.rs crates/codec/src/models.rs crates/codec/src/repeats.rs crates/codec/src/spaced.rs crates/codec/src/suffix.rs crates/codec/src/varint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdnacomp_codec-822a0388f59ccd0c.rmeta: crates/codec/src/lib.rs crates/codec/src/arith.rs crates/codec/src/bitio.rs crates/codec/src/checksum.rs crates/codec/src/ctw.rs crates/codec/src/edit.rs crates/codec/src/error.rs crates/codec/src/fibonacci.rs crates/codec/src/huffman.rs crates/codec/src/lz.rs crates/codec/src/models.rs crates/codec/src/repeats.rs crates/codec/src/spaced.rs crates/codec/src/suffix.rs crates/codec/src/varint.rs Cargo.toml
+
+crates/codec/src/lib.rs:
+crates/codec/src/arith.rs:
+crates/codec/src/bitio.rs:
+crates/codec/src/checksum.rs:
+crates/codec/src/ctw.rs:
+crates/codec/src/edit.rs:
+crates/codec/src/error.rs:
+crates/codec/src/fibonacci.rs:
+crates/codec/src/huffman.rs:
+crates/codec/src/lz.rs:
+crates/codec/src/models.rs:
+crates/codec/src/repeats.rs:
+crates/codec/src/spaced.rs:
+crates/codec/src/suffix.rs:
+crates/codec/src/varint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

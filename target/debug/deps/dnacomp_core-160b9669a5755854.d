@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dnacomp_core-160b9669a5755854.d: crates/core/src/lib.rs crates/core/src/context.rs crates/core/src/dataset.rs crates/core/src/experiment.rs crates/core/src/framework.rs crates/core/src/labeler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdnacomp_core-160b9669a5755854.rmeta: crates/core/src/lib.rs crates/core/src/context.rs crates/core/src/dataset.rs crates/core/src/experiment.rs crates/core/src/framework.rs crates/core/src/labeler.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/context.rs:
+crates/core/src/dataset.rs:
+crates/core/src/experiment.rs:
+crates/core/src/framework.rs:
+crates/core/src/labeler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

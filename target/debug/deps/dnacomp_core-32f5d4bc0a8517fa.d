@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dnacomp_core-32f5d4bc0a8517fa.d: crates/core/src/lib.rs crates/core/src/context.rs crates/core/src/dataset.rs crates/core/src/experiment.rs crates/core/src/framework.rs crates/core/src/labeler.rs
+
+/root/repo/target/debug/deps/dnacomp_core-32f5d4bc0a8517fa: crates/core/src/lib.rs crates/core/src/context.rs crates/core/src/dataset.rs crates/core/src/experiment.rs crates/core/src/framework.rs crates/core/src/labeler.rs
+
+crates/core/src/lib.rs:
+crates/core/src/context.rs:
+crates/core/src/dataset.rs:
+crates/core/src/experiment.rs:
+crates/core/src/framework.rs:
+crates/core/src/labeler.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dnacomp_core-d3d7d0bf815d009e.d: crates/core/src/lib.rs crates/core/src/context.rs crates/core/src/dataset.rs crates/core/src/experiment.rs crates/core/src/framework.rs crates/core/src/labeler.rs
+
+/root/repo/target/debug/deps/libdnacomp_core-d3d7d0bf815d009e.rlib: crates/core/src/lib.rs crates/core/src/context.rs crates/core/src/dataset.rs crates/core/src/experiment.rs crates/core/src/framework.rs crates/core/src/labeler.rs
+
+/root/repo/target/debug/deps/libdnacomp_core-d3d7d0bf815d009e.rmeta: crates/core/src/lib.rs crates/core/src/context.rs crates/core/src/dataset.rs crates/core/src/experiment.rs crates/core/src/framework.rs crates/core/src/labeler.rs
+
+crates/core/src/lib.rs:
+crates/core/src/context.rs:
+crates/core/src/dataset.rs:
+crates/core/src/experiment.rs:
+crates/core/src/framework.rs:
+crates/core/src/labeler.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dnacomp_ml-2a18f71ede9d38a7.d: crates/ml/src/lib.rs crates/ml/src/cart.rs crates/ml/src/chaid.rs crates/ml/src/dataset.rs crates/ml/src/metrics.rs crates/ml/src/stats.rs crates/ml/src/tree.rs
+
+/root/repo/target/debug/deps/libdnacomp_ml-2a18f71ede9d38a7.rlib: crates/ml/src/lib.rs crates/ml/src/cart.rs crates/ml/src/chaid.rs crates/ml/src/dataset.rs crates/ml/src/metrics.rs crates/ml/src/stats.rs crates/ml/src/tree.rs
+
+/root/repo/target/debug/deps/libdnacomp_ml-2a18f71ede9d38a7.rmeta: crates/ml/src/lib.rs crates/ml/src/cart.rs crates/ml/src/chaid.rs crates/ml/src/dataset.rs crates/ml/src/metrics.rs crates/ml/src/stats.rs crates/ml/src/tree.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/cart.rs:
+crates/ml/src/chaid.rs:
+crates/ml/src/dataset.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/stats.rs:
+crates/ml/src/tree.rs:

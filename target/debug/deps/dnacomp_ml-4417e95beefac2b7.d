@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dnacomp_ml-4417e95beefac2b7.d: crates/ml/src/lib.rs crates/ml/src/cart.rs crates/ml/src/chaid.rs crates/ml/src/dataset.rs crates/ml/src/metrics.rs crates/ml/src/stats.rs crates/ml/src/tree.rs
+
+/root/repo/target/debug/deps/dnacomp_ml-4417e95beefac2b7: crates/ml/src/lib.rs crates/ml/src/cart.rs crates/ml/src/chaid.rs crates/ml/src/dataset.rs crates/ml/src/metrics.rs crates/ml/src/stats.rs crates/ml/src/tree.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/cart.rs:
+crates/ml/src/chaid.rs:
+crates/ml/src/dataset.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/stats.rs:
+crates/ml/src/tree.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dnacomp_ml-558050b01b43d9d5.d: crates/ml/src/lib.rs crates/ml/src/cart.rs crates/ml/src/chaid.rs crates/ml/src/dataset.rs crates/ml/src/metrics.rs crates/ml/src/stats.rs crates/ml/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdnacomp_ml-558050b01b43d9d5.rmeta: crates/ml/src/lib.rs crates/ml/src/cart.rs crates/ml/src/chaid.rs crates/ml/src/dataset.rs crates/ml/src/metrics.rs crates/ml/src/stats.rs crates/ml/src/tree.rs Cargo.toml
+
+crates/ml/src/lib.rs:
+crates/ml/src/cart.rs:
+crates/ml/src/chaid.rs:
+crates/ml/src/dataset.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/stats.rs:
+crates/ml/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

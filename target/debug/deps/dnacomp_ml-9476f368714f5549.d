@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dnacomp_ml-9476f368714f5549.d: crates/ml/src/lib.rs crates/ml/src/cart.rs crates/ml/src/chaid.rs crates/ml/src/dataset.rs crates/ml/src/metrics.rs crates/ml/src/stats.rs crates/ml/src/tree.rs
+
+/root/repo/target/debug/deps/libdnacomp_ml-9476f368714f5549.rlib: crates/ml/src/lib.rs crates/ml/src/cart.rs crates/ml/src/chaid.rs crates/ml/src/dataset.rs crates/ml/src/metrics.rs crates/ml/src/stats.rs crates/ml/src/tree.rs
+
+/root/repo/target/debug/deps/libdnacomp_ml-9476f368714f5549.rmeta: crates/ml/src/lib.rs crates/ml/src/cart.rs crates/ml/src/chaid.rs crates/ml/src/dataset.rs crates/ml/src/metrics.rs crates/ml/src/stats.rs crates/ml/src/tree.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/cart.rs:
+crates/ml/src/chaid.rs:
+crates/ml/src/dataset.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/stats.rs:
+crates/ml/src/tree.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dnacomp_seq-9e7717d0a0e038f8.d: crates/seq/src/lib.rs crates/seq/src/base.rs crates/seq/src/corpus.rs crates/seq/src/error.rs crates/seq/src/fasta.rs crates/seq/src/fastq.rs crates/seq/src/gen.rs crates/seq/src/kmer.rs crates/seq/src/packed.rs crates/seq/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdnacomp_seq-9e7717d0a0e038f8.rmeta: crates/seq/src/lib.rs crates/seq/src/base.rs crates/seq/src/corpus.rs crates/seq/src/error.rs crates/seq/src/fasta.rs crates/seq/src/fastq.rs crates/seq/src/gen.rs crates/seq/src/kmer.rs crates/seq/src/packed.rs crates/seq/src/stats.rs Cargo.toml
+
+crates/seq/src/lib.rs:
+crates/seq/src/base.rs:
+crates/seq/src/corpus.rs:
+crates/seq/src/error.rs:
+crates/seq/src/fasta.rs:
+crates/seq/src/fastq.rs:
+crates/seq/src/gen.rs:
+crates/seq/src/kmer.rs:
+crates/seq/src/packed.rs:
+crates/seq/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dnacomp_seq-e3b23af320fe6a98.d: crates/seq/src/lib.rs crates/seq/src/base.rs crates/seq/src/corpus.rs crates/seq/src/error.rs crates/seq/src/fasta.rs crates/seq/src/fastq.rs crates/seq/src/gen.rs crates/seq/src/kmer.rs crates/seq/src/packed.rs crates/seq/src/stats.rs
+
+/root/repo/target/debug/deps/dnacomp_seq-e3b23af320fe6a98: crates/seq/src/lib.rs crates/seq/src/base.rs crates/seq/src/corpus.rs crates/seq/src/error.rs crates/seq/src/fasta.rs crates/seq/src/fastq.rs crates/seq/src/gen.rs crates/seq/src/kmer.rs crates/seq/src/packed.rs crates/seq/src/stats.rs
+
+crates/seq/src/lib.rs:
+crates/seq/src/base.rs:
+crates/seq/src/corpus.rs:
+crates/seq/src/error.rs:
+crates/seq/src/fasta.rs:
+crates/seq/src/fastq.rs:
+crates/seq/src/gen.rs:
+crates/seq/src/kmer.rs:
+crates/seq/src/packed.rs:
+crates/seq/src/stats.rs:

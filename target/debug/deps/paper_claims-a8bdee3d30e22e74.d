@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-a8bdee3d30e22e74.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-a8bdee3d30e22e74: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-9934a1a888849511.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-9934a1a888849511: tests/properties.rs
+
+tests/properties.rs:

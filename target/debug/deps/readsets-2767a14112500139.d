@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/readsets-2767a14112500139.d: tests/readsets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreadsets-2767a14112500139.rmeta: tests/readsets.rs Cargo.toml
+
+tests/readsets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/readsets-4c9afa8b1b2539a5.d: tests/readsets.rs
+
+/root/repo/target/debug/deps/readsets-4c9afa8b1b2539a5: tests/readsets.rs
+
+tests/readsets.rs:

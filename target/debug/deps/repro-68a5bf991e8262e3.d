@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro-68a5bf991e8262e3.d: crates/bench/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro-68a5bf991e8262e3.rmeta: crates/bench/src/main.rs Cargo.toml
+
+crates/bench/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

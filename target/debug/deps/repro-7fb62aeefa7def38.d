@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-7fb62aeefa7def38.d: crates/bench/src/main.rs
+
+/root/repo/target/debug/deps/repro-7fb62aeefa7def38: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

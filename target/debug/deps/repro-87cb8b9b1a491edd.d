@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-87cb8b9b1a491edd.d: crates/bench/src/main.rs
+
+/root/repo/target/debug/deps/repro-87cb8b9b1a491edd: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip-bb98ef4580f9507c.d: tests/roundtrip.rs
+
+/root/repo/target/debug/deps/roundtrip-bb98ef4580f9507c: tests/roundtrip.rs
+
+tests/roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/selector-41dcd060b0d5140d.d: crates/bench/benches/selector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libselector-41dcd060b0d5140d.rmeta: crates/bench/benches/selector.rs Cargo.toml
+
+crates/bench/benches/selector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

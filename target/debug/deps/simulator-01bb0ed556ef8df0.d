@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator-01bb0ed556ef8df0.d: tests/simulator.rs
+
+/root/repo/target/debug/deps/simulator-01bb0ed556ef8df0: tests/simulator.rs
+
+tests/simulator.rs:

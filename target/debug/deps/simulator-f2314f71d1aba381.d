@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulator-f2314f71d1aba381.d: tests/simulator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulator-f2314f71d1aba381.rmeta: tests/simulator.rs Cargo.toml
+
+tests/simulator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cloud_exchange-0e0219bd834f50c1.d: examples/cloud_exchange.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcloud_exchange-0e0219bd834f50c1.rmeta: examples/cloud_exchange.rs Cargo.toml
+
+examples/cloud_exchange.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

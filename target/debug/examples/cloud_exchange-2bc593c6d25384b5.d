@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cloud_exchange-2bc593c6d25384b5.d: examples/cloud_exchange.rs
+
+/root/repo/target/debug/examples/cloud_exchange-2bc593c6d25384b5: examples/cloud_exchange.rs
+
+examples/cloud_exchange.rs:

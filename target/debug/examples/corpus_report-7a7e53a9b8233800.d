@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/corpus_report-7a7e53a9b8233800.d: examples/corpus_report.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcorpus_report-7a7e53a9b8233800.rmeta: examples/corpus_report.rs Cargo.toml
+
+examples/corpus_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/corpus_report-c6f7872c42bca215.d: examples/corpus_report.rs
+
+/root/repo/target/debug/examples/corpus_report-c6f7872c42bca215: examples/corpus_report.rs
+
+examples/corpus_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/heapdbg-eb45337fa202b25f.d: examples/heapdbg.rs
+
+/root/repo/target/debug/examples/heapdbg-eb45337fa202b25f: examples/heapdbg.rs
+
+examples/heapdbg.rs:

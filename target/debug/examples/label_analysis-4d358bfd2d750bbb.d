@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/label_analysis-4d358bfd2d750bbb.d: crates/core/examples/label_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblabel_analysis-4d358bfd2d750bbb.rmeta: crates/core/examples/label_analysis.rs Cargo.toml
+
+crates/core/examples/label_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/label_analysis-8fda53dcf6c038b1.d: crates/core/examples/label_analysis.rs
+
+/root/repo/target/debug/examples/label_analysis-8fda53dcf6c038b1: crates/core/examples/label_analysis.rs
+
+crates/core/examples/label_analysis.rs:

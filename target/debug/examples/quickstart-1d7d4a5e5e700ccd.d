@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1d7d4a5e5e700ccd.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1d7d4a5e5e700ccd: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-542a91770f34da65.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-542a91770f34da65.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/read_set-c08b272d5c453fcf.d: examples/read_set.rs Cargo.toml
+
+/root/repo/target/debug/examples/libread_set-c08b272d5c453fcf.rmeta: examples/read_set.rs Cargo.toml
+
+examples/read_set.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/read_set-c58b42dd481617df.d: examples/read_set.rs
+
+/root/repo/target/debug/examples/read_set-c58b42dd481617df: examples/read_set.rs
+
+examples/read_set.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/train_selector-e87a4b7a5affdaa4.d: examples/train_selector.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrain_selector-e87a4b7a5affdaa4.rmeta: examples/train_selector.rs Cargo.toml
+
+examples/train_selector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

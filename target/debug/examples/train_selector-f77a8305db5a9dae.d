@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/train_selector-f77a8305db5a9dae.d: examples/train_selector.rs
+
+/root/repo/target/debug/examples/train_selector-f77a8305db5a9dae: examples/train_selector.rs
+
+examples/train_selector.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dnacomp-1886f0733e15d7fc.d: src/bin/dnacomp.rs
+
+/root/repo/target/release/deps/dnacomp-1886f0733e15d7fc: src/bin/dnacomp.rs
+
+src/bin/dnacomp.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dnacomp-9b8342279966398b.d: src/lib.rs
+
+/root/repo/target/release/deps/libdnacomp-9b8342279966398b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdnacomp-9b8342279966398b.rmeta: src/lib.rs
+
+src/lib.rs:

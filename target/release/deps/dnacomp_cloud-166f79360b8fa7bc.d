@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dnacomp_cloud-166f79360b8fa7bc.d: crates/cloud/src/lib.rs crates/cloud/src/ace.rs crates/cloud/src/blobstore.rs crates/cloud/src/error.rs crates/cloud/src/fault.rs crates/cloud/src/grid.rs crates/cloud/src/machine.rs crates/cloud/src/perf.rs crates/cloud/src/retry.rs crates/cloud/src/sim.rs
+
+/root/repo/target/release/deps/libdnacomp_cloud-166f79360b8fa7bc.rlib: crates/cloud/src/lib.rs crates/cloud/src/ace.rs crates/cloud/src/blobstore.rs crates/cloud/src/error.rs crates/cloud/src/fault.rs crates/cloud/src/grid.rs crates/cloud/src/machine.rs crates/cloud/src/perf.rs crates/cloud/src/retry.rs crates/cloud/src/sim.rs
+
+/root/repo/target/release/deps/libdnacomp_cloud-166f79360b8fa7bc.rmeta: crates/cloud/src/lib.rs crates/cloud/src/ace.rs crates/cloud/src/blobstore.rs crates/cloud/src/error.rs crates/cloud/src/fault.rs crates/cloud/src/grid.rs crates/cloud/src/machine.rs crates/cloud/src/perf.rs crates/cloud/src/retry.rs crates/cloud/src/sim.rs
+
+crates/cloud/src/lib.rs:
+crates/cloud/src/ace.rs:
+crates/cloud/src/blobstore.rs:
+crates/cloud/src/error.rs:
+crates/cloud/src/fault.rs:
+crates/cloud/src/grid.rs:
+crates/cloud/src/machine.rs:
+crates/cloud/src/perf.rs:
+crates/cloud/src/retry.rs:
+crates/cloud/src/sim.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/dnacomp_codec-851b6d2d2a7c2a69.d: crates/codec/src/lib.rs crates/codec/src/arith.rs crates/codec/src/bitio.rs crates/codec/src/checksum.rs crates/codec/src/ctw.rs crates/codec/src/edit.rs crates/codec/src/error.rs crates/codec/src/fibonacci.rs crates/codec/src/huffman.rs crates/codec/src/lz.rs crates/codec/src/models.rs crates/codec/src/repeats.rs crates/codec/src/spaced.rs crates/codec/src/suffix.rs crates/codec/src/varint.rs
+
+/root/repo/target/release/deps/libdnacomp_codec-851b6d2d2a7c2a69.rlib: crates/codec/src/lib.rs crates/codec/src/arith.rs crates/codec/src/bitio.rs crates/codec/src/checksum.rs crates/codec/src/ctw.rs crates/codec/src/edit.rs crates/codec/src/error.rs crates/codec/src/fibonacci.rs crates/codec/src/huffman.rs crates/codec/src/lz.rs crates/codec/src/models.rs crates/codec/src/repeats.rs crates/codec/src/spaced.rs crates/codec/src/suffix.rs crates/codec/src/varint.rs
+
+/root/repo/target/release/deps/libdnacomp_codec-851b6d2d2a7c2a69.rmeta: crates/codec/src/lib.rs crates/codec/src/arith.rs crates/codec/src/bitio.rs crates/codec/src/checksum.rs crates/codec/src/ctw.rs crates/codec/src/edit.rs crates/codec/src/error.rs crates/codec/src/fibonacci.rs crates/codec/src/huffman.rs crates/codec/src/lz.rs crates/codec/src/models.rs crates/codec/src/repeats.rs crates/codec/src/spaced.rs crates/codec/src/suffix.rs crates/codec/src/varint.rs
+
+crates/codec/src/lib.rs:
+crates/codec/src/arith.rs:
+crates/codec/src/bitio.rs:
+crates/codec/src/checksum.rs:
+crates/codec/src/ctw.rs:
+crates/codec/src/edit.rs:
+crates/codec/src/error.rs:
+crates/codec/src/fibonacci.rs:
+crates/codec/src/huffman.rs:
+crates/codec/src/lz.rs:
+crates/codec/src/models.rs:
+crates/codec/src/repeats.rs:
+crates/codec/src/spaced.rs:
+crates/codec/src/suffix.rs:
+crates/codec/src/varint.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dnacomp_core-670ae7e5d5a56acd.d: crates/core/src/lib.rs crates/core/src/context.rs crates/core/src/dataset.rs crates/core/src/experiment.rs crates/core/src/framework.rs crates/core/src/labeler.rs
+
+/root/repo/target/release/deps/libdnacomp_core-670ae7e5d5a56acd.rlib: crates/core/src/lib.rs crates/core/src/context.rs crates/core/src/dataset.rs crates/core/src/experiment.rs crates/core/src/framework.rs crates/core/src/labeler.rs
+
+/root/repo/target/release/deps/libdnacomp_core-670ae7e5d5a56acd.rmeta: crates/core/src/lib.rs crates/core/src/context.rs crates/core/src/dataset.rs crates/core/src/experiment.rs crates/core/src/framework.rs crates/core/src/labeler.rs
+
+crates/core/src/lib.rs:
+crates/core/src/context.rs:
+crates/core/src/dataset.rs:
+crates/core/src/experiment.rs:
+crates/core/src/framework.rs:
+crates/core/src/labeler.rs:

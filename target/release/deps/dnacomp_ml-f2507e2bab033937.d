@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dnacomp_ml-f2507e2bab033937.d: crates/ml/src/lib.rs crates/ml/src/cart.rs crates/ml/src/chaid.rs crates/ml/src/dataset.rs crates/ml/src/metrics.rs crates/ml/src/stats.rs crates/ml/src/tree.rs
+
+/root/repo/target/release/deps/libdnacomp_ml-f2507e2bab033937.rlib: crates/ml/src/lib.rs crates/ml/src/cart.rs crates/ml/src/chaid.rs crates/ml/src/dataset.rs crates/ml/src/metrics.rs crates/ml/src/stats.rs crates/ml/src/tree.rs
+
+/root/repo/target/release/deps/libdnacomp_ml-f2507e2bab033937.rmeta: crates/ml/src/lib.rs crates/ml/src/cart.rs crates/ml/src/chaid.rs crates/ml/src/dataset.rs crates/ml/src/metrics.rs crates/ml/src/stats.rs crates/ml/src/tree.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/cart.rs:
+crates/ml/src/chaid.rs:
+crates/ml/src/dataset.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/stats.rs:
+crates/ml/src/tree.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dnacomp_seq-1ff655e678fa8816.d: crates/seq/src/lib.rs crates/seq/src/base.rs crates/seq/src/corpus.rs crates/seq/src/error.rs crates/seq/src/fasta.rs crates/seq/src/fastq.rs crates/seq/src/gen.rs crates/seq/src/kmer.rs crates/seq/src/packed.rs crates/seq/src/stats.rs
+
+/root/repo/target/release/deps/libdnacomp_seq-1ff655e678fa8816.rlib: crates/seq/src/lib.rs crates/seq/src/base.rs crates/seq/src/corpus.rs crates/seq/src/error.rs crates/seq/src/fasta.rs crates/seq/src/fastq.rs crates/seq/src/gen.rs crates/seq/src/kmer.rs crates/seq/src/packed.rs crates/seq/src/stats.rs
+
+/root/repo/target/release/deps/libdnacomp_seq-1ff655e678fa8816.rmeta: crates/seq/src/lib.rs crates/seq/src/base.rs crates/seq/src/corpus.rs crates/seq/src/error.rs crates/seq/src/fasta.rs crates/seq/src/fastq.rs crates/seq/src/gen.rs crates/seq/src/kmer.rs crates/seq/src/packed.rs crates/seq/src/stats.rs
+
+crates/seq/src/lib.rs:
+crates/seq/src/base.rs:
+crates/seq/src/corpus.rs:
+crates/seq/src/error.rs:
+crates/seq/src/fasta.rs:
+crates/seq/src/fastq.rs:
+crates/seq/src/gen.rs:
+crates/seq/src/kmer.rs:
+crates/seq/src/packed.rs:
+crates/seq/src/stats.rs:

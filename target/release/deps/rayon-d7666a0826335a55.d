@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-d7666a0826335a55.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-d7666a0826335a55.rlib: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-d7666a0826335a55.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/chaos_probe-12ab6e7b6a0534c7.d: examples/chaos_probe.rs
+
+/root/repo/target/release/examples/chaos_probe-12ab6e7b6a0534c7: examples/chaos_probe.rs
+
+examples/chaos_probe.rs:

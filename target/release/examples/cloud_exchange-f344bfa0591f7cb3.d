@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cloud_exchange-f344bfa0591f7cb3.d: examples/cloud_exchange.rs
+
+/root/repo/target/release/examples/cloud_exchange-f344bfa0591f7cb3: examples/cloud_exchange.rs
+
+examples/cloud_exchange.rs:
