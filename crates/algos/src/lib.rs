@@ -62,6 +62,17 @@ use dnacomp_codec::CodecError;
 use dnacomp_seq::PackedSeq;
 
 /// A DNA sequence compressor with deterministic resource accounting.
+///
+/// # Statelessness contract
+///
+/// Implementations are **stateless across jobs**: all methods take
+/// `&self`, the trait requires `Send + Sync`, and every model/table a
+/// codec builds lives on the call stack of the method that needs it.
+/// One boxed compressor can therefore be reused for any number of
+/// sequences — including concurrently from a worker pool — and must
+/// produce byte-identical output to a freshly constructed instance
+/// (`lib::tests::compressors_are_reusable_across_threads` enforces
+/// this for the whole registry).
 pub trait Compressor: Send + Sync {
     /// The algorithm this compressor implements.
     fn algorithm(&self) -> Algorithm;
@@ -157,6 +168,34 @@ mod tests {
         for alg in Algorithm::HORIZONTAL {
             let c = compressor_for(alg);
             assert_eq!(c.algorithm(), alg);
+        }
+    }
+
+    #[test]
+    fn compressors_are_reusable_across_threads() {
+        use dnacomp_seq::gen::GenomeModel;
+        use std::sync::Arc;
+        // One shared instance per algorithm, driven from several
+        // threads on different sequences: output must match a fresh
+        // instance compressing the same input (no hidden state).
+        for alg in Algorithm::HORIZONTAL {
+            let shared: Arc<dyn Compressor> = Arc::from(compressor_for(alg));
+            let threads: Vec<_> = (0..3u64)
+                .map(|t| {
+                    let c = Arc::clone(&shared);
+                    std::thread::spawn(move || {
+                        let seq = GenomeModel::default().generate(4_000 + t as usize * 512, t);
+                        let blob = c.compress(&seq).unwrap();
+                        assert_eq!(c.decompress(&blob).unwrap(), seq);
+                        (seq, blob)
+                    })
+                })
+                .collect();
+            for t in threads {
+                let (seq, blob) = t.join().unwrap();
+                let fresh = compressor_for(alg).compress(&seq).unwrap();
+                assert_eq!(blob, fresh, "{alg} output depends on instance history");
+            }
         }
     }
 

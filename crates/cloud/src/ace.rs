@@ -49,7 +49,23 @@ impl Forecaster {
     /// Absorb an observation. Observations are durations/costs, so
     /// non-finite or negative samples (a failed or mis-clocked
     /// measurement) are ignored rather than poisoning the EWMA — a NaN
-    /// absorbed once would otherwise stick forever.
+    /// absorbed once would otherwise stick forever, because every
+    /// subsequent blend `v + α·(x − v)` of a NaN forecast is NaN again.
+    ///
+    /// ```
+    /// use dnacomp_cloud::Forecaster;
+    /// let mut f = Forecaster::new(0.5);
+    /// f.observe(10.0);
+    /// // Garbage samples bounce off the guard: the forecast is
+    /// // unchanged, not poisoned.
+    /// f.observe(f64::NAN);
+    /// f.observe(f64::INFINITY);
+    /// f.observe(-3.0);
+    /// assert_eq!(f.forecast(), Some(10.0));
+    /// // Valid samples keep blending as usual.
+    /// f.observe(20.0);
+    /// assert_eq!(f.forecast(), Some(15.0));
+    /// ```
     pub fn observe(&mut self, x: f64) {
         if !x.is_finite() || x < 0.0 {
             return;

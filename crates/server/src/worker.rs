@@ -1,0 +1,135 @@
+//! The worker pool: per-thread simulator + breaker, shared everything
+//! else.
+//!
+//! Each worker owns what must be mutable — a [`CloudSim`] (its own blob
+//! store, so staged uploads never interleave across jobs) and a
+//! [`CircuitBreaker`] for the degradation ladder — and shares what is
+//! read-only or concurrent-safe: the [`FrameworkHandle`] rule snapshot,
+//! the LRU decision cache and the metrics registry.
+//!
+//! Determinism: fault injection keys on `(algorithm, file, block,
+//! attempt)`, never on the worker id or wall clock, so a job's outcome
+//! is identical no matter which worker runs it or in what order — the
+//! property the stress suite's "deterministic totals" assertion pins
+//! down (with [`ServiceConfig::breaker_threshold`] set high enough that
+//! ladder skipping cannot depend on a worker's job history).
+
+use crate::cache::ContextKey;
+use crate::metrics::Metrics;
+use crate::queue::JobQueue;
+use crate::service::{
+    CompressResponse, Job, JobError, JobResult, LruMap, ServiceConfig,
+};
+use dnacomp_algos::compressor_for;
+use dnacomp_cloud::{BlobStore, CloudSim};
+use dnacomp_core::{run_ladder, CircuitBreaker, FrameworkHandle};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Everything one worker thread needs.
+pub(crate) struct WorkerContext {
+    pub(crate) id: usize,
+    pub(crate) queue: Arc<JobQueue<Job>>,
+    pub(crate) framework: FrameworkHandle,
+    pub(crate) cache: Arc<LruMap>,
+    pub(crate) metrics: Arc<Metrics>,
+    pub(crate) config: ServiceConfig,
+}
+
+fn build_sim(config: &ServiceConfig) -> CloudSim {
+    let mut sim = CloudSim::default();
+    if let Some(bytes) = config.block_bytes {
+        sim.store = BlobStore::with_block_bytes(bytes);
+    }
+    sim.faults = config.faults;
+    sim.retry = config.retry;
+    sim
+}
+
+/// Worker main loop: drain the queue until it is closed and empty.
+pub(crate) fn run(ctx: WorkerContext) {
+    let mut sim = build_sim(&ctx.config);
+    let mut breaker = CircuitBreaker::with_threshold(ctx.config.breaker_threshold);
+    while let Some(job) = ctx.queue.pop() {
+        ctx.metrics.record_dequeued();
+        let waited = job.submitted.elapsed();
+        if let Some(deadline) = job.req.deadline {
+            if waited > deadline {
+                ctx.metrics.record_expired();
+                let _ = job.reply.send(Err(JobError::Expired {
+                    waited_ms: waited.as_secs_f64() * 1e3,
+                }));
+                continue;
+            }
+        }
+        let result = execute(&ctx, &mut sim, &mut breaker, &job);
+        match &result {
+            Ok(r) => ctx.metrics.record_completed(r.algorithm, r.sim_ms),
+            Err(_) => ctx.metrics.record_failed(),
+        }
+        // A dropped ticket is a caller choice, not a service error.
+        let _ = job.reply.send(result);
+    }
+}
+
+/// Run one job: cached decision → compress (or full exchange).
+fn execute(
+    ctx: &WorkerContext,
+    sim: &mut CloudSim,
+    breaker: &mut CircuitBreaker,
+    job: &Job,
+) -> JobResult {
+    let req = &job.req;
+    let t0 = Instant::now();
+    let key = ContextKey::quantize(&req.context);
+    let (decided, cache_hit) = {
+        let mut cache = ctx.cache.lock().expect("cache poisoned");
+        if let Some(&alg) = cache.get(&key) {
+            ctx.metrics.record_cache_hit();
+            (alg, true)
+        } else {
+            ctx.metrics.record_cache_miss();
+            // Decide on the key's canonical context, not the raw one:
+            // the cached value must be a pure function of the key so
+            // fill order (a race) cannot change any job's outcome.
+            let alg = ctx.framework.decide(&key.canonical());
+            cache.insert(key, alg);
+            (alg, false)
+        }
+    };
+    if req.exchange {
+        match run_ladder(decided, breaker, sim, &req.context, &req.file, &req.sequence) {
+            Ok((used, report)) => Ok(CompressResponse {
+                file: req.file.clone(),
+                algorithm: used,
+                original_len: req.sequence.len(),
+                compressed_bytes: report.compressed_bytes,
+                sim_ms: report.total_ms(),
+                wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+                cache_hit,
+                worker: ctx.id,
+                retries: report.retries,
+                degraded_from: report.degraded_from,
+            }),
+            Err(e) => Err(JobError::Exchange(e)),
+        }
+    } else {
+        match compressor_for(decided).compress_with_stats(&req.sequence) {
+            Ok((blob, stats)) => Ok(CompressResponse {
+                file: req.file.clone(),
+                algorithm: decided,
+                original_len: req.sequence.len(),
+                compressed_bytes: blob.total_bytes(),
+                sim_ms: sim
+                    .perf
+                    .compress_ms(&req.context.client(), decided, &req.file, &stats),
+                wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+                cache_hit,
+                worker: ctx.id,
+                retries: 0,
+                degraded_from: Vec::new(),
+            }),
+            Err(e) => Err(JobError::Exchange(e.into())),
+        }
+    }
+}

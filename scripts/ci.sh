@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# CI gate for the dnacomp workspace.
+#
+# Runs the tier-1 verification (release build, full test suite, clippy
+# with warnings denied) and then the service stress test under an
+# explicit wall-clock timeout, so a queue/worker deadlock fails the
+# pipeline instead of hanging it.
+#
+# Usage: scripts/ci.sh [--quick]
+#   --quick   skip the release build (debug test run + clippy only)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick) QUICK=1 ;;
+        *) echo "unknown option: $arg" >&2; exit 2 ;;
+    esac
+done
+
+step() { printf '\n==> %s\n' "$*"; }
+
+if [ "$QUICK" -eq 0 ]; then
+    step "tier-1: cargo build --release"
+    cargo build --release
+fi
+
+step "tier-1: cargo test -q"
+cargo test -q
+
+step "tier-1: cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+# The stress test already ran inside `cargo test`, but there it shares a
+# process with every other integration test; re-run it isolated and
+# under a hard timeout so a deadlock regression is caught as a failure,
+# not as a wedged CI job. 600 s is ~20x its observed runtime.
+step "service stress test (isolated, 600 s timeout)"
+timeout 600 cargo test --release --test service \
+    stress_8_workers_500_jobs_faults_deterministic_no_losses -- --nocapture
+
+step "all gates passed"

@@ -20,6 +20,9 @@ use dnacomp::seq::fasta::{write_fasta, Cleanser, Record};
 use dnacomp::seq::gen::GenomeModel;
 use dnacomp::seq::corpus::CorpusBuilder;
 use dnacomp::seq::PackedSeq;
+use dnacomp::server::{
+    build_workload, run_bench, BenchConfig, CompressionService, ServiceConfig,
+};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -41,9 +44,16 @@ const USAGE: &str = "usage:
   dnacomp decompress <in.dx> <out.fa>
   dnacomp info <in.dx>
   dnacomp decide --ram-mb <n> --cpu-mhz <n> --bw-mbps <x> --file-kb <x>
+  dnacomp serve --workers <n> [--files <n>] [--contexts <n>] [--repeats <n>]
+                [--fault-rate <x>] [--exchange] [--json]
+  dnacomp bench-serve [--workers 1,4,8] [--files <n>] [--contexts <n>]
+                      [--repeats <n>] [--json] [--out <path>]
   dnacomp list
 algorithms: gzip, ctw, gencompress, dnax, biocompress2, dnapack-lite, cfact, xm-lite, raw
-            (`dnacomp list` prints the full set)";
+            (`dnacomp list` prints the full set)
+serve replays the synthetic corpus through the concurrent compression
+service and prints the metrics registry; bench-serve sweeps worker
+counts and reports wall-clock and simulated throughput.";
 
 fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
@@ -52,6 +62,8 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("decompress") => cmd_decompress(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("decide") => cmd_decide(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("bench-serve") => cmd_bench_serve(&args[1..]),
         Some("list") => {
             for alg in Algorithm::HORIZONTAL {
                 println!("{}", alg.name());
@@ -63,15 +75,21 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Flags that take no value (`--json`, not `--json true`).
+const BOOLEAN_FLAGS: [&str; 2] = ["json", "exchange"];
+
 /// Pull `--flag value` out of an argument list; remaining positionals
-/// are returned in order.
+/// are returned in order. Flags in [`BOOLEAN_FLAGS`] consume no value
+/// and are recorded as `"true"`.
 fn parse_flags(args: &[String]) -> (std::collections::HashMap<String, String>, Vec<String>) {
     let mut flags = std::collections::HashMap::new();
     let mut positional = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
-            if let Some(v) = it.next() {
+            if BOOLEAN_FLAGS.contains(&name) {
+                flags.insert(name.to_owned(), "true".to_owned());
+            } else if let Some(v) = it.next() {
                 flags.insert(name.to_owned(), v.clone());
             }
         } else if a == "-a" {
@@ -232,6 +250,146 @@ fn cmd_decide(args: &[String]) -> Result<(), String> {
     println!("context: {ctx:?}");
     println!("compress at all: {}", if worth { "yes" } else { "no" });
     println!("algorithm:       {}", alg.name());
+    Ok(())
+}
+
+/// Shared flag parsing for `serve` / `bench-serve` workloads.
+fn bench_config_from_flags(
+    flags: &std::collections::HashMap<String, String>,
+) -> Result<BenchConfig, String> {
+    let mut cfg = BenchConfig::default();
+    let parse_usize = |name: &str, default: usize| -> Result<usize, String> {
+        flags
+            .get(name)
+            .map(|v| v.parse().map_err(|e| format!("--{name}: {e}")))
+            .unwrap_or(Ok(default))
+    };
+    cfg.files = parse_usize("files", cfg.files)?;
+    cfg.contexts = parse_usize("contexts", cfg.contexts)?;
+    cfg.repeats = parse_usize("repeats", cfg.repeats)?;
+    cfg.seed = flags
+        .get("seed")
+        .map(|v| v.parse().map_err(|e| format!("--seed: {e}")))
+        .unwrap_or(Ok(cfg.seed))?;
+    cfg.exchange = flags.get("exchange").map(String::as_str) == Some("true");
+    Ok(cfg)
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse_flags(args);
+    let workers: usize = flags
+        .get("workers")
+        .ok_or("serve: --workers required")?
+        .parse()
+        .map_err(|e| format!("--workers: {e}"))?;
+    let mut cfg = bench_config_from_flags(&flags)?;
+    let fault_rate: f64 = flags
+        .get("fault-rate")
+        .map(|v| v.parse().map_err(|e| format!("--fault-rate: {e}")))
+        .unwrap_or(Ok(0.0))?;
+    // Faults only bite on blob transfers, so a fault rate implies
+    // full-exchange jobs rather than silently doing nothing.
+    cfg.exchange = cfg.exchange || fault_rate > 0.0;
+    eprintln!(
+        "serving {} corpus files × {} contexts × {} passes on {workers} worker(s) …",
+        cfg.files, cfg.contexts, cfg.repeats
+    );
+    let jobs = build_workload(&cfg);
+    let framework = dnacomp::server::synthetic_framework(cfg.seed);
+    let service = CompressionService::start(
+        framework,
+        ServiceConfig {
+            workers,
+            faults: if fault_rate > 0.0 {
+                dnacomp::cloud::FaultPlan::uniform(cfg.seed, fault_rate)
+            } else {
+                dnacomp::cloud::FaultPlan::none()
+            },
+            block_bytes: (fault_rate > 0.0).then_some(4096),
+            ..ServiceConfig::default()
+        },
+    );
+    let mut tickets = Vec::with_capacity(jobs.len());
+    for job in &jobs {
+        loop {
+            match service.submit(job.clone()) {
+                Ok(t) => {
+                    tickets.push(t);
+                    break;
+                }
+                Err(dnacomp::server::SubmitError::QueueFull) => std::thread::yield_now(),
+                Err(e) => return Err(format!("submit failed: {e}")),
+            }
+        }
+    }
+    for t in tickets {
+        let _ = t.wait(); // failures are visible in the metrics
+    }
+    let snapshot = service.shutdown();
+    if flags.contains_key("json") {
+        println!("{}", snapshot.to_json());
+    } else {
+        println!("jobs:       {} accepted, {} completed, {} failed, {} expired, {} rejected",
+            snapshot.accepted, snapshot.completed, snapshot.failed,
+            snapshot.expired, snapshot.rejected_full);
+        println!(
+            "cache:      {} hits / {} misses ({:.1} % hit rate)",
+            snapshot.cache_hits,
+            snapshot.cache_misses,
+            snapshot.cache_hit_rate * 100.0
+        );
+        println!("queue:      peak depth {}", snapshot.peak_queue_depth);
+        println!(
+            "latency:    p50 {:.1} ms, p95 {:.1} ms, mean {:.1} ms (simulated)",
+            snapshot.latency_p50_ms, snapshot.latency_p95_ms, snapshot.latency_mean_ms
+        );
+        for w in &snapshot.algorithm_wins {
+            println!("wins:       {:<14} {}", w.algorithm, w.wins);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse_flags(args);
+    let mut cfg = bench_config_from_flags(&flags)?;
+    if let Some(list) = flags.get("workers") {
+        cfg.worker_counts = list
+            .split(',')
+            .map(|w| w.trim().parse().map_err(|e| format!("--workers: {e}")))
+            .collect::<Result<_, _>>()?;
+        if cfg.worker_counts.is_empty() {
+            return Err("--workers: need at least one count".into());
+        }
+    }
+    eprintln!(
+        "bench-serve: {} files × {} contexts × {} passes, workers {:?} …",
+        cfg.files, cfg.contexts, cfg.repeats, cfg.worker_counts
+    );
+    let report = run_bench(&cfg);
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if flags.contains_key("json") {
+        println!("{}", report.to_json());
+    } else {
+        println!(
+            "{:>7}  {:>10}  {:>14}  {:>13}  {:>12}  {:>9}",
+            "workers", "jobs/s(sim)", "makespan(sim)", "jobs/s(wall)", "cache hit", "speedup"
+        );
+        for p in &report.sweep {
+            println!(
+                "{:>7}  {:>10.1}  {:>11.0} ms  {:>13.1}  {:>8.1} %  {:>8.2}x",
+                p.workers,
+                p.jobs_per_sim_sec,
+                p.sim_makespan_ms,
+                p.jobs_per_wall_sec,
+                p.cache_hit_rate * 100.0,
+                p.speedup_vs_one
+            );
+        }
+    }
     Ok(())
 }
 

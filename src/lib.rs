@@ -29,6 +29,7 @@ pub use dnacomp_codec as codec;
 pub use dnacomp_core as core;
 pub use dnacomp_ml as ml;
 pub use dnacomp_seq as seq;
+pub use dnacomp_server as server;
 
 /// The most commonly used items across the workspace.
 pub mod prelude {
