@@ -14,6 +14,7 @@
 //! behaviour change to the fault-free pipeline.
 
 use dnacomp_algos::Algorithm;
+use dnacomp_codec::checksum::{unit_interval, Fnv1a};
 
 /// Deterministic per-block fault schedule for one simulated environment.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -36,6 +37,11 @@ pub struct FaultPlan {
     pub degrade_rate: f64,
     /// Wire-time multiplier (> 1) for degraded attempts.
     pub degrade_factor: f64,
+    /// Probability a disk write is torn: the process "dies" having
+    /// persisted only a prefix of the bytes it asked the kernel for.
+    /// Drives the sequence store's crash-recovery tests; zero everywhere
+    /// else.
+    pub torn_write_rate: f64,
 }
 
 /// Which pipeline operation a fault decision is for. Folded into the
@@ -48,6 +54,8 @@ enum FaultKind {
     Corrupt = 3,
     Stall = 4,
     Degrade = 5,
+    TornWrite = 6,
+    TornWriteLen = 7,
 }
 
 impl Default for FaultPlan {
@@ -69,6 +77,18 @@ impl FaultPlan {
             stall_ms: 0.0,
             degrade_rate: 0.0,
             degrade_factor: 1.0,
+            torn_write_rate: 0.0,
+        }
+    }
+
+    /// A disk-fault-only plan: network transfers are clean, but each
+    /// disk write tears with probability `torn_rate`. The store's chaos
+    /// tests run their workload under this plan.
+    pub fn disk(seed: u64, torn_rate: f64) -> Self {
+        FaultPlan {
+            seed,
+            torn_write_rate: torn_rate,
+            ..FaultPlan::none()
         }
     }
 
@@ -85,6 +105,7 @@ impl FaultPlan {
             stall_ms: 40.0,
             degrade_rate: fail_rate / 2.0,
             degrade_factor: 3.0,
+            torn_write_rate: 0.0,
         }
     }
 
@@ -95,25 +116,17 @@ impl FaultPlan {
             && self.corrupt_rate == 0.0
             && self.stall_rate == 0.0
             && self.degrade_rate == 0.0
+            && self.torn_write_rate == 0.0
     }
 
     /// Deterministic unit-interval draw for one (kind, operation) tuple.
     fn unit(&self, kind: FaultKind, alg: Algorithm, file: &str, block: usize, attempt: u32) -> f64 {
-        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.seed;
-        let mut eat = |bytes: &[u8]| {
-            for &b in bytes {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x0000_0100_0000_01b3);
-            }
-        };
-        eat(&[kind as u8, alg.tag()]);
-        eat(file.as_bytes());
-        eat(&(block as u64).to_le_bytes());
-        eat(&attempt.to_le_bytes());
-        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        h ^= h >> 31;
-        (h >> 11) as f64 / (1u64 << 53) as f64
+        let mut h = Fnv1a::with_seed(self.seed);
+        h.update(&[kind as u8, alg.tag()]);
+        h.update(file.as_bytes());
+        h.update(&(block as u64).to_le_bytes());
+        h.update(&attempt.to_le_bytes());
+        unit_interval(h.digest())
     }
 
     fn hit(
@@ -188,6 +201,29 @@ impl FaultPlan {
             1.0
         }
     }
+
+    /// Does the `op`-th disk write to `file` tear? `Some(kept)` means
+    /// the process dies with only the first `kept` bytes (strictly fewer
+    /// than `len`) durable; `None` means the write lands whole. Disk
+    /// faults are keyed on the file and a monotone per-store operation
+    /// counter — there is no algorithm or retry dimension on this path
+    /// ([`Algorithm::Raw`] pads the shared hash tuple).
+    pub fn torn_write(&self, file: &str, op: u64, len: usize) -> Option<usize> {
+        if len == 0
+            || !self.hit(
+                self.torn_write_rate,
+                FaultKind::TornWrite,
+                Algorithm::Raw,
+                file,
+                op as usize,
+                0,
+            )
+        {
+            return None;
+        }
+        let frac = self.unit(FaultKind::TornWriteLen, Algorithm::Raw, file, op as usize, 0);
+        Some((frac * len as f64) as usize)
+    }
 }
 
 #[cfg(test)]
@@ -255,5 +291,31 @@ mod tests {
             .collect();
         assert_ne!(up, down);
         assert_ne!(up, up_gzip);
+    }
+
+    #[test]
+    fn torn_writes_keep_a_strict_prefix() {
+        let p = FaultPlan::disk(13, 1.0);
+        assert!(!p.is_none());
+        for op in 0..200u64 {
+            let kept = p.torn_write("seg-0", op, 64).expect("rate 1.0 always fires");
+            assert!(kept < 64, "torn write must lose at least one byte");
+        }
+        // Zero-length writes cannot tear, and a clean plan never tears.
+        assert_eq!(p.torn_write("seg-0", 0, 0), None);
+        assert_eq!(FaultPlan::none().torn_write("seg-0", 0, 64), None);
+        // Network rates stay untouched by the disk-only constructor.
+        assert_eq!(p.upload_fail_rate, 0.0);
+    }
+
+    #[test]
+    fn torn_write_is_deterministic_per_op() {
+        let a = FaultPlan::disk(5, 0.4);
+        let b = FaultPlan::disk(5, 0.4);
+        for op in 0..300u64 {
+            assert_eq!(a.torn_write("m", op, 128), b.torn_write("m", op, 128));
+        }
+        let fired = (0..300u64).filter(|&op| a.torn_write("m", op, 128).is_some()).count();
+        assert!((60..180).contains(&fired), "{fired}/300 at rate 0.4");
     }
 }

@@ -28,6 +28,7 @@
 
 use crate::machine::{ClientContext, MachineSpec};
 use dnacomp_algos::{Algorithm, ResourceStats};
+use dnacomp_codec::checksum::{unit_interval, Fnv1a};
 
 /// Reference CPU the calibration constants are expressed against (the
 /// i5 host's 2.4 GHz).
@@ -194,22 +195,11 @@ impl PerfModel {
     /// Deterministic unit-interval hash for (context, algorithm, file,
     /// metric tag).
     fn unit(&self, ctx_key: &str, alg: Algorithm, file: &str, tag: u8) -> f64 {
-        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.seed;
-        let mut eat = |bytes: &[u8]| {
-            for &b in bytes {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x0000_0100_0000_01b3);
-            }
-        };
-        eat(ctx_key.as_bytes());
-        eat(&[alg.tag(), tag]);
-        eat(file.as_bytes());
-        // SplitMix64 finaliser: FNV alone leaves the high bits weak for
-        // short inputs, and we consume the top 53 bits below.
-        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        h ^= h >> 31;
-        (h >> 11) as f64 / (1u64 << 53) as f64
+        let mut h = Fnv1a::with_seed(self.seed);
+        h.update(ctx_key.as_bytes());
+        h.update(&[alg.tag(), tag]);
+        h.update(file.as_bytes());
+        unit_interval(h.digest())
     }
 
     fn jitter(&self, ctx_key: &str, alg: Algorithm, file: &str, tag: u8) -> f64 {

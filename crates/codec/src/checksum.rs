@@ -4,6 +4,13 @@
 //! original sequence so that transport corruption (the paper's scenario is
 //! exchange over a lossy cloud path) is detected at decompression time
 //! rather than silently propagating bad genomes downstream.
+//!
+//! This module is the workspace's **single** FNV-1a implementation: the
+//! codec containers, the cloud layer's per-block transfer checksums and
+//! deterministic fault/jitter draws, and the on-disk sequence store all
+//! hash through it. The seeded constructor plus [`mix64`] /
+//! [`unit_interval`] cover the "hash a tuple into a probability" pattern
+//! the simulators use.
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -22,6 +29,13 @@ impl Fnv1a {
     /// Fresh hasher.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Hasher whose offset basis is perturbed by `seed`, yielding an
+    /// independent hash stream per seed (the simulators' trick for
+    /// drawing uncorrelated fault/jitter decisions from one input).
+    pub fn with_seed(seed: u64) -> Self {
+        Fnv1a(FNV_OFFSET ^ seed)
     }
 
     /// Absorb bytes.
@@ -50,6 +64,21 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = Fnv1a::new();
     h.update(bytes);
     h.digest()
+}
+
+/// SplitMix64 finaliser. FNV-1a alone leaves the high bits weak for
+/// short inputs; callers that consume the top bits of a digest (the
+/// unit-interval draws below, content-key derivation) mix first.
+pub fn mix64(mut h: u64) -> u64 {
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+/// Map a digest to a uniform draw in `[0, 1)` (top 53 bits after
+/// [`mix64`]) — the deterministic coin every simulator flips.
+pub fn unit_interval(digest: u64) -> f64 {
+    (mix64(digest) >> 11) as f64 / (1u64 << 53) as f64
 }
 
 #[cfg(test)]
@@ -81,5 +110,37 @@ mod tests {
     fn sensitive_to_single_bit() {
         assert_ne!(fnv1a(b"ACGT"), fnv1a(b"ACGA"));
         assert_ne!(fnv1a(b"\x00"), fnv1a(b"\x01"));
+    }
+
+    #[test]
+    fn seeded_streams_are_independent() {
+        let mut a = Fnv1a::with_seed(1);
+        let mut b = Fnv1a::with_seed(2);
+        a.update(b"ACGT");
+        b.update(b"ACGT");
+        assert_ne!(a.digest(), b.digest());
+        // Seed zero is the plain hasher.
+        let mut c = Fnv1a::with_seed(0);
+        c.update(b"ACGT");
+        assert_eq!(c.digest(), fnv1a(b"ACGT"));
+    }
+
+    #[test]
+    fn unit_interval_is_uniform_enough() {
+        let n = 4000;
+        let mean = (0..n)
+            .map(|i| {
+                let mut h = Fnv1a::with_seed(7);
+                h.update(&(i as u64).to_le_bytes());
+                unit_interval(h.digest())
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        // Draws stay in [0, 1).
+        assert!((0..100).all(|i| {
+            let v = unit_interval(mix64(i));
+            (0.0..1.0).contains(&v)
+        }));
     }
 }

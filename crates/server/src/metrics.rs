@@ -56,6 +56,10 @@ pub struct Metrics {
     wins: [AtomicU64; ALG_SLOTS],
     latency: [AtomicU64; HIST_BUCKETS],
     latency_sum_us: AtomicU64,
+    store_puts: AtomicU64,
+    store_dedup_hits: AtomicU64,
+    store_bytes_on_disk: AtomicU64,
+    store_scrub_failures: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -73,6 +77,10 @@ impl Default for Metrics {
             wins: std::array::from_fn(|_| AtomicU64::new(0)),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
             latency_sum_us: AtomicU64::new(0),
+            store_puts: AtomicU64::new(0),
+            store_dedup_hits: AtomicU64::new(0),
+            store_bytes_on_disk: AtomicU64::new(0),
+            store_scrub_failures: AtomicU64::new(0),
         }
     }
 }
@@ -146,6 +154,24 @@ impl Metrics {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A completed job was persisted into the attached store;
+    /// `deduped` says whether the content was already present.
+    pub fn record_store_put(&self, deduped: bool) {
+        self.store_puts.fetch_add(1, Ordering::Relaxed);
+        if deduped {
+            self.store_dedup_hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Refresh the store gauges from a store snapshot: committed bytes
+    /// on disk and records that ever failed a scrub.
+    pub fn set_store_state(&self, bytes_on_disk: u64, scrub_failures: u64) {
+        self.store_bytes_on_disk
+            .store(bytes_on_disk, Ordering::Relaxed);
+        self.store_scrub_failures
+            .fetch_max(scrub_failures, Ordering::Relaxed);
+    }
+
     /// Jobs currently queued, per this registry's accounting.
     pub fn queue_depth(&self) -> u64 {
         self.queue_depth.load(Ordering::Relaxed)
@@ -212,6 +238,10 @@ impl Metrics {
             } else {
                 self.latency_sum_us.load(Ordering::Relaxed) as f64 / 1_000.0 / completed as f64
             },
+            store_puts: self.store_puts.load(Ordering::Relaxed),
+            store_dedup_hits: self.store_dedup_hits.load(Ordering::Relaxed),
+            store_bytes_on_disk: self.store_bytes_on_disk.load(Ordering::Relaxed),
+            store_scrub_failures: self.store_scrub_failures.load(Ordering::Relaxed),
         }
     }
 }
@@ -257,6 +287,14 @@ pub struct MetricsSnapshot {
     pub latency_p95_ms: f64,
     /// Mean simulated latency, ms.
     pub latency_mean_ms: f64,
+    /// Results persisted into the attached store (0 when stateless).
+    pub store_puts: u64,
+    /// Persisted results the store already held (deduplicated).
+    pub store_dedup_hits: u64,
+    /// Committed store bytes on disk at the last persist.
+    pub store_bytes_on_disk: u64,
+    /// Store records that ever failed checksum validation.
+    pub store_scrub_failures: u64,
 }
 
 impl MetricsSnapshot {

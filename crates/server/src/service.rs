@@ -32,6 +32,7 @@ use dnacomp_algos::Algorithm;
 use dnacomp_cloud::{ExchangeError, FaultPlan, RetryPolicy};
 use dnacomp_core::{Context, FrameworkHandle};
 use dnacomp_seq::PackedSeq;
+use dnacomp_store::{PutOutcome, SequenceStore, StoreError};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -98,6 +99,11 @@ pub struct CompressResponse {
     pub retries: u32,
     /// Algorithms the degradation ladder abandoned before success.
     pub degraded_from: Vec<Algorithm>,
+    /// Where the result landed when the service runs in
+    /// persist-on-complete mode ([`ServiceConfig::store`]): the content
+    /// key plus whether the store already held the sequence. `None`
+    /// when no store is attached.
+    pub persisted: Option<PutOutcome>,
 }
 
 /// Why a ticket resolved without a response.
@@ -112,6 +118,10 @@ pub enum JobError {
     /// The exchange (or compression) failed with a typed error after
     /// exhausting the degradation ladder.
     Exchange(ExchangeError),
+    /// The job compressed fine but persisting it to the attached
+    /// [`SequenceStore`] failed; the result was not delivered because
+    /// persist-on-complete promises the record is durable on success.
+    Store(StoreError),
     /// The worker disappeared without answering (pool torn down
     /// mid-job); should not happen under orderly shutdown.
     WorkerGone,
@@ -124,6 +134,7 @@ impl std::fmt::Display for JobError {
                 write!(f, "job expired after waiting {waited_ms:.1} ms in queue")
             }
             JobError::Exchange(e) => write!(f, "exchange failed: {e}"),
+            JobError::Store(e) => write!(f, "persisting result failed: {e}"),
             JobError::WorkerGone => f.write_str("worker exited without answering"),
         }
     }
@@ -202,6 +213,11 @@ pub struct ServiceConfig {
     /// makes every job's outcome a pure function of the job (full
     /// determinism even under faults).
     pub breaker_threshold: u32,
+    /// Persist-on-complete: every successful job's compressed result is
+    /// `put` into this shared store before the ticket resolves, and the
+    /// response carries the [`PutOutcome`]. `None` (the default) keeps
+    /// the service stateless, as in earlier revisions.
+    pub store: Option<Arc<SequenceStore>>,
 }
 
 impl Default for ServiceConfig {
@@ -214,6 +230,7 @@ impl Default for ServiceConfig {
             retry: RetryPolicy::default(),
             block_bytes: None,
             breaker_threshold: 3,
+            store: None,
         }
     }
 }

@@ -20,9 +20,10 @@ use crate::queue::JobQueue;
 use crate::service::{
     CompressResponse, Job, JobError, JobResult, LruMap, ServiceConfig,
 };
-use dnacomp_algos::compressor_for;
+use dnacomp_algos::{compressor_for, Algorithm, CompressedBlob};
 use dnacomp_cloud::{BlobStore, CloudSim};
 use dnacomp_core::{run_ladder, CircuitBreaker, FrameworkHandle};
+use dnacomp_store::PutOutcome;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -72,6 +73,41 @@ pub(crate) fn run(ctx: WorkerContext) {
     }
 }
 
+/// Persist-on-complete: `put` the job's compressed result into the
+/// attached store (no-op when the service is stateless) and roll the
+/// outcome into the metrics registry. In exchange mode the ladder does
+/// not hand the blob back, so the worker recompresses with the
+/// algorithm the exchange actually used — deterministic, and the store
+/// dedupes by content key anyway.
+fn persist(
+    ctx: &WorkerContext,
+    job: &Job,
+    used: Algorithm,
+    blob: Option<&CompressedBlob>,
+) -> Result<Option<PutOutcome>, JobError> {
+    let Some(store) = &ctx.config.store else {
+        return Ok(None);
+    };
+    let rebuilt;
+    let blob = match blob {
+        Some(b) => b,
+        None => {
+            rebuilt = compressor_for(used)
+                .compress(&job.req.sequence)
+                .map_err(|e| JobError::Exchange(e.into()))?;
+            &rebuilt
+        }
+    };
+    let outcome = store
+        .put(&job.req.sequence, blob)
+        .map_err(JobError::Store)?;
+    ctx.metrics.record_store_put(outcome.deduped);
+    let snap = store.snapshot();
+    ctx.metrics
+        .set_store_state(snap.bytes_on_disk, snap.scrub_failures);
+    Ok(Some(outcome))
+}
+
 /// Run one job: cached decision → compress (or full exchange).
 fn execute(
     ctx: &WorkerContext,
@@ -110,6 +146,7 @@ fn execute(
                 worker: ctx.id,
                 retries: report.retries,
                 degraded_from: report.degraded_from,
+                persisted: persist(ctx, job, used, None)?,
             }),
             Err(e) => Err(JobError::Exchange(e)),
         }
@@ -128,6 +165,7 @@ fn execute(
                 worker: ctx.id,
                 retries: 0,
                 degraded_from: Vec::new(),
+                persisted: persist(ctx, job, decided, Some(&blob))?,
             }),
             Err(e) => Err(JobError::Exchange(e.into())),
         }

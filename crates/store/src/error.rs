@@ -1,0 +1,114 @@
+//! Typed errors for every way the store can fail.
+
+use crate::record::ContentKey;
+use dnacomp_codec::CodecError;
+use std::fmt;
+
+/// Why a store operation failed.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying filesystem operation failed.
+    Io {
+        /// What the store was doing (`"appending segment"`, …).
+        what: &'static str,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// No record with this content key is in the store.
+    NotFound(ContentKey),
+    /// On-disk bytes failed structural or checksum validation — bit rot
+    /// or an outside writer, never a crash (crashes lose only
+    /// uncommitted tails, they do not corrupt committed records).
+    Corrupt {
+        /// What was being decoded when validation failed.
+        what: &'static str,
+        /// The codec-level cause.
+        source: CodecError,
+    },
+    /// A simulated disk fault tore a write: only a prefix of the bytes
+    /// reached "disk" and the store instance is dead, exactly as if the
+    /// process had been killed mid-write. Reopen the directory to
+    /// recover every committed record.
+    TornWrite {
+        /// File the torn write hit.
+        file: String,
+        /// Bytes that survived out of the attempted write.
+        kept: usize,
+        /// Bytes the write asked for.
+        asked: usize,
+    },
+    /// The store already suffered a simulated crash ([`StoreError::TornWrite`]);
+    /// no further mutations are accepted until the directory is reopened.
+    Crashed,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { what, source } => write!(f, "i/o while {what}: {source}"),
+            StoreError::NotFound(key) => write!(f, "no record with key {key}"),
+            StoreError::Corrupt { what, source } => {
+                write!(f, "corrupt {what}: {source}")
+            }
+            StoreError::TornWrite { file, kept, asked } => write!(
+                f,
+                "simulated crash: write to {file} torn after {kept}/{asked} bytes"
+            ),
+            StoreError::Crashed => {
+                f.write_str("store crashed on an earlier torn write; reopen to recover")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Corrupt { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl StoreError {
+    /// Wrap an OS error with the operation it interrupted.
+    pub(crate) fn io(what: &'static str, source: std::io::Error) -> Self {
+        StoreError::Io { what, source }
+    }
+
+    /// `true` for the two simulated-crash variants, which callers
+    /// recover from by reopening the directory.
+    pub fn is_simulated_crash(&self) -> bool {
+        matches!(self, StoreError::TornWrite { .. } | StoreError::Crashed)
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(source: CodecError) -> Self {
+        StoreError::Corrupt {
+            what: "record",
+            source,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StoreError::TornWrite {
+            file: "seg-000001.seg".into(),
+            kept: 3,
+            asked: 40,
+        };
+        assert!(e.to_string().contains("3/40"));
+        assert!(e.is_simulated_crash());
+        assert!(StoreError::Crashed.is_simulated_crash());
+        let e = StoreError::io("x", std::io::Error::other("boom"));
+        assert!(!e.is_simulated_crash());
+        assert!(e.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Sharded in-memory key index, rebuilt from the manifest on open.
+//!
+//! Lookups and inserts lock one of [`SHARDS`] independent maps chosen
+//! by the key's low byte, so concurrent `get`s from service workers
+//! never contend on a global lock. The index is purely a cache of the
+//! manifest — losing it costs a replay, never data.
+
+use crate::manifest::Location;
+use crate::record::ContentKey;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Number of independent index shards.
+pub const SHARDS: usize = 16;
+
+/// The sharded key → location map.
+#[derive(Debug)]
+pub struct ShardedIndex {
+    shards: Vec<Mutex<HashMap<ContentKey, Location>>>,
+}
+
+impl Default for ShardedIndex {
+    fn default() -> Self {
+        ShardedIndex::new()
+    }
+}
+
+impl ShardedIndex {
+    /// Fresh empty index.
+    pub fn new() -> Self {
+        ShardedIndex {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, key: &ContentKey) -> &Mutex<HashMap<ContentKey, Location>> {
+        &self.shards[key.shard(SHARDS)]
+    }
+
+    /// Location of `key`, if present.
+    pub fn get(&self, key: &ContentKey) -> Option<Location> {
+        self.shard(key).lock().expect("index shard poisoned").get(key).copied()
+    }
+
+    /// `true` if `key` is present.
+    pub fn contains(&self, key: &ContentKey) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Insert or replace; returns the previous location if any.
+    pub fn insert(&self, key: ContentKey, loc: Location) -> Option<Location> {
+        self.shard(&key)
+            .lock()
+            .expect("index shard poisoned")
+            .insert(key, loc)
+    }
+
+    /// Remove; returns the evicted location if the key was present.
+    pub fn remove(&self, key: &ContentKey) -> Option<Location> {
+        self.shard(key)
+            .lock()
+            .expect("index shard poisoned")
+            .remove(key)
+    }
+
+    /// Total records indexed.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("index shard poisoned").len())
+            .sum()
+    }
+
+    /// `true` when no records are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stable snapshot of every entry, sorted by key so iteration order
+    /// is deterministic for scrub reports and compaction rewrites.
+    pub fn snapshot(&self) -> Vec<(ContentKey, Location)> {
+        let mut all: Vec<(ContentKey, Location)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("index shard poisoned")
+                    .iter()
+                    .map(|(k, v)| (*k, *v))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_unstable_by_key(|(k, _)| *k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnacomp_algos::Algorithm;
+
+    fn loc(segment: u64) -> Location {
+        Location {
+            segment,
+            offset: 0,
+            len: 10,
+            algorithm: Algorithm::Gzip,
+            original_len: 4,
+        }
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let idx = ShardedIndex::new();
+        assert!(idx.is_empty());
+        let k = ContentKey([1; 16]);
+        assert_eq!(idx.insert(k, loc(1)), None);
+        assert_eq!(idx.get(&k), Some(loc(1)));
+        assert_eq!(idx.insert(k, loc(2)), Some(loc(1)));
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.remove(&k), Some(loc(2)));
+        assert!(!idx.contains(&k));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let idx = ShardedIndex::new();
+        for i in (0..=255u8).rev() {
+            idx.insert(ContentKey([i; 16]), loc(i as u64));
+        }
+        let snap = idx.snapshot();
+        assert_eq!(snap.len(), 256);
+        assert!(snap.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn concurrent_inserts_touch_disjoint_shards() {
+        let idx = std::sync::Arc::new(ShardedIndex::new());
+        let handles: Vec<_> = (0..8u8)
+            .map(|t| {
+                let idx = std::sync::Arc::clone(&idx);
+                std::thread::spawn(move || {
+                    for i in 0..100u8 {
+                        let mut k = [t; 16];
+                        k[15] = i;
+                        idx.insert(ContentKey(k), loc(t as u64));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(idx.len(), 800);
+    }
+}

@@ -1,0 +1,57 @@
+//! # dnacomp-store — crash-safe, content-addressed sequence repository
+//!
+//! The durable layer behind the exchange endpoint: the framework picks
+//! the best compressor per (file, context), the service runs the job,
+//! and this crate is where the result *lands*. Production DNA exchange
+//! assumes a persistent, deduplicating store — every run starting cold
+//! is a simulation artifact, not an architecture.
+//!
+//! A store is a directory:
+//!
+//! ```text
+//! store/
+//! ├── manifest.log      write-ahead log: the single source of truth
+//! ├── seg-000000.seg    append-only record segments
+//! └── seg-000001.seg
+//! ```
+//!
+//! * **Content-addressed & deduplicating** — records are keyed by a
+//!   128-bit hash of the *original* sequence ([`ContentKey`]); putting
+//!   the same genome twice stores one payload, whatever algorithm
+//!   either put chose.
+//! * **Crash-safe** — a record is committed exactly when its manifest
+//!   entry is durable; [`SequenceStore::open`] replays the log,
+//!   truncates torn tails and deletes orphans, recovering every
+//!   committed record bit-exact after a kill at any write point (the
+//!   chaos tests sweep literally every byte).
+//! * **Self-checking** — each record carries an FNV-1a checksum over
+//!   header + payload; [`SequenceStore::verify`] detects bit rot, and
+//!   the payload's own `DX` container checksum still guards the
+//!   decompressed sequence end-to-end.
+//! * **Self-compacting** — [`SequenceStore::compact`] rewrites sealed
+//!   segments whose live ratio dropped below the configured threshold
+//!   and atomically checkpoints the manifest (temp-file + rename).
+//!
+//! Module map: [`record`] (wire format + keys) → [`segment`] (data
+//! files) → [`manifest`] (commit log) → [`index`] (sharded lookup),
+//! assembled by [`store`].
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod error;
+pub mod index;
+pub mod manifest;
+pub mod record;
+pub mod segment;
+pub mod store;
+
+pub use error::StoreError;
+pub use index::ShardedIndex;
+pub use manifest::{Entry, Location};
+pub use record::{ContentKey, Record};
+pub use segment::SegmentInfo;
+pub use store::{
+    CompactReport, PutOutcome, RecordStat, ScrubFailure, ScrubReport, SequenceStore, StoreConfig,
+    StoreSnapshot,
+};

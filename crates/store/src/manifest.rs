@@ -1,0 +1,307 @@
+//! The write-ahead manifest: the store's single source of truth.
+//!
+//! Every mutation appends one checksummed entry to `manifest.log`; a
+//! record (or removal, or segment drop) is **committed** exactly when
+//! its manifest entry is fully durable. Entry wire format:
+//!
+//! ```text
+//! u8      kind (1 = Add, 2 = Remove, 3 = DropSegment)
+//! ...     kind-specific fields (below)
+//! u64 LE  FNV-1a of every preceding byte of the entry
+//!
+//! Add:         key 16B · uvarint segment · uvarint offset · uvarint len
+//!              · u8 algorithm tag · uvarint original_len
+//! Remove:      key 16B
+//! DropSegment: uvarint segment
+//! ```
+//!
+//! Replay parses entries front to back and stops at the first one that
+//! is structurally invalid or fails its checksum — the standard WAL
+//! torn-tail rule. Whatever parsed before that point is the committed
+//! state; the caller truncates the log (and the active segment) back to
+//! it. Compaction rewrites the log via temp-file + atomic rename
+//! ([`checkpoint`]), so a crash mid-checkpoint leaves the old log
+//! intact.
+
+use crate::error::StoreError;
+use crate::record::ContentKey;
+use dnacomp_algos::Algorithm;
+use dnacomp_codec::checksum::Fnv1a;
+use dnacomp_codec::varint::{read_u64_le, read_uvarint, write_u64_le, write_uvarint};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// File name of the manifest log inside a store directory.
+pub const MANIFEST_NAME: &str = "manifest.log";
+
+/// Where a committed record lives on disk, plus the header fields
+/// `stat` can answer without touching the segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Location {
+    /// Segment the record was appended to.
+    pub segment: u64,
+    /// Byte offset of the record within the segment.
+    pub offset: u64,
+    /// Encoded record length in bytes.
+    pub len: u64,
+    /// Algorithm recorded for the payload.
+    pub algorithm: Algorithm,
+    /// Original sequence length in bases.
+    pub original_len: u64,
+}
+
+/// One manifest entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Entry {
+    /// A record became durable at `location`.
+    Add {
+        /// Content key of the record.
+        key: ContentKey,
+        /// Where its bytes live.
+        location: Location,
+    },
+    /// The record with `key` was logically deleted (bytes reclaimed by
+    /// a later compaction).
+    Remove {
+        /// Content key of the removed record.
+        key: ContentKey,
+    },
+    /// Compaction finished moving every live record out of `segment`;
+    /// its file is garbage from this entry on.
+    DropSegment {
+        /// The retired segment.
+        segment: u64,
+    },
+}
+
+impl Entry {
+    /// Serialise to the log wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(48);
+        match self {
+            Entry::Add { key, location } => {
+                out.push(1);
+                out.extend_from_slice(&key.0);
+                write_uvarint(&mut out, location.segment);
+                write_uvarint(&mut out, location.offset);
+                write_uvarint(&mut out, location.len);
+                out.push(location.algorithm.tag());
+                write_uvarint(&mut out, location.original_len);
+            }
+            Entry::Remove { key } => {
+                out.push(2);
+                out.extend_from_slice(&key.0);
+            }
+            Entry::DropSegment { segment } => {
+                out.push(3);
+                write_uvarint(&mut out, *segment);
+            }
+        }
+        let mut h = Fnv1a::new();
+        h.update(&out);
+        write_u64_le(&mut out, h.digest());
+        out
+    }
+
+    /// Parse one entry from the front of `bytes`; `None` if the bytes
+    /// do not form a complete, checksum-valid entry (the torn-tail
+    /// signal for replay — never an error).
+    fn decode(bytes: &[u8]) -> Option<(Entry, usize)> {
+        let mut pos = 1;
+        let entry = match *bytes.first()? {
+            1 => {
+                let key = take_key(bytes, &mut pos)?;
+                let segment = read_uvarint(bytes, &mut pos).ok()?;
+                let offset = read_uvarint(bytes, &mut pos).ok()?;
+                let len = read_uvarint(bytes, &mut pos).ok()?;
+                let algorithm = Algorithm::from_tag(*bytes.get(pos)?).ok()?;
+                pos += 1;
+                let original_len = read_uvarint(bytes, &mut pos).ok()?;
+                Entry::Add {
+                    key,
+                    location: Location {
+                        segment,
+                        offset,
+                        len,
+                        algorithm,
+                        original_len,
+                    },
+                }
+            }
+            2 => Entry::Remove {
+                key: take_key(bytes, &mut pos)?,
+            },
+            3 => Entry::DropSegment {
+                segment: read_uvarint(bytes, &mut pos).ok()?,
+            },
+            _ => return None,
+        };
+        let mut h = Fnv1a::new();
+        h.update(&bytes[..pos]);
+        let stored = read_u64_le(bytes, &mut pos).ok()?;
+        (stored == h.digest()).then_some((entry, pos))
+    }
+}
+
+fn take_key(bytes: &[u8], pos: &mut usize) -> Option<ContentKey> {
+    let slice = bytes.get(*pos..*pos + 16)?;
+    *pos += 16;
+    let mut key = [0u8; 16];
+    key.copy_from_slice(slice);
+    Some(ContentKey(key))
+}
+
+/// Outcome of replaying a manifest log.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// Every committed entry, log order.
+    pub entries: Vec<Entry>,
+    /// Byte length of the valid prefix (the commit frontier).
+    pub valid_len: u64,
+    /// Bytes past the frontier that were discarded — the torn tail of
+    /// an interrupted append (zero on a clean shutdown).
+    pub discarded: u64,
+}
+
+/// Path of the manifest log under a store directory.
+pub fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join(MANIFEST_NAME)
+}
+
+/// Replay `dir`'s manifest. A missing log is an empty store, not an
+/// error.
+pub fn replay(dir: &Path) -> Result<Replay, StoreError> {
+    let bytes = match fs::read(manifest_path(dir)) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Replay::default()),
+        Err(e) => return Err(StoreError::io("reading manifest", e)),
+    };
+    let mut replay = Replay::default();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        match Entry::decode(&bytes[pos..]) {
+            Some((entry, used)) => {
+                replay.entries.push(entry);
+                pos += used;
+            }
+            None => break,
+        }
+    }
+    replay.valid_len = pos as u64;
+    replay.discarded = (bytes.len() - pos) as u64;
+    Ok(replay)
+}
+
+/// Atomically replace the manifest with exactly `entries` (compaction's
+/// dead-entry shedding): write `manifest.tmp`, fsync, rename over the
+/// log. A crash before the rename leaves the old log untouched; after
+/// it, the new one is complete.
+pub fn checkpoint(dir: &Path, entries: &[Entry]) -> Result<(), StoreError> {
+    let tmp = dir.join("manifest.tmp");
+    let mut buf = Vec::new();
+    for e in entries {
+        buf.extend_from_slice(&e.encode());
+    }
+    fs::write(&tmp, &buf).map_err(|e| StoreError::io("writing manifest checkpoint", e))?;
+    let f = fs::File::open(&tmp).map_err(|e| StoreError::io("opening manifest checkpoint", e))?;
+    f.sync_all()
+        .map_err(|e| StoreError::io("syncing manifest checkpoint", e))?;
+    fs::rename(&tmp, manifest_path(dir))
+        .map_err(|e| StoreError::io("installing manifest checkpoint", e))?;
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all(); // directory fsync is best-effort across platforms
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn add(n: u8) -> Entry {
+        Entry::Add {
+            key: ContentKey([n; 16]),
+            location: Location {
+                segment: n as u64,
+                offset: 100 * n as u64,
+                len: 40,
+                algorithm: Algorithm::Ctw,
+                original_len: 1 << n,
+            },
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dnacomp-manifest-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn entries_roundtrip() {
+        for e in [add(3), Entry::Remove { key: ContentKey([9; 16]) }, Entry::DropSegment { segment: 77 }] {
+            let bytes = e.encode();
+            let (back, used) = Entry::decode(&bytes).unwrap();
+            assert_eq!(back, e);
+            assert_eq!(used, bytes.len());
+        }
+    }
+
+    #[test]
+    fn replay_stops_at_torn_tail() {
+        let dir = tmp_dir("torn");
+        let mut log = Vec::new();
+        log.extend_from_slice(&add(1).encode());
+        log.extend_from_slice(&add(2).encode());
+        let full = log.len();
+        // Tear the third entry at every possible byte boundary: the two
+        // committed entries must always replay; the torn one never.
+        let third = add(3).encode();
+        for cut in 0..third.len() {
+            let mut torn = log.clone();
+            torn.extend_from_slice(&third[..cut]);
+            fs::write(manifest_path(&dir), &torn).unwrap();
+            let r = replay(&dir).unwrap();
+            assert_eq!(r.entries, vec![add(1), add(2)], "cut {cut}");
+            assert_eq!(r.valid_len, full as u64);
+            assert_eq!(r.discarded, cut as u64);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_manifest_is_empty_store() {
+        let dir = tmp_dir("missing");
+        let r = replay(&dir).unwrap();
+        assert!(r.entries.is_empty());
+        assert_eq!(r.valid_len, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_replaces_atomically() {
+        let dir = tmp_dir("ckpt");
+        fs::write(manifest_path(&dir), add(1).encode()).unwrap();
+        checkpoint(&dir, &[add(5), Entry::DropSegment { segment: 1 }]).unwrap();
+        let r = replay(&dir).unwrap();
+        assert_eq!(r.entries, vec![add(5), Entry::DropSegment { segment: 1 }]);
+        assert!(!dir.join("manifest.tmp").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flipped_byte_ends_replay_there() {
+        let dir = tmp_dir("flip");
+        let mut log = Vec::new();
+        log.extend_from_slice(&add(1).encode());
+        let first = log.len();
+        log.extend_from_slice(&add(2).encode());
+        log[first + 5] ^= 0x01; // damage the second entry
+        fs::write(manifest_path(&dir), &log).unwrap();
+        let r = replay(&dir).unwrap();
+        assert_eq!(r.entries, vec![add(1)]);
+        assert!(r.discarded > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

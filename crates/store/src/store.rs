@@ -1,0 +1,941 @@
+//! The repository itself: open, put, get, stat, verify, compact.
+//!
+//! ## Commit protocol (one `put`)
+//!
+//! ```text
+//! 1. encode the record                      (pure)
+//! 2. append record bytes to the active      (torn here ⇒ garbage tail,
+//!    segment, fsync                          manifest unchanged, record
+//!                                            simply not committed)
+//! 3. append the Add entry to manifest.log,  (torn here ⇒ replay stops at
+//!    fsync — THE COMMIT POINT                the torn entry, record not
+//!                                            committed, segment tail is
+//!                                            truncated on reopen)
+//! 4. update the in-memory index & stats     (volatile)
+//! ```
+//!
+//! A record exists exactly when its manifest entry is fully durable;
+//! there is no window where a crash corrupts a committed record. The
+//! recovery pass in [`SequenceStore::open`] replays the manifest,
+//! truncates the torn tails of both log and segments back to the commit
+//! frontier, and deletes orphaned segment files left by an interrupted
+//! compaction.
+
+use crate::error::StoreError;
+use crate::index::ShardedIndex;
+use crate::manifest::{self, Entry, Location};
+use crate::record::{ContentKey, Record};
+use crate::segment::{self, SegmentInfo};
+use dnacomp_algos::CompressedBlob;
+use dnacomp_cloud::FaultPlan;
+use dnacomp_seq::PackedSeq;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Store tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreConfig {
+    /// Roll to a fresh segment once the active one reaches this size.
+    pub segment_target_bytes: u64,
+    /// Sealed segments whose live ratio falls below this are rewritten
+    /// by [`SequenceStore::compact`].
+    pub compact_live_ratio: f64,
+    /// `fsync` after every segment and manifest append (the durable
+    /// default). Disabling trades the power-loss guarantee for speed;
+    /// the simulated-crash tests are unaffected either way.
+    pub sync: bool,
+    /// Seeded disk-fault schedule (torn writes). [`FaultPlan::none`]
+    /// for production use.
+    pub faults: FaultPlan,
+    /// Test hook: total byte budget across all disk writes; the write
+    /// that would exceed it is torn at the boundary and the store
+    /// "crashes". Sweeping this over every byte of a workload proves
+    /// recovery at every possible kill point.
+    pub crash_after_bytes: Option<u64>,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            segment_target_bytes: 8 << 20,
+            compact_live_ratio: 0.5,
+            sync: true,
+            faults: FaultPlan::none(),
+            crash_after_bytes: None,
+        }
+    }
+}
+
+/// Outcome of a `put`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PutOutcome {
+    /// Content key the sequence is stored under.
+    pub key: ContentKey,
+    /// `true` when the key was already present: nothing was written,
+    /// the existing record (and its algorithm) stands.
+    pub deduped: bool,
+}
+
+/// Per-record metadata answered from the index without touching disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecordStat {
+    /// Content key.
+    pub key: ContentKey,
+    /// Algorithm that compressed the payload.
+    pub algorithm: dnacomp_algos::Algorithm,
+    /// Original sequence length in bases.
+    pub original_len: u64,
+    /// Encoded record size on disk in bytes.
+    pub stored_bytes: u64,
+    /// Segment holding the record.
+    pub segment: u64,
+}
+
+/// Point-in-time store counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreSnapshot {
+    /// Live records (distinct content keys).
+    pub records: u64,
+    /// Segment files holding committed data.
+    pub segments: u64,
+    /// Committed segment bytes on disk (live + not-yet-compacted dead).
+    pub bytes_on_disk: u64,
+    /// Bytes still referenced by the index.
+    pub live_bytes: u64,
+    /// `put` calls since open.
+    pub puts: u64,
+    /// Puts answered by dedup (no bytes written).
+    pub dedup_hits: u64,
+    /// Records logically removed since open.
+    pub removes: u64,
+    /// Records that failed checksum validation during `verify` runs.
+    pub scrub_failures: u64,
+}
+
+/// One record `verify` could not validate.
+#[derive(Clone, Debug)]
+pub struct ScrubFailure {
+    /// Key of the damaged record.
+    pub key: ContentKey,
+    /// What validation reported.
+    pub error: String,
+}
+
+/// Result of a full `verify` pass.
+#[derive(Clone, Debug, Default)]
+pub struct ScrubReport {
+    /// Records examined.
+    pub checked: u64,
+    /// Records that failed validation (bit rot, outside writers).
+    pub failures: Vec<ScrubFailure>,
+}
+
+impl ScrubReport {
+    /// `true` when every record validated.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Result of a `compact` pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Segments rewritten and deleted.
+    pub segments_removed: u64,
+    /// Dead bytes reclaimed from disk.
+    pub bytes_reclaimed: u64,
+    /// Live records moved into the active segment.
+    pub records_moved: u64,
+}
+
+/// Which store file a faulted write targets (fault keying + messages).
+#[derive(Clone, Copy)]
+enum Sink {
+    Segment(u64),
+    Manifest,
+}
+
+impl Sink {
+    fn name(self) -> String {
+        match self {
+            Sink::Segment(id) => segment::segment_name(id),
+            Sink::Manifest => manifest::MANIFEST_NAME.to_owned(),
+        }
+    }
+}
+
+/// Mutable writer-side state, all behind one mutex: appends are
+/// serialised (one active segment), reads are not.
+struct Writer {
+    manifest: File,
+    active: u64,
+    active_file: Option<File>,
+    active_end: u64,
+    /// Committed accounting per non-dropped segment.
+    segments: BTreeMap<u64, SegmentInfo>,
+    /// Highest segment id ever used (dropped ids are never reused).
+    max_seen: u64,
+    /// Disk-write operation counter (fault keying).
+    op: u64,
+    /// Remaining crash budget, if the test hook is armed.
+    budget: Option<u64>,
+    /// Set after a simulated crash; every later mutation fails fast.
+    dead: bool,
+}
+
+/// A crash-safe, content-addressed repository of compressed sequences.
+///
+/// All methods take `&self`; the store is `Send + Sync` and is shared
+/// across service workers behind an `Arc`.
+pub struct SequenceStore {
+    dir: PathBuf,
+    config: StoreConfig,
+    index: ShardedIndex,
+    writer: Mutex<Writer>,
+    puts: AtomicU64,
+    dedup_hits: AtomicU64,
+    removes: AtomicU64,
+    scrub_failures: AtomicU64,
+}
+
+impl std::fmt::Debug for SequenceStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SequenceStore")
+            .field("dir", &self.dir)
+            .field("records", &self.index.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SequenceStore {
+    /// Open (or create) the store at `dir` and recover to the last
+    /// committed state: replay the manifest, truncate torn tails, and
+    /// delete orphaned segment files.
+    pub fn open(dir: impl AsRef<Path>, config: StoreConfig) -> Result<SequenceStore, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir).map_err(|e| StoreError::io("creating store directory", e))?;
+        let replay = manifest::replay(&dir)?;
+        if replay.discarded > 0 {
+            // Drop the torn tail of an interrupted append so the next
+            // entry starts on a clean boundary.
+            truncate_file(&manifest::manifest_path(&dir), replay.valid_len)?;
+        }
+
+        let mut map: HashMap<ContentKey, Location> = HashMap::new();
+        let mut dropped: HashSet<u64> = HashSet::new();
+        let mut totals: BTreeMap<u64, SegmentInfo> = BTreeMap::new();
+        let mut ends: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut max_seen = 0u64;
+        for entry in &replay.entries {
+            match *entry {
+                Entry::Add { key, location } => {
+                    max_seen = max_seen.max(location.segment);
+                    let info = totals.entry(location.segment).or_default();
+                    info.bytes += location.len;
+                    info.records += 1;
+                    let end = ends.entry(location.segment).or_default();
+                    *end = (*end).max(location.offset + location.len);
+                    map.insert(key, location);
+                }
+                Entry::Remove { key } => {
+                    map.remove(&key);
+                }
+                Entry::DropSegment { segment } => {
+                    max_seen = max_seen.max(segment);
+                    dropped.insert(segment);
+                    totals.remove(&segment);
+                    ends.remove(&segment);
+                }
+            }
+        }
+        // A dropped segment may have been re-added? Never: ids are not
+        // reused. But an Add can *follow* its segment's drop only if the
+        // log is corrupt; drop wins (the file is gone).
+        map.retain(|_, loc| !dropped.contains(&loc.segment));
+        for (_, loc) in map.iter() {
+            if let Some(info) = totals.get_mut(&loc.segment) {
+                info.live_bytes += loc.len;
+                info.live_records += 1;
+            }
+        }
+
+        // Truncate every surviving segment to its commit frontier (only
+        // the segment that was active at crash time can actually have a
+        // torn tail, but truncation is idempotent hygiene).
+        for (&id, &end) in &ends {
+            let path = segment::segment_path(&dir, id);
+            if path.exists() {
+                truncate_file(&path, end)?;
+            }
+        }
+        // Delete segment files no manifest entry references: orphans of
+        // an interrupted compaction, or of a crash before a fresh
+        // segment's first commit.
+        let entries =
+            fs::read_dir(&dir).map_err(|e| StoreError::io("listing store directory", e))?;
+        for f in entries {
+            let f = f.map_err(|e| StoreError::io("listing store directory", e))?;
+            if let Some(id) = f.file_name().to_str().and_then(segment::parse_segment_name) {
+                if !totals.contains_key(&id) {
+                    fs::remove_file(f.path())
+                        .map_err(|e| StoreError::io("removing orphan segment", e))?;
+                }
+            }
+        }
+
+        // The active segment: the highest surviving one, unless full.
+        // Segment ids are never reused, so when every segment was
+        // dropped the next fresh id comes after everything ever seen —
+        // otherwise a DropSegment entry earlier in the log would
+        // retroactively kill records appended after the reopen.
+        let mut active = totals.keys().next_back().copied().unwrap_or(if replay.entries.is_empty() {
+            0
+        } else {
+            max_seen + 1
+        });
+        let mut active_end = ends.get(&active).copied().unwrap_or(0);
+        if active_end >= config.segment_target_bytes {
+            active = max_seen + 1;
+            active_end = 0;
+        }
+
+        let manifest = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(manifest::manifest_path(&dir))
+            .map_err(|e| StoreError::io("opening manifest", e))?;
+
+        let index = ShardedIndex::new();
+        for (key, loc) in map {
+            index.insert(key, loc);
+        }
+        Ok(SequenceStore {
+            dir,
+            index,
+            writer: Mutex::new(Writer {
+                manifest,
+                active,
+                active_file: None,
+                active_end,
+                segments: totals,
+                max_seen: max_seen.max(active),
+                op: 0,
+                budget: config.crash_after_bytes,
+                dead: false,
+            }),
+            config,
+            puts: AtomicU64::new(0),
+            dedup_hits: AtomicU64::new(0),
+            removes: AtomicU64::new(0),
+            scrub_failures: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Store `blob` under the content key of `seq` (the original
+    /// sequence `blob` encodes). Duplicate content is detected by key
+    /// and not written again.
+    pub fn put(&self, seq: &PackedSeq, blob: &CompressedBlob) -> Result<PutOutcome, StoreError> {
+        self.put_with_key(ContentKey::of_sequence(seq), blob)
+    }
+
+    /// Store `blob` under an explicit key (the caller owns the
+    /// key-derivation contract; [`SequenceStore::put`] is the safe way).
+    pub fn put_with_key(
+        &self,
+        key: ContentKey,
+        blob: &CompressedBlob,
+    ) -> Result<PutOutcome, StoreError> {
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        // Fast path outside the writer lock; re-checked under it.
+        if self.index.contains(&key) {
+            self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(PutOutcome { key, deduped: true });
+        }
+        let record = Record {
+            key,
+            algorithm: blob.algorithm,
+            original_len: blob.original_len as u64,
+            payload: blob.to_bytes(),
+        };
+        let bytes = record.encode();
+
+        let mut w = self.writer.lock().expect("store writer poisoned");
+        if w.dead {
+            return Err(StoreError::Crashed);
+        }
+        if self.index.contains(&key) {
+            self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(PutOutcome { key, deduped: true });
+        }
+        let location = self.append_record(&mut w, &bytes, &record)?;
+        self.commit_add(&mut w, key, location)?;
+        self.index.insert(key, location);
+        Ok(PutOutcome {
+            key,
+            deduped: false,
+        })
+    }
+
+    /// Fetch the compressed container stored under `key`.
+    pub fn get(&self, key: &ContentKey) -> Result<CompressedBlob, StoreError> {
+        // A concurrent compaction can delete the segment between the
+        // index lookup and the read; one retry re-resolves the moved
+        // record.
+        for attempt in 0..2 {
+            let loc = self.index.get(key).ok_or(StoreError::NotFound(*key))?;
+            match segment::read_at(&self.dir, loc.segment, loc.offset, loc.len as usize) {
+                Ok(bytes) => {
+                    let (record, _) = Record::decode(&bytes)?;
+                    if record.key != *key {
+                        return Err(StoreError::Corrupt {
+                            what: "record key",
+                            source: dnacomp_codec::CodecError::Corrupt(
+                                "stored record carries a different key",
+                            ),
+                        });
+                    }
+                    return CompressedBlob::from_bytes(&record.payload).map_err(|source| {
+                        StoreError::Corrupt {
+                            what: "record payload container",
+                            source,
+                        }
+                    });
+                }
+                Err(e) if attempt == 0 => {
+                    drop(e);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!("loop returns on every path")
+    }
+
+    /// `true` if a record with this key is committed.
+    pub fn contains(&self, key: &ContentKey) -> bool {
+        self.index.contains(key)
+    }
+
+    /// Index-only metadata for `key`.
+    pub fn stat(&self, key: &ContentKey) -> Option<RecordStat> {
+        self.index.get(key).map(|loc| RecordStat {
+            key: *key,
+            algorithm: loc.algorithm,
+            original_len: loc.original_len,
+            stored_bytes: loc.len,
+            segment: loc.segment,
+        })
+    }
+
+    /// Logically delete `key`. Returns whether it was present; the
+    /// bytes stay on disk (dead) until a compaction reclaims them.
+    pub fn remove(&self, key: &ContentKey) -> Result<bool, StoreError> {
+        let mut w = self.writer.lock().expect("store writer poisoned");
+        if w.dead {
+            return Err(StoreError::Crashed);
+        }
+        let Some(loc) = self.index.get(key) else {
+            return Ok(false);
+        };
+        let entry = Entry::Remove { key: *key };
+        self.append_manifest(&mut w, &entry)?;
+        self.index.remove(key);
+        if let Some(info) = w.segments.get_mut(&loc.segment) {
+            info.live_bytes -= loc.len;
+            info.live_records -= 1;
+        }
+        self.removes.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// All keys currently committed, sorted.
+    pub fn keys(&self) -> Vec<ContentKey> {
+        self.index.snapshot().into_iter().map(|(k, _)| k).collect()
+    }
+
+    /// Live record count.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// `true` when no records are committed.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Read and checksum-validate every committed record, counting
+    /// failures into the stats. A failure means bit rot or an outside
+    /// writer — never a crash, which cannot damage committed records.
+    pub fn verify(&self) -> ScrubReport {
+        let mut report = ScrubReport::default();
+        for (key, loc) in self.index.snapshot() {
+            report.checked += 1;
+            let outcome = segment::read_at(&self.dir, loc.segment, loc.offset, loc.len as usize)
+                .and_then(|bytes| {
+                    let (record, _) = Record::decode(&bytes)?;
+                    if record.key != key {
+                        return Err(StoreError::Corrupt {
+                            what: "record key",
+                            source: dnacomp_codec::CodecError::Corrupt(
+                                "stored record carries a different key",
+                            ),
+                        });
+                    }
+                    CompressedBlob::from_bytes(&record.payload).map_err(StoreError::from)?;
+                    Ok(())
+                });
+            if let Err(e) = outcome {
+                report.failures.push(ScrubFailure {
+                    key,
+                    error: e.to_string(),
+                });
+            }
+        }
+        self.scrub_failures
+            .fetch_add(report.failures.len() as u64, Ordering::Relaxed);
+        report
+    }
+
+    /// Rewrite sealed segments whose live ratio fell below
+    /// [`StoreConfig::compact_live_ratio`] (or that hold no live
+    /// records at all): move their live records to the active segment,
+    /// drop the old files, and checkpoint the manifest via temp-file +
+    /// rename so the log sheds its dead entries too. Refuses to touch
+    /// anything if a victim record fails validation — corrupt data is
+    /// surfaced, never silently dropped or propagated.
+    pub fn compact(&self) -> Result<CompactReport, StoreError> {
+        let mut w = self.writer.lock().expect("store writer poisoned");
+        if w.dead {
+            return Err(StoreError::Crashed);
+        }
+        let active = w.active;
+        let victims: Vec<u64> = w
+            .segments
+            .iter()
+            .filter(|&(&id, info)| {
+                id != active
+                    && (info.live_records == 0
+                        || info.live_ratio() < self.config.compact_live_ratio)
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        if victims.is_empty() {
+            return Ok(CompactReport::default());
+        }
+        let victim_set: HashSet<u64> = victims.iter().copied().collect();
+        let moves: Vec<(ContentKey, Location)> = self
+            .index
+            .snapshot()
+            .into_iter()
+            .filter(|(_, loc)| victim_set.contains(&loc.segment))
+            .collect();
+        // Validate before mutating anything: a corrupt victim record
+        // aborts the whole pass with the store untouched.
+        let mut payloads = Vec::with_capacity(moves.len());
+        for (key, loc) in &moves {
+            let bytes = segment::read_at(&self.dir, loc.segment, loc.offset, loc.len as usize)?;
+            let (record, _) = Record::decode(&bytes)?;
+            if record.key != *key {
+                return Err(StoreError::Corrupt {
+                    what: "record key",
+                    source: dnacomp_codec::CodecError::Corrupt(
+                        "stored record carries a different key",
+                    ),
+                });
+            }
+            payloads.push((*key, record, bytes));
+        }
+        let mut report = CompactReport::default();
+        for (key, record, bytes) in payloads {
+            let location = self.append_record(&mut w, &bytes, &record)?;
+            self.commit_add(&mut w, key, location)?;
+            self.index.insert(key, location);
+            report.records_moved += 1;
+        }
+        for &victim in &victims {
+            self.append_manifest(&mut w, &Entry::DropSegment { segment: victim })?;
+            if let Some(info) = w.segments.remove(&victim) {
+                report.bytes_reclaimed += info.bytes - info.live_bytes;
+            }
+            fs::remove_file(segment::segment_path(&self.dir, victim))
+                .map_err(|e| StoreError::io("removing compacted segment", e))?;
+            report.segments_removed += 1;
+        }
+        // Shed dead manifest entries: checkpoint exactly the live index.
+        let entries: Vec<Entry> = self
+            .index
+            .snapshot()
+            .into_iter()
+            .map(|(key, location)| Entry::Add { key, location })
+            .collect();
+        manifest::checkpoint(&self.dir, &entries)?;
+        // The append handle still points at the pre-rename inode.
+        w.manifest = OpenOptions::new()
+            .append(true)
+            .open(manifest::manifest_path(&self.dir))
+            .map_err(|e| StoreError::io("reopening manifest", e))?;
+        Ok(report)
+    }
+
+    /// Current counters and sizes.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        let w = self.writer.lock().expect("store writer poisoned");
+        let (mut bytes_on_disk, mut live_bytes, mut segments) = (0, 0, 0);
+        for info in w.segments.values() {
+            bytes_on_disk += info.bytes;
+            live_bytes += info.live_bytes;
+            segments += 1;
+        }
+        StoreSnapshot {
+            records: self.index.len() as u64,
+            segments,
+            bytes_on_disk,
+            live_bytes,
+            puts: self.puts.load(Ordering::Relaxed),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+            removes: self.removes.load(Ordering::Relaxed),
+            scrub_failures: self.scrub_failures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Append encoded record bytes to the active segment (rolling it if
+    /// full) and return the committed-to-be location.
+    fn append_record(
+        &self,
+        w: &mut Writer,
+        bytes: &[u8],
+        record: &Record,
+    ) -> Result<Location, StoreError> {
+        let len = bytes.len() as u64;
+        if w.active_end > 0 && w.active_end + len > self.config.segment_target_bytes {
+            w.active = w.max_seen + 1;
+            w.max_seen = w.active;
+            w.active_end = 0;
+            w.active_file = None;
+        }
+        if w.active_file.is_none() {
+            let file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(segment::segment_path(&self.dir, w.active))
+                .map_err(|e| StoreError::io("opening active segment", e))?;
+            w.active_file = Some(file);
+        }
+        let offset = w.active_end;
+        let sink = Sink::Segment(w.active);
+        self.faulted_write(w, sink, bytes)?;
+        if self.config.sync {
+            w.active_file
+                .as_ref()
+                .expect("active segment just opened")
+                .sync_all()
+                .map_err(|e| StoreError::io("syncing segment", e))?;
+        }
+        w.active_end = offset + len;
+        Ok(Location {
+            segment: w.active,
+            offset,
+            len,
+            algorithm: record.algorithm,
+            original_len: record.original_len,
+        })
+    }
+
+    /// Write the Add entry — the commit point — and fold the new record
+    /// into the segment accounting.
+    fn commit_add(
+        &self,
+        w: &mut Writer,
+        key: ContentKey,
+        location: Location,
+    ) -> Result<(), StoreError> {
+        self.append_manifest(w, &Entry::Add { key, location })?;
+        let info = w.segments.entry(location.segment).or_default();
+        info.bytes += location.len;
+        info.live_bytes += location.len;
+        info.records += 1;
+        info.live_records += 1;
+        Ok(())
+    }
+
+    fn append_manifest(&self, w: &mut Writer, entry: &Entry) -> Result<(), StoreError> {
+        let bytes = entry.encode();
+        self.faulted_write(w, Sink::Manifest, &bytes)?;
+        if self.config.sync {
+            w.manifest
+                .sync_all()
+                .map_err(|e| StoreError::io("syncing manifest", e))?;
+        }
+        Ok(())
+    }
+
+    /// One fault-injectable disk write. A torn write persists only a
+    /// prefix and kills the store instance, exactly like a process
+    /// crash at that byte.
+    fn faulted_write(&self, w: &mut Writer, sink: Sink, buf: &[u8]) -> Result<(), StoreError> {
+        let op = w.op;
+        w.op += 1;
+        let name = sink.name();
+        let mut cut: Option<usize> = None;
+        if let Some(budget) = w.budget.as_mut() {
+            if (buf.len() as u64) > *budget {
+                cut = Some(*budget as usize);
+            } else {
+                *budget -= buf.len() as u64;
+            }
+        }
+        if cut.is_none() {
+            cut = self.config.faults.torn_write(&name, op, buf.len());
+        }
+        let kept = cut.unwrap_or(buf.len());
+        let write = |w: &mut Writer, data: &[u8]| -> std::io::Result<()> {
+            match sink {
+                Sink::Segment(_) => w
+                    .active_file
+                    .as_mut()
+                    .expect("segment writes follow an open")
+                    .write_all(data),
+                Sink::Manifest => w.manifest.write_all(data),
+            }
+        };
+        write(w, &buf[..kept]).map_err(|e| StoreError::io("appending store file", e))?;
+        match cut {
+            None => Ok(()),
+            Some(kept) => {
+                // Even the surviving prefix is flushed, so reopening
+                // this very directory sees exactly the torn state.
+                let _ = match sink {
+                    Sink::Segment(_) => w.active_file.as_ref().map(|f| f.sync_all()),
+                    Sink::Manifest => Some(w.manifest.sync_all()),
+                };
+                w.dead = true;
+                Err(StoreError::TornWrite {
+                    file: name,
+                    kept,
+                    asked: buf.len(),
+                })
+            }
+        }
+    }
+}
+
+fn truncate_file(path: &Path, len: u64) -> Result<(), StoreError> {
+    let f = OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| StoreError::io("opening file to truncate", e))?;
+    f.set_len(len)
+        .map_err(|e| StoreError::io("truncating torn tail", e))?;
+    f.sync_all()
+        .map_err(|e| StoreError::io("syncing truncated file", e))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnacomp_algos::{Algorithm, CompressedBlob};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dnacomp-store-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn seq(text: &[u8]) -> PackedSeq {
+        PackedSeq::from_ascii(text).unwrap()
+    }
+
+    fn blob(s: &PackedSeq, payload: &[u8]) -> CompressedBlob {
+        CompressedBlob::new(Algorithm::Dnax, s, payload.to_vec())
+    }
+
+    fn small_segments() -> StoreConfig {
+        StoreConfig {
+            segment_target_bytes: 160,
+            sync: false,
+            ..StoreConfig::default()
+        }
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_dedup() {
+        let dir = tmp_dir("roundtrip");
+        let store = SequenceStore::open(&dir, small_segments()).unwrap();
+        let s = seq(b"ACGTACGTAACC");
+        let b = blob(&s, b"pay");
+        let out = store.put(&s, &b).unwrap();
+        assert!(!out.deduped);
+        assert_eq!(store.get(&out.key).unwrap(), b);
+        // Same content again — even under a different algorithm — is a
+        // dedup hit and the original record stands.
+        let b2 = CompressedBlob::new(Algorithm::Gzip, &s, b"otherpayload".to_vec());
+        let out2 = store.put(&s, &b2).unwrap();
+        assert!(out2.deduped);
+        assert_eq!(out2.key, out.key);
+        assert_eq!(store.get(&out.key).unwrap().algorithm, Algorithm::Dnax);
+        let snap = store.snapshot();
+        assert_eq!(snap.puts, 2);
+        assert_eq!(snap.dedup_hits, 1);
+        assert_eq!(snap.records, 1);
+        assert_eq!(snap.bytes_on_disk, snap.live_bytes);
+        // Zero-length sequences are first-class records.
+        let empty = PackedSeq::new();
+        let eb = blob(&empty, b"");
+        let eo = store.put(&empty, &eb).unwrap();
+        assert!(!eo.deduped);
+        assert_eq!(store.get(&eo.key).unwrap(), eb);
+        assert_eq!(store.len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_recovers_everything() {
+        let dir = tmp_dir("reopen");
+        let mut keys = Vec::new();
+        {
+            let store = SequenceStore::open(&dir, small_segments()).unwrap();
+            for i in 0..30u8 {
+                let s = seq(format!("ACGT{}", "A".repeat(i as usize + 1)).as_bytes());
+                let b = blob(&s, &vec![i; 24]);
+                keys.push((store.put(&s, &b).unwrap().key, b));
+            }
+            assert!(store.snapshot().segments > 1, "rolled across segments");
+        }
+        let store = SequenceStore::open(&dir, small_segments()).unwrap();
+        assert_eq!(store.len(), 30);
+        for (key, b) in &keys {
+            assert_eq!(&store.get(key).unwrap(), b);
+            assert!(store.stat(key).is_some());
+        }
+        assert!(store.verify().is_clean());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_key_is_not_found() {
+        let dir = tmp_dir("notfound");
+        let store = SequenceStore::open(&dir, StoreConfig::default()).unwrap();
+        let key = ContentKey([42; 16]);
+        assert!(matches!(store.get(&key), Err(StoreError::NotFound(k)) if k == key));
+        assert!(store.stat(&key).is_none());
+        assert!(!store.remove(&key).unwrap());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn remove_then_compact_reclaims_dead_segments() {
+        let dir = tmp_dir("compact");
+        let store = SequenceStore::open(&dir, small_segments()).unwrap();
+        let mut keys = Vec::new();
+        for i in 0..24u8 {
+            let s = seq(format!("CCGG{}", "T".repeat(i as usize + 1)).as_bytes());
+            keys.push(store.put(&s, &blob(&s, &vec![i; 24])).unwrap().key);
+        }
+        let before = store.snapshot();
+        assert!(before.segments > 2);
+        // Kill most records so sealed segments fall below the ratio.
+        for key in &keys[..20] {
+            assert!(store.remove(key).unwrap());
+        }
+        let report = store.compact().unwrap();
+        assert!(report.segments_removed > 0, "{report:?}");
+        assert!(report.bytes_reclaimed > 0);
+        let after = store.snapshot();
+        assert!(after.bytes_on_disk < before.bytes_on_disk);
+        assert_eq!(after.records, 4);
+        // Survivors are intact, removed keys stay gone — including
+        // after a reopen (the checkpointed manifest is authoritative).
+        for key in &keys[20..] {
+            assert!(store.get(key).is_ok());
+        }
+        drop(store);
+        let store = SequenceStore::open(&dir, small_segments()).unwrap();
+        assert_eq!(store.len(), 4);
+        for key in &keys[..20] {
+            assert!(matches!(store.get(key), Err(StoreError::NotFound(_))));
+        }
+        for key in &keys[20..] {
+            assert!(store.get(key).is_ok());
+        }
+        assert!(store.verify().is_clean());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_budget_kills_then_reopen_recovers_committed_prefix() {
+        let dir = tmp_dir("budget");
+        // First, commit two records cleanly.
+        let committed: Vec<_> = {
+            let store = SequenceStore::open(&dir, small_segments()).unwrap();
+            (0..2u8)
+                .map(|i| {
+                    let s = seq(format!("AC{}", "G".repeat(i as usize + 3)).as_bytes());
+                    let b = blob(&s, &[i; 10]);
+                    (store.put(&s, &b).unwrap().key, b)
+                })
+                .collect()
+        };
+        // Then crash almost immediately into the third put.
+        let store = SequenceStore::open(
+            &dir,
+            StoreConfig {
+                crash_after_bytes: Some(5),
+                ..small_segments()
+            },
+        )
+        .unwrap();
+        let s = seq(b"TTTTGGGGCCCC");
+        let err = store.put(&s, &blob(&s, &[9; 10])).unwrap_err();
+        assert!(err.is_simulated_crash(), "{err}");
+        // The dead instance refuses further mutations…
+        assert!(matches!(
+            store.put(&s, &blob(&s, &[9; 10])),
+            Err(StoreError::Crashed)
+        ));
+        drop(store);
+        // …and reopening recovers exactly the committed records.
+        let store = SequenceStore::open(&dir, small_segments()).unwrap();
+        assert_eq!(store.len(), 2);
+        for (key, b) in &committed {
+            assert_eq!(&store.get(key).unwrap(), b);
+        }
+        assert!(store.verify().is_clean());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_flags_a_flipped_byte() {
+        let dir = tmp_dir("scrub");
+        let store = SequenceStore::open(&dir, small_segments()).unwrap();
+        let s = seq(b"ACGTACGTACGTACGT");
+        let key = store.put(&s, &blob(&s, &[7; 40])).unwrap().key;
+        drop(store);
+        // Flip one payload byte on disk behind the store's back.
+        let seg = segment::segment_path(&dir, 0);
+        let mut bytes = fs::read(&seg).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&seg, &bytes).unwrap();
+        let store = SequenceStore::open(&dir, small_segments()).unwrap();
+        let report = store.verify();
+        assert_eq!(report.checked, 1);
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].key, key);
+        assert_eq!(store.snapshot().scrub_failures, 1);
+        assert!(store.get(&key).is_err(), "get must not serve corrupt data");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -41,4 +41,12 @@ step "service stress test (isolated, 600 s timeout)"
 timeout 600 cargo test --release --test service \
     stress_8_workers_500_jobs_faults_deterministic_no_losses -- --nocapture
 
+# Same rationale for the store's crash-recovery sweep: it kills the
+# store at every byte of a workload, so a recovery regression that
+# loops or hangs must fail the pipeline, not wedge it. 300 s is ~100x
+# its observed runtime.
+step "store crash-recovery sweep (isolated, 300 s timeout)"
+timeout 300 cargo test --release --test store \
+    crash_sweep_recovers_exactly_the_committed_prefix -- --nocapture
+
 step "all gates passed"

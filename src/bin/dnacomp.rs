@@ -6,11 +6,17 @@
 //! dnacomp decompress in.dx out.fa
 //! dnacomp info in.dx
 //! dnacomp decide --ram-mb 2048 --cpu-mhz 2393 --bw-mbps 2 --file-kb 120
+//! dnacomp store put --dir ./repo in.fa
 //! ```
 //!
 //! `decide` trains the selector on a reduced measurement grid on first
 //! use (a few seconds) and prints the chosen algorithm plus the learned
-//! rules that fired.
+//! rules that fired. `store` manages a crash-safe content-addressed
+//! repository of compressed sequences.
+//!
+//! Exit codes: `0` success, `1` runtime failure (missing input file,
+//! unknown store key, corruption found), `2` usage error (bad flags or
+//! arguments; prints the usage text).
 
 use dnacomp::algos::{compressor_for, Algorithm, CompressedBlob};
 use dnacomp::cloud::{context_grid, MachineSpec, PerfModel};
@@ -23,13 +29,41 @@ use dnacomp::seq::PackedSeq;
 use dnacomp::server::{
     build_workload, run_bench, BenchConfig, CompressionService, ServiceConfig,
 };
+use dnacomp::store::{ContentKey, SequenceStore, StoreConfig};
 use std::process::ExitCode;
+use std::sync::Arc;
+
+/// A CLI failure, split by who got it wrong.
+#[derive(Debug)]
+enum CliError {
+    /// The invocation itself is malformed (bad command, flags or
+    /// argument shape): exit 2, usage text printed.
+    Usage(String),
+    /// The invocation was fine but the work failed (missing input
+    /// file, unknown store key, corrupt data): exit 1, message only.
+    Runtime(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Runtime(msg)
+    }
+}
+
+/// Shorthand for argument-shape errors.
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(1)
+        }
+        Err(CliError::Usage(msg)) => {
             eprintln!("error: {msg}");
             eprintln!();
             eprintln!("{USAGE}");
@@ -48,14 +82,21 @@ const USAGE: &str = "usage:
                 [--fault-rate <x>] [--exchange] [--json]
   dnacomp bench-serve [--workers 1,4,8] [--files <n>] [--contexts <n>]
                       [--repeats <n>] [--json] [--out <path>]
+  dnacomp store put --dir <store> [-a <algorithm>] <in.fa>
+  dnacomp store get --dir <store> <key> <out.fa>
+  dnacomp store stat --dir <store> [<key>]
+  dnacomp store verify --dir <store>
+  dnacomp store compact --dir <store>
   dnacomp list
 algorithms: gzip, ctw, gencompress, dnax, biocompress2, dnapack-lite, cfact, xm-lite, raw
             (`dnacomp list` prints the full set)
 serve replays the synthetic corpus through the concurrent compression
-service and prints the metrics registry; bench-serve sweeps worker
-counts and reports wall-clock and simulated throughput.";
+service and prints the metrics registry (add --store <dir> to persist
+every result); bench-serve sweeps worker counts and reports wall-clock
+and simulated throughput; store manages a crash-safe content-addressed
+repository of compressed sequences.";
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     match args.first().map(String::as_str) {
         Some("gen") => cmd_gen(&args[1..]),
         Some("compress") => cmd_compress(&args[1..]),
@@ -64,14 +105,15 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("decide") => cmd_decide(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("bench-serve") => cmd_bench_serve(&args[1..]),
+        Some("store") => cmd_store(&args[1..]),
         Some("list") => {
             for alg in Algorithm::HORIZONTAL {
                 println!("{}", alg.name());
             }
             Ok(())
         }
-        Some(other) => Err(format!("unknown command {other:?}")),
-        None => Err("no command given".into()),
+        Some(other) => Err(usage(format!("unknown command {other:?}"))),
+        None => Err(usage("no command given")),
     }
 }
 
@@ -110,25 +152,25 @@ fn read_fasta(path: &str) -> Result<PackedSeq, String> {
         .map_err(|e| format!("parsing {path}: {e}"))
 }
 
-fn cmd_gen(args: &[String]) -> Result<(), String> {
+fn cmd_gen(args: &[String]) -> Result<(), CliError> {
     let (flags, pos) = parse_flags(args);
-    let out = pos.first().ok_or("gen: missing output path")?;
+    let out = pos.first().ok_or_else(|| usage("gen: missing output path"))?;
     let len: usize = flags
         .get("len")
-        .ok_or("gen: --len required")?
+        .ok_or_else(|| usage("gen: --len required"))?
         .parse()
-        .map_err(|e| format!("--len: {e}"))?;
+        .map_err(|e| usage(format!("--len: {e}")))?;
     let seed: u64 = flags
         .get("seed")
         .map(|s| s.parse())
         .transpose()
-        .map_err(|e| format!("--seed: {e}"))?
+        .map_err(|e| usage(format!("--seed: {e}")))?
         .unwrap_or(42);
     let model = match flags.get("model").map(String::as_str) {
         None | Some("bacterial") => GenomeModel::default(),
         Some("repetitive") => GenomeModel::highly_repetitive(),
         Some("random") => GenomeModel::random_only(0.5),
-        Some(other) => return Err(format!("unknown model {other:?}")),
+        Some(other) => return Err(usage(format!("unknown model {other:?}"))),
     };
     let seq = model.generate(len, seed);
     let rec = Record {
@@ -142,19 +184,26 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_compress(args: &[String]) -> Result<(), String> {
-    let (flags, pos) = parse_flags(args);
-    let (input, output) = match pos.as_slice() {
-        [i, o] => (i, o),
-        _ => return Err("compress: need <in.fa> <out.dx>".into()),
-    };
+/// Resolve `-a` (default `dnax`) to a standalone-capable algorithm.
+fn algorithm_flag(
+    flags: &std::collections::HashMap<String, String>,
+) -> Result<Algorithm, CliError> {
     let alg_name = flags
         .get("algorithm")
         .map(String::as_str)
         .unwrap_or("dnax");
-    let alg = Algorithm::from_name(alg_name)
+    Algorithm::from_name(alg_name)
         .filter(|a| Algorithm::HORIZONTAL.contains(a))
-        .ok_or_else(|| format!("unknown algorithm {alg_name:?}"))?;
+        .ok_or_else(|| usage(format!("unknown algorithm {alg_name:?}")))
+}
+
+fn cmd_compress(args: &[String]) -> Result<(), CliError> {
+    let (flags, pos) = parse_flags(args);
+    let (input, output) = match pos.as_slice() {
+        [i, o] => (i, o),
+        _ => return Err(usage("compress: need <in.fa> <out.dx>")),
+    };
+    let alg = algorithm_flag(&flags)?;
     let seq = read_fasta(input)?;
     let compressor = compressor_for(alg);
     let t0 = std::time::Instant::now();
@@ -175,16 +224,18 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_decompress(args: &[String]) -> Result<(), String> {
+fn cmd_decompress(args: &[String]) -> Result<(), CliError> {
     let (_, pos) = parse_flags(args);
     let (input, output) = match pos.as_slice() {
         [i, o] => (i, o),
-        _ => return Err("decompress: need <in.dx> <out.fa>".into()),
+        _ => return Err(usage("decompress: need <in.dx> <out.fa>")),
     };
     let bytes = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
     let blob = CompressedBlob::from_bytes(&bytes).map_err(|e| format!("{input}: {e}"))?;
     if blob.algorithm == Algorithm::Reference {
-        return Err("reference-based blobs need the reference; use the library API".into());
+        return Err(CliError::Runtime(
+            "reference-based blobs need the reference; use the library API".into(),
+        ));
     }
     let compressor = compressor_for(blob.algorithm);
     let seq = compressor
@@ -201,9 +252,9 @@ fn cmd_decompress(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_info(args: &[String]) -> Result<(), String> {
+fn cmd_info(args: &[String]) -> Result<(), CliError> {
     let (_, pos) = parse_flags(args);
-    let input = pos.first().ok_or("info: need <in.dx>")?;
+    let input = pos.first().ok_or_else(|| usage("info: need <in.dx>"))?;
     let bytes = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
     let blob = CompressedBlob::from_bytes(&bytes).map_err(|e| format!("{input}: {e}"))?;
     println!("algorithm:      {}", blob.algorithm.name());
@@ -214,14 +265,14 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_decide(args: &[String]) -> Result<(), String> {
+fn cmd_decide(args: &[String]) -> Result<(), CliError> {
     let (flags, _) = parse_flags(args);
-    let get = |name: &str| -> Result<f64, String> {
+    let get = |name: &str| -> Result<f64, CliError> {
         flags
             .get(name)
-            .ok_or_else(|| format!("decide: --{name} required"))?
+            .ok_or_else(|| usage(format!("decide: --{name} required")))?
             .parse()
-            .map_err(|e| format!("--{name}: {e}"))
+            .map_err(|e| usage(format!("--{name}: {e}")))
     };
     let ctx = Context {
         ram_mb: get("ram-mb")? as u32,
@@ -256,12 +307,12 @@ fn cmd_decide(args: &[String]) -> Result<(), String> {
 /// Shared flag parsing for `serve` / `bench-serve` workloads.
 fn bench_config_from_flags(
     flags: &std::collections::HashMap<String, String>,
-) -> Result<BenchConfig, String> {
+) -> Result<BenchConfig, CliError> {
     let mut cfg = BenchConfig::default();
-    let parse_usize = |name: &str, default: usize| -> Result<usize, String> {
+    let parse_usize = |name: &str, default: usize| -> Result<usize, CliError> {
         flags
             .get(name)
-            .map(|v| v.parse().map_err(|e| format!("--{name}: {e}")))
+            .map(|v| v.parse().map_err(|e| usage(format!("--{name}: {e}"))))
             .unwrap_or(Ok(default))
     };
     cfg.files = parse_usize("files", cfg.files)?;
@@ -269,24 +320,32 @@ fn bench_config_from_flags(
     cfg.repeats = parse_usize("repeats", cfg.repeats)?;
     cfg.seed = flags
         .get("seed")
-        .map(|v| v.parse().map_err(|e| format!("--seed: {e}")))
+        .map(|v| v.parse().map_err(|e| usage(format!("--seed: {e}"))))
         .unwrap_or(Ok(cfg.seed))?;
     cfg.exchange = flags.get("exchange").map(String::as_str) == Some("true");
     Ok(cfg)
 }
 
-fn cmd_serve(args: &[String]) -> Result<(), String> {
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     let (flags, _) = parse_flags(args);
     let workers: usize = flags
         .get("workers")
-        .ok_or("serve: --workers required")?
+        .ok_or_else(|| usage("serve: --workers required"))?
         .parse()
-        .map_err(|e| format!("--workers: {e}"))?;
+        .map_err(|e| usage(format!("--workers: {e}")))?;
     let mut cfg = bench_config_from_flags(&flags)?;
     let fault_rate: f64 = flags
         .get("fault-rate")
-        .map(|v| v.parse().map_err(|e| format!("--fault-rate: {e}")))
+        .map(|v| v.parse().map_err(|e| usage(format!("--fault-rate: {e}"))))
         .unwrap_or(Ok(0.0))?;
+    let store = flags
+        .get("store")
+        .map(|dir| {
+            SequenceStore::open(dir, StoreConfig::default())
+                .map(Arc::new)
+                .map_err(|e| CliError::Runtime(format!("opening store {dir}: {e}")))
+        })
+        .transpose()?;
     // Faults only bite on blob transfers, so a fault rate implies
     // full-exchange jobs rather than silently doing nothing.
     cfg.exchange = cfg.exchange || fault_rate > 0.0;
@@ -306,6 +365,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 dnacomp::cloud::FaultPlan::none()
             },
             block_bytes: (fault_rate > 0.0).then_some(4096),
+            store: store.clone(),
             ..ServiceConfig::default()
         },
     );
@@ -318,7 +378,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     break;
                 }
                 Err(dnacomp::server::SubmitError::QueueFull) => std::thread::yield_now(),
-                Err(e) => return Err(format!("submit failed: {e}")),
+                Err(e) => return Err(CliError::Runtime(format!("submit failed: {e}"))),
             }
         }
     }
@@ -346,20 +406,26 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         for w in &snapshot.algorithm_wins {
             println!("wins:       {:<14} {}", w.algorithm, w.wins);
         }
+        if store.is_some() {
+            println!(
+                "store:      {} puts ({} deduped), {} bytes on disk",
+                snapshot.store_puts, snapshot.store_dedup_hits, snapshot.store_bytes_on_disk
+            );
+        }
     }
     Ok(())
 }
 
-fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
+fn cmd_bench_serve(args: &[String]) -> Result<(), CliError> {
     let (flags, _) = parse_flags(args);
     let mut cfg = bench_config_from_flags(&flags)?;
     if let Some(list) = flags.get("workers") {
         cfg.worker_counts = list
             .split(',')
-            .map(|w| w.trim().parse().map_err(|e| format!("--workers: {e}")))
+            .map(|w| w.trim().parse().map_err(|e| usage(format!("--workers: {e}"))))
             .collect::<Result<_, _>>()?;
         if cfg.worker_counts.is_empty() {
-            return Err("--workers: need at least one count".into());
+            return Err(usage("--workers: need at least one count"));
         }
     }
     eprintln!(
@@ -391,6 +457,118 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// `dnacomp store <put|get|stat|verify|compact>` — the content-addressed
+/// repository front end.
+fn cmd_store(args: &[String]) -> Result<(), CliError> {
+    let (flags, pos) = parse_flags(args);
+    let sub = pos
+        .first()
+        .ok_or_else(|| usage("store: need a subcommand (put|get|stat|verify|compact)"))?;
+    let dir = flags
+        .get("dir")
+        .ok_or_else(|| usage("store: --dir <store> required"))?;
+    let open = || {
+        SequenceStore::open(dir, StoreConfig::default())
+            .map_err(|e| CliError::Runtime(format!("opening store {dir}: {e}")))
+    };
+    let parse_key = |hex: &str| {
+        ContentKey::from_hex(hex)
+            .ok_or_else(|| CliError::Runtime(format!("invalid store key {hex:?} (32 hex digits)")))
+    };
+    match (sub.as_str(), &pos[1..]) {
+        ("put", [input]) => {
+            let alg = algorithm_flag(&flags)?;
+            let seq = read_fasta(input)?;
+            let blob = compressor_for(alg)
+                .compress(&seq)
+                .map_err(|e| format!("compression failed: {e}"))?;
+            let store = open()?;
+            let out = store
+                .put(&seq, &blob)
+                .map_err(|e| format!("store put failed: {e}"))?;
+            eprintln!(
+                "{} {} bases as {} ({} bytes on disk)",
+                if out.deduped { "deduplicated" } else { "stored" },
+                seq.len(),
+                alg.name(),
+                store.snapshot().bytes_on_disk,
+            );
+            println!("{}", out.key.to_hex());
+            Ok(())
+        }
+        ("get", [key, output]) => {
+            let store = open()?;
+            let key = parse_key(key)?;
+            let blob = store
+                .get(&key)
+                .map_err(|e| format!("store get failed: {e}"))?;
+            let seq = compressor_for(blob.algorithm)
+                .decompress(&blob)
+                .map_err(|e| format!("decompression failed: {e}"))?;
+            let rec = Record {
+                header: format!("dnacomp store {} ({})", key.to_hex(), blob.algorithm.name()),
+                seq,
+                cleaned: 0,
+            };
+            std::fs::write(output, write_fasta(std::slice::from_ref(&rec), 70))
+                .map_err(|e| format!("writing {output}: {e}"))?;
+            eprintln!("verified checksum; wrote {output}");
+            Ok(())
+        }
+        ("stat", []) => {
+            let store = open()?;
+            let snap = store.snapshot();
+            println!("records:       {}", snap.records);
+            println!("segments:      {}", snap.segments);
+            println!("bytes on disk: {}", snap.bytes_on_disk);
+            println!("live bytes:    {}", snap.live_bytes);
+            Ok(())
+        }
+        ("stat", [key]) => {
+            let store = open()?;
+            let key = parse_key(key)?;
+            let stat = store
+                .stat(&key)
+                .ok_or_else(|| format!("unknown store key {}", key.to_hex()))?;
+            println!("key:            {}", stat.key.to_hex());
+            println!("algorithm:      {}", stat.algorithm.name());
+            println!("original bases: {}", stat.original_len);
+            println!("stored bytes:   {}", stat.stored_bytes);
+            println!("segment:        {}", stat.segment);
+            Ok(())
+        }
+        ("verify", []) => {
+            let store = open()?;
+            let report = store.verify();
+            if report.is_clean() {
+                eprintln!("{} record(s) verified, no corruption", report.checked);
+                Ok(())
+            } else {
+                for f in &report.failures {
+                    eprintln!("corrupt: {} ({})", f.key.to_hex(), f.error);
+                }
+                Err(CliError::Runtime(format!(
+                    "{} of {} record(s) failed verification",
+                    report.failures.len(),
+                    report.checked
+                )))
+            }
+        }
+        ("compact", []) => {
+            let store = open()?;
+            let report = store
+                .compact()
+                .map_err(|e| format!("compaction failed: {e}"))?;
+            eprintln!(
+                "removed {} segment(s), reclaimed {} bytes, moved {} record(s)",
+                report.segments_removed, report.bytes_reclaimed, report.records_moved
+            );
+            Ok(())
+        }
+        _ => Err(usage(format!("store: bad arguments for {sub:?}"))),
+    }
 }
 
 #[cfg(test)]
@@ -434,11 +612,62 @@ mod tests {
     #[test]
     fn compress_rejects_unknown_algorithm() {
         let err = run(&s(&["compress", "-a", "nope", "x.fa", "y.dx"])).unwrap_err();
-        assert!(err.contains("unknown algorithm"));
+        assert!(matches!(err, CliError::Usage(ref m) if m.contains("unknown algorithm")));
     }
 
     #[test]
     fn list_runs() {
         run(&s(&["list"])).unwrap();
+    }
+
+    #[test]
+    fn missing_input_is_a_runtime_error() {
+        let err = run(&s(&["compress", "/no/such/file.fa", "out.dx"])).unwrap_err();
+        assert!(matches!(err, CliError::Runtime(ref m) if m.contains("/no/such/file.fa")));
+        let err = run(&s(&["info", "/no/such/file.dx"])).unwrap_err();
+        assert!(matches!(err, CliError::Runtime(_)));
+    }
+
+    #[test]
+    fn store_cycle_put_get_stat_verify_compact() {
+        let dir = std::env::temp_dir().join(format!("dnacomp-cli-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let repo = dir.join("repo").to_string_lossy().into_owned();
+        let fa = dir.join("s.fa").to_string_lossy().into_owned();
+        let out = dir.join("s.out.fa").to_string_lossy().into_owned();
+        run(&s(&["gen", "--len", "4000", "--seed", "11", &fa])).unwrap();
+        // put twice: second run must dedupe, key comes via put's stdout
+        // (not capturable here) so re-derive it from the sequence.
+        run(&s(&["store", "put", "--dir", &repo, &fa])).unwrap();
+        run(&s(&["store", "put", "--dir", &repo, &fa])).unwrap();
+        let key = ContentKey::of_sequence(&read_fasta(&fa).unwrap()).to_hex();
+        run(&s(&["store", "stat", "--dir", &repo])).unwrap();
+        run(&s(&["store", "stat", "--dir", &repo, &key])).unwrap();
+        run(&s(&["store", "get", "--dir", &repo, &key, &out])).unwrap();
+        assert_eq!(read_fasta(&fa).unwrap(), read_fasta(&out).unwrap());
+        run(&s(&["store", "verify", "--dir", &repo])).unwrap();
+        run(&s(&["store", "compact", "--dir", &repo])).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn store_unknown_key_is_a_runtime_error() {
+        let dir = std::env::temp_dir().join(format!("dnacomp-cli-miss-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let repo = dir.to_string_lossy().into_owned();
+        let missing = "0".repeat(32);
+        let err = run(&s(&["store", "get", "--dir", &repo, &missing, "x.fa"])).unwrap_err();
+        assert!(matches!(err, CliError::Runtime(ref m) if m.contains("no record with key")));
+        let err = run(&s(&["store", "stat", "--dir", &repo, &missing])).unwrap_err();
+        assert!(matches!(err, CliError::Runtime(ref m) if m.contains("unknown store key")));
+        let err = run(&s(&["store", "get", "--dir", &repo, "zz", "x.fa"])).unwrap_err();
+        assert!(matches!(err, CliError::Runtime(ref m) if m.contains("invalid store key")));
+        // Bad argument shape is a usage error, not a runtime one.
+        let err = run(&s(&["store", "put", "--dir", &repo])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        let err = run(&s(&["store", "frob", "--dir", &repo])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -30,6 +30,7 @@ pub use dnacomp_core as core;
 pub use dnacomp_ml as ml;
 pub use dnacomp_seq as seq;
 pub use dnacomp_server as server;
+pub use dnacomp_store as store;
 
 /// The most commonly used items across the workspace.
 pub mod prelude {
