@@ -137,7 +137,7 @@ impl Compressor for BioCompress2 {
         let mut lit_dec = ArithDecoder::new(&blob.payload[ctrl_end..]);
         let mut model = ContextModel::new(2);
 
-        let mut out: Vec<Base> = Vec::with_capacity(blob.original_len);
+        let mut out: Vec<Base> = Vec::with_capacity(blob.decode_capacity());
         while out.len() < blob.original_len {
             let is_repeat = ctrl.read_bit()?;
             if is_repeat {

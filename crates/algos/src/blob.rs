@@ -25,6 +25,18 @@ pub const MAGIC: [u8; 2] = *b"DX";
 /// Container format version.
 pub const VERSION: u8 = 1;
 
+/// Upper bound on any allocation a decoder makes *up front* from the
+/// container header, in bases (4 Mi ≈ one bacterial chromosome).
+///
+/// `original_len` travels in the header, so a corrupted or hostile blob
+/// can claim any length up to `u64::MAX`; decoders that pre-allocate it
+/// verbatim hand the attacker an OOM. Buffers start at
+/// [`CompressedBlob::decode_capacity`] instead and grow with the bytes
+/// the payload actually decodes — a lying header then costs at most one
+/// bounded allocation before the payload runs out and the decode fails
+/// with a typed error.
+pub const MAX_PREALLOC_BASES: usize = 1 << 22;
+
 /// The implemented compression algorithms.
 #[derive(
     Clone,
@@ -263,13 +275,32 @@ impl CompressedBlob {
         Ok(())
     }
 
-    /// Check the blob belongs to `algorithm` (decoders call this first).
+    /// Initial capacity for decode output buffers: the declared length,
+    /// clamped to [`MAX_PREALLOC_BASES`] so an attacker-reachable header
+    /// cannot force an unbounded pre-allocation (see the const's docs).
+    pub fn decode_capacity(&self) -> usize {
+        self.original_len.min(MAX_PREALLOC_BASES)
+    }
+
+    /// Check the blob belongs to `algorithm` and carries a plausible
+    /// header (decoders call this first).
+    ///
+    /// Rejecting `original_len > MAX_PREALLOC_BASES` here bounds not
+    /// just decoder *memory* but decoder *work*: decode loops run
+    /// O(`original_len`) iterations before the final checksum can expose
+    /// a lying header, so a header claiming 2⁴⁰ bases must be refused
+    /// before the loop starts, not caught after it ends. The cap is a
+    /// documented container limit — one blob holds at most
+    /// [`MAX_PREALLOC_BASES`] bases, far above anything this pipeline
+    /// compresses as a single blob.
     pub fn expect_algorithm(&self, algorithm: Algorithm) -> Result<(), CodecError> {
-        if self.algorithm == algorithm {
-            Ok(())
-        } else {
-            Err(CodecError::UnknownFormat(self.algorithm.tag()))
+        if self.algorithm != algorithm {
+            return Err(CodecError::UnknownFormat(self.algorithm.tag()));
         }
+        if self.original_len > MAX_PREALLOC_BASES {
+            return Err(CodecError::Corrupt("declared length exceeds container limit"));
+        }
+        Ok(())
     }
 }
 

@@ -108,7 +108,7 @@ impl Compressor for Cfact {
         blob.expect_algorithm(Algorithm::Cfact)?;
         let mut meter = Meter::new();
         let mut r = BitReader::new(&blob.payload);
-        let mut out: Vec<Base> = Vec::with_capacity(blob.original_len);
+        let mut out: Vec<Base> = Vec::with_capacity(blob.decode_capacity());
         while out.len() < blob.original_len {
             let is_repeat = r.read_bit()?;
             if is_repeat {

@@ -93,7 +93,7 @@ impl Compressor for Ctw {
         let mut tree = CtwTree::with_capacity(self.depth, self.max_nodes);
         let mut hist = BitHistory::new();
         let mut dec = ArithDecoder::new(&blob.payload);
-        let mut seq = PackedSeq::with_capacity(blob.original_len);
+        let mut seq = PackedSeq::with_capacity(blob.decode_capacity());
         for _ in 0..blob.original_len {
             let mut code = 0u8;
             for _ in 0..2 {

@@ -188,7 +188,7 @@ impl Compressor for CtwLz {
         let mut lits = LiteralCtw::new(self.depth, self.max_nodes);
         let mut lit_count = 0u64;
 
-        let mut out: Vec<Base> = Vec::with_capacity(blob.original_len);
+        let mut out: Vec<Base> = Vec::with_capacity(blob.decode_capacity());
         while out.len() < blob.original_len {
             if ctrl.read_bit()? {
                 let revcomp = ctrl.read_bit()?;

@@ -182,7 +182,7 @@ impl Compressor for Dnac {
         blob.expect_algorithm(Algorithm::Dnac)?;
         let mut meter = Meter::new();
         let mut r = BitReader::new(&blob.payload);
-        let mut out: Vec<Base> = Vec::with_capacity(blob.original_len);
+        let mut out: Vec<Base> = Vec::with_capacity(blob.decode_capacity());
         while out.len() < blob.original_len {
             if r.read_bit()? {
                 let len = fib_decode(&mut r)? as usize + self.min_repeat - 1;

@@ -211,7 +211,7 @@ impl Compressor for DnaCompress {
         blob.expect_algorithm(Algorithm::DnaCompress)?;
         let mut meter = Meter::new();
         let mut r = BitReader::new(&blob.payload);
-        let mut out: Vec<Base> = Vec::with_capacity(blob.original_len);
+        let mut out: Vec<Base> = Vec::with_capacity(blob.decode_capacity());
         while out.len() < blob.original_len {
             if r.read_bit()? {
                 let revcomp = r.read_bit()?;

@@ -134,7 +134,7 @@ impl Compressor for DnaPackLite {
     ) -> Result<(PackedSeq, ResourceStats), CodecError> {
         blob.expect_algorithm(Algorithm::DnaPackLite)?;
         let mut meter = Meter::new();
-        let mut out: Vec<Base> = Vec::with_capacity(blob.original_len);
+        let mut out: Vec<Base> = Vec::with_capacity(blob.decode_capacity());
         let mut pos = 0usize;
         while out.len() < blob.original_len {
             let tag = *blob

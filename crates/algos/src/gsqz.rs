@@ -134,8 +134,11 @@ impl GSqz {
         let mut r = BitReader::new(&bytes[pos..]);
         let mut records = Vec::with_capacity(n_records);
         for (id, len) in metas {
-            let mut seq = PackedSeq::with_capacity(len);
-            let mut quals = Vec::with_capacity(len);
+            // `len` is attacker-reachable header data: cap the upfront
+            // allocation and let the buffers grow with decoded symbols.
+            let cap = len.min(crate::blob::MAX_PREALLOC_BASES);
+            let mut seq = PackedSeq::with_capacity(cap);
+            let mut quals = Vec::with_capacity(cap);
             for _ in 0..len {
                 let sym = decoder.decode(&mut r)?;
                 let (b, q) = split_symbol(sym);

@@ -187,7 +187,7 @@ impl Compressor for GzipRs {
         let dist_code_table = HuffmanCode::from_lens(dist_lens)?;
         let dist = dist_code_table.decoder();
 
-        let mut tokens: Vec<Token> = Vec::with_capacity(blob.original_len / 4 + 8);
+        let mut tokens: Vec<Token> = Vec::with_capacity(blob.decode_capacity() / 4 + 8);
         loop {
             let sym = litlen.decode(&mut r)?;
             if sym == EOB {

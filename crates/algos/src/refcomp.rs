@@ -239,7 +239,7 @@ impl ReferenceCompressor {
             });
         }
         let mut r = BitReader::new(&blob.payload[pos..]);
-        let mut out: Vec<Base> = Vec::with_capacity(blob.original_len);
+        let mut out: Vec<Base> = Vec::with_capacity(blob.decode_capacity());
         let mut cur_block: Option<usize> = None;
         while out.len() < blob.original_len {
             match r.read_bits(2)? {

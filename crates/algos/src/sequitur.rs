@@ -193,7 +193,7 @@ impl Compressor for DnaSequitur {
             let r = model.decode(&mut dec)? as u32;
             rules.push((l, r));
         }
-        let mut out: Vec<Base> = Vec::with_capacity(blob.original_len);
+        let mut out: Vec<Base> = Vec::with_capacity(blob.decode_capacity());
         for _ in 0..sent_len {
             let s = model.decode(&mut dec)? as u32;
             expand(s, &rules, &mut out, blob.original_len)?;

@@ -203,7 +203,7 @@ impl Compressor for XmLite {
         let mut meter = Meter::new();
         let mut model = XmModel::new(&self.orders);
         let mut dec = ArithDecoder::new(&blob.payload);
-        let mut seq = PackedSeq::with_capacity(blob.original_len);
+        let mut seq = PackedSeq::with_capacity(blob.decode_capacity());
         for _ in 0..blob.original_len {
             let (_, cum) = model.mixture();
             let target = dec.decode_target(cum[4]);

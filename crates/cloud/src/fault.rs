@@ -42,6 +42,19 @@ pub struct FaultPlan {
     /// Drives the sequence store's crash-recovery tests; zero everywhere
     /// else.
     pub torn_write_rate: f64,
+    /// Probability a job **panics** mid-execution (a poison input
+    /// tripping a codec bug). Keyed on the *file only* — no block,
+    /// attempt or worker dimension — so a poisonous job panics every
+    /// time it is run, on any worker: exactly the repeat-offender shape
+    /// the supervision layer's quarantine fingerprinting must catch.
+    pub panic_rate: f64,
+    /// Probability a job **kills its worker thread outright** (panic
+    /// outside the containment boundary — the stand-in for stack
+    /// exhaustion or a dependency `abort`). Also keyed on the file only,
+    /// so the same job reliably crashes whichever worker picks it up
+    /// and the supervisor's restart budget + strike accounting is
+    /// deterministic.
+    pub worker_kill_rate: f64,
 }
 
 /// Which pipeline operation a fault decision is for. Folded into the
@@ -56,6 +69,8 @@ enum FaultKind {
     Degrade = 5,
     TornWrite = 6,
     TornWriteLen = 7,
+    JobPanic = 8,
+    WorkerKill = 9,
 }
 
 impl Default for FaultPlan {
@@ -78,6 +93,8 @@ impl FaultPlan {
             degrade_rate: 0.0,
             degrade_factor: 1.0,
             torn_write_rate: 0.0,
+            panic_rate: 0.0,
+            worker_kill_rate: 0.0,
         }
     }
 
@@ -88,6 +105,18 @@ impl FaultPlan {
         FaultPlan {
             seed,
             torn_write_rate: torn_rate,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// A panic-injection-only plan: transfers and disks are clean, but
+    /// each distinct job file panics mid-execution with probability
+    /// `panic_rate` (deterministically — a poisonous file is poisonous
+    /// forever). Drives the server's supervision soak tests.
+    pub fn panics(seed: u64, panic_rate: f64) -> Self {
+        FaultPlan {
+            seed,
+            panic_rate,
             ..FaultPlan::none()
         }
     }
@@ -106,6 +135,8 @@ impl FaultPlan {
             degrade_rate: fail_rate / 2.0,
             degrade_factor: 3.0,
             torn_write_rate: 0.0,
+            panic_rate: 0.0,
+            worker_kill_rate: 0.0,
         }
     }
 
@@ -117,6 +148,8 @@ impl FaultPlan {
             && self.stall_rate == 0.0
             && self.degrade_rate == 0.0
             && self.torn_write_rate == 0.0
+            && self.panic_rate == 0.0
+            && self.worker_kill_rate == 0.0
     }
 
     /// Deterministic unit-interval draw for one (kind, operation) tuple.
@@ -224,6 +257,37 @@ impl FaultPlan {
         let frac = self.unit(FaultKind::TornWriteLen, Algorithm::Raw, file, op as usize, 0);
         Some((frac * len as f64) as usize)
     }
+
+    /// Does this job panic mid-execution? Keyed on the file only (the
+    /// algorithm/block/attempt dimensions are padded), so the same
+    /// file draws the same verdict on every run, retry and worker — a
+    /// poisonous input is deterministically poisonous.
+    pub fn job_panics(&self, file: &str) -> bool {
+        self.hit(
+            self.panic_rate,
+            FaultKind::JobPanic,
+            Algorithm::Raw,
+            file,
+            0,
+            0,
+        )
+    }
+
+    /// Does this job kill its worker thread (panic outside the
+    /// containment boundary)? Same file-only keying as
+    /// [`job_panics`](Self::job_panics), and the two kinds draw from
+    /// independent hash streams, so a killer is not necessarily a
+    /// panicker and vice versa.
+    pub fn kills_worker(&self, file: &str) -> bool {
+        self.hit(
+            self.worker_kill_rate,
+            FaultKind::WorkerKill,
+            Algorithm::Raw,
+            file,
+            0,
+            0,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -306,6 +370,41 @@ mod tests {
         assert_eq!(FaultPlan::none().torn_write("seg-0", 0, 64), None);
         // Network rates stay untouched by the disk-only constructor.
         assert_eq!(p.upload_fail_rate, 0.0);
+    }
+
+    #[test]
+    fn panic_injection_is_sticky_per_file() {
+        let p = FaultPlan::panics(17, 0.3);
+        assert!(!p.is_none());
+        // A file's verdict never changes across repeated asks — the
+        // property quarantine fingerprinting depends on.
+        for i in 0..200 {
+            let f = format!("job_{i}");
+            let first = p.job_panics(&f);
+            for _ in 0..5 {
+                assert_eq!(p.job_panics(&f), first);
+            }
+        }
+        let hits = (0..1000)
+            .filter(|i| p.job_panics(&format!("j{i}")))
+            .count();
+        assert!((180..450).contains(&hits), "{hits}/1000 at rate 0.3");
+        // Clean plans never panic, and network rates stay zero.
+        assert!(!FaultPlan::none().job_panics("j0"));
+        assert_eq!(p.upload_fail_rate, 0.0);
+    }
+
+    #[test]
+    fn worker_kills_draw_independently_from_panics() {
+        let p = FaultPlan {
+            panic_rate: 0.5,
+            worker_kill_rate: 0.5,
+            ..FaultPlan::none()
+        };
+        let panics: Vec<bool> = (0..200).map(|i| p.job_panics(&format!("f{i}"))).collect();
+        let kills: Vec<bool> = (0..200).map(|i| p.kills_worker(&format!("f{i}"))).collect();
+        assert_ne!(panics, kills, "streams must be independent");
+        assert!(!FaultPlan::none().kills_worker("f0"));
     }
 
     #[test]

@@ -28,8 +28,10 @@ pub mod dataset;
 pub mod experiment;
 pub mod framework;
 pub mod labeler;
+pub mod supervise;
 
 pub use context::Context;
 pub use experiment::{build_rows, measure_corpus, ExperimentRow, Measurement};
 pub use framework::{run_ladder, CircuitBreaker, ContextAwareFramework, FrameworkHandle};
 pub use labeler::{label_rows, label_rows_with, LabeledRow, Metric, Normalization, WeightVector};
+pub use supervise::{contain_panic, panic_message};

@@ -1,0 +1,103 @@
+//! Panic containment for supervised job execution.
+//!
+//! The deployed framework (Figure 7) is the front door for DNA exchange
+//! with a cloud: one hostile blob or one buggy codec must fail *that
+//! job*, never the worker thread that happened to run it. This module
+//! is the smallest primitive that makes that possible: run a closure,
+//! and either hand back its value or a **typed, owned description of
+//! the panic** — the `String` a service can put on a job ticket,
+//! count, fingerprint and quarantine on, instead of letting
+//! `resume_unwind` tear through the pool.
+//!
+//! Containment is deliberately *not* transparent retry: the caller
+//! decides what a contained panic means (fail the ticket, strike the
+//! job's fingerprint, quarantine a repeat offender). This module only
+//! guarantees the panic stops here and comes out typed.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Extract a human-readable message from a panic payload.
+///
+/// Panics carry `&str` or `String` payloads in practice (`panic!` with
+/// a literal or a formatted message); anything else is reported by its
+/// type-erased nature rather than dropped.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Run `f`, containing any panic as a typed error message.
+///
+/// Returns `Ok(value)` when `f` returns, `Err(message)` when it
+/// panics. The unwind stops inside this call — the calling thread
+/// survives and can keep serving jobs.
+///
+/// `AssertUnwindSafe` is sound here under the caller's contract:
+/// state the closure mutates must either be private to the job (a
+/// per-worker simulator whose staged blobs the next job overwrites) or
+/// protected by poison-aware locks that recover-and-clear (the
+/// decision cache). See `dnacomp-server`'s worker loop for the
+/// canonical use.
+///
+/// ```
+/// use dnacomp_core::supervise::contain_panic;
+/// assert_eq!(contain_panic(|| 21 * 2), Ok(42));
+/// let err = contain_panic(|| -> u32 { panic!("decoder bug on job 7") });
+/// assert_eq!(err, Err("decoder bug on job 7".to_owned()));
+/// ```
+pub fn contain_panic<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|p| panic_message(p.as_ref()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_passes_through() {
+        assert_eq!(contain_panic(|| "ok"), Ok("ok"));
+    }
+
+    #[test]
+    fn str_and_string_payloads_are_extracted() {
+        assert_eq!(
+            contain_panic(|| -> () { panic!("literal payload") }),
+            Err("literal payload".to_owned())
+        );
+        let n = 9;
+        assert_eq!(
+            contain_panic(|| -> () { panic!("formatted payload {n}") }),
+            Err("formatted payload 9".to_owned())
+        );
+    }
+
+    #[test]
+    fn exotic_payloads_do_not_panic_the_extractor() {
+        let err = contain_panic(|| -> () { std::panic::panic_any(77u64) });
+        assert_eq!(err, Err("non-string panic payload".to_owned()));
+    }
+
+    #[test]
+    fn thread_survives_a_contained_panic() {
+        // The whole point: one closure panicking must not stop the
+        // caller from doing more work afterwards.
+        let mut done = Vec::new();
+        for i in 0..10 {
+            let r = contain_panic(move || {
+                if i % 3 == 0 {
+                    panic!("job {i} panicked");
+                }
+                i * 2
+            });
+            done.push(r);
+        }
+        assert_eq!(done.iter().filter(|r| r.is_err()).count(), 4);
+        assert_eq!(done[1], Ok(2));
+    }
+}

@@ -128,6 +128,12 @@ impl<K: PartialEq, V> LruCache<K, V> {
     pub fn keys_lru_first(&self) -> Vec<&K> {
         self.entries.iter().map(|(k, _)| k).collect()
     }
+
+    /// Drop every entry (capacity is kept). Poison recovery uses this:
+    /// a cache rebuilt from scratch is always correct, merely cold.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
 }
 
 #[cfg(test)]

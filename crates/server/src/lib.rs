@@ -21,17 +21,29 @@
 //!   rate and simulated-latency p50/p95 — exported as JSON by
 //!   `dnacomp serve` / `dnacomp bench-serve`.
 //!
+//! The pool is **supervised** ([`supervisor`]): job panics are
+//! contained per job, crashed worker threads are detected and respawned
+//! within a restart budget, repeat-offender jobs are quarantined into a
+//! bounded dead-letter queue ([`dlq`]), and admission control sheds
+//! low-priority work before overload turns into latency collapse. The
+//! contract: **every ticket resolves exactly once with a typed
+//! outcome** — `Ok`, typed `Err`, shed, or quarantined.
+//!
 //! Module map (one concern each): [`queue`] → [`worker`] → [`cache`] →
-//! [`metrics`], assembled by [`service`], benchmarked by [`bench`].
+//! [`metrics`], supervised by [`supervisor`] + [`dlq`], assembled by
+//! [`service`], benchmarked by [`bench`].
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod bench;
 pub mod cache;
+pub mod dlq;
+pub mod dlq_dir;
 pub mod metrics;
 pub mod queue;
 pub mod service;
+pub(crate) mod supervisor;
 pub(crate) mod worker;
 
 pub use bench::{
@@ -39,6 +51,8 @@ pub use bench::{
     SweepPoint,
 };
 pub use cache::{ContextKey, LruCache};
+pub use dlq::{DeadLetter, DeadLetterInfo, DeadLetterQueue, QuarantineRegistry};
+pub use dlq_dir::DlqDir;
 pub use metrics::{AlgorithmWins, Metrics, MetricsSnapshot};
 pub use queue::{JobQueue, Priority, PushError};
 pub use service::{

@@ -60,6 +60,14 @@ pub struct Metrics {
     store_dedup_hits: AtomicU64,
     store_bytes_on_disk: AtomicU64,
     store_scrub_failures: AtomicU64,
+    worker_restarts: AtomicU64,
+    jobs_panicked: AtomicU64,
+    jobs_quarantined: AtomicU64,
+    jobs_shed: AtomicU64,
+    jobs_crashed: AtomicU64,
+    dlq_depth: AtomicU64,
+    dlq_dropped: AtomicU64,
+    last_heartbeat_age_ms: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -81,6 +89,14 @@ impl Default for Metrics {
             store_dedup_hits: AtomicU64::new(0),
             store_bytes_on_disk: AtomicU64::new(0),
             store_scrub_failures: AtomicU64::new(0),
+            worker_restarts: AtomicU64::new(0),
+            jobs_panicked: AtomicU64::new(0),
+            jobs_quarantined: AtomicU64::new(0),
+            jobs_shed: AtomicU64::new(0),
+            jobs_crashed: AtomicU64::new(0),
+            dlq_depth: AtomicU64::new(0),
+            dlq_dropped: AtomicU64::new(0),
+            last_heartbeat_age_ms: AtomicU64::new(0),
         }
     }
 }
@@ -172,6 +188,49 @@ impl Metrics {
             .fetch_max(scrub_failures, Ordering::Relaxed);
     }
 
+    /// The supervisor replaced a dead worker thread.
+    pub fn record_worker_restart(&self) {
+        self.worker_restarts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A job panicked; the panic was contained and the ticket answered
+    /// `Err(JobError::Panicked)`.
+    pub fn record_panicked(&self) {
+        self.jobs_panicked.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A job was refused execution because its content fingerprint is
+    /// quarantined (ticket answered `Err(JobError::Quarantined)`).
+    pub fn record_quarantined(&self) {
+        self.jobs_quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Admission control shed a job under overload (ticket answered
+    /// `Err(JobError::Shed)` without the job ever entering the queue).
+    pub fn record_shed(&self) {
+        self.jobs_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A job died with its worker (thread killed outside containment);
+    /// its ticket resolved `Err(JobError::WorkerGone)` via channel
+    /// disconnect and the supervisor attributed the loss here.
+    pub fn record_crashed(&self) {
+        self.jobs_crashed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Refresh the dead-letter-queue gauges: current depth and letters
+    /// dropped because the bounded queue was full.
+    pub fn set_dlq_state(&self, depth: u64, dropped: u64) {
+        self.dlq_depth.store(depth, Ordering::Relaxed);
+        self.dlq_dropped.fetch_max(dropped, Ordering::Relaxed);
+    }
+
+    /// Refresh the watchdog gauge: age of the stalest live worker
+    /// heartbeat, wall-clock ms.
+    pub fn set_heartbeat_age_ms(&self, age_ms: u64) {
+        self.last_heartbeat_age_ms.store(age_ms, Ordering::Relaxed);
+    }
+
     /// Jobs currently queued, per this registry's accounting.
     pub fn queue_depth(&self) -> u64 {
         self.queue_depth.load(Ordering::Relaxed)
@@ -242,6 +301,14 @@ impl Metrics {
             store_dedup_hits: self.store_dedup_hits.load(Ordering::Relaxed),
             store_bytes_on_disk: self.store_bytes_on_disk.load(Ordering::Relaxed),
             store_scrub_failures: self.store_scrub_failures.load(Ordering::Relaxed),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            jobs_panicked: self.jobs_panicked.load(Ordering::Relaxed),
+            jobs_quarantined: self.jobs_quarantined.load(Ordering::Relaxed),
+            jobs_shed: self.jobs_shed.load(Ordering::Relaxed),
+            jobs_crashed: self.jobs_crashed.load(Ordering::Relaxed),
+            dlq_depth: self.dlq_depth.load(Ordering::Relaxed),
+            dlq_dropped: self.dlq_dropped.load(Ordering::Relaxed),
+            last_heartbeat_age_ms: self.last_heartbeat_age_ms.load(Ordering::Relaxed),
         }
     }
 }
@@ -295,6 +362,22 @@ pub struct MetricsSnapshot {
     pub store_bytes_on_disk: u64,
     /// Store records that ever failed checksum validation.
     pub store_scrub_failures: u64,
+    /// Dead worker threads the supervisor replaced.
+    pub worker_restarts: u64,
+    /// Jobs whose panic was contained (`Err(JobError::Panicked)`).
+    pub jobs_panicked: u64,
+    /// Jobs refused because their content fingerprint is quarantined.
+    pub jobs_quarantined: u64,
+    /// Jobs shed by admission control under overload.
+    pub jobs_shed: u64,
+    /// Jobs that died with their worker (resolved `WorkerGone`).
+    pub jobs_crashed: u64,
+    /// Dead letters currently held in the bounded DLQ.
+    pub dlq_depth: u64,
+    /// Dead letters evicted because the bounded DLQ was full.
+    pub dlq_dropped: u64,
+    /// Age of the stalest live worker heartbeat at snapshot, ms.
+    pub last_heartbeat_age_ms: u64,
 }
 
 impl MetricsSnapshot {

@@ -13,9 +13,17 @@
 //! — `pop` only returns `None` once the queue is *closed and empty*.
 //! That is the "no lost jobs" half of the service's contract: every
 //! accepted job is either handed to a worker or still queued.
+//!
+//! Locking is poison-recovering ([`lock_recover`]): every mutation of
+//! the queue state (`push_back` + length bump, `pop_front` + length
+//! drop, the `closed` flag) is panic-free between lock and unlock, so a
+//! guard abandoned by some unrelated unwinding thread never leaves the
+//! state inconsistent — refusing to serve jobs over a stale poison flag
+//! would be strictly worse than continuing.
 
+use crate::dlq::lock_recover;
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 
 /// Job urgency. Lanes are strict: a `High` job is always dispatched
 /// before any waiting `Normal` job, which beats any `Low` job.
@@ -94,7 +102,7 @@ impl<T> JobQueue<T> {
 
     /// Jobs currently queued (all lanes).
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue poisoned").len
+        lock_recover(&self.state).len
     }
 
     /// `true` when no jobs are queued.
@@ -106,7 +114,7 @@ impl<T> JobQueue<T> {
     /// the queue is at capacity instead of waiting — the backpressure
     /// signal the service turns into a `rejected` metric.
     pub fn try_push(&self, item: T, priority: Priority) -> Result<(), PushError<T>> {
-        let mut st = self.state.lock().expect("queue poisoned");
+        let mut st = lock_recover(&self.state);
         if st.closed {
             return Err(PushError::Closed(item));
         }
@@ -123,7 +131,7 @@ impl<T> JobQueue<T> {
     /// Blocking submit: waits for space, failing only if the queue is
     /// closed (before or while waiting).
     pub fn push(&self, item: T, priority: Priority) -> Result<(), PushError<T>> {
-        let mut st = self.state.lock().expect("queue poisoned");
+        let mut st = lock_recover(&self.state);
         loop {
             if st.closed {
                 return Err(PushError::Closed(item));
@@ -135,7 +143,7 @@ impl<T> JobQueue<T> {
                 self.not_empty.notify_one();
                 return Ok(());
             }
-            st = self.not_full.wait(st).expect("queue poisoned");
+            st = self.not_full.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -143,7 +151,7 @@ impl<T> JobQueue<T> {
     /// lane. Blocks while the queue is empty; returns `None` only once
     /// the queue is closed **and** fully drained.
     pub fn pop(&self) -> Option<T> {
-        let mut st = self.state.lock().expect("queue poisoned");
+        let mut st = lock_recover(&self.state);
         loop {
             if st.len > 0 {
                 let item = st
@@ -159,14 +167,14 @@ impl<T> JobQueue<T> {
             if st.closed {
                 return None;
             }
-            st = self.not_empty.wait(st).expect("queue poisoned");
+            st = self.not_empty.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Stop accepting work. Queued jobs remain poppable; blocked
     /// producers and (eventually) consumers are woken.
     pub fn close(&self) {
-        let mut st = self.state.lock().expect("queue poisoned");
+        let mut st = lock_recover(&self.state);
         st.closed = true;
         drop(st);
         self.not_empty.notify_all();
@@ -175,7 +183,7 @@ impl<T> JobQueue<T> {
 
     /// `true` once [`close`](Self::close) has been called.
     pub fn is_closed(&self) -> bool {
-        self.state.lock().expect("queue poisoned").closed
+        lock_recover(&self.state).closed
     }
 }
 

@@ -8,31 +8,44 @@
 //! get a [`JobTicket`] back; the response arrives on the ticket when a
 //! worker finishes.
 //!
-//! ## Job lifecycle & the no-lost-jobs contract
+//! ## Job lifecycle & the every-ticket-resolves contract
 //!
 //! ```text
 //! submit ─┬─ queue full ──────────────► Err(SubmitError::QueueFull)
+//!         ├─ shedding ────────────────► ticket: Err(JobError::Shed)
 //!         └─ accepted → queued ─┬─ deadline passed at dequeue
-//!         │                     │        └► ticket: Err(JobError::Expired)
-//!         │                     └─ executed ─┬─ ok  ► ticket: Ok(CompressResponse)
-//!         │                                  └─ err ► ticket: Err(JobError::Exchange)
-//!         └─ (shutdown drains the queue before workers exit)
+//!                               │        └► ticket: Err(JobError::Expired)
+//!                               ├─ content quarantined
+//!                               │        └► ticket: Err(JobError::Quarantined)
+//!                               ├─ executed ─┬─ ok    ► ticket: Ok(CompressResponse)
+//!                               │            ├─ err   ► ticket: Err(JobError::Exchange/Store)
+//!                               │            └─ panic ► ticket: Err(JobError::Panicked)
+//!                               └─ worker crashed under the job
+//!                                        └► ticket: Err(JobError::WorkerGone)
 //! ```
 //!
-//! Every **accepted** job resolves its ticket exactly once — rejection
-//! is only ever synchronous, at submit. [`shutdown`](CompressionService::shutdown)
-//! closes the queue (new submissions fail fast) but joins the workers
-//! only after they drain what was already accepted.
+//! **Every ticket resolves exactly once, with a typed outcome**: `Ok`,
+//! a typed `Err`, shed, or quarantined. Hard rejection
+//! (`SubmitError`) is only ever synchronous, at submit; a shed job
+//! never enters the queue but its ticket still resolves. Worker panics
+//! are contained per job ([`JobError::Panicked`]); worker *crashes*
+//! resolve the victim's ticket via the dropped reply sender
+//! ([`JobError::WorkerGone`]) and the supervisor respawns the thread
+//! (see [`crate::supervisor`]). [`shutdown`](CompressionService::shutdown)
+//! closes the queue (new submissions fail fast) and joins the
+//! supervisor, which keeps replacing crashed workers until everything
+//! accepted has drained.
 
 use crate::cache::{ContextKey, LruCache};
+use crate::dlq::{DeadLetter, DeadLetterInfo, DeadLetterQueue, QuarantineRegistry};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::queue::{JobQueue, Priority, PushError};
-use crate::worker;
+use crate::supervisor;
 use dnacomp_algos::Algorithm;
 use dnacomp_cloud::{ExchangeError, FaultPlan, RetryPolicy};
 use dnacomp_core::{Context, FrameworkHandle};
 use dnacomp_seq::PackedSeq;
-use dnacomp_store::{PutOutcome, SequenceStore, StoreError};
+use dnacomp_store::{ContentKey, PutOutcome, SequenceStore, StoreError};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -122,9 +135,31 @@ pub enum JobError {
     /// [`SequenceStore`] failed; the result was not delivered because
     /// persist-on-complete promises the record is durable on success.
     Store(StoreError),
-    /// The worker disappeared without answering (pool torn down
-    /// mid-job); should not happen under orderly shutdown.
+    /// The worker crashed (or the pool died) under this job without
+    /// answering. The supervisor counts the crash, strikes the job's
+    /// content, and respawns the worker — resubmitting is safe unless
+    /// the content has been quarantined meanwhile.
     WorkerGone,
+    /// The job panicked inside a worker; the panic was contained
+    /// ([`dnacomp_core::contain_panic`]) and charged to this job alone.
+    Panicked {
+        /// Extracted panic payload.
+        message: String,
+        /// Quarantine strikes now held against this job's content.
+        strikes: u32,
+    },
+    /// The job's content crossed the strike threshold earlier and is
+    /// quarantined in the dead-letter queue; execution was refused.
+    Quarantined {
+        /// Hex content fingerprint — the handle for `dlq replay`/`drop`.
+        key_hex: String,
+    },
+    /// Load shedding refused the job at admission
+    /// ([`ServiceConfig::shed_above`]); it never entered the queue.
+    Shed {
+        /// Queue depth observed at the shedding decision.
+        depth: usize,
+    },
 }
 
 impl std::fmt::Display for JobError {
@@ -135,7 +170,16 @@ impl std::fmt::Display for JobError {
             }
             JobError::Exchange(e) => write!(f, "exchange failed: {e}"),
             JobError::Store(e) => write!(f, "persisting result failed: {e}"),
-            JobError::WorkerGone => f.write_str("worker exited without answering"),
+            JobError::WorkerGone => f.write_str("worker crashed without answering"),
+            JobError::Panicked { message, strikes } => {
+                write!(f, "job panicked (contained; strike {strikes}): {message}")
+            }
+            JobError::Quarantined { key_hex } => {
+                write!(f, "content {key_hex} is quarantined in the dead-letter queue")
+            }
+            JobError::Shed { depth } => {
+                write!(f, "shed at admission: queue depth {depth} over the shedding threshold")
+            }
         }
     }
 }
@@ -163,6 +207,25 @@ pub type JobResult = Result<CompressResponse, JobError>;
 
 /// The shared decision cache (quantized context → algorithm).
 pub(crate) type LruMap = Mutex<LruCache<ContextKey, Algorithm>>;
+
+/// Lock the decision cache, recovering from poisoning by clearing it.
+///
+/// A panic while holding the cache lock (contained by the worker's
+/// panic guard) poisons the mutex but cannot make the *service* wrong:
+/// cached values are pure functions of their keys, so dropping every
+/// entry restores a trivially consistent (merely cold) cache. This
+/// replaces the old `expect("cache poisoned")`, which let one contained
+/// panic take down every subsequent job on the decide path.
+pub(crate) fn lock_cache(cache: &LruMap) -> std::sync::MutexGuard<'_, LruCache<ContextKey, Algorithm>> {
+    match cache.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            let mut guard = poisoned.into_inner();
+            guard.clear();
+            guard
+        }
+    }
+}
 
 /// An internal queued job: the request plus reply plumbing.
 pub(crate) struct Job {
@@ -218,6 +281,24 @@ pub struct ServiceConfig {
     /// response carries the [`PutOutcome`]. `None` (the default) keeps
     /// the service stateless, as in earlier revisions.
     pub store: Option<Arc<SequenceStore>>,
+    /// Load shedding / admission control. `Some(depth)`: once the queue
+    /// holds ≥ `depth` jobs, low-priority submissions are shed (ticket
+    /// resolves [`JobError::Shed`] immediately, nothing is enqueued);
+    /// normal-priority submissions shed at `2 × depth`; high priority is
+    /// never shed — it only ever hits the hard
+    /// [`SubmitError::QueueFull`] wall. `None` (default) disables
+    /// shedding.
+    pub shed_above: Option<usize>,
+    /// Panics/crashes charged to one content fingerprint before it is
+    /// quarantined into the dead-letter queue. `u32::MAX` disables
+    /// quarantine.
+    pub quarantine_after: u32,
+    /// Total worker respawns the supervisor may perform over the
+    /// service's lifetime. `0` means a crashed worker stays dead.
+    pub restart_budget: u32,
+    /// Dead letters held before the oldest is evicted (and counted in
+    /// the `dlq_dropped` metric).
+    pub dlq_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -231,6 +312,10 @@ impl Default for ServiceConfig {
             block_bytes: None,
             breaker_threshold: 3,
             store: None,
+            shed_above: None,
+            quarantine_after: 2,
+            restart_budget: 8,
+            dlq_capacity: 64,
         }
     }
 }
@@ -240,45 +325,90 @@ pub struct CompressionService {
     queue: Arc<JobQueue<Job>>,
     metrics: Arc<Metrics>,
     cache: Arc<LruMap>,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    dlq: Arc<DeadLetterQueue>,
+    registry: Arc<QuarantineRegistry>,
+    shed_above: Option<usize>,
+    supervisor: Option<std::thread::JoinHandle<()>>,
 }
 
 impl CompressionService {
-    /// Spawn the worker pool and open the queue.
+    /// Spawn the worker pool (plus its supervisor) and open the queue.
     pub fn start(framework: FrameworkHandle, config: ServiceConfig) -> Self {
         assert!(config.workers > 0, "need at least one worker");
         let queue = Arc::new(JobQueue::new(config.queue_capacity));
         let metrics = Arc::new(Metrics::new());
         let cache = Arc::new(Mutex::new(LruCache::new(config.cache_capacity)));
-        let handles = (0..config.workers)
-            .map(|id| {
-                let ctx = worker::WorkerContext {
-                    id,
-                    queue: Arc::clone(&queue),
-                    framework: framework.clone(),
-                    cache: Arc::clone(&cache),
-                    metrics: Arc::clone(&metrics),
-                    config: config.clone(),
-                };
-                std::thread::Builder::new()
-                    .name(format!("dnacomp-worker-{id}"))
-                    .spawn(move || worker::run(ctx))
-                    .expect("spawning worker thread")
-            })
+        let dlq = Arc::new(DeadLetterQueue::new(config.dlq_capacity));
+        let registry = Arc::new(QuarantineRegistry::new(config.quarantine_after));
+        let shed_above = config.shed_above;
+        let restart_budget = config.restart_budget;
+        let shared = supervisor::PoolShared {
+            queue: Arc::clone(&queue),
+            framework,
+            cache: Arc::clone(&cache),
+            metrics: Arc::clone(&metrics),
+            config,
+            dlq: Arc::clone(&dlq),
+            registry: Arc::clone(&registry),
+        };
+        let epoch = Instant::now();
+        let slots: Vec<Arc<supervisor::WorkerSlot>> = (0..shared.config.workers)
+            .map(|id| Arc::new(supervisor::WorkerSlot::new(id, epoch)))
             .collect();
+        let handles = slots
+            .iter()
+            .map(|slot| Some(supervisor::spawn_worker(&shared, Arc::clone(slot), 0)))
+            .collect();
+        let generations = vec![0u32; slots.len()];
+        let sup = supervisor::Supervisor {
+            shared,
+            slots,
+            handles,
+            generations,
+            restarts_left: restart_budget,
+        };
+        let supervisor = std::thread::Builder::new()
+            .name("dnacomp-supervisor".to_owned())
+            .spawn(move || supervisor::run(sup))
+            .expect("spawning supervisor thread");
         CompressionService {
             queue,
             metrics,
             cache,
-            handles,
+            dlq,
+            registry,
+            shed_above,
+            supervisor: Some(supervisor),
         }
     }
 
     /// Submit a job. Non-blocking: a full queue rejects immediately
-    /// (backpressure) rather than stalling the producer.
+    /// (backpressure) rather than stalling the producer; an overloaded
+    /// queue *sheds* lower-priority work instead (the ticket resolves
+    /// [`JobError::Shed`] without the job ever being enqueued).
     pub fn submit(&self, req: CompressRequest) -> Result<JobTicket, SubmitError> {
         let (tx, rx) = mpsc::channel();
         let priority = req.priority;
+        // Admission control: shed before touching the queue. Low lane
+        // sheds first (at the configured depth), normal at twice it,
+        // high priority never — it competes only with the hard
+        // QueueFull limit. Shed jobs are not "accepted": they are
+        // resolved on the spot and appear only in `jobs_shed`.
+        if let Some(limit) = self.shed_above {
+            let lane_limit = match priority {
+                Priority::High => None,
+                Priority::Normal => Some(limit.saturating_mul(2)),
+                Priority::Low => Some(limit),
+            };
+            if let Some(lane_limit) = lane_limit {
+                let depth = self.queue.len();
+                if depth >= lane_limit.max(1) {
+                    self.metrics.record_shed();
+                    let _ = tx.send(Err(JobError::Shed { depth }));
+                    return Ok(JobTicket { rx });
+                }
+            }
+        }
         let job = Job {
             req,
             submitted: Instant::now(),
@@ -312,7 +442,7 @@ impl CompressionService {
 
     /// Decisions currently cached.
     pub fn cached_decisions(&self) -> usize {
-        self.cache.lock().expect("cache poisoned").len()
+        lock_cache(&self.cache).len()
     }
 
     /// Jobs currently queued.
@@ -320,8 +450,59 @@ impl CompressionService {
         self.queue.len()
     }
 
-    /// Close the queue, drain it, join every worker, and return the
-    /// final metrics snapshot.
+    /// Dead letters currently quarantined.
+    pub fn dlq_depth(&self) -> usize {
+        self.dlq.depth()
+    }
+
+    /// Summaries of every quarantined job, oldest first.
+    pub fn dlq_list(&self) -> Vec<DeadLetterInfo> {
+        self.dlq.list()
+    }
+
+    /// Drop a dead letter without replaying it. Clears the content's
+    /// strikes too (dropping is a human judgement that the record is
+    /// noise). Returns the discarded letter, `None` if the key is not
+    /// quarantined.
+    pub fn dlq_drop(&self, key: &ContentKey) -> Option<DeadLetter> {
+        let letter = self.dlq.take(key)?;
+        self.registry.clear(key);
+        self.metrics
+            .set_dlq_state(self.dlq.depth() as u64, self.dlq.dropped());
+        Some(letter)
+    }
+
+    /// Replay a dead letter: forgive its strikes and resubmit the
+    /// original request. `None` if the key is not quarantined; the
+    /// inner `Result` is the resubmission outcome (on a synchronous
+    /// rejection the letter is restored to the DLQ, strikes stay
+    /// cleared).
+    pub fn dlq_replay(&self, key: &ContentKey) -> Option<Result<JobTicket, SubmitError>> {
+        let letter = self.dlq.take(key)?;
+        self.registry.clear(key);
+        match self.submit(letter.request.clone()) {
+            Ok(ticket) => {
+                self.metrics
+                    .set_dlq_state(self.dlq.depth() as u64, self.dlq.dropped());
+                Some(Ok(ticket))
+            }
+            Err(e) => {
+                self.dlq.push(letter);
+                Some(Err(e))
+            }
+        }
+    }
+
+    /// Remove and return every dead letter, oldest first — how `dnacomp
+    /// serve --dlq-dir` persists the quarantine before shutdown.
+    pub fn dlq_drain(&self) -> Vec<DeadLetter> {
+        let letters = self.dlq.drain();
+        self.metrics.set_dlq_state(0, self.dlq.dropped());
+        letters
+    }
+
+    /// Close the queue, drain it, join the supervision tree, and return
+    /// the final metrics snapshot.
     pub fn shutdown(mut self) -> MetricsSnapshot {
         self.shutdown_in_place();
         self.metrics.snapshot()
@@ -329,19 +510,19 @@ impl CompressionService {
 
     fn shutdown_in_place(&mut self) {
         self.queue.close();
-        for h in self.handles.drain(..) {
-            // A worker that panicked already poisoned nothing shared
-            // beyond its own job; surface the panic to the caller.
-            if let Err(e) = h.join() {
-                std::panic::resume_unwind(e);
-            }
+        if let Some(h) = self.supervisor.take() {
+            // The supervisor joins (and keeps respawning, budget
+            // permitting) the workers until the queue drains, and it
+            // swallows their panic payloads — a worker panic is already
+            // a typed job outcome, never re-raised into the caller.
+            let _ = h.join();
         }
     }
 }
 
 impl Drop for CompressionService {
     fn drop(&mut self) {
-        if !self.handles.is_empty() {
+        if self.supervisor.is_some() {
             self.shutdown_in_place();
         }
     }

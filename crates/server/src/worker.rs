@@ -5,36 +5,55 @@
 //! store, so staged uploads never interleave across jobs) and a
 //! [`CircuitBreaker`] for the degradation ladder — and shares what is
 //! read-only or concurrent-safe: the [`FrameworkHandle`] rule snapshot,
-//! the LRU decision cache and the metrics registry.
+//! the LRU decision cache, the metrics registry, and the supervision
+//! state (its [`WorkerSlot`], the quarantine registry and the DLQ).
+//!
+//! ## Panic containment
+//!
+//! Job execution runs inside [`dnacomp_core::contain_panic`]: a panic
+//! anywhere in the decide/compress/exchange/persist path fails **that
+//! job** with [`JobError::Panicked`] and the worker keeps serving. Each
+//! contained panic counts a quarantine strike against the job's content
+//! fingerprint; crossing the threshold writes a dead letter and future
+//! submissions of the same content are refused up front. Only a panic
+//! *outside* the contained region (or an injected hard kill) takes the
+//! thread down — that is the supervisor's department.
 //!
 //! Determinism: fault injection keys on `(algorithm, file, block,
 //! attempt)`, never on the worker id or wall clock, so a job's outcome
 //! is identical no matter which worker runs it or in what order — the
 //! property the stress suite's "deterministic totals" assertion pins
 //! down (with [`ServiceConfig::breaker_threshold`] set high enough that
-//! ladder skipping cannot depend on a worker's job history).
+//! ladder skipping cannot depend on a worker's job history). The panic
+//! and kill faults key on the *file only*, making poisonous jobs
+//! deterministically poisonous — the precondition for repeat-offender
+//! quarantine to make sense.
 
 use crate::cache::ContextKey;
+use crate::dlq::{DeadLetter, DeadLetterQueue, QuarantineRegistry};
 use crate::metrics::Metrics;
 use crate::queue::JobQueue;
 use crate::service::{
-    CompressResponse, Job, JobError, JobResult, LruMap, ServiceConfig,
+    lock_cache, CompressResponse, Job, JobError, JobResult, LruMap, ServiceConfig,
 };
+use crate::supervisor::{InFlight, WorkerSlot};
 use dnacomp_algos::{compressor_for, Algorithm, CompressedBlob};
 use dnacomp_cloud::{BlobStore, CloudSim};
-use dnacomp_core::{run_ladder, CircuitBreaker, FrameworkHandle};
-use dnacomp_store::PutOutcome;
+use dnacomp_core::{contain_panic, run_ladder, CircuitBreaker, FrameworkHandle};
+use dnacomp_store::{ContentKey, PutOutcome};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Everything one worker thread needs.
 pub(crate) struct WorkerContext {
-    pub(crate) id: usize,
     pub(crate) queue: Arc<JobQueue<Job>>,
     pub(crate) framework: FrameworkHandle,
     pub(crate) cache: Arc<LruMap>,
     pub(crate) metrics: Arc<Metrics>,
     pub(crate) config: ServiceConfig,
+    pub(crate) dlq: Arc<DeadLetterQueue>,
+    pub(crate) registry: Arc<QuarantineRegistry>,
+    pub(crate) slot: Arc<WorkerSlot>,
 }
 
 fn build_sim(config: &ServiceConfig) -> CloudSim {
@@ -52,6 +71,7 @@ pub(crate) fn run(ctx: WorkerContext) {
     let mut sim = build_sim(&ctx.config);
     let mut breaker = CircuitBreaker::with_threshold(ctx.config.breaker_threshold);
     while let Some(job) = ctx.queue.pop() {
+        ctx.slot.beat();
         ctx.metrics.record_dequeued();
         let waited = job.submitted.elapsed();
         if let Some(deadline) = job.req.deadline {
@@ -63,13 +83,59 @@ pub(crate) fn run(ctx: WorkerContext) {
                 continue;
             }
         }
-        let result = execute(&ctx, &mut sim, &mut breaker, &job);
+        let key = ContentKey::of_sequence(&job.req.sequence);
+        // The quarantine gate comes before everything else — including
+        // the injected hard kill below: quarantined content is refused
+        // *without being processed*, so a repeat worker-killer can
+        // never claim another thread.
+        if ctx.registry.is_quarantined(&key) {
+            ctx.metrics.record_quarantined();
+            let _ = job.reply.send(Err(JobError::Quarantined {
+                key_hex: key.to_hex(),
+            }));
+            ctx.slot.beat();
+            continue;
+        }
+        // Publish the job before anything can go wrong so a dead thread
+        // always leaves a readable account of what it was doing.
+        ctx.slot.set_in_flight(Some(InFlight {
+            req: job.req.clone(),
+            key,
+        }));
+        // Simulated hard crash: a panic deliberately *outside* the
+        // contained region, modelling the failures containment cannot
+        // catch (abort-adjacent bugs, stack overflow). The reply sender
+        // dies with the thread, resolving the ticket `WorkerGone`; the
+        // supervisor attributes the crash via the in-flight cell.
+        if ctx.config.faults.kills_worker(&job.req.file) {
+            panic!("injected worker kill on {}", job.req.file);
+        }
+        let result = match contain_panic(|| execute(&ctx, &mut sim, &mut breaker, &job)) {
+            Ok(result) => result,
+            Err(message) => {
+                ctx.metrics.record_panicked();
+                let (strikes, crossed) = ctx.registry.strike(&key);
+                if crossed {
+                    let (depth, dropped) = ctx.dlq.push(DeadLetter {
+                        key,
+                        strikes,
+                        last_error: message.clone(),
+                        request: job.req.clone(),
+                    });
+                    ctx.metrics.set_dlq_state(depth, dropped);
+                }
+                Err(JobError::Panicked { message, strikes })
+            }
+        };
+        ctx.slot.set_in_flight(None);
         match &result {
             Ok(r) => ctx.metrics.record_completed(r.algorithm, r.sim_ms),
+            Err(JobError::Panicked { .. }) => {} // counted as panicked above
             Err(_) => ctx.metrics.record_failed(),
         }
         // A dropped ticket is a caller choice, not a service error.
         let _ = job.reply.send(result);
+        ctx.slot.beat();
     }
 }
 
@@ -116,10 +182,15 @@ fn execute(
     job: &Job,
 ) -> JobResult {
     let req = &job.req;
+    // Injected job panic: inside the contained region, keyed on the
+    // file only, so a poisonous job panics on every execution.
+    if ctx.config.faults.job_panics(&req.file) {
+        panic!("injected job panic on {}", req.file);
+    }
     let t0 = Instant::now();
     let key = ContextKey::quantize(&req.context);
     let (decided, cache_hit) = {
-        let mut cache = ctx.cache.lock().expect("cache poisoned");
+        let mut cache = lock_cache(&ctx.cache);
         if let Some(&alg) = cache.get(&key) {
             ctx.metrics.record_cache_hit();
             (alg, true)
@@ -143,7 +214,7 @@ fn execute(
                 sim_ms: report.total_ms(),
                 wall_ms: t0.elapsed().as_secs_f64() * 1e3,
                 cache_hit,
-                worker: ctx.id,
+                worker: ctx.slot.id,
                 retries: report.retries,
                 degraded_from: report.degraded_from,
                 persisted: persist(ctx, job, used, None)?,
@@ -162,7 +233,7 @@ fn execute(
                     .compress_ms(&req.context.client(), decided, &req.file, &stats),
                 wall_ms: t0.elapsed().as_secs_f64() * 1e3,
                 cache_hit,
-                worker: ctx.id,
+                worker: ctx.slot.id,
                 retries: 0,
                 degraded_from: Vec::new(),
                 persisted: persist(ctx, job, decided, Some(&blob))?,

@@ -4,11 +4,21 @@
 //! by the key's low byte, so concurrent `get`s from service workers
 //! never contend on a global lock. The index is purely a cache of the
 //! manifest — losing it costs a replay, never data.
+//!
+//! Shard locks recover from poisoning rather than propagating a
+//! panic: every critical section is a single `HashMap` operation, so a
+//! panicking thread can never leave a shard half-mutated, and the map
+//! behind a poisoned lock is exactly as valid as before the panic.
 
 use crate::manifest::Location;
 use crate::record::ContentKey;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Lock a shard, recovering from poisoning (see module docs).
+fn lock_shard<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Number of independent index shards.
 pub const SHARDS: usize = 16;
@@ -39,7 +49,7 @@ impl ShardedIndex {
 
     /// Location of `key`, if present.
     pub fn get(&self, key: &ContentKey) -> Option<Location> {
-        self.shard(key).lock().expect("index shard poisoned").get(key).copied()
+        lock_shard(self.shard(key)).get(key).copied()
     }
 
     /// `true` if `key` is present.
@@ -49,25 +59,19 @@ impl ShardedIndex {
 
     /// Insert or replace; returns the previous location if any.
     pub fn insert(&self, key: ContentKey, loc: Location) -> Option<Location> {
-        self.shard(&key)
-            .lock()
-            .expect("index shard poisoned")
-            .insert(key, loc)
+        lock_shard(self.shard(&key)).insert(key, loc)
     }
 
     /// Remove; returns the evicted location if the key was present.
     pub fn remove(&self, key: &ContentKey) -> Option<Location> {
-        self.shard(key)
-            .lock()
-            .expect("index shard poisoned")
-            .remove(key)
+        lock_shard(self.shard(key)).remove(key)
     }
 
     /// Total records indexed.
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("index shard poisoned").len())
+            .map(|s| lock_shard(s).len())
             .sum()
     }
 
@@ -83,8 +87,7 @@ impl ShardedIndex {
             .shards
             .iter()
             .flat_map(|s| {
-                s.lock()
-                    .expect("index shard poisoned")
+                lock_shard(s)
                     .iter()
                     .map(|(k, v)| (*k, *v))
                     .collect::<Vec<_>>()

@@ -340,6 +340,24 @@ impl SequenceStore {
         &self.dir
     }
 
+    /// Lock the writer, converting poisoning into fail-stop. A panic
+    /// while the writer lock was held may have left the in-memory
+    /// segment accounting out of sync with the log, so the store marks
+    /// itself dead (subsequent writes fail typed with
+    /// [`StoreError::Crashed`]) instead of either panicking the caller
+    /// or trusting suspect state. Reopening recovers: the manifest and
+    /// WAL are consistent at every fsync'd commit point.
+    fn lock_writer(&self) -> std::sync::MutexGuard<'_, Writer> {
+        match self.writer.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                guard.dead = true;
+                guard
+            }
+        }
+    }
+
     /// Store `blob` under the content key of `seq` (the original
     /// sequence `blob` encodes). Duplicate content is detected by key
     /// and not written again.
@@ -368,7 +386,7 @@ impl SequenceStore {
         };
         let bytes = record.encode();
 
-        let mut w = self.writer.lock().expect("store writer poisoned");
+        let mut w = self.lock_writer();
         if w.dead {
             return Err(StoreError::Crashed);
         }
@@ -439,7 +457,7 @@ impl SequenceStore {
     /// Logically delete `key`. Returns whether it was present; the
     /// bytes stay on disk (dead) until a compaction reclaims them.
     pub fn remove(&self, key: &ContentKey) -> Result<bool, StoreError> {
-        let mut w = self.writer.lock().expect("store writer poisoned");
+        let mut w = self.lock_writer();
         if w.dead {
             return Err(StoreError::Crashed);
         }
@@ -513,7 +531,7 @@ impl SequenceStore {
     /// anything if a victim record fails validation — corrupt data is
     /// surfaced, never silently dropped or propagated.
     pub fn compact(&self) -> Result<CompactReport, StoreError> {
-        let mut w = self.writer.lock().expect("store writer poisoned");
+        let mut w = self.lock_writer();
         if w.dead {
             return Err(StoreError::Crashed);
         }
@@ -588,7 +606,7 @@ impl SequenceStore {
 
     /// Current counters and sizes.
     pub fn snapshot(&self) -> StoreSnapshot {
-        let w = self.writer.lock().expect("store writer poisoned");
+        let w = self.lock_writer();
         let (mut bytes_on_disk, mut live_bytes, mut segments) = (0, 0, 0);
         for info in w.segments.values() {
             bytes_on_disk += info.bytes;

@@ -49,4 +49,19 @@ step "store crash-recovery sweep (isolated, 300 s timeout)"
 timeout 300 cargo test --release --test store \
     crash_sweep_recovers_exactly_the_committed_prefix -- --nocapture
 
+# Supervision soak: 8 workers × 510 jobs at 8 % deterministic panic
+# injection, exact outcome accounting. A containment or respawn
+# regression that deadlocks the pool must fail fast, not wedge CI.
+# 300 s is ~100x its observed runtime.
+step "panic-injection soak (isolated, 300 s timeout)"
+timeout 300 cargo test --release --test supervision \
+    panic_soak_every_ticket_resolves_and_panics_are_accounted -- --nocapture
+
+# Codec fuzz: random payloads, mutated real blobs and lying headers
+# through every decoder. A reintroduced unbounded preallocation or
+# decode loop shows up as a timeout/OOM here. 600 s is ~20x its
+# observed debug-profile runtime (release is much faster).
+step "codec fuzz suite (isolated, 600 s timeout)"
+timeout 600 cargo test --release --test fuzz_codecs -- --nocapture
+
 step "all gates passed"

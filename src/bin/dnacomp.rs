@@ -27,7 +27,7 @@ use dnacomp::seq::gen::GenomeModel;
 use dnacomp::seq::corpus::CorpusBuilder;
 use dnacomp::seq::PackedSeq;
 use dnacomp::server::{
-    build_workload, run_bench, BenchConfig, CompressionService, ServiceConfig,
+    build_workload, run_bench, BenchConfig, CompressionService, DlqDir, ServiceConfig,
 };
 use dnacomp::store::{ContentKey, SequenceStore, StoreConfig};
 use std::process::ExitCode;
@@ -79,9 +79,15 @@ const USAGE: &str = "usage:
   dnacomp info <in.dx>
   dnacomp decide --ram-mb <n> --cpu-mhz <n> --bw-mbps <x> --file-kb <x>
   dnacomp serve --workers <n> [--files <n>] [--contexts <n>] [--repeats <n>]
-                [--fault-rate <x>] [--exchange] [--json]
+                [--fault-rate <x>] [--panic-rate <x>] [--kill-rate <x>]
+                [--shed-above <depth>] [--restart-budget <n>]
+                [--quarantine-after <n>] [--dlq-dir <dir>]
+                [--exchange] [--json]
   dnacomp bench-serve [--workers 1,4,8] [--files <n>] [--contexts <n>]
                       [--repeats <n>] [--json] [--out <path>]
+  dnacomp dlq list --dir <dlq-dir> [--json]
+  dnacomp dlq replay --dir <dlq-dir> <key>
+  dnacomp dlq drop --dir <dlq-dir> <key>
   dnacomp store put --dir <store> [-a <algorithm>] <in.fa>
   dnacomp store get --dir <store> <key> <out.fa>
   dnacomp store stat --dir <store> [<key>]
@@ -92,9 +98,11 @@ algorithms: gzip, ctw, gencompress, dnax, biocompress2, dnapack-lite, cfact, xm-
             (`dnacomp list` prints the full set)
 serve replays the synthetic corpus through the concurrent compression
 service and prints the metrics registry (add --store <dir> to persist
-every result); bench-serve sweeps worker counts and reports wall-clock
-and simulated throughput; store manages a crash-safe content-addressed
-repository of compressed sequences.";
+every result; --panic-rate/--kill-rate inject deterministic worker
+faults and --dlq-dir persists the quarantine at shutdown); bench-serve
+sweeps worker counts and reports wall-clock and simulated throughput;
+dlq inspects, replays or drops persisted dead letters; store manages a
+crash-safe content-addressed repository of compressed sequences.";
 
 fn run(args: &[String]) -> Result<(), CliError> {
     match args.first().map(String::as_str) {
@@ -105,6 +113,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         Some("decide") => cmd_decide(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("bench-serve") => cmd_bench_serve(&args[1..]),
+        Some("dlq") => cmd_dlq(&args[1..]),
         Some("store") => cmd_store(&args[1..]),
         Some("list") => {
             for alg in Algorithm::HORIZONTAL {
@@ -334,10 +343,28 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         .parse()
         .map_err(|e| usage(format!("--workers: {e}")))?;
     let mut cfg = bench_config_from_flags(&flags)?;
-    let fault_rate: f64 = flags
-        .get("fault-rate")
-        .map(|v| v.parse().map_err(|e| usage(format!("--fault-rate: {e}"))))
-        .unwrap_or(Ok(0.0))?;
+    let parse_f64 = |name: &str| -> Result<f64, CliError> {
+        flags
+            .get(name)
+            .map(|v| v.parse().map_err(|e| usage(format!("--{name}: {e}"))))
+            .unwrap_or(Ok(0.0))
+    };
+    let fault_rate = parse_f64("fault-rate")?;
+    let panic_rate = parse_f64("panic-rate")?;
+    let kill_rate = parse_f64("kill-rate")?;
+    let shed_above: Option<usize> = flags
+        .get("shed-above")
+        .map(|v| v.parse().map_err(|e| usage(format!("--shed-above: {e}"))))
+        .transpose()?;
+    let mut svc = ServiceConfig::default();
+    if let Some(v) = flags.get("restart-budget") {
+        svc.restart_budget = v.parse().map_err(|e| usage(format!("--restart-budget: {e}")))?;
+    }
+    if let Some(v) = flags.get("quarantine-after") {
+        svc.quarantine_after = v
+            .parse()
+            .map_err(|e| usage(format!("--quarantine-after: {e}")))?;
+    }
     let store = flags
         .get("store")
         .map(|dir| {
@@ -346,8 +373,9 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
                 .map_err(|e| CliError::Runtime(format!("opening store {dir}: {e}")))
         })
         .transpose()?;
-    // Faults only bite on blob transfers, so a fault rate implies
-    // full-exchange jobs rather than silently doing nothing.
+    // Transfer faults only bite on blob exchanges, so a fault rate
+    // implies full-exchange jobs rather than silently doing nothing.
+    // (Panic/kill injection bites in compress-only mode too.)
     cfg.exchange = cfg.exchange || fault_rate > 0.0;
     eprintln!(
         "serving {} corpus files × {} contexts × {} passes on {workers} worker(s) …",
@@ -355,20 +383,20 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     );
     let jobs = build_workload(&cfg);
     let framework = dnacomp::server::synthetic_framework(cfg.seed);
-    let service = CompressionService::start(
-        framework,
-        ServiceConfig {
-            workers,
-            faults: if fault_rate > 0.0 {
-                dnacomp::cloud::FaultPlan::uniform(cfg.seed, fault_rate)
-            } else {
-                dnacomp::cloud::FaultPlan::none()
-            },
-            block_bytes: (fault_rate > 0.0).then_some(4096),
-            store: store.clone(),
-            ..ServiceConfig::default()
-        },
-    );
+    let mut faults = if fault_rate > 0.0 {
+        dnacomp::cloud::FaultPlan::uniform(cfg.seed, fault_rate)
+    } else {
+        dnacomp::cloud::FaultPlan::none()
+    };
+    faults.seed = cfg.seed;
+    faults.panic_rate = panic_rate;
+    faults.worker_kill_rate = kill_rate;
+    svc.workers = workers;
+    svc.faults = faults;
+    svc.block_bytes = (fault_rate > 0.0).then_some(4096);
+    svc.store = store.clone();
+    svc.shed_above = shed_above;
+    let service = CompressionService::start(framework, svc);
     let mut tickets = Vec::with_capacity(jobs.len());
     for job in &jobs {
         loop {
@@ -385,6 +413,16 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     for t in tickets {
         let _ = t.wait(); // failures are visible in the metrics
     }
+    // Persist the quarantine before shutdown: every dead letter moves
+    // to disk, so the final snapshot truthfully reports dlq_depth 0.
+    if let Some(dir) = flags.get("dlq-dir") {
+        let letters = service.dlq_drain();
+        let dlq = DlqDir::open(dir).map_err(CliError::Runtime)?;
+        for letter in &letters {
+            dlq.save(letter).map_err(CliError::Runtime)?;
+        }
+        eprintln!("persisted {} dead letter(s) to {dir}", letters.len());
+    }
     let snapshot = service.shutdown();
     if flags.contains_key("json") {
         println!("{}", snapshot.to_json());
@@ -399,6 +437,20 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             snapshot.cache_hit_rate * 100.0
         );
         println!("queue:      peak depth {}", snapshot.peak_queue_depth);
+        if snapshot.jobs_panicked + snapshot.jobs_quarantined + snapshot.jobs_shed
+            + snapshot.jobs_crashed + snapshot.worker_restarts + snapshot.dlq_depth
+            > 0
+        {
+            println!(
+                "supervise:  {} panicked, {} quarantined, {} shed, {} crashed, {} worker restart(s), dlq depth {}",
+                snapshot.jobs_panicked,
+                snapshot.jobs_quarantined,
+                snapshot.jobs_shed,
+                snapshot.jobs_crashed,
+                snapshot.worker_restarts,
+                snapshot.dlq_depth
+            );
+        }
         println!(
             "latency:    p50 {:.1} ms, p95 {:.1} ms, mean {:.1} ms (simulated)",
             snapshot.latency_p50_ms, snapshot.latency_p95_ms, snapshot.latency_mean_ms
@@ -457,6 +509,92 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), CliError> {
         }
     }
     Ok(())
+}
+
+/// `dnacomp dlq <list|replay|drop>` — inspect, resubmit or discard
+/// dead letters persisted by `serve --dlq-dir`.
+fn cmd_dlq(args: &[String]) -> Result<(), CliError> {
+    let (flags, pos) = parse_flags(args);
+    let sub = pos
+        .first()
+        .ok_or_else(|| usage("dlq: need a subcommand (list|replay|drop)"))?;
+    let dir = flags
+        .get("dir")
+        .ok_or_else(|| usage("dlq: --dir <dlq-dir> required"))?;
+    let dlq = DlqDir::open(dir).map_err(CliError::Runtime)?;
+    let parse_key = |hex: &str| {
+        ContentKey::from_hex(hex)
+            .ok_or_else(|| CliError::Runtime(format!("invalid dlq key {hex:?} (32 hex digits)")))
+    };
+    match (sub.as_str(), &pos[1..]) {
+        ("list", []) => {
+            if flags.contains_key("json") {
+                println!("{}", dlq.list_json().map_err(CliError::Runtime)?);
+                return Ok(());
+            }
+            let infos = dlq.list().map_err(CliError::Runtime)?;
+            if infos.is_empty() {
+                eprintln!("dead-letter queue is empty");
+                return Ok(());
+            }
+            println!("{:<32}  {:>7}  {:>7}  {:<18}  error", "key", "bases", "strikes", "file");
+            for info in infos {
+                println!(
+                    "{:<32}  {:>7}  {:>7}  {:<18}  {}",
+                    info.key, info.original_len, info.strikes, info.file, info.last_error
+                );
+            }
+            Ok(())
+        }
+        ("replay", [key]) => {
+            let key = parse_key(key)?;
+            let (info, req) = dlq.load(&key).map_err(CliError::Runtime)?;
+            eprintln!(
+                "replaying {} ({} bases, {} strike(s); last error: {})",
+                info.file, info.original_len, info.strikes, info.last_error
+            );
+            // A fresh fault-free single-worker service: the letter is
+            // forgiven only if the job actually completes now.
+            let service = CompressionService::start(
+                dnacomp::server::synthetic_framework(42),
+                ServiceConfig {
+                    workers: 1,
+                    ..ServiceConfig::default()
+                },
+            );
+            let ticket = service
+                .submit(req)
+                .map_err(|e| CliError::Runtime(format!("resubmit failed: {e}")))?;
+            let outcome = ticket.wait();
+            service.shutdown();
+            match outcome {
+                Ok(resp) => {
+                    dlq.remove(&key).map_err(CliError::Runtime)?;
+                    eprintln!(
+                        "replay succeeded: {} -> {} bytes via {}; letter removed",
+                        resp.original_len, resp.compressed_bytes, resp.algorithm
+                    );
+                    Ok(())
+                }
+                Err(e) => Err(CliError::Runtime(format!(
+                    "replay failed ({e}); letter kept"
+                ))),
+            }
+        }
+        ("drop", [key]) => {
+            let key = parse_key(key)?;
+            if dlq.remove(&key).map_err(CliError::Runtime)? {
+                eprintln!("dropped {}", key.to_hex());
+                Ok(())
+            } else {
+                Err(CliError::Runtime(format!(
+                    "no dead letter with key {}",
+                    key.to_hex()
+                )))
+            }
+        }
+        _ => Err(usage(format!("dlq: bad arguments for {sub:?}"))),
+    }
 }
 
 /// `dnacomp store <put|get|stat|verify|compact>` — the content-addressed
@@ -648,6 +786,47 @@ mod tests {
         assert_eq!(read_fasta(&fa).unwrap(), read_fasta(&out).unwrap());
         run(&s(&["store", "verify", "--dir", &repo])).unwrap();
         run(&s(&["store", "compact", "--dir", &repo])).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn serve_persists_dlq_and_replay_drop_clear_it() {
+        let dir = std::env::temp_dir().join(format!("dnacomp-cli-dlq-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let dlq = dir.join("dlq").to_string_lossy().into_owned();
+        // Every file panics and one strike quarantines: each of the 3
+        // unique corpus files must land in the persisted DLQ.
+        run(&s(&[
+            "serve", "--workers", "2", "--files", "3", "--contexts", "1", "--repeats", "1",
+            "--panic-rate", "1.0", "--quarantine-after", "1", "--dlq-dir", &dlq, "--json",
+        ]))
+        .unwrap();
+        let mut keys: Vec<String> = std::fs::read_dir(&dlq)
+            .unwrap()
+            .filter_map(|e| {
+                let p = e.unwrap().path();
+                (p.extension().and_then(|x| x.to_str()) == Some("json"))
+                    .then(|| p.file_stem().unwrap().to_string_lossy().into_owned())
+            })
+            .collect();
+        keys.sort();
+        assert_eq!(keys.len(), 3, "every poisoned file must be persisted");
+        run(&s(&["dlq", "list", "--dir", &dlq])).unwrap();
+        run(&s(&["dlq", "list", "--dir", &dlq, "--json"])).unwrap();
+        // Replay is fault-free, so the job completes and the letter
+        // is forgiven; drop discards another outright.
+        run(&s(&["dlq", "replay", "--dir", &dlq, &keys[0]])).unwrap();
+        run(&s(&["dlq", "drop", "--dir", &dlq, &keys[1]])).unwrap();
+        let err = run(&s(&["dlq", "drop", "--dir", &dlq, &keys[1]])).unwrap_err();
+        assert!(matches!(err, CliError::Runtime(ref m) if m.contains("no dead letter")));
+        let left = std::fs::read_dir(&dlq)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref().unwrap().path().extension().and_then(|x| x.to_str()) == Some("json")
+            })
+            .count();
+        assert_eq!(left, 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,153 @@
+//! Hostile-input property suite for every registered codec.
+//!
+//! Real exchanged corpora arrive malformed, truncated and mislabeled
+//! (arXiv:2006.02232); the service's supervision layer treats a
+//! panicking decode as a last-resort containment event, so the codecs
+//! themselves must make it a non-event: every
+//! [`Compressor::decompress`] implementation returns a **typed error**
+//! on garbage — it never panics, and never pre-allocates unbounded
+//! memory off a lying header.
+//!
+//! Three attack surfaces, swept for every algorithm in
+//! [`Algorithm::HORIZONTAL`]:
+//!
+//! 1. **random payloads** — noise bytes wrapped in a syntactically valid
+//!    container;
+//! 2. **mutated real blobs** — a genuine compressed sequence with bit
+//!    flips, truncations, and payload splices; if a mutant still decodes
+//!    `Ok`, it must decode to *exactly the original sequence* (the
+//!    checksum caught the tamper or the tamper was immaterial);
+//! 3. **lying headers** — `original_len` cranked to absurd values over
+//!    tiny payloads, which must fail fast instead of OOMing.
+
+use dnacomp::algos::{compressor_for, Algorithm, CompressedBlob};
+use dnacomp::codec::checksum::{mix64, unit_interval};
+use dnacomp::seq::gen::GenomeModel;
+
+/// Cheap deterministic byte stream for fuzz payloads.
+fn noise_bytes(seed: u64, len: usize) -> Vec<u8> {
+    (0..len).map(|i| (mix64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 32) as u8).collect()
+}
+
+fn sample_blob(alg: Algorithm, seed: u64, len: usize) -> CompressedBlob {
+    let seq = GenomeModel::default().generate(len, seed);
+    compressor_for(alg)
+        .compress(&seq)
+        .unwrap_or_else(|e| panic!("{alg}: compressing clean input failed: {e}"))
+}
+
+/// Decode must be total: `Ok` or typed `Err`, never a panic. Returns
+/// whether it decoded.
+fn assert_total(alg: Algorithm, blob: &CompressedBlob, what: &str) -> bool {
+    let c = compressor_for(alg);
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| c.decompress(blob))) {
+        Ok(_) => true,
+        Err(p) => {
+            let msg = dnacomp::core::panic_message(p.as_ref());
+            panic!("{alg}: decompress PANICKED on {what}: {msg}");
+        }
+    }
+}
+
+#[test]
+fn random_payloads_never_panic_any_codec() {
+    for alg in Algorithm::HORIZONTAL {
+        for case in 0..40u64 {
+            let seed = (alg.tag() as u64) << 32 | case;
+            let len = (mix64(seed) % 512) as usize;
+            let blob = CompressedBlob {
+                algorithm: alg,
+                original_len: (mix64(seed ^ 1) % 10_000) as usize,
+                checksum: mix64(seed ^ 2),
+                payload: noise_bytes(seed ^ 3, len),
+            };
+            assert_total(alg, &blob, &format!("random payload case {case}"));
+        }
+    }
+}
+
+#[test]
+fn mutated_real_blobs_never_panic_and_never_lie() {
+    for alg in Algorithm::HORIZONTAL {
+        let original = GenomeModel::default().generate(3_000, 77);
+        let clean = compressor_for(alg).compress(&original).unwrap();
+        let c = compressor_for(alg);
+
+        // Bit flips at deterministic positions across the payload.
+        for case in 0..60u64 {
+            let mut mutant = clean.clone();
+            if mutant.payload.is_empty() {
+                break;
+            }
+            let at = (mix64((alg.tag() as u64) << 40 | case) as usize) % mutant.payload.len();
+            let bit = 1u8 << (case % 8);
+            mutant.payload[at] ^= bit;
+            assert_total(alg, &mutant, &format!("bit flip at {at}"));
+            if let Ok(seq) = c.decompress(&mutant) {
+                // A surviving mutant must decode to the truth — the
+                // checksum rejects everything else.
+                assert_eq!(seq, original, "{alg}: bit flip at {at} silently corrupted output");
+            }
+        }
+
+        // Truncations at every eighth of the payload.
+        for i in 0..8 {
+            let mut mutant = clean.clone();
+            mutant.payload.truncate(mutant.payload.len() * i / 8);
+            assert_total(alg, &mutant, &format!("truncation to {i}/8"));
+            if let Ok(seq) = c.decompress(&mutant) {
+                assert_eq!(seq, original, "{alg}: truncation to {i}/8 silently corrupted output");
+            }
+        }
+
+        // Splice: another sequence's payload under this blob's header.
+        let other = sample_blob(alg, 78, 2_000);
+        let mut spliced = clean.clone();
+        spliced.payload = other.payload;
+        assert_total(alg, &spliced, "payload splice");
+        if let Ok(seq) = c.decompress(&spliced) {
+            assert_eq!(seq, original, "{alg}: splice silently corrupted output");
+        }
+    }
+}
+
+#[test]
+fn lying_headers_fail_fast_without_unbounded_preallocation() {
+    // A tiny payload claiming an enormous original length must come
+    // back as a typed error quickly; the bounded-preallocation contract
+    // (`CompressedBlob::decode_capacity`) keeps the upfront allocation
+    // at ≤ MAX_PREALLOC_BASES no matter what the header says.
+    for alg in Algorithm::HORIZONTAL {
+        for lie in [usize::MAX, usize::MAX / 2, 1 << 40, 1 << 33] {
+            let blob = CompressedBlob {
+                algorithm: alg,
+                original_len: lie,
+                checksum: 0xDEAD_BEEF,
+                payload: noise_bytes(lie as u64, 64),
+            };
+            assert_total(alg, &blob, &format!("lying header len={lie}"));
+            assert!(
+                compressor_for(alg).decompress(&blob).is_err(),
+                "{alg}: a 64-byte payload cannot legitimately decode {lie} bases"
+            );
+        }
+    }
+}
+
+#[test]
+fn container_wire_format_fuzz_never_panics() {
+    // One layer down: CompressedBlob::from_bytes on raw garbage.
+    for case in 0..200u64 {
+        let len = (mix64(case) % 96) as usize;
+        let mut bytes = noise_bytes(case, len);
+        // Half the cases get a valid-looking prefix so parsing gets
+        // past the magic and into the interesting varint/checksum code.
+        if case % 2 == 0 && bytes.len() >= 4 {
+            bytes[0] = b'D';
+            bytes[1] = b'X';
+            bytes[2] = 1;
+            bytes[3] = (unit_interval(mix64(case ^ 5)) * 16.0) as u8;
+        }
+        let _ = CompressedBlob::from_bytes(&bytes); // must not panic
+    }
+}

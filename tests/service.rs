@@ -72,7 +72,12 @@ fn run_summary(jobs: &[CompressRequest], config: ServiceConfig) -> Vec<String> {
     // Conservation: every accepted job resolved exactly one way.
     assert_eq!(snapshot.accepted as usize, jobs.len());
     assert_eq!(
-        snapshot.completed + snapshot.failed + snapshot.expired,
+        snapshot.completed
+            + snapshot.failed
+            + snapshot.expired
+            + snapshot.jobs_panicked
+            + snapshot.jobs_quarantined
+            + snapshot.jobs_crashed,
         snapshot.accepted,
         "jobs leaked: {snapshot:?}"
     );
