@@ -1,0 +1,358 @@
+//! Framed block container: one sequence split into independently
+//! compressed fixed-size blocks.
+//!
+//! Layout (bytes):
+//!
+//! ```text
+//! 0..2   magic  b"DF"
+//! 2      frame format version (1)
+//! 3..    uvarint: block size in bases
+//! ..     uvarint: number of blocks
+//! ..     uvarint: total original length in bases
+//! ..     u64 LE: FNV-1a checksum of the whole original packed words
+//! per block:
+//! ..     uvarint: record length in bytes
+//! ..     one [`CompressedBlob`] in its ordinary wire format
+//! ```
+//!
+//! Every block except the last holds exactly `block_size` bases, so
+//! block boundaries are a pure function of `(block_size, total_len)` —
+//! which is what lets the cloud's resumable-upload blocks and the
+//! parallel decoder agree on boundaries without any side channel, and
+//! what makes the frame bytes **independent of how many threads built
+//! them**. Each record is a full [`CompressedBlob`] (per-block algorithm
+//! tag, base length, FNV-1a checksum), so a single corrupt block is
+//! detected by its own checksum and the frame-level checksum closes the
+//! remaining gap (e.g. two equal-sized blocks swapped in transit).
+//!
+//! ## Hostile-header discipline
+//!
+//! [`FramedBlob::from_bytes`] rejects lying headers **before any
+//! header-sized allocation**: the declared block count must be
+//! affordable from the bytes actually present (each record costs at
+//! least [`MIN_RECORD_BYTES`]), the block size must fit the per-blob
+//! container limit, and the block count must equal
+//! `total_len.div_ceil(block_size)` exactly. Decoding then grows with
+//! real payload bytes only, mirroring the `MAX_PREALLOC_BASES`
+//! discipline of the flat container.
+
+use crate::blob::{Algorithm, CompressedBlob, MAX_PREALLOC_BASES};
+use crate::{compressor_for, Compressor};
+use dnacomp_codec::checksum::fnv1a;
+use dnacomp_codec::varint::{read_u64_le, read_uvarint, write_u64_le, write_uvarint};
+use dnacomp_codec::CodecError;
+use dnacomp_seq::PackedSeq;
+
+/// Magic prefix of a framed container ("DX" is the flat blob).
+pub const FRAME_MAGIC: [u8; 2] = *b"DF";
+/// Frame format version.
+pub const FRAME_VERSION: u8 = 1;
+/// Upper bound on the total bases a frame may declare (4 Gi — a human
+/// genome; per-*block* memory stays bounded by `MAX_PREALLOC_BASES`).
+pub const MAX_FRAME_BASES: u64 = 1 << 32;
+/// Cheapest possible block record: a 1-byte record-length uvarint plus
+/// the 13-byte minimum `CompressedBlob` wire header. The block-count
+/// affordability check divides by this.
+pub const MIN_RECORD_BYTES: usize = 14;
+
+/// A sequence compressed as independent fixed-size blocks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FramedBlob {
+    /// Bases per block (every block but the last is exactly this long).
+    pub block_size: usize,
+    /// Original sequence length in bases.
+    pub total_len: usize,
+    /// FNV-1a of the whole original packed words.
+    pub checksum: u64,
+    /// The per-block containers, in sequence order.
+    pub blocks: Vec<CompressedBlob>,
+}
+
+impl FramedBlob {
+    /// `true` when `bytes` starts like a framed container — the sniff
+    /// `dnacomp decompress` uses to pick the right parser.
+    pub fn is_frame(bytes: &[u8]) -> bool {
+        bytes.len() >= 3 && bytes[0..2] == FRAME_MAGIC
+    }
+
+    /// Number of blocks a `total_len`-base sequence splits into.
+    pub fn block_count(block_size: usize, total_len: usize) -> usize {
+        assert!(block_size > 0, "block size must be positive");
+        total_len.div_ceil(block_size)
+    }
+
+    /// The expected base length of block `index`.
+    pub fn block_len(&self, index: usize) -> usize {
+        let start = index * self.block_size;
+        self.total_len.saturating_sub(start).min(self.block_size)
+    }
+
+    /// Serialised frame size in bytes (the "compressed file size").
+    pub fn total_bytes(&self) -> usize {
+        self.to_bytes().len()
+    }
+
+    /// Compression ratio in bits per base, container overhead included.
+    pub fn bits_per_base(&self) -> f64 {
+        if self.total_len == 0 {
+            return 0.0;
+        }
+        self.total_bytes() as f64 * 8.0 / self.total_len as f64
+    }
+
+    /// Serialise to the wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.blocks.len() * 16);
+        out.extend_from_slice(&FRAME_MAGIC);
+        out.push(FRAME_VERSION);
+        write_uvarint(&mut out, self.block_size as u64);
+        write_uvarint(&mut out, self.blocks.len() as u64);
+        write_uvarint(&mut out, self.total_len as u64);
+        write_u64_le(&mut out, self.checksum);
+        for block in &self.blocks {
+            let record = block.to_bytes();
+            write_uvarint(&mut out, record.len() as u64);
+            out.extend_from_slice(&record);
+        }
+        out
+    }
+
+    /// Parse and validate from the wire format.
+    ///
+    /// Structural lies (impossible block counts or sizes, block counts
+    /// the payload cannot afford, per-block lengths disagreeing with the
+    /// frame geometry) are rejected with typed errors before any
+    /// allocation proportional to the lie.
+    pub fn from_bytes(bytes: &[u8]) -> Result<FramedBlob, CodecError> {
+        if bytes.len() < 4 || bytes[0..2] != FRAME_MAGIC {
+            return Err(CodecError::Corrupt("bad frame magic"));
+        }
+        if bytes[2] != FRAME_VERSION {
+            return Err(CodecError::UnknownFormat(bytes[2]));
+        }
+        let mut pos = 3;
+        let block_size = read_uvarint(bytes, &mut pos)?;
+        let n_blocks = read_uvarint(bytes, &mut pos)?;
+        let total_len = read_uvarint(bytes, &mut pos)?;
+        let checksum = read_u64_le(bytes, &mut pos)?;
+        if block_size == 0 || block_size > MAX_PREALLOC_BASES as u64 {
+            return Err(CodecError::Corrupt("frame block size out of range"));
+        }
+        if total_len > MAX_FRAME_BASES {
+            return Err(CodecError::Corrupt("frame length exceeds container limit"));
+        }
+        if n_blocks != total_len.div_ceil(block_size) {
+            return Err(CodecError::Corrupt("frame block count disagrees with length"));
+        }
+        // Affordability: every declared block costs ≥ MIN_RECORD_BYTES of
+        // payload, so a lying count is refused before the Vec allocation
+        // below can be sized by it.
+        let remaining = bytes.len() - pos;
+        if n_blocks > (remaining / MIN_RECORD_BYTES) as u64 {
+            return Err(CodecError::Corrupt("frame block count exceeds payload"));
+        }
+        let block_size = block_size as usize;
+        let total_len = total_len as usize;
+        let n_blocks = n_blocks as usize;
+        let mut blocks = Vec::with_capacity(n_blocks);
+        for index in 0..n_blocks {
+            let record_len = read_uvarint(bytes, &mut pos)? as usize;
+            if record_len > bytes.len() - pos {
+                return Err(CodecError::Corrupt("frame block record truncated"));
+            }
+            let block = CompressedBlob::from_bytes(&bytes[pos..pos + record_len])?;
+            pos += record_len;
+            let expected = total_len.saturating_sub(index * block_size).min(block_size);
+            if block.original_len != expected {
+                return Err(CodecError::Corrupt("frame block length disagrees with geometry"));
+            }
+            if !Algorithm::HORIZONTAL.contains(&block.algorithm) {
+                return Err(CodecError::UnknownFormat(block.algorithm.tag()));
+            }
+            blocks.push(block);
+        }
+        if pos != bytes.len() {
+            return Err(CodecError::Corrupt("trailing bytes after frame"));
+        }
+        Ok(FramedBlob {
+            block_size,
+            total_len,
+            checksum,
+            blocks,
+        })
+    }
+}
+
+/// Compress `seq` into a frame on the calling thread — the serial
+/// reference encoder. Byte-identical to
+/// [`crate::ParallelCompressor::compress`] with any pool.
+pub fn compress_serial(
+    compressor: &dyn Compressor,
+    seq: &PackedSeq,
+    block_size: usize,
+) -> Result<FramedBlob, CodecError> {
+    assert!(block_size > 0, "block size must be positive");
+    let n_blocks = FramedBlob::block_count(block_size, seq.len());
+    let mut blocks = Vec::with_capacity(n_blocks);
+    for index in 0..n_blocks {
+        let start = index * block_size;
+        let end = (start + block_size).min(seq.len());
+        blocks.push(compressor.compress(&seq.slice(start, end))?);
+    }
+    Ok(FramedBlob {
+        block_size,
+        total_len: seq.len(),
+        checksum: fnv1a(seq.as_words()),
+        blocks,
+    })
+}
+
+/// Decompress a frame block-by-block on the calling thread — the serial
+/// reference decoder. Accepts frames from any encoder (parallel or
+/// serial) and verifies both per-block and whole-frame checksums.
+pub fn decompress_serial(frame: &FramedBlob) -> Result<PackedSeq, CodecError> {
+    let mut out = PackedSeq::with_capacity(frame.total_len);
+    let mut cached: Option<(Algorithm, Box<dyn Compressor>)> = None;
+    for (index, block) in frame.blocks.iter().enumerate() {
+        let stale = !matches!(&cached, Some((alg, _)) if *alg == block.algorithm);
+        if stale {
+            cached = Some((block.algorithm, compressor_for(block.algorithm)));
+        }
+        let codec = &cached.as_ref().expect("compressor cached above").1;
+        let decoded = codec.decompress(block)?;
+        if decoded.len() != frame.block_len(index) {
+            return Err(CodecError::Corrupt("frame block decoded to wrong length"));
+        }
+        out.extend_from_seq(&decoded);
+    }
+    verify_whole(frame, &out)?;
+    Ok(out)
+}
+
+/// Check the reassembled sequence against the frame header.
+pub(crate) fn verify_whole(frame: &FramedBlob, seq: &PackedSeq) -> Result<(), CodecError> {
+    if seq.len() != frame.total_len {
+        return Err(CodecError::Corrupt("frame decoded length mismatch"));
+    }
+    let actual = fnv1a(seq.as_words());
+    if actual != frame.checksum {
+        return Err(CodecError::ChecksumMismatch {
+            expected: frame.checksum,
+            actual,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnacomp_seq::gen::GenomeModel;
+
+    fn sample(len: usize) -> PackedSeq {
+        GenomeModel::default().generate(len, 7)
+    }
+
+    #[test]
+    fn frame_roundtrips_through_wire_format() {
+        let seq = sample(10_000);
+        let frame = compress_serial(&*compressor_for(Algorithm::Dnax), &seq, 1_024).unwrap();
+        assert_eq!(frame.blocks.len(), 10);
+        let back = FramedBlob::from_bytes(&frame.to_bytes()).unwrap();
+        assert_eq!(back, frame);
+        assert_eq!(decompress_serial(&back).unwrap(), seq);
+    }
+
+    #[test]
+    fn empty_sequence_is_zero_blocks() {
+        let frame = compress_serial(&*compressor_for(Algorithm::Raw), &PackedSeq::new(), 64)
+            .unwrap();
+        assert_eq!(frame.blocks.len(), 0);
+        assert_eq!(frame.total_len, 0);
+        let back = FramedBlob::from_bytes(&frame.to_bytes()).unwrap();
+        assert_eq!(decompress_serial(&back).unwrap(), PackedSeq::new());
+    }
+
+    #[test]
+    fn frame_magic_does_not_parse_as_flat_blob() {
+        let seq = sample(256);
+        let frame = compress_serial(&*compressor_for(Algorithm::Raw), &seq, 64).unwrap();
+        let bytes = frame.to_bytes();
+        assert!(FramedBlob::is_frame(&bytes));
+        assert!(CompressedBlob::from_bytes(&bytes).is_err());
+        let flat = compressor_for(Algorithm::Raw).compress(&seq).unwrap().to_bytes();
+        assert!(!FramedBlob::is_frame(&flat));
+    }
+
+    #[test]
+    fn swapped_equal_size_blocks_are_caught_by_frame_checksum() {
+        let seq = sample(2_048);
+        let mut frame =
+            compress_serial(&*compressor_for(Algorithm::Raw), &seq, 512).unwrap();
+        frame.blocks.swap(0, 1);
+        let reparsed = FramedBlob::from_bytes(&frame.to_bytes()).unwrap();
+        assert!(matches!(
+            decompress_serial(&reparsed),
+            Err(CodecError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn lying_block_count_rejected_before_allocation() {
+        let seq = sample(4_096);
+        let frame = compress_serial(&*compressor_for(Algorithm::Raw), &seq, 1_024).unwrap();
+        let honest = frame.to_bytes();
+        // Rebuild the header with a huge block count and length whose
+        // ratio is still consistent, leaving the payload unchanged: the
+        // affordability check must fire, not an allocation.
+        let mut lying = Vec::new();
+        lying.extend_from_slice(&FRAME_MAGIC);
+        lying.push(FRAME_VERSION);
+        write_uvarint(&mut lying, 1); // block_size 1
+        write_uvarint(&mut lying, 1 << 31); // n_blocks
+        write_uvarint(&mut lying, 1 << 31); // total_len
+        write_u64_le(&mut lying, frame.checksum);
+        lying.extend_from_slice(&honest[..honest.len().min(64)]);
+        assert!(matches!(
+            FramedBlob::from_bytes(&lying),
+            Err(CodecError::Corrupt("frame block count exceeds payload"))
+        ));
+    }
+
+    #[test]
+    fn geometry_lies_rejected() {
+        let seq = sample(1_000);
+        let frame = compress_serial(&*compressor_for(Algorithm::Raw), &seq, 256).unwrap();
+
+        // Wrong count for the declared length.
+        let mut bad = frame.clone();
+        bad.blocks.pop();
+        assert!(matches!(
+            FramedBlob::from_bytes(&bad.to_bytes()),
+            Err(CodecError::Corrupt("frame block count disagrees with length"))
+        ));
+
+        // Zero block size.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&FRAME_MAGIC);
+        bytes.push(FRAME_VERSION);
+        write_uvarint(&mut bytes, 0);
+        write_uvarint(&mut bytes, 0);
+        write_uvarint(&mut bytes, 0);
+        write_u64_le(&mut bytes, 0);
+        assert!(matches!(
+            FramedBlob::from_bytes(&bytes),
+            Err(CodecError::Corrupt("frame block size out of range"))
+        ));
+
+        // Declared total beyond the frame limit.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&FRAME_MAGIC);
+        bytes.push(FRAME_VERSION);
+        write_uvarint(&mut bytes, 4);
+        write_uvarint(&mut bytes, 2);
+        write_uvarint(&mut bytes, MAX_FRAME_BASES + 1);
+        write_u64_le(&mut bytes, 0);
+        assert!(FramedBlob::from_bytes(&bytes).is_err());
+    }
+}

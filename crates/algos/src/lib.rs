@@ -31,9 +31,12 @@ pub mod dnac;
 pub mod dnacompress;
 pub mod dnapack;
 pub mod dnax;
+pub mod frame;
 pub mod gencompress;
 pub mod gsqz;
 pub mod gzip;
+pub mod parallel;
+pub mod pool;
 pub mod rawpack;
 pub mod stats;
 pub mod refcomp;
@@ -43,6 +46,9 @@ pub mod xm;
 pub use biocompress::BioCompress2;
 pub use cfact::Cfact;
 pub use blob::{Algorithm, CompressedBlob};
+pub use frame::FramedBlob;
+pub use parallel::ParallelCompressor;
+pub use pool::{PoolStats, TaskPool};
 pub use ctw::Ctw;
 pub use ctwlz::CtwLz;
 pub use dnac::Dnac;

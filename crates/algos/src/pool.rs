@@ -1,0 +1,354 @@
+//! Bounded thread pool shared between block tasks and service jobs.
+//!
+//! [`TaskPool`] is the one pool everything intra-file-parallel runs on:
+//! [`crate::ParallelCompressor`] submits per-block compress/decompress
+//! tasks here, and `dnacomp-server` hands the *same* pool to every
+//! worker, so block tasks from one giant file interleave FIFO with
+//! block tasks from every other job instead of head-of-line-blocking a
+//! lane.
+//!
+//! ## Execution model: help-first batches
+//!
+//! Work arrives as a *batch* ([`TaskPool::run_batch`]): the caller
+//! enqueues one claim ticket per task and then **helps** — it claims and
+//! runs tasks from its own batch until none are left, and only then
+//! blocks waiting for stragglers running on pool threads. Two
+//! consequences:
+//!
+//! * **no deadlock by saturation** — a batch always makes progress on
+//!   the submitting thread even if every pool thread is busy (or the
+//!   pool has zero threads, the degenerate serial mode);
+//! * **bounded** — the pool never spawns per-batch threads; concurrency
+//!   is capped at `threads + submitters`.
+//!
+//! Batch results are returned in submission order, so callers observe
+//! deterministic output regardless of which thread ran which task.
+//! Panics inside a task are contained per batch: the pool thread
+//! survives, the caller re-raises a summarising panic after the batch
+//! drains (the service's per-job panic containment then turns it into a
+//! typed job error).
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+type Thunk = Box<dyn FnOnce() + Send + 'static>;
+
+/// Recover a poisoned lock: pool state is a queue of claim tickets and
+/// is valid at every step, so the panic of one task never invalidates it.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+struct QueueState {
+    tasks: VecDeque<Thunk>,
+    shutdown: bool,
+}
+
+struct SharedQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+}
+
+/// Running totals of where batch tasks actually executed; exported via
+/// `Metrics` so pool sharing is observable from `serve --json`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct PoolStats {
+    /// Tasks executed by dedicated pool threads.
+    pub tasks_run_by_pool: u64,
+    /// Tasks executed inline by the submitting thread (helping).
+    pub tasks_run_inline: u64,
+    /// Batches submitted.
+    pub batches: u64,
+}
+
+struct Counters {
+    pool: AtomicU64,
+    inline: AtomicU64,
+    batches: AtomicU64,
+}
+
+/// One task batch in flight. Slots are claimed by index (`next`), so a
+/// task runs exactly once no matter how many claim tickets race.
+struct Batch<T, F> {
+    slots: Vec<Mutex<Option<F>>>,
+    results: Vec<Mutex<Option<T>>>,
+    next: AtomicUsize,
+    remaining: AtomicUsize,
+    done_lock: Mutex<()>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+impl<T, F: FnOnce() -> T> Batch<T, F> {
+    /// Claim and run one task; `false` when every slot is claimed.
+    fn run_one(&self) -> bool {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        if i >= self.slots.len() {
+            return false;
+        }
+        if let Some(job) = lock_recover(&self.slots[i]).take() {
+            match catch_unwind(AssertUnwindSafe(job)) {
+                Ok(value) => *lock_recover(&self.results[i]) = Some(value),
+                Err(_) => self.panicked.store(true, Ordering::Release),
+            }
+            if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let _guard = lock_recover(&self.done_lock);
+                self.done.notify_all();
+            }
+        }
+        true
+    }
+}
+
+/// A bounded, shared worker pool executing homogeneous task batches.
+pub struct TaskPool {
+    shared: Arc<SharedQueue>,
+    counters: Arc<Counters>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl TaskPool {
+    /// A pool with `threads` dedicated worker threads. Zero is allowed:
+    /// every batch then runs entirely on its submitting thread, which is
+    /// the serial reference mode the round-trip tests compare against.
+    pub fn new(threads: usize) -> TaskPool {
+        let shared = Arc::new(SharedQueue {
+            state: Mutex::new(QueueState {
+                tasks: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        });
+        let counters = Arc::new(Counters {
+            pool: AtomicU64::new(0),
+            inline: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+        });
+        let handles = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("blockpool-{i}"))
+                    .spawn(move || Self::worker_loop(&shared))
+                    .expect("spawn pool thread")
+            })
+            .collect();
+        TaskPool {
+            shared,
+            counters,
+            threads: handles,
+        }
+    }
+
+    /// Number of dedicated pool threads.
+    pub fn threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Snapshot of the sharing counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            tasks_run_by_pool: self.counters.pool.load(Ordering::Relaxed),
+            tasks_run_inline: self.counters.inline.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+        }
+    }
+
+    fn worker_loop(shared: &SharedQueue) {
+        loop {
+            let task = {
+                let mut state = lock_recover(&shared.state);
+                loop {
+                    if let Some(task) = state.tasks.pop_front() {
+                        break Some(task);
+                    }
+                    if state.shutdown {
+                        break None;
+                    }
+                    state = shared
+                        .available
+                        .wait(state)
+                        .unwrap_or_else(|poison| poison.into_inner());
+                }
+            };
+            match task {
+                Some(task) => task(),
+                None => return,
+            }
+        }
+    }
+
+    /// Run `jobs` to completion, returning results in submission order.
+    ///
+    /// The calling thread helps drain its own batch (see module docs),
+    /// so this completes even on a zero-thread pool and cannot deadlock
+    /// under saturation.
+    ///
+    /// # Panics
+    /// If any task panicked; raised on the calling thread after the
+    /// whole batch has drained (pool threads always survive).
+    pub fn run_batch<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        let n = jobs.len();
+        let batch = Arc::new(Batch {
+            slots: jobs.into_iter().map(|j| Mutex::new(Some(j))).collect(),
+            results: (0..n).map(|_| Mutex::new(None)).collect(),
+            next: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(n),
+            done_lock: Mutex::new(()),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        });
+
+        // One claim ticket per task; pool threads race the caller for them.
+        if self.threads() > 0 {
+            let mut state = lock_recover(&self.shared.state);
+            for _ in 0..n {
+                let batch = Arc::clone(&batch);
+                let counters = Arc::clone(&self.counters);
+                state.tasks.push_back(Box::new(move || {
+                    if batch.run_one() {
+                        counters.pool.fetch_add(1, Ordering::Relaxed);
+                    }
+                }));
+            }
+            drop(state);
+            self.shared.available.notify_all();
+        }
+
+        // Help-first: drain our own batch, then wait for stragglers.
+        while batch.run_one() {
+            self.counters.inline.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut guard = lock_recover(&batch.done_lock);
+        while batch.remaining.load(Ordering::Acquire) != 0 {
+            guard = batch
+                .done
+                .wait(guard)
+                .unwrap_or_else(|poison| poison.into_inner());
+        }
+        drop(guard);
+
+        if batch.panicked.load(Ordering::Acquire) {
+            panic!("a block task panicked; batch aborted");
+        }
+        batch
+            .results
+            .iter()
+            .map(|slot| lock_recover(slot).take().expect("batch task completed"))
+            .collect()
+    }
+}
+
+impl Drop for TaskPool {
+    fn drop(&mut self) {
+        {
+            let mut state = lock_recover(&self.shared.state);
+            state.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_thread_pool_runs_inline() {
+        let pool = TaskPool::new(0);
+        let out = pool.run_batch((0..16).map(|i| move || i * 2).collect());
+        assert_eq!(out, (0..16).map(|i| i * 2).collect::<Vec<_>>());
+        let stats = pool.stats();
+        assert_eq!(stats.tasks_run_inline, 16);
+        assert_eq!(stats.tasks_run_by_pool, 0);
+        assert_eq!(stats.batches, 1);
+    }
+
+    #[test]
+    fn results_are_in_submission_order() {
+        let pool = TaskPool::new(3);
+        for round in 0..8u64 {
+            let out = pool.run_batch(
+                (0..40u64)
+                    .map(|i| {
+                        move || {
+                            // Uneven work so claim order scrambles.
+                            let mut acc = round;
+                            for k in 0..(i % 7) * 500 {
+                                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                            }
+                            (i, acc)
+                        }
+                    })
+                    .collect(),
+            );
+            let ids: Vec<u64> = out.iter().map(|(i, _)| *i).collect();
+            assert_eq!(ids, (0..40).collect::<Vec<_>>());
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.tasks_run_by_pool + stats.tasks_run_inline, 8 * 40);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let pool = TaskPool::new(2);
+        let out: Vec<u32> = pool.run_batch(Vec::<fn() -> u32>::new());
+        assert!(out.is_empty());
+        assert_eq!(pool.stats().batches, 0);
+    }
+
+    #[test]
+    fn concurrent_batches_from_many_submitters_complete() {
+        let pool = Arc::new(TaskPool::new(2));
+        let submitters: Vec<_> = (0..4u64)
+            .map(|s| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    let out =
+                        pool.run_batch((0..25u64).map(|i| move || s * 1000 + i).collect());
+                    assert_eq!(out, (0..25).map(|i| s * 1000 + i).collect::<Vec<_>>());
+                })
+            })
+            .collect();
+        for t in submitters {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn task_panic_is_contained_and_reraised_after_drain() {
+        let pool = TaskPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_batch(
+                (0..10u32)
+                    .map(|i| {
+                        move || {
+                            if i == 3 {
+                                panic!("boom");
+                            }
+                            i
+                        }
+                    })
+                    .collect(),
+            )
+        }));
+        assert!(result.is_err());
+        // Pool threads survived the panic and keep serving batches.
+        let out = pool.run_batch((0..4u32).map(|i| move || i + 1).collect());
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+}

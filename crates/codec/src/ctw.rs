@@ -19,6 +19,14 @@
 //! both encoder and decoder hit the cap identically, so streams stay
 //! decodable).
 //!
+//! The node pool is a chunked, index-linked arena ([`NodeArena`]): nodes
+//! are addressed by `u32` index but stored in fixed-size preallocated
+//! chunks that never move once created. A flat `Vec` pool doubles and
+//! memcpys the entire live tree on every growth step — at the default
+//! 4M-node cap that is ~hundreds of MB of copying over an encode — while
+//! the arena's growth cost is one bounded chunk allocation, keeping the
+//! per-bit tree walk free of reallocation churn.
+//!
 //! The paper evaluates CTW as one of its four algorithms and observes it
 //! achieves a good ratio but high RAM and the worst decompression time —
 //! both emerge naturally from this structure (decode performs the same
@@ -50,6 +58,68 @@ impl Node {
     }
 }
 
+/// log2 of the arena chunk size; 2^15 nodes ≈ 1.3 MB per chunk.
+const ARENA_CHUNK_BITS: usize = 15;
+/// Nodes per arena chunk.
+const ARENA_CHUNK: usize = 1 << ARENA_CHUNK_BITS;
+
+/// Chunked node arena: `u32`-indexed like a flat pool, but backed by
+/// fixed-size chunks whose storage never moves after allocation, so
+/// growing the tree never copies existing nodes.
+#[derive(Clone, Debug)]
+struct NodeArena {
+    chunks: Vec<Vec<Node>>,
+    len: usize,
+}
+
+impl NodeArena {
+    fn new() -> Self {
+        NodeArena {
+            chunks: Vec::new(),
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Append a node, returning its stable index.
+    fn push(&mut self, node: Node) -> u32 {
+        if self.len >> ARENA_CHUNK_BITS == self.chunks.len() {
+            let mut chunk = Vec::new();
+            chunk.reserve_exact(ARENA_CHUNK);
+            self.chunks.push(chunk);
+        }
+        let idx = self.len;
+        self.chunks[idx >> ARENA_CHUNK_BITS].push(node);
+        self.len += 1;
+        idx as u32
+    }
+
+    #[inline]
+    fn get(&self, idx: u32) -> &Node {
+        let idx = idx as usize;
+        &self.chunks[idx >> ARENA_CHUNK_BITS][idx & (ARENA_CHUNK - 1)]
+    }
+
+    #[inline]
+    fn get_mut(&mut self, idx: u32) -> &mut Node {
+        let idx = idx as usize;
+        &mut self.chunks[idx >> ARENA_CHUNK_BITS][idx & (ARENA_CHUNK - 1)]
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.chunks.capacity() * std::mem::size_of::<Vec<Node>>()
+            + self
+                .chunks
+                .iter()
+                .map(|c| c.capacity() * std::mem::size_of::<Node>())
+                .sum::<usize>()
+    }
+}
+
 /// A depth-`D` CTW tree over a binary alphabet.
 ///
 /// Protocol per bit: call [`CtwTree::predict`] with the context, feed the
@@ -59,7 +129,7 @@ impl Node {
 #[derive(Clone, Debug)]
 pub struct CtwTree {
     depth: usize,
-    nodes: Vec<Node>,
+    nodes: NodeArena,
     max_nodes: usize,
     /// Scratch: the node path of the last `predict`, leaf-ward order,
     /// with each node's KT p0 and weighted p0 at prediction time.
@@ -82,7 +152,7 @@ impl CtwTree {
     /// Tree with an explicit node-pool cap (≥ 1).
     pub fn with_capacity(depth: usize, max_nodes: usize) -> Self {
         assert!(max_nodes >= 1);
-        let mut nodes = Vec::with_capacity(1024.min(max_nodes));
+        let mut nodes = NodeArena::new();
         nodes.push(Node::new()); // root
         CtwTree {
             depth,
@@ -104,8 +174,7 @@ impl CtwTree {
 
     /// Approximate heap usage in bytes (for the RAM meter).
     pub fn heap_bytes(&self) -> usize {
-        self.nodes.capacity() * std::mem::size_of::<Node>()
-            + self.path.capacity() * std::mem::size_of::<PathEntry>()
+        self.nodes.heap_bytes() + self.path.capacity() * std::mem::size_of::<PathEntry>()
     }
 
     /// Predict `P(next bit = 0)` given `history`, whose bit `i` is the
@@ -123,7 +192,7 @@ impl CtwTree {
         self.path[last].p0_w = p0;
         if self.path.len() >= 2 {
             for i in (0..self.path.len() - 1).rev() {
-                let node = &self.nodes[self.path[i].node as usize];
+                let node = self.nodes.get(self.path[i].node);
                 let b = node.log_beta.exp();
                 let p0_kt = self.path[i].p0_kt;
                 // Conditional weighted probability: the off-path child's
@@ -143,7 +212,7 @@ impl CtwTree {
         // predict, then bump the KT counts.
         for i in 0..self.path.len() {
             let entry = self.path[i];
-            let node = &mut self.nodes[entry.node as usize];
+            let node = self.nodes.get_mut(entry.node);
             let is_leaf_of_path = i == self.path.len() - 1;
             if !is_leaf_of_path {
                 let p_kt = if bit { 1.0 - entry.p0_kt } else { entry.p0_kt };
@@ -165,7 +234,7 @@ impl CtwTree {
         self.path.clear();
         let mut cur = 0u32;
         for d in 0..=self.depth {
-            let node = &self.nodes[cur as usize];
+            let node = self.nodes.get(cur);
             let (num, den) = node.kt.prob_zero();
             self.path.push(PathEntry {
                 node: cur,
@@ -176,13 +245,12 @@ impl CtwTree {
                 break;
             }
             let bit = ((history >> d) & 1) as usize;
-            let child = self.nodes[cur as usize].children[bit];
+            let child = self.nodes.get(cur).children[bit];
             if child != NO_CHILD {
                 cur = child;
             } else if self.nodes.len() < self.max_nodes {
-                let idx = self.nodes.len() as u32;
-                self.nodes.push(Node::new());
-                self.nodes[cur as usize].children[bit] = idx;
+                let idx = self.nodes.push(Node::new());
+                self.nodes.get_mut(cur).children[bit] = idx;
                 cur = idx;
             } else {
                 // Pool exhausted: truncate the context here. Encoder and
@@ -334,6 +402,51 @@ mod tests {
             hist.push(b);
         }
         assert_eq!(tree.node_count(), 64);
+    }
+
+    #[test]
+    fn arena_indices_stable_across_chunk_boundaries() {
+        let mut arena = NodeArena::new();
+        let n = ARENA_CHUNK + 17;
+        for i in 0..n {
+            let mut node = Node::new();
+            node.log_beta = i as f64;
+            let idx = arena.push(node);
+            assert_eq!(idx as usize, i);
+        }
+        assert_eq!(arena.len(), n);
+        assert_eq!(arena.get(0).log_beta, 0.0);
+        assert_eq!(arena.get(ARENA_CHUNK as u32 - 1).log_beta, (ARENA_CHUNK - 1) as f64);
+        assert_eq!(arena.get(ARENA_CHUNK as u32).log_beta, ARENA_CHUNK as f64);
+        arena.get_mut(ARENA_CHUNK as u32 + 5).log_beta = -1.0;
+        assert_eq!(arena.get(ARENA_CHUNK as u32 + 5).log_beta, -1.0);
+        // Growth preallocates whole chunks, never reallocating old ones.
+        assert!(arena.heap_bytes() >= 2 * ARENA_CHUNK * std::mem::size_of::<Node>());
+    }
+
+    #[test]
+    fn tree_grows_across_arena_chunks_and_still_roundtrips() {
+        // Enough random context bits to allocate > one chunk of nodes.
+        let mut x = 99u64;
+        let bits: Vec<bool> = (0..6000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x & 1 == 1
+            })
+            .collect();
+        let depth = 20;
+        let bytes = ctw_encode(&bits, depth);
+        assert_eq!(ctw_decode(&bytes, bits.len(), depth), bits);
+        let mut tree = CtwTree::new(depth);
+        let mut hist = BitHistory::new();
+        for &b in &bits {
+            tree.predict(hist.value());
+            tree.commit(b);
+            hist.push(b);
+        }
+        assert!(tree.node_count() > ARENA_CHUNK, "{}", tree.node_count());
     }
 
     #[test]

@@ -112,8 +112,15 @@ pub struct RepeatFinder<'a> {
     prev: Vec<u32>,
     /// Positions `< published` are in the index.
     published: usize,
-    /// Rolling k-mer of the last published window.
+    /// Mask selecting the low `2*seed_len` bits of a k-mer.
     mask: u64,
+    /// Rolling k-mer at position `published`, if that window exists.
+    /// Maintained incrementally by [`RepeatFinder::advance`] — one
+    /// shift-or per published position instead of an O(seed_len) rebuild
+    /// — and served to queries landing exactly at `published`, which is
+    /// the sweep pattern every compressor uses (`advance(i)` then
+    /// `find(i)`).
+    cur_kmer: Option<u64>,
 }
 
 const NO_POS: u32 = u32::MAX;
@@ -129,6 +136,7 @@ impl<'a> RepeatFinder<'a> {
             prev: vec![NO_POS; text.len()],
             published: 0,
             mask: (1u64 << (2 * cfg.seed_len)) - 1,
+            cur_kmer: None,
         }
     }
 
@@ -156,15 +164,38 @@ impl<'a> RepeatFinder<'a> {
         out
     }
 
+    /// The k-mer anchored at `dst`: served from the rolling value when
+    /// the query lands exactly on `published` (the sweep fast path),
+    /// rebuilt in O(seed_len) otherwise.
+    fn query_kmer(&self, dst: usize) -> u64 {
+        match self.cur_kmer {
+            Some(v) if dst == self.published => v,
+            _ => self.kmer_at(dst) & self.mask,
+        }
+    }
+
     /// Publish all positions `< upto` into the index.
+    ///
+    /// The per-position k-mer is maintained as a rolling hash — shift
+    /// in the one new base instead of rebuilding the window — so a full
+    /// sweep costs O(n), not O(n·seed_len).
     pub fn advance(&mut self, upto: usize) {
         let k = self.cfg.seed_len;
-        while self.published < upto.min(self.text.len().saturating_sub(k - 1)) {
+        let limit = upto.min(self.text.len().saturating_sub(k - 1));
+        while self.published < limit {
             let pos = self.published;
-            let kmer = self.kmer_at(pos) & self.mask;
+            let kmer = match self.cur_kmer {
+                Some(v) => v,
+                None => self.kmer_at(pos) & self.mask,
+            };
             let old = self.head.insert(kmer, pos as u32).unwrap_or(NO_POS);
             self.prev[pos] = old;
             self.published += 1;
+            self.cur_kmer = if pos + k < self.text.len() {
+                Some(((kmer << 2) | self.text[pos + k].code() as u64) & self.mask)
+            } else {
+                None
+            };
         }
         self.published = self.published.max(upto.min(self.text.len()));
     }
@@ -190,7 +221,7 @@ impl<'a> RepeatFinder<'a> {
         if dst + k > n {
             return None;
         }
-        let kmer = self.kmer_at(dst) & self.mask;
+        let kmer = self.query_kmer(dst);
         let mut cand = *self.head.get(&kmer)?;
         let mut best: Option<RepeatMatch> = None;
         let mut probes = self.cfg.max_chain;
@@ -228,7 +259,7 @@ impl<'a> RepeatFinder<'a> {
         if dst + k > self.text.len() {
             return Vec::new();
         }
-        let kmer = self.kmer_at(dst) & self.mask;
+        let kmer = self.query_kmer(dst);
         let mut out = Vec::new();
         let Some(&mut_first) = self.head.get(&kmer) else {
             return out;
@@ -256,7 +287,7 @@ impl<'a> RepeatFinder<'a> {
         }
         // A reverse-complement repeat anchors where an earlier k-mer
         // equals revcomp(text[dst..dst+k]).
-        let target = self.revcomp_kmer(self.kmer_at(dst) & self.mask);
+        let target = self.revcomp_kmer(self.query_kmer(dst));
         let mut cand = *self.head.get(&target)?;
         let mut best: Option<RepeatMatch> = None;
         let mut probes = self.cfg.max_chain;
@@ -411,6 +442,36 @@ mod tests {
         f.advance(30);
         let m = f.find_forward(30);
         assert!(m.is_some());
+    }
+
+    #[test]
+    fn rolling_kmer_matches_rebuild_at_every_position() {
+        let text = bases(&"ACGTTGCAACGGTACCAGT".repeat(20));
+        let mut f = RepeatFinder::new(&text, small_cfg());
+        let k = f.cfg.seed_len;
+        for dst in 0..=text.len() {
+            f.advance(dst);
+            if dst + k <= text.len() {
+                assert_eq!(f.query_kmer(dst), f.kmer_at(dst) & f.mask, "at {dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_and_jump_advance_agree() {
+        // Publishing one position at a time (rolling path) must build the
+        // same index as one big jump (cold rebuild path).
+        let text = bases(&"ACGATTACAGGACGTT".repeat(25));
+        let mut swept = RepeatFinder::new(&text, small_cfg());
+        for i in 0..=300 {
+            swept.advance(i);
+        }
+        let mut jumped = RepeatFinder::new(&text, small_cfg());
+        jumped.advance(300);
+        for dst in 295..text.len().saturating_sub(4) {
+            assert_eq!(swept.find(dst), jumped.find(dst), "at {dst}");
+            assert_eq!(swept.forward_chain(dst, 8), jumped.forward_chain(dst, 8));
+        }
     }
 
     #[test]

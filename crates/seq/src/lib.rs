@@ -34,4 +34,6 @@ pub mod stats;
 
 pub use base::Base;
 pub use error::SeqError;
-pub use packed::PackedSeq;
+pub use packed::{
+    pack_2bit_bytewise, pack_2bit_u64, unpack_2bit_bytewise, unpack_2bit_u64, PackedSeq,
+};

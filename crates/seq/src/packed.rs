@@ -5,10 +5,133 @@
 //! Table 1) while exposing random access, slicing, iteration, and
 //! reverse-complement views. Compressors that need byte-level scans can
 //! borrow the raw words; everything else goes through the typed API.
+//!
+//! ## Hot-path kernels
+//!
+//! Packing and unpacking sit on every compressor's critical path (the
+//! 2-bit baseline is supposed to run at memory bandwidth), so the
+//! conversions between byte-per-base *codes* and packed words are
+//! implemented word-at-a-time: [`pack_2bit_u64`] / [`unpack_2bit_u64`]
+//! move 8 bases per `u64` SWAR step instead of one base per shift. The
+//! byte-at-a-time reference implementations ([`pack_2bit_bytewise`] /
+//! [`unpack_2bit_bytewise`]) are kept public so `dnacomp bench-algos`
+//! can measure the kernels against their baseline, and so property
+//! tests can cross-check the two. [`PackedSeq::slice`] and
+//! [`PackedSeq::extend_from_seq`] use whole-byte copies (aligned) or a
+//! two-byte funnel shift (misaligned) instead of per-base pushes, which
+//! is what makes splitting a sequence into frame blocks cheap.
 
 use crate::base::Base;
 use crate::error::SeqError;
 use std::fmt;
+
+/// Per-byte ASCII → 2-bit code table; `-1` marks non-nucleotide bytes.
+const fn ascii_code_table() -> [i8; 256] {
+    let mut t = [-1i8; 256];
+    t[b'A' as usize] = 0;
+    t[b'a' as usize] = 0;
+    t[b'C' as usize] = 1;
+    t[b'c' as usize] = 1;
+    t[b'G' as usize] = 2;
+    t[b'g' as usize] = 2;
+    t[b'T' as usize] = 3;
+    t[b't' as usize] = 3;
+    t
+}
+const ASCII_CODE: [i8; 256] = ascii_code_table();
+
+/// Mask keeping the low 2 bits of every byte lane of a `u64`.
+const CODE_LANES: u64 = 0x0303_0303_0303_0303;
+
+/// Pack 2-bit codes (one byte per base, values `0..=3`; higher bits are
+/// ignored) into the little-endian-within-byte word layout of
+/// [`PackedSeq`], eight bases per `u64` step.
+///
+/// Three shift/mask rounds funnel the eight byte lanes into two packed
+/// bytes: pairs of lanes merge into nibbles, nibbles into bytes, bytes
+/// into the final 16 bits.
+pub fn pack_2bit_u64(codes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(codes.len().div_ceil(4));
+    let mut chunks = codes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let x = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")) & CODE_LANES;
+        let t = (x | (x >> 6)) & 0x000F_000F_000F_000F;
+        let t = (t | (t >> 12)) & 0x0000_00FF_0000_00FF;
+        let t = t | (t >> 24);
+        out.push((t & 0xFF) as u8);
+        out.push(((t >> 8) & 0xFF) as u8);
+    }
+    let mut tail = 0u8;
+    for (k, &code) in chunks.remainder().iter().enumerate() {
+        tail |= (code & 0b11) << ((k % 4) * 2);
+        if k % 4 == 3 {
+            out.push(tail);
+            tail = 0;
+        }
+    }
+    if !chunks.remainder().len().is_multiple_of(4) {
+        out.push(tail);
+    }
+    out
+}
+
+/// Byte-at-a-time reference for [`pack_2bit_u64`]; the baseline the
+/// bench-algos kernel gate measures against.
+pub fn pack_2bit_bytewise(codes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(codes.len().div_ceil(4));
+    let mut cur = 0u8;
+    for (i, &code) in codes.iter().enumerate() {
+        cur |= (code & 0b11) << ((i % 4) * 2);
+        if i % 4 == 3 {
+            out.push(cur);
+            cur = 0;
+        }
+    }
+    if !codes.len().is_multiple_of(4) {
+        out.push(cur);
+    }
+    out
+}
+
+/// Unpack `len` 2-bit codes from packed `words` (one byte per base on
+/// output), eight bases per `u64` step — the inverse spread of
+/// [`pack_2bit_u64`].
+///
+/// # Panics
+/// If `words` is shorter than `len.div_ceil(4)` bytes.
+pub fn unpack_2bit_u64(words: &[u8], len: usize) -> Vec<u8> {
+    assert!(words.len() >= len.div_ceil(4), "word buffer too short");
+    let words = &words[..len.div_ceil(4)];
+    let mut out = Vec::with_capacity(len + 8);
+    let mut chunks = words.chunks_exact(2);
+    for pair in &mut chunks {
+        let x = u64::from(pair[0]) | (u64::from(pair[1]) << 8);
+        let x = (x | (x << 24)) & 0x0000_00FF_0000_00FF;
+        let x = (x | (x << 12)) & 0x000F_000F_000F_000F;
+        let x = (x | (x << 6)) & CODE_LANES;
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    for &w in chunks.remainder() {
+        for k in 0..4 {
+            out.push((w >> (k * 2)) & 0b11);
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+/// Byte-at-a-time reference for [`unpack_2bit_u64`].
+pub fn unpack_2bit_bytewise(words: &[u8], len: usize) -> Vec<u8> {
+    assert!(words.len() >= len.div_ceil(4), "word buffer too short");
+    let mut out = Vec::with_capacity(len);
+    for (chunk, &w) in words.iter().enumerate().take(len.div_ceil(4)) {
+        let take = (len - chunk * 4).min(4);
+        for k in 0..take {
+            out.push((w >> (k * 2)) & 0b11);
+        }
+    }
+    out
+}
 
 /// A DNA sequence packed at 2 bits per base (4 bases per byte).
 ///
@@ -104,27 +227,85 @@ impl PackedSeq {
     }
 
     /// Unpack into a `Vec<Base>`. Compressors that need O(1) random access
-    /// with no shift arithmetic work on the unpacked form.
+    /// with no shift arithmetic work on the unpacked form. Runs through
+    /// the [`unpack_2bit_u64`] word kernel.
     pub fn unpack(&self) -> Vec<Base> {
-        let mut out = Vec::with_capacity(self.len);
-        for chunk in 0..self.words.len() {
-            let w = self.words[chunk];
-            let take = (self.len - chunk * 4).min(4);
-            for k in 0..take {
-                out.push(Base::from_code(w >> (k * 2)));
-            }
+        unpack_2bit_u64(&self.words, self.len)
+            .into_iter()
+            .map(Base::from_code)
+            .collect()
+    }
+
+    /// The 2-bit codes, one byte per base.
+    pub fn to_codes(&self) -> Vec<u8> {
+        unpack_2bit_u64(&self.words, self.len)
+    }
+
+    /// Build from 2-bit codes (one byte per base; only the low two bits
+    /// of each code are used), through the [`pack_2bit_u64`] kernel.
+    pub fn from_codes(codes: &[u8]) -> PackedSeq {
+        PackedSeq {
+            words: pack_2bit_u64(codes),
+            len: codes.len(),
         }
-        out
     }
 
     /// Copy of the bases in `[start, end)`.
+    ///
+    /// Word-aligned slices (`start % 4 == 0`) are a straight byte copy;
+    /// misaligned slices use a two-byte funnel shift — either way the
+    /// cost is O(bases / 4), not O(bases), which is what makes block
+    /// splitting for the frame container cheap.
     pub fn slice(&self, start: usize, end: usize) -> PackedSeq {
         assert!(start <= end && end <= self.len, "bad slice {start}..{end}");
-        let mut out = PackedSeq::with_capacity(end - start);
-        for i in start..end {
-            out.push(self.get(i));
+        let n = end - start;
+        if n == 0 {
+            return PackedSeq::new();
         }
-        out
+        let first = start / 4;
+        let out_bytes = n.div_ceil(4);
+        let shift = (start % 4) * 2;
+        let mut words = Vec::with_capacity(out_bytes);
+        if shift == 0 {
+            words.extend_from_slice(&self.words[first..first + out_bytes]);
+        } else {
+            let src = &self.words[first..];
+            for j in 0..out_bytes {
+                let lo = src[j] >> shift;
+                let hi = src.get(j + 1).map_or(0, |w| w << (8 - shift));
+                words.push(lo | hi);
+            }
+        }
+        PackedSeq::from_words(words, n).expect("slice words cover the requested length")
+    }
+
+    /// Append every base of `other`, in order.
+    ///
+    /// When `self.len()` is a multiple of four this is a straight byte
+    /// append; otherwise each source byte is funnel-shifted across the
+    /// split. Used to reassemble frame blocks after parallel decode.
+    pub fn extend_from_seq(&mut self, other: &PackedSeq) {
+        if other.is_empty() {
+            return;
+        }
+        let offset = self.len % 4;
+        let new_len = self.len + other.len;
+        if offset == 0 {
+            self.words.extend_from_slice(&other.words);
+        } else {
+            let shift = offset * 2;
+            for &b in &other.words {
+                *self.words.last_mut().expect("tail byte exists") |= b << shift;
+                self.words.push(b >> (8 - shift));
+            }
+            self.words.truncate(new_len.div_ceil(4));
+            if !new_len.is_multiple_of(4) {
+                if let Some(tail) = self.words.last_mut() {
+                    *tail &= (1u8 << ((new_len % 4) * 2)) - 1;
+                }
+            }
+        }
+        self.len = new_len;
     }
 
     /// The reverse complement of the whole sequence.
@@ -165,11 +346,15 @@ impl PackedSeq {
 
     /// Parse from an ASCII byte string of `ACGTacgt` characters.
     pub fn from_ascii(text: &[u8]) -> Result<PackedSeq, SeqError> {
-        let mut out = PackedSeq::with_capacity(text.len());
+        let mut codes = Vec::with_capacity(text.len());
         for &ch in text {
-            out.push(Base::from_ascii(ch).ok_or(SeqError::InvalidBase(ch as char))?);
+            let code = ASCII_CODE[ch as usize];
+            if code < 0 {
+                return Err(SeqError::InvalidBase(ch as char));
+            }
+            codes.push(code as u8);
         }
-        Ok(out)
+        Ok(PackedSeq::from_codes(&codes))
     }
 
     /// Render as an upper-case ASCII string.
@@ -366,7 +551,74 @@ mod tests {
         assert_eq!(it.count(), 5);
     }
 
+    #[test]
+    fn kernels_agree_on_all_small_lengths() {
+        // Exhaustive length sweep across every chunk-boundary case of the
+        // u64 kernels (0..=8 covers the SWAR body and every remainder).
+        for len in 0..=35usize {
+            let codes: Vec<u8> = (0..len).map(|i| (i * 7 + 3) as u8 & 0b11).collect();
+            let fast = pack_2bit_u64(&codes);
+            let slow = pack_2bit_bytewise(&codes);
+            assert_eq!(fast, slow, "pack mismatch at len {len}");
+            assert_eq!(unpack_2bit_u64(&fast, len), codes, "unpack(fast) at len {len}");
+            assert_eq!(unpack_2bit_bytewise(&slow, len), codes, "unpack(slow) at len {len}");
+        }
+    }
+
+    #[test]
+    fn pack_masks_high_bits_of_codes() {
+        let codes = [0xFCu8 | 2, 0xF0 | 1, 0xAB & !0b11, 3, 0x42, 1, 2, 3, 0xFF];
+        let masked: Vec<u8> = codes.iter().map(|c| c & 0b11).collect();
+        assert_eq!(pack_2bit_u64(&codes), pack_2bit_u64(&masked));
+        assert_eq!(pack_2bit_bytewise(&codes), pack_2bit_u64(&masked));
+    }
+
+    #[test]
+    fn codes_roundtrip_through_packed_seq() {
+        let s = seq_of("ACGTTGCAACGGT");
+        let codes = s.to_codes();
+        assert_eq!(codes.len(), s.len());
+        assert_eq!(PackedSeq::from_codes(&codes), s);
+    }
+
+    #[test]
+    fn extend_from_seq_all_alignments() {
+        let text = "ACGTTGCAACGGTACCAGT";
+        for split in 0..=text.len() {
+            let (a, b) = text.split_at(split);
+            let mut left = seq_of(a);
+            left.extend_from_seq(&seq_of(b));
+            assert_eq!(left, seq_of(text), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn slice_misaligned_matches_text() {
+        let text = "TTGACCAGTACGTTGCAACGGTA";
+        let s = seq_of(text);
+        for start in 0..text.len() {
+            for end in start..=text.len() {
+                assert_eq!(s.slice(start, end).to_ascii(), &text[start..end]);
+            }
+        }
+    }
+
     proptest! {
+        #[test]
+        fn pack_kernels_agree(codes in proptest::collection::vec(0u8..4, 0..600)) {
+            prop_assert_eq!(pack_2bit_u64(&codes), pack_2bit_bytewise(&codes));
+            let packed = pack_2bit_u64(&codes);
+            prop_assert_eq!(unpack_2bit_u64(&packed, codes.len()), codes.clone());
+            prop_assert_eq!(unpack_2bit_bytewise(&packed, codes.len()), codes);
+        }
+
+        #[test]
+        fn extend_matches_concat(a in "[ACGT]{0,200}", b in "[ACGT]{0,200}") {
+            let mut left = seq_of(&a);
+            left.extend_from_seq(&seq_of(&b));
+            prop_assert_eq!(left, seq_of(&format!("{a}{b}")));
+        }
+
         #[test]
         fn ascii_roundtrip(s in "[ACGT]{0,512}") {
             let p = seq_of(&s);

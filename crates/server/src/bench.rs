@@ -19,6 +19,20 @@
 //! The replay itself runs through the real concurrent service (real
 //! threads, real queue, real cache), so the simulated curve is backed
 //! by an actual concurrent execution, not a model of one.
+//!
+//! ## Two latency families, on purpose
+//!
+//! The `metrics` snapshot of a sweep point reports **simulated**
+//! latency percentiles. Each job's `sim_ms` is a pure function of the
+//! job — deliberately independent of the pool size — so those
+//! percentiles (and the peak queue depth, pinned at the queue capacity
+//! by the saturating submitter) are *identical across sweep rows*.
+//! That is a feature of the deterministic pricing model, not a
+//! measurement: do not read them as a scaling curve. The per-row
+//! numbers that genuinely reflect the run are the **wall-clock**
+//! per-job latencies (`wall_latency_*_ms`): submission→completion
+//! times of real jobs on real threads, aggregated as *exact* sample
+//! percentiles, not histogram-bucket upper bounds.
 
 use crate::metrics::MetricsSnapshot;
 use crate::queue::Priority;
@@ -98,6 +112,9 @@ pub struct BenchConfig {
     pub max_len: usize,
     /// Run full exchanges instead of compress-only jobs.
     pub exchange: bool,
+    /// Block-parallel threshold for the replayed service
+    /// ([`ServiceConfig::block_size`]); `None` keeps flat blobs.
+    pub block_size: Option<usize>,
 }
 
 impl Default for BenchConfig {
@@ -110,6 +127,7 @@ impl Default for BenchConfig {
             seed: 42,
             max_len: 64 * 1024,
             exchange: false,
+            block_size: None,
         }
     }
 }
@@ -133,7 +151,17 @@ pub struct SweepPoint {
     pub cache_hit_rate: f64,
     /// Simulated-throughput speedup vs the 1-worker point.
     pub speedup_vs_one: f64,
-    /// Final metrics snapshot of this run.
+    /// Exact median of per-job submission→completion wall latency, ms.
+    /// Unlike the snapshot's simulated percentiles this genuinely
+    /// varies with the worker count.
+    pub wall_latency_p50_ms: f64,
+    /// Exact 95th percentile of per-job wall latency, ms.
+    pub wall_latency_p95_ms: f64,
+    /// Mean per-job wall latency, ms.
+    pub wall_latency_mean_ms: f64,
+    /// Final metrics snapshot of this run. Its `latency_*` fields are
+    /// **simulated** (pure per-job costs, identical across sweep rows
+    /// by construction — see the module docs).
     pub metrics: MetricsSnapshot,
 }
 
@@ -150,6 +178,8 @@ pub struct BenchReport {
     pub jobs: usize,
     /// Whether jobs ran full exchanges or compress-only.
     pub exchange: bool,
+    /// Block-parallel threshold the replayed service used, if any.
+    pub block_size: Option<usize>,
     /// One entry per worker count.
     pub sweep: Vec<SweepPoint>,
 }
@@ -193,16 +223,28 @@ pub fn build_workload(cfg: &BenchConfig) -> Vec<CompressRequest> {
     jobs
 }
 
-fn drain(tickets: Vec<JobTicket>) -> (u64, Vec<f64>) {
+fn drain(tickets: Vec<JobTicket>) -> (u64, Vec<f64>, Vec<f64>) {
     let mut completed = 0;
     let mut costs = Vec::with_capacity(tickets.len());
+    let mut wall_lats = Vec::with_capacity(tickets.len());
     for t in tickets {
         if let Ok(resp) = t.wait() {
             completed += 1;
             costs.push(resp.sim_ms);
+            wall_lats.push(resp.wall_latency_ms);
         }
     }
-    (completed, costs)
+    (completed, costs, wall_lats)
+}
+
+/// Exact sample quantile (nearest-rank) of unsorted samples.
+fn exact_quantile_ms(samples: &mut [f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let rank = ((q.clamp(0.0, 1.0) * samples.len() as f64).ceil() as usize).max(1);
+    samples[rank - 1]
 }
 
 /// Replay `jobs` through a fresh service with `workers` threads.
@@ -216,11 +258,22 @@ pub fn replay(
     jobs: &[CompressRequest],
     workers: usize,
 ) -> (SweepPoint, Vec<f64>) {
+    replay_with(framework, jobs, workers, None)
+}
+
+/// [`replay`] with an explicit block-parallel threshold.
+pub fn replay_with(
+    framework: FrameworkHandle,
+    jobs: &[CompressRequest],
+    workers: usize,
+    block_size: Option<usize>,
+) -> (SweepPoint, Vec<f64>) {
     let service = CompressionService::start(
         framework,
         ServiceConfig {
             workers,
             queue_capacity: 256,
+            block_size,
             ..ServiceConfig::default()
         },
     );
@@ -240,10 +293,15 @@ pub fn replay(
             }
         }
     }
-    let (completed, costs) = drain(tickets);
+    let (completed, costs, mut wall_lats) = drain(tickets);
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     let metrics = service.shutdown();
     let sim_makespan_ms = makespan_ms(&costs, workers);
+    let wall_latency_mean_ms = if wall_lats.is_empty() {
+        0.0
+    } else {
+        wall_lats.iter().sum::<f64>() / wall_lats.len() as f64
+    };
     let point = SweepPoint {
         workers,
         completed,
@@ -261,6 +319,9 @@ pub fn replay(
         },
         cache_hit_rate: metrics.cache_hit_rate,
         speedup_vs_one: 1.0, // patched by the sweep driver
+        wall_latency_p50_ms: exact_quantile_ms(&mut wall_lats, 0.50),
+        wall_latency_p95_ms: exact_quantile_ms(&mut wall_lats, 0.95),
+        wall_latency_mean_ms,
         metrics,
     };
     (point, costs)
@@ -273,7 +334,7 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
     let mut sweep = Vec::new();
     let mut one_worker_throughput = None;
     for &workers in &cfg.worker_counts {
-        let (mut point, _) = replay(framework.clone(), &jobs, workers);
+        let (mut point, _) = replay_with(framework.clone(), &jobs, workers, cfg.block_size);
         if workers == 1 {
             one_worker_throughput = Some(point.jobs_per_sim_sec);
         }
@@ -290,6 +351,7 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
         repeats: cfg.repeats,
         jobs: jobs.len(),
         exchange: cfg.exchange,
+        block_size: cfg.block_size,
         sweep,
     }
 }

@@ -1,0 +1,388 @@
+//! Per-algorithm throughput benchmark: `dnacomp bench-algos`.
+//!
+//! Measures, for every self-contained algorithm
+//! ([`Algorithm::HORIZONTAL`]):
+//!
+//! * **serial** compress/decompress wall throughput — one flat
+//!   whole-sequence blob on one thread;
+//! * **block wall** throughput — the framed block path
+//!   ([`ParallelCompressor`]) on a real shared [`TaskPool`], as the
+//!   service runs it. On a single-core host this is bounded by the
+//!   hardware, not the design: it mostly validates that framing adds
+//!   no overhead;
+//! * **block lane** throughput — the reproducible parallel number:
+//!   every block is compressed alone and *individually timed*, then the
+//!   measured per-block wall times are list-scheduled onto
+//!   [`AlgoBenchConfig::lanes`] lanes with the same earliest-free-lane
+//!   rule `bench-serve` uses ([`crate::bench::makespan_ms`]). This is
+//!   what an N-core deployment of the same code would see, computed
+//!   from real single-core measurements — the convention
+//!   `BENCH_serve.json` established, applied per algorithm. The JSON
+//!   records `host_cpus` and `threads` so nobody mistakes the lane
+//!   curve for a wall-clock measurement on this host.
+//!
+//! A kernel micro-benchmark compares the u64 word-at-a-time 2-bit
+//! pack/unpack ([`dnacomp_seq::pack_2bit_u64`]) against the
+//! byte-at-a-time baseline kept for exactly this purpose.
+//!
+//! **Quick mode** is the CI perf smoke gate: a small corpus, plus hard
+//! assertions — every algorithm must round-trip both ways across the
+//! serial/parallel encoder-decoder matrix, and the packing kernels
+//! must clear a conservative throughput floor (scaled down for debug
+//! builds, which CI's `--quick` tier runs).
+//!
+//! Throughputs are megabases per second (1 MB = 10⁶ bases ≙ one
+//! uncompressed ASCII byte each).
+
+use crate::bench::makespan_ms;
+use dnacomp_algos::{compressor_for, Algorithm, FramedBlob, ParallelCompressor, TaskPool};
+use dnacomp_codec::CodecError;
+use dnacomp_seq::gen::GenomeModel;
+use dnacomp_seq::{pack_2bit_bytewise, pack_2bit_u64, unpack_2bit_bytewise, unpack_2bit_u64};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Benchmark shape.
+#[derive(Clone, Debug)]
+pub struct AlgoBenchConfig {
+    /// Smoke-gate mode: tiny corpus, round-trip and kernel-floor
+    /// assertions enabled.
+    pub quick: bool,
+    /// Dedicated threads of the shared block pool (0 = inline serial).
+    pub threads: usize,
+    /// Lanes for the list-scheduled makespan throughput.
+    pub lanes: usize,
+    /// Frame block size in bases; `None` picks `bases / 16` per row.
+    pub block_size: Option<usize>,
+    /// Corpus seed.
+    pub seed: u64,
+}
+
+impl Default for AlgoBenchConfig {
+    fn default() -> Self {
+        AlgoBenchConfig {
+            quick: false,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            lanes: 4,
+            block_size: None,
+            seed: 42,
+        }
+    }
+}
+
+/// Kernel micro-benchmark: u64 word-at-a-time vs byte-at-a-time 2-bit
+/// packing.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct KernelBench {
+    /// Bases packed/unpacked per repetition.
+    pub bases: usize,
+    /// u64 kernel pack throughput, MB/s (best of 3).
+    pub pack_u64_mb_s: f64,
+    /// Byte-at-a-time pack throughput, MB/s.
+    pub pack_bytewise_mb_s: f64,
+    /// u64 kernel unpack throughput, MB/s.
+    pub unpack_u64_mb_s: f64,
+    /// Byte-at-a-time unpack throughput, MB/s.
+    pub unpack_bytewise_mb_s: f64,
+    /// `pack_u64 / pack_bytewise`.
+    pub pack_speedup: f64,
+    /// `unpack_u64 / unpack_bytewise`.
+    pub unpack_speedup: f64,
+}
+
+/// One algorithm's measurements.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AlgoBenchRow {
+    /// The paper's spelling of the algorithm name.
+    pub algorithm: String,
+    /// Input length, bases.
+    pub bases: usize,
+    /// Frame block size, bases.
+    pub block_size: usize,
+    /// Frame container size, bytes.
+    pub compressed_bytes: usize,
+    /// Frame compression ratio, bits per base.
+    pub bits_per_base: f64,
+    /// Whole-sequence flat-blob compress throughput, one thread, MB/s.
+    pub serial_compress_mb_s: f64,
+    /// Whole-sequence flat-blob decompress throughput, MB/s.
+    pub serial_decompress_mb_s: f64,
+    /// Framed compress wall throughput on the real shared pool, MB/s
+    /// (host-bound; see `host_cpus` in the report).
+    pub block_wall_compress_mb_s: f64,
+    /// Framed decompress wall throughput on the real shared pool, MB/s.
+    pub block_wall_decompress_mb_s: f64,
+    /// Measured per-block compress times list-scheduled onto `lanes`
+    /// lanes, MB/s — the reproducible parallel number.
+    pub block_lane_compress_mb_s: f64,
+    /// Per-block decompress times list-scheduled onto `lanes`, MB/s.
+    pub block_lane_decompress_mb_s: f64,
+    /// `block_lane_compress / serial_compress`.
+    pub lane_speedup_compress: f64,
+    /// Parallel encode → serial decode → original verified, and the
+    /// reverse direction too.
+    pub roundtrip_ok: bool,
+    /// Parallel and serial encoders produced identical frame bytes.
+    pub parallel_matches_serial: bool,
+}
+
+/// Full benchmark output (`BENCH_algos.json`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AlgoBenchReport {
+    /// CPUs the host actually has — read this before reading any
+    /// `*_wall_*` number.
+    pub host_cpus: usize,
+    /// Dedicated threads of the shared block pool during wall runs.
+    pub threads: usize,
+    /// Lanes of the list-scheduled makespan throughput.
+    pub lanes: usize,
+    /// Whether this was the quick smoke-gate run.
+    pub quick: bool,
+    /// Corpus seed.
+    pub seed: u64,
+    /// Packing-kernel micro-benchmark.
+    pub kernels: KernelBench,
+    /// One row per algorithm.
+    pub algorithms: Vec<AlgoBenchRow>,
+}
+
+impl AlgoBenchReport {
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("report serialisation cannot fail")
+    }
+}
+
+fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+fn mb_s(bases: usize, secs: f64) -> f64 {
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    bases as f64 / 1e6 / secs
+}
+
+/// Corpus length for `alg`: full mode tiers by measured algorithm cost
+/// so the whole sweep finishes in minutes, while the fast tier stays at
+/// ≥ 4 MiB — the size the block-parallel acceptance number is read at.
+fn tier_bases(alg: Algorithm, quick: bool) -> usize {
+    if quick {
+        return 8_192;
+    }
+    match alg {
+        // Linear-ish and fast: full 4 MiB.
+        Algorithm::Raw | Algorithm::Dnax | Algorithm::Gzip | Algorithm::DnaPackLite => 4 << 20,
+        // Mid-cost match/grammar models.
+        Algorithm::BioCompress2
+        | Algorithm::GenCompress
+        | Algorithm::Dnac
+        | Algorithm::DnaCompress
+        | Algorithm::Cfact
+        | Algorithm::DnaSequitur => 256 << 10,
+        // Heavy context-mixing models.
+        Algorithm::Ctw | Algorithm::CtwLz | Algorithm::XmLite => 64 << 10,
+        Algorithm::Reference => unreachable!("not in HORIZONTAL"),
+    }
+}
+
+/// Best-of-3 throughput of `f` over `bytes` input bytes, MB/s.
+fn best_of_3(bytes: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let ((), secs) = time(&mut f);
+        best = best.min(secs);
+    }
+    mb_s(bytes, best)
+}
+
+fn bench_kernels(quick: bool) -> KernelBench {
+    let bases = if quick { 1 << 20 } else { 8 << 20 };
+    let codes: Vec<u8> = (0..bases).map(|i| ((i * 2654435761) >> 7) as u8 & 3).collect();
+    let packed = pack_2bit_u64(&codes);
+    let pack_u64 = best_of_3(bases, || {
+        std::hint::black_box(pack_2bit_u64(std::hint::black_box(&codes)));
+    });
+    let pack_bytewise = best_of_3(bases, || {
+        std::hint::black_box(pack_2bit_bytewise(std::hint::black_box(&codes)));
+    });
+    let unpack_u64 = best_of_3(bases, || {
+        std::hint::black_box(unpack_2bit_u64(std::hint::black_box(&packed), bases));
+    });
+    let unpack_bytewise = best_of_3(bases, || {
+        std::hint::black_box(unpack_2bit_bytewise(std::hint::black_box(&packed), bases));
+    });
+    KernelBench {
+        bases,
+        pack_u64_mb_s: pack_u64,
+        pack_bytewise_mb_s: pack_bytewise,
+        unpack_u64_mb_s: unpack_u64,
+        unpack_bytewise_mb_s: unpack_bytewise,
+        pack_speedup: if pack_bytewise > 0.0 { pack_u64 / pack_bytewise } else { 0.0 },
+        unpack_speedup: if unpack_bytewise > 0.0 { unpack_u64 / unpack_bytewise } else { 0.0 },
+    }
+}
+
+fn bench_algorithm(
+    alg: Algorithm,
+    cfg: &AlgoBenchConfig,
+    pool: &Arc<TaskPool>,
+) -> Result<AlgoBenchRow, CodecError> {
+    let bases = tier_bases(alg, cfg.quick);
+    let block_size = cfg.block_size.unwrap_or_else(|| (bases / 16).max(1));
+    let seq = GenomeModel::default().generate(bases, cfg.seed);
+    let codec = compressor_for(alg);
+
+    // Serial reference: one flat whole-sequence blob.
+    let (blob, serial_c) = time(|| codec.compress(&seq));
+    let blob = blob?;
+    let (decoded, serial_d) = time(|| codec.decompress(&blob));
+    let serial_ok = decoded? == seq;
+
+    // Framed path on the real shared pool (wall numbers).
+    let pc = ParallelCompressor::new(alg, block_size, Arc::clone(pool));
+    let (frame, wall_c) = time(|| pc.compress(&seq));
+    let frame = frame?;
+    let (par_decoded, wall_d) = time(|| pc.decompress(&frame));
+    let par_decoded = par_decoded?;
+
+    // Cross-decoder matrix: the serial decoder must accept the parallel
+    // frame and the parallel decoder the serial frame, bit-exact.
+    let serial_frame = dnacomp_algos::frame::compress_serial(&*codec, &seq, block_size)?;
+    let matches = serial_frame.to_bytes() == frame.to_bytes();
+    let cross_ok = dnacomp_algos::frame::decompress_serial(&frame)? == seq
+        && pc.decompress(&serial_frame)? == seq
+        && par_decoded == seq;
+
+    // Per-block times for the reproducible lane makespan: each block
+    // compressed (then decompressed) alone, individually timed.
+    let n_blocks = FramedBlob::block_count(block_size, seq.len());
+    let mut c_times = Vec::with_capacity(n_blocks);
+    let mut d_times = Vec::with_capacity(n_blocks);
+    for index in 0..n_blocks {
+        let start = index * block_size;
+        let end = (start + block_size).min(seq.len());
+        let block = seq.slice(start, end);
+        let (b, secs) = time(|| codec.compress(&block));
+        let b = b?;
+        c_times.push(secs * 1e3);
+        let (back, secs) = time(|| codec.decompress(&b));
+        let _ = back?;
+        d_times.push(secs * 1e3);
+    }
+    let lane_c_ms = makespan_ms(&c_times, cfg.lanes);
+    let lane_d_ms = makespan_ms(&d_times, cfg.lanes);
+    let lane_c = mb_s(bases, lane_c_ms / 1e3);
+    let serial_c_mb_s = mb_s(bases, serial_c);
+
+    Ok(AlgoBenchRow {
+        algorithm: alg.name().to_owned(),
+        bases,
+        block_size,
+        compressed_bytes: frame.total_bytes(),
+        bits_per_base: frame.bits_per_base(),
+        serial_compress_mb_s: serial_c_mb_s,
+        serial_decompress_mb_s: mb_s(bases, serial_d),
+        block_wall_compress_mb_s: mb_s(bases, wall_c),
+        block_wall_decompress_mb_s: mb_s(bases, wall_d),
+        block_lane_compress_mb_s: lane_c,
+        block_lane_decompress_mb_s: mb_s(bases, lane_d_ms / 1e3),
+        lane_speedup_compress: if serial_c_mb_s > 0.0 { lane_c / serial_c_mb_s } else { 0.0 },
+        roundtrip_ok: serial_ok && cross_ok,
+        parallel_matches_serial: matches,
+    })
+}
+
+/// Conservative kernel floor, MB/s. Debug builds (CI's `--quick` tier
+/// runs the unoptimised binary) pay ~20× on the SWAR loops, so the
+/// floor scales with the build profile rather than silently passing a
+/// release-only bar.
+fn kernel_floor_mb_s() -> f64 {
+    if cfg!(debug_assertions) {
+        5.0
+    } else {
+        100.0
+    }
+}
+
+/// Run the benchmark. In quick mode, round-trip or kernel-floor
+/// failures come back as `Err` — the CI gate's exit code.
+pub fn run_algo_bench(cfg: &AlgoBenchConfig) -> Result<AlgoBenchReport, String> {
+    let pool = Arc::new(TaskPool::new(cfg.threads));
+    let kernels = bench_kernels(cfg.quick);
+    let mut algorithms = Vec::new();
+    for alg in Algorithm::HORIZONTAL {
+        eprintln!("bench-algos: {} ({} bases) …", alg.name(), tier_bases(alg, cfg.quick));
+        let row = bench_algorithm(alg, cfg, &pool)
+            .map_err(|e| format!("{}: benchmark failed: {e}", alg.name()))?;
+        algorithms.push(row);
+    }
+    let report = AlgoBenchReport {
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        threads: cfg.threads,
+        lanes: cfg.lanes,
+        quick: cfg.quick,
+        seed: cfg.seed,
+        kernels,
+        algorithms,
+    };
+    if cfg.quick {
+        for row in &report.algorithms {
+            if !row.roundtrip_ok {
+                return Err(format!("{}: smoke round-trip failed", row.algorithm));
+            }
+            if !row.parallel_matches_serial {
+                return Err(format!(
+                    "{}: parallel frame bytes differ from serial encoder",
+                    row.algorithm
+                ));
+            }
+        }
+        let floor = kernel_floor_mb_s();
+        for (name, got) in [
+            ("pack_2bit_u64", report.kernels.pack_u64_mb_s),
+            ("unpack_2bit_u64", report.kernels.unpack_u64_mb_s),
+        ] {
+            if got < floor {
+                return Err(format!(
+                    "{name} throughput {got:.1} MB/s below the {floor:.0} MB/s floor"
+                ));
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_passes_its_own_gate() {
+        let cfg = AlgoBenchConfig {
+            quick: true,
+            threads: 2,
+            ..AlgoBenchConfig::default()
+        };
+        let report = run_algo_bench(&cfg).expect("smoke gate must pass");
+        assert_eq!(report.algorithms.len(), Algorithm::HORIZONTAL.len());
+        assert!(report.algorithms.iter().all(|r| r.roundtrip_ok));
+        assert!(report.algorithms.iter().all(|r| r.parallel_matches_serial));
+        assert!(report.kernels.pack_u64_mb_s > 0.0);
+        let json = report.to_json();
+        let back: AlgoBenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn tiering_covers_every_horizontal_algorithm() {
+        for alg in Algorithm::HORIZONTAL {
+            assert!(tier_bases(alg, false) >= 64 << 10);
+            assert_eq!(tier_bases(alg, true), 8_192);
+        }
+    }
+}

@@ -37,6 +37,7 @@
 #![deny(missing_docs)]
 
 pub mod bench;
+pub mod bench_algos;
 pub mod cache;
 pub mod dlq;
 pub mod dlq_dir;
@@ -49,6 +50,9 @@ pub(crate) mod worker;
 pub use bench::{
     build_workload, makespan_ms, run_bench, synthetic_framework, BenchConfig, BenchReport,
     SweepPoint,
+};
+pub use bench_algos::{
+    run_algo_bench, AlgoBenchConfig, AlgoBenchReport, AlgoBenchRow, KernelBench,
 };
 pub use cache::{ContextKey, LruCache};
 pub use dlq::{DeadLetter, DeadLetterInfo, DeadLetterQueue, QuarantineRegistry};

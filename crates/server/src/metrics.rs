@@ -14,7 +14,7 @@
 //! overestimate by construction, which is enough to watch p50/p95
 //! drift under load without storing samples.
 
-use dnacomp_algos::Algorithm;
+use dnacomp_algos::{Algorithm, PoolStats};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -68,6 +68,11 @@ pub struct Metrics {
     dlq_depth: AtomicU64,
     dlq_dropped: AtomicU64,
     last_heartbeat_age_ms: AtomicU64,
+    blocks_compressed: AtomicU64,
+    block_parallel_jobs: AtomicU64,
+    pool_tasks_run_by_pool: AtomicU64,
+    pool_tasks_run_inline: AtomicU64,
+    pool_batches: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -97,6 +102,11 @@ impl Default for Metrics {
             dlq_depth: AtomicU64::new(0),
             dlq_dropped: AtomicU64::new(0),
             last_heartbeat_age_ms: AtomicU64::new(0),
+            blocks_compressed: AtomicU64::new(0),
+            block_parallel_jobs: AtomicU64::new(0),
+            pool_tasks_run_by_pool: AtomicU64::new(0),
+            pool_tasks_run_inline: AtomicU64::new(0),
+            pool_batches: AtomicU64::new(0),
         }
     }
 }
@@ -231,6 +241,24 @@ impl Metrics {
         self.last_heartbeat_age_ms.store(age_ms, Ordering::Relaxed);
     }
 
+    /// A job ran the block-parallel frame path, producing `blocks`
+    /// independently compressed blocks.
+    pub fn record_block_parallel(&self, blocks: u64) {
+        self.block_parallel_jobs.fetch_add(1, Ordering::Relaxed);
+        self.blocks_compressed.fetch_add(blocks, Ordering::Relaxed);
+    }
+
+    /// Refresh the pool-sharing gauges from the shared block pool's
+    /// running totals (monotonic, so `fetch_max` tolerates stale
+    /// publications racing fresher ones).
+    pub fn set_pool_stats(&self, stats: PoolStats) {
+        self.pool_tasks_run_by_pool
+            .fetch_max(stats.tasks_run_by_pool, Ordering::Relaxed);
+        self.pool_tasks_run_inline
+            .fetch_max(stats.tasks_run_inline, Ordering::Relaxed);
+        self.pool_batches.fetch_max(stats.batches, Ordering::Relaxed);
+    }
+
     /// Jobs currently queued, per this registry's accounting.
     pub fn queue_depth(&self) -> u64 {
         self.queue_depth.load(Ordering::Relaxed)
@@ -309,6 +337,11 @@ impl Metrics {
             dlq_depth: self.dlq_depth.load(Ordering::Relaxed),
             dlq_dropped: self.dlq_dropped.load(Ordering::Relaxed),
             last_heartbeat_age_ms: self.last_heartbeat_age_ms.load(Ordering::Relaxed),
+            blocks_compressed: self.blocks_compressed.load(Ordering::Relaxed),
+            block_parallel_jobs: self.block_parallel_jobs.load(Ordering::Relaxed),
+            pool_tasks_run_by_pool: self.pool_tasks_run_by_pool.load(Ordering::Relaxed),
+            pool_tasks_run_inline: self.pool_tasks_run_inline.load(Ordering::Relaxed),
+            pool_batches: self.pool_batches.load(Ordering::Relaxed),
         }
     }
 }
@@ -378,6 +411,17 @@ pub struct MetricsSnapshot {
     pub dlq_dropped: u64,
     /// Age of the stalest live worker heartbeat at snapshot, ms.
     pub last_heartbeat_age_ms: u64,
+    /// Frame blocks compressed by the block-parallel path.
+    pub blocks_compressed: u64,
+    /// Jobs that ran the block-parallel frame path.
+    pub block_parallel_jobs: u64,
+    /// Shared-pool block tasks executed by dedicated pool threads.
+    pub pool_tasks_run_by_pool: u64,
+    /// Shared-pool block tasks executed inline by the submitting worker
+    /// (help-first draining).
+    pub pool_tasks_run_inline: u64,
+    /// Block batches submitted to the shared pool.
+    pub pool_batches: u64,
 }
 
 impl MetricsSnapshot {

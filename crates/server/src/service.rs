@@ -41,7 +41,7 @@ use crate::dlq::{DeadLetter, DeadLetterInfo, DeadLetterQueue, QuarantineRegistry
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::queue::{JobQueue, Priority, PushError};
 use crate::supervisor;
-use dnacomp_algos::Algorithm;
+use dnacomp_algos::{Algorithm, TaskPool};
 use dnacomp_cloud::{ExchangeError, FaultPlan, RetryPolicy};
 use dnacomp_core::{Context, FrameworkHandle};
 use dnacomp_seq::PackedSeq;
@@ -97,11 +97,19 @@ pub struct CompressResponse {
     pub original_len: usize,
     /// Serialised container size in bytes.
     pub compressed_bytes: usize,
+    /// Frame blocks the compressed container holds: `1` for a flat
+    /// blob, the block count when the block-parallel frame path ran
+    /// ([`ServiceConfig::block_size`]).
+    pub blocks: usize,
     /// Simulated cost of the job, ms: compression time in compress-only
     /// mode, full exchange total in exchange mode.
     pub sim_ms: f64,
     /// Wall-clock time the worker spent executing, ms.
     pub wall_ms: f64,
+    /// Wall-clock time from submission to completion, ms (queue wait
+    /// included) — the per-job latency `bench-serve` aggregates into
+    /// exact percentiles, unlike the pool-size-independent `sim_ms`.
+    pub wall_latency_ms: f64,
     /// `true` when the decision came from the LRU cache (rule tree
     /// skipped).
     pub cache_hit: bool,
@@ -270,7 +278,18 @@ pub struct ServiceConfig {
     /// Retry/backoff/timeout policy for exchanges.
     pub retry: RetryPolicy,
     /// Block size of each worker's blob store, bytes (`None`: default).
+    /// When [`block_size`](Self::block_size) is set and this is `None`,
+    /// the service aligns it to the packed bytes of one frame block
+    /// (`block_size / 4`) so resumable-upload blocks land exactly on
+    /// frame boundaries.
     pub block_bytes: Option<usize>,
+    /// Block-parallel threshold, bases. `Some(n)`: compress-only jobs
+    /// longer than `n` are compressed as a framed container
+    /// ([`dnacomp_algos::FramedBlob`]), one block task per `n` bases,
+    /// on the service-wide shared [`TaskPool`] — block tasks from
+    /// concurrent jobs interleave FIFO instead of head-of-line
+    /// blocking. `None` (default): every job is one flat blob.
+    pub block_size: Option<usize>,
     /// Consecutive failures before a worker's circuit breaker opens a
     /// ladder rung. Use `u32::MAX` to disable breaker skipping, which
     /// makes every job's outcome a pure function of the job (full
@@ -310,6 +329,7 @@ impl Default for ServiceConfig {
             faults: FaultPlan::none(),
             retry: RetryPolicy::default(),
             block_bytes: None,
+            block_size: None,
             breaker_threshold: 3,
             store: None,
             shed_above: None,
@@ -327,19 +347,30 @@ pub struct CompressionService {
     cache: Arc<LruMap>,
     dlq: Arc<DeadLetterQueue>,
     registry: Arc<QuarantineRegistry>,
+    block_pool: Arc<TaskPool>,
     shed_above: Option<usize>,
     supervisor: Option<std::thread::JoinHandle<()>>,
 }
 
 impl CompressionService {
     /// Spawn the worker pool (plus its supervisor) and open the queue.
-    pub fn start(framework: FrameworkHandle, config: ServiceConfig) -> Self {
+    pub fn start(framework: FrameworkHandle, mut config: ServiceConfig) -> Self {
         assert!(config.workers > 0, "need at least one worker");
+        // Align the resumable-upload block of each worker's blob store
+        // to the packed bytes of one frame block, unless overridden.
+        if let (Some(bases), None) = (config.block_size, config.block_bytes) {
+            config.block_bytes = Some(bases.div_ceil(4).max(1));
+        }
         let queue = Arc::new(JobQueue::new(config.queue_capacity));
         let metrics = Arc::new(Metrics::new());
         let cache = Arc::new(Mutex::new(LruCache::new(config.cache_capacity)));
         let dlq = Arc::new(DeadLetterQueue::new(config.dlq_capacity));
         let registry = Arc::new(QuarantineRegistry::new(config.quarantine_after));
+        // One service-wide block pool, sized like the job pool: block
+        // tasks from every worker's framed jobs interleave here, and a
+        // worker running a framed job helps drain its own batch, so
+        // total concurrency stays bounded by `2 × workers`.
+        let block_pool = Arc::new(TaskPool::new(config.workers));
         let shed_above = config.shed_above;
         let restart_budget = config.restart_budget;
         let shared = supervisor::PoolShared {
@@ -350,6 +381,7 @@ impl CompressionService {
             config,
             dlq: Arc::clone(&dlq),
             registry: Arc::clone(&registry),
+            block_pool: Arc::clone(&block_pool),
         };
         let epoch = Instant::now();
         let slots: Vec<Arc<supervisor::WorkerSlot>> = (0..shared.config.workers)
@@ -377,6 +409,7 @@ impl CompressionService {
             cache,
             dlq,
             registry,
+            block_pool,
             shed_above,
             supervisor: Some(supervisor),
         }
@@ -438,6 +471,11 @@ impl CompressionService {
     /// The live metrics registry.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Sharing counters of the service-wide block pool.
+    pub fn block_pool_stats(&self) -> dnacomp_algos::PoolStats {
+        self.block_pool.stats()
     }
 
     /// Decisions currently cached.
@@ -517,6 +555,9 @@ impl CompressionService {
             // a typed job outcome, never re-raised into the caller.
             let _ = h.join();
         }
+        // Final pool-sharing gauges: workers publish after every framed
+        // job, but the last publication may predate the last task.
+        self.metrics.set_pool_stats(self.block_pool.stats());
     }
 }
 

@@ -111,6 +111,7 @@ pub(crate) struct PoolShared {
     pub(crate) config: ServiceConfig,
     pub(crate) dlq: Arc<DeadLetterQueue>,
     pub(crate) registry: Arc<QuarantineRegistry>,
+    pub(crate) block_pool: Arc<dnacomp_algos::TaskPool>,
 }
 
 /// Spawn one worker thread bound to `slot`. `generation` counts
@@ -129,6 +130,7 @@ pub(crate) fn spawn_worker(
         config: shared.config.clone(),
         dlq: Arc::clone(&shared.dlq),
         registry: Arc::clone(&shared.registry),
+        block_pool: Arc::clone(&shared.block_pool),
         slot,
     };
     std::thread::Builder::new()

@@ -37,7 +37,7 @@ use crate::service::{
     lock_cache, CompressResponse, Job, JobError, JobResult, LruMap, ServiceConfig,
 };
 use crate::supervisor::{InFlight, WorkerSlot};
-use dnacomp_algos::{compressor_for, Algorithm, CompressedBlob};
+use dnacomp_algos::{compressor_for, Algorithm, CompressedBlob, ParallelCompressor, TaskPool};
 use dnacomp_cloud::{BlobStore, CloudSim};
 use dnacomp_core::{contain_panic, run_ladder, CircuitBreaker, FrameworkHandle};
 use dnacomp_store::{ContentKey, PutOutcome};
@@ -53,6 +53,7 @@ pub(crate) struct WorkerContext {
     pub(crate) config: ServiceConfig,
     pub(crate) dlq: Arc<DeadLetterQueue>,
     pub(crate) registry: Arc<QuarantineRegistry>,
+    pub(crate) block_pool: Arc<TaskPool>,
     pub(crate) slot: Arc<WorkerSlot>,
 }
 
@@ -189,18 +190,24 @@ fn execute(
     }
     let t0 = Instant::now();
     let key = ContextKey::quantize(&req.context);
-    let (decided, cache_hit) = {
-        let mut cache = lock_cache(&ctx.cache);
-        if let Some(&alg) = cache.get(&key) {
+    // Short-lock cache discipline: look up under the lock, but on a
+    // miss *decide outside it*. The old code held the cache mutex
+    // across `framework.decide`, serialising every concurrently-missing
+    // worker behind one tree traversal — the measured wall-throughput
+    // sag at higher worker counts. Correctness is unchanged because the
+    // cached value is a pure function of the key (decided on the key's
+    // canonical context): racing fillers compute the same algorithm,
+    // and whichever insert lands last overwrites an equal value.
+    let cached = lock_cache(&ctx.cache).get(&key).copied();
+    let (decided, cache_hit) = match cached {
+        Some(alg) => {
             ctx.metrics.record_cache_hit();
             (alg, true)
-        } else {
+        }
+        None => {
             ctx.metrics.record_cache_miss();
-            // Decide on the key's canonical context, not the raw one:
-            // the cached value must be a pure function of the key so
-            // fill order (a race) cannot change any job's outcome.
             let alg = ctx.framework.decide(&key.canonical());
-            cache.insert(key, alg);
+            lock_cache(&ctx.cache).insert(key, alg);
             (alg, false)
         }
     };
@@ -211,8 +218,10 @@ fn execute(
                 algorithm: used,
                 original_len: req.sequence.len(),
                 compressed_bytes: report.compressed_bytes,
+                blocks: 1,
                 sim_ms: report.total_ms(),
                 wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+                wall_latency_ms: job.submitted.elapsed().as_secs_f64() * 1e3,
                 cache_hit,
                 worker: ctx.slot.id,
                 retries: report.retries,
@@ -221,6 +230,40 @@ fn execute(
             }),
             Err(e) => Err(JobError::Exchange(e)),
         }
+    } else if framed_threshold(ctx, decided).is_some_and(|bs| req.sequence.len() > bs) {
+        // Block-parallel path: frame the sequence on the service-wide
+        // shared pool. The frame bytes are a pure function of
+        // (algorithm, block size, sequence), so this job's output is
+        // identical to the serial encoder's no matter how many threads
+        // or concurrent jobs share the pool.
+        let block_size = ctx.config.block_size.expect("checked by framed_threshold");
+        let pc = ParallelCompressor::new(decided, block_size, Arc::clone(&ctx.block_pool));
+        match pc.compress_with_stats(&req.sequence) {
+            Ok((frame, stats)) => {
+                ctx.metrics.record_block_parallel(frame.blocks.len() as u64);
+                ctx.metrics.set_pool_stats(ctx.block_pool.stats());
+                Ok(CompressResponse {
+                    file: req.file.clone(),
+                    algorithm: decided,
+                    original_len: req.sequence.len(),
+                    compressed_bytes: frame.total_bytes(),
+                    blocks: frame.blocks.len(),
+                    sim_ms: sim
+                        .perf
+                        .compress_ms(&req.context.client(), decided, &req.file, &stats),
+                    wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+                    wall_latency_ms: job.submitted.elapsed().as_secs_f64() * 1e3,
+                    cache_hit,
+                    worker: ctx.slot.id,
+                    retries: 0,
+                    degraded_from: Vec::new(),
+                    // The store speaks flat blobs; passing `None` makes
+                    // persist() rebuild one (deduped by content key).
+                    persisted: persist(ctx, job, decided, None)?,
+                })
+            }
+            Err(e) => Err(JobError::Exchange(e.into())),
+        }
     } else {
         match compressor_for(decided).compress_with_stats(&req.sequence) {
             Ok((blob, stats)) => Ok(CompressResponse {
@@ -228,10 +271,12 @@ fn execute(
                 algorithm: decided,
                 original_len: req.sequence.len(),
                 compressed_bytes: blob.total_bytes(),
+                blocks: 1,
                 sim_ms: sim
                     .perf
                     .compress_ms(&req.context.client(), decided, &req.file, &stats),
                 wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+                wall_latency_ms: job.submitted.elapsed().as_secs_f64() * 1e3,
                 cache_hit,
                 worker: ctx.slot.id,
                 retries: 0,
@@ -241,4 +286,12 @@ fn execute(
             Err(e) => Err(JobError::Exchange(e.into())),
         }
     }
+}
+
+/// The frame threshold for this job, if the block-parallel path is
+/// enabled and `decided` can run standalone per block.
+fn framed_threshold(ctx: &WorkerContext, decided: Algorithm) -> Option<usize> {
+    ctx.config
+        .block_size
+        .filter(|_| Algorithm::HORIZONTAL.contains(&decided))
 }

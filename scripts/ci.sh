@@ -58,10 +58,24 @@ timeout 300 cargo test --release --test supervision \
     panic_soak_every_ticket_resolves_and_panics_are_accounted -- --nocapture
 
 # Codec fuzz: random payloads, mutated real blobs and lying headers
-# through every decoder. A reintroduced unbounded preallocation or
-# decode loop shows up as a timeout/OOM here. 600 s is ~20x its
-# observed debug-profile runtime (release is much faster).
+# through every decoder (including the frame container). A
+# reintroduced unbounded preallocation or decode loop shows up as a
+# timeout/OOM here. 600 s is ~20x its observed debug-profile runtime
+# (release is much faster).
 step "codec fuzz suite (isolated, 600 s timeout)"
 timeout 600 cargo test --release --test fuzz_codecs -- --nocapture
+
+# Perf smoke gate: `bench-algos --quick` compresses a small corpus with
+# every algorithm serially AND block-parallel, asserting round-trips,
+# parallel/serial frame-byte equality and a build-profile-scaled
+# kernel-throughput floor. Under --quick the debug binary runs (the
+# floor scales down accordingly); the full gate uses the release
+# binary already built by tier-1. 120 s is ~100x its observed runtime.
+step "perf smoke gate: dnacomp bench-algos --quick (120 s timeout)"
+if [ "$QUICK" -eq 0 ]; then
+    timeout 120 cargo run --release --quiet --bin dnacomp -- bench-algos --quick
+else
+    timeout 120 cargo run --quiet --bin dnacomp -- bench-algos --quick
+fi
 
 step "all gates passed"

@@ -18,7 +18,7 @@
 //! unknown store key, corruption found), `2` usage error (bad flags or
 //! arguments; prints the usage text).
 
-use dnacomp::algos::{compressor_for, Algorithm, CompressedBlob};
+use dnacomp::algos::{compressor_for, Algorithm, CompressedBlob, FramedBlob, ParallelCompressor, TaskPool};
 use dnacomp::cloud::{context_grid, MachineSpec, PerfModel};
 use dnacomp::core::{build_rows, label_rows, measure_corpus, Context, ContextAwareFramework, WeightVector};
 use dnacomp::ml::TreeMethod;
@@ -27,7 +27,8 @@ use dnacomp::seq::gen::GenomeModel;
 use dnacomp::seq::corpus::CorpusBuilder;
 use dnacomp::seq::PackedSeq;
 use dnacomp::server::{
-    build_workload, run_bench, BenchConfig, CompressionService, DlqDir, ServiceConfig,
+    build_workload, run_algo_bench, run_bench, AlgoBenchConfig, BenchConfig, CompressionService,
+    DlqDir, ServiceConfig,
 };
 use dnacomp::store::{ContentKey, SequenceStore, StoreConfig};
 use std::process::ExitCode;
@@ -74,7 +75,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   dnacomp gen --len <bases> [--seed <n>] [--model bacterial|repetitive|random] <out.fa>
-  dnacomp compress -a <algorithm> <in.fa> <out.dx>
+  dnacomp compress -a <algorithm> [--block-size <bases>] [--threads <n>] <in.fa> <out.dx>
   dnacomp decompress <in.dx> <out.fa>
   dnacomp info <in.dx>
   dnacomp decide --ram-mb <n> --cpu-mhz <n> --bw-mbps <x> --file-kb <x>
@@ -82,9 +83,11 @@ const USAGE: &str = "usage:
                 [--fault-rate <x>] [--panic-rate <x>] [--kill-rate <x>]
                 [--shed-above <depth>] [--restart-budget <n>]
                 [--quarantine-after <n>] [--dlq-dir <dir>]
-                [--exchange] [--json]
+                [--block-size <bases>] [--exchange] [--json]
   dnacomp bench-serve [--workers 1,4,8] [--files <n>] [--contexts <n>]
-                      [--repeats <n>] [--json] [--out <path>]
+                      [--repeats <n>] [--block-size <bases>] [--json] [--out <path>]
+  dnacomp bench-algos [--quick] [--threads <n>] [--lanes <n>]
+                      [--block-size <bases>] [--json] [--out <path>]
   dnacomp dlq list --dir <dlq-dir> [--json]
   dnacomp dlq replay --dir <dlq-dir> <key>
   dnacomp dlq drop --dir <dlq-dir> <key>
@@ -99,8 +102,12 @@ algorithms: gzip, ctw, gencompress, dnax, biocompress2, dnapack-lite, cfact, xm-
 serve replays the synthetic corpus through the concurrent compression
 service and prints the metrics registry (add --store <dir> to persist
 every result; --panic-rate/--kill-rate inject deterministic worker
-faults and --dlq-dir persists the quarantine at shutdown); bench-serve
-sweeps worker counts and reports wall-clock and simulated throughput;
+faults and --dlq-dir persists the quarantine at shutdown; --block-size
+compresses big jobs as block-parallel frames on the shared pool);
+bench-serve sweeps worker counts and reports wall-clock and simulated
+throughput; bench-algos measures per-algorithm compress/decompress
+MB/s, single-thread vs block-parallel, plus the 2-bit packing kernels
+(--quick is the CI smoke gate: round-trip + throughput-floor asserts);
 dlq inspects, replays or drops persisted dead letters; store manages a
 crash-safe content-addressed repository of compressed sequences.";
 
@@ -113,6 +120,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         Some("decide") => cmd_decide(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("bench-serve") => cmd_bench_serve(&args[1..]),
+        Some("bench-algos") => cmd_bench_algos(&args[1..]),
         Some("dlq") => cmd_dlq(&args[1..]),
         Some("store") => cmd_store(&args[1..]),
         Some("list") => {
@@ -127,7 +135,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
 }
 
 /// Flags that take no value (`--json`, not `--json true`).
-const BOOLEAN_FLAGS: [&str; 2] = ["json", "exchange"];
+const BOOLEAN_FLAGS: [&str; 3] = ["json", "exchange", "quick"];
 
 /// Pull `--flag value` out of an argument list; remaining positionals
 /// are returned in order. Flags in [`BOOLEAN_FLAGS`] consume no value
@@ -213,23 +221,59 @@ fn cmd_compress(args: &[String]) -> Result<(), CliError> {
         _ => return Err(usage("compress: need <in.fa> <out.dx>")),
     };
     let alg = algorithm_flag(&flags)?;
+    let block_size: Option<usize> = flags
+        .get("block-size")
+        .map(|v| v.parse().map_err(|e| usage(format!("--block-size: {e}"))))
+        .transpose()?;
     let seq = read_fasta(input)?;
-    let compressor = compressor_for(alg);
     let t0 = std::time::Instant::now();
-    let (blob, stats) = compressor
-        .compress_with_stats(&seq)
-        .map_err(|e| format!("compression failed: {e}"))?;
-    let bytes = blob.to_bytes();
-    std::fs::write(output, &bytes).map_err(|e| format!("writing {output}: {e}"))?;
-    eprintln!(
-        "{}: {} bases -> {} bytes ({:.3} bits/base) in {:.0} ms (peak heap {} kB)",
-        alg.name(),
-        seq.len(),
-        bytes.len(),
-        blob.bits_per_base(),
-        t0.elapsed().as_secs_f64() * 1e3,
-        stats.peak_heap_bytes / 1024,
-    );
+    match block_size {
+        Some(0) => return Err(usage("--block-size: must be positive")),
+        Some(bs) => {
+            // Framed block-parallel container on a process-local pool.
+            let threads = flags
+                .get("threads")
+                .map(|v| v.parse().map_err(|e| usage(format!("--threads: {e}"))))
+                .transpose()?
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism().map_or(1, |n| n.get())
+                });
+            let pc = ParallelCompressor::new(alg, bs, Arc::new(TaskPool::new(threads)));
+            let frame = pc
+                .compress(&seq)
+                .map_err(|e| format!("compression failed: {e}"))?;
+            let bytes = frame.to_bytes();
+            std::fs::write(output, &bytes).map_err(|e| format!("writing {output}: {e}"))?;
+            eprintln!(
+                "{}: {} bases -> {} bytes ({:.3} bits/base) in {:.0} ms ({} blocks of {} bases, {} pool threads)",
+                alg.name(),
+                seq.len(),
+                bytes.len(),
+                frame.bits_per_base(),
+                t0.elapsed().as_secs_f64() * 1e3,
+                frame.blocks.len(),
+                bs,
+                threads,
+            );
+        }
+        None => {
+            let compressor = compressor_for(alg);
+            let (blob, stats) = compressor
+                .compress_with_stats(&seq)
+                .map_err(|e| format!("compression failed: {e}"))?;
+            let bytes = blob.to_bytes();
+            std::fs::write(output, &bytes).map_err(|e| format!("writing {output}: {e}"))?;
+            eprintln!(
+                "{}: {} bases -> {} bytes ({:.3} bits/base) in {:.0} ms (peak heap {} kB)",
+                alg.name(),
+                seq.len(),
+                bytes.len(),
+                blob.bits_per_base(),
+                t0.elapsed().as_secs_f64() * 1e3,
+                stats.peak_heap_bytes / 1024,
+            );
+        }
+    }
     Ok(())
 }
 
@@ -240,18 +284,27 @@ fn cmd_decompress(args: &[String]) -> Result<(), CliError> {
         _ => return Err(usage("decompress: need <in.dx> <out.fa>")),
     };
     let bytes = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
-    let blob = CompressedBlob::from_bytes(&bytes).map_err(|e| format!("{input}: {e}"))?;
-    if blob.algorithm == Algorithm::Reference {
-        return Err(CliError::Runtime(
-            "reference-based blobs need the reference; use the library API".into(),
-        ));
-    }
-    let compressor = compressor_for(blob.algorithm);
-    let seq = compressor
-        .decompress(&blob)
-        .map_err(|e| format!("decompression failed: {e}"))?;
+    // Sniff the container family: framed block container vs flat blob.
+    let (seq, origin) = if FramedBlob::is_frame(&bytes) {
+        let frame = FramedBlob::from_bytes(&bytes).map_err(|e| format!("{input}: {e}"))?;
+        let seq = dnacomp::algos::frame::decompress_serial(&frame)
+            .map_err(|e| format!("decompression failed: {e}"))?;
+        (seq, format!("frame, {} blocks", frame.blocks.len()))
+    } else {
+        let blob = CompressedBlob::from_bytes(&bytes).map_err(|e| format!("{input}: {e}"))?;
+        if blob.algorithm == Algorithm::Reference {
+            return Err(CliError::Runtime(
+                "reference-based blobs need the reference; use the library API".into(),
+            ));
+        }
+        let compressor = compressor_for(blob.algorithm);
+        let seq = compressor
+            .decompress(&blob)
+            .map_err(|e| format!("decompression failed: {e}"))?;
+        (seq, blob.algorithm.name().to_owned())
+    };
     let rec = Record {
-        header: format!("decompressed from {input} ({})", blob.algorithm.name()),
+        header: format!("decompressed from {input} ({origin})"),
         seq,
         cleaned: 0,
     };
@@ -265,6 +318,19 @@ fn cmd_info(args: &[String]) -> Result<(), CliError> {
     let (_, pos) = parse_flags(args);
     let input = pos.first().ok_or_else(|| usage("info: need <in.dx>"))?;
     let bytes = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+    if FramedBlob::is_frame(&bytes) {
+        let frame = FramedBlob::from_bytes(&bytes).map_err(|e| format!("{input}: {e}"))?;
+        let algs: std::collections::BTreeSet<&str> =
+            frame.blocks.iter().map(|b| b.algorithm.name()).collect();
+        println!("container:      framed, {} blocks", frame.blocks.len());
+        println!("algorithm(s):   {}", algs.into_iter().collect::<Vec<_>>().join(", "));
+        println!("block size:     {} bases", frame.block_size);
+        println!("original bases: {}", frame.total_len);
+        println!("frame bytes:    {}", frame.total_bytes());
+        println!("bits/base:      {:.4}", frame.bits_per_base());
+        println!("checksum:       {:#018x}", frame.checksum);
+        return Ok(());
+    }
     let blob = CompressedBlob::from_bytes(&bytes).map_err(|e| format!("{input}: {e}"))?;
     println!("algorithm:      {}", blob.algorithm.name());
     println!("original bases: {}", blob.original_len);
@@ -332,6 +398,13 @@ fn bench_config_from_flags(
         .map(|v| v.parse().map_err(|e| usage(format!("--seed: {e}"))))
         .unwrap_or(Ok(cfg.seed))?;
     cfg.exchange = flags.get("exchange").map(String::as_str) == Some("true");
+    cfg.block_size = flags
+        .get("block-size")
+        .map(|v| v.parse().map_err(|e| usage(format!("--block-size: {e}"))))
+        .transpose()?;
+    if cfg.block_size == Some(0) {
+        return Err(usage("--block-size: must be positive"));
+    }
     Ok(cfg)
 }
 
@@ -394,6 +467,10 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     svc.workers = workers;
     svc.faults = faults;
     svc.block_bytes = (fault_rate > 0.0).then_some(4096);
+    // Frame threshold for the block-parallel path; when set (and no
+    // fault plan pinned the exchange block), the service aligns the
+    // resumable-upload block bytes to the frame block boundary.
+    svc.block_size = cfg.block_size;
     svc.store = store.clone();
     svc.shed_above = shed_above;
     let service = CompressionService::start(framework, svc);
@@ -437,6 +514,15 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             snapshot.cache_hit_rate * 100.0
         );
         println!("queue:      peak depth {}", snapshot.peak_queue_depth);
+        if snapshot.block_parallel_jobs > 0 {
+            println!(
+                "blocks:     {} framed job(s), {} blocks; shared pool ran {} block task(s) ({} inline)",
+                snapshot.block_parallel_jobs,
+                snapshot.blocks_compressed,
+                snapshot.pool_tasks_run_by_pool,
+                snapshot.pool_tasks_run_inline
+            );
+        }
         if snapshot.jobs_panicked + snapshot.jobs_quarantined + snapshot.jobs_shed
             + snapshot.jobs_crashed + snapshot.worker_restarts + snapshot.dlq_depth
             > 0
@@ -507,6 +593,85 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), CliError> {
                 p.speedup_vs_one
             );
         }
+    }
+    Ok(())
+}
+
+/// `dnacomp bench-algos` — per-algorithm throughput, single-thread vs
+/// block-parallel, plus the 2-bit packing kernel micro-benchmark.
+/// `--quick` is the CI perf smoke gate (round-trip + kernel-floor
+/// assertions; failure is a runtime error → exit 1).
+fn cmd_bench_algos(args: &[String]) -> Result<(), CliError> {
+    let (flags, _) = parse_flags(args);
+    let mut cfg = AlgoBenchConfig {
+        quick: flags.get("quick").map(String::as_str) == Some("true"),
+        ..AlgoBenchConfig::default()
+    };
+    if let Some(v) = flags.get("threads") {
+        cfg.threads = v.parse().map_err(|e| usage(format!("--threads: {e}")))?;
+    }
+    if let Some(v) = flags.get("lanes") {
+        cfg.lanes = v.parse().map_err(|e| usage(format!("--lanes: {e}")))?;
+        if cfg.lanes == 0 {
+            return Err(usage("--lanes: must be positive"));
+        }
+    }
+    if let Some(v) = flags.get("block-size") {
+        let bs: usize = v.parse().map_err(|e| usage(format!("--block-size: {e}")))?;
+        if bs == 0 {
+            return Err(usage("--block-size: must be positive"));
+        }
+        cfg.block_size = Some(bs);
+    }
+    if let Some(v) = flags.get("seed") {
+        cfg.seed = v.parse().map_err(|e| usage(format!("--seed: {e}")))?;
+    }
+    eprintln!(
+        "bench-algos: {} mode, {} pool thread(s), {} lanes …",
+        if cfg.quick { "quick (smoke gate)" } else { "full" },
+        cfg.threads,
+        cfg.lanes
+    );
+    let report = run_algo_bench(&cfg).map_err(CliError::Runtime)?;
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if flags.contains_key("json") {
+        println!("{}", report.to_json());
+    } else {
+        println!(
+            "kernels ({} bases): pack u64 {:.0} MB/s vs bytewise {:.0} MB/s ({:.2}x); unpack {:.0} vs {:.0} MB/s ({:.2}x)",
+            report.kernels.bases,
+            report.kernels.pack_u64_mb_s,
+            report.kernels.pack_bytewise_mb_s,
+            report.kernels.pack_speedup,
+            report.kernels.unpack_u64_mb_s,
+            report.kernels.unpack_bytewise_mb_s,
+            report.kernels.unpack_speedup,
+        );
+        println!(
+            "{:>13}  {:>9}  {:>9}  {:>11}  {:>11}  {:>11}  {:>8}  {:>5}",
+            "algorithm", "bases", "bits/base", "serial MB/s", "wall MB/s",
+            format!("{}-lane MB/s", report.lanes), "speedup", "ok"
+        );
+        for r in &report.algorithms {
+            println!(
+                "{:>13}  {:>9}  {:>9.4}  {:>11.2}  {:>11.2}  {:>11.2}  {:>7.2}x  {:>5}",
+                r.algorithm,
+                r.bases,
+                r.bits_per_base,
+                r.serial_compress_mb_s,
+                r.block_wall_compress_mb_s,
+                r.block_lane_compress_mb_s,
+                r.lane_speedup_compress,
+                if r.roundtrip_ok && r.parallel_matches_serial { "yes" } else { "NO" },
+            );
+        }
+        println!(
+            "(host has {} CPU(s); the lane column is measured per-block times list-scheduled onto {} lanes)",
+            report.host_cpus, report.lanes
+        );
     }
     Ok(())
 }

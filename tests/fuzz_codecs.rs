@@ -20,7 +20,7 @@
 //! 3. **lying headers** — `original_len` cranked to absurd values over
 //!    tiny payloads, which must fail fast instead of OOMing.
 
-use dnacomp::algos::{compressor_for, Algorithm, CompressedBlob};
+use dnacomp::algos::{compressor_for, Algorithm, CompressedBlob, FramedBlob};
 use dnacomp::codec::checksum::{mix64, unit_interval};
 use dnacomp::seq::gen::GenomeModel;
 
@@ -129,6 +129,111 @@ fn lying_headers_fail_fast_without_unbounded_preallocation() {
             assert!(
                 compressor_for(alg).decompress(&blob).is_err(),
                 "{alg}: a 64-byte payload cannot legitimately decode {lie} bases"
+            );
+        }
+    }
+}
+
+/// LEB128 writer mirroring the frame wire format, so tests can forge
+/// headers the honest serialiser would never emit.
+fn push_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Forge a frame header claiming `n_blocks`/`total_len` over a tiny
+/// payload. Geometry is kept self-consistent so parsing reaches the
+/// affordability check rather than bailing on arithmetic mismatch.
+fn forged_frame_header(block_size: u64, total_len: u64, payload_bytes: usize) -> Vec<u8> {
+    let mut bytes = vec![b'D', b'F', 1];
+    push_uvarint(&mut bytes, block_size);
+    push_uvarint(&mut bytes, total_len.div_ceil(block_size));
+    push_uvarint(&mut bytes, total_len);
+    bytes.extend_from_slice(&0xDEAD_BEEFu64.to_le_bytes());
+    bytes.extend(noise_bytes(9, payload_bytes));
+    bytes
+}
+
+#[test]
+fn frame_lying_block_count_rejected_before_allocation() {
+    // A self-consistent header declaring a billion 1-base blocks over a
+    // 64-byte payload: the affordability check (each declared block
+    // costs ≥ MIN_RECORD_BYTES of payload) must refuse it before the
+    // block Vec is sized by the lie. The wall-clock bound is the
+    // observable proxy for "no allocation proportional to the claim".
+    for (block_size, total_len) in [(1u64, 1u64 << 30), (4, 1 << 32), (1, u32::MAX as u64)] {
+        let bytes = forged_frame_header(block_size, total_len, 64);
+        let started = std::time::Instant::now();
+        let err = FramedBlob::from_bytes(&bytes).expect_err("forged count must be rejected");
+        assert!(
+            started.elapsed() < std::time::Duration::from_millis(50),
+            "rejecting a lying count took {:?} — it allocated first",
+            started.elapsed()
+        );
+        let msg = err.to_string();
+        assert!(
+            msg.contains("block count") || msg.contains("length exceeds"),
+            "unexpected rejection reason for ({block_size}, {total_len}): {msg}"
+        );
+    }
+}
+
+#[test]
+fn frame_lying_record_lengths_fail_fast() {
+    // A plausible two-block header whose first record length points past
+    // the end of the buffer.
+    let mut bytes = vec![b'D', b'F', 1];
+    push_uvarint(&mut bytes, 100); // block_size
+    push_uvarint(&mut bytes, 2); // n_blocks
+    push_uvarint(&mut bytes, 200); // total_len
+    bytes.extend_from_slice(&0u64.to_le_bytes());
+    push_uvarint(&mut bytes, 1 << 40); // record_len: a lie
+    bytes.extend(noise_bytes(3, 40));
+    let err = FramedBlob::from_bytes(&bytes).expect_err("lying record length must be rejected");
+    assert!(err.to_string().contains("truncated"), "got: {err}");
+}
+
+#[test]
+fn frame_wire_mutations_never_panic_and_never_lie() {
+    // Start from genuine frames (two algorithms, boundary-straddling
+    // geometry) and sweep bit flips and truncations over the full wire
+    // image — header varints, checksum and block records alike.
+    let original = GenomeModel::default().generate(700, 4242);
+    for alg in [Algorithm::Raw, Algorithm::Dnax] {
+        let clean = dnacomp::algos::frame::compress_serial(
+            compressor_for(alg).as_ref(),
+            &original,
+            333,
+        )
+        .unwrap()
+        .to_bytes();
+
+        for case in 0..120u64 {
+            let mut mutant = clean.clone();
+            let at = (mix64((alg.tag() as u64) << 32 | case) as usize) % mutant.len();
+            mutant[at] ^= 1u8 << (case % 8);
+            // Parsing + decoding must be total; a surviving mutant must
+            // decode to the truth (whole-frame checksum catches the rest).
+            if let Ok(frame) = FramedBlob::from_bytes(&mutant) {
+                if let Ok(seq) = dnacomp::algos::frame::decompress_serial(&frame) {
+                    assert_eq!(seq, original, "{alg}: flip at {at} silently corrupted output");
+                }
+            }
+        }
+
+        for i in 0..16 {
+            let mut mutant = clean.clone();
+            mutant.truncate(mutant.len() * i / 16);
+            assert!(
+                FramedBlob::from_bytes(&mutant).is_err(),
+                "{alg}: truncation to {i}/16 of the frame parsed Ok"
             );
         }
     }
