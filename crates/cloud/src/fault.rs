@@ -55,6 +55,25 @@ pub struct FaultPlan {
     /// and the supervisor's restart budget + strike accounting is
     /// deterministic.
     pub worker_kill_rate: f64,
+    /// Probability a network I/O operation kills its connection outright
+    /// (RST mid-stream). Keyed on `(connection, op)`, so a given
+    /// connection's lifetime is deterministic per plan. Drives the TCP
+    /// front-end's chaos soak; zero everywhere else.
+    pub conn_drop_rate: f64,
+    /// Probability a network write is torn: only a prefix of the bytes
+    /// reaches the wire and the connection dies — the peer sees a
+    /// truncated frame.
+    pub partial_write_rate: f64,
+    /// Probability a network I/O operation is delayed by
+    /// [`net_delay_ms`](Self::net_delay_ms) before proceeding (a slow or
+    /// congested link; the server's deadlines must absorb it).
+    pub net_delay_rate: f64,
+    /// Extra latency a delayed network operation pays, wall-clock ms.
+    pub net_delay_ms: f64,
+    /// Probability a network read delivers one flipped bit somewhere in
+    /// the buffer (detected by the frame checksum, never silently
+    /// accepted).
+    pub net_corrupt_rate: f64,
 }
 
 /// Which pipeline operation a fault decision is for. Folded into the
@@ -71,6 +90,12 @@ enum FaultKind {
     TornWriteLen = 7,
     JobPanic = 8,
     WorkerKill = 9,
+    ConnDrop = 10,
+    PartialWrite = 11,
+    PartialWriteLen = 12,
+    NetDelay = 13,
+    NetCorrupt = 14,
+    NetCorruptPos = 15,
 }
 
 impl Default for FaultPlan {
@@ -95,6 +120,27 @@ impl FaultPlan {
             torn_write_rate: 0.0,
             panic_rate: 0.0,
             worker_kill_rate: 0.0,
+            conn_drop_rate: 0.0,
+            partial_write_rate: 0.0,
+            net_delay_rate: 0.0,
+            net_delay_ms: 0.0,
+            net_corrupt_rate: 0.0,
+        }
+    }
+
+    /// A network-fault-only plan for the TCP front-end's chaos soak:
+    /// each wire operation drops its connection at `rate / 4`, tears a
+    /// write at `rate / 2`, is delayed at `rate`, and flips a read bit
+    /// at `rate / 2`. Disk, transfer and panic faults stay zero.
+    pub fn network(seed: u64, rate: f64) -> Self {
+        FaultPlan {
+            seed,
+            conn_drop_rate: rate / 4.0,
+            partial_write_rate: rate / 2.0,
+            net_delay_rate: rate,
+            net_delay_ms: 2.0,
+            net_corrupt_rate: rate / 2.0,
+            ..FaultPlan::none()
         }
     }
 
@@ -134,9 +180,7 @@ impl FaultPlan {
             stall_ms: 40.0,
             degrade_rate: fail_rate / 2.0,
             degrade_factor: 3.0,
-            torn_write_rate: 0.0,
-            panic_rate: 0.0,
-            worker_kill_rate: 0.0,
+            ..FaultPlan::none()
         }
     }
 
@@ -150,6 +194,16 @@ impl FaultPlan {
             && self.torn_write_rate == 0.0
             && self.panic_rate == 0.0
             && self.worker_kill_rate == 0.0
+            && !self.has_net_faults()
+    }
+
+    /// `true` when any network-layer rate is set (the TCP front-end
+    /// wraps accepted streams in a fault injector only then).
+    pub fn has_net_faults(&self) -> bool {
+        self.conn_drop_rate > 0.0
+            || self.partial_write_rate > 0.0
+            || self.net_delay_rate > 0.0
+            || self.net_corrupt_rate > 0.0
     }
 
     /// Deterministic unit-interval draw for one (kind, operation) tuple.
@@ -288,6 +342,89 @@ impl FaultPlan {
             0,
         )
     }
+
+    /// Does the `op`-th wire operation on connection `conn` kill the
+    /// connection outright (RST mid-stream)? Network faults are keyed
+    /// on the connection name and a monotone per-stream operation
+    /// counter — no algorithm or retry dimension ([`Algorithm::Raw`]
+    /// pads the shared hash tuple).
+    pub fn net_drops(&self, conn: &str, op: u64) -> bool {
+        self.hit(
+            self.conn_drop_rate,
+            FaultKind::ConnDrop,
+            Algorithm::Raw,
+            conn,
+            op as usize,
+            0,
+        )
+    }
+
+    /// Is the `op`-th write on `conn` torn? `Some(kept)` means only the
+    /// first `kept` bytes (a strict prefix, possibly empty) reach the
+    /// wire before the connection dies; `None` means the write lands
+    /// whole.
+    pub fn net_partial_write(&self, conn: &str, op: u64, len: usize) -> Option<usize> {
+        if len == 0
+            || !self.hit(
+                self.partial_write_rate,
+                FaultKind::PartialWrite,
+                Algorithm::Raw,
+                conn,
+                op as usize,
+                0,
+            )
+        {
+            return None;
+        }
+        let frac = self.unit(
+            FaultKind::PartialWriteLen,
+            Algorithm::Raw,
+            conn,
+            op as usize,
+            0,
+        );
+        Some((frac * len as f64) as usize)
+    }
+
+    /// Extra wall-clock delay the `op`-th wire operation on `conn`
+    /// pays, ms (0.0 = no delay).
+    pub fn net_delay(&self, conn: &str, op: u64) -> f64 {
+        if self.hit(
+            self.net_delay_rate,
+            FaultKind::NetDelay,
+            Algorithm::Raw,
+            conn,
+            op as usize,
+            0,
+        ) {
+            self.net_delay_ms
+        } else {
+            0.0
+        }
+    }
+
+    /// Does the `op`-th read on `conn` deliver a flipped bit?
+    /// `Some((index, mask))` says which byte of the `len`-byte buffer
+    /// to XOR with which single-bit mask; `None` means the bytes arrive
+    /// clean.
+    pub fn net_corrupt(&self, conn: &str, op: u64, len: usize) -> Option<(usize, u8)> {
+        if len == 0
+            || !self.hit(
+                self.net_corrupt_rate,
+                FaultKind::NetCorrupt,
+                Algorithm::Raw,
+                conn,
+                op as usize,
+                0,
+            )
+        {
+            return None;
+        }
+        let frac = self.unit(FaultKind::NetCorruptPos, Algorithm::Raw, conn, op as usize, 0);
+        let pos = (frac * len as f64) as usize;
+        let bit = (frac * 4096.0) as u32 % 8;
+        Some((pos.min(len - 1), 1u8 << bit))
+    }
 }
 
 #[cfg(test)]
@@ -405,6 +542,51 @@ mod tests {
         let kills: Vec<bool> = (0..200).map(|i| p.kills_worker(&format!("f{i}"))).collect();
         assert_ne!(panics, kills, "streams must be independent");
         assert!(!FaultPlan::none().kills_worker("f0"));
+    }
+
+    #[test]
+    fn network_plan_draws_are_deterministic_and_typed() {
+        let a = FaultPlan::network(23, 0.4);
+        let b = FaultPlan::network(23, 0.4);
+        assert!(!a.is_none());
+        assert!(a.has_net_faults());
+        assert!(!FaultPlan::none().has_net_faults());
+        // Transfer/disk/panic faults stay zero under the network plan.
+        assert_eq!(a.upload_fail_rate, 0.0);
+        assert_eq!(a.torn_write_rate, 0.0);
+        assert_eq!(a.panic_rate, 0.0);
+        for op in 0..300u64 {
+            assert_eq!(a.net_drops("c1", op), b.net_drops("c1", op));
+            assert_eq!(a.net_partial_write("c1", op, 64), b.net_partial_write("c1", op, 64));
+            assert_eq!(a.net_delay("c1", op), b.net_delay("c1", op));
+            assert_eq!(a.net_corrupt("c1", op, 64), b.net_corrupt("c1", op, 64));
+        }
+        // Torn writes keep strict prefixes; corruption stays in bounds
+        // and flips exactly one bit.
+        for op in 0..300u64 {
+            if let Some(kept) = a.net_partial_write("c1", op, 64) {
+                assert!(kept < 64);
+            }
+            if let Some((pos, mask)) = a.net_corrupt("c1", op, 64) {
+                assert!(pos < 64);
+                assert_eq!(mask.count_ones(), 1);
+            }
+        }
+        // Distinct connections draw from independent streams.
+        let c1: Vec<bool> = (0..200).map(|op| a.net_drops("c1", op)).collect();
+        let c2: Vec<bool> = (0..200).map(|op| a.net_drops("c2", op)).collect();
+        assert_ne!(c1, c2);
+        // Rough rate check: drops fire at rate/4 = 0.1.
+        let hits = (0..2000u64).filter(|&op| a.net_drops("cX", op)).count();
+        assert!((120..300).contains(&hits), "{hits}/2000 at rate 0.1");
+        // The clean plan never injects anything, zero-length buffers
+        // cannot tear or corrupt.
+        let none = FaultPlan::none();
+        assert!(!none.net_drops("c", 0));
+        assert_eq!(none.net_partial_write("c", 0, 64), None);
+        assert_eq!(a.net_partial_write("c", 0, 0), None);
+        assert_eq!(a.net_corrupt("c", 0, 0), None);
+        assert_eq!(none.net_delay("c", 0), 0.0);
     }
 
     #[test]

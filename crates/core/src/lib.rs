@@ -34,4 +34,4 @@ pub use context::Context;
 pub use experiment::{build_rows, measure_corpus, ExperimentRow, Measurement};
 pub use framework::{run_ladder, CircuitBreaker, ContextAwareFramework, FrameworkHandle};
 pub use labeler::{label_rows, label_rows_with, LabeledRow, Metric, Normalization, WeightVector};
-pub use supervise::{contain_panic, panic_message};
+pub use supervise::{contain_panic, panic_message, Deadline};

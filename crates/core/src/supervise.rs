@@ -16,6 +16,57 @@
 
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// A wall-clock budget every bounded operation checks against.
+///
+/// The supervision layers (worker deadlines, the TCP front-end's
+/// read/write/idle timeouts) all need the same primitive: a fixed
+/// expiry instant, a cheap `expired()` probe inside I/O loops, and the
+/// remaining budget to derive nested timeouts from. Centralising it
+/// keeps "no operation outlives its deadline" one type instead of a
+/// per-module `Instant` convention.
+///
+/// ```
+/// use dnacomp_core::supervise::Deadline;
+/// use std::time::Duration;
+/// let d = Deadline::after(Duration::from_secs(5));
+/// assert!(!d.expired());
+/// assert!(d.remaining() <= Duration::from_secs(5));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        Deadline {
+            at: Instant::now() + budget,
+        }
+    }
+
+    /// A deadline at an explicit instant.
+    pub fn at(at: Instant) -> Self {
+        Deadline { at }
+    }
+
+    /// `true` once the budget is spent.
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// Budget left, zero once expired (never negative).
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+
+    /// The expiry instant.
+    pub fn instant(&self) -> Instant {
+        self.at
+    }
+}
 
 /// Extract a human-readable message from a panic payload.
 ///
@@ -81,6 +132,20 @@ mod tests {
     fn exotic_payloads_do_not_panic_the_extractor() {
         let err = contain_panic(|| -> () { std::panic::panic_any(77u64) });
         assert_eq!(err, Err("non-string panic payload".to_owned()));
+    }
+
+    #[test]
+    fn deadlines_expire_exactly_once_spent() {
+        let d = Deadline::after(Duration::from_millis(20));
+        assert!(!d.expired());
+        assert!(d.remaining() <= Duration::from_millis(20));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Duration::ZERO);
+        // An explicit-instant deadline in the past is born expired.
+        let past = Deadline::at(Instant::now() - Duration::from_millis(1));
+        assert!(past.expired());
+        assert!(past.instant() < Instant::now());
     }
 
     #[test]

@@ -1,0 +1,400 @@
+//! Bounded frame I/O over a byte stream, plus the fault-injected
+//! stream wrapper the chaos tests drive.
+//!
+//! Everything here observes one rule: **no read or write outlives its
+//! deadline**. Timeouts are built from two layers — the stream's own
+//! read/write timeout is set to a short tick ([`IO_TICK`]), and the
+//! loops here treat a `WouldBlock`/`TimedOut` tick as a chance to
+//! check a [`Deadline`], not as an error. That turns the OS timeout
+//! primitive (coarse, per-call) into a precise per-frame budget, and
+//! makes slow-loris peers (one byte per tick) cost at most one frame
+//! budget before the supervisor kills them.
+//!
+//! The incremental reader enforces the same affordability discipline
+//! as [`crate::proto::decode_frame`]: the declared payload length is
+//! validated against the cap *before* the payload buffer exists.
+
+use crate::proto::{frame_checksum_of, ProtoError, FRAME_OVERHEAD, WIRE_MAGIC, WIRE_VERSION};
+use dnacomp_cloud::FaultPlan;
+use dnacomp_core::Deadline;
+use std::io::{ErrorKind, Read, Write};
+use std::time::Duration;
+
+/// Stream-level read/write timeout: the polling tick the deadline
+/// loops are built from. Short enough that idle/frame budgets are
+/// honoured within one tick of slack.
+pub const IO_TICK: Duration = Duration::from_millis(20);
+
+/// Longest legal payload-length varint (LEB128 of a u64).
+const MAX_LEN_VARINT: usize = 10;
+
+fn tickable(kind: ErrorKind) -> bool {
+    matches!(kind, ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Fill `buf` completely before `deadline`, treating stream-timeout
+/// ticks as deadline probes.
+///
+/// Unlike `Read::read_exact`, partial progress survives a tick: bytes
+/// already read stay in `buf` and the loop resumes where it stopped.
+/// EOF mid-buffer is [`ProtoError::Truncated`]; deadline expiry is
+/// [`ProtoError::Timeout`].
+fn read_full<S: Read>(
+    stream: &mut S,
+    buf: &mut [u8],
+    deadline: Deadline,
+) -> Result<(), ProtoError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Err(ProtoError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if tickable(e.kind()) => {
+                if deadline.expired() {
+                    return Err(ProtoError::Timeout);
+                }
+            }
+            Err(e) => return Err(ProtoError::Io(e.kind())),
+        }
+    }
+    Ok(())
+}
+
+/// Read one byte, distinguishing the three ways a frame can fail to
+/// start: clean EOF ([`ProtoError::Closed`]), idle-budget expiry
+/// ([`ProtoError::Idle`]), transport error.
+fn read_first_byte<S: Read>(stream: &mut S, idle: Deadline) -> Result<u8, ProtoError> {
+    let mut b = [0u8; 1];
+    loop {
+        match stream.read(&mut b) {
+            Ok(0) => return Err(ProtoError::Closed),
+            Ok(_) => return Ok(b[0]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if tickable(e.kind()) => {
+                if idle.expired() {
+                    return Err(ProtoError::Idle);
+                }
+            }
+            Err(e) => return Err(ProtoError::Io(e.kind())),
+        }
+    }
+}
+
+/// Read one complete frame: `(frame type, payload, wire bytes)`.
+///
+/// The wait for the frame's **first byte** is governed by `idle` —
+/// expiry there is a clean [`ProtoError::Idle`], EOF a clean
+/// [`ProtoError::Closed`]. Once the first byte arrives the rest of
+/// the frame must land within `frame_budget` (expiry is
+/// [`ProtoError::Timeout`] — a kill offence, because the peer left us
+/// desynchronised mid-frame). The declared payload length is checked
+/// against `cap` before allocation.
+pub fn read_frame<S: Read>(
+    stream: &mut S,
+    cap: usize,
+    idle: Deadline,
+    frame_budget: Duration,
+) -> Result<(u8, Vec<u8>, u64), ProtoError> {
+    let first = read_first_byte(stream, idle)?;
+    let deadline = Deadline::after(frame_budget);
+    let mut head = [0u8; 3]; // magic[1], version, type
+    read_full(stream, &mut head, deadline)?;
+    if [first, head[0]] != WIRE_MAGIC {
+        return Err(ProtoError::BadMagic);
+    }
+    if head[1] != WIRE_VERSION {
+        return Err(ProtoError::BadVersion(head[1]));
+    }
+    let ftype = head[2];
+
+    // Length varint, byte by byte: the declared size is known (and
+    // checked) before any payload-sized buffer exists.
+    let mut declared: u64 = 0;
+    let mut shift = 0u32;
+    let mut len_bytes = 0usize;
+    loop {
+        let mut b = [0u8; 1];
+        read_full(stream, &mut b, deadline)?;
+        len_bytes += 1;
+        declared |= u64::from(b[0] & 0x7F) << shift;
+        if b[0] & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+        if len_bytes >= MAX_LEN_VARINT {
+            return Err(ProtoError::Malformed("length varint too long"));
+        }
+    }
+    if declared > cap as u64 {
+        return Err(ProtoError::Oversize {
+            declared,
+            cap: cap as u64,
+        });
+    }
+
+    let mut payload = vec![0u8; declared as usize];
+    read_full(stream, &mut payload, deadline)?;
+    let mut tail = [0u8; 8];
+    read_full(stream, &mut tail, deadline)?;
+    let expected = u64::from_le_bytes(tail);
+    let actual = frame_checksum_of(ftype, &payload);
+    if expected != actual {
+        return Err(ProtoError::ChecksumMismatch { expected, actual });
+    }
+    Ok((
+        ftype,
+        payload,
+        (FRAME_OVERHEAD - 8 + len_bytes + declared as usize + 8) as u64,
+    ))
+}
+
+/// Write a complete frame before `deadline`, treating stream-timeout
+/// ticks as deadline probes. Partial progress survives a tick.
+pub fn write_frame<S: Write>(
+    stream: &mut S,
+    frame: &[u8],
+    deadline: Deadline,
+) -> Result<(), ProtoError> {
+    let mut written = 0;
+    while written < frame.len() {
+        match stream.write(&frame[written..]) {
+            Ok(0) => return Err(ProtoError::Io(ErrorKind::WriteZero)),
+            Ok(n) => written += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if tickable(e.kind()) => {
+                if deadline.expired() {
+                    return Err(ProtoError::Timeout);
+                }
+            }
+            Err(e) => return Err(ProtoError::Io(e.kind())),
+        }
+    }
+    match stream.flush() {
+        Ok(()) => Ok(()),
+        Err(e) if tickable(e.kind()) => Ok(()),
+        Err(e) => Err(ProtoError::Io(e.kind())),
+    }
+}
+
+/// A byte stream that injects deterministic network faults from a
+/// [`FaultPlan`]'s network rates: connection drops, torn (strict-
+/// prefix) writes, per-op delays, and single-bit corruption of
+/// outbound bytes.
+///
+/// Draws are keyed on `(plan seed, stream name, monotone op counter)`
+/// — the same re-derivable scheme the exchange faults use — so a
+/// chaos run is reproducible from its seed alone. The wrapper lives
+/// in the server crate (not behind `cfg(test)`) so integration tests
+/// and the CLI's chaos mode can both reach it, but it injects nothing
+/// when the plan carries no network rates.
+#[derive(Debug)]
+pub struct FaultyStream<S> {
+    inner: S,
+    plan: FaultPlan,
+    name: String,
+    op: u64,
+    dead: bool,
+}
+
+impl<S> FaultyStream<S> {
+    /// Wrap `inner`, drawing faults for `name` from `plan`.
+    pub fn new(inner: S, plan: FaultPlan, name: impl Into<String>) -> Self {
+        FaultyStream {
+            inner,
+            plan,
+            name: name.into(),
+            op: 0,
+            dead: false,
+        }
+    }
+
+    /// The wrapped stream.
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+
+    /// Whether an injected drop or torn write has killed this stream.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    fn next_op(&mut self) -> u64 {
+        let op = self.op;
+        self.op += 1;
+        op
+    }
+
+    fn maybe_delay(&mut self, op: u64) {
+        let ms = self.plan.net_delay(&self.name, op);
+        if ms > 0.0 {
+            std::thread::sleep(Duration::from_micros((ms * 1_000.0) as u64));
+        }
+    }
+}
+
+impl<S: Read> Read for FaultyStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.dead {
+            return Err(std::io::Error::from(ErrorKind::ConnectionReset));
+        }
+        let op = self.next_op();
+        if self.plan.net_drops(&self.name, op) {
+            self.dead = true;
+            return Err(std::io::Error::from(ErrorKind::ConnectionReset));
+        }
+        self.maybe_delay(op);
+        self.inner.read(buf)
+    }
+}
+
+impl<S: Write> Write for FaultyStream<S> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.dead {
+            return Err(std::io::Error::from(ErrorKind::BrokenPipe));
+        }
+        let op = self.next_op();
+        if self.plan.net_drops(&self.name, op) {
+            self.dead = true;
+            return Err(std::io::Error::from(ErrorKind::BrokenPipe));
+        }
+        self.maybe_delay(op);
+        if let Some(torn) = self.plan.net_partial_write(&self.name, op, buf.len()) {
+            // Deliver a strict prefix, then die: the peer sees a torn
+            // frame followed by EOF — the classic mid-frame disconnect.
+            let n = self.inner.write(&buf[..torn])?;
+            let _ = self.inner.flush();
+            self.dead = true;
+            return Ok(n.max(1));
+        }
+        if let Some((pos, mask)) = self.plan.net_corrupt(&self.name, op, buf.len()) {
+            let mut copy = buf.to_vec();
+            copy[pos] ^= mask;
+            return self.inner.write(&copy);
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        if self.dead {
+            return Err(std::io::Error::from(ErrorKind::BrokenPipe));
+        }
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{request_frame, Request, MAX_WIRE_PAYLOAD};
+    use std::io::Cursor;
+
+    fn long_idle() -> Deadline {
+        Deadline::after(Duration::from_secs(5))
+    }
+
+    #[test]
+    fn frames_roundtrip_through_the_bounded_reader() {
+        let frame = request_frame(&Request::Ping);
+        let mut cur = Cursor::new(frame.clone());
+        let (t, payload, wire) =
+            read_frame(&mut cur, MAX_WIRE_PAYLOAD, long_idle(), Duration::from_secs(1)).unwrap();
+        assert_eq!(wire as usize, frame.len());
+        assert_eq!(Request::decode(t, &payload).unwrap(), Request::Ping);
+    }
+
+    #[test]
+    fn eof_at_boundary_is_closed_but_mid_frame_is_truncated() {
+        let mut empty = Cursor::new(Vec::<u8>::new());
+        assert_eq!(
+            read_frame(
+                &mut empty,
+                MAX_WIRE_PAYLOAD,
+                long_idle(),
+                Duration::from_secs(1)
+            )
+            .unwrap_err(),
+            ProtoError::Closed
+        );
+        let frame = request_frame(&Request::Metrics);
+        for cut in 1..frame.len() {
+            let mut cur = Cursor::new(frame[..cut].to_vec());
+            assert_eq!(
+                read_frame(
+                    &mut cur,
+                    MAX_WIRE_PAYLOAD,
+                    long_idle(),
+                    Duration::from_secs(1)
+                )
+                .unwrap_err(),
+                ProtoError::Truncated,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversize_declaration_is_refused_before_payload_read() {
+        // Header declares ~4 TiB; only the header bytes exist. The
+        // reader must refuse on the declaration, not try to allocate.
+        let mut frame = WIRE_MAGIC.to_vec();
+        frame.push(WIRE_VERSION);
+        frame.push(0x02);
+        dnacomp_codec::varint::write_uvarint(&mut frame, 1u64 << 42);
+        let mut cur = Cursor::new(frame);
+        assert_eq!(
+            read_frame(&mut cur, 1024, long_idle(), Duration::from_secs(1)).unwrap_err(),
+            ProtoError::Oversize {
+                declared: 1 << 42,
+                cap: 1024
+            }
+        );
+    }
+
+    #[test]
+    fn forged_overlong_varint_is_malformed() {
+        let mut frame = WIRE_MAGIC.to_vec();
+        frame.push(WIRE_VERSION);
+        frame.push(0x02);
+        frame.extend_from_slice(&[0x80; 12]); // continuation forever
+        let mut cur = Cursor::new(frame);
+        assert_eq!(
+            read_frame(&mut cur, 1024, long_idle(), Duration::from_secs(1)).unwrap_err(),
+            ProtoError::Malformed("length varint too long")
+        );
+    }
+
+    #[test]
+    fn faulty_stream_is_transparent_at_zero_rates() {
+        let frame = request_frame(&Request::Hello { version: 1 });
+        let mut s = FaultyStream::new(Cursor::new(Vec::new()), FaultPlan::none(), "c0");
+        write_frame(&mut s, &frame, long_idle()).unwrap();
+        assert!(!s.is_dead());
+        assert_eq!(s.get_ref().get_ref(), &frame);
+    }
+
+    #[test]
+    fn faulty_stream_faults_are_deterministic() {
+        let plan = FaultPlan::network(99, 0.5);
+        let run = |()| {
+            let mut s = FaultyStream::new(Cursor::new(Vec::new()), plan, "conn-3");
+            let mut outcomes = Vec::new();
+            for _ in 0..40 {
+                outcomes.push(match s.write(&[0xAA; 64]) {
+                    Ok(n) => n as i64,
+                    Err(e) => -(e.kind() as i64),
+                });
+            }
+            (outcomes, s.get_ref().get_ref().clone())
+        };
+        let (a, abytes) = run(());
+        let (b, bbytes) = run(());
+        assert_eq!(a, b);
+        assert_eq!(abytes, bbytes);
+        // At 50% aggregate fault pressure something must have fired.
+        assert!(
+            a.iter().any(|&o| o != 64),
+            "no fault fired in 40 ops at 50%: {a:?}"
+        );
+    }
+}

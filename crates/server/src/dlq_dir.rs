@@ -181,7 +181,7 @@ mod tests {
                 file_bytes: 200 + i,
             },
         );
-        request.exchange = i % 2 == 0;
+        request.exchange = i.is_multiple_of(2);
         DeadLetter {
             key,
             strikes: 2,

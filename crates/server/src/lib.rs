@@ -38,10 +38,14 @@
 
 pub mod bench;
 pub mod bench_algos;
+pub mod bench_net;
 pub mod cache;
+pub mod conn;
 pub mod dlq;
 pub mod dlq_dir;
 pub mod metrics;
+pub mod net;
+pub mod proto;
 pub mod queue;
 pub mod service;
 pub(crate) mod supervisor;
@@ -54,10 +58,17 @@ pub use bench::{
 pub use bench_algos::{
     run_algo_bench, AlgoBenchConfig, AlgoBenchReport, AlgoBenchRow, KernelBench,
 };
+pub use bench_net::{run_net_bench, NetBenchConfig, NetBenchReport};
 pub use cache::{ContextKey, LruCache};
+pub use conn::{read_frame, write_frame, FaultyStream, IO_TICK};
 pub use dlq::{DeadLetter, DeadLetterInfo, DeadLetterQueue, QuarantineRegistry};
 pub use dlq_dir::DlqDir;
 pub use metrics::{AlgorithmWins, Metrics, MetricsSnapshot};
+pub use net::{ClientError, NetClient, NetConfig, NetServer};
+pub use proto::{
+    decode_frame, frame_bytes, request_frame, response_frame, ErrorCode, ProtoError, Request,
+    Response, MAX_WIRE_PAYLOAD, WIRE_MAGIC, WIRE_VERSION,
+};
 pub use queue::{JobQueue, Priority, PushError};
 pub use service::{
     CompressRequest, CompressResponse, CompressionService, JobError, JobResult, JobTicket,

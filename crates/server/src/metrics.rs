@@ -73,6 +73,15 @@ pub struct Metrics {
     pool_tasks_run_by_pool: AtomicU64,
     pool_tasks_run_inline: AtomicU64,
     pool_batches: AtomicU64,
+    connections_open: AtomicU64,
+    connections_accepted: AtomicU64,
+    connections_refused: AtomicU64,
+    connections_killed: AtomicU64,
+    frames_rx: AtomicU64,
+    frames_tx: AtomicU64,
+    net_bytes_rx: AtomicU64,
+    net_bytes_tx: AtomicU64,
+    protocol_errors: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -107,6 +116,15 @@ impl Default for Metrics {
             pool_tasks_run_by_pool: AtomicU64::new(0),
             pool_tasks_run_inline: AtomicU64::new(0),
             pool_batches: AtomicU64::new(0),
+            connections_open: AtomicU64::new(0),
+            connections_accepted: AtomicU64::new(0),
+            connections_refused: AtomicU64::new(0),
+            connections_killed: AtomicU64::new(0),
+            frames_rx: AtomicU64::new(0),
+            frames_tx: AtomicU64::new(0),
+            net_bytes_rx: AtomicU64::new(0),
+            net_bytes_tx: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
         }
     }
 }
@@ -259,6 +277,60 @@ impl Metrics {
         self.pool_batches.fetch_max(stats.batches, Ordering::Relaxed);
     }
 
+    /// The TCP front-end accepted a connection (open gauge rises).
+    pub fn record_conn_accepted(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+        self.connections_open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An accepted connection ended (cleanly or killed); the open
+    /// gauge falls. Every [`record_conn_accepted`](Self::record_conn_accepted)
+    /// is paired with exactly one of these by the handler's drop path.
+    pub fn record_conn_closed(&self) {
+        let _ = self
+            .connections_open
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                Some(d.saturating_sub(1))
+            });
+    }
+
+    /// A connection was refused at accept (cap reached): it was never
+    /// open, so only the refusal counter moves.
+    pub fn record_conn_refused(&self) {
+        self.connections_refused.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection was killed by its supervisor (strikes, desync,
+    /// mid-frame deadline). Counted *in addition to* the close.
+    pub fn record_conn_killed(&self) {
+        self.connections_killed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A complete, checksum-valid frame arrived (`bytes` on the wire).
+    pub fn record_frame_rx(&self, bytes: u64) {
+        self.frames_rx.fetch_add(1, Ordering::Relaxed);
+        self.net_bytes_rx.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// A complete frame was written to a peer (`bytes` on the wire).
+    pub fn record_frame_tx(&self, bytes: u64) {
+        self.frames_tx.fetch_add(1, Ordering::Relaxed);
+        self.net_bytes_tx.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// A peer violated the protocol (bad magic/version/checksum,
+    /// unknown type, oversize declaration, malformed payload, torn
+    /// frame). One increment per violation, whether it cost a strike
+    /// or the connection.
+    pub fn record_protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections currently open, per this registry's accounting.
+    pub fn connections_open(&self) -> u64 {
+        self.connections_open.load(Ordering::Relaxed)
+    }
+
     /// Jobs currently queued, per this registry's accounting.
     pub fn queue_depth(&self) -> u64 {
         self.queue_depth.load(Ordering::Relaxed)
@@ -342,6 +414,15 @@ impl Metrics {
             pool_tasks_run_by_pool: self.pool_tasks_run_by_pool.load(Ordering::Relaxed),
             pool_tasks_run_inline: self.pool_tasks_run_inline.load(Ordering::Relaxed),
             pool_batches: self.pool_batches.load(Ordering::Relaxed),
+            connections_open: self.connections_open.load(Ordering::Relaxed),
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_refused: self.connections_refused.load(Ordering::Relaxed),
+            connections_killed: self.connections_killed.load(Ordering::Relaxed),
+            frames_rx: self.frames_rx.load(Ordering::Relaxed),
+            frames_tx: self.frames_tx.load(Ordering::Relaxed),
+            net_bytes_rx: self.net_bytes_rx.load(Ordering::Relaxed),
+            net_bytes_tx: self.net_bytes_tx.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -422,6 +503,25 @@ pub struct MetricsSnapshot {
     pub pool_tasks_run_inline: u64,
     /// Block batches submitted to the shared pool.
     pub pool_batches: u64,
+    /// TCP connections open at snapshot time (point-in-time gauge).
+    pub connections_open: u64,
+    /// TCP connections ever accepted by the front-end.
+    pub connections_accepted: u64,
+    /// TCP connections refused at accept (connection cap).
+    pub connections_refused: u64,
+    /// TCP connections killed by their supervisor (strikes, desync,
+    /// mid-frame deadline).
+    pub connections_killed: u64,
+    /// Complete checksum-valid frames received.
+    pub frames_rx: u64,
+    /// Complete frames transmitted.
+    pub frames_tx: u64,
+    /// Wire bytes received in valid frames.
+    pub net_bytes_rx: u64,
+    /// Wire bytes transmitted in frames.
+    pub net_bytes_tx: u64,
+    /// Protocol violations observed across all connections.
+    pub protocol_errors: u64,
 }
 
 impl MetricsSnapshot {
@@ -482,8 +582,8 @@ mod tests {
         let p50 = m.latency_quantile_ms(0.5);
         let p95 = m.latency_quantile_ms(0.95);
         // Bucket upper bounds: ≥ the true quantile, ≤ growth × it.
-        assert!(p50 >= 4.0 && p50 <= 4.0 * HIST_GROWTH, "p50 {p50}");
-        assert!(p95 >= 1000.0 && p95 <= 1000.0 * HIST_GROWTH, "p95 {p95}");
+        assert!((4.0..=4.0 * HIST_GROWTH).contains(&p50), "p50 {p50}");
+        assert!((1000.0..=1000.0 * HIST_GROWTH).contains(&p95), "p95 {p95}");
         assert!(p50 <= p95);
         // Empty histogram reports zero.
         assert_eq!(Metrics::new().latency_quantile_ms(0.5), 0.0);
@@ -500,6 +600,36 @@ mod tests {
         let json = s.to_json();
         let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn connection_accounting_pairs_opens_with_closes() {
+        let m = Metrics::new();
+        for _ in 0..5 {
+            m.record_conn_accepted();
+        }
+        m.record_conn_refused();
+        m.record_conn_killed();
+        m.record_frame_rx(100);
+        m.record_frame_rx(28);
+        m.record_frame_tx(64);
+        m.record_protocol_error();
+        assert_eq!(m.connections_open(), 5);
+        for _ in 0..5 {
+            m.record_conn_closed();
+        }
+        // An unpaired extra close clamps at zero instead of wrapping.
+        m.record_conn_closed();
+        let s = m.snapshot();
+        assert_eq!(s.connections_open, 0);
+        assert_eq!(s.connections_accepted, 5);
+        assert_eq!(s.connections_refused, 1);
+        assert_eq!(s.connections_killed, 1);
+        assert_eq!(s.frames_rx, 2);
+        assert_eq!(s.net_bytes_rx, 128);
+        assert_eq!(s.frames_tx, 1);
+        assert_eq!(s.net_bytes_tx, 64);
+        assert_eq!(s.protocol_errors, 1);
     }
 
     #[test]

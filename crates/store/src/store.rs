@@ -827,7 +827,7 @@ mod tests {
             let store = SequenceStore::open(&dir, small_segments()).unwrap();
             for i in 0..30u8 {
                 let s = seq(format!("ACGT{}", "A".repeat(i as usize + 1)).as_bytes());
-                let b = blob(&s, &vec![i; 24]);
+                let b = blob(&s, &[i; 24]);
                 keys.push((store.put(&s, &b).unwrap().key, b));
             }
             assert!(store.snapshot().segments > 1, "rolled across segments");
@@ -860,7 +860,7 @@ mod tests {
         let mut keys = Vec::new();
         for i in 0..24u8 {
             let s = seq(format!("CCGG{}", "T".repeat(i as usize + 1)).as_bytes());
-            keys.push(store.put(&s, &blob(&s, &vec![i; 24])).unwrap().key);
+            keys.push(store.put(&s, &blob(&s, &[i; 24])).unwrap().key);
         }
         let before = store.snapshot();
         assert!(before.segments > 2);

@@ -65,6 +65,29 @@ timeout 300 cargo test --release --test supervision \
 step "codec fuzz suite (isolated, 600 s timeout)"
 timeout 600 cargo test --release --test fuzz_codecs -- --nocapture
 
+# Loopback chaos soak: concurrent clients at 0/5/25 % injected network
+# faults plus malformed-frame fuzzing against the TCP front-end. Every
+# operation is deadline-bounded by design, so a hang regression (a
+# connection that outlives its budgets, a shutdown that never drains)
+# must fail the pipeline, not wedge it. 300 s is ~100x its observed
+# runtime.
+step "loopback chaos soak (isolated, 300 s timeout)"
+timeout 300 cargo test --release -p dnacomp-server --test net -- --nocapture \
+    chaos_soak_survives_fault_injected_clients \
+    malformed_frames_get_typed_replies_then_the_axe
+
+# Wire-path throughput gate: the same synthetic workload as
+# bench-serve, but every job crosses real loopback TCP. Asserts exact
+# job accounting (completed + refused == jobs) and zero protocol
+# errors; 300 s bounds a wedged server. Skipped under --quick (needs
+# the release binary).
+if [ "$QUICK" -eq 0 ]; then
+    step "wire throughput gate: dnacomp bench-serve --listen (300 s timeout)"
+    timeout 300 cargo run --release --quiet --bin dnacomp -- bench-serve \
+        --listen 127.0.0.1:0 --clients 4 --workers 4 --files 12 --contexts 4 \
+        --repeats 1 --out BENCH_net.json
+fi
+
 # Perf smoke gate: `bench-algos --quick` compresses a small corpus with
 # every algorithm serially AND block-parallel, asserting round-trips,
 # parallel/serial frame-byte equality and a build-profile-scaled

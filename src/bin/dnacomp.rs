@@ -27,8 +27,9 @@ use dnacomp::seq::gen::GenomeModel;
 use dnacomp::seq::corpus::CorpusBuilder;
 use dnacomp::seq::PackedSeq;
 use dnacomp::server::{
-    build_workload, run_algo_bench, run_bench, AlgoBenchConfig, BenchConfig, CompressionService,
-    DlqDir, ServiceConfig,
+    build_workload, run_algo_bench, run_bench, run_net_bench, AlgoBenchConfig, BenchConfig,
+    ClientError, CompressionService, DlqDir, NetBenchConfig, NetClient, NetConfig, NetServer,
+    Priority, Response, ServiceConfig,
 };
 use dnacomp::store::{ContentKey, SequenceStore, StoreConfig};
 use std::process::ExitCode;
@@ -84,8 +85,12 @@ const USAGE: &str = "usage:
                 [--shed-above <depth>] [--restart-budget <n>]
                 [--quarantine-after <n>] [--dlq-dir <dir>]
                 [--block-size <bases>] [--exchange] [--json]
+                [--listen <addr>] [--serve-secs <x>] [--max-conns <n>]
+  dnacomp client <ping|metrics|compress|get|stat> --addr <host:port>
+                 [--timeout-ms <n>] [--priority high|normal|low] [args…]
   dnacomp bench-serve [--workers 1,4,8] [--files <n>] [--contexts <n>]
                       [--repeats <n>] [--block-size <bases>] [--json] [--out <path>]
+                      [--listen <addr>] [--clients <n>]
   dnacomp bench-algos [--quick] [--threads <n>] [--lanes <n>]
                       [--block-size <bases>] [--json] [--out <path>]
   dnacomp dlq list --dir <dlq-dir> [--json]
@@ -100,7 +105,13 @@ const USAGE: &str = "usage:
 algorithms: gzip, ctw, gencompress, dnax, biocompress2, dnapack-lite, cfact, xm-lite, raw
             (`dnacomp list` prints the full set)
 serve replays the synthetic corpus through the concurrent compression
-service and prints the metrics registry (add --store <dir> to persist
+service and prints the metrics registry; with --listen it instead
+starts the TCP front-end and serves the wire protocol (--serve-secs
+bounds the run; 0 or absent serves until killed). client speaks that
+protocol: `ping`, `metrics`, `compress <in.fa>`, `get <key> <out.fa>`,
+`stat [<key>]`; connection refused/timeout are runtime errors (exit 1).
+bench-serve --listen runs the loopback network throughput bench and
+writes BENCH_net.json. (add --store <dir> to persist
 every result; --panic-rate/--kill-rate inject deterministic worker
 faults and --dlq-dir persists the quarantine at shutdown; --block-size
 compresses big jobs as block-parallel frames on the shared pool);
@@ -119,6 +130,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         Some("info") => cmd_info(&args[1..]),
         Some("decide") => cmd_decide(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         Some("bench-serve") => cmd_bench_serve(&args[1..]),
         Some("bench-algos") => cmd_bench_algos(&args[1..]),
         Some("dlq") => cmd_dlq(&args[1..]),
@@ -450,11 +462,6 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     // implies full-exchange jobs rather than silently doing nothing.
     // (Panic/kill injection bites in compress-only mode too.)
     cfg.exchange = cfg.exchange || fault_rate > 0.0;
-    eprintln!(
-        "serving {} corpus files × {} contexts × {} passes on {workers} worker(s) …",
-        cfg.files, cfg.contexts, cfg.repeats
-    );
-    let jobs = build_workload(&cfg);
     let framework = dnacomp::server::synthetic_framework(cfg.seed);
     let mut faults = if fault_rate > 0.0 {
         dnacomp::cloud::FaultPlan::uniform(cfg.seed, fault_rate)
@@ -473,6 +480,14 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     svc.block_size = cfg.block_size;
     svc.store = store.clone();
     svc.shed_above = shed_above;
+    if let Some(listen) = flags.get("listen") {
+        return serve_listen(listen, framework, svc, store, &cfg, &flags);
+    }
+    eprintln!(
+        "serving {} corpus files × {} contexts × {} passes on {workers} worker(s) …",
+        cfg.files, cfg.contexts, cfg.repeats
+    );
+    let jobs = build_workload(&cfg);
     let service = CompressionService::start(framework, svc);
     let mut tickets = Vec::with_capacity(jobs.len());
     for job in &jobs {
@@ -554,9 +569,174 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `serve --listen`: run the TCP front-end instead of replaying the
+/// synthetic corpus in-process.
+fn serve_listen(
+    listen: &str,
+    framework: dnacomp::core::FrameworkHandle,
+    svc: ServiceConfig,
+    store: Option<Arc<SequenceStore>>,
+    cfg: &BenchConfig,
+    flags: &std::collections::HashMap<String, String>,
+) -> Result<(), CliError> {
+    let serve_secs: f64 = flags
+        .get("serve-secs")
+        .map(|v| v.parse().map_err(|e| usage(format!("--serve-secs: {e}"))))
+        .unwrap_or(Ok(0.0))?;
+    let mut net = NetConfig {
+        exchange: cfg.exchange,
+        store,
+        ..NetConfig::default()
+    };
+    if let Some(v) = flags.get("max-conns") {
+        net.max_connections = v.parse().map_err(|e| usage(format!("--max-conns: {e}")))?;
+    }
+    let service = Arc::new(CompressionService::start(framework, svc));
+    let server = NetServer::start(Arc::clone(&service), listen, net)
+        .map_err(|e| CliError::Runtime(format!("binding {listen}: {e}")))?;
+    eprintln!("listening on {}", server.local_addr());
+    if serve_secs > 0.0 {
+        std::thread::sleep(std::time::Duration::from_secs_f64(serve_secs));
+    } else {
+        loop {
+            std::thread::park();
+        }
+    }
+    server.shutdown();
+    let service = Arc::try_unwrap(service)
+        .map_err(|_| CliError::Runtime("connections still alive after drain".into()))?;
+    let snapshot = service.shutdown();
+    println!("{}", snapshot.to_json());
+    Ok(())
+}
+
+/// `dnacomp client <ping|metrics|compress|get|stat>` — speak the wire
+/// protocol against a running `serve --listen`.
+fn cmd_client(args: &[String]) -> Result<(), CliError> {
+    let (flags, pos) = parse_flags(args);
+    let sub = pos
+        .first()
+        .ok_or_else(|| usage("client: need a subcommand (ping|metrics|compress|get|stat)"))?;
+    // Vet the subcommand before dialling: a typo is a usage error
+    // (exit 2) and must not cost the server a connection.
+    if !["ping", "metrics", "compress", "get", "stat"].contains(&sub.as_str()) {
+        return Err(usage(format!("client: unknown subcommand {sub:?}")));
+    }
+    let addr = flags
+        .get("addr")
+        .ok_or_else(|| usage("client: --addr <host:port> required"))?;
+    let timeout_ms: u64 = flags
+        .get("timeout-ms")
+        .map(|v| v.parse().map_err(|e| usage(format!("--timeout-ms: {e}"))))
+        .unwrap_or(Ok(10_000))?;
+    let timeout = std::time::Duration::from_millis(timeout_ms.max(1));
+    // Connection refused, handshake failure and response timeouts are
+    // all runtime errors: exit code 1, like any other unreachable
+    // resource — usage mistakes stay exit code 2.
+    let client_err =
+        |what: &str, e: ClientError| CliError::Runtime(format!("client {what} ({addr}): {e}"));
+    let mut client =
+        NetClient::connect(addr.as_str(), timeout).map_err(|e| client_err("connect", e))?;
+    let parse_key = |hex: &str| {
+        ContentKey::from_hex(hex)
+            .ok_or_else(|| CliError::Runtime(format!("invalid key {hex:?} (32 hex digits)")))
+    };
+    match (sub.as_str(), &pos[1..]) {
+        ("ping", []) => {
+            client.ping().map_err(|e| client_err("ping", e))?;
+            eprintln!("pong from {addr}");
+            Ok(())
+        }
+        ("metrics", []) => {
+            let json = client.metrics_json().map_err(|e| client_err("metrics", e))?;
+            println!("{json}");
+            Ok(())
+        }
+        ("compress", [input]) => {
+            let seq = read_fasta(input)?;
+            let priority = match flags.get("priority").map(String::as_str) {
+                None | Some("normal") => Priority::Normal,
+                Some("high") => Priority::High,
+                Some("low") => Priority::Low,
+                Some(other) => return Err(usage(format!("--priority: unknown lane {other:?}"))),
+            };
+            let context = Context {
+                ram_mb: 2048,
+                cpu_mhz: 2393,
+                bandwidth_mbps: 2.0,
+                file_bytes: seq.len() as u64,
+            };
+            let resp = client
+                .compress(input, &seq, priority, context)
+                .map_err(|e| client_err("compress", e))?;
+            match resp {
+                Response::CompressOk {
+                    file,
+                    algorithm,
+                    original_len,
+                    compressed_bytes,
+                    blocks,
+                    sim_ms,
+                    cache_hit,
+                    key,
+                } => {
+                    let name = Algorithm::from_tag(algorithm)
+                        .map(|a| a.name().to_owned())
+                        .unwrap_or_else(|_| format!("tag {algorithm}"));
+                    eprintln!(
+                        "{file}: {original_len} bases -> {compressed_bytes} bytes via {name} \
+                         ({blocks} block(s), {sim_ms:.1} ms simulated{})",
+                        if cache_hit { ", cached decision" } else { "" }
+                    );
+                    if let Some(key) = key {
+                        println!("{}", ContentKey(key).to_hex());
+                    }
+                    Ok(())
+                }
+                Response::Error { code, message } => Err(CliError::Runtime(format!(
+                    "server refused compress ({code}): {message}"
+                ))),
+                other => Err(CliError::Runtime(format!("unexpected reply {other:?}"))),
+            }
+        }
+        ("get", [key, output]) => {
+            let key = parse_key(key)?;
+            let bytes = client.get(key.0).map_err(|e| client_err("get", e))?;
+            let blob = CompressedBlob::from_bytes(&bytes)
+                .map_err(|e| CliError::Runtime(format!("served blob is corrupt: {e}")))?;
+            let seq = compressor_for(blob.algorithm)
+                .decompress(&blob)
+                .map_err(|e| CliError::Runtime(format!("decompression failed: {e}")))?;
+            let rec = Record {
+                header: format!("dnacomp client {} ({})", key.to_hex(), blob.algorithm.name()),
+                seq,
+                cleaned: 0,
+            };
+            std::fs::write(output, write_fasta(std::slice::from_ref(&rec), 70))
+                .map_err(|e| CliError::Runtime(format!("writing {output}: {e}")))?;
+            eprintln!("wrote {output}");
+            Ok(())
+        }
+        ("stat", rest) => {
+            let key = match rest {
+                [] => None,
+                [key] => Some(parse_key(key)?.0),
+                _ => return Err(usage("client stat: at most one key")),
+            };
+            let json = client.stat(key).map_err(|e| client_err("stat", e))?;
+            println!("{json}");
+            Ok(())
+        }
+        _ => Err(usage(format!("client: bad arguments for {sub:?}"))),
+    }
+}
+
 fn cmd_bench_serve(args: &[String]) -> Result<(), CliError> {
     let (flags, _) = parse_flags(args);
     let mut cfg = bench_config_from_flags(&flags)?;
+    if let Some(listen) = flags.get("listen") {
+        return bench_serve_listen(listen, &cfg, &flags);
+    }
     if let Some(list) = flags.get("workers") {
         cfg.worker_counts = list
             .split(',')
@@ -593,6 +773,66 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), CliError> {
                 p.speedup_vs_one
             );
         }
+    }
+    Ok(())
+}
+
+/// `bench-serve --listen`: the loopback network throughput row.
+fn bench_serve_listen(
+    listen: &str,
+    cfg: &BenchConfig,
+    flags: &std::collections::HashMap<String, String>,
+) -> Result<(), CliError> {
+    let parse_usize = |name: &str, default: usize| -> Result<usize, CliError> {
+        flags
+            .get(name)
+            .map(|v| v.parse().map_err(|e| usage(format!("--{name}: {e}"))))
+            .unwrap_or(Ok(default))
+    };
+    let nb = NetBenchConfig {
+        clients: parse_usize("clients", 4)?.max(1),
+        // The in-process bench sweeps a worker list; the network row
+        // uses one pool size (the first of --workers, default 4).
+        workers: flags
+            .get("workers")
+            .and_then(|list| list.split(',').next().map(str::trim).map(str::parse))
+            .transpose()
+            .map_err(|e| usage(format!("--workers: {e}")))?
+            .unwrap_or(4),
+        listen: listen.to_owned(),
+        workload: cfg.clone(),
+    };
+    eprintln!(
+        "bench-serve --listen: {} files × {} contexts × {} passes over {} client(s), {} worker(s) …",
+        nb.workload.files, nb.workload.contexts, nb.workload.repeats, nb.clients, nb.workers
+    );
+    let report = run_net_bench(&nb).map_err(CliError::Runtime)?;
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if flags.contains_key("json") {
+        println!("{}", report.to_json());
+    } else {
+        println!(
+            "net: {} jobs over {} conn(s): {:.1} jobs/s, {:.2} MB/s payload, \
+             {} frames rx / {} tx, {} wire bytes rx / {} tx, {} protocol error(s)",
+            report.jobs,
+            report.connections_accepted,
+            report.jobs_per_wall_sec,
+            report.wire_mb_per_sec,
+            report.frames_rx,
+            report.frames_tx,
+            report.net_bytes_rx,
+            report.net_bytes_tx,
+            report.protocol_errors
+        );
+    }
+    if report.completed + report.refused != report.jobs {
+        return Err(CliError::Runtime(format!(
+            "accounting hole: {} completed + {} refused != {} jobs",
+            report.completed, report.refused, report.jobs
+        )));
     }
     Ok(())
 }
