@@ -74,6 +74,11 @@ pub struct FaultPlan {
     /// the buffer (detected by the frame checksum, never silently
     /// accepted).
     pub net_corrupt_rate: f64,
+    /// Probability a whole shard process "dies" for a soak window.
+    /// Keyed on `(shard id, window index)`, so a cluster chaos test can
+    /// ask deterministically which shard to kill in which window.
+    /// Drives the router's shard-kill soak; zero everywhere else.
+    pub shard_kill_rate: f64,
 }
 
 /// Which pipeline operation a fault decision is for. Folded into the
@@ -96,6 +101,7 @@ enum FaultKind {
     NetDelay = 13,
     NetCorrupt = 14,
     NetCorruptPos = 15,
+    ShardKill = 16,
 }
 
 impl Default for FaultPlan {
@@ -125,6 +131,7 @@ impl FaultPlan {
             net_delay_rate: 0.0,
             net_delay_ms: 0.0,
             net_corrupt_rate: 0.0,
+            shard_kill_rate: 0.0,
         }
     }
 
@@ -194,6 +201,7 @@ impl FaultPlan {
             && self.torn_write_rate == 0.0
             && self.panic_rate == 0.0
             && self.worker_kill_rate == 0.0
+            && self.shard_kill_rate == 0.0
             && !self.has_net_faults()
     }
 
@@ -425,6 +433,21 @@ impl FaultPlan {
         let bit = (frac * 4096.0) as u32 % 8;
         Some((pos.min(len - 1), 1u8 << bit))
     }
+
+    /// Does shard `shard` die during soak window `window`? Keyed on the
+    /// shard id and the window index only — the whole cluster agrees,
+    /// per plan, on which shard is down when, so a chaos soak's
+    /// kill/restart schedule is reproducible from its seed alone.
+    pub fn shard_killed(&self, shard: u32, window: u64) -> bool {
+        self.hit(
+            self.shard_kill_rate,
+            FaultKind::ShardKill,
+            Algorithm::Raw,
+            &format!("shard-{shard}"),
+            window as usize,
+            0,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -442,6 +465,38 @@ mod tests {
             assert_eq!(p.stall(Algorithm::Dnax, "f", block, 0), 0.0);
             assert_eq!(p.degrade(Algorithm::Dnax, "f", block, 0), 1.0);
         }
+    }
+
+    #[test]
+    fn shard_kill_schedule_is_deterministic_and_per_shard() {
+        let plan = FaultPlan {
+            shard_kill_rate: 0.5,
+            ..FaultPlan::none()
+        };
+        assert!(!plan.is_none());
+        let again = FaultPlan {
+            shard_kill_rate: 0.5,
+            ..FaultPlan::none()
+        };
+        let mut kills = 0u32;
+        let mut diverged = false;
+        for shard in 1..=3u32 {
+            for window in 0..40u64 {
+                let hit = plan.shard_killed(shard, window);
+                assert_eq!(hit, again.shard_killed(shard, window));
+                if hit {
+                    kills += 1;
+                }
+                if hit != plan.shard_killed(shard + 10, window) {
+                    diverged = true;
+                }
+            }
+        }
+        // At rate 0.5 over 120 draws, some kills and some divergence
+        // between shard ids are certain for any sane hash.
+        assert!(kills > 10, "only {kills} kills in 120 draws at rate 0.5");
+        assert!(diverged, "shard id does not influence the kill schedule");
+        assert!(!FaultPlan::none().shard_killed(1, 0));
     }
 
     #[test]

@@ -149,6 +149,63 @@ mod tests {
     }
 
     #[test]
+    fn zero_budget_deadline_is_born_expired() {
+        let d = Deadline::after(Duration::ZERO);
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Duration::ZERO);
+        // So is one pinned at exactly "now" — expiry is `>=`, not `>`.
+        let now = Deadline::at(Instant::now());
+        assert!(now.expired());
+        assert_eq!(now.remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn remaining_saturates_at_zero_past_expiry() {
+        // However long past its instant a deadline is sampled, the
+        // remaining budget stays zero — it never wraps or panics.
+        let long_dead = Deadline::at(Instant::now() - Duration::from_secs(3600));
+        assert!(long_dead.expired());
+        assert_eq!(long_dead.remaining(), Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(long_dead.remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn remaining_never_exceeds_budget_and_only_shrinks() {
+        let budget = Duration::from_millis(200);
+        let d = Deadline::after(budget);
+        let mut prev = d.remaining();
+        assert!(prev <= budget);
+        // Successive samples of a fixed deadline are monotone
+        // non-increasing, including across the expiry boundary.
+        for _ in 0..50 {
+            let now = d.remaining();
+            assert!(now <= prev, "remaining() grew: {prev:?} -> {now:?}");
+            prev = now;
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn near_expiry_samples_stay_consistent_with_expired() {
+        // Hammer a short deadline through its expiry: at no sample may
+        // `expired()` and `remaining()` disagree in the dangerous
+        // direction (expired yet claiming budget remains).
+        let d = Deadline::after(Duration::from_millis(10));
+        loop {
+            let remaining = d.remaining();
+            let expired = d.expired();
+            if expired {
+                // remaining() sampled *after* expired() can only have
+                // shrunk further, so it must be zero now.
+                assert_eq!(d.remaining(), Duration::ZERO);
+                break;
+            }
+            assert!(remaining > Duration::ZERO || d.expired());
+        }
+    }
+
+    #[test]
     fn thread_survives_a_contained_panic() {
         // The whole point: one closure panicking must not stop the
         // caller from doing more work afterwards.

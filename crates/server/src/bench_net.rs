@@ -44,6 +44,11 @@ impl Default for NetBenchConfig {
 /// One `BENCH_net.json` row.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct NetBenchReport {
+    /// Logical CPUs on the machine that produced the row — throughput
+    /// numbers are meaningless without it.
+    pub host_cpus: usize,
+    /// Threads the run used: client threads + workers + accept loop.
+    pub threads: usize,
     /// Concurrent client connections.
     pub clients: usize,
     /// Service worker threads.
@@ -158,6 +163,8 @@ pub fn run_net_bench(cfg: &NetBenchConfig) -> Result<NetBenchReport, String> {
 
     let wall_secs = (wall_ms / 1_000.0).max(1e-9);
     Ok(NetBenchReport {
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        threads: clients + cfg.workers.max(1) + 1,
         clients,
         workers: cfg.workers.max(1),
         jobs: total_jobs,

@@ -18,6 +18,8 @@ use crate::proto::{frame_checksum_of, ProtoError, FRAME_OVERHEAD, WIRE_MAGIC, WI
 use dnacomp_cloud::FaultPlan;
 use dnacomp_core::Deadline;
 use std::io::{ErrorKind, Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 /// Stream-level read/write timeout: the polling tick the deadline
@@ -283,6 +285,158 @@ impl<S: Write> Write for FaultyStream<S> {
     }
 }
 
+/// What a [`StreamPool::checkout`] hands back.
+#[derive(Debug)]
+pub enum Checkout<T> {
+    /// An idle pooled connection, ready to use.
+    Reused(T),
+    /// A permit to dial a new connection: the pool reserved a slot.
+    /// The caller must follow up with [`StreamPool::checkin`] (dial
+    /// succeeded) or [`StreamPool::discard`] (dial failed), or the
+    /// slot leaks.
+    Dial,
+}
+
+/// A bounded blocking pool of connections to one back-end.
+///
+/// The cap is the real resource limit the router grants each shard:
+/// at most `cap` connections exist at once (in use + idle), and a
+/// checkout beyond the cap **blocks** until a connection is returned
+/// or the caller's deadline expires — so per-shard concurrency is a
+/// hard budget, not a suggestion. Generic over the pooled type so the
+/// chaos tests can pool fault-wrapped clients.
+#[derive(Debug)]
+pub struct StreamPool<T> {
+    state: Mutex<PoolState<T>>,
+    available: Condvar,
+    cap: usize,
+}
+
+#[derive(Debug)]
+struct PoolState<T> {
+    idle: Vec<T>,
+    /// Connections that currently exist: checked out + idle.
+    outstanding: usize,
+}
+
+impl<T> StreamPool<T> {
+    /// A pool allowing at most `cap` live connections (min 1).
+    pub fn new(cap: usize) -> Self {
+        StreamPool {
+            state: Mutex::new(PoolState {
+                idle: Vec::new(),
+                outstanding: 0,
+            }),
+            available: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Take an idle connection, or reserve a slot to dial a new one.
+    /// Blocks while the pool is at capacity with nothing idle;
+    /// returns `None` if `deadline` expires first.
+    pub fn checkout(&self, deadline: Deadline) -> Option<Checkout<T>> {
+        let mut state = self.state.lock().expect("pool lock poisoned");
+        loop {
+            if let Some(t) = state.idle.pop() {
+                return Some(Checkout::Reused(t));
+            }
+            if state.outstanding < self.cap {
+                state.outstanding += 1;
+                return Some(Checkout::Dial);
+            }
+            let remaining = deadline.remaining();
+            if remaining.is_zero() {
+                return None;
+            }
+            let (next, timed_out) = self
+                .available
+                .wait_timeout(state, remaining)
+                .expect("pool lock poisoned");
+            state = next;
+            if timed_out.timed_out() && state.idle.is_empty() && state.outstanding >= self.cap {
+                return None;
+            }
+        }
+    }
+
+    /// Return a live connection to the pool.
+    pub fn checkin(&self, t: T) {
+        let mut state = self.state.lock().expect("pool lock poisoned");
+        state.idle.push(t);
+        drop(state);
+        self.available.notify_one();
+    }
+
+    /// Report a connection gone (dial failed, or it died in use):
+    /// frees its slot for a future dial.
+    pub fn discard(&self) {
+        let mut state = self.state.lock().expect("pool lock poisoned");
+        state.outstanding = state.outstanding.saturating_sub(1);
+        drop(state);
+        self.available.notify_one();
+    }
+
+    /// Drain every idle connection (shard ejection closes them); the
+    /// drained connections no longer count against the cap.
+    pub fn drain_idle(&self) -> Vec<T> {
+        let mut state = self.state.lock().expect("pool lock poisoned");
+        let drained = std::mem::take(&mut state.idle);
+        state.outstanding = state.outstanding.saturating_sub(drained.len());
+        drop(state);
+        self.available.notify_all();
+        drained
+    }
+
+    /// Connections currently existing (checked out + idle).
+    pub fn outstanding(&self) -> usize {
+        self.state.lock().expect("pool lock poisoned").outstanding
+    }
+}
+
+/// A byte stream that counts wire bytes into shared atomics — the
+/// router wraps each back-end connection in one so the per-shard
+/// byte counters in the metrics rollup are exact, whatever protocol
+/// traffic flows over it.
+#[derive(Debug)]
+pub struct CountingStream<S> {
+    inner: S,
+    tx: Arc<AtomicU64>,
+    rx: Arc<AtomicU64>,
+}
+
+impl<S> CountingStream<S> {
+    /// Wrap `inner`; `tx`/`rx` accumulate bytes written/read.
+    pub fn new(inner: S, tx: Arc<AtomicU64>, rx: Arc<AtomicU64>) -> Self {
+        CountingStream { inner, tx, rx }
+    }
+
+    /// The wrapped stream.
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: Read> Read for CountingStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.rx.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+}
+
+impl<S: Write> Write for CountingStream<S> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.tx.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -396,5 +550,89 @@ mod tests {
             a.iter().any(|&o| o != 64),
             "no fault fired in 40 ops at 50%: {a:?}"
         );
+    }
+
+    #[test]
+    fn pool_reuses_idle_connections_before_dialling() {
+        let pool: StreamPool<u32> = StreamPool::new(2);
+        assert!(matches!(
+            pool.checkout(Deadline::after(Duration::from_millis(50))),
+            Some(Checkout::Dial)
+        ));
+        pool.checkin(7);
+        match pool.checkout(Deadline::after(Duration::from_millis(50))) {
+            Some(Checkout::Reused(v)) => assert_eq!(v, 7),
+            other => panic!("expected reuse, got {other:?}"),
+        }
+        assert_eq!(pool.outstanding(), 1);
+    }
+
+    #[test]
+    fn pool_cap_blocks_until_checkin_and_respects_deadlines() {
+        let pool: Arc<StreamPool<u32>> = Arc::new(StreamPool::new(1));
+        assert!(matches!(
+            pool.checkout(Deadline::after(Duration::from_millis(50))),
+            Some(Checkout::Dial)
+        ));
+        // At cap with nothing idle: a short deadline expires empty.
+        assert!(pool
+            .checkout(Deadline::after(Duration::from_millis(30)))
+            .is_none());
+        // A checkin from another thread unblocks a waiting checkout.
+        let waiter = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || pool.checkout(Deadline::after(Duration::from_secs(5))))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        pool.checkin(42);
+        match waiter.join().unwrap() {
+            Some(Checkout::Reused(v)) => assert_eq!(v, 42),
+            other => panic!("expected reuse after checkin, got {other:?}"),
+        }
+        // A discard frees the slot for a fresh dial.
+        pool.discard();
+        assert!(matches!(
+            pool.checkout(Deadline::after(Duration::from_millis(50))),
+            Some(Checkout::Dial)
+        ));
+    }
+
+    #[test]
+    fn pool_drain_closes_idle_and_frees_slots() {
+        let pool: StreamPool<u32> = StreamPool::new(3);
+        // Reserve all three slots first — a checkin would otherwise be
+        // reused by the next checkout instead of granting a dial.
+        for _ in 0..3 {
+            assert!(matches!(
+                pool.checkout(Deadline::after(Duration::from_millis(50))),
+                Some(Checkout::Dial)
+            ));
+        }
+        for v in 0..3 {
+            pool.checkin(v);
+        }
+        assert_eq!(pool.outstanding(), 3);
+        let drained = pool.drain_idle();
+        assert_eq!(drained.len(), 3);
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
+    fn counting_stream_counts_exact_wire_bytes() {
+        let tx = Arc::new(AtomicU64::new(0));
+        let rx = Arc::new(AtomicU64::new(0));
+        let frame = request_frame(&Request::Ping);
+        let mut s = CountingStream::new(
+            Cursor::new(frame.clone()),
+            Arc::clone(&tx),
+            Arc::clone(&rx),
+        );
+        let (t, payload, wire) =
+            read_frame(&mut s, MAX_WIRE_PAYLOAD, long_idle(), Duration::from_secs(1)).unwrap();
+        assert_eq!(Request::decode(t, &payload).unwrap(), Request::Ping);
+        assert_eq!(rx.load(Ordering::Relaxed), wire);
+        let mut s = CountingStream::new(Cursor::new(Vec::new()), Arc::clone(&tx), rx);
+        write_frame(&mut s, &frame, long_idle()).unwrap();
+        assert_eq!(tx.load(Ordering::Relaxed), frame.len() as u64);
     }
 }

@@ -39,6 +39,7 @@
 pub mod bench;
 pub mod bench_algos;
 pub mod bench_net;
+pub mod bench_route;
 pub mod cache;
 pub mod conn;
 pub mod dlq;
@@ -47,6 +48,8 @@ pub mod metrics;
 pub mod net;
 pub mod proto;
 pub mod queue;
+pub mod ring;
+pub mod router;
 pub mod service;
 pub(crate) mod supervisor;
 pub(crate) mod worker;
@@ -59,17 +62,22 @@ pub use bench_algos::{
     run_algo_bench, AlgoBenchConfig, AlgoBenchReport, AlgoBenchRow, KernelBench,
 };
 pub use bench_net::{run_net_bench, NetBenchConfig, NetBenchReport};
+pub use bench_route::{run_route_bench, RouteBenchConfig, RouteBenchReport, RouteBenchRow};
 pub use cache::{ContextKey, LruCache};
-pub use conn::{read_frame, write_frame, FaultyStream, IO_TICK};
+pub use conn::{read_frame, write_frame, Checkout, CountingStream, FaultyStream, StreamPool, IO_TICK};
 pub use dlq::{DeadLetter, DeadLetterInfo, DeadLetterQueue, QuarantineRegistry};
 pub use dlq_dir::DlqDir;
-pub use metrics::{AlgorithmWins, Metrics, MetricsSnapshot};
+pub use metrics::{
+    AlgorithmWins, Metrics, MetricsSnapshot, RouterMetrics, RouterMetricsSnapshot, ShardLabel,
+};
 pub use net::{ClientError, NetClient, NetConfig, NetServer};
 pub use proto::{
-    decode_frame, frame_bytes, request_frame, response_frame, ErrorCode, ProtoError, Request,
-    Response, MAX_WIRE_PAYLOAD, WIRE_MAGIC, WIRE_VERSION,
+    decode_frame, frame_bytes, migrate_batch_checksum, request_frame, response_frame, ErrorCode,
+    ProtoError, Request, Response, MAX_WIRE_PAYLOAD, WIRE_MAGIC, WIRE_VERSION,
 };
 pub use queue::{JobQueue, Priority, PushError};
+pub use ring::{Ring, ShardSpec, DEFAULT_RING_SEED, DEFAULT_VNODES};
+pub use router::{rebalance, RebalanceReport, RouterConfig, RouterServer};
 pub use service::{
     CompressRequest, CompressResponse, CompressionService, JobError, JobResult, JobTicket,
     ServiceConfig, SubmitError,

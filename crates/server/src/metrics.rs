@@ -531,10 +531,346 @@ impl MetricsSnapshot {
     }
 }
 
+/// Live counters for one back-end shard of a router.
+///
+/// The byte counters are `Arc`-shared so a
+/// [`crate::conn::CountingStream`] wrapped around each pooled
+/// connection feeds them directly — the rollup's per-shard byte
+/// numbers are exact wire bytes, not estimates.
+#[derive(Debug)]
+pub struct ShardCounters {
+    forwards: AtomicU64,
+    retries: AtomicU64,
+    errors: AtomicU64,
+    frames_tx: AtomicU64,
+    frames_rx: AtomicU64,
+    bytes_tx: std::sync::Arc<AtomicU64>,
+    bytes_rx: std::sync::Arc<AtomicU64>,
+    ejections: AtomicU64,
+    readmissions: AtomicU64,
+}
+
+impl Default for ShardCounters {
+    fn default() -> Self {
+        ShardCounters {
+            forwards: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            frames_tx: AtomicU64::new(0),
+            frames_rx: AtomicU64::new(0),
+            bytes_tx: std::sync::Arc::new(AtomicU64::new(0)),
+            bytes_rx: std::sync::Arc::new(AtomicU64::new(0)),
+            ejections: AtomicU64::new(0),
+            readmissions: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Live metrics registry for one router: fleet-wide counters plus a
+/// fixed slot of [`ShardCounters`] per configured shard.
+#[derive(Debug)]
+pub struct RouterMetrics {
+    connections_accepted: AtomicU64,
+    connections_refused: AtomicU64,
+    connections_closed: AtomicU64,
+    connections_killed: AtomicU64,
+    frames_rx: AtomicU64,
+    frames_tx: AtomicU64,
+    protocol_errors: AtomicU64,
+    route_forwards: AtomicU64,
+    route_retries: AtomicU64,
+    shard_ejections: AtomicU64,
+    shard_readmissions: AtomicU64,
+    per_shard: Vec<ShardCounters>,
+}
+
+impl RouterMetrics {
+    /// A zeroed registry with one counter slot per shard.
+    pub fn new(shards: usize) -> Self {
+        RouterMetrics {
+            connections_accepted: AtomicU64::new(0),
+            connections_refused: AtomicU64::new(0),
+            connections_closed: AtomicU64::new(0),
+            connections_killed: AtomicU64::new(0),
+            frames_rx: AtomicU64::new(0),
+            frames_tx: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            route_forwards: AtomicU64::new(0),
+            route_retries: AtomicU64::new(0),
+            shard_ejections: AtomicU64::new(0),
+            shard_readmissions: AtomicU64::new(0),
+            per_shard: (0..shards).map(|_| ShardCounters::default()).collect(),
+        }
+    }
+
+    /// A client connection was accepted.
+    pub fn record_conn_accepted(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A client connection was refused at the cap.
+    pub fn record_conn_refused(&self) {
+        self.connections_refused.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A client connection ended cleanly.
+    pub fn record_conn_closed(&self) {
+        self.connections_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A client connection was killed for protocol violations.
+    pub fn record_conn_killed(&self) {
+        self.connections_killed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One client-facing frame arrived.
+    pub fn record_frame_rx(&self) {
+        self.frames_rx.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One client-facing frame was sent.
+    pub fn record_frame_tx(&self) {
+        self.frames_tx.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A client frame violated the protocol.
+    pub fn record_protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request was forwarded to `shard`.
+    pub fn record_forward(&self, shard: usize) {
+        self.route_forwards.fetch_add(1, Ordering::Relaxed);
+        if let Some(s) = self.per_shard.get(shard) {
+            s.forwards.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A forward against `shard` failed in transport and was retried.
+    pub fn record_retry(&self, shard: usize) {
+        self.route_retries.fetch_add(1, Ordering::Relaxed);
+        if let Some(s) = self.per_shard.get(shard) {
+            s.retries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// `shard` answered a forward with a typed error frame.
+    pub fn record_shard_error(&self, shard: usize) {
+        if let Some(s) = self.per_shard.get(shard) {
+            s.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Count one request/response frame pair exchanged with `shard`.
+    pub fn record_shard_frames(&self, shard: usize, tx: u64, rx: u64) {
+        if let Some(s) = self.per_shard.get(shard) {
+            s.frames_tx.fetch_add(tx, Ordering::Relaxed);
+            s.frames_rx.fetch_add(rx, Ordering::Relaxed);
+        }
+    }
+
+    /// `shard` struck out on health probes and was ejected.
+    pub fn record_ejection(&self, shard: usize) {
+        self.shard_ejections.fetch_add(1, Ordering::Relaxed);
+        if let Some(s) = self.per_shard.get(shard) {
+            s.ejections.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// `shard` answered a probe again and was re-admitted.
+    pub fn record_readmission(&self, shard: usize) {
+        self.shard_readmissions.fetch_add(1, Ordering::Relaxed);
+        if let Some(s) = self.per_shard.get(shard) {
+            s.readmissions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Shared byte counters for `shard`, to hand to a
+    /// [`crate::conn::CountingStream`] around each pooled connection.
+    pub fn byte_counters(
+        &self,
+        shard: usize,
+    ) -> (std::sync::Arc<AtomicU64>, std::sync::Arc<AtomicU64>) {
+        let s = &self.per_shard[shard];
+        (
+            std::sync::Arc::clone(&s.bytes_tx),
+            std::sync::Arc::clone(&s.bytes_rx),
+        )
+    }
+
+    /// Materialise the aggregated rollup. `labels` carries the ring's
+    /// per-shard identity and current health, in slot order.
+    pub fn snapshot(&self, epoch: u64, labels: &[ShardLabel]) -> RouterMetricsSnapshot {
+        let shards = self
+            .per_shard
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let label = labels.get(i);
+                ShardCountersSnapshot {
+                    shard: label.map_or(i as u32, |l| l.id),
+                    addr: label.map_or_else(String::new, |l| l.addr.clone()),
+                    healthy: label.is_none_or(|l| l.healthy),
+                    forwards: s.forwards.load(Ordering::Relaxed),
+                    retries: s.retries.load(Ordering::Relaxed),
+                    errors: s.errors.load(Ordering::Relaxed),
+                    frames_tx: s.frames_tx.load(Ordering::Relaxed),
+                    frames_rx: s.frames_rx.load(Ordering::Relaxed),
+                    bytes_tx: s.bytes_tx.load(Ordering::Relaxed),
+                    bytes_rx: s.bytes_rx.load(Ordering::Relaxed),
+                    ejections: s.ejections.load(Ordering::Relaxed),
+                    readmissions: s.readmissions.load(Ordering::Relaxed),
+                }
+            })
+            .collect();
+        RouterMetricsSnapshot {
+            epoch,
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_refused: self.connections_refused.load(Ordering::Relaxed),
+            connections_closed: self.connections_closed.load(Ordering::Relaxed),
+            connections_killed: self.connections_killed.load(Ordering::Relaxed),
+            frames_rx: self.frames_rx.load(Ordering::Relaxed),
+            frames_tx: self.frames_tx.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            route_forwards: self.route_forwards.load(Ordering::Relaxed),
+            route_retries: self.route_retries.load(Ordering::Relaxed),
+            shard_ejections: self.shard_ejections.load(Ordering::Relaxed),
+            shard_readmissions: self.shard_readmissions.load(Ordering::Relaxed),
+            shards,
+        }
+    }
+}
+
+/// Identity and health of one shard slot at snapshot time.
+#[derive(Clone, Debug)]
+pub struct ShardLabel {
+    /// Ring shard id.
+    pub id: u32,
+    /// Back-end address.
+    pub addr: String,
+    /// Whether the shard is currently admitted.
+    pub healthy: bool,
+}
+
+/// Point-in-time rollup of one shard's counters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ShardCountersSnapshot {
+    /// Ring shard id.
+    pub shard: u32,
+    /// Back-end address.
+    pub addr: String,
+    /// Whether the shard was admitted when the snapshot was taken.
+    pub healthy: bool,
+    /// Requests forwarded to this shard.
+    pub forwards: u64,
+    /// Transport-failed forwards retried elsewhere.
+    pub retries: u64,
+    /// Typed error frames this shard answered with.
+    pub errors: u64,
+    /// Protocol frames sent to this shard.
+    pub frames_tx: u64,
+    /// Protocol frames received from this shard.
+    pub frames_rx: u64,
+    /// Exact wire bytes written to this shard.
+    pub bytes_tx: u64,
+    /// Exact wire bytes read from this shard.
+    pub bytes_rx: u64,
+    /// Times this shard was ejected by health probing.
+    pub ejections: u64,
+    /// Times this shard was re-admitted after ejection.
+    pub readmissions: u64,
+}
+
+/// Point-in-time aggregated router rollup: the JSON payload
+/// `dnacomp route serve` prints and the router answers `Metrics`
+/// requests with.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RouterMetricsSnapshot {
+    /// Ring epoch the router is serving.
+    pub epoch: u64,
+    /// Client connections accepted.
+    pub connections_accepted: u64,
+    /// Client connections refused at the cap.
+    pub connections_refused: u64,
+    /// Client connections that ended cleanly.
+    pub connections_closed: u64,
+    /// Client connections killed for protocol violations.
+    pub connections_killed: u64,
+    /// Client-facing frames received.
+    pub frames_rx: u64,
+    /// Client-facing frames sent.
+    pub frames_tx: u64,
+    /// Client-side protocol violations observed.
+    pub protocol_errors: u64,
+    /// Requests forwarded to a shard (primary or successor).
+    pub route_forwards: u64,
+    /// Forwards that failed in transport and were retried.
+    pub route_retries: u64,
+    /// Health-probe ejections across all shards.
+    pub shard_ejections: u64,
+    /// Re-admissions across all shards.
+    pub shard_readmissions: u64,
+    /// Per-shard rollup, in ring slot order.
+    pub shards: Vec<ShardCountersSnapshot>,
+}
+
+impl RouterMetricsSnapshot {
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serialisation cannot fail")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::Arc;
+
+    #[test]
+    fn router_rollup_aggregates_per_shard_counters() {
+        let m = RouterMetrics::new(2);
+        m.record_conn_accepted();
+        m.record_forward(0);
+        m.record_forward(1);
+        m.record_forward(1);
+        m.record_retry(1);
+        m.record_shard_error(0);
+        m.record_shard_frames(0, 3, 3);
+        m.record_ejection(1);
+        m.record_readmission(1);
+        let (tx, rx) = m.byte_counters(0);
+        tx.fetch_add(100, Ordering::Relaxed);
+        rx.fetch_add(40, Ordering::Relaxed);
+        let labels = vec![
+            ShardLabel {
+                id: 1,
+                addr: "a:1".into(),
+                healthy: true,
+            },
+            ShardLabel {
+                id: 2,
+                addr: "b:2".into(),
+                healthy: false,
+            },
+        ];
+        let snap = m.snapshot(0xABC, &labels);
+        assert_eq!(snap.epoch, 0xABC);
+        assert_eq!(snap.route_forwards, 3);
+        assert_eq!(snap.route_retries, 1);
+        assert_eq!(snap.shard_ejections, 1);
+        assert_eq!(snap.shard_readmissions, 1);
+        assert_eq!(snap.shards.len(), 2);
+        assert_eq!(snap.shards[0].forwards, 1);
+        assert_eq!(snap.shards[0].errors, 1);
+        assert_eq!(snap.shards[0].bytes_tx, 100);
+        assert_eq!(snap.shards[0].bytes_rx, 40);
+        assert_eq!(snap.shards[1].forwards, 2);
+        assert_eq!(snap.shards[1].retries, 1);
+        assert!(!snap.shards[1].healthy);
+        // The aggregated JSON roundtrips with per-shard rows intact.
+        let back: RouterMetricsSnapshot = serde_json::from_str(&snap.to_json()).unwrap();
+        assert_eq!(back.shards[1].ejections, 1);
+    }
 
     #[test]
     fn counters_are_exact_under_contention() {

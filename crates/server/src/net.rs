@@ -33,6 +33,7 @@ use crate::proto::{
 };
 use crate::queue::Priority;
 use crate::service::{CompressRequest, CompressionService, JobError, SubmitError};
+use dnacomp_algos::CompressedBlob;
 use dnacomp_codec::checksum::fnv1a;
 use dnacomp_core::{contain_panic, Context, Deadline};
 use dnacomp_seq::PackedSeq;
@@ -81,6 +82,14 @@ pub struct NetConfig {
     /// Store for `get`/`stat` requests (also what the service
     /// persists into when it was started with one).
     pub store: Option<Arc<SequenceStore>>,
+    /// Ring epoch this node is pinned to. `None` (the default) means
+    /// epoch-agnostic: any [`Request::HelloEpoch`] or migration batch
+    /// is accepted and the peer's epoch echoed back. `Some(e)` refuses
+    /// mismatching epochs with a typed `WrongShard`.
+    pub epoch: Option<u64>,
+    /// Shard id this node answers to in `HelloEpoch` identity checks
+    /// (0 = unsharded, the default).
+    pub shard_id: u32,
 }
 
 impl Default for NetConfig {
@@ -96,6 +105,8 @@ impl Default for NetConfig {
             max_total_bases: 1 << 26,
             exchange: false,
             store: None,
+            epoch: None,
+            shard_id: 0,
         }
     }
 }
@@ -410,6 +421,56 @@ fn send_reply(
     }
 }
 
+/// Vet a ring-aware handshake against this node's pinned identity.
+/// Returns `(reply, flow, strike)`; the caller flips `handshaken` on
+/// success.
+fn epoch_handshake(cfg: &NetConfig, version: u8, epoch: u64, shard: u32) -> (Response, Flow, bool) {
+    if version != WIRE_VERSION {
+        return (
+            Response::Error {
+                code: ErrorCode::Handshake,
+                message: format!("server speaks version {WIRE_VERSION}, client {version}"),
+            },
+            Flow::Kill,
+            true,
+        );
+    }
+    if shard != cfg.shard_id {
+        return (
+            Response::Error {
+                code: ErrorCode::WrongShard,
+                message: format!(
+                    "this node is shard {}, client addressed shard {shard}",
+                    cfg.shard_id
+                ),
+            },
+            Flow::Kill,
+            true,
+        );
+    }
+    if let Some(pinned) = cfg.epoch {
+        if epoch != pinned {
+            return (
+                Response::Error {
+                    code: ErrorCode::WrongShard,
+                    message: format!("stale ring epoch {epoch:#x} (node pinned to {pinned:#x})"),
+                },
+                Flow::Kill,
+                true,
+            );
+        }
+    }
+    (
+        Response::HelloEpochOk {
+            version: WIRE_VERSION,
+            epoch: cfg.epoch.unwrap_or(epoch),
+            shard: cfg.shard_id,
+        },
+        Flow::Continue,
+        false,
+    )
+}
+
 /// Handle one decoded request. Returns `(reply, flow, strike)`.
 fn dispatch(
     service: &CompressionService,
@@ -439,6 +500,17 @@ fn dispatch(
                 Flow::Kill,
                 true,
             ),
+            Request::HelloEpoch {
+                version,
+                epoch,
+                shard,
+            } => {
+                let (reply, flow, strike) = epoch_handshake(cfg, version, epoch, shard);
+                if matches!(reply, Response::HelloEpochOk { .. }) {
+                    *handshaken = true;
+                }
+                (reply, flow, strike)
+            }
             _ => (
                 Response::Error {
                     code: ErrorCode::Handshake,
@@ -751,6 +823,126 @@ fn dispatch(
             };
             (Response::StatOk { json }, Flow::Continue, false)
         }
+        Request::HelloEpoch {
+            version,
+            epoch,
+            shard,
+        } => epoch_handshake(cfg, version, epoch, shard),
+        Request::Keys => {
+            let Some(store) = cfg.store.as_deref() else {
+                return (
+                    Response::Error {
+                        code: ErrorCode::NoStore,
+                        message: "no store attached".into(),
+                    },
+                    Flow::Continue,
+                    false,
+                );
+            };
+            let keys: Vec<[u8; 16]> = store.keys().into_iter().map(|k| k.0).collect();
+            // The key list must fit one reply frame; 10 bytes covers
+            // the count uvarint.
+            if keys.len() * 16 + 10 > cfg.max_frame_payload {
+                (
+                    Response::Error {
+                        code: ErrorCode::TooLarge,
+                        message: format!("{} keys exceed the reply frame cap", keys.len()),
+                    },
+                    Flow::Continue,
+                    false,
+                )
+            } else {
+                (Response::KeysOk { keys }, Flow::Continue, false)
+            }
+        }
+        Request::Remove { key } => {
+            let Some(store) = cfg.store.as_deref() else {
+                return (
+                    Response::Error {
+                        code: ErrorCode::NoStore,
+                        message: "no store attached".into(),
+                    },
+                    Flow::Continue,
+                    false,
+                );
+            };
+            match store.remove(&ContentKey(key)) {
+                Ok(existed) => (Response::RemoveOk { existed }, Flow::Continue, false),
+                Err(e) => (
+                    Response::Error {
+                        code: ErrorCode::JobFailed,
+                        message: format!("remove failed: {e}"),
+                    },
+                    Flow::Continue,
+                    false,
+                ),
+            }
+        }
+        Request::MigrateBatch { epoch, records } => {
+            let Some(store) = cfg.store.as_deref() else {
+                return (
+                    Response::Error {
+                        code: ErrorCode::NoStore,
+                        message: "no store attached".into(),
+                    },
+                    Flow::Continue,
+                    false,
+                );
+            };
+            if let Some(pinned) = cfg.epoch {
+                if epoch != pinned {
+                    // A correctness refusal, not a protocol violation:
+                    // the batch framed cleanly, the sender's ring is
+                    // just stale. No strike, connection survives.
+                    return (
+                        Response::Error {
+                            code: ErrorCode::WrongShard,
+                            message: format!(
+                                "migration planned under epoch {epoch:#x}, node pinned to {pinned:#x}"
+                            ),
+                        },
+                        Flow::Continue,
+                        false,
+                    );
+                }
+            }
+            let mut stored = 0u64;
+            let mut deduped = 0u64;
+            for (idx, (key, bytes)) in records.iter().enumerate() {
+                let blob = match CompressedBlob::from_bytes(bytes) {
+                    Ok(blob) => blob,
+                    Err(_) => {
+                        return (
+                            Response::Error {
+                                code: ErrorCode::BadSequence,
+                                message: format!("record {idx} is not a valid container"),
+                            },
+                            Flow::Continue,
+                            true,
+                        )
+                    }
+                };
+                match store.put_with_key(ContentKey(*key), &blob) {
+                    Ok(outcome) => {
+                        stored += 1;
+                        if outcome.deduped {
+                            deduped += 1;
+                        }
+                    }
+                    Err(e) => {
+                        return (
+                            Response::Error {
+                                code: ErrorCode::JobFailed,
+                                message: format!("record {idx} write failed: {e}"),
+                            },
+                            Flow::Continue,
+                            false,
+                        )
+                    }
+                }
+            }
+            (Response::MigrateOk { stored, deduped }, Flow::Continue, false)
+        }
     }
 }
 
@@ -934,6 +1126,60 @@ impl<S: Read + Write> NetClient<S> {
         match self.call(&Request::Metrics)? {
             Response::MetricsOk { json } => Ok(json),
             other => Err(unexpected(other, "MetricsOk")),
+        }
+    }
+
+    /// Ring-aware handshake: assert the ring epoch and the shard id
+    /// this connection is meant for, and require the node to agree.
+    pub fn handshake_epoch(&mut self, epoch: u64, shard: u32) -> Result<(), ClientError> {
+        match self.call(&Request::HelloEpoch {
+            version: WIRE_VERSION,
+            epoch,
+            shard,
+        })? {
+            Response::HelloEpochOk {
+                version,
+                epoch: server_epoch,
+                shard: server_shard,
+            } => {
+                if version != WIRE_VERSION {
+                    return Err(ClientError::Unexpected("handshake version"));
+                }
+                if server_epoch != epoch || server_shard != shard {
+                    return Err(ClientError::Unexpected("handshake ring identity"));
+                }
+                Ok(())
+            }
+            other => Err(unexpected(other, "HelloEpochOk")),
+        }
+    }
+
+    /// List every content key resident in the node's store.
+    pub fn keys(&mut self) -> Result<Vec<[u8; 16]>, ClientError> {
+        match self.call(&Request::Keys)? {
+            Response::KeysOk { keys } => Ok(keys),
+            other => Err(unexpected(other, "KeysOk")),
+        }
+    }
+
+    /// Remove one record by content key; `Ok(existed)`.
+    pub fn remove(&mut self, key: [u8; 16]) -> Result<bool, ClientError> {
+        match self.call(&Request::Remove { key })? {
+            Response::RemoveOk { existed } => Ok(existed),
+            other => Err(unexpected(other, "RemoveOk")),
+        }
+    }
+
+    /// Ship a checksummed batch of records into the node's store;
+    /// `Ok((stored, deduped))`.
+    pub fn migrate_batch(
+        &mut self,
+        epoch: u64,
+        records: Vec<([u8; 16], Vec<u8>)>,
+    ) -> Result<(u64, u64), ClientError> {
+        match self.call(&Request::MigrateBatch { epoch, records })? {
+            Response::MigrateOk { stored, deduped } => Ok((stored, deduped)),
+            other => Err(unexpected(other, "MigrateOk")),
         }
     }
 

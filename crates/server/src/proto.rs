@@ -153,6 +153,12 @@ pub enum ErrorCode {
     BadSequence = 10,
     /// Handshake expected/failed.
     Handshake = 11,
+    /// The shard owning the requested key (and its successor) is
+    /// unreachable or ejected; retry once the fleet heals.
+    ShardDown = 12,
+    /// The peer's ring view disagrees with this node: stale ring
+    /// epoch, or a shard identity claim that does not match.
+    WrongShard = 13,
 }
 
 impl ErrorCode {
@@ -170,6 +176,8 @@ impl ErrorCode {
             9 => ErrorCode::TooLarge,
             10 => ErrorCode::BadSequence,
             11 => ErrorCode::Handshake,
+            12 => ErrorCode::ShardDown,
+            13 => ErrorCode::WrongShard,
             _ => return None,
         })
     }
@@ -189,6 +197,8 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::TooLarge => "too-large",
             ErrorCode::BadSequence => "bad-sequence",
             ErrorCode::Handshake => "handshake",
+            ErrorCode::ShardDown => "shard-down",
+            ErrorCode::WrongShard => "wrong-shard",
         };
         f.write_str(name)
     }
@@ -259,6 +269,40 @@ pub enum Request {
         /// Optional record key.
         key: Option<[u8; 16]>,
     },
+    /// Ring-aware handshake: like [`Request::Hello`] but the client
+    /// also asserts the ring epoch it routes by and which shard it
+    /// believes it is talking to. A node pinned to a different epoch
+    /// or shard id refuses with [`ErrorCode::WrongShard`], so a stale
+    /// router can never silently forward into the wrong ring.
+    HelloEpoch {
+        /// Protocol version the client speaks.
+        version: u8,
+        /// Ring epoch the client's shard map was built from.
+        epoch: u64,
+        /// Shard id the client believes this node is (0 = router /
+        /// unsharded).
+        shard: u32,
+    },
+    /// List every content key resident in the node's store (the
+    /// rebalance enumeration primitive).
+    Keys,
+    /// Remove one record by content key (issued by the rebalancer
+    /// only after the destination acknowledged the migrated copy).
+    Remove {
+        /// 128-bit content key.
+        key: [u8; 16],
+    },
+    /// A checksummed batch of records migrating between stores.
+    /// The wire encoding appends an FNV-1a digest over every
+    /// `(key, blob)` pair; a batch whose digest disagrees is refused
+    /// at decode as malformed, before any record is written.
+    MigrateBatch {
+        /// Ring epoch the batch was planned under; an epoch-pinned
+        /// receiver refuses mismatches with [`ErrorCode::WrongShard`].
+        epoch: u64,
+        /// The records: content key plus serialised container bytes.
+        records: Vec<([u8; 16], Vec<u8>)>,
+    },
 }
 
 /// Server → client messages.
@@ -317,6 +361,33 @@ pub enum Response {
         /// Human-readable detail.
         message: String,
     },
+    /// Ring-aware handshake accepted; carries the node's own view.
+    HelloEpochOk {
+        /// Protocol version the server speaks.
+        version: u8,
+        /// Ring epoch the node is pinned to (echoes the client's when
+        /// the node is epoch-agnostic).
+        epoch: u64,
+        /// The node's shard id (0 = router / unsharded).
+        shard: u32,
+    },
+    /// The store's resident content keys.
+    KeysOk {
+        /// Every key, in store iteration order.
+        keys: Vec<[u8; 16]>,
+    },
+    /// Remove acknowledged.
+    RemoveOk {
+        /// Whether the record existed.
+        existed: bool,
+    },
+    /// Migration batch applied.
+    MigrateOk {
+        /// Records written (including deduplicated ones).
+        stored: u64,
+        /// Records that already existed under the same key.
+        deduped: u64,
+    },
 }
 
 // Frame type bytes. Requests are < 0x80, responses ≥ 0x80.
@@ -330,6 +401,10 @@ const T_COMPRESS_CHUNK: u8 = 0x12;
 const T_COMPRESS_END: u8 = 0x13;
 const T_GET: u8 = 0x20;
 const T_STAT: u8 = 0x21;
+const T_HELLO_EPOCH: u8 = 0x30;
+const T_KEYS: u8 = 0x31;
+const T_REMOVE: u8 = 0x32;
+const T_MIGRATE_BATCH: u8 = 0x33;
 const T_HELLO_OK: u8 = 0x81;
 const T_PONG: u8 = 0x82;
 const T_METRICS_OK: u8 = 0x83;
@@ -338,6 +413,10 @@ const T_ACK: u8 = 0x85;
 const T_COMPRESS_OK: u8 = 0x90;
 const T_GET_OK: u8 = 0xA0;
 const T_STAT_OK: u8 = 0xA1;
+const T_HELLO_EPOCH_OK: u8 = 0xB0;
+const T_KEYS_OK: u8 = 0xB1;
+const T_REMOVE_OK: u8 = 0xB2;
+const T_MIGRATE_OK: u8 = 0xB3;
 const T_ERROR: u8 = 0xFF;
 
 fn write_str(out: &mut Vec<u8>, s: &str) {
@@ -447,6 +526,20 @@ fn done(bytes: &[u8], pos: usize) -> Result<(), ProtoError> {
     Ok(())
 }
 
+/// FNV-1a digest over every `(key, blob)` pair of a migration batch,
+/// in order. Carried at the end of the [`Request::MigrateBatch`]
+/// payload and re-verified at decode, so a batch that framed cleanly
+/// but whose record bytes were assembled wrong still fails closed.
+pub fn migrate_batch_checksum(records: &[([u8; 16], Vec<u8>)]) -> u64 {
+    let mut h = Fnv1a::new();
+    for (key, blob) in records {
+        h.update(key);
+        h.update(&(blob.len() as u64).to_le_bytes());
+        h.update(blob);
+    }
+    h.digest()
+}
+
 impl Request {
     /// Frame type byte plus encoded payload.
     pub fn encode(&self) -> (u8, Vec<u8>) {
@@ -505,6 +598,31 @@ impl Request {
                     out.extend_from_slice(key);
                 }
                 T_STAT
+            }
+            Request::HelloEpoch {
+                version,
+                epoch,
+                shard,
+            } => {
+                out.push(*version);
+                write_u64_le(&mut out, *epoch);
+                write_uvarint(&mut out, *shard as u64);
+                T_HELLO_EPOCH
+            }
+            Request::Keys => T_KEYS,
+            Request::Remove { key } => {
+                out.extend_from_slice(key);
+                T_REMOVE
+            }
+            Request::MigrateBatch { epoch, records } => {
+                write_u64_le(&mut out, *epoch);
+                write_uvarint(&mut out, records.len() as u64);
+                for (key, blob) in records {
+                    out.extend_from_slice(key);
+                    write_bytes(&mut out, blob);
+                }
+                write_u64_le(&mut out, migrate_batch_checksum(records));
+                T_MIGRATE_BATCH
             }
         };
         (t, out)
@@ -569,6 +687,44 @@ impl Request {
                     Some(read_array16(bytes, &mut pos)?)
                 },
             },
+            T_HELLO_EPOCH => {
+                let version = read_u8(bytes, &mut pos)?;
+                let epoch = read_u64_le(bytes, &mut pos)?;
+                let shard = read_uvarint(bytes, &mut pos)?;
+                if shard > u32::MAX as u64 {
+                    return Err(ProtoError::Malformed("shard id out of range"));
+                }
+                Request::HelloEpoch {
+                    version,
+                    epoch,
+                    shard: shard as u32,
+                }
+            }
+            T_KEYS => Request::Keys,
+            T_REMOVE => Request::Remove {
+                key: read_array16(bytes, &mut pos)?,
+            },
+            T_MIGRATE_BATCH => {
+                let epoch = read_u64_le(bytes, &mut pos)?;
+                let count = read_uvarint(bytes, &mut pos)? as usize;
+                // Affordability: each record costs at least 17 bytes on
+                // the wire, so a forged count is refused before any
+                // record Vec is allocated.
+                if count > bytes.len().saturating_sub(pos) / 17 {
+                    return Err(ProtoError::Malformed("migrate count over payload"));
+                }
+                let mut records = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let key = read_array16(bytes, &mut pos)?;
+                    let blob = read_bytes(bytes, &mut pos, MAX_WIRE_PAYLOAD)?;
+                    records.push((key, blob));
+                }
+                let expected = read_u64_le(bytes, &mut pos)?;
+                if expected != migrate_batch_checksum(&records) {
+                    return Err(ProtoError::Malformed("migrate batch checksum mismatch"));
+                }
+                Request::MigrateBatch { epoch, records }
+            }
             other => return Err(ProtoError::UnknownType(other)),
         };
         done(bytes, pos)?;
@@ -631,6 +787,32 @@ impl Response {
                 write_str(&mut out, message);
                 T_ERROR
             }
+            Response::HelloEpochOk {
+                version,
+                epoch,
+                shard,
+            } => {
+                out.push(*version);
+                write_u64_le(&mut out, *epoch);
+                write_uvarint(&mut out, *shard as u64);
+                T_HELLO_EPOCH_OK
+            }
+            Response::KeysOk { keys } => {
+                write_uvarint(&mut out, keys.len() as u64);
+                for key in keys {
+                    out.extend_from_slice(key);
+                }
+                T_KEYS_OK
+            }
+            Response::RemoveOk { existed } => {
+                out.push(u8::from(*existed));
+                T_REMOVE_OK
+            }
+            Response::MigrateOk { stored, deduped } => {
+                write_uvarint(&mut out, *stored);
+                write_uvarint(&mut out, *deduped);
+                T_MIGRATE_OK
+            }
         };
         (t, out)
     }
@@ -684,6 +866,41 @@ impl Response {
                 let message = read_str(bytes, &mut pos, MAX_NAME_BYTES)?;
                 Response::Error { code, message }
             }
+            T_HELLO_EPOCH_OK => {
+                let version = read_u8(bytes, &mut pos)?;
+                let epoch = read_u64_le(bytes, &mut pos)?;
+                let shard = read_uvarint(bytes, &mut pos)?;
+                if shard > u32::MAX as u64 {
+                    return Err(ProtoError::Malformed("shard id out of range"));
+                }
+                Response::HelloEpochOk {
+                    version,
+                    epoch,
+                    shard: shard as u32,
+                }
+            }
+            T_KEYS_OK => {
+                let count = read_uvarint(bytes, &mut pos)? as usize;
+                if count > bytes.len().saturating_sub(pos) / 16 {
+                    return Err(ProtoError::Malformed("key count over payload"));
+                }
+                let mut keys = Vec::with_capacity(count);
+                for _ in 0..count {
+                    keys.push(read_array16(bytes, &mut pos)?);
+                }
+                Response::KeysOk { keys }
+            }
+            T_REMOVE_OK => Response::RemoveOk {
+                existed: match read_u8(bytes, &mut pos)? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(ProtoError::Malformed("bad existed flag")),
+                },
+            },
+            T_MIGRATE_OK => Response::MigrateOk {
+                stored: read_uvarint(bytes, &mut pos)?,
+                deduped: read_uvarint(bytes, &mut pos)?,
+            },
             other => return Err(ProtoError::UnknownType(other)),
         };
         done(bytes, pos)?;
@@ -809,6 +1026,21 @@ mod tests {
             Request::Get { key: [7u8; 16] },
             Request::Stat { key: None },
             Request::Stat { key: Some([9u8; 16]) },
+            Request::HelloEpoch {
+                version: 1,
+                epoch: 0xFEED_F00D_CAFE,
+                shard: 3,
+            },
+            Request::Keys,
+            Request::Remove { key: [0x55; 16] },
+            Request::MigrateBatch {
+                epoch: 42,
+                records: vec![],
+            },
+            Request::MigrateBatch {
+                epoch: 7,
+                records: vec![([1u8; 16], vec![9, 8, 7]), ([2u8; 16], vec![])],
+            },
         ]
     }
 
@@ -844,6 +1076,28 @@ mod tests {
             Response::Error {
                 code: ErrorCode::ServerBusy,
                 message: "full".into(),
+            },
+            Response::Error {
+                code: ErrorCode::ShardDown,
+                message: "shard 2 ejected".into(),
+            },
+            Response::Error {
+                code: ErrorCode::WrongShard,
+                message: "stale ring epoch".into(),
+            },
+            Response::HelloEpochOk {
+                version: 1,
+                epoch: u64::MAX,
+                shard: u32::MAX,
+            },
+            Response::KeysOk { keys: vec![] },
+            Response::KeysOk {
+                keys: vec![[4u8; 16], [5u8; 16]],
+            },
+            Response::RemoveOk { existed: true },
+            Response::MigrateOk {
+                stored: 12,
+                deduped: 3,
             },
         ]
     }
@@ -956,10 +1210,66 @@ mod tests {
         );
         assert_eq!(ErrorCode::from_wire(0), None);
         assert_eq!(ErrorCode::from_wire(200), None);
-        for code in 1..=11u8 {
+        for code in 1..=13u8 {
             let decoded = ErrorCode::from_wire(code).unwrap();
             assert_eq!(decoded as u8, code);
         }
+        assert_eq!(ErrorCode::from_wire(14), None);
+    }
+
+    #[test]
+    fn migrate_batch_integrity_is_enforced_at_decode() {
+        let batch = Request::MigrateBatch {
+            epoch: 9,
+            records: vec![([7u8; 16], vec![1, 2, 3, 4])],
+        };
+        let (t, payload) = batch.encode();
+        assert_eq!(Request::decode(t, &payload).unwrap(), batch);
+        // Flip one record byte: the frame itself would re-checksum
+        // fine if re-framed, but the batch digest catches it.
+        let mut bad = payload.clone();
+        bad[8 + 1 + 16] ^= 0x40; // inside the first record's key/blob region
+        assert!(matches!(
+            Request::decode(t, &bad),
+            Err(ProtoError::Malformed(_)) | Err(ProtoError::Truncated)
+        ));
+        // Forge the record count far beyond the payload: refused by the
+        // affordability check before any allocation.
+        let mut forged = Vec::new();
+        write_u64_le(&mut forged, 9);
+        write_uvarint(&mut forged, u32::MAX as u64);
+        assert_eq!(
+            Request::decode(t, &forged),
+            Err(ProtoError::Malformed("migrate count over payload"))
+        );
+    }
+
+    #[test]
+    fn lying_shard_ids_and_forged_epochs_stay_typed() {
+        // A shard id over u32::MAX is a lie by construction.
+        let mut payload = vec![WIRE_VERSION];
+        write_u64_le(&mut payload, 5);
+        write_uvarint(&mut payload, u64::MAX);
+        assert_eq!(
+            Request::decode(T_HELLO_EPOCH, &payload),
+            Err(ProtoError::Malformed("shard id out of range"))
+        );
+        // Any epoch value is decodable — epoch *checking* is the
+        // receiver's policy, not the codec's.
+        let req = Request::HelloEpoch {
+            version: 1,
+            epoch: u64::MAX,
+            shard: 0,
+        };
+        let (t, payload) = req.encode();
+        assert_eq!(Request::decode(t, &payload).unwrap(), req);
+        // KeysOk with a forged count is refused before allocation.
+        let mut forged = Vec::new();
+        write_uvarint(&mut forged, u32::MAX as u64);
+        assert_eq!(
+            Response::decode(T_KEYS_OK, &forged),
+            Err(ProtoError::Malformed("key count over payload"))
+        );
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! Consistent-hash ring: the shard placement function of the router.
+//!
+//! Every shard owns a set of **virtual nodes** — points on a u64 ring
+//! derived from `mix64(fnv1a(seed, shard id, vnode index))`, the same
+//! seeded FNV-1a/SplitMix64 helpers the codec uses for checksums and
+//! fault draws. A content key hashes to a point the same way and is
+//! owned by the first virtual node clockwise from it. Virtual nodes
+//! smooth the load split (≈ 1/N per shard with enough points) and make
+//! membership changes cheap: adding one shard to an N-shard ring moves
+//! ≈ 1/(N+1) of the keyspace, never reshuffles it.
+//!
+//! The **epoch** is a digest of the membership (ids, addresses, vnode
+//! count, seed): two routers built from the same shard list agree on
+//! it byte-for-byte, and any membership change produces a new epoch.
+//! Peers assert their epoch in the [`crate::proto::Request::HelloEpoch`]
+//! handshake, so a router with a stale shard map is refused instead of
+//! silently forwarding into the wrong partition.
+
+use dnacomp_codec::checksum::{mix64, Fnv1a};
+
+/// Default virtual nodes per shard.
+pub const DEFAULT_VNODES: u32 = 64;
+
+/// Default ring placement seed.
+pub const DEFAULT_RING_SEED: u64 = 0x5249_4E47; // "RING"
+
+/// One back-end shard: its ring id and dialable address.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Ring shard id (stable across restarts; 0 is reserved for
+    /// "router / unsharded" in handshake identity checks).
+    pub id: u32,
+    /// `host:port` the shard's front-end listens on.
+    pub addr: String,
+}
+
+/// An immutable consistent-hash ring over a fixed shard set.
+#[derive(Clone, Debug)]
+pub struct Ring {
+    /// Sorted `(point, slot index into shards)` pairs.
+    points: Vec<(u64, usize)>,
+    shards: Vec<ShardSpec>,
+    epoch: u64,
+    vnodes: u32,
+    seed: u64,
+}
+
+fn place(seed: u64, id: u32, vnode: u32) -> u64 {
+    let mut h = Fnv1a::with_seed(seed);
+    h.update(&id.to_le_bytes());
+    h.update(&vnode.to_le_bytes());
+    mix64(h.digest())
+}
+
+fn key_point(seed: u64, key: &[u8; 16]) -> u64 {
+    let mut h = Fnv1a::with_seed(seed);
+    h.update(key);
+    mix64(h.digest())
+}
+
+impl Ring {
+    /// Build a ring with `vnodes` virtual nodes per shard, placed by
+    /// `seed`. Duplicate shard ids and the reserved id 0 are refused —
+    /// a ring with ambiguous ownership is worse than no ring.
+    pub fn new(shards: Vec<ShardSpec>, vnodes: u32, seed: u64) -> Result<Ring, String> {
+        if shards.is_empty() {
+            return Err("a ring needs at least one shard".into());
+        }
+        let vnodes = vnodes.max(1);
+        for (i, s) in shards.iter().enumerate() {
+            if s.id == 0 {
+                return Err("shard id 0 is reserved for unsharded nodes".into());
+            }
+            if shards[..i].iter().any(|p| p.id == s.id) {
+                return Err(format!("duplicate shard id {}", s.id));
+            }
+        }
+        let mut points = Vec::with_capacity(shards.len() * vnodes as usize);
+        for (slot, s) in shards.iter().enumerate() {
+            for v in 0..vnodes {
+                points.push((place(seed, s.id, v), slot));
+            }
+        }
+        // Sort by point; a (vanishingly rare) collision is broken by
+        // slot order so both sides of an identical config still agree.
+        points.sort_unstable();
+        let epoch = {
+            let mut h = Fnv1a::with_seed(seed);
+            h.update(&vnodes.to_le_bytes());
+            for s in &shards {
+                h.update(&s.id.to_le_bytes());
+                h.update(&(s.addr.len() as u64).to_le_bytes());
+                h.update(s.addr.as_bytes());
+            }
+            mix64(h.digest())
+        };
+        Ok(Ring {
+            points,
+            shards,
+            epoch,
+            vnodes,
+            seed,
+        })
+    }
+
+    /// The membership digest peers must present in `HelloEpoch`.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Virtual nodes per shard.
+    pub fn vnodes(&self) -> u32 {
+        self.vnodes
+    }
+
+    /// The shard set, in construction order (= metrics slot order).
+    pub fn shards(&self) -> &[ShardSpec] {
+        &self.shards
+    }
+
+    /// Slot index (into [`Ring::shards`]) owning `key`: the first
+    /// virtual node clockwise from the key's point.
+    pub fn slot_for(&self, key: &[u8; 16]) -> usize {
+        let p = key_point(self.seed, key);
+        let idx = self.points.partition_point(|&(pt, _)| pt < p);
+        let (_, slot) = self.points[idx % self.points.len()];
+        slot
+    }
+
+    /// The shard owning `key`.
+    pub fn shard_for(&self, key: &[u8; 16]) -> &ShardSpec {
+        &self.shards[self.slot_for(key)]
+    }
+
+    /// Slot of the **successor** shard for `key`: the owner of the
+    /// next ring point belonging to a *different* shard — the
+    /// designated retry target when the owner is down. `None` on a
+    /// single-shard ring.
+    pub fn successor_slot(&self, key: &[u8; 16]) -> Option<usize> {
+        let owner = self.slot_for(key);
+        let p = key_point(self.seed, key);
+        let start = self.points.partition_point(|&(pt, _)| pt < p);
+        let n = self.points.len();
+        for i in 0..n {
+            let (_, slot) = self.points[(start + i) % n];
+            if slot != owner {
+                return Some(slot);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(id: u32) -> ShardSpec {
+        ShardSpec {
+            id,
+            addr: format!("127.0.0.1:{}", 7000 + id),
+        }
+    }
+
+    fn keys(n: u64) -> impl Iterator<Item = [u8; 16]> {
+        (0..n).map(|i| {
+            let mut k = [0u8; 16];
+            k[..8].copy_from_slice(&mix64(i).to_le_bytes());
+            k[8..].copy_from_slice(&mix64(i ^ 0xDEAD).to_le_bytes());
+            k
+        })
+    }
+
+    #[test]
+    fn placement_is_deterministic_across_builds() {
+        let a = Ring::new(vec![shard(1), shard(2), shard(3)], 64, 7).unwrap();
+        let b = Ring::new(vec![shard(1), shard(2), shard(3)], 64, 7).unwrap();
+        assert_eq!(a.epoch(), b.epoch());
+        for k in keys(500) {
+            assert_eq!(a.slot_for(&k), b.slot_for(&k));
+            assert_eq!(a.successor_slot(&k), b.successor_slot(&k));
+        }
+    }
+
+    #[test]
+    fn load_splits_roughly_evenly_with_enough_vnodes() {
+        let ring = Ring::new(vec![shard(1), shard(2), shard(3)], 128, 7).unwrap();
+        let mut counts = [0u64; 3];
+        let total = 6_000u64;
+        for k in keys(total) {
+            counts[ring.slot_for(&k)] += 1;
+        }
+        let ideal = total / 3;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c > ideal / 2 && c < ideal * 2,
+                "slot {i} got {c} of {total} (ideal {ideal}): {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn successor_is_always_a_different_shard() {
+        let ring = Ring::new(vec![shard(1), shard(2)], 32, 7).unwrap();
+        for k in keys(300) {
+            let owner = ring.slot_for(&k);
+            let succ = ring.successor_slot(&k).unwrap();
+            assert_ne!(owner, succ);
+        }
+        let solo = Ring::new(vec![shard(1)], 32, 7).unwrap();
+        assert_eq!(solo.successor_slot(&[0u8; 16]), None);
+    }
+
+    #[test]
+    fn membership_changes_move_epoch_and_a_bounded_key_fraction() {
+        let three = Ring::new(vec![shard(1), shard(2), shard(3)], 128, 7).unwrap();
+        let four = Ring::new(vec![shard(1), shard(2), shard(3), shard(4)], 128, 7).unwrap();
+        assert_ne!(three.epoch(), four.epoch());
+        // Address changes alone also move the epoch.
+        let moved = Ring::new(
+            vec![
+                shard(1),
+                shard(2),
+                ShardSpec {
+                    id: 3,
+                    addr: "10.0.0.9:7003".into(),
+                },
+            ],
+            128,
+            7,
+        )
+        .unwrap();
+        assert_ne!(three.epoch(), moved.epoch());
+        // Consistency: going 3 → 4 shards only keys now owned by the
+        // new shard may move; everything else stays put.
+        let total = 4_000u64;
+        let mut stayed = 0u64;
+        for k in keys(total) {
+            let before = three.shard_for(&k).id;
+            let after = four.shard_for(&k).id;
+            if before == after {
+                stayed += 1;
+            } else {
+                assert_eq!(after, 4, "key moved between surviving shards");
+            }
+        }
+        // ≈ 3/4 should stay; accept anything clearly above 1/2.
+        assert!(
+            stayed > total / 2,
+            "only {stayed} of {total} keys stayed put"
+        );
+    }
+
+    #[test]
+    fn degenerate_rings_are_refused() {
+        assert!(Ring::new(vec![], 64, 7).is_err());
+        assert!(Ring::new(vec![shard(0)], 64, 7).is_err());
+        assert!(Ring::new(vec![shard(1), shard(1)], 64, 7).is_err());
+    }
+}

@@ -1,0 +1,1157 @@
+//! The shard router: one `"DW"` endpoint in front of N shard servers.
+//!
+//! A [`RouterServer`] speaks the existing wire protocol on both sides.
+//! Clients connect to it exactly as they would to a single
+//! [`crate::net::NetServer`]; every keyed request (`Get`, `Stat`,
+//! `Compress` — whose content key is a pure function of the sequence)
+//! is mapped to a shard by the consistent-hash [`Ring`] and forwarded
+//! over a pooled back-end connection. The router is therefore a
+//! *transparent* scale-out layer: a compress acknowledged through the
+//! router is stored on some shard, and a later get for its key routes
+//! to the same shard by construction.
+//!
+//! ## Failure discipline
+//!
+//! Every hop is bounded: back-end checkouts and calls live under the
+//! per-shard deadline, a transport failure against the owner earns one
+//! bounded retry against the key's **designated successor** (the next
+//! distinct shard clockwise on the ring), and when both are gone the
+//! client gets a typed [`ErrorCode::ShardDown`] — never a hang, never
+//! a silent drop. `Get` adds a read fallback: a clean `UnknownKey`
+//! from the owner retries the successor, so keys written to the
+//! successor during an owner outage stay readable (no acknowledged
+//! put is ever lost to a failover).
+//!
+//! A prober thread pings every shard on a fixed cadence; consecutive
+//! failures eject a shard (strike-based, like connection kills), a
+//! successful probe re-admits it. Ejected shards are skipped by the
+//! forwarding path, which is what turns a dead back-end from "every
+//! request times out" into "requests fail over instantly".
+//!
+//! ## Epochs and rebalance
+//!
+//! The ring's membership digest — its **epoch** — is asserted by
+//! epoch-aware peers in the `HelloEpoch` handshake. A router refuses
+//! mismatching epochs with [`ErrorCode::WrongShard`]: a stale peer
+//! cannot forward into a reshaped ring. When the shard set changes,
+//! [`rebalance`] walks every shard's resident keys over the wire and
+//! migrates misplaced records to their new owners in checksummed
+//! batches, deleting each source record only after the destination
+//! acknowledged the copy.
+
+use crate::conn::{read_frame, write_frame, Checkout, CountingStream, StreamPool, IO_TICK};
+use crate::metrics::{RouterMetrics, RouterMetricsSnapshot, ShardLabel};
+use crate::net::{ClientError, NetClient};
+use crate::proto::{
+    response_frame, ErrorCode, ProtoError, Request, Response, MAX_WIRE_PAYLOAD, WIRE_VERSION,
+};
+use crate::queue::Priority;
+use crate::ring::{Ring, ShardSpec};
+use dnacomp_codec::checksum::fnv1a;
+use dnacomp_core::{contain_panic, Context, Deadline};
+use dnacomp_seq::PackedSeq;
+use dnacomp_store::ContentKey;
+use serde::{Deserialize, Serialize};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Router tuning knobs.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Client connections before accept refuses with `ServerBusy`.
+    pub max_connections: usize,
+    /// Per-frame payload cap, bytes.
+    pub max_frame_payload: usize,
+    /// Client idle budget between frames.
+    pub idle_timeout: Duration,
+    /// Client mid-frame budget.
+    pub frame_timeout: Duration,
+    /// Reply write budget.
+    pub write_timeout: Duration,
+    /// Per-shard forward deadline: pool checkout + dial + the whole
+    /// request/response exchange against one shard.
+    pub shard_timeout: Duration,
+    /// Back-end connections per shard — the hard per-shard
+    /// concurrency budget ([`StreamPool`] blocks beyond it).
+    pub pool_per_shard: usize,
+    /// Frame-synced client violations tolerated before the kill.
+    pub max_strikes: u32,
+    /// Cap on a streamed upload's declared total length, bases.
+    pub max_total_bases: u64,
+    /// Cadence of shard health probes.
+    pub probe_interval: Duration,
+    /// Deadline for one probe ping.
+    pub probe_timeout: Duration,
+    /// Consecutive probe failures before a shard is ejected.
+    pub probe_strikes: u32,
+    /// Handshake back-ends with `HelloEpoch` (requires shards started
+    /// with matching `--shard-id`/`--epoch`); plain `Hello` otherwise.
+    pub pinned_backends: bool,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            max_connections: 64,
+            max_frame_payload: MAX_WIRE_PAYLOAD,
+            idle_timeout: Duration::from_secs(10),
+            frame_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            shard_timeout: Duration::from_secs(5),
+            pool_per_shard: 2,
+            max_strikes: 3,
+            max_total_bases: 1 << 26,
+            probe_interval: Duration::from_millis(200),
+            probe_timeout: Duration::from_millis(500),
+            probe_strikes: 3,
+            pinned_backends: false,
+        }
+    }
+}
+
+type BackendClient = NetClient<CountingStream<TcpStream>>;
+
+/// Live state of one back-end shard.
+#[derive(Debug)]
+struct ShardState {
+    spec: ShardSpec,
+    healthy: AtomicBool,
+    probe_strikes: AtomicU32,
+    pool: StreamPool<BackendClient>,
+}
+
+/// Everything the handler and prober threads share.
+#[derive(Debug)]
+struct RouterShared {
+    ring: Ring,
+    cfg: RouterConfig,
+    shards: Vec<ShardState>,
+    metrics: RouterMetrics,
+}
+
+impl RouterShared {
+    fn labels(&self) -> Vec<ShardLabel> {
+        self.shards
+            .iter()
+            .map(|s| ShardLabel {
+                id: s.spec.id,
+                addr: s.spec.addr.clone(),
+                healthy: s.healthy.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    fn snapshot(&self) -> RouterMetricsSnapshot {
+        self.metrics.snapshot(self.ring.epoch(), &self.labels())
+    }
+}
+
+/// How a back-end attempt failed (typed server errors are not
+/// failures — they are forwarded to the client verbatim).
+#[derive(Debug)]
+enum BackendError {
+    /// The per-shard connection budget stayed exhausted for the whole
+    /// deadline.
+    PoolBusy,
+    /// Dial, handshake or transport failure.
+    Transport(ClientError),
+}
+
+/// Dial one fresh connection to `slot`, wire-byte-counted and
+/// handshaken.
+fn dial(shared: &RouterShared, slot: usize) -> Result<BackendClient, ClientError> {
+    let spec = &shared.shards[slot].spec;
+    let stream =
+        TcpStream::connect(spec.addr.as_str()).map_err(|e| ProtoError::Io(e.kind()))?;
+    stream
+        .set_read_timeout(Some(IO_TICK))
+        .map_err(|e| ProtoError::Io(e.kind()))?;
+    stream
+        .set_write_timeout(Some(IO_TICK))
+        .map_err(|e| ProtoError::Io(e.kind()))?;
+    let _ = stream.set_nodelay(true);
+    let (tx, rx) = shared.metrics.byte_counters(slot);
+    let mut client = NetClient::over(CountingStream::new(stream, tx, rx), shared.cfg.shard_timeout);
+    if shared.cfg.pinned_backends {
+        client.handshake_epoch(shared.ring.epoch(), spec.id)?;
+    } else {
+        client.handshake()?;
+    }
+    Ok(client)
+}
+
+/// Run `f` against a pooled connection to `slot`, within `budget`.
+///
+/// A pooled connection that fails in transport is retried once on a
+/// fresh dial before the attempt is declared failed — a shard restart
+/// leaves stale sockets in every pool, and one redial cleanly
+/// distinguishes "shard was restarted" from "shard is down".
+fn with_backend<T>(
+    shared: &RouterShared,
+    slot: usize,
+    budget: Duration,
+    f: impl Fn(&mut BackendClient) -> Result<T, ClientError>,
+) -> Result<T, BackendError> {
+    let pool = &shared.shards[slot].pool;
+    let deadline = Deadline::after(budget);
+    let (mut client, reused) = match pool.checkout(deadline) {
+        None => return Err(BackendError::PoolBusy),
+        Some(Checkout::Reused(c)) => (c, true),
+        Some(Checkout::Dial) => match dial(shared, slot) {
+            Ok(c) => (c, false),
+            Err(e) => {
+                pool.discard();
+                return Err(BackendError::Transport(e));
+            }
+        },
+    };
+    match f(&mut client) {
+        Ok(v) => {
+            pool.checkin(client);
+            Ok(v)
+        }
+        Err(first) => {
+            pool.discard();
+            if !reused {
+                return Err(BackendError::Transport(first));
+            }
+            // Stale pooled socket: one fresh dial, one more try.
+            match pool.checkout(deadline) {
+                Some(Checkout::Dial) => match dial(shared, slot) {
+                    Ok(mut fresh) => match f(&mut fresh) {
+                        Ok(v) => {
+                            pool.checkin(fresh);
+                            Ok(v)
+                        }
+                        Err(e) => {
+                            pool.discard();
+                            Err(BackendError::Transport(e))
+                        }
+                    },
+                    Err(e) => {
+                        pool.discard();
+                        Err(BackendError::Transport(e))
+                    }
+                },
+                Some(Checkout::Reused(c)) => {
+                    // Another thread returned a conn meanwhile; use it.
+                    let mut c = c;
+                    match f(&mut c) {
+                        Ok(v) => {
+                            pool.checkin(c);
+                            Ok(v)
+                        }
+                        Err(e) => {
+                            pool.discard();
+                            Err(BackendError::Transport(e))
+                        }
+                    }
+                }
+                None => Err(BackendError::Transport(first)),
+            }
+        }
+    }
+}
+
+/// Forward one keyed request: owner first, then the designated
+/// successor on transport failure (and, for `Get`, on a clean miss).
+/// Exhausting both is a typed `ShardDown`.
+fn forward(
+    shared: &RouterShared,
+    key: &[u8; 16],
+    is_get: bool,
+    run: impl Fn(&mut BackendClient) -> Result<Response, ClientError>,
+) -> Response {
+    let owner = shared.ring.slot_for(key);
+    let successor = shared.ring.successor_slot(key);
+    let mut candidates = Vec::with_capacity(2);
+    if shared.shards[owner].healthy.load(Ordering::Relaxed) {
+        candidates.push(owner);
+    }
+    if let Some(s) = successor {
+        if shared.shards[s].healthy.load(Ordering::Relaxed) {
+            candidates.push(s);
+        }
+    }
+    if candidates.is_empty() {
+        // Everything relevant is ejected: one desperate try at the
+        // owner still beats an instant refusal (the prober may simply
+        // not have re-admitted it yet).
+        candidates.push(owner);
+    }
+    let last = candidates.len() - 1;
+    let mut last_failure = String::from("no healthy candidate");
+    for (i, &slot) in candidates.iter().enumerate() {
+        shared.metrics.record_forward(slot);
+        match with_backend(shared, slot, shared.cfg.shard_timeout, &run) {
+            Ok(resp) => {
+                shared.metrics.record_shard_frames(slot, 1, 1);
+                if let Response::Error { code, .. } = &resp {
+                    shared.metrics.record_shard_error(slot);
+                    // Read fallback: the owner may legitimately miss a
+                    // key that landed on the successor during an
+                    // outage window.
+                    if is_get && *code == ErrorCode::UnknownKey && i < last {
+                        continue;
+                    }
+                }
+                return resp;
+            }
+            Err(e) => {
+                last_failure = match e {
+                    BackendError::PoolBusy => {
+                        format!("shard {} pool saturated", shared.shards[slot].spec.id)
+                    }
+                    BackendError::Transport(err) => {
+                        format!("shard {}: {err}", shared.shards[slot].spec.id)
+                    }
+                };
+                if i < last {
+                    shared.metrics.record_retry(slot);
+                }
+            }
+        }
+    }
+    Response::Error {
+        code: ErrorCode::ShardDown,
+        message: format!(
+            "shard {} unreachable (successor {}): {last_failure}",
+            shared.shards[owner].spec.id,
+            successor.map_or_else(|| "none".to_owned(), |s| {
+                format!("{} too", shared.shards[s].spec.id)
+            })
+        ),
+    }
+}
+
+/// One shard's store stat, as its `Stat {key: None}` reply decodes.
+#[derive(Clone, Debug, Default, Deserialize)]
+struct ShardStat {
+    records: u64,
+    segments: u64,
+    bytes_on_disk: u64,
+    live_bytes: u64,
+    puts: u64,
+    dedup_hits: u64,
+    removes: u64,
+    scrub_failures: u64,
+}
+
+/// The merged store stat the router reports for `Stat {key: None}`:
+/// the field-wise sum across every shard that answered.
+#[derive(Clone, Debug, Default, Serialize)]
+struct ClusterStat {
+    shards_reporting: u64,
+    records: u64,
+    segments: u64,
+    bytes_on_disk: u64,
+    live_bytes: u64,
+    puts: u64,
+    dedup_hits: u64,
+    removes: u64,
+    scrub_failures: u64,
+}
+
+/// Aggregate `Stat {key: None}` across every healthy shard.
+fn aggregate_stat(shared: &RouterShared) -> Response {
+    let mut sum = ClusterStat::default();
+    for (slot, shard) in shared.shards.iter().enumerate() {
+        if !shard.healthy.load(Ordering::Relaxed) {
+            continue;
+        }
+        let got = with_backend(shared, slot, shared.cfg.shard_timeout, |c| {
+            c.call(&Request::Stat { key: None })
+        });
+        shared.metrics.record_shard_frames(slot, 1, 1);
+        if let Ok(Response::StatOk { json }) = got {
+            if let Ok(stat) = serde_json::from_str::<ShardStat>(&json) {
+                sum.shards_reporting += 1;
+                sum.records += stat.records;
+                sum.segments += stat.segments;
+                sum.bytes_on_disk += stat.bytes_on_disk;
+                sum.live_bytes += stat.live_bytes;
+                sum.puts += stat.puts;
+                sum.dedup_hits += stat.dedup_hits;
+                sum.removes += stat.removes;
+                sum.scrub_failures += stat.scrub_failures;
+            }
+        }
+    }
+    Response::StatOk {
+        json: serde_json::to_string(&sum).expect("stat serialisation cannot fail"),
+    }
+}
+
+/// State of one in-progress streamed upload through the router.
+struct Upload {
+    file: String,
+    priority: Priority,
+    context: Context,
+    total_len: u64,
+    chunk_bases: u64,
+    next: u64,
+    words: Vec<u8>,
+}
+
+impl Upload {
+    fn chunk_count(&self) -> u64 {
+        self.total_len.div_ceil(self.chunk_bases)
+    }
+
+    fn expected_words(&self, index: u64) -> u64 {
+        let start = index * self.chunk_bases;
+        let bases = self.total_len.saturating_sub(start).min(self.chunk_bases);
+        bases.div_ceil(4)
+    }
+}
+
+/// What handling one frame decided about the connection's future.
+enum Flow {
+    Continue,
+    Close,
+    Kill,
+}
+
+fn err(code: ErrorCode, message: impl Into<String>) -> Response {
+    Response::Error {
+        code,
+        message: message.into(),
+    }
+}
+
+/// Route a fully assembled sequence: its content key *is* the routing
+/// key, so the shard that compresses it is the shard that will own
+/// its gets.
+fn route_compress(
+    shared: &RouterShared,
+    file: String,
+    seq: PackedSeq,
+    priority: Priority,
+    context: Context,
+) -> Response {
+    let key = ContentKey::of_sequence(&seq).0;
+    forward(shared, &key, false, move |c| {
+        c.compress(&file, &seq, priority, context.clone())
+    })
+}
+
+/// Handle one decoded client request. Returns `(reply, flow, strike)`.
+fn dispatch(
+    shared: &RouterShared,
+    handshaken: &mut bool,
+    upload: &mut Option<Upload>,
+    req: Request,
+) -> (Response, Flow, bool) {
+    // The handshake gate, with the router's epoch rule: an epoch-aware
+    // peer whose ring disagrees is refused before any forward.
+    let hello = |version: u8, epoch: Option<u64>| -> (Response, Flow, bool) {
+        if version != WIRE_VERSION {
+            return (
+                err(
+                    ErrorCode::Handshake,
+                    format!("router speaks version {WIRE_VERSION}, client {version}"),
+                ),
+                Flow::Kill,
+                true,
+            );
+        }
+        match epoch {
+            Some(e) if e != shared.ring.epoch() => (
+                err(
+                    ErrorCode::WrongShard,
+                    format!(
+                        "stale ring epoch {e:#x} (router at {:#x})",
+                        shared.ring.epoch()
+                    ),
+                ),
+                Flow::Kill,
+                true,
+            ),
+            Some(e) => (
+                Response::HelloEpochOk {
+                    version: WIRE_VERSION,
+                    epoch: e,
+                    shard: 0,
+                },
+                Flow::Continue,
+                false,
+            ),
+            None => (
+                Response::HelloOk {
+                    version: WIRE_VERSION,
+                },
+                Flow::Continue,
+                false,
+            ),
+        }
+    };
+    if !*handshaken {
+        return match req {
+            Request::Hello { version } => {
+                let out = hello(version, None);
+                if !out.2 {
+                    *handshaken = true;
+                }
+                out
+            }
+            Request::HelloEpoch {
+                version,
+                epoch,
+                shard: 0,
+            } => {
+                let out = hello(version, Some(epoch));
+                if !out.2 {
+                    *handshaken = true;
+                }
+                out
+            }
+            Request::HelloEpoch { shard, .. } => (
+                err(
+                    ErrorCode::WrongShard,
+                    format!("this is a router, not shard {shard}"),
+                ),
+                Flow::Kill,
+                true,
+            ),
+            _ => (
+                err(ErrorCode::Handshake, "first frame must be Hello"),
+                Flow::Continue,
+                true,
+            ),
+        };
+    }
+
+    match req {
+        Request::Hello { version } => hello(version, None),
+        Request::HelloEpoch {
+            version,
+            epoch,
+            shard: 0,
+        } => hello(version, Some(epoch)),
+        Request::HelloEpoch { shard, .. } => (
+            err(
+                ErrorCode::WrongShard,
+                format!("this is a router, not shard {shard}"),
+            ),
+            Flow::Kill,
+            true,
+        ),
+        Request::Ping => (Response::Pong, Flow::Continue, false),
+        Request::Metrics => (
+            Response::MetricsOk {
+                json: shared.snapshot().to_json(),
+            },
+            Flow::Continue,
+            false,
+        ),
+        Request::Bye => (Response::ByeOk, Flow::Close, false),
+        Request::Compress {
+            file,
+            priority,
+            context,
+            seq_len,
+            words,
+        } => match PackedSeq::from_words(words, seq_len as usize) {
+            Ok(seq) => (
+                route_compress(shared, file, seq, priority, context),
+                Flow::Continue,
+                false,
+            ),
+            Err(_) => (
+                err(
+                    ErrorCode::BadSequence,
+                    "packed words do not form a sequence",
+                ),
+                Flow::Continue,
+                true,
+            ),
+        },
+        Request::CompressBegin {
+            file,
+            priority,
+            context,
+            total_len,
+            chunk_bases,
+        } => {
+            if upload.is_some() {
+                return (err(ErrorCode::BadFrame, "upload already open"), Flow::Continue, true);
+            }
+            if chunk_bases == 0 || chunk_bases % 4 != 0 {
+                return (
+                    err(
+                        ErrorCode::BadFrame,
+                        "chunk_bases must be a positive multiple of 4",
+                    ),
+                    Flow::Continue,
+                    true,
+                );
+            }
+            if total_len > shared.cfg.max_total_bases {
+                return (
+                    err(
+                        ErrorCode::TooLarge,
+                        format!(
+                            "total_len {total_len} exceeds cap {}",
+                            shared.cfg.max_total_bases
+                        ),
+                    ),
+                    Flow::Continue,
+                    false,
+                );
+            }
+            if chunk_bases.div_ceil(4) > shared.cfg.max_frame_payload as u64 {
+                return (
+                    err(ErrorCode::TooLarge, "chunk_bases exceeds the frame payload cap"),
+                    Flow::Continue,
+                    false,
+                );
+            }
+            *upload = Some(Upload {
+                file,
+                priority,
+                context,
+                total_len,
+                chunk_bases,
+                next: 0,
+                words: Vec::with_capacity(total_len.div_ceil(4) as usize),
+            });
+            (Response::Ack, Flow::Continue, false)
+        }
+        Request::CompressChunk { index, words } => {
+            let Some(up) = upload.as_mut() else {
+                return (
+                    err(ErrorCode::BadFrame, "chunk without an open upload"),
+                    Flow::Continue,
+                    true,
+                );
+            };
+            if index != up.next || index >= up.chunk_count() {
+                let msg = format!("chunk {index} out of order (expected {})", up.next);
+                *upload = None;
+                return (err(ErrorCode::BadFrame, msg), Flow::Continue, true);
+            }
+            if words.len() as u64 != up.expected_words(index) {
+                let msg = format!(
+                    "chunk {index} carries {} words, geometry says {}",
+                    words.len(),
+                    up.expected_words(index)
+                );
+                *upload = None;
+                return (err(ErrorCode::BadSequence, msg), Flow::Continue, true);
+            }
+            up.words.extend_from_slice(&words);
+            up.next += 1;
+            (Response::Ack, Flow::Continue, false)
+        }
+        Request::CompressEnd { checksum } => {
+            let Some(up) = upload.take() else {
+                return (
+                    err(ErrorCode::BadFrame, "end without an open upload"),
+                    Flow::Continue,
+                    true,
+                );
+            };
+            if up.next != up.chunk_count() {
+                return (
+                    err(
+                        ErrorCode::BadSequence,
+                        format!("upload ended after {} of {} chunks", up.next, up.chunk_count()),
+                    ),
+                    Flow::Continue,
+                    true,
+                );
+            }
+            if fnv1a(&up.words) != checksum {
+                return (
+                    err(
+                        ErrorCode::BadSequence,
+                        "reassembled sequence fails its checksum",
+                    ),
+                    Flow::Continue,
+                    true,
+                );
+            }
+            match PackedSeq::from_words(up.words, up.total_len as usize) {
+                Ok(seq) => (
+                    route_compress(shared, up.file, seq, up.priority, up.context),
+                    Flow::Continue,
+                    false,
+                ),
+                Err(_) => (
+                    err(
+                        ErrorCode::BadSequence,
+                        "packed words do not form a sequence",
+                    ),
+                    Flow::Continue,
+                    true,
+                ),
+            }
+        }
+        Request::Get { key } => (
+            forward(shared, &key, true, move |c| c.call(&Request::Get { key })),
+            Flow::Continue,
+            false,
+        ),
+        Request::Stat { key: Some(key) } => (
+            forward(shared, &key, true, move |c| {
+                c.call(&Request::Stat { key: Some(key) })
+            }),
+            Flow::Continue,
+            false,
+        ),
+        Request::Stat { key: None } => (aggregate_stat(shared), Flow::Continue, false),
+        Request::Keys | Request::Remove { .. } | Request::MigrateBatch { .. } => (
+            err(
+                ErrorCode::Unsupported,
+                "store admin requests go to shards directly, not through the router",
+            ),
+            Flow::Continue,
+            false,
+        ),
+    }
+}
+
+/// Write one reply frame; `Flow::Kill` means the peer is gone.
+fn send_reply(stream: &mut TcpStream, shared: &RouterShared, resp: &Response) -> Flow {
+    let frame = response_frame(resp);
+    match write_frame(stream, &frame, Deadline::after(shared.cfg.write_timeout)) {
+        Ok(()) => {
+            shared.metrics.record_frame_tx();
+            Flow::Continue
+        }
+        Err(_) => Flow::Kill,
+    }
+}
+
+/// Serve one client connection to completion; `true` = killed.
+fn handle_conn(mut stream: TcpStream, shared: &RouterShared, stop: &AtomicBool) -> bool {
+    let _ = stream.set_read_timeout(Some(IO_TICK));
+    let _ = stream.set_write_timeout(Some(IO_TICK));
+    let _ = stream.set_nodelay(true);
+    let m = &shared.metrics;
+    let cfg = &shared.cfg;
+
+    let mut strikes: u32 = 0;
+    let mut handshaken = false;
+    let mut upload: Option<Upload> = None;
+    let mut idle = Deadline::after(cfg.idle_timeout);
+
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return false;
+        }
+        let slice = Deadline::after(idle.remaining().min(Duration::from_millis(50)));
+        let (ftype, payload, _wire) =
+            match read_frame(&mut stream, cfg.max_frame_payload, slice, cfg.frame_timeout) {
+                Ok(frame) => frame,
+                Err(ProtoError::Idle) => {
+                    if idle.expired() {
+                        return false;
+                    }
+                    continue;
+                }
+                Err(ProtoError::Closed) => return false,
+                Err(ProtoError::ChecksumMismatch { .. }) => {
+                    m.record_protocol_error();
+                    strikes += 1;
+                    let flow = send_reply(
+                        &mut stream,
+                        shared,
+                        &err(ErrorCode::BadFrame, "frame checksum mismatch"),
+                    );
+                    if strikes >= cfg.max_strikes || matches!(flow, Flow::Kill) {
+                        return true;
+                    }
+                    idle = Deadline::after(cfg.idle_timeout);
+                    continue;
+                }
+                Err(e) => {
+                    m.record_protocol_error();
+                    let code = match e {
+                        ProtoError::Oversize { .. } => ErrorCode::TooLarge,
+                        _ => ErrorCode::BadFrame,
+                    };
+                    let _ = send_reply(&mut stream, shared, &err(code, e.to_string()));
+                    return true;
+                }
+            };
+        m.record_frame_rx();
+        idle = Deadline::after(cfg.idle_timeout);
+
+        let req = match Request::decode(ftype, &payload) {
+            Ok(req) => req,
+            Err(e) => {
+                m.record_protocol_error();
+                strikes += 1;
+                let flow =
+                    send_reply(&mut stream, shared, &err(ErrorCode::BadFrame, e.to_string()));
+                if strikes >= cfg.max_strikes || matches!(flow, Flow::Kill) {
+                    return true;
+                }
+                continue;
+            }
+        };
+
+        let (reply, flow, strike) = dispatch(shared, &mut handshaken, &mut upload, req);
+        if strike {
+            m.record_protocol_error();
+            strikes += 1;
+        }
+        let wrote = send_reply(&mut stream, shared, &reply);
+        if matches!(wrote, Flow::Kill) {
+            return false;
+        }
+        match flow {
+            Flow::Kill => return true,
+            Flow::Close => return false,
+            Flow::Continue => {
+                if strikes >= cfg.max_strikes {
+                    return true;
+                }
+            }
+        }
+    }
+}
+
+/// One probe pass over every shard: ping, strike, eject, re-admit.
+fn probe_pass(shared: &RouterShared) {
+    for (slot, shard) in shared.shards.iter().enumerate() {
+        let got = with_backend(shared, slot, shared.cfg.probe_timeout, |c| c.ping());
+        match got {
+            // A saturated pool proves the shard is busy serving, which
+            // is the opposite of dead.
+            Ok(()) | Err(BackendError::PoolBusy) => {
+                shard.probe_strikes.store(0, Ordering::Relaxed);
+                if !shard.healthy.swap(true, Ordering::Relaxed) {
+                    shared.metrics.record_readmission(slot);
+                }
+            }
+            Err(BackendError::Transport(_)) => {
+                let strikes = shard.probe_strikes.fetch_add(1, Ordering::Relaxed) + 1;
+                if strikes >= shared.cfg.probe_strikes
+                    && shard.healthy.swap(false, Ordering::Relaxed)
+                {
+                    shared.metrics.record_ejection(slot);
+                    // Close every idle socket to the dead shard now:
+                    // the next forward dials fresh instead of timing
+                    // out on a corpse.
+                    drop(shard.pool.drain_idle());
+                }
+            }
+        }
+    }
+}
+
+/// A running shard router. [`shutdown`](RouterServer::shutdown) (or
+/// drop) stops accepting, drains in-flight connections and joins every
+/// thread.
+#[derive(Debug)]
+pub struct RouterServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    prober_thread: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    shared: Arc<RouterShared>,
+}
+
+impl RouterServer {
+    /// Bind `addr`, build the ring over `shards`, start the prober and
+    /// begin accepting clients.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        ring: Ring,
+        config: RouterConfig,
+    ) -> std::io::Result<RouterServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let active = Arc::new(AtomicUsize::new(0));
+
+        let metrics = RouterMetrics::new(ring.shards().len());
+        let shards = ring
+            .shards()
+            .iter()
+            .map(|spec| ShardState {
+                spec: spec.clone(),
+                healthy: AtomicBool::new(true),
+                probe_strikes: AtomicU32::new(0),
+                pool: StreamPool::new(config.pool_per_shard),
+            })
+            .collect();
+        let shared = Arc::new(RouterShared {
+            ring,
+            cfg: config,
+            shards,
+            metrics,
+        });
+
+        let prober_shared = Arc::clone(&shared);
+        let prober_stop = Arc::clone(&stop);
+        let prober_thread = std::thread::Builder::new()
+            .name("route-probe".into())
+            .spawn(move || {
+                while !prober_stop.load(Ordering::Relaxed) {
+                    let _ = contain_panic(|| probe_pass(&prober_shared));
+                    // Sleep the probe interval in short slices so
+                    // shutdown is never blocked on a probe nap.
+                    let nap = Deadline::after(prober_shared.cfg.probe_interval);
+                    while !nap.expired() && !prober_stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(
+                            nap.remaining().min(Duration::from_millis(20)),
+                        );
+                    }
+                }
+            })?;
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_stop = Arc::clone(&stop);
+        let accept_handlers = Arc::clone(&handlers);
+        let accept_thread = std::thread::Builder::new()
+            .name("route-accept".into())
+            .spawn(move || {
+                let mut conn_id: u64 = 0;
+                while !accept_stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            conn_id += 1;
+                            if active.load(Ordering::Relaxed)
+                                >= accept_shared.cfg.max_connections
+                            {
+                                refuse_busy(&accept_shared, stream);
+                                continue;
+                            }
+                            active.fetch_add(1, Ordering::Relaxed);
+                            let shared = Arc::clone(&accept_shared);
+                            let stop = Arc::clone(&accept_stop);
+                            let active = Arc::clone(&active);
+                            let handle = std::thread::Builder::new()
+                                .name(format!("route-conn-{conn_id}"))
+                                .spawn(move || {
+                                    shared.metrics.record_conn_accepted();
+                                    let killed =
+                                        contain_panic(|| handle_conn(stream, &shared, &stop))
+                                            .unwrap_or(true);
+                                    if killed {
+                                        shared.metrics.record_conn_killed();
+                                    }
+                                    shared.metrics.record_conn_closed();
+                                    active.fetch_sub(1, Ordering::Relaxed);
+                                })
+                                .expect("spawn router connection handler");
+                            let mut hs = lock_handlers(&accept_handlers);
+                            hs.retain(|h| !h.is_finished());
+                            hs.push(handle);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                    }
+                }
+            })?;
+
+        Ok(RouterServer {
+            local_addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            prober_thread: Some(prober_thread),
+            handlers,
+            shared,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The ring epoch this router serves.
+    pub fn epoch(&self) -> u64 {
+        self.shared.ring.epoch()
+    }
+
+    /// The aggregated metrics rollup (fleet counters + per-shard).
+    pub fn metrics_snapshot(&self) -> RouterMetricsSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// Stop accepting, drain in-flight connections and join every
+    /// thread.
+    pub fn shutdown(mut self) -> RouterMetricsSnapshot {
+        self.stop_and_join();
+        self.shared.snapshot()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.prober_thread.take() {
+            let _ = t.join();
+        }
+        let handles: Vec<_> = lock_handlers(&self.handlers).drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RouterServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn lock_handlers(
+    handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) -> std::sync::MutexGuard<'_, Vec<JoinHandle<()>>> {
+    match handlers.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Best-effort `ServerBusy` refusal for an over-cap accept.
+fn refuse_busy(shared: &RouterShared, mut stream: TcpStream) {
+    shared.metrics.record_conn_refused();
+    let _ = stream.set_write_timeout(Some(IO_TICK));
+    let frame = response_frame(&err(ErrorCode::ServerBusy, "connection cap reached"));
+    if write_frame(
+        &mut stream,
+        &frame,
+        Deadline::after(shared.cfg.write_timeout),
+    )
+    .is_ok()
+    {
+        shared.metrics.record_frame_tx();
+    }
+}
+
+/// Outcome of one [`rebalance`] sweep.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RebalanceReport {
+    /// Keys enumerated across every shard.
+    pub scanned: u64,
+    /// Records shipped to their new owner.
+    pub moved: u64,
+    /// Shipped records the owner already held.
+    pub deduped: u64,
+    /// Source records deleted after the owner acknowledged.
+    pub removed: u64,
+    /// Container bytes shipped over the wire.
+    pub bytes: u64,
+}
+
+/// Migrate every misplaced record to its owner under `ring`.
+///
+/// For each shard: enumerate its resident keys, fetch each record the
+/// ring now assigns elsewhere, ship them to the owner in checksummed
+/// batches of at most `batch_records` records, and delete each source
+/// record **only after** the owner's typed `MigrateOk` acknowledged
+/// the batch — a crash mid-rebalance duplicates records (idempotent:
+/// the store dedups by key), it never loses one.
+pub fn rebalance(
+    ring: &Ring,
+    timeout: Duration,
+    batch_records: usize,
+) -> Result<RebalanceReport, String> {
+    let batch_records = batch_records.max(1);
+    let mut report = RebalanceReport::default();
+    let epoch = ring.epoch();
+    let n = ring.shards().len();
+    // One lazily dialled connection per shard, reused across batches.
+    let mut conns: Vec<Option<NetClient<TcpStream>>> = (0..n).map(|_| None).collect();
+    let connect = |conns: &mut Vec<Option<NetClient<TcpStream>>>,
+                       slot: usize|
+     -> Result<(), String> {
+        if conns[slot].is_none() {
+            let addr = ring.shards()[slot].addr.as_str();
+            conns[slot] = Some(
+                NetClient::connect(addr, timeout)
+                    .map_err(|e| format!("dialling shard at {addr}: {e}"))?,
+            );
+        }
+        Ok(())
+    };
+
+    for source in 0..n {
+        connect(&mut conns, source)?;
+        let keys = conns[source]
+            .as_mut()
+            .expect("just connected")
+            .keys()
+            .map_err(|e| format!("listing keys on shard {}: {e}", ring.shards()[source].id))?;
+        report.scanned += keys.len() as u64;
+
+        // Group misplaced keys by their new owner.
+        let mut by_owner: Vec<Vec<[u8; 16]>> = (0..n).map(|_| Vec::new()).collect();
+        for key in keys {
+            let owner = ring.slot_for(&key);
+            if owner != source {
+                by_owner[owner].push(key);
+            }
+        }
+
+        for (owner, misplaced) in by_owner.into_iter().enumerate() {
+            for chunk in misplaced.chunks(batch_records) {
+                // Fetch the batch from the source.
+                let mut records = Vec::with_capacity(chunk.len());
+                for &key in chunk {
+                    let got = conns[source]
+                        .as_mut()
+                        .expect("source connected")
+                        .call(&Request::Get { key })
+                        .map_err(|e| format!("fetching record: {e}"))?;
+                    match got {
+                        Response::GetOk { blob } => {
+                            report.bytes += blob.len() as u64;
+                            records.push((key, blob));
+                        }
+                        // Deleted between enumeration and fetch: fine.
+                        Response::Error {
+                            code: ErrorCode::UnknownKey,
+                            ..
+                        } => {}
+                        other => return Err(format!("unexpected get reply: {other:?}")),
+                    }
+                }
+                if records.is_empty() {
+                    continue;
+                }
+                let batch_keys: Vec<[u8; 16]> = records.iter().map(|(k, _)| *k).collect();
+                connect(&mut conns, owner)?;
+                let (stored, deduped) = conns[owner]
+                    .as_mut()
+                    .expect("owner connected")
+                    .migrate_batch(epoch, records)
+                    .map_err(|e| {
+                        format!("migrating to shard {}: {e}", ring.shards()[owner].id)
+                    })?;
+                report.moved += stored;
+                report.deduped += deduped;
+                // Only now is the source copy redundant.
+                for key in batch_keys {
+                    if conns[source]
+                        .as_mut()
+                        .expect("source connected")
+                        .remove(key)
+                        .map_err(|e| format!("removing migrated record: {e}"))?
+                    {
+                        report.removed += 1;
+                    }
+                }
+            }
+        }
+    }
+    for conn in conns.into_iter().flatten() {
+        let _ = conn.bye();
+    }
+    Ok(report)
+}

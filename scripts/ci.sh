@@ -76,6 +76,18 @@ timeout 300 cargo test --release -p dnacomp-server --test net -- --nocapture \
     chaos_soak_survives_fault_injected_clients \
     malformed_frames_get_typed_replies_then_the_axe
 
+# Router chaos soak: a 3-shard cluster behind the consistent-hash
+# router, fault-injected clients, one shard killed and restarted
+# mid-run. Proves the failure discipline end-to-end: exactly one typed
+# reply per request, no acknowledged Put lost, strike-based ejection
+# and re-admission both observed. Every op is deadline-bounded, so a
+# wedged forward path must fail here, not hang CI. 300 s is ~100x its
+# observed runtime.
+step "router chaos soak (isolated, 300 s timeout)"
+timeout 300 cargo test --release -p dnacomp-server --test route -- --nocapture \
+    chaos_soak_with_shard_kill_loses_no_acked_puts \
+    gets_via_router_are_byte_identical_to_direct_shard_gets
+
 # Wire-path throughput gate: the same synthetic workload as
 # bench-serve, but every job crosses real loopback TCP. Asserts exact
 # job accounting (completed + refused == jobs) and zero protocol
@@ -86,6 +98,25 @@ if [ "$QUICK" -eq 0 ]; then
     timeout 300 cargo run --release --quiet --bin dnacomp -- bench-serve \
         --listen 127.0.0.1:0 --clients 4 --workers 4 --files 12 --contexts 4 \
         --repeats 1 --out BENCH_net.json
+fi
+
+# Routed-cluster throughput gate: the bench-serve workload pushed
+# through the router at 1 and 3 shards, with clients held above one
+# shard's back-end connection budget. The headline ratio must clear
+# 1.5x (the checked-in artifact shows >= 2x; the gate leaves margin
+# for loaded CI machines). Exact accounting is asserted inside the
+# bench itself. Skipped under --quick (needs the release binary).
+if [ "$QUICK" -eq 0 ]; then
+    step "routed throughput gate: dnacomp bench-serve --route (300 s timeout)"
+    timeout 300 cargo run --release --quiet --bin dnacomp -- bench-serve \
+        --route --out /tmp/BENCH_route_ci.json
+    speedup=$(grep -o '"speedup_3_vs_1":[0-9.]*' /tmp/BENCH_route_ci.json \
+        | cut -d: -f2)
+    echo "routed speedup 3 vs 1: ${speedup}x"
+    awk -v s="$speedup" 'BEGIN { exit (s >= 1.5) ? 0 : 1 }' || {
+        echo "routed speedup ${speedup}x below the 1.5x floor" >&2
+        exit 1
+    }
 fi
 
 # Perf smoke gate: `bench-algos --quick` compresses a small corpus with

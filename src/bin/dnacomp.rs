@@ -27,9 +27,10 @@ use dnacomp::seq::gen::GenomeModel;
 use dnacomp::seq::corpus::CorpusBuilder;
 use dnacomp::seq::PackedSeq;
 use dnacomp::server::{
-    build_workload, run_algo_bench, run_bench, run_net_bench, AlgoBenchConfig, BenchConfig,
-    ClientError, CompressionService, DlqDir, NetBenchConfig, NetClient, NetConfig, NetServer,
-    Priority, Response, ServiceConfig,
+    build_workload, rebalance, run_algo_bench, run_bench, run_net_bench, run_route_bench,
+    AlgoBenchConfig, BenchConfig, ClientError, CompressionService, DlqDir, NetBenchConfig,
+    NetClient, NetConfig, NetServer, Priority, Response, Ring, RouteBenchConfig, RouterConfig,
+    RouterServer, ServiceConfig, ShardSpec, DEFAULT_RING_SEED, DEFAULT_VNODES,
 };
 use dnacomp::store::{ContentKey, SequenceStore, StoreConfig};
 use std::process::ExitCode;
@@ -86,11 +87,20 @@ const USAGE: &str = "usage:
                 [--quarantine-after <n>] [--dlq-dir <dir>]
                 [--block-size <bases>] [--exchange] [--json]
                 [--listen <addr>] [--serve-secs <x>] [--max-conns <n>]
+                [--shard-id <n>] [--epoch <n>]
+  dnacomp route serve --listen <addr> --shards <addr,addr,…>
+                      [--vnodes <n>] [--seed <n>] [--pool <n>]
+                      [--shard-timeout-ms <n>] [--probe-ms <n>]
+                      [--max-conns <n>] [--route-secs <x>]
+  dnacomp route rebalance --shards <addr,addr,…> [--vnodes <n>] [--seed <n>]
+                          [--batch <n>] [--timeout-ms <n>]
   dnacomp client <ping|metrics|compress|get|stat> --addr <host:port>
-                 [--timeout-ms <n>] [--priority high|normal|low] [args…]
+                 [--timeout-ms <n>] [--retry <n>]
+                 [--priority high|normal|low] [args…]
   dnacomp bench-serve [--workers 1,4,8] [--files <n>] [--contexts <n>]
                       [--repeats <n>] [--block-size <bases>] [--json] [--out <path>]
                       [--listen <addr>] [--clients <n>]
+                      [--route] [--shards 1,3] [--pool <n>]
   dnacomp bench-algos [--quick] [--threads <n>] [--lanes <n>]
                       [--block-size <bases>] [--json] [--out <path>]
   dnacomp dlq list --dir <dlq-dir> [--json]
@@ -109,9 +119,18 @@ service and prints the metrics registry; with --listen it instead
 starts the TCP front-end and serves the wire protocol (--serve-secs
 bounds the run; 0 or absent serves until killed). client speaks that
 protocol: `ping`, `metrics`, `compress <in.fa>`, `get <key> <out.fa>`,
-`stat [<key>]`; connection refused/timeout are runtime errors (exit 1).
+`stat [<key>]`; connection refused/timeout are runtime errors (exit 1),
+and --retry N redials with jittered exponential backoff first.
+route serve fronts a shard fleet with a consistent-hash router: keyed
+requests forward to their owner shard (successor retry on failure),
+health probes eject dead shards, and `client metrics` against the
+router returns the aggregated per-shard rollup; route rebalance
+migrates misplaced keys between shard stores in checksummed batches
+after a membership change. serve --shard-id/--epoch pin a shard's
+identity for epoch-checked handshakes.
 bench-serve --listen runs the loopback network throughput bench and
-writes BENCH_net.json. (add --store <dir> to persist
+writes BENCH_net.json; bench-serve --route sweeps shard counts behind
+a router and writes BENCH_route.json. (add --store <dir> to persist
 every result; --panic-rate/--kill-rate inject deterministic worker
 faults and --dlq-dir persists the quarantine at shutdown; --block-size
 compresses big jobs as block-parallel frames on the shared pool);
@@ -130,6 +149,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         Some("info") => cmd_info(&args[1..]),
         Some("decide") => cmd_decide(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("route") => cmd_route(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
         Some("bench-serve") => cmd_bench_serve(&args[1..]),
         Some("bench-algos") => cmd_bench_algos(&args[1..]),
@@ -147,7 +167,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
 }
 
 /// Flags that take no value (`--json`, not `--json true`).
-const BOOLEAN_FLAGS: [&str; 3] = ["json", "exchange", "quick"];
+const BOOLEAN_FLAGS: [&str; 4] = ["json", "exchange", "quick", "route"];
 
 /// Pull `--flag value` out of an argument list; remaining positionals
 /// are returned in order. Flags in [`BOOLEAN_FLAGS`] consume no value
@@ -591,6 +611,20 @@ fn serve_listen(
     if let Some(v) = flags.get("max-conns") {
         net.max_connections = v.parse().map_err(|e| usage(format!("--max-conns: {e}")))?;
     }
+    // Cluster identity: --shard-id is the id this node answers to in
+    // epoch handshakes; --epoch pins the node to one ring epoch (a
+    // mismatching HelloEpoch is refused with `wrong-shard`). Leaving
+    // both off keeps the node epoch-agnostic, as before.
+    if let Some(v) = flags.get("shard-id") {
+        net.shard_id = v.parse().map_err(|e| usage(format!("--shard-id: {e}")))?;
+    }
+    if let Some(v) = flags.get("epoch") {
+        let epoch = match v.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16).map_err(|e| usage(format!("--epoch: {e}"))),
+            None => v.parse().map_err(|e| usage(format!("--epoch: {e}"))),
+        }?;
+        net.epoch = Some(epoch);
+    }
     let service = Arc::new(CompressionService::start(framework, svc));
     let server = NetServer::start(Arc::clone(&service), listen, net)
         .map_err(|e| CliError::Runtime(format!("binding {listen}: {e}")))?;
@@ -608,6 +642,173 @@ fn serve_listen(
     let snapshot = service.shutdown();
     println!("{}", snapshot.to_json());
     Ok(())
+}
+
+/// Parse `--shards` into ring shard specs: a comma-separated address
+/// list (`127.0.0.1:7101,127.0.0.1:7102`) with ids assigned 1..=N in
+/// order, or explicit `id=addr` entries.
+fn parse_shards(list: &str) -> Result<Vec<ShardSpec>, CliError> {
+    let mut specs = Vec::new();
+    for (i, entry) in list.split(',').enumerate() {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            return Err(usage("--shards: empty entry in shard list"));
+        }
+        let spec = match entry.split_once('=') {
+            Some((id, addr)) => ShardSpec {
+                id: id
+                    .trim()
+                    .parse()
+                    .map_err(|e| usage(format!("--shards: shard id {id:?}: {e}")))?,
+                addr: addr.trim().to_owned(),
+            },
+            None => ShardSpec {
+                id: i as u32 + 1,
+                addr: entry.to_owned(),
+            },
+        };
+        specs.push(spec);
+    }
+    Ok(specs)
+}
+
+/// Build the consistent-hash ring from `--shards`/`--vnodes`/`--seed`.
+fn ring_from_flags(
+    flags: &std::collections::HashMap<String, String>,
+) -> Result<Ring, CliError> {
+    let shards = parse_shards(
+        flags
+            .get("shards")
+            .ok_or_else(|| usage("route: --shards <addr,addr,…> required"))?,
+    )?;
+    let vnodes: u32 = flags
+        .get("vnodes")
+        .map(|v| v.parse().map_err(|e| usage(format!("--vnodes: {e}"))))
+        .unwrap_or(Ok(DEFAULT_VNODES))?;
+    let seed: u64 = flags
+        .get("seed")
+        .map(|v| v.parse().map_err(|e| usage(format!("--seed: {e}"))))
+        .unwrap_or(Ok(DEFAULT_RING_SEED))?;
+    Ring::new(shards, vnodes, seed).map_err(CliError::Runtime)
+}
+
+/// `dnacomp route <serve|rebalance>` — the shard router front-end and
+/// the over-the-wire key migration it needs after membership changes.
+fn cmd_route(args: &[String]) -> Result<(), CliError> {
+    let sub = args
+        .first()
+        .ok_or_else(|| usage("route: need a subcommand (serve|rebalance)"))?;
+    let (flags, _) = parse_flags(&args[1..]);
+    match sub.as_str() {
+        "serve" => {
+            let listen = flags
+                .get("listen")
+                .ok_or_else(|| usage("route serve: --listen <host:port> required"))?;
+            let ring = ring_from_flags(&flags)?;
+            let mut cfg = RouterConfig::default();
+            if let Some(v) = flags.get("pool") {
+                cfg.pool_per_shard = v.parse().map_err(|e| usage(format!("--pool: {e}")))?;
+            }
+            if let Some(v) = flags.get("shard-timeout-ms") {
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|e| usage(format!("--shard-timeout-ms: {e}")))?;
+                cfg.shard_timeout = std::time::Duration::from_millis(ms.max(1));
+            }
+            if let Some(v) = flags.get("probe-ms") {
+                let ms: u64 = v.parse().map_err(|e| usage(format!("--probe-ms: {e}")))?;
+                cfg.probe_interval = std::time::Duration::from_millis(ms.max(1));
+            }
+            if let Some(v) = flags.get("max-conns") {
+                cfg.max_connections =
+                    v.parse().map_err(|e| usage(format!("--max-conns: {e}")))?;
+            }
+            let route_secs: f64 = flags
+                .get("route-secs")
+                .map(|v| v.parse().map_err(|e| usage(format!("--route-secs: {e}"))))
+                .unwrap_or(Ok(0.0))?;
+            let router = RouterServer::start(listen.as_str(), ring, cfg)
+                .map_err(|e| CliError::Runtime(format!("binding {listen}: {e}")))?;
+            eprintln!(
+                "routing on {} (epoch {:#x}, {} shard(s))",
+                router.local_addr(),
+                router.epoch(),
+                router.metrics_snapshot().shards.len()
+            );
+            if route_secs > 0.0 {
+                std::thread::sleep(std::time::Duration::from_secs_f64(route_secs));
+            } else {
+                loop {
+                    std::thread::park();
+                }
+            }
+            let snapshot = router.shutdown();
+            println!("{}", snapshot.to_json());
+            Ok(())
+        }
+        "rebalance" => {
+            let ring = ring_from_flags(&flags)?;
+            let timeout_ms: u64 = flags
+                .get("timeout-ms")
+                .map(|v| v.parse().map_err(|e| usage(format!("--timeout-ms: {e}"))))
+                .unwrap_or(Ok(10_000))?;
+            let batch: usize = flags
+                .get("batch")
+                .map(|v| v.parse().map_err(|e| usage(format!("--batch: {e}"))))
+                .unwrap_or(Ok(64))?;
+            let report = rebalance(
+                &ring,
+                std::time::Duration::from_millis(timeout_ms.max(1)),
+                batch,
+            )
+            .map_err(CliError::Runtime)?;
+            eprintln!(
+                "rebalance (epoch {:#x}): scanned {}, moved {} ({} deduped), removed {}, {} container byte(s) shipped",
+                ring.epoch(),
+                report.scanned,
+                report.moved,
+                report.deduped,
+                report.removed,
+                report.bytes
+            );
+            Ok(())
+        }
+        other => Err(usage(format!("route: unknown subcommand {other:?}"))),
+    }
+}
+
+/// Dial `addr`, retrying up to `retries` times on connection failure
+/// with the cloud retry policy's jittered exponential backoff (keyed
+/// on the address, so a fleet of clients hammering the same recovering
+/// server de-synchronises instead of stampeding).
+fn connect_with_retry(
+    addr: &str,
+    timeout: std::time::Duration,
+    retries: u32,
+) -> Result<NetClient<std::net::TcpStream>, ClientError> {
+    let policy = dnacomp::cloud::RetryPolicy {
+        max_attempts: retries.saturating_add(1),
+        budget_ms: f64::INFINITY,
+        ..dnacomp::cloud::RetryPolicy::default()
+    };
+    let key = dnacomp::codec::checksum::fnv1a(addr.as_bytes());
+    let delays = policy.schedule(key);
+    let mut attempt = 0usize;
+    loop {
+        match NetClient::connect(addr, timeout) {
+            Ok(client) => return Ok(client),
+            Err(e) => {
+                let Some(delay_ms) = delays.get(attempt) else {
+                    return Err(e);
+                };
+                attempt += 1;
+                eprintln!(
+                    "connect {addr} failed ({e}); retry {attempt}/{retries} in {delay_ms:.0} ms"
+                );
+                std::thread::sleep(std::time::Duration::from_secs_f64(delay_ms / 1_000.0));
+            }
+        }
+    }
 }
 
 /// `dnacomp client <ping|metrics|compress|get|stat>` — speak the wire
@@ -630,13 +831,16 @@ fn cmd_client(args: &[String]) -> Result<(), CliError> {
         .map(|v| v.parse().map_err(|e| usage(format!("--timeout-ms: {e}"))))
         .unwrap_or(Ok(10_000))?;
     let timeout = std::time::Duration::from_millis(timeout_ms.max(1));
+    let retries: u32 = flags
+        .get("retry")
+        .map(|v| v.parse().map_err(|e| usage(format!("--retry: {e}"))))
+        .unwrap_or(Ok(0))?;
     // Connection refused, handshake failure and response timeouts are
     // all runtime errors: exit code 1, like any other unreachable
     // resource — usage mistakes stay exit code 2.
     let client_err =
         |what: &str, e: ClientError| CliError::Runtime(format!("client {what} ({addr}): {e}"));
-    let mut client =
-        NetClient::connect(addr.as_str(), timeout).map_err(|e| client_err("connect", e))?;
+    let mut client = connect_with_retry(addr, timeout, retries).map_err(|e| client_err("connect", e))?;
     let parse_key = |hex: &str| {
         ContentKey::from_hex(hex)
             .ok_or_else(|| CliError::Runtime(format!("invalid key {hex:?} (32 hex digits)")))
@@ -733,6 +937,9 @@ fn cmd_client(args: &[String]) -> Result<(), CliError> {
 
 fn cmd_bench_serve(args: &[String]) -> Result<(), CliError> {
     let (flags, _) = parse_flags(args);
+    if flags.contains_key("route") {
+        return bench_serve_route(&flags);
+    }
     let mut cfg = bench_config_from_flags(&flags)?;
     if let Some(listen) = flags.get("listen") {
         return bench_serve_listen(listen, &cfg, &flags);
@@ -772,6 +979,76 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), CliError> {
                 p.cache_hit_rate * 100.0,
                 p.speedup_vs_one
             );
+        }
+    }
+    Ok(())
+}
+
+/// `bench-serve --route`: the routed-cluster throughput sweep
+/// (BENCH_route.json). Sweeps shard counts behind a router and reports
+/// the 3-vs-1 aggregate speedup.
+fn bench_serve_route(
+    flags: &std::collections::HashMap<String, String>,
+) -> Result<(), CliError> {
+    let mut cfg = RouteBenchConfig::default();
+    if let Some(list) = flags.get("shards") {
+        cfg.shard_counts = list
+            .split(',')
+            .map(|w| w.trim().parse().map_err(|e| usage(format!("--shards: {e}"))))
+            .collect::<Result<_, _>>()?;
+        if cfg.shard_counts.is_empty() {
+            return Err(usage("--shards: need at least one count"));
+        }
+    }
+    let parse_usize = |name: &str, default: usize| -> Result<usize, CliError> {
+        flags
+            .get(name)
+            .map(|v| v.parse().map_err(|e| usage(format!("--{name}: {e}"))))
+            .unwrap_or(Ok(default))
+    };
+    cfg.clients = parse_usize("clients", cfg.clients)?.max(1);
+    cfg.pool_per_shard = parse_usize("pool", cfg.pool_per_shard)?.max(1);
+    cfg.workers_per_shard = flags
+        .get("workers")
+        .and_then(|list| list.split(',').next().map(str::trim).map(str::parse))
+        .transpose()
+        .map_err(|e| usage(format!("--workers: {e}")))?
+        .unwrap_or(cfg.workers_per_shard);
+    cfg.workload.files = parse_usize("files", cfg.workload.files)?;
+    cfg.workload.contexts = parse_usize("contexts", cfg.workload.contexts)?;
+    cfg.workload.repeats = parse_usize("repeats", cfg.workload.repeats)?;
+    eprintln!(
+        "bench-serve --route: {} files × {} contexts × {} passes over {} client(s); \
+         shard counts {:?}, {} worker(s) and pool {} per shard …",
+        cfg.workload.files,
+        cfg.workload.contexts,
+        cfg.workload.repeats,
+        cfg.clients,
+        cfg.shard_counts,
+        cfg.workers_per_shard,
+        cfg.pool_per_shard
+    );
+    let report = run_route_bench(&cfg).map_err(CliError::Runtime)?;
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if flags.contains_key("json") {
+        println!("{}", report.to_json());
+    } else {
+        println!(
+            "{:>6}  {:>5}  {:>13}  {:>9}  {:>8}  {:>9}",
+            "shards", "jobs", "jobs/s(wall)", "forwards", "retries", "ejections"
+        );
+        for r in &report.rows {
+            println!(
+                "{:>6}  {:>5}  {:>13.1}  {:>9}  {:>8}  {:>9}",
+                r.shards, r.jobs, r.jobs_per_wall_sec, r.route_forwards, r.route_retries,
+                r.shard_ejections
+            );
+        }
+        if report.speedup_3_vs_1 > 0.0 {
+            println!("speedup 3 vs 1: {:.2}x", report.speedup_3_vs_1);
         }
     }
     Ok(())

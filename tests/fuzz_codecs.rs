@@ -256,3 +256,146 @@ fn container_wire_format_fuzz_never_panics() {
         let _ = CompressedBlob::from_bytes(&bytes); // must not panic
     }
 }
+
+// ---------------------------------------------------------------------------
+// Router wire frames: the "DW" protocol's ring-aware types under attack
+// ---------------------------------------------------------------------------
+
+use dnacomp::server::{
+    decode_frame, migrate_batch_checksum, request_frame, ProtoError, Request, MAX_WIRE_PAYLOAD,
+};
+
+/// Build a genuine MigrateBatch request with `n` small records.
+fn sample_migrate(n: usize, seed: u64) -> Request {
+    Request::MigrateBatch {
+        epoch: mix64(seed),
+        records: (0..n)
+            .map(|i| {
+                let mut key = [0u8; 16];
+                key.copy_from_slice(&noise_bytes(seed ^ i as u64, 16));
+                (key, noise_bytes(seed.wrapping_add(i as u64), 24 + i))
+            })
+            .collect(),
+    }
+}
+
+#[test]
+fn router_frames_survive_mutation_with_typed_errors() {
+    // Genuine frames for every ring-aware request type.
+    let frames: Vec<Vec<u8>> = vec![
+        request_frame(&Request::HelloEpoch {
+            version: 1,
+            epoch: 0xDEAD_BEEF_0BAD_F00D,
+            shard: 3,
+        }),
+        request_frame(&Request::Keys),
+        request_frame(&Request::Remove { key: [0xA5; 16] }),
+        request_frame(&sample_migrate(4, 99)),
+    ];
+    for (f, clean) in frames.iter().enumerate() {
+        // Whole-frame byte flips: the frame layer's FNV checksum or the
+        // payload decoder must answer with a typed error — never a panic.
+        for i in 0..clean.len() {
+            for bit in [0x01u8, 0x80] {
+                let mut mutant = clean.clone();
+                mutant[i] ^= bit;
+                let r = std::panic::catch_unwind(|| {
+                    if let Ok((t, payload, _)) = decode_frame(&mutant, MAX_WIRE_PAYLOAD) {
+                        let _ = Request::decode(t, &payload);
+                    }
+                });
+                assert!(r.is_ok(), "frame {f}: flip at byte {i} panicked");
+            }
+        }
+        // Truncations never parse as a complete frame.
+        for i in 0..clean.len() {
+            assert!(
+                decode_frame(&clean[..i], MAX_WIRE_PAYLOAD).is_err(),
+                "frame {f}: truncation to {i} bytes parsed Ok"
+            );
+        }
+        // Payload-level mutation (bypassing the frame checksum): the
+        // request decoder itself must stay total, and any MigrateBatch
+        // that still decodes Ok must carry checksum-consistent records.
+        let (t, payload, _) = decode_frame(clean, MAX_WIRE_PAYLOAD).unwrap();
+        for i in 0..payload.len() {
+            let mut mutant = payload.clone();
+            mutant[i] ^= 0x40;
+            let r = std::panic::catch_unwind(|| Request::decode(t, &mutant));
+            match r {
+                Ok(Ok(Request::MigrateBatch { records, .. })) => {
+                    // The batch checksum held, so the records are what
+                    // the (mutated) trailer vouches for.
+                    let _ = migrate_batch_checksum(&records);
+                }
+                Ok(_) => {}
+                Err(_) => panic!("frame {f}: payload flip at byte {i} panicked"),
+            }
+        }
+    }
+}
+
+#[test]
+fn forged_migrate_counts_refused_before_allocation() {
+    // A lying record count over a near-empty payload must be refused
+    // on affordability, before any record vector is allocated.
+    for forged in [5u64, 1 << 20, u64::MAX >> 2] {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&7u64.to_le_bytes()); // epoch
+        push_uvarint(&mut payload, forged);
+        payload.extend_from_slice(&noise_bytes(forged, 16)); // scraps
+        match Request::decode(0x33, &payload) {
+            Err(ProtoError::Malformed(_)) | Err(ProtoError::Truncated) => {}
+            other => panic!("forged count {forged} not refused: {other:?}"),
+        }
+    }
+    // A batch whose trailer checksum lies about its records is refused
+    // even when every length field is internally consistent.
+    let clean = request_frame(&sample_migrate(3, 17));
+    let (t, mut payload, _) = decode_frame(&clean, MAX_WIRE_PAYLOAD).unwrap();
+    let n = payload.len();
+    payload[n - 1] ^= 0xFF; // corrupt the batch checksum trailer
+    match Request::decode(t, &payload) {
+        Err(ProtoError::Malformed(_)) => {}
+        other => panic!("lying batch checksum not refused: {other:?}"),
+    }
+}
+
+#[test]
+fn forged_epochs_and_shard_ids_decode_to_exactly_what_was_sent() {
+    // Epoch and shard id are *data* at the codec layer — policy (the
+    // router's epoch gate, the shard's identity check) rejects them
+    // later with typed WrongShard errors. The decoder's job is to
+    // neither panic nor mangle: every in-range forgery round-trips.
+    for seed in 0..50u64 {
+        let epoch = mix64(seed);
+        let shard = (mix64(seed ^ 0xF00D) & 0xFFFF_FFFF) as u32;
+        let frame = request_frame(&Request::HelloEpoch {
+            version: (seed % 4) as u8,
+            epoch,
+            shard,
+        });
+        let (t, payload, _) = decode_frame(&frame, MAX_WIRE_PAYLOAD).unwrap();
+        match Request::decode(t, &payload).unwrap() {
+            Request::HelloEpoch {
+                epoch: e,
+                shard: s,
+                ..
+            } => {
+                assert_eq!(e, epoch);
+                assert_eq!(s, shard);
+            }
+            other => panic!("HelloEpoch decoded as {other:?}"),
+        }
+    }
+    // A shard id over u32::MAX is the one forgery the decoder itself
+    // refuses: it cannot be represented, so it must not be truncated
+    // into an innocent-looking id.
+    let mut payload = vec![1u8]; // version
+    payload.extend_from_slice(&42u64.to_le_bytes()); // epoch
+    push_uvarint(&mut payload, u64::from(u32::MAX) + 1);
+    match Request::decode(0x30, &payload) {
+        Err(ProtoError::Malformed(_)) => {}
+        other => panic!("oversized shard id not refused: {other:?}"),
+    }
+}
