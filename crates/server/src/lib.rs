@@ -40,6 +40,7 @@ pub mod bench;
 pub mod bench_algos;
 pub mod bench_net;
 pub mod bench_route;
+pub mod bench_store;
 pub mod cache;
 pub mod conn;
 pub mod dlq;
@@ -63,6 +64,7 @@ pub use bench_algos::{
 };
 pub use bench_net::{run_net_bench, NetBenchConfig, NetBenchReport};
 pub use bench_route::{run_route_bench, RouteBenchConfig, RouteBenchReport, RouteBenchRow};
+pub use bench_store::{run_store_bench, OpenPoint, StoreBenchConfig, StoreBenchReport};
 pub use cache::{ContextKey, LruCache};
 pub use conn::{read_frame, write_frame, Checkout, CountingStream, FaultyStream, StreamPool, IO_TICK};
 pub use dlq::{DeadLetter, DeadLetterInfo, DeadLetterQueue, QuarantineRegistry};

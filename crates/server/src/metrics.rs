@@ -60,6 +60,14 @@ pub struct Metrics {
     store_dedup_hits: AtomicU64,
     store_bytes_on_disk: AtomicU64,
     store_scrub_failures: AtomicU64,
+    store_runs: AtomicU64,
+    store_tombstones: AtomicU64,
+    store_compactions: AtomicU64,
+    store_cache_hits: AtomicU64,
+    store_cache_misses: AtomicU64,
+    store_bloom_negatives: AtomicU64,
+    store_wal_appends: AtomicU64,
+    store_wal_batches: AtomicU64,
     worker_restarts: AtomicU64,
     jobs_panicked: AtomicU64,
     jobs_quarantined: AtomicU64,
@@ -103,6 +111,14 @@ impl Default for Metrics {
             store_dedup_hits: AtomicU64::new(0),
             store_bytes_on_disk: AtomicU64::new(0),
             store_scrub_failures: AtomicU64::new(0),
+            store_runs: AtomicU64::new(0),
+            store_tombstones: AtomicU64::new(0),
+            store_compactions: AtomicU64::new(0),
+            store_cache_hits: AtomicU64::new(0),
+            store_cache_misses: AtomicU64::new(0),
+            store_bloom_negatives: AtomicU64::new(0),
+            store_wal_appends: AtomicU64::new(0),
+            store_wal_batches: AtomicU64::new(0),
             worker_restarts: AtomicU64::new(0),
             jobs_panicked: AtomicU64::new(0),
             jobs_quarantined: AtomicU64::new(0),
@@ -207,13 +223,29 @@ impl Metrics {
         }
     }
 
-    /// Refresh the store gauges from a store snapshot: committed bytes
-    /// on disk and records that ever failed a scrub.
-    pub fn set_store_state(&self, bytes_on_disk: u64, scrub_failures: u64) {
+    /// Refresh the store gauges from a store snapshot: disk usage, LSM
+    /// shape (runs, tombstones, compactions), read-path efficiency
+    /// (block cache, bloom negatives), and WAL group-commit batching.
+    pub fn set_store_state(&self, snap: &dnacomp_store::StoreSnapshot) {
         self.store_bytes_on_disk
-            .store(bytes_on_disk, Ordering::Relaxed);
+            .store(snap.bytes_on_disk, Ordering::Relaxed);
         self.store_scrub_failures
-            .fetch_max(scrub_failures, Ordering::Relaxed);
+            .fetch_max(snap.scrub_failures, Ordering::Relaxed);
+        self.store_runs.store(snap.runs, Ordering::Relaxed);
+        self.store_tombstones
+            .store(snap.tombstones, Ordering::Relaxed);
+        self.store_compactions
+            .store(snap.seals + snap.merges, Ordering::Relaxed);
+        self.store_cache_hits
+            .store(snap.cache_hits, Ordering::Relaxed);
+        self.store_cache_misses
+            .store(snap.cache_misses, Ordering::Relaxed);
+        self.store_bloom_negatives
+            .store(snap.bloom_negatives, Ordering::Relaxed);
+        self.store_wal_appends
+            .store(snap.wal_appends, Ordering::Relaxed);
+        self.store_wal_batches
+            .store(snap.wal_batches, Ordering::Relaxed);
     }
 
     /// The supervisor replaced a dead worker thread.
@@ -401,6 +433,14 @@ impl Metrics {
             store_dedup_hits: self.store_dedup_hits.load(Ordering::Relaxed),
             store_bytes_on_disk: self.store_bytes_on_disk.load(Ordering::Relaxed),
             store_scrub_failures: self.store_scrub_failures.load(Ordering::Relaxed),
+            store_runs: self.store_runs.load(Ordering::Relaxed),
+            store_tombstones: self.store_tombstones.load(Ordering::Relaxed),
+            store_compactions: self.store_compactions.load(Ordering::Relaxed),
+            store_cache_hits: self.store_cache_hits.load(Ordering::Relaxed),
+            store_cache_misses: self.store_cache_misses.load(Ordering::Relaxed),
+            store_bloom_negatives: self.store_bloom_negatives.load(Ordering::Relaxed),
+            store_wal_appends: self.store_wal_appends.load(Ordering::Relaxed),
+            store_wal_batches: self.store_wal_batches.load(Ordering::Relaxed),
             worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
             jobs_panicked: self.jobs_panicked.load(Ordering::Relaxed),
             jobs_quarantined: self.jobs_quarantined.load(Ordering::Relaxed),
@@ -476,6 +516,31 @@ pub struct MetricsSnapshot {
     pub store_bytes_on_disk: u64,
     /// Store records that ever failed checksum validation.
     pub store_scrub_failures: u64,
+    /// Sorted runs (level ≥ 1 files) in the store at the last persist.
+    #[serde(default)]
+    pub store_runs: u64,
+    /// Run-resident records removed but not yet merged away.
+    #[serde(default)]
+    pub store_tombstones: u64,
+    /// L0 seals plus run merges since the store opened.
+    #[serde(default)]
+    pub store_compactions: u64,
+    /// Store block-cache hits since open.
+    #[serde(default)]
+    pub store_cache_hits: u64,
+    /// Store block-cache misses since open.
+    #[serde(default)]
+    pub store_cache_misses: u64,
+    /// Run probes answered "absent" by a bloom filter, zero disk I/O.
+    #[serde(default)]
+    pub store_bloom_negatives: u64,
+    /// Store manifest entries appended (WAL appends) since open.
+    #[serde(default)]
+    pub store_wal_appends: u64,
+    /// Fsync batches covering those appends; the gap to
+    /// `store_wal_appends` is the group-commit saving.
+    #[serde(default)]
+    pub store_wal_batches: u64,
     /// Dead worker threads the supervisor replaced.
     pub worker_restarts: u64,
     /// Jobs whose panic was contained (`Err(JobError::Panicked)`).

@@ -779,18 +779,32 @@ fn dispatch(
                     format!(
                         concat!(
                             "{{\"records\":{},\"segments\":{},",
+                            "\"runs\":{},\"tombstones\":{},",
                             "\"bytes_on_disk\":{},\"live_bytes\":{},",
                             "\"puts\":{},\"dedup_hits\":{},",
-                            "\"removes\":{},\"scrub_failures\":{}}}"
+                            "\"removes\":{},\"scrub_failures\":{},",
+                            "\"seals\":{},\"merges\":{},",
+                            "\"bloom_negatives\":{},",
+                            "\"cache_hits\":{},\"cache_misses\":{},",
+                            "\"wal_appends\":{},\"wal_batches\":{}}}"
                         ),
                         s.records,
                         s.segments,
+                        s.runs,
+                        s.tombstones,
                         s.bytes_on_disk,
                         s.live_bytes,
                         s.puts,
                         s.dedup_hits,
                         s.removes,
-                        s.scrub_failures
+                        s.scrub_failures,
+                        s.seals,
+                        s.merges,
+                        s.bloom_negatives,
+                        s.cache_hits,
+                        s.cache_misses,
+                        s.wal_appends,
+                        s.wal_batches
                     )
                 }
                 Some(key) => match store.stat(&ContentKey(key)) {
@@ -798,13 +812,14 @@ fn dispatch(
                         concat!(
                             "{{\"key\":\"{}\",\"algorithm\":\"{}\",",
                             "\"original_len\":{},\"stored_bytes\":{},",
-                            "\"segment\":{}}}"
+                            "\"segment\":{},\"level\":{}}}"
                         ),
                         rs.key.to_hex(),
                         rs.algorithm.name(),
                         rs.original_len,
                         rs.stored_bytes,
-                        rs.segment
+                        rs.segment,
+                        rs.level
                     ),
                     None => {
                         return (

@@ -332,12 +332,32 @@ fn forward(
 struct ShardStat {
     records: u64,
     segments: u64,
+    // Engine fields newer shards report; `default` keeps a mixed-epoch
+    // cluster aggregating instead of dropping the older shards.
+    #[serde(default)]
+    runs: u64,
+    #[serde(default)]
+    tombstones: u64,
     bytes_on_disk: u64,
     live_bytes: u64,
     puts: u64,
     dedup_hits: u64,
     removes: u64,
     scrub_failures: u64,
+    #[serde(default)]
+    seals: u64,
+    #[serde(default)]
+    merges: u64,
+    #[serde(default)]
+    bloom_negatives: u64,
+    #[serde(default)]
+    cache_hits: u64,
+    #[serde(default)]
+    cache_misses: u64,
+    #[serde(default)]
+    wal_appends: u64,
+    #[serde(default)]
+    wal_batches: u64,
 }
 
 /// The merged store stat the router reports for `Stat {key: None}`:
@@ -347,12 +367,21 @@ struct ClusterStat {
     shards_reporting: u64,
     records: u64,
     segments: u64,
+    runs: u64,
+    tombstones: u64,
     bytes_on_disk: u64,
     live_bytes: u64,
     puts: u64,
     dedup_hits: u64,
     removes: u64,
     scrub_failures: u64,
+    seals: u64,
+    merges: u64,
+    bloom_negatives: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    wal_appends: u64,
+    wal_batches: u64,
 }
 
 /// Aggregate `Stat {key: None}` across every healthy shard.
@@ -371,12 +400,21 @@ fn aggregate_stat(shared: &RouterShared) -> Response {
                 sum.shards_reporting += 1;
                 sum.records += stat.records;
                 sum.segments += stat.segments;
+                sum.runs += stat.runs;
+                sum.tombstones += stat.tombstones;
                 sum.bytes_on_disk += stat.bytes_on_disk;
                 sum.live_bytes += stat.live_bytes;
                 sum.puts += stat.puts;
                 sum.dedup_hits += stat.dedup_hits;
                 sum.removes += stat.removes;
                 sum.scrub_failures += stat.scrub_failures;
+                sum.seals += stat.seals;
+                sum.merges += stat.merges;
+                sum.bloom_negatives += stat.bloom_negatives;
+                sum.cache_hits += stat.cache_hits;
+                sum.cache_misses += stat.cache_misses;
+                sum.wal_appends += stat.wal_appends;
+                sum.wal_batches += stat.wal_batches;
             }
         }
     }

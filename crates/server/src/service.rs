@@ -318,6 +318,16 @@ pub struct ServiceConfig {
     /// Dead letters held before the oldest is evicted (and counted in
     /// the `dlq_dropped` metric).
     pub dlq_capacity: usize,
+    /// Background store scrub interval. `Some(d)` with a store attached
+    /// spawns a [`dnacomp_store::ScrubTask`] auditing
+    /// [`scrub_records_per_tick`](Self::scrub_records_per_tick) run
+    /// records from disk every `d`; failures feed the
+    /// `store_scrub_failures` metric. `None` (default): no background
+    /// scrubbing — explicit `verify` still works.
+    pub scrub_interval: Option<Duration>,
+    /// Records audited per scrub tick (ignored without
+    /// [`scrub_interval`](Self::scrub_interval)).
+    pub scrub_records_per_tick: usize,
 }
 
 impl Default for ServiceConfig {
@@ -336,6 +346,8 @@ impl Default for ServiceConfig {
             quarantine_after: 2,
             restart_budget: 8,
             dlq_capacity: 64,
+            scrub_interval: None,
+            scrub_records_per_tick: 256,
         }
     }
 }
@@ -350,6 +362,7 @@ pub struct CompressionService {
     block_pool: Arc<TaskPool>,
     shed_above: Option<usize>,
     supervisor: Option<std::thread::JoinHandle<()>>,
+    scrub: Option<dnacomp_store::ScrubTask>,
 }
 
 impl CompressionService {
@@ -373,6 +386,15 @@ impl CompressionService {
         let block_pool = Arc::new(TaskPool::new(config.workers));
         let shed_above = config.shed_above;
         let restart_budget = config.restart_budget;
+        // Background scrub: only meaningful with a store to audit.
+        let scrub = match (config.scrub_interval, config.store.as_ref()) {
+            (Some(interval), Some(store)) => Some(dnacomp_store::ScrubTask::start(
+                Arc::clone(store),
+                interval,
+                config.scrub_records_per_tick,
+            )),
+            _ => None,
+        };
         let shared = supervisor::PoolShared {
             queue: Arc::clone(&queue),
             framework,
@@ -412,6 +434,7 @@ impl CompressionService {
             block_pool,
             shed_above,
             supervisor: Some(supervisor),
+            scrub,
         }
     }
 
@@ -547,6 +570,9 @@ impl CompressionService {
     }
 
     fn shutdown_in_place(&mut self) {
+        if let Some(scrub) = self.scrub.take() {
+            scrub.stop();
+        }
         self.queue.close();
         if let Some(h) = self.supervisor.take() {
             // The supervisor joins (and keeps respawning, budget

@@ -170,8 +170,7 @@ fn persist(
         .map_err(JobError::Store)?;
     ctx.metrics.record_store_put(outcome.deduped);
     let snap = store.snapshot();
-    ctx.metrics
-        .set_store_state(snap.bytes_on_disk, snap.scrub_failures);
+    ctx.metrics.set_store_state(&snap);
     Ok(Some(outcome))
 }
 

@@ -1,0 +1,317 @@
+//! Sharded LRU block cache for hot gets out of sorted runs.
+//!
+//! Run data blocks are immutable once written (a block moves only by
+//! being rewritten into a *new* run id during a merge, and run ids are
+//! never reused), so a cached block never needs invalidation for
+//! correctness — [`BlockCache::purge_run`] after a merge only releases
+//! budget held by blocks that can never be asked for again.
+//!
+//! The cache is split into [`CACHE_SHARDS`] independently locked shards
+//! keyed by `(run, block)` so concurrent readers do not contend on one
+//! lock, mirroring the store's sharded key index. Each shard enforces
+//! its slice of the byte budget with exact LRU order (a hash map for
+//! lookup plus a monotonic-stamp ordering map for eviction, both
+//! `O(log n)` per touch). Hit/miss/eviction counters feed the server's
+//! metrics snapshot.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Number of independently locked cache shards.
+pub const CACHE_SHARDS: usize = 16;
+
+/// Point-in-time cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from memory.
+    pub hits: u64,
+    /// Lookups that fell through to disk.
+    pub misses: u64,
+    /// Blocks inserted.
+    pub insertions: u64,
+    /// Blocks evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Bytes currently held.
+    pub bytes: u64,
+    /// Configured byte budget (0 = cache disabled).
+    pub budget: u64,
+}
+
+/// A cached block plus its LRU stamp.
+type CachedBlock = (Arc<Vec<u8>>, u64);
+
+#[derive(Default)]
+struct Shard {
+    /// `(run, block)` → (bytes, LRU stamp).
+    map: HashMap<(u64, u32), CachedBlock>,
+    /// LRU stamp → key; the first entry is the eviction victim.
+    order: BTreeMap<u64, (u64, u32)>,
+    bytes: u64,
+    clock: u64,
+}
+
+/// Every critical section is a handful of map operations that are
+/// individually panic-free on valid state, so a poisoned shard is as
+/// valid as before the panic — recover rather than propagate.
+fn lock_shard(m: &Mutex<Shard>) -> MutexGuard<'_, Shard> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The sharded, byte-budgeted LRU block cache.
+#[derive(Debug)]
+pub struct BlockCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_budget: u64,
+    budget: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard")
+            .field("blocks", &self.map.len())
+            .field("bytes", &self.bytes)
+            .finish()
+    }
+}
+
+impl BlockCache {
+    /// A cache with `budget` total bytes across all shards; `0`
+    /// disables caching entirely (every lookup misses, nothing is
+    /// stored, counters stay zero).
+    pub fn new(budget: u64) -> BlockCache {
+        BlockCache {
+            shards: (0..CACHE_SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_budget: budget / CACHE_SHARDS as u64,
+            budget,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// `true` when a byte budget is configured.
+    pub fn enabled(&self) -> bool {
+        self.budget > 0
+    }
+
+    fn shard(&self, run: u64, block: u32) -> &Mutex<Shard> {
+        // Spread consecutive blocks of one run across shards.
+        let h = run
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(block as u64);
+        &self.shards[(h >> 56) as usize % CACHE_SHARDS]
+    }
+
+    /// The cached bytes of `(run, block)`, refreshing its LRU position.
+    pub fn get(&self, run: u64, block: u32) -> Option<Arc<Vec<u8>>> {
+        if !self.enabled() {
+            return None;
+        }
+        let mut s = lock_shard(self.shard(run, block));
+        s.clock += 1;
+        let stamp = s.clock;
+        match s.map.get_mut(&(run, block)) {
+            Some((bytes, old)) => {
+                let prev = std::mem::replace(old, stamp);
+                let out = Arc::clone(bytes);
+                s.order.remove(&prev);
+                s.order.insert(stamp, (run, block));
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(out)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a block, evicting least-recently-used blocks until the
+    /// shard is back under its budget slice. A block larger than the
+    /// whole slice is not cached at all (it would evict everything and
+    /// then still not fit a neighbour).
+    pub fn insert(&self, run: u64, block: u32, bytes: Arc<Vec<u8>>) {
+        let len = bytes.len() as u64;
+        if !self.enabled() || len > self.shard_budget {
+            return;
+        }
+        let mut s = lock_shard(self.shard(run, block));
+        s.clock += 1;
+        let stamp = s.clock;
+        if let Some((old, prev)) = s.map.insert((run, block), (bytes, stamp)) {
+            s.bytes -= old.len() as u64;
+            s.order.remove(&prev);
+        }
+        s.bytes += len;
+        s.order.insert(stamp, (run, block));
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        while s.bytes > self.shard_budget {
+            let Some((&victim_stamp, &victim_key)) = s.order.iter().next() else {
+                break;
+            };
+            s.order.remove(&victim_stamp);
+            if let Some((old, _)) = s.map.remove(&victim_key) {
+                s.bytes -= old.len() as u64;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Release every block of `run` (after a merge retires it). Purely
+    /// a budget courtesy: the dropped run id is never looked up again.
+    pub fn purge_run(&self, run: u64) {
+        if !self.enabled() {
+            return;
+        }
+        for shard in &self.shards {
+            let mut s = lock_shard(shard);
+            let victims: Vec<((u64, u32), u64)> = s
+                .map
+                .iter()
+                .filter(|((r, _), _)| *r == run)
+                .map(|(k, (_, stamp))| (*k, *stamp))
+                .collect();
+            for (key, stamp) in victims {
+                if let Some((old, _)) = s.map.remove(&key) {
+                    s.bytes -= old.len() as u64;
+                }
+                s.order.remove(&stamp);
+            }
+        }
+    }
+
+    /// Current counters and held bytes.
+    pub fn stats(&self) -> CacheStats {
+        let bytes = self.shards.iter().map(|s| lock_shard(s).bytes).sum();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            bytes,
+            budget: self.budget,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn block(n: usize) -> Arc<Vec<u8>> {
+        Arc::new(vec![0xCD; n])
+    }
+
+    #[test]
+    fn hit_miss_and_disabled() {
+        let c = BlockCache::new(1 << 20);
+        assert!(c.get(1, 0).is_none());
+        c.insert(1, 0, block(100));
+        assert_eq!(c.get(1, 0).unwrap().len(), 100);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions, s.bytes), (1, 1, 1, 100));
+
+        let off = BlockCache::new(0);
+        off.insert(1, 0, block(100));
+        assert!(off.get(1, 0).is_none());
+        assert_eq!(off.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn eviction_is_lru_within_a_shard() {
+        // One shard's budget; force all keys into the same shard by
+        // using one run and block numbers that land together.
+        let c = BlockCache::new((256 * CACHE_SHARDS) as u64);
+        // Find three blocks of run 7 that share a shard.
+        let mut same: Vec<u32> = Vec::new();
+        let target = {
+            let mut t = None;
+            for b in 0..10_000u32 {
+                let idx = (7u64
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(b as u64)
+                    >> 56) as usize
+                    % CACHE_SHARDS;
+                let t0 = *t.get_or_insert(idx);
+                if idx == t0 {
+                    same.push(b);
+                    if same.len() == 3 {
+                        break;
+                    }
+                }
+            }
+            same
+        };
+        let [a, b, d] = [target[0], target[1], target[2]];
+        c.insert(7, a, block(128));
+        c.insert(7, b, block(128));
+        assert!(c.get(7, a).is_some(), "touch a so b is the LRU victim");
+        c.insert(7, d, block(128));
+        assert!(c.get(7, a).is_some(), "recently used survives");
+        assert!(c.get(7, b).is_none(), "least recently used evicted");
+        assert!(c.get(7, d).is_some());
+        assert!(c.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn purge_run_releases_bytes() {
+        let c = BlockCache::new(1 << 20);
+        for b in 0..20 {
+            c.insert(3, b, block(500));
+            c.insert(4, b, block(500));
+        }
+        c.purge_run(3);
+        assert_eq!(c.stats().bytes, 20 * 500);
+        for b in 0..20 {
+            assert!(c.get(3, b).is_none());
+            assert!(c.get(4, b).is_some());
+        }
+    }
+
+    #[test]
+    fn oversized_block_is_not_cached() {
+        let c = BlockCache::new(160); // 10 bytes per shard
+        c.insert(1, 1, block(64));
+        assert!(c.get(1, 1).is_none());
+        assert_eq!(c.stats().bytes, 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        // Satellite requirement: the byte budget holds as an invariant
+        // under arbitrary insert/get interleavings, and accounting never
+        // drifts from the map contents.
+        #[test]
+        fn byte_budget_invariant(ops in proptest::collection::vec(
+            (0u64..4, 0u32..64, 1usize..512, any::<bool>()), 1..300
+        )) {
+            let budget = 4096u64;
+            let c = BlockCache::new(budget);
+            for (run, blk, len, is_insert) in ops {
+                if is_insert {
+                    c.insert(run, blk, block(len));
+                } else {
+                    c.get(run, blk);
+                }
+                let s = c.stats();
+                prop_assert!(s.bytes <= budget, "held {} > budget {budget}", s.bytes);
+            }
+            let s = c.stats();
+            let mut held = 0u64;
+            for sh in c.shards.iter() {
+                let sh = lock_shard(sh);
+                prop_assert_eq!(sh.map.len(), sh.order.len());
+                held += sh.map.values().map(|(b, _)| b.len() as u64).sum::<u64>();
+            }
+            prop_assert_eq!(s.bytes, held, "byte accounting drifted");
+        }
+    }
+}

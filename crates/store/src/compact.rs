@@ -1,0 +1,393 @@
+//! Level maintenance: sealing L0 into runs, merging runs downward, and
+//! checkpointing the manifest.
+//!
+//! Every transition follows the same commit discipline:
+//!
+//! 1. Write the output run to `run-NNNNNN.sst.tmp`, fsync, rename to
+//!    its final name. An orphan at either stage is deleted on reopen —
+//!    the manifest does not know it yet.
+//! 2. Append **one** manifest entry carrying the new run's meta *and*
+//!    the full list of source files it replaces, then fsync the
+//!    manifest inline. One entry means one commit point: replay either
+//!    sees the whole transition or none of it, so a record is never
+//!    counted twice (old home + new home) after any crash.
+//! 3. Only then mutate in-memory state and delete the source files.
+//!
+//! The drop list is capped ([`manifest::MAX_DROP_LIST`]); a transition
+//! over more sources than that simply runs as several full transitions,
+//! never by splitting one entry.
+
+use crate::manifest::{self, Entry};
+use crate::record::ContentKey;
+use crate::sstable::{self, BuiltRun, RunHandle, RunMeta};
+use crate::store::{lock_plain, CompactReport, SequenceStore, Tombstone, Writer};
+use crate::StoreError;
+use std::collections::{HashMap, HashSet};
+use std::fs;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+impl SequenceStore {
+    /// Opportunistic maintenance after a put's commit point, called with
+    /// the writer lock held. Failures (including injected crashes) are
+    /// counted, not propagated: the put already committed, and a store
+    /// killed mid-maintenance recovers on reopen.
+    pub(crate) fn maybe_maintain(&self, w: &mut Writer) {
+        if self.config.l0_seal_segments == 0 || w.dead {
+            return;
+        }
+        if let Err(_e) = self.maintain_locked(w) {
+            self.maintenance_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn maintain_locked(&self, w: &mut Writer) -> Result<(), StoreError> {
+        let mut report = CompactReport::default();
+        let sealed = w.segments.len().saturating_sub(1); // active stays
+        if sealed >= self.config.l0_seal_segments {
+            self.seal_l0(w, &mut report)?;
+        }
+        while let Some(level) = self.auto_merge_candidate() {
+            if !self.merge_level(w, level, &mut report)? {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Lowest level whose run count reached the fanout, if any.
+    fn auto_merge_candidate(&self) -> Option<u32> {
+        let runs = lock_plain(&self.runs);
+        let mut per_level: HashMap<u32, usize> = HashMap::new();
+        for h in runs.values() {
+            *per_level.entry(h.meta.level).or_default() += 1;
+        }
+        per_level
+            .into_iter()
+            .filter(|&(_, n)| n >= self.config.level_fanout)
+            .map(|(l, _)| l)
+            .min()
+    }
+
+    /// Lowest level worth a *forced* merge: two runs to combine, or any
+    /// run carrying tombstoned records to reclaim.
+    fn forced_merge_candidate(&self) -> Option<u32> {
+        let runs = lock_plain(&self.runs);
+        let dead_runs: HashSet<u64> = lock_plain(&self.tombstones)
+            .values()
+            .map(|t| t.run)
+            .collect();
+        let mut per_level: HashMap<u32, usize> = HashMap::new();
+        let mut tombstoned: Option<u32> = None;
+        for h in runs.values() {
+            *per_level.entry(h.meta.level).or_default() += 1;
+            if dead_runs.contains(&h.meta.id) {
+                tombstoned = Some(tombstoned.map_or(h.meta.level, |l| l.min(h.meta.level)));
+            }
+        }
+        let crowded = per_level
+            .into_iter()
+            .filter(|&(_, n)| n >= 2)
+            .map(|(l, _)| l)
+            .min();
+        match (crowded, tombstoned) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Reclaim all dead space now: seal every sealed L0 segment into
+    /// runs, merge levels until no level has two runs or a tombstone,
+    /// then checkpoint the manifest to its live contents.
+    pub fn compact(&self) -> Result<CompactReport, StoreError> {
+        let mut w = self.lock_writer();
+        if w.dead {
+            return Err(StoreError::Crashed);
+        }
+        let mut report = CompactReport::default();
+        while self.seal_l0(&mut w, &mut report)? {}
+        while let Some(level) = self.forced_merge_candidate() {
+            if !self.merge_level(&mut w, level, &mut report)? {
+                break;
+            }
+        }
+        self.checkpoint_locked(&mut w)?;
+        Ok(report)
+    }
+
+    /// Compact exactly one level: level 0 seals its sealed segments
+    /// into a run; level ≥ 1 merges its runs into the next level. No
+    /// cascade, no checkpoint — surgical reclamation for operators (the
+    /// CLI's `store compact --level`).
+    pub fn compact_level(&self, level: u32) -> Result<CompactReport, StoreError> {
+        let mut w = self.lock_writer();
+        if w.dead {
+            return Err(StoreError::Crashed);
+        }
+        let mut report = CompactReport::default();
+        if level == 0 {
+            self.seal_l0(&mut w, &mut report)?;
+        } else {
+            self.merge_level(&mut w, level, &mut report)?;
+        }
+        Ok(report)
+    }
+
+    /// Seal up to [`manifest::MAX_DROP_LIST`] non-active L0 segments
+    /// into one level-1 run. Returns whether anything happened.
+    pub(crate) fn seal_l0(
+        &self,
+        w: &mut Writer,
+        report: &mut CompactReport,
+    ) -> Result<bool, StoreError> {
+        let victims: Vec<u64> = w
+            .segments
+            .keys()
+            .copied()
+            .filter(|&id| id != w.active)
+            .take(manifest::MAX_DROP_LIST)
+            .collect();
+        if victims.is_empty() {
+            return Ok(false);
+        }
+        let victim_set: HashSet<u64> = victims.iter().copied().collect();
+        let victim_bytes: u64 = victims
+            .iter()
+            .filter_map(|id| w.segments.get(id))
+            .map(|info| info.bytes)
+            .sum();
+        // Validate-first: read every live record out of the victims
+        // before touching anything. A read failure aborts the seal with
+        // the store fully intact.
+        let mut moves: Vec<(ContentKey, Vec<u8>)> = Vec::new();
+        for (key, loc) in self.index.snapshot() {
+            if !victim_set.contains(&loc.segment) {
+                continue;
+            }
+            let bytes =
+                crate::segment::read_at(&self.dir, loc.segment, loc.offset, loc.len as usize)?;
+            let (record, _) = crate::record::Record::decode(&bytes)?;
+            if record.key != key {
+                return Err(StoreError::Corrupt {
+                    what: "record key",
+                    source: dnacomp_codec::CodecError::Corrupt(
+                        "stored record carries a different key",
+                    ),
+                });
+            }
+            moves.push((key, bytes));
+        }
+        moves.sort_unstable_by_key(|a| a.0);
+
+        let run = if moves.is_empty() {
+            None // all-dead segments: the Seal entry just drops them
+        } else {
+            Some(self.install_run(w, 1, &moves)?)
+        };
+        let out_bytes = run.map_or(0, |m| m.bytes);
+        let records_moved = moves.len() as u64;
+        let entry = Entry::Seal {
+            run,
+            segments: victims.clone(),
+        };
+        self.append_manifest(w, &entry)?;
+        self.fsync_commit(w)?; // the commit point, durable before deletes
+
+        if let Some(meta) = run {
+            w.next_run = meta.id + 1;
+            lock_plain(&self.runs).insert(meta.id, Arc::new(RunHandle::new(meta)));
+            for (key, _) in &moves {
+                self.index.remove(key);
+            }
+        }
+        for id in &victims {
+            w.segments.remove(id);
+            let _ = fs::remove_file(crate::segment::segment_path(&self.dir, *id));
+        }
+        report.segments_removed += victims.len() as u64;
+        report.bytes_reclaimed += victim_bytes.saturating_sub(out_bytes);
+        report.records_moved += records_moved;
+        self.seals.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// Merge every run at `level` into one run at `level + 1`, dropping
+    /// tombstoned records. Returns whether anything happened.
+    pub(crate) fn merge_level(
+        &self,
+        w: &mut Writer,
+        level: u32,
+        report: &mut CompactReport,
+    ) -> Result<bool, StoreError> {
+        let inputs: Vec<Arc<RunHandle>> = {
+            let runs = lock_plain(&self.runs);
+            runs.values()
+                .filter(|h| h.meta.level == level)
+                .take(manifest::MAX_DROP_LIST)
+                .cloned()
+                .collect()
+        };
+        if inputs.is_empty() {
+            return Ok(false);
+        }
+        let input_ids: HashSet<u64> = inputs.iter().map(|h| h.meta.id).collect();
+        let dead: HashSet<ContentKey> = lock_plain(&self.tombstones)
+            .iter()
+            .filter(|(_, t)| input_ids.contains(&t.run))
+            .map(|(k, _)| *k)
+            .collect();
+        let input_bytes: u64 = inputs.iter().map(|h| h.meta.bytes).sum();
+        // Validate-first again: a damaged input aborts the merge with
+        // every input still in place.
+        let mut moves: Vec<(ContentKey, Vec<u8>)> = Vec::new();
+        for h in &inputs {
+            h.for_each_record(&self.dir, |key, bytes| {
+                if !dead.contains(&key) {
+                    moves.push((key, bytes.to_vec()));
+                }
+                Ok(())
+            })?;
+        }
+        moves.sort_unstable_by_key(|a| a.0);
+
+        let run = if moves.is_empty() {
+            None
+        } else {
+            Some(self.install_run(w, level + 1, &moves)?)
+        };
+        let out_bytes = run.map_or(0, |m| m.bytes);
+        let records_moved = moves.len() as u64;
+        let mut sorted_ids: Vec<u64> = input_ids.iter().copied().collect();
+        sorted_ids.sort_unstable();
+        let entry = Entry::Merge {
+            run,
+            runs: sorted_ids,
+        };
+        self.append_manifest(w, &entry)?;
+        self.fsync_commit(w)?;
+
+        {
+            let mut runs = lock_plain(&self.runs);
+            for id in &input_ids {
+                runs.remove(id);
+            }
+            if let Some(meta) = run {
+                w.next_run = meta.id + 1;
+                runs.insert(meta.id, Arc::new(RunHandle::new(meta)));
+            }
+        }
+        // The tombstoned records were not copied forward: the
+        // tombstones are spent.
+        lock_plain(&self.tombstones).retain(|_, t| !input_ids.contains(&t.run));
+        for id in &input_ids {
+            self.cache.purge_run(*id);
+            let _ = fs::remove_file(sstable::run_path(&self.dir, *id));
+        }
+        report.segments_removed += inputs.len() as u64;
+        report.bytes_reclaimed += input_bytes.saturating_sub(out_bytes);
+        report.records_moved += records_moved;
+        self.merges.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// Build a run from sorted `moves`, write it through the fault
+    /// machinery to a temp file, fsync, and rename into place. The run
+    /// exists on disk but is NOT yet committed — the caller's manifest
+    /// entry does that.
+    fn install_run(
+        &self,
+        w: &mut Writer,
+        level: u32,
+        moves: &[(ContentKey, Vec<u8>)],
+    ) -> Result<RunMeta, StoreError> {
+        let id = w.next_run;
+        let BuiltRun {
+            bytes,
+            records,
+            min_key,
+            max_key,
+        } = sstable::build_run(moves, self.config.run_block_bytes, self.config.bloom_bits_per_key);
+        let meta = RunMeta {
+            id,
+            level,
+            records,
+            bytes: bytes.len() as u64,
+            min_key,
+            max_key,
+        };
+        let final_path = sstable::run_path(&self.dir, id);
+        let tmp = final_path.with_extension("sst.tmp");
+        let file = self.write_new_file(w, &sstable::run_name(id), &tmp, &bytes)?;
+        if self.config.sync {
+            file.sync_all()
+                .map_err(|e| StoreError::io("syncing new run", e))?;
+        }
+        drop(file);
+        fs::rename(&tmp, &final_path).map_err(|e| StoreError::io("installing new run", e))?;
+        if self.config.sync {
+            // Make the rename itself durable where the platform needs it.
+            if let Ok(d) = fs::File::open(&self.dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(meta)
+    }
+
+    /// Rewrite the manifest to exactly the live state (temp file +
+    /// fsync + atomic rename), shedding the full history. Runs first,
+    /// so tombstones replay against known runs.
+    pub(crate) fn checkpoint_locked(&self, w: &mut Writer) -> Result<(), StoreError> {
+        // Everything the checkpoint references must be durable before
+        // the rename makes the slimmer manifest authoritative.
+        if self.config.sync {
+            self.fsync_commit(w)?;
+        }
+        let mut entries: Vec<Entry> = Vec::new();
+        {
+            let runs = lock_plain(&self.runs);
+            for h in runs.values() {
+                entries.push(Entry::AddRun { meta: h.meta });
+            }
+        }
+        for (key, location) in self.index.snapshot() {
+            entries.push(Entry::Add { key, location });
+        }
+        {
+            let tombs = lock_plain(&self.tombstones);
+            let mut sorted: Vec<(&ContentKey, &Tombstone)> = tombs.iter().collect();
+            sorted.sort_unstable_by_key(|(k, _)| **k);
+            for (key, t) in sorted {
+                entries.push(Entry::RemoveRun {
+                    key: *key,
+                    run: t.run,
+                    len: t.len,
+                });
+            }
+        }
+        let buf = manifest::encode_all(&entries);
+        let tmp = self.dir.join("manifest.tmp");
+        let file = self.write_new_file(w, "manifest.tmp", &tmp, &buf)?;
+        if self.config.sync {
+            file.sync_all()
+                .map_err(|e| StoreError::io("syncing manifest checkpoint", e))?;
+        }
+        drop(file);
+        fs::rename(&tmp, manifest::manifest_path(&self.dir))
+            .map_err(|e| StoreError::io("installing manifest checkpoint", e))?;
+        if self.config.sync {
+            if let Ok(d) = fs::File::open(&self.dir) {
+                let _ = d.sync_all();
+            }
+        }
+        // The old append handle points at the unlinked file; reopen.
+        w.manifest = fs::OpenOptions::new()
+            .append(true)
+            .open(manifest::manifest_path(&self.dir))
+            .map_err(|e| StoreError::io("reopening manifest", e))?;
+        w.manifest_dirty = false;
+        if self.config.sync {
+            self.gc.note_synced(self.gc.appended());
+        }
+        Ok(())
+    }
+}

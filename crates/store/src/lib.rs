@@ -6,13 +6,15 @@
 //! assumes a persistent, deduplicating store — every run starting cold
 //! is a simulation artifact, not an architecture.
 //!
-//! A store is a directory:
+//! A store is a directory holding a small LSM tree:
 //!
 //! ```text
 //! store/
 //! ├── manifest.log      write-ahead log: the single source of truth
-//! ├── seg-000000.seg    append-only record segments
-//! └── seg-000001.seg
+//! ├── seg-000000.seg    level 0: append-only record segments
+//! ├── seg-000001.seg
+//! ├── run-000000.sst    level 1+: immutable sorted runs with sparse
+//! └── run-000001.sst    index and bloom filter
 //! ```
 //!
 //! * **Content-addressed & deduplicating** — records are keyed by a
@@ -20,38 +22,60 @@
 //!   the same genome twice stores one payload, whatever algorithm
 //!   either put chose.
 //! * **Crash-safe** — a record is committed exactly when its manifest
-//!   entry is durable; [`SequenceStore::open`] replays the log,
-//!   truncates torn tails and deletes orphans, recovering every
-//!   committed record bit-exact after a kill at any write point (the
-//!   chaos tests sweep literally every byte).
+//!   entry is durable; level transitions (sealing L0 into a run,
+//!   merging runs) commit through one atomic manifest entry each.
+//!   [`SequenceStore::open`] replays the log, truncates torn tails and
+//!   deletes orphans, recovering every committed record bit-exact after
+//!   a kill at any write point (the chaos tests sweep literally every
+//!   byte, including mid-seal and mid-merge).
+//! * **Group-committed** — concurrent puts share fsync batches inside a
+//!   configurable commit window instead of paying one fsync each.
+//! * **Read-optimised** — per-run bloom filters answer negative gets
+//!   from memory; a sharded, byte-budgeted LRU block cache serves hot
+//!   gets without touching disk.
 //! * **Self-checking** — each record carries an FNV-1a checksum over
-//!   header + payload; [`SequenceStore::verify`] detects bit rot, and
-//!   the payload's own `DX` container checksum still guards the
-//!   decompressed sequence end-to-end.
-//! * **Self-compacting** — [`SequenceStore::compact`] rewrites sealed
-//!   segments whose live ratio dropped below the configured threshold
-//!   and atomically checkpoints the manifest (temp-file + rename).
+//!   header + payload; [`SequenceStore::verify`] audits everything at
+//!   once, [`SequenceStore::scrub_step`] audits incrementally in the
+//!   background, and the payload's own `DX` container checksum still
+//!   guards the decompressed sequence end-to-end.
+//! * **Self-compacting** — background maintenance seals full L0
+//!   segments into sorted runs and merges runs level by level;
+//!   [`SequenceStore::compact`] forces the whole cascade and atomically
+//!   checkpoints the manifest (temp-file + rename).
 //!
-//! Module map: [`record`] (wire format + keys) → [`segment`] (data
-//! files) → [`manifest`] (commit log) → [`index`] (sharded lookup),
-//! assembled by [`store`].
+//! Module map: [`record`] (wire format + keys) → [`segment`] (L0 data
+//! files) / [`sstable`] (sorted runs) → [`bloom`] + [`cache`] (read
+//! path) → [`manifest`] (commit log) + [`wal`] (group commit) →
+//! [`index`] (sharded lookup), assembled by [`store`] with level
+//! maintenance in [`compact`] and background auditing in [`scrub`].
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod bloom;
+pub mod cache;
+mod compact;
 pub mod error;
 pub mod index;
 pub mod manifest;
 pub mod record;
+pub mod scrub;
 pub mod segment;
+pub mod sstable;
 pub mod store;
+mod wal;
 
+pub use bloom::Bloom;
+pub use cache::{BlockCache, CacheStats};
 pub use error::StoreError;
 pub use index::ShardedIndex;
-pub use manifest::{Entry, Location};
+pub use manifest::{Entry, Location, ReplayStats};
 pub use record::{ContentKey, Record};
+pub use scrub::ScrubTask;
 pub use segment::SegmentInfo;
+pub use sstable::RunMeta;
 pub use store::{
-    CompactReport, PutOutcome, RecordStat, ScrubFailure, ScrubReport, SequenceStore, StoreConfig,
-    StoreSnapshot,
+    CompactReport, LevelStat, PutOutcome, RecordStat, ScrubFailure, ScrubReport, SequenceStore,
+    StoreConfig, StoreSnapshot,
 };
+pub use wal::WalStats;

@@ -41,13 +41,16 @@ step "service stress test (isolated, 600 s timeout)"
 timeout 600 cargo test --release --test service \
     stress_8_workers_500_jobs_faults_deterministic_no_losses -- --nocapture
 
-# Same rationale for the store's crash-recovery sweep: it kills the
-# store at every byte of a workload, so a recovery regression that
-# loops or hangs must fail the pipeline, not wedge it. 300 s is ~100x
-# its observed runtime.
-step "store crash-recovery sweep (isolated, 300 s timeout)"
-timeout 300 cargo test --release --test store \
-    crash_sweep_recovers_exactly_the_committed_prefix -- --nocapture
+# Same rationale for the store's crash-recovery sweeps: they kill the
+# store at every byte of a workload (the second with aggressive L0
+# sealing plus a forced compaction, so budgets land inside run builds,
+# Seal/Merge commit points and the checkpoint rewrite), so a recovery
+# regression that loops or hangs must fail the pipeline, not wedge it.
+# 300 s is ~30x their combined observed runtime.
+step "store crash-recovery sweeps (isolated, 300 s timeout)"
+timeout 300 cargo test --release --test store -- --nocapture \
+    crash_sweep_recovers_exactly_the_committed_prefix \
+    crash_sweep_survives_mid_seal_and_mid_compaction_kills
 
 # Supervision soak: 8 workers × 510 jobs at 8 % deterministic panic
 # injection, exact outcome accounting. A containment or respawn
@@ -131,5 +134,29 @@ if [ "$QUICK" -eq 0 ]; then
 else
     timeout 120 cargo run --quiet --bin dnacomp -- bench-algos --quick
 fi
+
+# Storage-engine gate: `bench-store --quick` builds real stores and
+# asserts the LSM engine's deterministic claims — manifest cost per
+# object shrinks with store size after compaction (sub-linear opens),
+# a hot sweep hits the block cache, and group commit covers many
+# appends with few fsync batches. Wall-clock throughputs are reported
+# but not gated (CI boxes are poor stopwatches). The extra gate below
+# re-checks the sub-linearity ratio from the artifact, mirroring the
+# routed-throughput gate. 300 s is ~100x its observed runtime.
+step "storage engine gate: dnacomp bench-store --quick (300 s timeout)"
+if [ "$QUICK" -eq 0 ]; then
+    timeout 300 cargo run --release --quiet --bin dnacomp -- bench-store \
+        --quick --out /tmp/BENCH_store_ci.json
+else
+    timeout 300 cargo run --quiet --bin dnacomp -- bench-store \
+        --quick --out /tmp/BENCH_store_ci.json
+fi
+ratio=$(grep -o '"open_cost_ratio":[0-9.]*' /tmp/BENCH_store_ci.json \
+    | cut -d: -f2)
+echo "store open cost ratio (large vs small): ${ratio}"
+awk -v r="$ratio" 'BEGIN { exit (r < 0.9) ? 0 : 1 }' || {
+    echo "store open cost ratio ${ratio} not under the 0.9 ceiling" >&2
+    exit 1
+}
 
 step "all gates passed"

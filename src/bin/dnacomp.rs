@@ -28,9 +28,10 @@ use dnacomp::seq::corpus::CorpusBuilder;
 use dnacomp::seq::PackedSeq;
 use dnacomp::server::{
     build_workload, rebalance, run_algo_bench, run_bench, run_net_bench, run_route_bench,
-    AlgoBenchConfig, BenchConfig, ClientError, CompressionService, DlqDir, NetBenchConfig,
-    NetClient, NetConfig, NetServer, Priority, Response, Ring, RouteBenchConfig, RouterConfig,
-    RouterServer, ServiceConfig, ShardSpec, DEFAULT_RING_SEED, DEFAULT_VNODES,
+    run_store_bench, AlgoBenchConfig, BenchConfig, ClientError, CompressionService, DlqDir,
+    NetBenchConfig, NetClient, NetConfig, NetServer, Priority, Response, Ring, RouteBenchConfig,
+    RouterConfig, RouterServer, ServiceConfig, ShardSpec, StoreBenchConfig, DEFAULT_RING_SEED,
+    DEFAULT_VNODES,
 };
 use dnacomp::store::{ContentKey, SequenceStore, StoreConfig};
 use std::process::ExitCode;
@@ -85,6 +86,7 @@ const USAGE: &str = "usage:
                 [--fault-rate <x>] [--panic-rate <x>] [--kill-rate <x>]
                 [--shed-above <depth>] [--restart-budget <n>]
                 [--quarantine-after <n>] [--dlq-dir <dir>]
+                [--store <dir>] [--scrub-ms <n>]
                 [--block-size <bases>] [--exchange] [--json]
                 [--listen <addr>] [--serve-secs <x>] [--max-conns <n>]
                 [--shard-id <n>] [--epoch <n>]
@@ -110,7 +112,9 @@ const USAGE: &str = "usage:
   dnacomp store get --dir <store> <key> <out.fa>
   dnacomp store stat --dir <store> [<key>]
   dnacomp store verify --dir <store>
-  dnacomp store compact --dir <store>
+  dnacomp store compact --dir <store> [--level <n>]
+  dnacomp store scrub --dir <store> [--records <n>]
+  dnacomp bench-store [--quick] [--json] [--out <path>] [--dir <dir>]
   dnacomp list
 algorithms: gzip, ctw, gencompress, dnax, biocompress2, dnapack-lite, cfact, xm-lite, raw
             (`dnacomp list` prints the full set)
@@ -139,7 +143,14 @@ throughput; bench-algos measures per-algorithm compress/decompress
 MB/s, single-thread vs block-parallel, plus the 2-bit packing kernels
 (--quick is the CI smoke gate: round-trip + throughput-floor asserts);
 dlq inspects, replays or drops persisted dead letters; store manages a
-crash-safe content-addressed repository of compressed sequences.";
+crash-safe content-addressed repository of compressed sequences — an
+LSM engine with bloom-filtered sorted runs, a block cache, and a
+group-committed manifest WAL (`stat` prints the engine counters and
+per-level occupancy; `compact --level` reclaims one level surgically;
+`scrub` audits run records from disk). bench-store measures open time
+vs object count, hot-get throughput with the cache on and off, and put
+throughput with and without group commit, writing BENCH_store.json
+(--quick is the CI gate).";
 
 fn run(args: &[String]) -> Result<(), CliError> {
     match args.first().map(String::as_str) {
@@ -153,6 +164,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         Some("client") => cmd_client(&args[1..]),
         Some("bench-serve") => cmd_bench_serve(&args[1..]),
         Some("bench-algos") => cmd_bench_algos(&args[1..]),
+        Some("bench-store") => cmd_bench_store(&args[1..]),
         Some("dlq") => cmd_dlq(&args[1..]),
         Some("store") => cmd_store(&args[1..]),
         Some("list") => {
@@ -500,6 +512,14 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     svc.block_size = cfg.block_size;
     svc.store = store.clone();
     svc.shed_above = shed_above;
+    // Background scrub of the attached store's runs: --scrub-ms sets
+    // the tick interval (only meaningful alongside --store).
+    if let Some(ms) = flags.get("scrub-ms") {
+        let ms: u64 = ms.parse().map_err(|e| usage(format!("--scrub-ms: {e}")))?;
+        if ms > 0 {
+            svc.scrub_interval = Some(std::time::Duration::from_millis(ms));
+        }
+    }
     if let Some(listen) = flags.get("listen") {
         return serve_listen(listen, framework, svc, store, &cfg, &flags);
     }
@@ -1193,6 +1213,106 @@ fn cmd_bench_algos(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `dnacomp bench-store` — the LSM engine numbers behind
+/// BENCH_store.json: open time vs object count (manifest-cost
+/// sub-linearity), hot-get throughput with the block cache on vs off,
+/// and put throughput with group commit vs inline fsync. `--quick` is
+/// the CI smoke shape and asserts the headline claims hold.
+fn cmd_bench_store(args: &[String]) -> Result<(), CliError> {
+    let (flags, _) = parse_flags(args);
+    let quick = flags.get("quick").map(String::as_str) == Some("true");
+    let mut cfg = if quick {
+        StoreBenchConfig::quick()
+    } else {
+        StoreBenchConfig::default()
+    };
+    if let Some(list) = flags.get("objects") {
+        cfg.open_sweep = list
+            .split(',')
+            .map(|w| w.trim().parse().map_err(|e| usage(format!("--objects: {e}"))))
+            .collect::<Result<_, _>>()?;
+        if cfg.open_sweep.len() < 2 {
+            return Err(usage("--objects: need at least two counts for the sweep"));
+        }
+    }
+    if let Some(v) = flags.get("payload") {
+        cfg.payload_bytes = v.parse().map_err(|e| usage(format!("--payload: {e}")))?;
+        if cfg.payload_bytes == 0 {
+            return Err(usage("--payload: must be positive"));
+        }
+    }
+    if let Some(v) = flags.get("dir") {
+        cfg.dir = std::path::PathBuf::from(v);
+    }
+    eprintln!(
+        "bench-store: {} mode, open sweep {:?}, {} B payloads, {} hot records × {} passes …",
+        if quick { "quick (smoke gate)" } else { "full" },
+        cfg.open_sweep,
+        cfg.payload_bytes,
+        cfg.hot_records,
+        cfg.hot_passes
+    );
+    let report = run_store_bench(&cfg).map_err(CliError::Runtime)?;
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if flags.contains_key("json") {
+        println!("{}", report.to_json());
+    } else {
+        println!("{:>9}  {:>14}  {:>10}  {:>5}", "objects", "manifest B", "open ms", "runs");
+        for p in &report.open_sweep {
+            println!(
+                "{:>9}  {:>14}  {:>10.2}  {:>5}",
+                p.objects, p.manifest_bytes, p.open_ms, p.runs
+            );
+        }
+        println!(
+            "open cost per object, largest vs smallest store: {:.3}x (< 1 is sub-linear)",
+            report.open_cost_ratio
+        );
+        println!(
+            "hot gets: {:.1} MB/s cached vs {:.1} MB/s uncached ({:.2}x, {:.0}% cache hits)",
+            report.hot_get_cached_mb_s,
+            report.hot_get_uncached_mb_s,
+            report.hot_get_speedup,
+            report.cache_hit_rate * 100.0
+        );
+        println!(
+            "puts (sync): {:.0}/s group-committed vs {:.0}/s inline fsync; \
+             {} appends in {} fsync batches",
+            report.put_grouped_per_sec,
+            report.put_inline_per_sec,
+            report.wal_appends,
+            report.wal_batches
+        );
+    }
+    if quick {
+        // The smoke gate: the deterministic claims must hold on any
+        // machine. (Wall-clock speedups stay informational — CI boxes
+        // are too noisy to gate on a stopwatch.)
+        if report.open_cost_ratio >= 0.9 {
+            return Err(CliError::Runtime(format!(
+                "open cost per object did not shrink with store size: ratio {:.3}",
+                report.open_cost_ratio
+            )));
+        }
+        if report.cache_hit_rate < 0.5 {
+            return Err(CliError::Runtime(format!(
+                "block cache missed too often on a hot sweep: hit rate {:.2}",
+                report.cache_hit_rate
+            )));
+        }
+        if report.wal_batches == 0 || report.wal_batches >= report.wal_appends {
+            return Err(CliError::Runtime(format!(
+                "group commit did not batch: {} appends in {} fsync batches",
+                report.wal_appends, report.wal_batches
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// `dnacomp dlq <list|replay|drop>` — inspect, resubmit or discard
 /// dead letters persisted by `serve --dlq-dir`.
 fn cmd_dlq(args: &[String]) -> Result<(), CliError> {
@@ -1285,7 +1405,7 @@ fn cmd_store(args: &[String]) -> Result<(), CliError> {
     let (flags, pos) = parse_flags(args);
     let sub = pos
         .first()
-        .ok_or_else(|| usage("store: need a subcommand (put|get|stat|verify|compact)"))?;
+        .ok_or_else(|| usage("store: need a subcommand (put|get|stat|verify|compact|scrub)"))?;
     let dir = flags
         .get("dir")
         .ok_or_else(|| usage("store: --dir <store> required"))?;
@@ -1340,10 +1460,28 @@ fn cmd_store(args: &[String]) -> Result<(), CliError> {
         ("stat", []) => {
             let store = open()?;
             let snap = store.snapshot();
-            println!("records:       {}", snap.records);
-            println!("segments:      {}", snap.segments);
-            println!("bytes on disk: {}", snap.bytes_on_disk);
-            println!("live bytes:    {}", snap.live_bytes);
+            println!("records:        {}", snap.records);
+            println!("segments:       {}", snap.segments);
+            println!("runs:           {}", snap.runs);
+            println!("tombstones:     {}", snap.tombstones);
+            println!("bytes on disk:  {}", snap.bytes_on_disk);
+            println!("live bytes:     {}", snap.live_bytes);
+            println!("seals/merges:   {}/{}", snap.seals, snap.merges);
+            println!("bloom negative: {}", snap.bloom_negatives);
+            println!(
+                "block cache:    {} hit / {} miss ({} bytes held)",
+                snap.cache_hits, snap.cache_misses, snap.cache_bytes
+            );
+            println!(
+                "wal:            {} append(s) in {} fsync batch(es)",
+                snap.wal_appends, snap.wal_batches
+            );
+            for l in store.levels() {
+                println!(
+                    "level {}:        {} file(s), {} record(s) ({} dead), {} bytes ({} dead)",
+                    l.level, l.files, l.records, l.dead_records, l.bytes, l.dead_bytes
+                );
+            }
             Ok(())
         }
         ("stat", [key]) => {
@@ -1356,7 +1494,16 @@ fn cmd_store(args: &[String]) -> Result<(), CliError> {
             println!("algorithm:      {}", stat.algorithm.name());
             println!("original bases: {}", stat.original_len);
             println!("stored bytes:   {}", stat.stored_bytes);
-            println!("segment:        {}", stat.segment);
+            println!("level:          {}", stat.level);
+            println!(
+                "{} {}",
+                if stat.level == 0 {
+                    "segment:       "
+                } else {
+                    "run:           "
+                },
+                stat.segment
+            );
             Ok(())
         }
         ("verify", []) => {
@@ -1378,14 +1525,44 @@ fn cmd_store(args: &[String]) -> Result<(), CliError> {
         }
         ("compact", []) => {
             let store = open()?;
-            let report = store
-                .compact()
-                .map_err(|e| format!("compaction failed: {e}"))?;
+            let report = match flags.get("level") {
+                Some(level) => {
+                    let level: u32 = level
+                        .parse()
+                        .map_err(|_| usage(format!("store compact: bad --level {level:?}")))?;
+                    store.compact_level(level)
+                }
+                None => store.compact(),
+            }
+            .map_err(|e| format!("compaction failed: {e}"))?;
             eprintln!(
-                "removed {} segment(s), reclaimed {} bytes, moved {} record(s)",
+                "removed {} file(s), reclaimed {} bytes, moved {} record(s)",
                 report.segments_removed, report.bytes_reclaimed, report.records_moved
             );
             Ok(())
+        }
+        ("scrub", []) => {
+            let store = open()?;
+            let budget = match flags.get("records") {
+                Some(n) => n
+                    .parse()
+                    .map_err(|_| usage(format!("store scrub: bad --records {n:?}")))?,
+                None => usize::MAX >> 1,
+            };
+            let report = store.scrub_step(budget);
+            if report.is_clean() {
+                eprintln!("scrubbed {} run record(s), no corruption", report.checked);
+                Ok(())
+            } else {
+                for f in &report.failures {
+                    eprintln!("corrupt: {} ({})", f.key.to_hex(), f.error);
+                }
+                Err(CliError::Runtime(format!(
+                    "{} scrub failure(s) across {} record(s)",
+                    report.failures.len(),
+                    report.checked
+                )))
+            }
         }
         _ => Err(usage(format!("store: bad arguments for {sub:?}"))),
     }

@@ -361,6 +361,244 @@ fn forged_migrate_counts_refused_before_allocation() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// LSM on-disk formats: run footers, block indexes, bloom filters and
+// transition manifest entries under attack
+// ---------------------------------------------------------------------------
+
+use dnacomp::store::manifest::{Entry as LogEntry, Location as StoreLocation, MAX_DROP_LIST};
+use dnacomp::store::sstable::{self, Footer, RunMeta, FOOTER_LEN};
+use dnacomp::store::{Bloom, ContentKey};
+
+fn sample_key(i: u64) -> ContentKey {
+    let mut k = [0u8; 16];
+    k[..8].copy_from_slice(&i.to_be_bytes());
+    k[8..].copy_from_slice(&mix64(i).to_be_bytes());
+    ContentKey(k)
+}
+
+/// A genuine run image (data blocks + index + bloom + footer) to
+/// carve attack surfaces out of.
+fn sample_run_bytes() -> (Vec<u8>, Footer) {
+    let records: Vec<(ContentKey, Vec<u8>)> = (0..40u64)
+        .map(|i| (sample_key(i), noise_bytes(i, 48 + (i as usize % 17))))
+        .collect();
+    let built = sstable::build_run(&records, 256, 10);
+    let footer = Footer::decode(&built.bytes[built.bytes.len() - FOOTER_LEN..])
+        .expect("freshly built run has a valid footer");
+    (built.bytes, footer)
+}
+
+#[test]
+fn run_footer_mutations_always_rejected() {
+    let (bytes, _) = sample_run_bytes();
+    let clean = &bytes[bytes.len() - FOOTER_LEN..];
+    assert!(Footer::decode(clean).is_ok());
+    // Every single-bit flip — magic, version, the four length fields,
+    // both keys and the stored checksum itself — must come back as a
+    // typed error: the trailing FNV covers everything before it, and a
+    // flip inside the stored digest can no longer match the content.
+    for at in 0..FOOTER_LEN {
+        for bit in 0..8 {
+            let mut mutant = clean.to_vec();
+            mutant[at] ^= 1 << bit;
+            assert!(
+                Footer::decode(&mutant).is_err(),
+                "footer flip at byte {at} bit {bit} decoded Ok"
+            );
+        }
+    }
+    // Anything that is not exactly FOOTER_LEN bytes is refused before
+    // any field is read.
+    for len in [0, 1, FOOTER_LEN - 1, FOOTER_LEN + 1] {
+        let mut wrong = clean.to_vec();
+        wrong.resize(len, 0);
+        assert!(Footer::decode(&wrong).is_err(), "footer of {len} bytes decoded Ok");
+    }
+}
+
+#[test]
+fn run_index_lying_counts_refused_before_allocation() {
+    let (bytes, footer) = sample_run_bytes();
+    let start = footer.data_len as usize;
+    let clean = &bytes[start..start + footer.index_len as usize];
+    assert!(sstable::decode_index(clean).is_ok());
+    // A forged header claiming millions of entries over a few bytes
+    // must be refused on affordability, before the entry Vec is sized
+    // by the lie. The wall clock is the observable proxy.
+    for forged in [1u64 << 20, 1 << 40, u64::MAX >> 1] {
+        let mut forged_bytes = vec![b'I', b'X'];
+        push_uvarint(&mut forged_bytes, forged);
+        forged_bytes.extend(noise_bytes(forged, 32));
+        let started = std::time::Instant::now();
+        assert!(
+            sstable::decode_index(&forged_bytes).is_err(),
+            "forged index count {forged} decoded Ok"
+        );
+        assert!(
+            started.elapsed() < std::time::Duration::from_millis(50),
+            "rejecting a lying index count took {:?} — it allocated first",
+            started.elapsed()
+        );
+    }
+    // Bit flips anywhere in a genuine index are caught by the trailing
+    // checksum; truncations never parse.
+    for case in 0..80u64 {
+        let at = (mix64(case ^ 0x1D) as usize) % clean.len();
+        let mut mutant = clean.to_vec();
+        mutant[at] ^= 1u8 << (case % 8);
+        assert!(
+            sstable::decode_index(&mutant).is_err(),
+            "index flip at byte {at} decoded Ok"
+        );
+    }
+    for i in 0..8 {
+        assert!(
+            sstable::decode_index(&clean[..clean.len() * i / 8]).is_err(),
+            "index truncation to {i}/8 decoded Ok"
+        );
+    }
+}
+
+#[test]
+fn bloom_header_lies_refused_before_allocation() {
+    let mut bloom = Bloom::sized_for(64, 10);
+    for i in 0..64u64 {
+        bloom.insert(&sample_key(i));
+    }
+    let clean = bloom.encode();
+    let (back, used) = Bloom::decode(&clean).expect("genuine bloom decodes");
+    assert_eq!(used, clean.len());
+    for i in 0..64u64 {
+        assert!(back.contains(&sample_key(i)), "decoded bloom lost key {i}");
+    }
+    // A declared size the input bytes cannot pay for must be refused
+    // before the word Vec exists; absurd probe counts likewise.
+    for (bits, probes) in [(1u64 << 32, 7u8), (1 << 31, 7), (4096, 0), (4096, 31)] {
+        let mut forged = vec![b'B', b'F', 1];
+        push_uvarint(&mut forged, bits);
+        forged.push(probes);
+        push_uvarint(&mut forged, 64);
+        forged.extend(noise_bytes(bits ^ probes as u64, 64));
+        let started = std::time::Instant::now();
+        assert!(
+            Bloom::decode(&forged).is_err(),
+            "forged bloom (bits={bits}, probes={probes}) decoded Ok"
+        );
+        assert!(
+            started.elapsed() < std::time::Duration::from_millis(50),
+            "rejecting a lying bloom header took {:?} — it allocated first",
+            started.elapsed()
+        );
+    }
+    // Whole-image flips and truncations: typed errors only.
+    for case in 0..80u64 {
+        let at = (mix64(case ^ 0xB1) as usize) % clean.len();
+        let mut mutant = clean.clone();
+        mutant[at] ^= 1u8 << (case % 8);
+        assert!(Bloom::decode(&mutant).is_err(), "bloom flip at byte {at} decoded Ok");
+    }
+    for i in 0..8 {
+        assert!(
+            Bloom::decode(&clean[..clean.len() * i / 8]).is_err(),
+            "bloom truncation to {i}/8 decoded Ok"
+        );
+    }
+}
+
+#[test]
+fn manifest_transition_entries_reject_forgery_and_tearing() {
+    let meta = RunMeta {
+        id: 42,
+        level: 3,
+        records: 1_000,
+        bytes: 1 << 20,
+        min_key: sample_key(1),
+        max_key: sample_key(999),
+    };
+    let entries = [
+        LogEntry::Seal {
+            run: Some(meta),
+            segments: (0..20).collect(),
+        },
+        LogEntry::Seal {
+            run: None,
+            segments: vec![7],
+        },
+        LogEntry::Merge {
+            run: Some(meta),
+            runs: (100..104).collect(),
+        },
+        LogEntry::RemoveRun {
+            key: sample_key(5),
+            run: 42,
+            len: 321,
+        },
+        LogEntry::Revive {
+            key: sample_key(5),
+            run: 42,
+        },
+        LogEntry::AddRun { meta },
+        LogEntry::Add {
+            key: sample_key(8),
+            location: StoreLocation {
+                segment: 3,
+                offset: 4096,
+                len: 128,
+                algorithm: Algorithm::Dnax,
+                original_len: 400,
+            },
+        },
+    ];
+    for (n, entry) in entries.iter().enumerate() {
+        let clean = entry.encode();
+        let (back, used) = LogEntry::decode(&clean).expect("genuine entry decodes");
+        assert_eq!(&back, entry, "entry {n} round-trip");
+        assert_eq!(used, clean.len());
+        // The torn-tail convention: every truncation and every bit flip
+        // is `None` — replay stops, it never guesses.
+        for i in 0..clean.len() {
+            assert!(
+                LogEntry::decode(&clean[..i]).is_none(),
+                "entry {n}: truncation to {i} bytes decoded Some"
+            );
+            for bit in [0x01u8, 0x80] {
+                let mut mutant = clean.clone();
+                mutant[i] ^= bit;
+                assert!(
+                    LogEntry::decode(&mutant).is_none(),
+                    "entry {n}: flip at byte {i} decoded Some"
+                );
+            }
+        }
+    }
+    // A drop list over the chunking cap (or over what the bytes can
+    // pay for) is refused before the id Vec is sized by the claim.
+    for forged in [MAX_DROP_LIST as u64 + 1, 1 << 30, u64::MAX >> 8] {
+        let mut body = vec![6u8, 0]; // Seal, no output run
+        push_uvarint(&mut body, forged);
+        body.extend(noise_bytes(forged, 24));
+        // Give the forgery an honest checksum so it reaches the
+        // affordability check instead of dying on the digest.
+        let digest = {
+            let mut h = dnacomp::codec::checksum::Fnv1a::new();
+            h.update(&body);
+            h.digest()
+        };
+        body.extend_from_slice(&digest.to_le_bytes());
+        let started = std::time::Instant::now();
+        assert!(
+            LogEntry::decode(&body).is_none(),
+            "forged drop list of {forged} ids decoded Some"
+        );
+        assert!(
+            started.elapsed() < std::time::Duration::from_millis(50),
+            "rejecting a lying drop list took {:?} — it allocated first",
+            started.elapsed()
+        );
+    }
+}
+
 #[test]
 fn forged_epochs_and_shard_ids_decode_to_exactly_what_was_sent() {
     // Epoch and shard id are *data* at the codec layer — policy (the

@@ -6,14 +6,24 @@
 //! serde visitor API). It parses the item token stream by hand — no
 //! `syn`/`quote` — which is sufficient for the shapes this workspace
 //! uses: non-generic named-field structs, newtype structs, and enums
-//! with unit / newtype / tuple / struct variants.
+//! with unit / newtype / tuple / struct variants. The one field
+//! attribute it honours is `#[serde(default)]`: a missing key
+//! deserialises to `Default::default()` instead of erroring, which is
+//! what keeps mixed-version peers exchanging stat JSON.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named struct field as the derives see it.
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: tolerate the key being absent.
+    default: bool,
+}
 
 /// Parsed shape of the deriving item.
 enum Item {
     /// `struct Name { field, .. }`
-    Struct { name: String, fields: Vec<String> },
+    Struct { name: String, fields: Vec<Field> },
     /// `struct Name(T, ..);` with the number of fields.
     TupleStruct { name: String, arity: usize },
     /// `enum Name { .. }`
@@ -25,7 +35,7 @@ enum VariantKind {
     /// Tuple variant with arity.
     Tuple(usize),
     /// Struct variant with named fields.
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
 }
 
 struct Variant {
@@ -88,21 +98,50 @@ fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
     out
 }
 
-/// Field name from one named-field chunk: `(#[attr])* (pub)? name: Type`.
-fn field_name(chunk: &[TokenTree]) -> String {
+/// Does this attribute bracket group spell `serde(default)`?
+fn is_serde_default(group: &proc_macro::Group) -> bool {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(t, TokenTree::Ident(a) if a.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+/// One named-field chunk: `(#[attr])* (pub)? name: Type`.
+fn parse_field(chunk: &[TokenTree]) -> Field {
     let mut i = 0;
-    skip_attrs(chunk, &mut i);
+    let mut default = false;
+    while i + 1 < chunk.len() {
+        match (&chunk[i], &chunk[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                default |= is_serde_default(g);
+                i += 2;
+            }
+            _ => break,
+        }
+    }
     skip_vis(chunk, &mut i);
     match chunk.get(i) {
-        Some(TokenTree::Ident(id)) => id.to_string(),
+        Some(TokenTree::Ident(id)) => Field {
+            name: id.to_string(),
+            default,
+        },
         other => panic!("serde_derive stub: expected field name, got {other:?}"),
     }
 }
 
-fn parse_named_fields(group_tokens: &[TokenTree]) -> Vec<String> {
+fn parse_named_fields(group_tokens: &[TokenTree]) -> Vec<Field> {
     split_top_level(group_tokens)
         .iter()
-        .map(|chunk| field_name(chunk))
+        .map(|chunk| parse_field(chunk))
         .collect()
 }
 
@@ -183,7 +222,7 @@ fn parse_item(input: TokenStream) -> Item {
 }
 
 /// Derive the vendored `serde::Serialize`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let src = match item {
@@ -191,6 +230,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let entries: Vec<String> = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f}))"
                     )
@@ -257,10 +297,15 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                             )
                         }
                         VariantKind::Struct(fields) => {
-                            let pats = fields.join(", ");
+                            let pats = fields
+                                .iter()
+                                .map(|f| f.name.clone())
+                                .collect::<Vec<_>>()
+                                .join(", ");
                             let entries: Vec<String> = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "(\"{f}\".to_string(), ::serde::Serialize::to_content({f}))"
                                     )
@@ -288,21 +333,35 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     src.parse().expect("serde_derive stub: generated invalid Serialize impl")
 }
 
+/// The initialiser expression for one named field inside a
+/// deserialised struct (or struct variant) literal.
+fn field_init(owner: &str, f: &Field) -> String {
+    let name = &f.name;
+    if f.default {
+        format!(
+            "{name}: match ::serde::map_get(__m, \"{name}\") {{\n\
+                 Some(__v) => ::serde::Deserialize::from_content(__v)?,\n\
+                 None => ::std::default::Default::default(),\n\
+             }}"
+        )
+    } else {
+        format!(
+            "{name}: ::serde::Deserialize::from_content(\
+                 ::serde::map_get(__m, \"{name}\")\
+                     .ok_or_else(|| ::serde::DeError::missing_field(\"{owner}\", \"{name}\"))?)?"
+        )
+    }
+}
+
 /// Derive the vendored `serde::Deserialize`.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let src = match item {
         Item::Struct { name, fields } => {
             let inits: Vec<String> = fields
                 .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_content(\
-                             ::serde::map_get(__m, \"{f}\")\
-                                 .ok_or_else(|| ::serde::DeError::missing_field(\"{name}\", \"{f}\"))?)?"
-                    )
-                })
+                .map(|f| field_init(&name, f))
                 .collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
@@ -375,15 +434,10 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                         ));
                     }
                     VariantKind::Struct(fields) => {
+                        let owner = format!("{name}::{vn}");
                         let inits: Vec<String> = fields
                             .iter()
-                            .map(|f| {
-                                format!(
-                                    "{f}: ::serde::Deserialize::from_content(\
-                                         ::serde::map_get(__m, \"{f}\")\
-                                             .ok_or_else(|| ::serde::DeError::missing_field(\"{name}::{vn}\", \"{f}\"))?)?"
-                                )
-                            })
+                            .map(|f| field_init(&owner, f))
                             .collect();
                         keyed_arms.push(format!(
                             "\"{vn}\" => {{\n\
