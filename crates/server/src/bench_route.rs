@@ -35,6 +35,12 @@ pub struct RouteBenchConfig {
     pub workers_per_shard: usize,
     /// Router back-end connections per shard.
     pub pool_per_shard: usize,
+    /// Replication factor for the router (default 1: the throughput
+    /// sweep measures partitioning; pass 3 to measure replication
+    /// write amplification and quorum latency instead).
+    pub replicas: usize,
+    /// Write quorum (clamped to `1..=replicas` per key).
+    pub write_quorum: usize,
     /// The workload replayed over the wire.
     pub workload: BenchConfig,
 }
@@ -46,6 +52,8 @@ impl Default for RouteBenchConfig {
             clients: 9,
             workers_per_shard: 2,
             pool_per_shard: 1,
+            replicas: 1,
+            write_quorum: 1,
             workload: BenchConfig {
                 files: 24,
                 contexts: 4,
@@ -89,11 +97,36 @@ pub struct RouteBenchRow {
     pub route_retries: u64,
     /// Shards the prober ejected during the row (0 on a clean run).
     pub shard_ejections: u64,
+    /// Replication factor the row ran at.
+    #[serde(default = "one")]
+    pub replicas: usize,
+    /// Write quorum the row ran at.
+    #[serde(default = "one")]
+    pub write_quorum: usize,
+    /// Replica commits across every quorum write.
+    #[serde(default)]
+    pub replica_writes: u64,
+    /// Writes that fell short of the quorum (0 on a healthy cluster).
+    #[serde(default)]
+    pub quorum_failures: u64,
+    /// `replica_writes / completed`: the replication write
+    /// amplification factor (≈ R on a healthy cluster).
+    #[serde(default)]
+    pub write_amplification: f64,
+    /// p95 client-observed latency of one quorum write, ms.
+    #[serde(default)]
+    pub quorum_p95_ms: f64,
     /// Logical CPUs on the machine that produced the row.
     pub host_cpus: usize,
     /// Threads the row used: clients + router accept/prober + per-shard
     /// workers and accept loops.
     pub threads: usize,
+}
+
+/// Serde default for rows written before replication existed (R=W=1).
+#[allow(dead_code)] // referenced only through `#[serde(default = "one")]`
+fn one() -> usize {
+    1
 }
 
 /// The whole sweep plus its headline ratio.
@@ -153,6 +186,8 @@ fn run_row(cfg: &RouteBenchConfig, shards: usize) -> Result<RouteBenchRow, Strin
         RouterConfig {
             max_connections: clients * 2,
             pool_per_shard: cfg.pool_per_shard.max(1),
+            replicas: cfg.replicas.max(1),
+            write_quorum: cfg.write_quorum.max(1),
             ..RouterConfig::default()
         },
     )
@@ -176,35 +211,49 @@ fn run_row(cfg: &RouteBenchConfig, shards: usize) -> Result<RouteBenchRow, Strin
         .into_iter()
         .enumerate()
         .map(|(c, slice)| {
-            std::thread::spawn(move || -> Result<(u64, u64), String> {
+            std::thread::spawn(move || -> Result<(u64, u64, Vec<f64>), String> {
                 let mut client = NetClient::connect(addr, Duration::from_secs(60))
                     .map_err(|e| format!("client {c} connect: {e}"))?;
                 let mut completed = 0u64;
                 let mut refused = 0u64;
+                let mut op_ms = Vec::with_capacity(slice.len());
                 for job in &slice {
+                    let op = Instant::now();
                     match client
                         .compress(&job.file, &job.sequence, job.priority, job.context.clone())
                         .map_err(|e| format!("client {c} compress: {e}"))?
                     {
-                        Response::CompressOk { .. } => completed += 1,
+                        Response::CompressOk { .. } => {
+                            completed += 1;
+                            op_ms.push(op.elapsed().as_secs_f64() * 1_000.0);
+                        }
                         Response::Error { .. } => refused += 1,
                         other => return Err(format!("client {c}: unexpected reply {other:?}")),
                     }
                 }
                 client.bye().map_err(|e| format!("client {c} bye: {e}"))?;
-                Ok((completed, refused))
+                Ok((completed, refused, op_ms))
             })
         })
         .collect();
 
     let mut completed = 0u64;
     let mut refused = 0u64;
+    let mut op_ms: Vec<f64> = Vec::new();
     for t in threads {
-        let (c, r) = t.join().map_err(|_| "bench client panicked".to_owned())??;
+        let (c, r, ms) = t.join().map_err(|_| "bench client panicked".to_owned())??;
         completed += c;
         refused += r;
+        op_ms.extend(ms);
     }
     let wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
+    // p95 of acknowledged writes, merged across every client thread.
+    let quorum_p95_ms = if op_ms.is_empty() {
+        0.0
+    } else {
+        op_ms.sort_by(|a, b| a.total_cmp(b));
+        op_ms[((op_ms.len() - 1) * 95) / 100]
+    };
 
     let snapshot = router.shutdown();
     for server in servers {
@@ -236,6 +285,12 @@ fn run_row(cfg: &RouteBenchConfig, shards: usize) -> Result<RouteBenchRow, Strin
         route_forwards: snapshot.route_forwards,
         route_retries: snapshot.route_retries,
         shard_ejections: snapshot.shard_ejections,
+        replicas: cfg.replicas.max(1),
+        write_quorum: cfg.write_quorum.max(1),
+        replica_writes: snapshot.replica_writes,
+        quorum_failures: snapshot.quorum_failures,
+        write_amplification: snapshot.replica_writes as f64 / completed.max(1) as f64,
+        quorum_p95_ms,
         host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
         threads: clients + 2 + shards * (cfg.workers_per_shard.max(1) + 1),
     })
@@ -273,6 +328,8 @@ mod tests {
             clients: 3,
             workers_per_shard: 1,
             pool_per_shard: 1,
+            replicas: 2,
+            write_quorum: 2,
             workload: BenchConfig {
                 files: 4,
                 contexts: 1,
@@ -290,6 +347,15 @@ mod tests {
         assert!(row.route_forwards >= row.jobs);
         assert_eq!(row.shard_ejections, 0);
         assert!(row.host_cpus >= 1);
+        // Replicated row: every completed write committed on both
+        // shards (W = R = 2), so amplification is exactly 2 and every
+        // quorum was met.
+        assert_eq!(row.replicas, 2);
+        assert_eq!(row.write_quorum, 2);
+        assert_eq!(row.quorum_failures, 0);
+        assert_eq!(row.replica_writes, 2 * row.completed);
+        assert!((row.write_amplification - 2.0).abs() < 1e-9);
+        assert!(row.quorum_p95_ms > 0.0);
         // No 1-shard and 3-shard rows → no headline ratio.
         assert_eq!(report.speedup_3_vs_1, 0.0);
     }

@@ -45,6 +45,7 @@ pub mod cache;
 pub mod conn;
 pub mod dlq;
 pub mod dlq_dir;
+pub mod hints;
 pub mod metrics;
 pub mod net;
 pub mod proto;
@@ -69,6 +70,7 @@ pub use cache::{ContextKey, LruCache};
 pub use conn::{read_frame, write_frame, Checkout, CountingStream, FaultyStream, StreamPool, IO_TICK};
 pub use dlq::{DeadLetter, DeadLetterInfo, DeadLetterQueue, QuarantineRegistry};
 pub use dlq_dir::DlqDir;
+pub use hints::HintQueue;
 pub use metrics::{
     AlgorithmWins, Metrics, MetricsSnapshot, RouterMetrics, RouterMetricsSnapshot, ShardLabel,
 };
@@ -79,7 +81,10 @@ pub use proto::{
 };
 pub use queue::{JobQueue, Priority, PushError};
 pub use ring::{Ring, ShardSpec, DEFAULT_RING_SEED, DEFAULT_VNODES};
-pub use router::{rebalance, RebalanceReport, RouterConfig, RouterServer};
+pub use router::{
+    rebalance, rebalance_resumable, repair, RebalanceCursor, RebalanceReport, RepairReport,
+    RouterConfig, RouterServer,
+};
 pub use service::{
     CompressRequest, CompressResponse, CompressionService, JobError, JobResult, JobTicket,
     ServiceConfig, SubmitError,

@@ -646,6 +646,14 @@ pub struct RouterMetrics {
     route_retries: AtomicU64,
     shard_ejections: AtomicU64,
     shard_readmissions: AtomicU64,
+    replica_writes: AtomicU64,
+    quorum_failures: AtomicU64,
+    read_repairs: AtomicU64,
+    hints_queued: AtomicU64,
+    hints_drained: AtomicU64,
+    hints_dropped: AtomicU64,
+    hints_pending: AtomicU64,
+    repair_buckets_shipped: AtomicU64,
     per_shard: Vec<ShardCounters>,
 }
 
@@ -664,6 +672,14 @@ impl RouterMetrics {
             route_retries: AtomicU64::new(0),
             shard_ejections: AtomicU64::new(0),
             shard_readmissions: AtomicU64::new(0),
+            replica_writes: AtomicU64::new(0),
+            quorum_failures: AtomicU64::new(0),
+            read_repairs: AtomicU64::new(0),
+            hints_queued: AtomicU64::new(0),
+            hints_drained: AtomicU64::new(0),
+            hints_dropped: AtomicU64::new(0),
+            hints_pending: AtomicU64::new(0),
+            repair_buckets_shipped: AtomicU64::new(0),
             per_shard: (0..shards).map(|_| ShardCounters::default()).collect(),
         }
     }
@@ -750,6 +766,52 @@ impl RouterMetrics {
         }
     }
 
+    /// One replica of a quorum write committed (per-shard attribution
+    /// already lands in that slot's `forwards`).
+    pub fn record_replica_write(&self) {
+        self.replica_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A replicated write fell short of its write quorum.
+    pub fn record_quorum_failure(&self) {
+        self.quorum_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A Get repaired a stale replica with the canonical bytes.
+    pub fn record_read_repair(&self) {
+        self.read_repairs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A handoff hint was persisted for a missed replica.
+    pub fn record_hint_queued(&self) {
+        self.hints_queued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A persisted hint was delivered to its shard and removed.
+    pub fn record_hint_drained(&self) {
+        self.hints_drained.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A hint was dropped (queue at capacity, or condemned as
+    /// corrupt); anti-entropy repair is now that replica's only path
+    /// to convergence.
+    pub fn record_hint_dropped(&self) {
+        self.hints_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Set the hints-pending **gauge** (hints currently persisted and
+    /// undelivered — it falls as hints drain, unlike the counters).
+    pub fn set_hints_pending(&self, pending: u64) {
+        self.hints_pending.store(pending, Ordering::Relaxed);
+    }
+
+    /// An anti-entropy sweep shipped `buckets` differing digest
+    /// buckets.
+    pub fn record_repair_buckets(&self, buckets: u64) {
+        self.repair_buckets_shipped
+            .fetch_add(buckets, Ordering::Relaxed);
+    }
+
     /// Shared byte counters for `shard`, to hand to a
     /// [`crate::conn::CountingStream`] around each pooled connection.
     pub fn byte_counters(
@@ -801,6 +863,14 @@ impl RouterMetrics {
             route_retries: self.route_retries.load(Ordering::Relaxed),
             shard_ejections: self.shard_ejections.load(Ordering::Relaxed),
             shard_readmissions: self.shard_readmissions.load(Ordering::Relaxed),
+            replica_writes: self.replica_writes.load(Ordering::Relaxed),
+            quorum_failures: self.quorum_failures.load(Ordering::Relaxed),
+            read_repairs: self.read_repairs.load(Ordering::Relaxed),
+            hints_queued: self.hints_queued.load(Ordering::Relaxed),
+            hints_drained: self.hints_drained.load(Ordering::Relaxed),
+            hints_dropped: self.hints_dropped.load(Ordering::Relaxed),
+            hints_pending: self.hints_pending.load(Ordering::Relaxed),
+            repair_buckets_shipped: self.repair_buckets_shipped.load(Ordering::Relaxed),
             shards,
         }
     }
@@ -849,6 +919,11 @@ pub struct ShardCountersSnapshot {
 /// Point-in-time aggregated router rollup: the JSON payload
 /// `dnacomp route serve` prints and the router answers `Metrics`
 /// requests with.
+///
+/// Every numeric field is a **monotonic counter** (it only grows over
+/// the router's lifetime) except two **gauges** that read as current
+/// state and move in both directions: `hints_pending` (hints persisted
+/// but not yet delivered) and each shard row's `healthy` flag.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RouterMetricsSnapshot {
     /// Ring epoch the router is serving.
@@ -875,6 +950,34 @@ pub struct RouterMetricsSnapshot {
     pub shard_ejections: u64,
     /// Re-admissions across all shards.
     pub shard_readmissions: u64,
+    /// Replica commits across all quorum writes (counter; divide by
+    /// acknowledged writes for the write amplification factor).
+    #[serde(default)]
+    pub replica_writes: u64,
+    /// Writes that fell short of their write quorum (counter).
+    #[serde(default)]
+    pub quorum_failures: u64,
+    /// Stale replicas repaired on the read path (counter).
+    #[serde(default)]
+    pub read_repairs: u64,
+    /// Handoff hints persisted for missed replicas (counter).
+    #[serde(default)]
+    pub hints_queued: u64,
+    /// Hints delivered to their shard and removed (counter).
+    #[serde(default)]
+    pub hints_drained: u64,
+    /// Hints dropped at capacity or condemned as corrupt (counter).
+    #[serde(default)]
+    pub hints_dropped: u64,
+    /// Hints persisted and still undelivered (**gauge** — falls as
+    /// the drain catches up; the only non-monotonic number here
+    /// besides per-shard `healthy`).
+    #[serde(default)]
+    pub hints_pending: u64,
+    /// Differing digest buckets shipped by anti-entropy sweeps
+    /// (counter).
+    #[serde(default)]
+    pub repair_buckets_shipped: u64,
     /// Per-shard rollup, in ring slot order.
     pub shards: Vec<ShardCountersSnapshot>,
 }
@@ -903,6 +1006,16 @@ mod tests {
         m.record_shard_frames(0, 3, 3);
         m.record_ejection(1);
         m.record_readmission(1);
+        m.record_replica_write();
+        m.record_replica_write();
+        m.record_quorum_failure();
+        m.record_read_repair();
+        m.record_hint_queued();
+        m.record_hint_queued();
+        m.record_hint_drained();
+        m.record_hint_dropped();
+        m.set_hints_pending(1);
+        m.record_repair_buckets(3);
         let (tx, rx) = m.byte_counters(0);
         tx.fetch_add(100, Ordering::Relaxed);
         rx.fetch_add(40, Ordering::Relaxed);
@@ -924,6 +1037,17 @@ mod tests {
         assert_eq!(snap.route_retries, 1);
         assert_eq!(snap.shard_ejections, 1);
         assert_eq!(snap.shard_readmissions, 1);
+        assert_eq!(snap.replica_writes, 2);
+        assert_eq!(snap.quorum_failures, 1);
+        assert_eq!(snap.read_repairs, 1);
+        assert_eq!(snap.hints_queued, 2);
+        assert_eq!(snap.hints_drained, 1);
+        assert_eq!(snap.hints_dropped, 1);
+        assert_eq!(snap.hints_pending, 1);
+        assert_eq!(snap.repair_buckets_shipped, 3);
+        // The gauge moves both ways; counters never do.
+        m.set_hints_pending(0);
+        assert_eq!(m.snapshot(0xABC, &labels).hints_pending, 0);
         assert_eq!(snap.shards.len(), 2);
         assert_eq!(snap.shards[0].forwards, 1);
         assert_eq!(snap.shards[0].errors, 1);

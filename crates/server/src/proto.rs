@@ -159,6 +159,11 @@ pub enum ErrorCode {
     /// The peer's ring view disagrees with this node: stale ring
     /// epoch, or a shard identity claim that does not match.
     WrongShard = 13,
+    /// A replicated write committed on fewer shards than its write
+    /// quorum. Replicas that did commit keep their copies — re-sending
+    /// the same sequence is idempotent under content addressing — but
+    /// the client must not treat the write as durable.
+    QuorumFailed = 14,
 }
 
 impl ErrorCode {
@@ -178,6 +183,7 @@ impl ErrorCode {
             11 => ErrorCode::Handshake,
             12 => ErrorCode::ShardDown,
             13 => ErrorCode::WrongShard,
+            14 => ErrorCode::QuorumFailed,
             _ => return None,
         })
     }
@@ -199,6 +205,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::Handshake => "handshake",
             ErrorCode::ShardDown => "shard-down",
             ErrorCode::WrongShard => "wrong-shard",
+            ErrorCode::QuorumFailed => "quorum-failed",
         };
         f.write_str(name)
     }
@@ -1085,6 +1092,10 @@ mod tests {
                 code: ErrorCode::WrongShard,
                 message: "stale ring epoch".into(),
             },
+            Response::Error {
+                code: ErrorCode::QuorumFailed,
+                message: "1 of 3 replica commits, need 2".into(),
+            },
             Response::HelloEpochOk {
                 version: 1,
                 epoch: u64::MAX,
@@ -1210,11 +1221,11 @@ mod tests {
         );
         assert_eq!(ErrorCode::from_wire(0), None);
         assert_eq!(ErrorCode::from_wire(200), None);
-        for code in 1..=13u8 {
+        for code in 1..=14u8 {
             let decoded = ErrorCode::from_wire(code).unwrap();
             assert_eq!(decoded as u8, code);
         }
-        assert_eq!(ErrorCode::from_wire(14), None);
+        assert_eq!(ErrorCode::from_wire(15), None);
     }
 
     #[test]

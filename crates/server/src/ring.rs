@@ -137,17 +137,31 @@ impl Ring {
     /// designated retry target when the owner is down. `None` on a
     /// single-shard ring.
     pub fn successor_slot(&self, key: &[u8; 16]) -> Option<usize> {
-        let owner = self.slot_for(key);
+        self.replica_slots(key, 2).get(1).copied()
+    }
+
+    /// The **replica set** for `key`: up to `replicas` distinct slots,
+    /// starting with the owner and continuing clockwise to the next
+    /// distinct shards — the placement rule for replicated writes.
+    /// The walk is the same one [`Ring::successor_slot`] takes, so the
+    /// R=2 replica set is exactly `[owner, successor]`. Capped by the
+    /// fleet size; the owner is always element 0.
+    pub fn replica_slots(&self, key: &[u8; 16], replicas: usize) -> Vec<usize> {
+        let want = replicas.max(1).min(self.shards.len());
         let p = key_point(self.seed, key);
         let start = self.points.partition_point(|&(pt, _)| pt < p);
         let n = self.points.len();
+        let mut out = Vec::with_capacity(want);
         for i in 0..n {
             let (_, slot) = self.points[(start + i) % n];
-            if slot != owner {
-                return Some(slot);
+            if !out.contains(&slot) {
+                out.push(slot);
+                if out.len() == want {
+                    break;
+                }
             }
         }
-        None
+        out
     }
 }
 
@@ -209,6 +223,29 @@ mod tests {
         }
         let solo = Ring::new(vec![shard(1)], 32, 7).unwrap();
         assert_eq!(solo.successor_slot(&[0u8; 16]), None);
+    }
+
+    #[test]
+    fn replica_sets_are_distinct_owner_first_and_fleet_capped() {
+        let ring = Ring::new(vec![shard(1), shard(2), shard(3)], 64, 7).unwrap();
+        for k in keys(300) {
+            let set = ring.replica_slots(&k, 3);
+            assert_eq!(set.len(), 3, "R=3 on 3 shards covers the fleet");
+            assert_eq!(set[0], ring.slot_for(&k), "owner leads the set");
+            assert_eq!(set[1], ring.successor_slot(&k).unwrap());
+            let mut sorted = set.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "replicas must be distinct shards");
+            // Asking for more replicas than shards caps at the fleet;
+            // asking for zero still yields the owner.
+            assert_eq!(ring.replica_slots(&k, 9), set);
+            assert_eq!(ring.replica_slots(&k, 0), vec![set[0]]);
+            // The R=2 prefix is exactly [owner, successor].
+            assert_eq!(ring.replica_slots(&k, 2), set[..2].to_vec());
+        }
+        let solo = Ring::new(vec![shard(1)], 32, 7).unwrap();
+        assert_eq!(solo.replica_slots(&[0u8; 16], 3), vec![0]);
     }
 
     #[test]

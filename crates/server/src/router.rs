@@ -10,17 +10,25 @@
 //! router is stored on some shard, and a later get for its key routes
 //! to the same shard by construction.
 //!
-//! ## Failure discipline
+//! ## Replication and failure discipline
 //!
-//! Every hop is bounded: back-end checkouts and calls live under the
-//! per-shard deadline, a transport failure against the owner earns one
-//! bounded retry against the key's **designated successor** (the next
-//! distinct shard clockwise on the ring), and when both are gone the
-//! client gets a typed [`ErrorCode::ShardDown`] — never a hang, never
-//! a silent drop. `Get` adds a read fallback: a clean `UnknownKey`
-//! from the owner retries the successor, so keys written to the
-//! successor during an owner outage stay readable (no acknowledged
-//! put is ever lost to a failover).
+//! Every keyed write fans out to the key's **replica set** — the
+//! owner plus its R−1 distinct ring successors
+//! ([`Ring::replica_slots`]) — and the client is acknowledged only
+//! once a configurable **write quorum** W of replicas committed.
+//! Per-replica failures are typed partial results, never client
+//! errors: as long as the quorum held, each missed replica becomes a
+//! persisted **hinted handoff** record ([`crate::hints::HintQueue`])
+//! that the prober drains back to the shard once it is healthy again.
+//! Only a write that cannot reach W replicas surfaces, as a typed
+//! [`ErrorCode::QuorumFailed`].
+//!
+//! Reads walk the same replica set: a transport failure or clean
+//! `UnknownKey` falls through to the next replica, and a replica that
+//! missed (or serves a corrupt container) is **read-repaired** with
+//! the canonical bytes — verified against the content key — over the
+//! checksummed migrate path. Exhausting every replica is a typed
+//! [`ErrorCode::ShardDown`]; never a hang, never a silent drop.
 //!
 //! A prober thread pings every shard on a fixed cadence; consecutive
 //! failures eject a shard (strike-based, like connection kills), a
@@ -28,7 +36,7 @@
 //! forwarding path, which is what turns a dead back-end from "every
 //! request times out" into "requests fail over instantly".
 //!
-//! ## Epochs and rebalance
+//! ## Epochs, rebalance and anti-entropy
 //!
 //! The ring's membership digest — its **epoch** — is asserted by
 //! epoch-aware peers in the `HelloEpoch` handshake. A router refuses
@@ -37,9 +45,15 @@
 //! [`rebalance`] walks every shard's resident keys over the wire and
 //! migrates misplaced records to their new owners in checksummed
 //! batches, deleting each source record only after the destination
-//! acknowledged the copy.
+//! acknowledged the copy; the sweep persists a resumable cursor so a
+//! crash restarts where it stopped instead of rescanning every shard.
+//! [`repair`] is the self-healing backstop: an anti-entropy sweep
+//! that compares bucketed key digests per shard and ships only the
+//! differing buckets, so a shard restored from an empty disk
+//! converges to full replication without a manual rebalance.
 
 use crate::conn::{read_frame, write_frame, Checkout, CountingStream, StreamPool, IO_TICK};
+use crate::hints::{key_hex, key_unhex, HintQueue};
 use crate::metrics::{RouterMetrics, RouterMetricsSnapshot, ShardLabel};
 use crate::net::{ClientError, NetClient};
 use crate::proto::{
@@ -47,12 +61,15 @@ use crate::proto::{
 };
 use crate::queue::Priority;
 use crate::ring::{Ring, ShardSpec};
-use dnacomp_codec::checksum::fnv1a;
+use dnacomp_algos::{compressor_for, Algorithm, CompressedBlob};
+use dnacomp_codec::checksum::{fnv1a, mix64};
 use dnacomp_core::{contain_panic, Context, Deadline};
 use dnacomp_seq::PackedSeq;
 use dnacomp_store::ContentKey;
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -90,6 +107,19 @@ pub struct RouterConfig {
     /// Handshake back-ends with `HelloEpoch` (requires shards started
     /// with matching `--shard-id`/`--epoch`); plain `Hello` otherwise.
     pub pinned_backends: bool,
+    /// Replication factor R: each keyed write lands on the key's
+    /// owner plus the next R−1 distinct shards clockwise (capped by
+    /// the fleet size; 1 = the old single-owner behaviour).
+    pub replicas: usize,
+    /// Write quorum W: replica commits required before the client is
+    /// acknowledged (clamped to `1..=R` per key).
+    pub write_quorum: usize,
+    /// Directory persisting hinted-handoff records for replicas that
+    /// missed a quorum write; `None` disables hinting (anti-entropy
+    /// repair remains the convergence path).
+    pub hint_dir: Option<PathBuf>,
+    /// Pending hints held before new ones are dropped (and counted).
+    pub hint_cap: usize,
 }
 
 impl Default for RouterConfig {
@@ -108,6 +138,10 @@ impl Default for RouterConfig {
             probe_timeout: Duration::from_millis(500),
             probe_strikes: 3,
             pinned_backends: false,
+            replicas: 3,
+            write_quorum: 2,
+            hint_dir: None,
+            hint_cap: 1024,
         }
     }
 }
@@ -130,6 +164,7 @@ struct RouterShared {
     cfg: RouterConfig,
     shards: Vec<ShardState>,
     metrics: RouterMetrics,
+    hints: Option<HintQueue>,
 }
 
 impl RouterShared {
@@ -256,33 +291,50 @@ fn with_backend<T>(
     }
 }
 
-/// Forward one keyed request: owner first, then the designated
-/// successor on transport failure (and, for `Get`, on a clean miss).
-/// Exhausting both is a typed `ShardDown`.
+fn healthy(shared: &RouterShared, slot: usize) -> bool {
+    shared.shards[slot].healthy.load(Ordering::Relaxed)
+}
+
+fn backend_failure(shared: &RouterShared, slot: usize, e: &BackendError) -> String {
+    match e {
+        BackendError::PoolBusy => {
+            format!("shard {} pool saturated", shared.shards[slot].spec.id)
+        }
+        BackendError::Transport(err) => {
+            format!("shard {}: {err}", shared.shards[slot].spec.id)
+        }
+    }
+}
+
+/// The candidate order for one key's reads: its replica set, widened
+/// to at least two distinct shards so an unreplicated ring keeps the
+/// owner → successor fallback, filtered to healthy shards. If the
+/// whole set is ejected the unfiltered set is returned — one
+/// desperate pass still beats an instant refusal (the prober may
+/// simply not have re-admitted anything yet).
+fn read_candidates(shared: &RouterShared, key: &[u8; 16]) -> Vec<usize> {
+    let all = shared.ring.replica_slots(key, shared.cfg.replicas.max(2));
+    let alive: Vec<usize> = all.iter().copied().filter(|&s| healthy(shared, s)).collect();
+    if alive.is_empty() {
+        all
+    } else {
+        alive
+    }
+}
+
+/// Forward one keyed read (`Stat {key}`): walk the key's replica
+/// candidates, falling through on transport failure and on a clean
+/// `UnknownKey` (the record may live on a replica that took it during
+/// an owner outage). Exhausting every candidate is a typed
+/// `ShardDown`; an everywhere-miss is the last `UnknownKey` verbatim.
 fn forward(
     shared: &RouterShared,
     key: &[u8; 16],
-    is_get: bool,
     run: impl Fn(&mut BackendClient) -> Result<Response, ClientError>,
 ) -> Response {
-    let owner = shared.ring.slot_for(key);
-    let successor = shared.ring.successor_slot(key);
-    let mut candidates = Vec::with_capacity(2);
-    if shared.shards[owner].healthy.load(Ordering::Relaxed) {
-        candidates.push(owner);
-    }
-    if let Some(s) = successor {
-        if shared.shards[s].healthy.load(Ordering::Relaxed) {
-            candidates.push(s);
-        }
-    }
-    if candidates.is_empty() {
-        // Everything relevant is ejected: one desperate try at the
-        // owner still beats an instant refusal (the prober may simply
-        // not have re-admitted it yet).
-        candidates.push(owner);
-    }
+    let candidates = read_candidates(shared, key);
     let last = candidates.len() - 1;
+    let mut last_miss: Option<Response> = None;
     let mut last_failure = String::from("no healthy candidate");
     for (i, &slot) in candidates.iter().enumerate() {
         shared.metrics.record_forward(slot);
@@ -291,40 +343,31 @@ fn forward(
                 shared.metrics.record_shard_frames(slot, 1, 1);
                 if let Response::Error { code, .. } = &resp {
                     shared.metrics.record_shard_error(slot);
-                    // Read fallback: the owner may legitimately miss a
-                    // key that landed on the successor during an
-                    // outage window.
-                    if is_get && *code == ErrorCode::UnknownKey && i < last {
-                        continue;
+                    if *code == ErrorCode::UnknownKey {
+                        if i < last {
+                            last_miss = Some(resp);
+                            continue;
+                        }
+                        return last_miss.unwrap_or(resp);
                     }
                 }
                 return resp;
             }
             Err(e) => {
-                last_failure = match e {
-                    BackendError::PoolBusy => {
-                        format!("shard {} pool saturated", shared.shards[slot].spec.id)
-                    }
-                    BackendError::Transport(err) => {
-                        format!("shard {}: {err}", shared.shards[slot].spec.id)
-                    }
-                };
+                last_failure = backend_failure(shared, slot, &e);
                 if i < last {
                     shared.metrics.record_retry(slot);
                 }
             }
         }
     }
-    Response::Error {
+    last_miss.unwrap_or_else(|| Response::Error {
         code: ErrorCode::ShardDown,
         message: format!(
-            "shard {} unreachable (successor {}): {last_failure}",
-            shared.shards[owner].spec.id,
-            successor.map_or_else(|| "none".to_owned(), |s| {
-                format!("{} too", shared.shards[s].spec.id)
-            })
+            "no replica of the key reachable ({} candidate shard(s)): {last_failure}",
+            candidates.len()
         ),
-    }
+    })
 }
 
 /// One shard's store stat, as its `Stat {key: None}` reply decodes.
@@ -460,9 +503,47 @@ fn err(code: ErrorCode, message: impl Into<String>) -> Response {
     }
 }
 
-/// Route a fully assembled sequence: its content key *is* the routing
-/// key, so the shard that compresses it is the shard that will own
-/// its gets.
+/// A quorum write committed but some replicas missed it: persist one
+/// handoff hint per missed replica, carrying the canonical container
+/// bytes fetched back from a committed holder. A replica the queue
+/// cannot take (capacity, I/O failure, no canonical copy readable) is
+/// a counted drop — anti-entropy repair is its convergence path.
+fn queue_hints(shared: &RouterShared, key: &[u8; 16], holder: usize, missed: &[usize]) {
+    let Some(hints) = &shared.hints else {
+        return;
+    };
+    let got = with_backend(shared, holder, shared.cfg.shard_timeout, |c| {
+        c.call(&Request::Get { key: *key })
+    });
+    let blob = match got {
+        Ok(Response::GetOk { blob }) => {
+            shared.metrics.record_shard_frames(holder, 1, 1);
+            blob
+        }
+        _ => {
+            for _ in missed {
+                shared.metrics.record_hint_dropped();
+            }
+            return;
+        }
+    };
+    for &slot in missed {
+        match hints.save(shared.shards[slot].spec.id, key, &blob) {
+            Ok(true) => shared.metrics.record_hint_queued(),
+            Ok(false) | Err(_) => shared.metrics.record_hint_dropped(),
+        }
+    }
+    shared.metrics.set_hints_pending(hints.pending() as u64);
+}
+
+/// Route a fully assembled sequence through a quorum write: its
+/// content key *is* the routing key, the replica set is the owner
+/// plus its R−1 distinct ring successors, and the client is
+/// acknowledged only once `write_quorum` replicas committed. Missed
+/// replicas become hinted handoffs — typed partial results, never
+/// client errors — as long as the quorum held; short of the quorum
+/// the client gets a typed `QuorumFailed` (safe to retry verbatim:
+/// duplicate keyed commits dedup by content address).
 fn route_compress(
     shared: &RouterShared,
     file: String,
@@ -471,8 +552,181 @@ fn route_compress(
     context: Context,
 ) -> Response {
     let key = ContentKey::of_sequence(&seq).0;
-    forward(shared, &key, false, move |c| {
-        c.compress(&file, &seq, priority, context.clone())
+    let replicas = shared.ring.replica_slots(&key, shared.cfg.replicas);
+    let quorum = shared.cfg.write_quorum.clamp(1, replicas.len());
+    let desperate = replicas.iter().all(|&s| !healthy(shared, s));
+    let mut first_ok: Option<Response> = None;
+    let mut commits = 0usize;
+    let mut holder: Option<usize> = None;
+    let mut missed: Vec<usize> = Vec::new();
+    let mut last_failure = String::from("no healthy replica");
+    for &slot in &replicas {
+        if !desperate && !healthy(shared, slot) {
+            missed.push(slot);
+            last_failure = format!("shard {} is ejected", shared.shards[slot].spec.id);
+            continue;
+        }
+        shared.metrics.record_forward(slot);
+        match with_backend(shared, slot, shared.cfg.shard_timeout, |c| {
+            c.compress(&file, &seq, priority, context.clone())
+        }) {
+            Ok(resp) => {
+                shared.metrics.record_shard_frames(slot, 1, 1);
+                match resp {
+                    Response::CompressOk { .. } => {
+                        shared.metrics.record_replica_write();
+                        commits += 1;
+                        holder.get_or_insert(slot);
+                        if first_ok.is_none() {
+                            first_ok = Some(resp);
+                        }
+                    }
+                    other => {
+                        shared.metrics.record_shard_error(slot);
+                        missed.push(slot);
+                        last_failure = match &other {
+                            Response::Error { code, message } => format!(
+                                "shard {}: {code}: {message}",
+                                shared.shards[slot].spec.id
+                            ),
+                            _ => format!(
+                                "shard {}: unexpected reply",
+                                shared.shards[slot].spec.id
+                            ),
+                        };
+                    }
+                }
+            }
+            Err(e) => {
+                missed.push(slot);
+                last_failure = backend_failure(shared, slot, &e);
+            }
+        }
+    }
+    if let Some(holder) = holder {
+        if !missed.is_empty() {
+            queue_hints(shared, &key, holder, &missed);
+        }
+    }
+    if commits >= quorum {
+        first_ok.expect("a committed replica produced the CompressOk")
+    } else {
+        shared.metrics.record_quorum_failure();
+        Response::Error {
+            code: ErrorCode::QuorumFailed,
+            message: format!(
+                "{commits} of {} replica commit(s), need {quorum}: {last_failure}",
+                replicas.len()
+            ),
+        }
+    }
+}
+
+/// Ship the canonical container to each stale (missed or divergent)
+/// replica over the checksummed migrate path. Where the algorithm can
+/// decompress standalone, the copy is first verified to decode back
+/// to the content key — bytes that are not canonical are never
+/// propagated.
+fn read_repair(shared: &RouterShared, key: &[u8; 16], blob: &[u8], stale: &[usize]) {
+    let Ok(container) = CompressedBlob::from_bytes(blob) else {
+        return;
+    };
+    if container.algorithm != Algorithm::Reference {
+        match compressor_for(container.algorithm).decompress(&container) {
+            Ok(seq) if ContentKey::of_sequence(&seq).0 == *key => {}
+            _ => return,
+        }
+    }
+    let epoch = shared.ring.epoch();
+    for &slot in stale {
+        if !healthy(shared, slot) {
+            continue;
+        }
+        let got = with_backend(shared, slot, shared.cfg.shard_timeout, |c| {
+            c.migrate_batch(epoch, vec![(*key, blob.to_vec())])
+        });
+        if got.is_ok() {
+            shared.metrics.record_shard_frames(slot, 1, 1);
+            shared.metrics.record_read_repair();
+        }
+    }
+}
+
+/// Route one `Get`: walk the key's replica candidates, falling
+/// through on transport failure, a clean `UnknownKey`, or a corrupt
+/// container (a divergent replica). The first good copy answers the
+/// client; healthy replicas that missed are then read-repaired with
+/// the canonical bytes.
+fn route_get(shared: &RouterShared, key: [u8; 16]) -> Response {
+    let candidates = read_candidates(shared, &key);
+    // Only true members of the replica set are repair targets — the
+    // widened R=1 successor is a legitimate non-holder.
+    let replica_set = shared.ring.replica_slots(&key, shared.cfg.replicas);
+    let last = candidates.len() - 1;
+    let mut stale: Vec<usize> = Vec::new();
+    let mut last_miss: Option<Response> = None;
+    let mut last_failure = String::from("no healthy candidate");
+    for (i, &slot) in candidates.iter().enumerate() {
+        shared.metrics.record_forward(slot);
+        match with_backend(shared, slot, shared.cfg.shard_timeout, |c| {
+            c.call(&Request::Get { key })
+        }) {
+            Ok(Response::GetOk { blob }) => {
+                shared.metrics.record_shard_frames(slot, 1, 1);
+                if CompressedBlob::from_bytes(&blob).is_err() {
+                    // Divergent replica: what it serves is not even a
+                    // valid container. Treat as a miss and repair it.
+                    shared.metrics.record_shard_error(slot);
+                    if replica_set.contains(&slot) {
+                        stale.push(slot);
+                    }
+                    last_failure = format!(
+                        "shard {} served a corrupt container",
+                        shared.shards[slot].spec.id
+                    );
+                    continue;
+                }
+                if !stale.is_empty() {
+                    read_repair(shared, &key, &blob, &stale);
+                }
+                return Response::GetOk { blob };
+            }
+            Ok(resp @ Response::Error { .. }) => {
+                shared.metrics.record_shard_frames(slot, 1, 1);
+                shared.metrics.record_shard_error(slot);
+                let is_miss = matches!(
+                    &resp,
+                    Response::Error {
+                        code: ErrorCode::UnknownKey,
+                        ..
+                    }
+                );
+                if !is_miss {
+                    return resp;
+                }
+                if replica_set.contains(&slot) && healthy(shared, slot) {
+                    stale.push(slot);
+                }
+                last_miss = Some(resp);
+            }
+            Ok(other) => {
+                shared.metrics.record_shard_frames(slot, 1, 1);
+                return other;
+            }
+            Err(e) => {
+                last_failure = backend_failure(shared, slot, &e);
+                if i < last {
+                    shared.metrics.record_retry(slot);
+                }
+            }
+        }
+    }
+    last_miss.unwrap_or_else(|| Response::Error {
+        code: ErrorCode::ShardDown,
+        message: format!(
+            "no replica of the key reachable ({} candidate shard(s)): {last_failure}",
+            candidates.len()
+        ),
     })
 }
 
@@ -728,13 +982,9 @@ fn dispatch(
                 ),
             }
         }
-        Request::Get { key } => (
-            forward(shared, &key, true, move |c| c.call(&Request::Get { key })),
-            Flow::Continue,
-            false,
-        ),
+        Request::Get { key } => (route_get(shared, key), Flow::Continue, false),
         Request::Stat { key: Some(key) } => (
-            forward(shared, &key, true, move |c| {
+            forward(shared, &key, move |c| {
                 c.call(&Request::Stat { key: Some(key) })
             }),
             Flow::Continue,
@@ -854,7 +1104,8 @@ fn handle_conn(mut stream: TcpStream, shared: &RouterShared, stop: &AtomicBool) 
     }
 }
 
-/// One probe pass over every shard: ping, strike, eject, re-admit.
+/// One probe pass over every shard: ping, strike, eject, re-admit —
+/// then drain pending handoff hints to every healthy shard.
 fn probe_pass(shared: &RouterShared) {
     for (slot, shard) in shared.shards.iter().enumerate() {
         let got = with_backend(shared, slot, shared.cfg.probe_timeout, |c| c.ping());
@@ -881,6 +1132,49 @@ fn probe_pass(shared: &RouterShared) {
             }
         }
     }
+    drain_hints(shared);
+}
+
+/// Deliver pending handoff hints to every currently-healthy shard,
+/// over the checksummed migrate path, removing each hint only after
+/// its shard acknowledged the batch. A delivery failure stops that
+/// shard's drain for this pass (it probably flapped again); a hint
+/// whose payload no longer parses is condemned as a counted drop.
+fn drain_hints(shared: &RouterShared) {
+    let Some(hints) = &shared.hints else {
+        return;
+    };
+    if hints.pending() == 0 {
+        return;
+    }
+    let epoch = shared.ring.epoch();
+    for (slot, shard) in shared.shards.iter().enumerate() {
+        if !shard.healthy.load(Ordering::Relaxed) {
+            continue;
+        }
+        for key in hints.for_shard(shard.spec.id) {
+            let bytes = match hints.load(shard.spec.id, &key) {
+                Ok(bytes) => bytes,
+                Err(_) => {
+                    let _ = hints.remove(shard.spec.id, &key);
+                    shared.metrics.record_hint_dropped();
+                    continue;
+                }
+            };
+            let got = with_backend(shared, slot, shared.cfg.shard_timeout, |c| {
+                c.migrate_batch(epoch, vec![(key, bytes.clone())])
+            });
+            match got {
+                Ok(_) => {
+                    shared.metrics.record_shard_frames(slot, 1, 1);
+                    let _ = hints.remove(shard.spec.id, &key);
+                    shared.metrics.record_hint_drained();
+                }
+                Err(_) => break,
+            }
+        }
+    }
+    shared.metrics.set_hints_pending(hints.pending() as u64);
 }
 
 /// A running shard router. [`shutdown`](RouterServer::shutdown) (or
@@ -922,12 +1216,24 @@ impl RouterServer {
                 pool: StreamPool::new(config.pool_per_shard),
             })
             .collect();
+        let hints = match &config.hint_dir {
+            Some(dir) => Some(HintQueue::open(dir, config.hint_cap).map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, e)
+            })?),
+            None => None,
+        };
         let shared = Arc::new(RouterShared {
             ring,
             cfg: config,
             shards,
             metrics,
+            hints,
         });
+        if let Some(h) = &shared.hints {
+            // Hints from a previous router process survive its restart;
+            // the gauge reflects them from the first snapshot on.
+            shared.metrics.set_hints_pending(h.pending() as u64);
+        }
 
         let prober_shared = Arc::clone(&shared);
         let prober_stop = Arc::clone(&stop);
@@ -1019,6 +1325,18 @@ impl RouterServer {
         self.shared.snapshot()
     }
 
+    /// Run one anti-entropy [`repair`] sweep over this router's ring
+    /// (dialling the shards directly, like [`rebalance`]) at the
+    /// router's configured replication factor, accounting shipped
+    /// buckets into the metrics rollup.
+    pub fn repair(&self, timeout: Duration, buckets: u32) -> Result<RepairReport, String> {
+        let report = repair(&self.shared.ring, self.shared.cfg.replicas, timeout, buckets)?;
+        self.shared
+            .metrics
+            .record_repair_buckets(report.buckets_shipped);
+        Ok(report)
+    }
+
     /// Stop accepting, drain in-flight connections and join every
     /// thread.
     pub fn shutdown(mut self) -> RouterMetricsSnapshot {
@@ -1075,8 +1393,10 @@ fn refuse_busy(shared: &RouterShared, mut stream: TcpStream) {
 /// Outcome of one [`rebalance`] sweep.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RebalanceReport {
-    /// Keys enumerated across every shard.
+    /// Keys enumerated and processed across every shard.
     pub scanned: u64,
+    /// Keys skipped because a resume cursor marked them done.
+    pub skipped: u64,
     /// Records shipped to their new owner.
     pub moved: u64,
     /// Shipped records the owner already held.
@@ -1087,64 +1407,158 @@ pub struct RebalanceReport {
     pub bytes: u64,
 }
 
-/// Migrate every misplaced record to its owner under `ring`.
-///
-/// For each shard: enumerate its resident keys, fetch each record the
-/// ring now assigns elsewhere, ship them to the owner in checksummed
-/// batches of at most `batch_records` records, and delete each source
-/// record **only after** the owner's typed `MigrateOk` acknowledged
-/// the batch — a crash mid-rebalance duplicates records (idempotent:
-/// the store dedups by key), it never loses one.
+/// Persisted progress of a [`rebalance_resumable`] sweep: shard slots
+/// strictly below `next_slot` are fully swept; within `next_slot`,
+/// keys at or below `last_key` (in sorted key order) are done. A
+/// cursor from a different ring epoch is ignored — the plan it
+/// tracked no longer exists.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RebalanceCursor {
+    /// Ring epoch the sweep was planned under.
+    pub epoch: u64,
+    /// First shard slot not yet fully swept.
+    pub next_slot: usize,
+    /// Last key (hex) already processed within `next_slot`, if any.
+    pub last_key: Option<String>,
+}
+
+/// Dial-on-demand connections for offline sweeps ([`rebalance`],
+/// [`repair`]): one lazily dialled plain-TCP client per shard slot.
+struct SweepConns<'a> {
+    ring: &'a Ring,
+    timeout: Duration,
+    conns: Vec<Option<NetClient<TcpStream>>>,
+}
+
+impl<'a> SweepConns<'a> {
+    fn new(ring: &'a Ring, timeout: Duration) -> Self {
+        SweepConns {
+            ring,
+            timeout,
+            conns: (0..ring.shards().len()).map(|_| None).collect(),
+        }
+    }
+
+    fn get(&mut self, slot: usize) -> Result<&mut NetClient<TcpStream>, String> {
+        if self.conns[slot].is_none() {
+            let addr = self.ring.shards()[slot].addr.as_str();
+            self.conns[slot] = Some(
+                NetClient::connect(addr, self.timeout)
+                    .map_err(|e| format!("dialling shard at {addr}: {e}"))?,
+            );
+        }
+        Ok(self.conns[slot].as_mut().expect("just connected"))
+    }
+
+    fn finish(self) {
+        for conn in self.conns.into_iter().flatten() {
+            let _ = conn.bye();
+        }
+    }
+}
+
+/// Migrate every misplaced record to its owner under `ring`, with
+/// `replicas` copies per key considered correctly placed. Equivalent
+/// to [`rebalance_resumable`] with no cursor.
 pub fn rebalance(
     ring: &Ring,
+    replicas: usize,
     timeout: Duration,
     batch_records: usize,
+) -> Result<RebalanceReport, String> {
+    rebalance_resumable(ring, replicas, timeout, batch_records, None)
+}
+
+/// Migrate every misplaced record to its owner under `ring`.
+///
+/// For each shard, in slot order: enumerate its resident keys in
+/// sorted order, fetch each record whose replica set (under
+/// `replicas`) does not include this shard, ship them to the key's
+/// owner in checksummed batches of at most `batch_records` records,
+/// and delete each source record **only after** the owner's typed
+/// `MigrateOk` acknowledged the batch — a crash mid-rebalance
+/// duplicates records (idempotent: the store dedups by key), it never
+/// loses one.
+///
+/// With `cursor_path` set, the sweep position is persisted after
+/// every batch and the file removed on completion; a re-run after a
+/// crash resumes from the cursor instead of rescanning every shard,
+/// counting cursor-skipped keys as `skipped` (fully-swept shards are
+/// not contacted at all). Cursor writes are best-effort: losing one
+/// only costs rescanning, never a record.
+pub fn rebalance_resumable(
+    ring: &Ring,
+    replicas: usize,
+    timeout: Duration,
+    batch_records: usize,
+    cursor_path: Option<&Path>,
 ) -> Result<RebalanceReport, String> {
     let batch_records = batch_records.max(1);
     let mut report = RebalanceReport::default();
     let epoch = ring.epoch();
     let n = ring.shards().len();
-    // One lazily dialled connection per shard, reused across batches.
-    let mut conns: Vec<Option<NetClient<TcpStream>>> = (0..n).map(|_| None).collect();
-    let connect = |conns: &mut Vec<Option<NetClient<TcpStream>>>,
-                       slot: usize|
-     -> Result<(), String> {
-        if conns[slot].is_none() {
-            let addr = ring.shards()[slot].addr.as_str();
-            conns[slot] = Some(
-                NetClient::connect(addr, timeout)
-                    .map_err(|e| format!("dialling shard at {addr}: {e}"))?,
-            );
-        }
-        Ok(())
-    };
+    let mut conns = SweepConns::new(ring, timeout);
 
-    for source in 0..n {
-        connect(&mut conns, source)?;
-        let keys = conns[source]
-            .as_mut()
-            .expect("just connected")
-            .keys()
-            .map_err(|e| format!("listing keys on shard {}: {e}", ring.shards()[source].id))?;
-        report.scanned += keys.len() as u64;
-
-        // Group misplaced keys by their new owner.
-        let mut by_owner: Vec<Vec<[u8; 16]>> = (0..n).map(|_| Vec::new()).collect();
-        for key in keys {
-            let owner = ring.slot_for(&key);
-            if owner != source {
-                by_owner[owner].push(key);
+    // Resume point, if a cursor from this epoch exists.
+    let mut start_slot = 0usize;
+    let mut resume_after: Option<[u8; 16]> = None;
+    if let Some(path) = cursor_path {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            if let Ok(cur) = serde_json::from_str::<RebalanceCursor>(&text) {
+                if cur.epoch == epoch {
+                    start_slot = cur.next_slot.min(n);
+                    resume_after = cur.last_key.as_deref().and_then(key_unhex);
+                }
             }
         }
+    }
+    let save_cursor = |slot: usize, last: Option<[u8; 16]>| {
+        if let Some(path) = cursor_path {
+            let cur = RebalanceCursor {
+                epoch,
+                next_slot: slot,
+                last_key: last.map(|k| key_hex(&k)),
+            };
+            if let Ok(json) = serde_json::to_string(&cur) {
+                let _ = std::fs::write(path, json);
+            }
+        }
+    };
 
-        for (owner, misplaced) in by_owner.into_iter().enumerate() {
-            for chunk in misplaced.chunks(batch_records) {
+    for source in start_slot..n {
+        let mut keys = conns
+            .get(source)?
+            .keys()
+            .map_err(|e| format!("listing keys on shard {}: {e}", ring.shards()[source].id))?;
+        keys.sort_unstable();
+        let cut = if source == start_slot {
+            resume_after.take()
+        } else {
+            None
+        };
+
+        // Walk keys in sorted order, flushing misplaced ones in
+        // batches; the cursor advances to the last enumerated key of
+        // each flushed batch, so everything at or before it is done.
+        let mut pending: Vec<[u8; 16]> = Vec::new();
+        let flush = |pending: &mut Vec<[u8; 16]>,
+                         conns: &mut SweepConns<'_>,
+                         report: &mut RebalanceReport,
+                         upto: [u8; 16]|
+         -> Result<(), String> {
+            let mut by_owner: BTreeMap<usize, Vec<[u8; 16]>> = BTreeMap::new();
+            for key in pending.drain(..) {
+                by_owner
+                    .entry(ring.replica_slots(&key, replicas)[0])
+                    .or_default()
+                    .push(key);
+            }
+            for (owner, keys) in by_owner {
                 // Fetch the batch from the source.
-                let mut records = Vec::with_capacity(chunk.len());
-                for &key in chunk {
-                    let got = conns[source]
-                        .as_mut()
-                        .expect("source connected")
+                let mut records = Vec::with_capacity(keys.len());
+                for &key in &keys {
+                    let got = conns
+                        .get(source)?
                         .call(&Request::Get { key })
                         .map_err(|e| format!("fetching record: {e}"))?;
                     match got {
@@ -1164,10 +1578,8 @@ pub fn rebalance(
                     continue;
                 }
                 let batch_keys: Vec<[u8; 16]> = records.iter().map(|(k, _)| *k).collect();
-                connect(&mut conns, owner)?;
-                let (stored, deduped) = conns[owner]
-                    .as_mut()
-                    .expect("owner connected")
+                let (stored, deduped) = conns
+                    .get(owner)?
                     .migrate_batch(epoch, records)
                     .map_err(|e| {
                         format!("migrating to shard {}: {e}", ring.shards()[owner].id)
@@ -1176,9 +1588,8 @@ pub fn rebalance(
                 report.deduped += deduped;
                 // Only now is the source copy redundant.
                 for key in batch_keys {
-                    if conns[source]
-                        .as_mut()
-                        .expect("source connected")
+                    if conns
+                        .get(source)?
                         .remove(key)
                         .map_err(|e| format!("removing migrated record: {e}"))?
                     {
@@ -1186,10 +1597,179 @@ pub fn rebalance(
                     }
                 }
             }
+            save_cursor(source, Some(upto));
+            Ok(())
+        };
+
+        let total = keys.len();
+        for (i, key) in keys.into_iter().enumerate() {
+            if let Some(cut) = cut {
+                if key <= cut {
+                    report.skipped += 1;
+                    continue;
+                }
+            }
+            report.scanned += 1;
+            if !ring.replica_slots(&key, replicas).contains(&source) {
+                pending.push(key);
+            }
+            if pending.len() >= batch_records || (i + 1 == total && !pending.is_empty()) {
+                flush(&mut pending, &mut conns, &mut report, key)?;
+            }
+        }
+        save_cursor(source + 1, None);
+    }
+    conns.finish();
+    if let Some(path) = cursor_path {
+        let _ = std::fs::remove_file(path);
+    }
+    Ok(report)
+}
+
+/// Outcome of one [`repair`] anti-entropy sweep.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Resident keys enumerated across every shard.
+    pub keys_scanned: u64,
+    /// `(shard, bucket)` digest pairs compared.
+    pub buckets_checked: u64,
+    /// Digests that disagreed with the expected placement.
+    pub buckets_differing: u64,
+    /// Differing buckets that had missing keys shipped (a bucket that
+    /// differs only by *extra* copies is [`rebalance`]'s business).
+    pub buckets_shipped: u64,
+    /// Records shipped to under-replicated shards.
+    pub keys_shipped: u64,
+    /// Shipped records the target already held.
+    pub deduped: u64,
+    /// Container bytes shipped over the wire.
+    pub bytes: u64,
+}
+
+/// The digest bucket a key rolls up into.
+fn repair_bucket(key: &[u8; 16], buckets: u32) -> u32 {
+    (fnv1a(key) % buckets as u64) as u32
+}
+
+/// Order-independent per-bucket rollup of a key set: each bucket
+/// holds a count and a wrapping sum of `mix64(fnv1a(key))` — two sets
+/// agree on a bucket iff (modulo collisions far below the container
+/// checksum's error floor) they hold the same keys in it.
+fn repair_digests(keys: &BTreeSet<[u8; 16]>, buckets: u32) -> Vec<(u64, u64)> {
+    let mut out = vec![(0u64, 0u64); buckets as usize];
+    for key in keys {
+        let b = repair_bucket(key, buckets) as usize;
+        out[b].0 += 1;
+        out[b].1 = out[b].1.wrapping_add(mix64(fnv1a(key)));
+    }
+    out
+}
+
+/// Anti-entropy sweep: converge every shard toward holding every key
+/// whose replica set (under `replicas`) includes it.
+///
+/// Instead of shipping whole key listings between shards, each
+/// shard's residency is rolled up into `buckets` order-independent
+/// FNV-1a digest buckets and compared against the expected placement
+/// of the cluster-wide key union. Only differing buckets are
+/// expanded, and only the missing keys are fetched from a current
+/// holder and shipped over the checksummed `MigrateBatch` path — so a
+/// shard restored from an empty disk converges to full replication
+/// while an already-converged cluster exchanges nothing but digests.
+///
+/// The sweep is **additive**: it never removes a record (extra copies
+/// after a membership change are [`rebalance`]'s business), so repair
+/// can never destroy a replica.
+pub fn repair(
+    ring: &Ring,
+    replicas: usize,
+    timeout: Duration,
+    buckets: u32,
+) -> Result<RepairReport, String> {
+    let buckets = buckets.max(1);
+    let n = ring.shards().len();
+    let mut report = RepairReport::default();
+    let mut conns = SweepConns::new(ring, timeout);
+
+    // Enumerate residency per shard.
+    let mut resident: Vec<BTreeSet<[u8; 16]>> = Vec::with_capacity(n);
+    for slot in 0..n {
+        let keys = conns
+            .get(slot)?
+            .keys()
+            .map_err(|e| format!("listing keys on shard {}: {e}", ring.shards()[slot].id))?;
+        report.keys_scanned += keys.len() as u64;
+        resident.push(keys.into_iter().collect());
+    }
+
+    // The cluster-wide key union, each with one current holder, and
+    // the placement every shard is expected to converge to.
+    let mut holders: BTreeMap<[u8; 16], usize> = BTreeMap::new();
+    for (slot, keys) in resident.iter().enumerate() {
+        for key in keys {
+            holders.entry(*key).or_insert(slot);
         }
     }
-    for conn in conns.into_iter().flatten() {
-        let _ = conn.bye();
+    let mut expected: Vec<BTreeSet<[u8; 16]>> = vec![BTreeSet::new(); n];
+    for key in holders.keys() {
+        for slot in ring.replica_slots(key, replicas) {
+            expected[slot].insert(*key);
+        }
     }
+
+    let epoch = ring.epoch();
+    for slot in 0..n {
+        let have = repair_digests(&resident[slot], buckets);
+        let want = repair_digests(&expected[slot], buckets);
+        for b in 0..buckets {
+            report.buckets_checked += 1;
+            if have[b as usize] == want[b as usize] {
+                continue;
+            }
+            report.buckets_differing += 1;
+            let missing: Vec<[u8; 16]> = expected[slot]
+                .iter()
+                .filter(|k| repair_bucket(k, buckets) == b && !resident[slot].contains(*k))
+                .copied()
+                .collect();
+            if missing.is_empty() {
+                continue;
+            }
+            report.buckets_shipped += 1;
+            // Fetch each missing key from a current holder, then ship
+            // the bucket to the shard in bounded checksummed batches.
+            let mut records: Vec<([u8; 16], Vec<u8>)> = Vec::with_capacity(missing.len());
+            for key in missing {
+                let holder = holders[&key];
+                let got = conns
+                    .get(holder)?
+                    .call(&Request::Get { key })
+                    .map_err(|e| format!("fetching record: {e}"))?;
+                match got {
+                    Response::GetOk { blob } => {
+                        report.bytes += blob.len() as u64;
+                        records.push((key, blob));
+                    }
+                    // Deleted between enumeration and fetch: fine.
+                    Response::Error {
+                        code: ErrorCode::UnknownKey,
+                        ..
+                    } => {}
+                    other => return Err(format!("unexpected get reply: {other:?}")),
+                }
+            }
+            for chunk in records.chunks(64) {
+                let (stored, deduped) = conns
+                    .get(slot)?
+                    .migrate_batch(epoch, chunk.to_vec())
+                    .map_err(|e| {
+                        format!("repairing shard {}: {e}", ring.shards()[slot].id)
+                    })?;
+                report.keys_shipped += stored;
+                report.deduped += deduped;
+            }
+        }
+    }
+    conns.finish();
     Ok(report)
 }

@@ -1,14 +1,19 @@
 //! Integration tests for the shard router: transparent forwarding
 //! (byte-identical gets via the router vs direct), epoch-checked
-//! handshakes, over-the-wire rebalance after membership changes, and
-//! the 3-shard chaos soak with a mid-run shard kill/restart.
+//! handshakes, over-the-wire rebalance after membership changes
+//! (cursor-resumable), read-repair, and the 3-shard chaos soaks with
+//! mid-run shard kills.
 //!
 //! The acceptance bar: with fault-injected clients AND one shard
 //! killed and restarted mid-soak, every request gets exactly one typed
 //! reply (or a clean transport break — never a hang), no acknowledged
 //! compress is ever lost (every acked key stays readable through the
 //! router), the prober ejects and re-admits the dead shard, and at
-//! fault rate zero the accounting is exact.
+//! fault rate zero the accounting is exact. Under replication the bar
+//! rises: with one shard killed and LEFT DOWN, every quorum-acked Put
+//! stays readable byte-identical, and after revival hinted handoff
+//! plus anti-entropy converge the shard back to zero digest drift with
+//! exact counter accounting.
 
 use dnacomp_algos::{compressor_for, Algorithm, CompressedBlob};
 use dnacomp_cloud::FaultPlan;
@@ -16,9 +21,9 @@ use dnacomp_core::{Context, Deadline};
 use dnacomp_seq::gen::GenomeModel;
 use dnacomp_seq::PackedSeq;
 use dnacomp_server::{
-    synthetic_framework, ClientError, CompressionService, ErrorCode, FaultyStream, NetClient,
-    NetConfig, NetServer, Priority, Response, Ring, RouterConfig, RouterServer, ServiceConfig,
-    ShardSpec, IO_TICK,
+    rebalance_resumable, synthetic_framework, ClientError, CompressionService, ErrorCode,
+    FaultyStream, NetClient, NetConfig, NetServer, Priority, RebalanceCursor, Response, Ring,
+    RouterConfig, RouterServer, ServiceConfig, ShardSpec, IO_TICK,
 };
 use dnacomp_store::{ContentKey, SequenceStore, StoreConfig};
 use std::net::{SocketAddr, TcpStream};
@@ -313,7 +318,7 @@ fn rebalance_moves_every_key_to_its_ring_owner_byte_identical() {
         originals.push((key, blob.to_bytes()));
     }
 
-    let report = dnacomp_server::rebalance(&ring, Duration::from_secs(10), 5).unwrap();
+    let report = dnacomp_server::rebalance(&ring, 1, Duration::from_secs(10), 5).unwrap();
     let misplaced = originals
         .iter()
         .filter(|(k, _)| ring.slot_for(&k.0) != 0)
@@ -345,11 +350,331 @@ fn rebalance_moves_every_key_to_its_ring_owner_byte_identical() {
     }
 
     // A second sweep is a no-op: the cluster converged.
-    let again = dnacomp_server::rebalance(&ring, Duration::from_secs(10), 5).unwrap();
+    let again = dnacomp_server::rebalance(&ring, 1, Duration::from_secs(10), 5).unwrap();
     assert_eq!(again.moved, 0);
     assert_eq!(again.removed, 0);
     assert_eq!(again.scanned, 16);
 
+    for s in shards {
+        s.teardown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Resumable rebalance: a persisted cursor skips finished work exactly
+// ---------------------------------------------------------------------------
+
+fn hex(key: &[u8; 16]) -> String {
+    key.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[test]
+fn rebalance_resumes_from_a_persisted_cursor_with_exact_accounting() {
+    let shards: Vec<Shard> = (1..=3).map(|id| Shard::start(id, "cursor")).collect();
+    let ring = Ring::new(shards.iter().map(|s| s.spec.clone()).collect(), 64, 7).unwrap();
+    let cursor_path = std::env::temp_dir().join(format!(
+        "dnacomp-route-cursor-{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&cursor_path);
+
+    // Everything lands on shard 0, as if the cluster grew from one node.
+    for i in 0..16usize {
+        let seq = GenomeModel::random_only(0.5).generate(900 + i * 211, 177 + i as u64);
+        let blob = compressor_for(Algorithm::Gzip).compress(&seq).unwrap();
+        shards[0]
+            .store
+            .put_with_key(ContentKey::of_sequence(&seq), &blob)
+            .unwrap();
+    }
+    let mut keys0: Vec<[u8; 16]> = shards[0].store.keys().iter().map(|k| k.0).collect();
+    keys0.sort_unstable();
+    let cut = keys0[7];
+
+    // A crash left a cursor saying: slot 0 is done through `cut`.
+    let cursor = RebalanceCursor {
+        epoch: ring.epoch(),
+        next_slot: 0,
+        last_key: Some(hex(&cut)),
+    };
+    std::fs::write(&cursor_path, serde_json::to_string(&cursor).unwrap()).unwrap();
+
+    let resumed =
+        rebalance_resumable(&ring, 1, Duration::from_secs(10), 5, Some(&cursor_path)).unwrap();
+    // Exactly the 8 keys at or before the cursor were skipped; the 8
+    // processed ones are scanned once on slot 0 plus once more on any
+    // destination slot they were shipped to.
+    assert_eq!(resumed.skipped, 8);
+    assert_eq!(resumed.scanned, 8 + resumed.moved + resumed.deduped);
+    assert!(
+        !cursor_path.exists(),
+        "cursor must be removed on completion"
+    );
+    // The skipped misplaced keys were really left alone.
+    let left_behind: Vec<[u8; 16]> = keys0[..8]
+        .iter()
+        .copied()
+        .filter(|k| ring.slot_for(k) != 0)
+        .collect();
+    assert!(!left_behind.is_empty(), "degenerate ring: nothing skipped was misplaced");
+    for key in &left_behind {
+        shards[0]
+            .store
+            .get(&ContentKey(*key))
+            .expect("cursor-skipped key must still be on the source shard");
+    }
+
+    // A cursor from another epoch is ignored: the full sweep runs and
+    // converges the stragglers.
+    let stale = RebalanceCursor {
+        epoch: ring.epoch() ^ 0xBAD,
+        next_slot: ring.shards().len(),
+        last_key: None,
+    };
+    std::fs::write(&cursor_path, serde_json::to_string(&stale).unwrap()).unwrap();
+    let full =
+        rebalance_resumable(&ring, 1, Duration::from_secs(10), 5, Some(&cursor_path)).unwrap();
+    assert_eq!(full.skipped, 0, "stale-epoch cursor must be ignored");
+    assert_eq!(full.moved + full.deduped, left_behind.len() as u64);
+    assert!(!cursor_path.exists());
+
+    // Converged: every key sits on exactly its owner.
+    for key in &keys0 {
+        let owner = ring.slot_for(key);
+        for (slot, shard) in shards.iter().enumerate() {
+            let held = shard.store.get(&ContentKey(*key));
+            if slot == owner {
+                held.expect("owner holds the record");
+            } else {
+                assert!(held.is_err(), "stale copy of {key:02x?} on slot {slot}");
+            }
+        }
+    }
+
+    for s in shards {
+        s.teardown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Read-repair: a divergent replica is healed by the next read through it
+// ---------------------------------------------------------------------------
+
+#[test]
+fn read_repair_restores_a_divergent_replica() {
+    let (shards, router) = start_cluster(3, "readrep");
+    let ring = Ring::new(shards.iter().map(|s| s.spec.clone()).collect(), 64, 7).unwrap();
+
+    let mut client = connect(router.local_addr());
+    let seq = GenomeModel::random_only(0.5).generate(2_048, 99);
+    let key = match client
+        .compress("readrep.fa", &seq, Priority::Normal, ctx_for(&seq))
+        .expect("compress via router")
+    {
+        Response::CompressOk { key: Some(key), .. } => key,
+        other => panic!("expected stored CompressOk, got {other:?}"),
+    };
+
+    // R = 3 over 3 shards: every store holds the record.
+    for shard in &shards {
+        shard.store.get(&ContentKey(key)).expect("replica holds the record");
+    }
+
+    // Diverge the owner (bit-rot, botched restore, …): drop its copy.
+    let owner = ring.replica_slots(&key, 3)[0];
+    assert!(shards[owner].store.remove(&ContentKey(key)).unwrap());
+
+    // A read through the router falls through to the next replica and
+    // synchronously repairs the stale one before replying.
+    let bytes = client.get(key).expect("get via router with a divergent owner");
+    let blob = CompressedBlob::from_bytes(&bytes).expect("served blob parses");
+    let back = compressor_for(blob.algorithm).decompress(&blob).expect("decompress");
+    assert_eq!(back, seq, "read-repair path altered bytes");
+    assert_eq!(
+        shards[owner]
+            .store
+            .get(&ContentKey(key))
+            .expect("owner re-converged by read-repair")
+            .to_bytes(),
+        bytes,
+        "repaired copy differs from the served one"
+    );
+
+    client.bye().unwrap();
+    let snap = router.shutdown();
+    assert_eq!(snap.read_repairs, 1, "exactly one read-repair must be recorded");
+    assert_eq!(snap.quorum_failures, 0);
+    for s in shards {
+        s.teardown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The replicated chaos soak: one shard killed and LEFT DOWN — every
+// quorum-acked Put stays readable; hint drain + anti-entropy converge
+// the revived shard with exact counter accounting
+// ---------------------------------------------------------------------------
+
+#[test]
+fn quorum_acked_puts_survive_one_shard_down_and_self_heal() {
+    const CLIENTS: usize = 4;
+    const OPS: usize = 16;
+    let hint_dir = std::env::temp_dir().join(format!(
+        "dnacomp-route-heal-hints-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&hint_dir);
+
+    let mut shards: Vec<Shard> = (1..=3).map(|id| Shard::start(id, "heal")).collect();
+    let ring = Ring::new(shards.iter().map(|s| s.spec.clone()).collect(), 64, 7).unwrap();
+    let router = RouterServer::start(
+        "127.0.0.1:0",
+        ring.clone(),
+        RouterConfig {
+            hint_dir: Some(hint_dir.clone()),
+            hint_cap: 256,
+            ..quick_router() // replicas 3, write quorum 2 (the defaults)
+        },
+    )
+    .expect("bind router");
+    let addr = router.local_addr();
+
+    // Writers: every op MUST be acked — with W=2 and two shards always
+    // healthy, a dead third replica never blocks the quorum.
+    let acked: Arc<Mutex<Vec<([u8; 16], PackedSeq)>>> = Arc::new(Mutex::new(Vec::new()));
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let acked = Arc::clone(&acked);
+            std::thread::spawn(move || {
+                let mut client = connect(addr);
+                for op in 0..OPS {
+                    let seq = GenomeModel::random_only(0.5)
+                        .generate(700 + i * 89 + op * 127, (i * OPS + op) as u64);
+                    match client.compress(
+                        &format!("heal-{i}-{op}.fa"),
+                        &seq,
+                        Priority::Normal,
+                        ctx_for(&seq),
+                    ) {
+                        Ok(Response::CompressOk { key: Some(key), .. }) => {
+                            acked.lock().unwrap().push((key, seq));
+                        }
+                        other => panic!(
+                            "writer {i} op {op}: quorum write must ack, got {other:?}"
+                        ),
+                    }
+                    std::thread::sleep(Duration::from_millis(8));
+                }
+                client.bye().unwrap();
+            })
+        })
+        .collect();
+
+    // Mid-soak: kill one shard and LEAVE IT DOWN.
+    std::thread::sleep(Duration::from_millis(100));
+    let victim = 1usize;
+    shards[victim].kill();
+
+    for t in threads {
+        t.join().expect("no writer may panic");
+    }
+    let acked = Arc::try_unwrap(acked).unwrap().into_inner().unwrap();
+    assert_eq!(acked.len(), CLIENTS * OPS, "every write must be quorum-acked");
+
+    // Wait for the prober to eject the dead shard, then read back with
+    // the shard still down: 100% of acked keys, byte-exact round-trip.
+    let deadline = Deadline::after(Duration::from_secs(10));
+    while router.metrics_snapshot().shards.iter().all(|s| s.healthy) {
+        assert!(!deadline.expired(), "dead shard never ejected");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let mut reader = connect(addr);
+    for (key, seq) in &acked {
+        let bytes = reader
+            .get(*key)
+            .unwrap_or_else(|e| panic!("acked key {key:02x?} unreadable with shard down: {e}"));
+        let blob = CompressedBlob::from_bytes(&bytes).expect("acked blob parses");
+        let back = compressor_for(blob.algorithm).decompress(&blob).expect("decompress");
+        assert_eq!(&back, seq, "round-trip mismatch for {key:02x?} with shard down");
+    }
+    reader.bye().unwrap();
+
+    // Hint accounting while the shard is still down: whatever was
+    // queued is still pending — nothing drained, nothing dropped.
+    let mid = router.metrics_snapshot();
+    assert_eq!(mid.quorum_failures, 0, "a quorum ack may never lie");
+    assert!(mid.hints_queued > 0, "misses on the dead replica must be hinted");
+    assert_eq!(mid.hints_drained, 0);
+    assert_eq!(mid.hints_dropped, 0);
+    assert_eq!(mid.hints_pending, mid.hints_queued);
+    assert!(
+        mid.replica_writes >= 2 * acked.len() as u64
+            && mid.replica_writes <= 3 * acked.len() as u64,
+        "replica commits {} out of range for {} acked writes",
+        mid.replica_writes,
+        acked.len()
+    );
+
+    // Revive the shard: the prober re-admits it and drains every hint.
+    shards[victim].restart();
+    let deadline = Deadline::after(Duration::from_secs(15));
+    loop {
+        let snap = router.metrics_snapshot();
+        if snap.shards.iter().all(|s| s.healthy) && snap.hints_pending == 0 {
+            assert_eq!(snap.hints_drained, snap.hints_queued, "exact hint accounting");
+            assert_eq!(snap.hints_dropped, 0);
+            break;
+        }
+        assert!(
+            !deadline.expired(),
+            "hints never drained: {} pending of {} queued",
+            snap.hints_pending,
+            snap.hints_queued
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The revived shard converged: it holds every acked key.
+    for (key, _) in &acked {
+        shards[victim]
+            .store
+            .get(&ContentKey(*key))
+            .expect("hint drain must converge the revived shard");
+    }
+
+    // Now lose part of its disk and let anti-entropy re-converge it:
+    // only the differing digest buckets are expanded and shipped.
+    let lost: Vec<[u8; 16]> = acked.iter().take(5).map(|(k, _)| *k).collect();
+    for key in &lost {
+        assert!(shards[victim].store.remove(&ContentKey(*key)).unwrap());
+    }
+    let first = router.repair(Duration::from_secs(10), 64).expect("repair sweep");
+    assert!(first.buckets_differing >= 1);
+    assert_eq!(first.buckets_shipped, first.buckets_differing);
+    assert_eq!(first.keys_shipped, lost.len() as u64);
+    assert_eq!(first.deduped, 0);
+    for key in &lost {
+        shards[victim]
+            .store
+            .get(&ContentKey(*key))
+            .expect("repair must restore the lost record");
+    }
+    // Convergence proof: a second sweep finds zero differing buckets.
+    let second = router.repair(Duration::from_secs(10), 64).expect("second repair sweep");
+    assert_eq!(second.buckets_differing, 0, "cluster must converge to zero drift");
+    assert_eq!(second.keys_shipped, 0);
+
+    let snap = router.shutdown();
+    assert_eq!(
+        snap.repair_buckets_shipped,
+        first.buckets_shipped + second.buckets_shipped,
+        "repair metric must match the reports exactly"
+    );
+    assert_eq!(snap.quorum_failures, 0);
+    assert!(snap.shard_ejections >= 1);
+    assert!(snap.shard_readmissions >= 1);
+
+    let _ = std::fs::remove_dir_all(&hint_dir);
     for s in shards {
         s.teardown();
     }

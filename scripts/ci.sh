@@ -91,6 +91,20 @@ timeout 300 cargo test --release -p dnacomp-server --test route -- --nocapture \
     chaos_soak_with_shard_kill_loses_no_acked_puts \
     gets_via_router_are_byte_identical_to_direct_shard_gets
 
+# Replicated chaos soak: 3 shards at R=3/W=2, one shard killed mid-run
+# and LEFT DOWN. Proves the replication guarantees end-to-end: every
+# quorum-acked Put stays readable byte-identical with the shard still
+# down, quorum acks never lie (quorum_failures == 0), and after the
+# shard revives, hinted handoff plus the anti-entropy digest sweep
+# converge it back to zero drift with exact counter accounting
+# (hints drained == queued, dropped == 0, second repair finds nothing).
+# 300 s is ~50x its observed runtime.
+step "replicated chaos soak (isolated, 300 s timeout)"
+timeout 300 cargo test --release -p dnacomp-server --test route -- --nocapture \
+    quorum_acked_puts_survive_one_shard_down_and_self_heal \
+    read_repair_restores_a_divergent_replica \
+    rebalance_resumes_from_a_persisted_cursor_with_exact_accounting
+
 # Wire-path throughput gate: the same synthetic workload as
 # bench-serve, but every job crosses real loopback TCP. Asserts exact
 # job accounting (completed + refused == jobs) and zero protocol
@@ -118,6 +132,32 @@ if [ "$QUICK" -eq 0 ]; then
     echo "routed speedup 3 vs 1: ${speedup}x"
     awk -v s="$speedup" 'BEGIN { exit (s >= 1.5) ? 0 : 1 }' || {
         echo "routed speedup ${speedup}x below the 1.5x floor" >&2
+        exit 1
+    }
+fi
+
+# Replicated throughput gate: the same routed workload at 3 shards
+# with R=3/W=2. Re-checked from the artifact: every completed write
+# must have committed on at least the 2-of-3 quorum — amplification
+# >= 2.0 with zero quorum failures — proving replication fan-out is
+# real, not bookkeeping. Skipped under --quick (needs the release
+# binary).
+if [ "$QUICK" -eq 0 ]; then
+    step "replicated throughput gate: bench-serve --route --replicas 3 (300 s timeout)"
+    timeout 300 cargo run --release --quiet --bin dnacomp -- bench-serve \
+        --route --shards 3 --replicas 3 --write-quorum 2 \
+        --out /tmp/BENCH_route_repl.json
+    wamp=$(grep -o '"write_amplification":[0-9.]*' /tmp/BENCH_route_repl.json \
+        | cut -d: -f2)
+    qfail=$(grep -o '"quorum_failures":[0-9]*' /tmp/BENCH_route_repl.json \
+        | cut -d: -f2)
+    echo "replicated write amplification: ${wamp} (quorum failures: ${qfail})"
+    awk -v w="$wamp" 'BEGIN { exit (w >= 2.0) ? 0 : 1 }' || {
+        echo "write amplification ${wamp} below the 2.0 quorum floor" >&2
+        exit 1
+    }
+    [ "$qfail" = "0" ] || {
+        echo "replicated bench recorded ${qfail} quorum failure(s)" >&2
         exit 1
     }
 fi

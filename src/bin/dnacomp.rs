@@ -27,11 +27,11 @@ use dnacomp::seq::gen::GenomeModel;
 use dnacomp::seq::corpus::CorpusBuilder;
 use dnacomp::seq::PackedSeq;
 use dnacomp::server::{
-    build_workload, rebalance, run_algo_bench, run_bench, run_net_bench, run_route_bench,
-    run_store_bench, AlgoBenchConfig, BenchConfig, ClientError, CompressionService, DlqDir,
-    NetBenchConfig, NetClient, NetConfig, NetServer, Priority, Response, Ring, RouteBenchConfig,
-    RouterConfig, RouterServer, ServiceConfig, ShardSpec, StoreBenchConfig, DEFAULT_RING_SEED,
-    DEFAULT_VNODES,
+    build_workload, rebalance_resumable, repair, run_algo_bench, run_bench, run_net_bench,
+    run_route_bench, run_store_bench, AlgoBenchConfig, BenchConfig, ClientError,
+    CompressionService, DlqDir, NetBenchConfig, NetClient, NetConfig, NetServer, Priority,
+    Response, Ring, RouteBenchConfig, RouterConfig, RouterServer, ServiceConfig, ShardSpec,
+    StoreBenchConfig, DEFAULT_RING_SEED, DEFAULT_VNODES,
 };
 use dnacomp::store::{ContentKey, SequenceStore, StoreConfig};
 use std::process::ExitCode;
@@ -92,10 +92,15 @@ const USAGE: &str = "usage:
                 [--shard-id <n>] [--epoch <n>]
   dnacomp route serve --listen <addr> --shards <addr,addr,…>
                       [--vnodes <n>] [--seed <n>] [--pool <n>]
+                      [--replicas <n>] [--write-quorum <n>]
+                      [--hint-dir <dir>] [--hint-cap <n>]
                       [--shard-timeout-ms <n>] [--probe-ms <n>]
                       [--max-conns <n>] [--route-secs <x>]
   dnacomp route rebalance --shards <addr,addr,…> [--vnodes <n>] [--seed <n>]
+                          [--replicas <n>] [--cursor <path>]
                           [--batch <n>] [--timeout-ms <n>]
+  dnacomp route repair --shards <addr,addr,…> [--vnodes <n>] [--seed <n>]
+                       [--replicas <n>] [--buckets <n>] [--timeout-ms <n>]
   dnacomp client <ping|metrics|compress|get|stat> --addr <host:port>
                  [--timeout-ms <n>] [--retry <n>]
                  [--priority high|normal|low] [args…]
@@ -103,6 +108,7 @@ const USAGE: &str = "usage:
                       [--repeats <n>] [--block-size <bases>] [--json] [--out <path>]
                       [--listen <addr>] [--clients <n>]
                       [--route] [--shards 1,3] [--pool <n>]
+                      [--replicas <n>] [--write-quorum <n>]
   dnacomp bench-algos [--quick] [--threads <n>] [--lanes <n>]
                       [--block-size <bases>] [--json] [--out <path>]
   dnacomp dlq list --dir <dlq-dir> [--json]
@@ -124,14 +130,21 @@ starts the TCP front-end and serves the wire protocol (--serve-secs
 bounds the run; 0 or absent serves until killed). client speaks that
 protocol: `ping`, `metrics`, `compress <in.fa>`, `get <key> <out.fa>`,
 `stat [<key>]`; connection refused/timeout are runtime errors (exit 1),
-and --retry N redials with jittered exponential backoff first.
-route serve fronts a shard fleet with a consistent-hash router: keyed
-requests forward to their owner shard (successor retry on failure),
-health probes eject dead shards, and `client metrics` against the
-router returns the aggregated per-shard rollup; route rebalance
-migrates misplaced keys between shard stores in checksummed batches
-after a membership change. serve --shard-id/--epoch pin a shard's
-identity for epoch-checked handshakes.
+and --retry N redials with jittered exponential backoff first — for
+compress it also re-sends after a mid-request transport break, which
+content addressing makes idempotent (a duplicate commit dedups).
+route serve fronts a shard fleet with a consistent-hash router: writes
+fan out to --replicas ring successors and ack once --write-quorum
+commit, reads fall through the replica set (repairing divergent copies
+on the way), misses on a down replica persist hints in --hint-dir that
+drain when the shard returns, health probes eject dead shards, and
+`client metrics` against the router returns the aggregated per-shard
+rollup; route rebalance migrates misplaced keys between shard stores
+in checksummed batches after a membership change (resumable via
+--cursor); route repair is the anti-entropy sweep: per-shard FNV-1a
+digest buckets are compared and only differing buckets ship. serve
+--shard-id/--epoch pin a shard's identity for epoch-checked
+handshakes.
 bench-serve --listen runs the loopback network throughput bench and
 writes BENCH_net.json; bench-serve --route sweeps shard counts behind
 a router and writes BENCH_route.json. (add --store <dir> to persist
@@ -712,13 +725,22 @@ fn ring_from_flags(
     Ring::new(shards, vnodes, seed).map_err(CliError::Runtime)
 }
 
-/// `dnacomp route <serve|rebalance>` — the shard router front-end and
-/// the over-the-wire key migration it needs after membership changes.
+/// `dnacomp route <serve|rebalance|repair>` — the shard router
+/// front-end, the over-the-wire key migration it needs after
+/// membership changes, and the anti-entropy sweep that re-converges
+/// replicas after a shard loses data.
 fn cmd_route(args: &[String]) -> Result<(), CliError> {
     let sub = args
         .first()
-        .ok_or_else(|| usage("route: need a subcommand (serve|rebalance)"))?;
+        .ok_or_else(|| usage("route: need a subcommand (serve|rebalance|repair)"))?;
     let (flags, _) = parse_flags(&args[1..]);
+    let parse_replicas = |flags: &std::collections::HashMap<String, String>| {
+        flags
+            .get("replicas")
+            .map(|v| v.parse::<usize>().map_err(|e| usage(format!("--replicas: {e}"))))
+            .unwrap_or(Ok(RouterConfig::default().replicas))
+            .map(|r| r.max(1))
+    };
     match sub.as_str() {
         "serve" => {
             let listen = flags
@@ -728,6 +750,22 @@ fn cmd_route(args: &[String]) -> Result<(), CliError> {
             let mut cfg = RouterConfig::default();
             if let Some(v) = flags.get("pool") {
                 cfg.pool_per_shard = v.parse().map_err(|e| usage(format!("--pool: {e}")))?;
+            }
+            cfg.replicas = parse_replicas(&flags)?;
+            if let Some(v) = flags.get("write-quorum") {
+                cfg.write_quorum = v
+                    .parse::<usize>()
+                    .map_err(|e| usage(format!("--write-quorum: {e}")))?
+                    .max(1);
+            }
+            if let Some(dir) = flags.get("hint-dir") {
+                cfg.hint_dir = Some(std::path::PathBuf::from(dir));
+            }
+            if let Some(v) = flags.get("hint-cap") {
+                cfg.hint_cap = v
+                    .parse::<usize>()
+                    .map_err(|e| usage(format!("--hint-cap: {e}")))?
+                    .max(1);
             }
             if let Some(v) = flags.get("shard-timeout-ms") {
                 let ms: u64 = v
@@ -768,6 +806,7 @@ fn cmd_route(args: &[String]) -> Result<(), CliError> {
         }
         "rebalance" => {
             let ring = ring_from_flags(&flags)?;
+            let replicas = parse_replicas(&flags)?;
             let timeout_ms: u64 = flags
                 .get("timeout-ms")
                 .map(|v| v.parse().map_err(|e| usage(format!("--timeout-ms: {e}"))))
@@ -776,19 +815,57 @@ fn cmd_route(args: &[String]) -> Result<(), CliError> {
                 .get("batch")
                 .map(|v| v.parse().map_err(|e| usage(format!("--batch: {e}"))))
                 .unwrap_or(Ok(64))?;
-            let report = rebalance(
+            let cursor = flags.get("cursor").map(std::path::PathBuf::from);
+            let report = rebalance_resumable(
                 &ring,
+                replicas,
                 std::time::Duration::from_millis(timeout_ms.max(1)),
                 batch,
+                cursor.as_deref(),
             )
             .map_err(CliError::Runtime)?;
             eprintln!(
-                "rebalance (epoch {:#x}): scanned {}, moved {} ({} deduped), removed {}, {} container byte(s) shipped",
+                "rebalance (epoch {:#x}, {replicas} replica(s)): scanned {}, skipped {} via cursor, \
+                 moved {} ({} deduped), removed {}, {} container byte(s) shipped",
                 ring.epoch(),
                 report.scanned,
+                report.skipped,
                 report.moved,
                 report.deduped,
                 report.removed,
+                report.bytes
+            );
+            Ok(())
+        }
+        "repair" => {
+            let ring = ring_from_flags(&flags)?;
+            let replicas = parse_replicas(&flags)?;
+            let timeout_ms: u64 = flags
+                .get("timeout-ms")
+                .map(|v| v.parse().map_err(|e| usage(format!("--timeout-ms: {e}"))))
+                .unwrap_or(Ok(10_000))?;
+            let buckets: u32 = flags
+                .get("buckets")
+                .map(|v| v.parse().map_err(|e| usage(format!("--buckets: {e}"))))
+                .unwrap_or(Ok(256))?;
+            let report = repair(
+                &ring,
+                replicas,
+                std::time::Duration::from_millis(timeout_ms.max(1)),
+                buckets,
+            )
+            .map_err(CliError::Runtime)?;
+            eprintln!(
+                "repair (epoch {:#x}, {replicas} replica(s)): {} key(s) scanned, \
+                 {} of {} digest bucket(s) differed, {} shipped — {} record(s) \
+                 ({} deduped), {} container byte(s)",
+                ring.epoch(),
+                report.keys_scanned,
+                report.buckets_differing,
+                report.buckets_checked,
+                report.buckets_shipped,
+                report.keys_shipped,
+                report.deduped,
                 report.bytes
             );
             Ok(())
@@ -890,9 +967,28 @@ fn cmd_client(args: &[String]) -> Result<(), CliError> {
                 bandwidth_mbps: 2.0,
                 file_bytes: seq.len() as u64,
             };
-            let resp = client
-                .compress(input, &seq, priority, context)
-                .map_err(|e| client_err("compress", e))?;
+            // A transport break mid-compress is ambiguous: the server
+            // may or may not have committed before the connection died.
+            // Content addressing makes the resend safe — the same
+            // sequence maps to the same key, so a duplicate commit
+            // dedups into a success — so --retry N also redials and
+            // re-sends the request. Typed server errors (refusals) are
+            // never retried: the server answered, retrying cannot help.
+            let mut resend = 0u32;
+            let resp = loop {
+                match client.compress(input, &seq, priority, context.clone()) {
+                    Ok(resp) => break resp,
+                    Err(ClientError::Proto(e)) if resend < retries => {
+                        resend += 1;
+                        eprintln!(
+                            "compress transport failure ({e}); idempotent resend {resend}/{retries}"
+                        );
+                        client = connect_with_retry(addr, timeout, retries)
+                            .map_err(|e| client_err("reconnect", e))?;
+                    }
+                    Err(e) => return Err(client_err("compress", e)),
+                }
+            };
             match resp {
                 Response::CompressOk {
                     file,
@@ -1028,6 +1124,8 @@ fn bench_serve_route(
     };
     cfg.clients = parse_usize("clients", cfg.clients)?.max(1);
     cfg.pool_per_shard = parse_usize("pool", cfg.pool_per_shard)?.max(1);
+    cfg.replicas = parse_usize("replicas", cfg.replicas)?.max(1);
+    cfg.write_quorum = parse_usize("write-quorum", cfg.write_quorum)?.max(1);
     cfg.workers_per_shard = flags
         .get("workers")
         .and_then(|list| list.split(',').next().map(str::trim).map(str::parse))
@@ -1039,14 +1137,16 @@ fn bench_serve_route(
     cfg.workload.repeats = parse_usize("repeats", cfg.workload.repeats)?;
     eprintln!(
         "bench-serve --route: {} files × {} contexts × {} passes over {} client(s); \
-         shard counts {:?}, {} worker(s) and pool {} per shard …",
+         shard counts {:?}, {} worker(s) and pool {} per shard, R={} W={} …",
         cfg.workload.files,
         cfg.workload.contexts,
         cfg.workload.repeats,
         cfg.clients,
         cfg.shard_counts,
         cfg.workers_per_shard,
-        cfg.pool_per_shard
+        cfg.pool_per_shard,
+        cfg.replicas,
+        cfg.write_quorum
     );
     let report = run_route_bench(&cfg).map_err(CliError::Runtime)?;
     if let Some(path) = flags.get("out") {
@@ -1057,14 +1157,23 @@ fn bench_serve_route(
         println!("{}", report.to_json());
     } else {
         println!(
-            "{:>6}  {:>5}  {:>13}  {:>9}  {:>8}  {:>9}",
-            "shards", "jobs", "jobs/s(wall)", "forwards", "retries", "ejections"
+            "{:>6}  {:>5}  {:>13}  {:>9}  {:>8}  {:>9}  {:>5}  {:>7}  {:>11}",
+            "shards", "jobs", "jobs/s(wall)", "forwards", "retries", "ejections", "R/W", "w-amp",
+            "q-p95(ms)"
         );
         for r in &report.rows {
             println!(
-                "{:>6}  {:>5}  {:>13.1}  {:>9}  {:>8}  {:>9}",
-                r.shards, r.jobs, r.jobs_per_wall_sec, r.route_forwards, r.route_retries,
-                r.shard_ejections
+                "{:>6}  {:>5}  {:>13.1}  {:>9}  {:>8}  {:>9}  {:>2}/{:<2}  {:>7.2}  {:>11.2}",
+                r.shards,
+                r.jobs,
+                r.jobs_per_wall_sec,
+                r.route_forwards,
+                r.route_retries,
+                r.shard_ejections,
+                r.replicas,
+                r.write_quorum,
+                r.write_amplification,
+                r.quorum_p95_ms
             );
         }
         if report.speedup_3_vs_1 > 0.0 {
