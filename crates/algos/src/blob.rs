@@ -22,8 +22,12 @@ use dnacomp_seq::PackedSeq;
 
 /// Magic prefix of every container.
 pub const MAGIC: [u8; 2] = *b"DX";
-/// Container format version.
+/// Original container format version: arithmetic-coded payloads.
 pub const VERSION: u8 = 1;
+/// Speed-tier container version: rANS-coded payloads (PR 10). Decoders
+/// branch on the version byte, so every v1 blob ever written still
+/// decodes bit-exactly through the legacy arithmetic path.
+pub const VERSION_SPEED: u8 = 2;
 
 /// Upper bound on any allocation a decoder makes *up front* from the
 /// container header, in bases (4 Mi ≈ one bacterial chromosome).
@@ -91,11 +95,15 @@ pub enum Algorithm {
     /// compressor has failed or been circuit-broken, the exchange still
     /// ships a checksummed container.
     Raw = 13,
+    /// BWT + move-to-front + zero-run RLE + rANS block compressor
+    /// (extension; the bzip2 pipeline specialised to the 4-letter
+    /// alphabet).
+    Bwt = 14,
 }
 
 impl Algorithm {
     /// All algorithms, tag order.
-    pub const ALL: [Algorithm; 14] = [
+    pub const ALL: [Algorithm; 15] = [
         Algorithm::Gzip,
         Algorithm::Ctw,
         Algorithm::GenCompress,
@@ -110,11 +118,12 @@ impl Algorithm {
         Algorithm::DnaSequitur,
         Algorithm::CtwLz,
         Algorithm::Raw,
+        Algorithm::Bwt,
     ];
 
     /// The horizontal (self-contained) algorithms — everything that
     /// implements [`crate::Compressor`].
-    pub const HORIZONTAL: [Algorithm; 13] = [
+    pub const HORIZONTAL: [Algorithm; 14] = [
         Algorithm::Gzip,
         Algorithm::Ctw,
         Algorithm::GenCompress,
@@ -128,6 +137,7 @@ impl Algorithm {
         Algorithm::DnaSequitur,
         Algorithm::CtwLz,
         Algorithm::Raw,
+        Algorithm::Bwt,
     ];
 
     /// The paper's four evaluated algorithms.
@@ -155,6 +165,7 @@ impl Algorithm {
             Algorithm::DnaSequitur => "DNASequitur",
             Algorithm::CtwLz => "CTW+LZ",
             Algorithm::Raw => "Raw",
+            Algorithm::Bwt => "BWT",
         }
     }
 
@@ -188,6 +199,10 @@ impl std::fmt::Display for Algorithm {
 /// A compressed sequence: container metadata plus algorithm payload.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CompressedBlob {
+    /// Container format version ([`VERSION`] or [`VERSION_SPEED`]).
+    /// Decoders branch on this to pick the legacy arithmetic path (v1)
+    /// or the rANS speed-tier path (v2).
+    pub version: u8,
     /// Which algorithm produced the payload.
     pub algorithm: Algorithm,
     /// Original sequence length in bases.
@@ -199,13 +214,24 @@ pub struct CompressedBlob {
 }
 
 impl CompressedBlob {
-    /// Build a blob for `seq` with the given payload.
+    /// Build a legacy (v1, arithmetic-coded) blob for `seq` with the
+    /// given payload.
     pub fn new(algorithm: Algorithm, seq: &PackedSeq, payload: Vec<u8>) -> Self {
         CompressedBlob {
+            version: VERSION,
             algorithm,
             original_len: seq.len(),
             checksum: fnv1a(seq.as_words()),
             payload,
+        }
+    }
+
+    /// Build a speed-tier (v2, rANS-coded) blob for `seq` with the given
+    /// payload.
+    pub fn new_v2(algorithm: Algorithm, seq: &PackedSeq, payload: Vec<u8>) -> Self {
+        CompressedBlob {
+            version: VERSION_SPEED,
+            ..CompressedBlob::new(algorithm, seq, payload)
         }
     }
 
@@ -232,7 +258,7 @@ impl CompressedBlob {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.payload.len() + 16);
         out.extend_from_slice(&MAGIC);
-        out.push(VERSION);
+        out.push(self.version);
         out.push(self.algorithm.tag());
         write_uvarint(&mut out, self.original_len as u64);
         write_u64_le(&mut out, self.checksum);
@@ -245,14 +271,16 @@ impl CompressedBlob {
         if bytes.len() < 4 || bytes[0..2] != MAGIC {
             return Err(CodecError::Corrupt("bad container magic"));
         }
-        if bytes[2] != VERSION {
-            return Err(CodecError::UnknownFormat(bytes[2]));
+        let version = bytes[2];
+        if version != VERSION && version != VERSION_SPEED {
+            return Err(CodecError::UnknownFormat(version));
         }
         let algorithm = Algorithm::from_tag(bytes[3])?;
         let mut pos = 4;
         let original_len = read_uvarint(bytes, &mut pos)? as usize;
         let checksum = read_u64_le(bytes, &mut pos)?;
         Ok(CompressedBlob {
+            version,
             algorithm,
             original_len,
             checksum,
@@ -352,10 +380,23 @@ mod tests {
     fn from_bytes_rejects_garbage() {
         assert!(CompressedBlob::from_bytes(b"").is_err());
         assert!(CompressedBlob::from_bytes(b"XY\x01\x00").is_err());
-        assert!(CompressedBlob::from_bytes(b"DX\x02\x00").is_err()); // bad version
+        assert!(CompressedBlob::from_bytes(b"DX\x03\x00").is_err()); // bad version
         assert!(CompressedBlob::from_bytes(b"DX\x01\x63").is_err()); // bad algo
         // Truncated after header start:
         assert!(CompressedBlob::from_bytes(b"DX\x01\x03\x10").is_err());
+    }
+
+    #[test]
+    fn v2_container_roundtrips_and_v1_stays_default() {
+        let seq = sample_seq();
+        let v1 = CompressedBlob::new(Algorithm::Ctw, &seq, vec![7]);
+        assert_eq!(v1.version, VERSION);
+        let v2 = CompressedBlob::new_v2(Algorithm::Ctw, &seq, vec![7]);
+        assert_eq!(v2.version, VERSION_SPEED);
+        assert_eq!(v2.checksum, v1.checksum);
+        let bytes = v2.to_bytes();
+        assert_eq!(bytes[2], VERSION_SPEED);
+        assert_eq!(CompressedBlob::from_bytes(&bytes).unwrap(), v2);
     }
 
     #[test]

@@ -1,0 +1,504 @@
+//! BWT + move-to-front + zero-run RLE + rANS block compressor.
+//!
+//! The bzip2 pipeline specialised to the 4-letter alphabet (extension;
+//! the paper's survey covers suffix-structure compressors — this is the
+//! transform-based sibling). Each ~128 KiB section is independently:
+//!
+//! 1. **Burrows–Wheeler transformed** via the prefix-doubling
+//!    [`SuffixArray`] (its comparison treats running off the end as
+//!    smaller than every base — the implicit-sentinel order BWT needs),
+//!    emitting the last column `L` (sentinel row omitted) plus the
+//!    primary index `p` ∈ `[1, m]` marking where the sentinel row sat.
+//! 2. **Move-to-front** coded over the 4-base alphabet, turning local
+//!    symbol reuse into small indices.
+//! 3. **Zero-run RLE** coded bzip2-style: runs of MTF zeros in bijective
+//!    base-2 (`RUNA`/`RUNB` digits), nonzero index `v` → symbol `v + 1`,
+//!    a 5-symbol stream.
+//! 4. **Entropy coded** with a static [`FreqTable`] + rANS pair per
+//!    section.
+//!
+//! Wire format (per section, concatenated in the payload after a uvarint
+//! section count): `uvarint m` (section length in bases), `uvarint p`
+//! (primary index), `uvarint rle_len` (RLE symbol count), then the
+//! frequency-table header and rANS stream. Every count is bounds-checked
+//! against the container limits *before* any proportional allocation.
+
+use crate::blob::{Algorithm, CompressedBlob, MAX_PREALLOC_BASES};
+use crate::stats::{Meter, ResourceStats};
+use crate::Compressor;
+use dnacomp_codec::rans::{FreqTable, RansDecoder, RansEncoder};
+use dnacomp_codec::suffix::SuffixArray;
+use dnacomp_codec::varint::{read_uvarint, write_uvarint};
+use dnacomp_codec::CodecError;
+use dnacomp_seq::{Base, PackedSeq};
+
+/// RLE symbol: one bijective-base-2 run digit worth 1·2^k zeros.
+const RUNA: usize = 0;
+/// RLE symbol: one bijective-base-2 run digit worth 2·2^k zeros.
+const RUNB: usize = 1;
+/// RLE alphabet size: `RUNA`, `RUNB`, and MTF indices 1..=3 shifted up.
+const RLE_SYMS: usize = 5;
+
+/// The BWT+MTF+RLE+rANS block compressor.
+#[derive(Clone, Copy, Debug)]
+pub struct Bwt {
+    /// Section size in bases; each section is transformed independently,
+    /// bounding the suffix-array working set.
+    pub section_len: usize,
+}
+
+impl Default for Bwt {
+    fn default() -> Self {
+        Bwt {
+            section_len: 128 << 10,
+        }
+    }
+}
+
+/// Forward BWT of `text` (non-empty): the last column with the sentinel
+/// row omitted, plus the 1-based primary index of that row.
+fn bwt_forward(text: &[Base]) -> (Vec<Base>, usize) {
+    let m = text.len();
+    debug_assert!(m > 0);
+    let sa = SuffixArray::build(text);
+    // Conceptually the matrix sorts the m+1 rotations of `text·$`. Row 0
+    // is the `$`-led rotation, whose last column is the final base. Row
+    // j+1 corresponds to the rank-j suffix; its last column is the base
+    // before that suffix — or `$` when the suffix starts at 0, which is
+    // the row we omit and record as the primary index.
+    let mut l = Vec::with_capacity(m);
+    l.push(text[m - 1]);
+    let mut primary = 0usize;
+    for (j, &s) in sa.positions().iter().enumerate() {
+        if s == 0 {
+            primary = j + 1;
+        } else {
+            l.push(text[s as usize - 1]);
+        }
+    }
+    debug_assert!(primary >= 1 && primary <= m);
+    (l, primary)
+}
+
+/// Inverse BWT: reconstruct the section from the last column and primary
+/// index. `l.len() == m`, `1 <= primary <= m` (checked by the caller).
+fn bwt_inverse(l: &[Base], primary: usize) -> Result<Vec<Base>, CodecError> {
+    let m = l.len();
+    // Full last column over the 5-symbol alphabet {$=0, A..T=1..4}, with
+    // the sentinel reinserted at the primary index.
+    let code_at = |row: usize| -> usize {
+        use std::cmp::Ordering;
+        match row.cmp(&primary) {
+            Ordering::Less => l[row].code() as usize + 1,
+            Ordering::Equal => 0,
+            Ordering::Greater => l[row - 1].code() as usize + 1,
+        }
+    };
+    // LF mapping: lf[row] = C[c] + occ(c, row) for c = L'[row].
+    let mut counts = [0u32; 5];
+    let mut lf = vec![0u32; m + 1];
+    for (row, slot) in lf.iter_mut().enumerate() {
+        let c = code_at(row);
+        *slot = counts[c];
+        counts[c] += 1;
+    }
+    let mut c_base = [0u32; 5];
+    let mut acc = 0u32;
+    for (c, slot) in c_base.iter_mut().enumerate() {
+        *slot = acc;
+        acc += counts[c];
+    }
+    for (row, slot) in lf.iter_mut().enumerate() {
+        *slot += c_base[code_at(row)];
+    }
+    // Row 0 is the `$`-led rotation: walking LF from it emits the text
+    // backwards. Hitting the sentinel before all m bases are out means
+    // the (l, primary) pair was inconsistent.
+    let mut out = vec![Base::A; m];
+    let mut row = 0usize;
+    for slot in out.iter_mut().rev() {
+        let c = code_at(row);
+        if c == 0 {
+            return Err(CodecError::Corrupt("BWT walk hit sentinel early"));
+        }
+        *slot = Base::from_code((c - 1) as u8);
+        row = lf[row] as usize;
+    }
+    if code_at(row) != 0 {
+        return Err(CodecError::Corrupt("BWT walk did not end at sentinel"));
+    }
+    Ok(out)
+}
+
+/// MTF + zero-run RLE: bases → 5-symbol stream.
+fn mtf_rle_encode(l: &[Base]) -> Vec<u8> {
+    let mut table = [0u8, 1, 2, 3];
+    let mut out = Vec::with_capacity(l.len() / 2 + 8);
+    let mut zero_run = 0u64;
+    let flush = |run: &mut u64, out: &mut Vec<u8>| {
+        // Bijective base-2: digits d ∈ {1, 2}, run = Σ d_k·2^k.
+        let mut z = *run;
+        while z > 0 {
+            if z & 1 == 1 {
+                out.push(RUNA as u8);
+                z = (z - 1) / 2;
+            } else {
+                out.push(RUNB as u8);
+                z = (z - 2) / 2;
+            }
+        }
+        *run = 0;
+    };
+    for &b in l {
+        let code = b.code();
+        let idx = table.iter().position(|&t| t == code).unwrap();
+        table.copy_within(..idx, 1);
+        table[0] = code;
+        if idx == 0 {
+            zero_run += 1;
+        } else {
+            flush(&mut zero_run, &mut out);
+            out.push(idx as u8 + 1);
+        }
+    }
+    flush(&mut zero_run, &mut out);
+    out
+}
+
+/// Inverse of [`mtf_rle_encode`]; `m` is the exact base count the stream
+/// must reproduce (over-long runs are refused before allocation grows).
+fn mtf_rle_decode(syms: &[u8], m: usize) -> Result<Vec<Base>, CodecError> {
+    let mut table = [0u8, 1, 2, 3];
+    let mut out = Vec::with_capacity(m);
+    let mut run = 0u64;
+    let mut weight = 1u64;
+    let flush = |run: &mut u64,
+                     weight: &mut u64,
+                     out: &mut Vec<Base>,
+                     table: &[u8; 4]|
+     -> Result<(), CodecError> {
+        if *run > (m - out.len()) as u64 {
+            return Err(CodecError::Corrupt("BWT zero run exceeds section length"));
+        }
+        for _ in 0..*run {
+            out.push(Base::from_code(table[0]));
+        }
+        *run = 0;
+        *weight = 1;
+        Ok(())
+    };
+    for &s in syms {
+        match s as usize {
+            RUNA => {
+                run += weight;
+                weight <<= 1;
+            }
+            RUNB => {
+                run += 2 * weight;
+                weight <<= 1;
+            }
+            v if v < RLE_SYMS => {
+                flush(&mut run, &mut weight, &mut out, &table)?;
+                if out.len() >= m {
+                    return Err(CodecError::Corrupt("BWT RLE stream too long"));
+                }
+                let idx = v - 1;
+                let code = table[idx];
+                table.copy_within(..idx, 1);
+                table[0] = code;
+                out.push(Base::from_code(code));
+            }
+            _ => return Err(CodecError::Corrupt("BWT RLE symbol out of range")),
+        }
+    }
+    flush(&mut run, &mut weight, &mut out, &table)?;
+    if out.len() != m {
+        return Err(CodecError::Corrupt("BWT RLE stream short of section length"));
+    }
+    Ok(out)
+}
+
+impl Bwt {
+    fn encode_section(&self, text: &[Base], out: &mut Vec<u8>, meter: &mut Meter) {
+        let m = text.len();
+        let (l, primary) = bwt_forward(text);
+        let rle = mtf_rle_encode(&l);
+        // SA build dominates: ~log²-factor over m, flat-rated here.
+        meter.work(m as u64 * 20 + rle.len() as u64);
+        meter.heap_snapshot((m * 12 + rle.len()) as u64);
+        write_uvarint(out, m as u64);
+        write_uvarint(out, primary as u64);
+        write_uvarint(out, rle.len() as u64);
+        let mut counts = vec![0u32; RLE_SYMS];
+        for &s in &rle {
+            counts[s as usize] += 1;
+        }
+        let table = FreqTable::build(&counts);
+        table.write(out);
+        let mut enc = RansEncoder::new();
+        for &s in &rle {
+            table.encode(&mut enc, s as usize);
+        }
+        out.extend_from_slice(&enc.finish());
+    }
+
+    fn decode_section(
+        bytes: &[u8],
+        pos: &mut usize,
+        remaining_bases: usize,
+        meter: &mut Meter,
+    ) -> Result<Vec<Base>, CodecError> {
+        let m = read_uvarint(bytes, pos)? as usize;
+        if m == 0 || m > remaining_bases {
+            return Err(CodecError::Corrupt("BWT section length out of bounds"));
+        }
+        let primary = read_uvarint(bytes, pos)? as usize;
+        if primary == 0 || primary > m {
+            return Err(CodecError::Corrupt("BWT primary index out of range"));
+        }
+        let rle_len = read_uvarint(bytes, pos)? as usize;
+        // Every RLE symbol covers at least one base via RUNA (worth ≥1
+        // zero) or a literal, except that run digits can be "wasted" on
+        // high powers — but a valid encoder emits at most one digit per
+        // doubling, so rle_len can never exceed m + log2(m) + 1. Cap
+        // generously before the rANS stage allocates.
+        if rle_len > m + 64 {
+            return Err(CodecError::Corrupt("BWT RLE length exceeds section bound"));
+        }
+        let table = FreqTable::read(bytes, pos, RLE_SYMS)?;
+        let mut dec = RansDecoder::new(&bytes[*pos..])?;
+        let mut rle = Vec::with_capacity(rle_len);
+        for _ in 0..rle_len {
+            rle.push(table.decode(&mut dec) as u8);
+        }
+        if !dec.is_drained() {
+            return Err(CodecError::Corrupt("BWT rANS stream not fully drained"));
+        }
+        *pos = bytes.len();
+        let l = mtf_rle_decode(&rle, m)?;
+        let text = bwt_inverse(&l, primary)?;
+        meter.work(m as u64 * 8 + rle_len as u64);
+        meter.heap_snapshot((m * 12 + rle_len) as u64);
+        Ok(text)
+    }
+}
+
+impl Compressor for Bwt {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::Bwt
+    }
+
+    fn compress_with_stats(
+        &self,
+        seq: &PackedSeq,
+    ) -> Result<(CompressedBlob, ResourceStats), CodecError> {
+        let mut meter = Meter::new();
+        let text = seq.unpack();
+        let section = self.section_len.max(1);
+        let mut payload = Vec::new();
+        write_uvarint(&mut payload, text.len().div_ceil(section) as u64);
+        let mut sections = Vec::new();
+        for chunk in text.chunks(section) {
+            let mut body = Vec::new();
+            self.encode_section(chunk, &mut body, &mut meter);
+            sections.push(body);
+        }
+        for body in sections {
+            write_uvarint(&mut payload, body.len() as u64);
+            payload.extend_from_slice(&body);
+        }
+        let blob = CompressedBlob::new_v2(Algorithm::Bwt, seq, payload);
+        Ok((blob, meter.finish()))
+    }
+
+    fn decompress_with_stats(
+        &self,
+        blob: &CompressedBlob,
+    ) -> Result<(PackedSeq, ResourceStats), CodecError> {
+        blob.expect_algorithm(Algorithm::Bwt)?;
+        let mut meter = Meter::new();
+        let bytes = &blob.payload[..];
+        let mut pos = 0usize;
+        let n_sections = read_uvarint(bytes, &mut pos)? as usize;
+        // Affordability: each section costs ≥ 4 payload bytes (three
+        // uvarints + table), and the section count itself is bounded by
+        // the container base limit / 1.
+        if n_sections > bytes.len() || n_sections > MAX_PREALLOC_BASES {
+            return Err(CodecError::Corrupt("BWT section count exceeds payload"));
+        }
+        let mut text: Vec<Base> = Vec::with_capacity(blob.decode_capacity());
+        for _ in 0..n_sections {
+            let body_len = read_uvarint(bytes, &mut pos)? as usize;
+            let end = pos
+                .checked_add(body_len)
+                .filter(|&e| e <= bytes.len())
+                .ok_or(CodecError::Corrupt("BWT section body exceeds payload"))?;
+            let remaining = blob.original_len.saturating_sub(text.len());
+            let mut body_pos = 0usize;
+            let section =
+                Bwt::decode_section(&bytes[pos..end], &mut body_pos, remaining, &mut meter)?;
+            text.extend_from_slice(&section);
+            pos = end;
+        }
+        if pos != bytes.len() {
+            return Err(CodecError::Corrupt("BWT payload has trailing bytes"));
+        }
+        if text.len() != blob.original_len {
+            return Err(CodecError::Corrupt("BWT sections do not sum to length"));
+        }
+        let seq = PackedSeq::from(text.as_slice());
+        blob.verify(&seq)?;
+        Ok((seq, meter.finish()))
+    }
+
+    fn stage_times(&self, seq: &PackedSeq) -> Option<(f64, f64)> {
+        use std::time::Instant;
+        let t0 = Instant::now();
+        self.compress(seq).ok()?;
+        let full_ms = t0.elapsed().as_secs_f64() * 1e3;
+        // Model stage alone: BWT + MTF + RLE per section, no rANS.
+        let t0 = Instant::now();
+        let text = seq.unpack();
+        for chunk in text.chunks(self.section_len.max(1)) {
+            if chunk.is_empty() {
+                continue;
+            }
+            let (l, _primary) = bwt_forward(chunk);
+            std::hint::black_box(mtf_rle_encode(&l));
+        }
+        let model_ms = t0.elapsed().as_secs_f64() * 1e3;
+        Some((model_ms, (full_ms - model_ms).max(0.0)))
+    }
+
+    fn entropy_backend(&self) -> &'static str {
+        "rans"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnacomp_seq::gen::GenomeModel;
+    use proptest::prelude::*;
+
+    fn bases(s: &str) -> Vec<Base> {
+        PackedSeq::from_ascii(s.as_bytes()).unwrap().unpack()
+    }
+
+    #[test]
+    fn forward_inverse_bwt_roundtrips() {
+        for s in ["A", "ACGT", "GATTACA", "AAAAAAAA", "ACGTACGTACGT"] {
+            let text = bases(s);
+            let (l, p) = bwt_forward(&text);
+            assert_eq!(l.len(), text.len());
+            assert!(p >= 1 && p <= text.len());
+            assert_eq!(bwt_inverse(&l, p).unwrap(), text, "input {s}");
+        }
+    }
+
+    #[test]
+    fn mtf_rle_roundtrips_and_compacts_runs() {
+        let l = bases(&"A".repeat(500));
+        let syms = mtf_rle_encode(&l);
+        // 500 zeros → ~log2(500) run digits.
+        assert!(syms.len() <= 10, "run digits = {}", syms.len());
+        assert_eq!(mtf_rle_decode(&syms, 500).unwrap(), l);
+        let mixed = bases("ACGTTTTGGACACAC");
+        let syms = mtf_rle_encode(&mixed);
+        assert_eq!(mtf_rle_decode(&syms, mixed.len()).unwrap(), mixed);
+    }
+
+    #[test]
+    fn roundtrip_with_stats() {
+        let seq = GenomeModel::default().generate(30_000, 71);
+        let c = Bwt::default();
+        let (blob, stats) = c.compress_with_stats(&seq).unwrap();
+        assert_eq!(blob.algorithm, Algorithm::Bwt);
+        assert_eq!(blob.version, crate::blob::VERSION_SPEED);
+        let (back, _) = c.decompress_with_stats(&blob).unwrap();
+        assert_eq!(back, seq);
+        assert!(stats.work_units > 0);
+    }
+
+    #[test]
+    fn multi_section_roundtrip() {
+        let seq = GenomeModel::default().generate(10_000, 72);
+        let c = Bwt { section_len: 1024 };
+        let blob = c.compress(&seq).unwrap();
+        assert_eq!(c.decompress(&blob).unwrap(), seq);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let seq = PackedSeq::new();
+        let c = Bwt::default();
+        let blob = c.compress(&seq).unwrap();
+        assert_eq!(c.decompress(&blob).unwrap(), seq);
+    }
+
+    #[test]
+    fn beats_two_bits_on_repetitive_input() {
+        let seq = PackedSeq::from_ascii("ACGTTGCA".repeat(4_000).as_bytes()).unwrap();
+        let blob = Bwt::default().compress(&seq).unwrap();
+        assert!(
+            blob.bits_per_base() < 1.0,
+            "bpb = {}",
+            blob.bits_per_base()
+        );
+    }
+
+    #[test]
+    fn rejects_primary_index_forgeries() {
+        let seq = GenomeModel::default().generate(4_000, 73);
+        let c = Bwt { section_len: 4_096 };
+        let blob = c.compress(&seq).unwrap();
+        // Section layout: [uvarint n_sections][uvarint body_len][body…];
+        // body starts with uvarint m then uvarint p. Forge p.
+        let mut forged = blob.clone();
+        let mut pos = 0usize;
+        read_uvarint(&forged.payload, &mut pos).unwrap(); // n_sections
+        read_uvarint(&forged.payload, &mut pos).unwrap(); // body_len
+        read_uvarint(&forged.payload, &mut pos).unwrap(); // m
+        let p_at = pos;
+        forged.payload[p_at] = 0; // p = 0: out of range
+        assert!(c.decompress(&forged).is_err());
+        let mut forged = blob.clone();
+        forged.payload[p_at] = 0xFF; // varint continuation → huge p
+        assert!(c.decompress(&forged).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation_and_flips() {
+        let seq = GenomeModel::default().generate(6_000, 74);
+        let c = Bwt::default();
+        let blob = c.compress(&seq).unwrap();
+        for cut in [1, blob.payload.len() / 2, blob.payload.len() - 1] {
+            let mut trunc = blob.clone();
+            trunc.payload.truncate(cut);
+            assert!(c.decompress(&trunc).is_err(), "cut at {cut}");
+        }
+        for i in (0..blob.payload.len()).step_by(97) {
+            let mut flipped = blob.clone();
+            flipped.payload[i] ^= 0x10;
+            assert!(flipped.payload == blob.payload || c.decompress(&flipped).is_err());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn roundtrip_arbitrary(s in "[ACGT]{0,2000}", section in 64usize..512) {
+            let seq = PackedSeq::from_ascii(s.as_bytes()).unwrap();
+            let c = Bwt { section_len: section };
+            let blob = c.compress(&seq).unwrap();
+            prop_assert_eq!(c.decompress(&blob).unwrap(), seq);
+        }
+
+        #[test]
+        fn bwt_inverse_matches_forward(s in "[ACGT]{1,400}") {
+            let text = bases(&s);
+            let (l, p) = bwt_forward(&text);
+            prop_assert_eq!(bwt_inverse(&l, p).unwrap(), text);
+        }
+    }
+}

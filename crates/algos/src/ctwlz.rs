@@ -10,16 +10,22 @@
 //! machinery shared with DNAX.
 //!
 //! Streams: a control stream (flag bits + γ-coded repeat records, as in
-//! DNAX) plus a CTW/arithmetic-coded literal stream. The CTW history
-//! advances only over literal bases, so encoder and decoder stay in
-//! lockstep without modelling the copied regions twice.
+//! DNAX) plus a CTW-modelled literal stream. The CTW history advances
+//! only over literal bases, so encoder and decoder stay in lockstep
+//! without modelling the copied regions twice.
+//!
+//! Like [`crate::ctw`], the literal stream has two tiers: v1 blobs pair
+//! the log-domain binary [`CtwTree`] with the arithmetic coder
+//! (bit-exact with pre-speed-tier output), v2 blobs pair the 4-ary
+//! [`FastCtwTree4`] with rANS — one tree walk and one coder symbol per
+//! literal base. The decoder follows the blob's version byte.
 
-use crate::blob::{Algorithm, CompressedBlob};
+use crate::blob::{Algorithm, CompressedBlob, VERSION, VERSION_SPEED};
 use crate::stats::{Meter, ResourceStats};
 use crate::Compressor;
-use dnacomp_codec::arith::{ArithDecoder, ArithEncoder};
+use dnacomp_codec::arith::{EntropyBackend, EntropyDecoder, EntropyEncoder};
 use dnacomp_codec::bitio::{BitReader, BitWriter};
-use dnacomp_codec::ctw::{BitHistory, CtwTree};
+use dnacomp_codec::ctw::{BitHistory, BitModel, CtwTree, FastCtwTree4};
 use dnacomp_codec::fibonacci::{gamma_decode, gamma_encode};
 use dnacomp_codec::repeats::{RepeatConfig, RepeatFinder, RepeatKind};
 use dnacomp_codec::varint::{read_uvarint, write_uvarint};
@@ -37,6 +43,9 @@ pub struct CtwLz {
     pub depth: usize,
     /// CTW node-pool cap.
     pub max_nodes: usize,
+    /// Entropy coding backend for the literal stream; picks the blob
+    /// version on compress. Decoding follows the blob version instead.
+    pub backend: EntropyBackend,
 }
 
 impl Default for CtwLz {
@@ -51,25 +60,37 @@ impl Default for CtwLz {
             min_repeat: 32,
             depth: 16,
             max_nodes: 4 << 20,
+            backend: EntropyBackend::default(),
         }
     }
 }
 
-/// Shared literal coder state: a CTW tree + rolling bit history.
-struct LiteralCtw {
-    tree: CtwTree,
+/// Literal coder protocol: the v1 path drives a binary tree two bits
+/// per base, the v2 path drives the 4-ary tree one symbol per base.
+/// Generic seams in `encode_payload`/`decode_bases` accept either.
+trait LiteralCoder {
+    fn encode_base(&mut self, enc: &mut EntropyEncoder, base: Base);
+    fn decode_base(&mut self, dec: &mut EntropyDecoder<'_>) -> Base;
+    fn heap_bytes(&self) -> usize;
+}
+
+/// Legacy literal coder state: a binary CTW tree + rolling bit history.
+struct LiteralCtw<M: BitModel> {
+    tree: M,
     hist: BitHistory,
 }
 
-impl LiteralCtw {
-    fn new(depth: usize, max_nodes: usize) -> Self {
+impl<M: BitModel> LiteralCtw<M> {
+    fn new(tree: M) -> Self {
         LiteralCtw {
-            tree: CtwTree::with_capacity(depth, max_nodes),
+            tree,
             hist: BitHistory::new(),
         }
     }
+}
 
-    fn encode_base(&mut self, enc: &mut ArithEncoder, base: Base) {
+impl<M: BitModel> LiteralCoder for LiteralCtw<M> {
+    fn encode_base(&mut self, enc: &mut EntropyEncoder, base: Base) {
         let code = base.code();
         for shift in [1u8, 0] {
             let bit = (code >> shift) & 1 == 1;
@@ -80,7 +101,7 @@ impl LiteralCtw {
         }
     }
 
-    fn decode_base(&mut self, dec: &mut ArithDecoder<'_>) -> Base {
+    fn decode_base(&mut self, dec: &mut EntropyDecoder<'_>) -> Base {
         let mut code = 0u8;
         for _ in 0..2 {
             let (num, den) = self.tree.predict(self.hist.value());
@@ -91,23 +112,68 @@ impl LiteralCtw {
         }
         Base::from_code(code)
     }
+
+    fn heap_bytes(&self) -> usize {
+        self.tree.heap_bytes()
+    }
 }
 
-impl Compressor for CtwLz {
-    fn algorithm(&self) -> Algorithm {
-        Algorithm::CtwLz
+/// Speed-tier literal coder: the 4-ary fast tree, one walk and one
+/// rANS symbol per literal base.
+struct LiteralCtw4 {
+    tree: FastCtwTree4,
+    hist: u64,
+}
+
+impl LiteralCtw4 {
+    fn new(tree: FastCtwTree4) -> Self {
+        LiteralCtw4 { tree, hist: 0 }
+    }
+}
+
+impl LiteralCoder for LiteralCtw4 {
+    fn encode_base(&mut self, enc: &mut EntropyEncoder, base: Base) {
+        let sym = base.code() as usize;
+        let cum = self.tree.predict4(self.hist);
+        enc.encode_cum16(&cum, sym);
+        self.tree.commit4(sym);
+        self.hist = (self.hist << 2) | sym as u64;
     }
 
-    fn compress_with_stats(
+    fn decode_base(&mut self, dec: &mut EntropyDecoder<'_>) -> Base {
+        let cum = self.tree.predict4(self.hist);
+        let sym = dec.decode_cum16(&cum);
+        self.tree.commit4(sym);
+        self.hist = (self.hist << 2) | sym as u64;
+        Base::from_code(sym as u8)
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.tree.heap_bytes()
+    }
+}
+
+impl CtwLz {
+    /// CTW+LZ pinned to a specific entropy backend.
+    pub fn with_backend(backend: EntropyBackend) -> Self {
+        CtwLz {
+            backend,
+            ..CtwLz::default()
+        }
+    }
+
+    /// Repeat search + literal modelling into `lit_enc`; returns the
+    /// assembled payload (`uvarint ctrl_len`, control bytes, literal
+    /// stream).
+    fn encode_payload<L: LiteralCoder>(
         &self,
-        seq: &PackedSeq,
-    ) -> Result<(CompressedBlob, ResourceStats), CodecError> {
-        let mut meter = Meter::new();
-        let bases = seq.unpack();
-        let mut finder = RepeatFinder::new(&bases, self.search);
+        bases: &[Base],
+        mut lits: L,
+        mut lit_enc: EntropyEncoder,
+        meter: &mut Meter,
+    ) -> Result<Vec<u8>, CodecError> {
+        let mut finder = RepeatFinder::new(bases, self.search);
         let mut ctrl = BitWriter::new();
-        let mut lits = LiteralCtw::new(self.depth, self.max_nodes);
-        let mut lit_enc = ArithEncoder::new();
         let mut lit_count = 0u64;
 
         let mut i = 0usize;
@@ -158,7 +224,7 @@ impl Compressor for CtwLz {
         // CTW literal coding: a full tree walk per bit.
         meter.work(lit_count * 2 * (self.depth as u64 + 2));
         meter.heap_snapshot(
-            finder.heap_bytes() as u64 + bases.len() as u64 + lits.tree.heap_bytes() as u64,
+            finder.heap_bytes() as u64 + bases.len() as u64 + lits.heap_bytes() as u64,
         );
 
         let ctrl_bytes = ctrl.into_bytes();
@@ -167,16 +233,17 @@ impl Compressor for CtwLz {
         write_uvarint(&mut payload, ctrl_bytes.len() as u64);
         payload.extend_from_slice(&ctrl_bytes);
         payload.extend_from_slice(&lit_bytes);
-        let blob = CompressedBlob::new(Algorithm::CtwLz, seq, payload);
-        Ok((blob, meter.finish()))
+        Ok(payload)
     }
 
-    fn decompress_with_stats(
+    /// Replay the control stream, pulling literal bases through `lits`.
+    fn decode_bases<L: LiteralCoder>(
         &self,
         blob: &CompressedBlob,
-    ) -> Result<(PackedSeq, ResourceStats), CodecError> {
-        blob.expect_algorithm(Algorithm::CtwLz)?;
-        let mut meter = Meter::new();
+        backend: EntropyBackend,
+        mut lits: L,
+        meter: &mut Meter,
+    ) -> Result<Vec<Base>, CodecError> {
         let mut pos = 0usize;
         let ctrl_len = read_uvarint(&blob.payload, &mut pos)? as usize;
         let ctrl_end = pos
@@ -184,8 +251,7 @@ impl Compressor for CtwLz {
             .filter(|&e| e <= blob.payload.len())
             .ok_or(CodecError::Corrupt("control stream length"))?;
         let mut ctrl = BitReader::new(&blob.payload[pos..ctrl_end]);
-        let mut lit_dec = ArithDecoder::new(&blob.payload[ctrl_end..]);
-        let mut lits = LiteralCtw::new(self.depth, self.max_nodes);
+        let mut lit_dec = EntropyDecoder::new(backend, &blob.payload[ctrl_end..])?;
         let mut lit_count = 0u64;
 
         let mut out: Vec<Base> = Vec::with_capacity(blob.decode_capacity());
@@ -233,10 +299,92 @@ impl Compressor for CtwLz {
         // Decompression repeats the CTW walk per literal bit — the cost
         // asymmetry the paper attributes to CTW holds for the hybrid too.
         meter.work(lit_count * 2 * (self.depth as u64 + 2));
-        meter.heap_snapshot(out.len() as u64 + lits.tree.heap_bytes() as u64);
+        meter.heap_snapshot(out.len() as u64 + lits.heap_bytes() as u64);
+        Ok(out)
+    }
+}
+
+impl Compressor for CtwLz {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::CtwLz
+    }
+
+    fn compress_with_stats(
+        &self,
+        seq: &PackedSeq,
+    ) -> Result<(CompressedBlob, ResourceStats), CodecError> {
+        let mut meter = Meter::new();
+        let bases = seq.unpack();
+        let enc = EntropyEncoder::new(self.backend);
+        let (payload, blob) = match self.backend {
+            EntropyBackend::Arith => {
+                let lits = LiteralCtw::new(CtwTree::with_capacity(self.depth, self.max_nodes));
+                let payload = self.encode_payload(&bases, lits, enc, &mut meter)?;
+                let blob = CompressedBlob::new(Algorithm::CtwLz, seq, Vec::new());
+                (payload, blob)
+            }
+            EntropyBackend::Rans => {
+                let lits =
+                    LiteralCtw4::new(FastCtwTree4::with_capacity(self.depth / 2, self.max_nodes));
+                let payload = self.encode_payload(&bases, lits, enc, &mut meter)?;
+                let blob = CompressedBlob::new_v2(Algorithm::CtwLz, seq, Vec::new());
+                (payload, blob)
+            }
+        };
+        let blob = CompressedBlob { payload, ..blob };
+        Ok((blob, meter.finish()))
+    }
+
+    fn decompress_with_stats(
+        &self,
+        blob: &CompressedBlob,
+    ) -> Result<(PackedSeq, ResourceStats), CodecError> {
+        blob.expect_algorithm(Algorithm::CtwLz)?;
+        let mut meter = Meter::new();
+        let out = match blob.version {
+            VERSION => {
+                let lits = LiteralCtw::new(CtwTree::with_capacity(self.depth, self.max_nodes));
+                self.decode_bases(blob, EntropyBackend::Arith, lits, &mut meter)?
+            }
+            VERSION_SPEED => {
+                let lits =
+                    LiteralCtw4::new(FastCtwTree4::with_capacity(self.depth / 2, self.max_nodes));
+                self.decode_bases(blob, EntropyBackend::Rans, lits, &mut meter)?
+            }
+            v => return Err(CodecError::UnknownFormat(v)),
+        };
         let seq = PackedSeq::from(out.as_slice());
         blob.verify(&seq)?;
         Ok((seq, meter.finish()))
+    }
+
+    fn stage_times(&self, seq: &PackedSeq) -> Option<(f64, f64)> {
+        use std::time::Instant;
+        let t0 = Instant::now();
+        self.compress(seq).ok()?;
+        let full_ms = t0.elapsed().as_secs_f64() * 1e3;
+        // Model stage = repeat search + CTW walk into a discard sink.
+        let bases = seq.unpack();
+        let mut meter = Meter::new();
+        let t0 = Instant::now();
+        let sink = EntropyEncoder::discard();
+        match self.backend {
+            EntropyBackend::Arith => {
+                let lits = LiteralCtw::new(CtwTree::with_capacity(self.depth, self.max_nodes));
+                self.encode_payload(&bases, lits, sink, &mut meter).ok()?;
+            }
+            EntropyBackend::Rans => {
+                let lits =
+                    LiteralCtw4::new(FastCtwTree4::with_capacity(self.depth / 2, self.max_nodes));
+                self.encode_payload(&bases, lits, sink, &mut meter).ok()?;
+            }
+        }
+        let model_ms = t0.elapsed().as_secs_f64() * 1e3;
+        Some((model_ms, (full_ms - model_ms).max(0.0)))
+    }
+
+    fn entropy_backend(&self) -> &'static str {
+        self.backend.name()
     }
 }
 
@@ -262,6 +410,20 @@ mod tests {
         for s in ["A", "ACGT", "GGGGGGGGG"] {
             roundtrip(&c, &PackedSeq::from_ascii(s.as_bytes()).unwrap());
         }
+    }
+
+    #[test]
+    fn backends_cross_decode_via_blob_version() {
+        let seq = GenomeModel::default().generate(6_000, 19);
+        let legacy = CtwLz::with_backend(EntropyBackend::Arith);
+        let fast = CtwLz::default();
+        let v1 = legacy.compress(&seq).unwrap();
+        assert_eq!(v1.version, VERSION);
+        let v2 = fast.compress(&seq).unwrap();
+        assert_eq!(v2.version, VERSION_SPEED);
+        // Either instance decodes either blob: the version byte rules.
+        assert_eq!(fast.decompress(&v1).unwrap(), seq);
+        assert_eq!(legacy.decompress(&v2).unwrap(), seq);
     }
 
     #[test]
@@ -307,18 +469,28 @@ mod tests {
     #[test]
     fn rejects_corruption() {
         let seq = GenomeModel::default().generate(3_000, 13);
-        let c = CtwLz::default();
-        let blob = c.compress(&seq).unwrap();
-        let mut trunc = blob.clone();
-        trunc.payload.truncate(2);
-        assert!(c.decompress(&trunc).is_err());
-        for at in 0..blob.payload.len().min(16) {
-            let mut bad = blob.clone();
-            bad.payload[at] ^= 0x18;
-            if let Ok(back) = c.decompress(&bad) {
-                assert_eq!(back, seq, "silent corruption at byte {at}");
+        for backend in [EntropyBackend::Arith, EntropyBackend::Rans] {
+            let c = CtwLz::with_backend(backend);
+            let blob = c.compress(&seq).unwrap();
+            let mut trunc = blob.clone();
+            trunc.payload.truncate(2);
+            assert!(c.decompress(&trunc).is_err());
+            for at in 0..blob.payload.len().min(16) {
+                let mut bad = blob.clone();
+                bad.payload[at] ^= 0x18;
+                if let Ok(back) = c.decompress(&bad) {
+                    assert_eq!(back, seq, "silent corruption at byte {at}");
+                }
             }
         }
+    }
+
+    #[test]
+    fn stage_times_reports_both_stages() {
+        let seq = GenomeModel::default().generate(4_000, 23);
+        let (model_ms, entropy_ms) = CtwLz::default().stage_times(&seq).unwrap();
+        assert!(model_ms > 0.0);
+        assert!(entropy_ms >= 0.0);
     }
 
     proptest! {
@@ -327,6 +499,7 @@ mod tests {
         fn roundtrip_arbitrary(s in "[ACGT]{0,1500}") {
             let seq = PackedSeq::from_ascii(s.as_bytes()).unwrap();
             roundtrip(&CtwLz::default(), &seq);
+            roundtrip(&CtwLz::with_backend(EntropyBackend::Arith), &seq);
         }
 
         #[test]

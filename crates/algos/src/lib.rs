@@ -23,8 +23,9 @@
 #![warn(missing_docs)]
 
 pub mod biocompress;
-pub mod cfact;
 pub mod blob;
+pub mod bwt;
+pub mod cfact;
 pub mod ctw;
 pub mod ctwlz;
 pub mod dnac;
@@ -44,8 +45,9 @@ pub mod sequitur;
 pub mod xm;
 
 pub use biocompress::BioCompress2;
-pub use cfact::Cfact;
 pub use blob::{Algorithm, CompressedBlob};
+pub use bwt::Bwt;
+pub use cfact::Cfact;
 pub use frame::FramedBlob;
 pub use parallel::ParallelCompressor;
 pub use pool::{PoolStats, TaskPool};
@@ -112,6 +114,22 @@ pub trait Compressor: Send + Sync {
     fn decompress(&self, blob: &CompressedBlob) -> Result<PackedSeq, CodecError> {
         self.decompress_with_stats(blob).map(|(s, _)| s)
     }
+
+    /// Wall-clock breakdown of one compression run as
+    /// `(model_ms, entropy_ms)`, or `None` for algorithms whose pipeline
+    /// has no model/entropy split. Implementations typically time a full
+    /// run, then a second run with the entropy stage replaced by a
+    /// discard sink; the difference attributes time to the entropy coder.
+    fn stage_times(&self, _seq: &PackedSeq) -> Option<(f64, f64)> {
+        None
+    }
+
+    /// Name of the entropy backend this instance codes with — `"arith"`
+    /// for the classic carry-less arithmetic coder (the default for the
+    /// legacy algorithms), `"rans"` for the interleaved rANS speed tier.
+    fn entropy_backend(&self) -> &'static str {
+        "arith"
+    }
 }
 
 /// Construct the default-configured compressor for `algorithm`.
@@ -137,6 +155,7 @@ pub fn compressor_for(algorithm: Algorithm) -> Box<dyn Compressor> {
         Algorithm::DnaSequitur => Box::new(DnaSequitur::default()),
         Algorithm::CtwLz => Box::new(CtwLz::default()),
         Algorithm::Raw => Box::new(RawPack),
+        Algorithm::Bwt => Box::new(Bwt::default()),
     }
 }
 
@@ -162,6 +181,7 @@ pub fn all_algorithms() -> Vec<Box<dyn Compressor>> {
     v.push(Box::new(DnaSequitur::default()));
     v.push(Box::new(CtwLz::default()));
     v.push(Box::new(RawPack));
+    v.push(Box::new(Bwt::default()));
     v
 }
 

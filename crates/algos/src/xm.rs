@@ -18,22 +18,33 @@
 //! * mixture: each expert's weight is multiplied by the probability it
 //!   assigned to the symbol that actually occurred, floored and
 //!   renormalised — experts that predict well dominate quickly;
-//! * coding: the quantised mixture drives the arithmetic coder.
+//! * coding: the quantised mixture drives the entropy coder.
+//!
+//! Each expert is consulted **once** per base: the panel's predictions
+//! are cached by the mixture step and reused by the weight update
+//! (bit-identical to predicting twice — `Expert::predict` is pure).
+//! v1 blobs keep the historical arithmetic coding byte-exactly; v2
+//! blobs quantise the mixture to an exact 2¹⁶ total, code through
+//! interleaved rANS, and run the model in *fast* arithmetic —
+//! reciprocal-multiply predictions and weight renormalisation, with the
+//! next base's hashed table rows touched ahead of time so their cache
+//! misses overlap the entropy coder. Both ends of the v2 path use the
+//! same arithmetic, so roundtrips are exact; v1 never sees it.
 //!
 //! Both the paper's observations emerge: the ratio is competitive with
 //! CTW, and the per-symbol cost (every expert consulted on every base)
 //! makes it one of the slowest algorithms here.
 
-use crate::blob::{Algorithm, CompressedBlob};
+use crate::blob::{Algorithm, CompressedBlob, VERSION, VERSION_SPEED};
 use crate::stats::{Meter, ResourceStats};
 use crate::Compressor;
-use dnacomp_codec::arith::{ArithDecoder, ArithEncoder};
+use dnacomp_codec::arith::{ArithDecoder, ArithEncoder, EntropyBackend, EntropyDecoder, EntropyEncoder};
 use dnacomp_codec::CodecError;
 use dnacomp_seq::{Base, PackedSeq};
 
 /// Hashed context table size per expert (2^16 rows of 4 counters).
 const TABLE_BITS: u32 = 16;
-/// Mixture quantisation total for the arithmetic coder.
+/// Mixture quantisation total for the entropy coder.
 const MIX_TOTAL: u32 = 1 << 16;
 /// Weight floor: experts never die entirely, so regime changes recover.
 const WEIGHT_FLOOR: f64 = 1e-4;
@@ -42,6 +53,9 @@ const WEIGHT_FLOOR: f64 = 1e-4;
 #[derive(Clone)]
 struct Expert {
     order: u32,
+    /// Pre-mixed per-order hash salt (`φ·(order+1)`), hoisted out of the
+    /// per-base slot hash. Same value the hash always used.
+    salt: u64,
     table: Vec<[u16; 4]>,
 }
 
@@ -49,6 +63,7 @@ impl Expert {
     fn new(order: u32) -> Expert {
         Expert {
             order,
+            salt: 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(order as u64 + 1),
             table: vec![[0; 4]; 1 << TABLE_BITS],
         }
     }
@@ -58,26 +73,44 @@ impl Expert {
         // Low 2·order bits of the base history, mixed so different
         // orders use decorrelated slots.
         let ctx = history & ((1u64 << (2 * self.order)) - 1);
-        let mut h = ctx ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(self.order as u64 + 1));
-        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        let h = (ctx ^ self.salt) ^ ((ctx ^ self.salt) >> 30);
+        let h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
         (h >> (64 - TABLE_BITS)) as usize
     }
 
-    /// Laplace-smoothed probabilities for the next symbol.
-    fn predict(&self, history: u64) -> [f64; 4] {
-        let row = &self.table[self.slot(history)];
+    /// Laplace-smoothed probabilities for the next symbol, reading the
+    /// table row at a pre-computed `slot`. The four divisions share one
+    /// denominator and are written as a lane loop so the SLP vectoriser
+    /// can pack them (IEEE division is exact per lane, so this cannot
+    /// change a single output bit vs the scalar form).
+    fn predict_at(&self, slot: usize) -> [f64; 4] {
+        let row = &self.table[slot];
         let total: u32 = row.iter().map(|&c| c as u32).sum();
         let denom = total as f64 + 4.0;
-        [
-            (row[0] as f64 + 1.0) / denom,
-            (row[1] as f64 + 1.0) / denom,
-            (row[2] as f64 + 1.0) / denom,
-            (row[3] as f64 + 1.0) / denom,
-        ]
+        let mut out = [0.0f64; 4];
+        for s in 0..4 {
+            out[s] = (row[s] as f64 + 1.0) / denom;
+        }
+        out
     }
 
-    fn update(&mut self, history: u64, sym: usize) {
-        let slot = self.slot(history);
+    /// Speed-tier prediction: single-precision, one reciprocal, four
+    /// multiplies. On the baseline SSE2 target all four lanes fit one
+    /// vector (f64 would need two). The f32 noise (~2⁻²⁴ relative) sits
+    /// far below the 2⁻¹⁶ quantisation grid — but it *is* a different
+    /// bitstream, so only the v2 paths (both ends) ever call this.
+    fn predict_at_f32(&self, slot: usize) -> [f32; 4] {
+        let row = &self.table[slot];
+        let total: u32 = row.iter().map(|&c| c as u32).sum();
+        let inv = 1.0f32 / (total as f32 + 4.0);
+        let mut out = [0.0f32; 4];
+        for s in 0..4 {
+            out[s] = (row[s] as f32 + 1.0) * inv;
+        }
+        out
+    }
+
+    fn update_at(&mut self, slot: usize, sym: usize) {
         let row = &mut self.table[slot];
         if row[sym] == u16::MAX {
             for c in row.iter_mut() {
@@ -96,31 +129,126 @@ impl Expert {
 struct XmModel {
     experts: Vec<Expert>,
     weights: Vec<f64>,
+    /// Per-expert predictions for the current position, filled by the
+    /// mixture step and reused by [`XmModel::observe`] — each expert
+    /// predicts once per base, not twice.
+    preds: Vec<[f64; 4]>,
+    /// Fast-mode counterpart of `preds` (single precision).
+    preds32: Vec<[f32; 4]>,
+    /// Fast-mode mixture weights (single precision; the floor keeps
+    /// them ≥ 1e-4, far above f32 underflow).
+    weights32: Vec<f32>,
+    /// Per-expert table slots for the **current** position, computed
+    /// eagerly at the end of the previous `observe` (and touched there,
+    /// so the hashed rows are streaming into cache while the entropy
+    /// coder works between observe and the next mixture). Byte-exact
+    /// either way — the hash only depends on `history`.
+    slots: Vec<usize>,
     history: u64,
+    /// Speed-tier arithmetic: reciprocal-multiply instead of per-lane
+    /// division in predictions and weight renormalisation. Off for v1
+    /// paths, whose bitstreams are pinned by checked-in fixtures.
+    fast: bool,
 }
 
 impl XmModel {
     fn new(orders: &[u32]) -> XmModel {
+        XmModel::with_mode(orders, false)
+    }
+
+    /// Speed-tier (v2) model: identical structure, reciprocal arithmetic.
+    fn new_fast(orders: &[u32]) -> XmModel {
+        XmModel::with_mode(orders, true)
+    }
+
+    fn with_mode(orders: &[u32], fast: bool) -> XmModel {
         let experts: Vec<Expert> = orders.iter().map(|&k| Expert::new(k)).collect();
         let w = 1.0 / experts.len() as f64;
-        XmModel {
+        let mut model = XmModel {
             weights: vec![w; experts.len()],
+            weights32: vec![w as f32; experts.len()],
+            preds: vec![[0.0; 4]; experts.len()],
+            preds32: vec![[0.0; 4]; experts.len()],
+            slots: vec![0; experts.len()],
             experts,
             history: 0,
+            fast,
+        };
+        model.refresh_slots();
+        model
+    }
+
+    /// Hash the current history into each expert's table slot and touch
+    /// the row, so the (random-access) cache lines are in flight before
+    /// the next mixture needs them.
+    fn refresh_slots(&mut self) {
+        for (i, e) in self.experts.iter().enumerate() {
+            let slot = e.slot(self.history);
+            self.slots[i] = slot;
+            dnacomp_seq::prefetch_read(&e.table[slot]);
         }
     }
 
-    /// Quantised mixture distribution as cumulative bounds
-    /// `[c0, c1, c2, c3, total]`.
-    fn mixture(&self) -> ([f64; 4], [u32; 5]) {
+    /// Encoder-side lookahead: the encoder knows the symbol *before* the
+    /// mixture, so the **next** base's table rows can start streaming in
+    /// while this base is mixed, coded and observed — hiding the hashed
+    /// tables' random-access latency behind ~a full base of work. Pure
+    /// cache warming: no model state changes, so decode (which cannot
+    /// look ahead) stays bit-compatible.
+    #[inline]
+    fn prefetch_after(&self, sym: usize) {
+        let next = (self.history << 2) | sym as u64;
+        for e in &self.experts {
+            dnacomp_seq::prefetch_read(&e.table[e.slot(next)]);
+        }
+    }
+
+    /// Consult every expert once, caching predictions, and return the
+    /// weighted mixture. Slots were precomputed by `refresh_slots`.
+    /// Legacy (v1) arithmetic — byte-exact with the pre-speed-tier code.
+    fn mix(&mut self) -> [f64; 4] {
         let mut mix = [0.0f64; 4];
-        for (e, &w) in self.experts.iter().zip(&self.weights) {
-            let p = e.predict(self.history);
+        let it = self
+            .experts
+            .iter()
+            .zip(&self.slots)
+            .zip(self.preds.iter_mut())
+            .zip(&self.weights);
+        for (((e, &slot), pred), &w) in it {
+            let p = e.predict_at(slot);
+            *pred = p;
             for s in 0..4 {
                 mix[s] += w * p[s];
             }
         }
-        // Quantise with a floor of 1 per symbol.
+        mix
+    }
+
+    /// Fast-mode (v2) mixture: single-precision expert lanes, weights
+    /// applied in f32. Fills `preds32` for the weight update.
+    fn mix_fast(&mut self) -> [f32; 4] {
+        let mut mix = [0.0f32; 4];
+        let it = self
+            .experts
+            .iter()
+            .zip(&self.slots)
+            .zip(self.preds32.iter_mut())
+            .zip(&self.weights32);
+        for (((e, &slot), pred), &w) in it {
+            let p = e.predict_at_f32(slot);
+            *pred = p;
+            for s in 0..4 {
+                mix[s] += w * p[s];
+            }
+        }
+        mix
+    }
+
+    /// Legacy (v1) quantised mixture as cumulative bounds
+    /// `[c0, c1, c2, c3, total]` — total is *approximately* 2¹⁶,
+    /// byte-exact with the pre-speed-tier encoder.
+    fn mixture(&mut self) -> [u32; 5] {
+        let mix = self.mix();
         let mut cum = [0u32; 5];
         let mut acc = 0u32;
         for s in 0..4 {
@@ -129,24 +257,70 @@ impl XmModel {
             acc += f;
         }
         cum[4] = acc;
-        (mix, cum)
+        cum
+    }
+
+    /// Speed-tier (v2) quantised mixture: cumulative bounds summing to
+    /// **exactly** 2¹⁶ (the last symbol absorbs the remainder; every
+    /// frequency stays ≥ 1), as the rANS coder requires. Every lane
+    /// probability is strictly below 1 (Laplace smoothing caps an expert
+    /// at (t+1)/(t+4), and the f32 noise is ~2⁻²⁴ relative), so the
+    /// three quantised frequencies total < 2¹⁶ and the fourth symbol's
+    /// width stays ≥ 1.
+    fn mixture16(&mut self) -> [u32; 5] {
+        let mut cum = [0u32; 5];
+        let mut acc = 0u32;
+        if self.fast {
+            let mix = self.mix_fast();
+            for s in 0..3 {
+                let f = ((mix[s] * (MIX_TOTAL - 4) as f32) as u32) + 1;
+                cum[s] = acc;
+                acc += f;
+            }
+        } else {
+            let mix = self.mix();
+            for s in 0..3 {
+                let f = ((mix[s] * (MIX_TOTAL - 4) as f64) as u32) + 1;
+                cum[s] = acc;
+                acc += f;
+            }
+        }
+        cum[3] = acc;
+        cum[4] = MIX_TOTAL;
+        debug_assert!(acc < MIX_TOTAL);
+        cum
     }
 
     /// Record the actual symbol: update weights, experts, history.
+    /// Uses the predictions cached by the latest mixture call, which
+    /// must precede every `observe` (pure functions — same values the
+    /// experts would return if asked again).
     fn observe(&mut self, sym: usize) {
-        let mut norm = 0.0;
-        for (i, e) in self.experts.iter().enumerate() {
-            let p = e.predict(self.history)[sym];
-            self.weights[i] = (self.weights[i] * p).max(WEIGHT_FLOOR);
-            norm += self.weights[i];
+        if self.fast {
+            let mut norm = 0.0f32;
+            for (w, p) in self.weights32.iter_mut().zip(&self.preds32) {
+                *w = (*w * p[sym]).max(WEIGHT_FLOOR as f32);
+                norm += *w;
+            }
+            let inv = 1.0f32 / norm;
+            for w in &mut self.weights32 {
+                *w *= inv;
+            }
+        } else {
+            let mut norm = 0.0f64;
+            for (w, p) in self.weights.iter_mut().zip(&self.preds) {
+                *w = (*w * p[sym]).max(WEIGHT_FLOOR);
+                norm += *w;
+            }
+            for w in &mut self.weights {
+                *w /= norm;
+            }
         }
-        for w in &mut self.weights {
-            *w /= norm;
-        }
-        for e in &mut self.experts {
-            e.update(self.history, sym);
+        for (e, &slot) in self.experts.iter_mut().zip(&self.slots) {
+            e.update_at(slot, sym);
         }
         self.history = (self.history << 2) | sym as u64;
+        self.refresh_slots();
     }
 
     fn heap_bytes(&self) -> usize {
@@ -160,13 +334,31 @@ impl XmModel {
 pub struct XmLite {
     /// Expert context orders (bases).
     pub orders: Vec<u32>,
+    /// Entropy coding backend; picks the blob version on compress.
+    /// Decoding follows the blob version instead.
+    pub backend: EntropyBackend,
 }
 
 impl Default for XmLite {
     fn default() -> Self {
         XmLite {
             orders: vec![1, 2, 4, 6, 8, 11],
+            backend: EntropyBackend::default(),
         }
+    }
+}
+
+impl XmLite {
+    /// XM-lite pinned to a specific entropy backend.
+    pub fn with_backend(backend: EntropyBackend) -> Self {
+        XmLite {
+            backend,
+            ..XmLite::default()
+        }
+    }
+
+    fn work_per_base(&self) -> u64 {
+        self.orders.len() as u64 * 6
     }
 }
 
@@ -180,18 +372,36 @@ impl Compressor for XmLite {
         seq: &PackedSeq,
     ) -> Result<(CompressedBlob, ResourceStats), CodecError> {
         let mut meter = Meter::new();
-        let mut model = XmModel::new(&self.orders);
-        let mut enc = ArithEncoder::new();
-        for b in seq.iter() {
-            let sym = b.code() as usize;
-            let (_, cum) = model.mixture();
-            enc.encode(cum[sym], cum[sym + 1], cum[4]);
-            model.observe(sym);
-        }
-        // Every expert consulted twice (predict + weight update) per base.
-        meter.work(seq.len() as u64 * self.orders.len() as u64 * 6);
+        let mut model = match self.backend {
+            EntropyBackend::Arith => XmModel::new(&self.orders),
+            EntropyBackend::Rans => XmModel::new_fast(&self.orders),
+        };
+        let blob = match self.backend {
+            EntropyBackend::Arith => {
+                let mut enc = ArithEncoder::new();
+                for b in seq.iter() {
+                    let sym = b.code() as usize;
+                    let cum = model.mixture();
+                    enc.encode(cum[sym], cum[sym + 1], cum[4]);
+                    model.observe(sym);
+                }
+                CompressedBlob::new(Algorithm::XmLite, seq, enc.finish())
+            }
+            EntropyBackend::Rans => {
+                let mut enc = EntropyEncoder::new(EntropyBackend::Rans);
+                for b in seq.iter() {
+                    let sym = b.code() as usize;
+                    model.prefetch_after(sym);
+                    let cum = model.mixture16();
+                    enc.encode_cum16(&cum, sym);
+                    model.observe(sym);
+                }
+                CompressedBlob::new_v2(Algorithm::XmLite, seq, enc.finish())
+            }
+        };
+        // Every expert consulted once per base, plus the weight update.
+        meter.work(seq.len() as u64 * self.work_per_base());
         meter.heap_snapshot(model.heap_bytes() as u64 + seq.heap_bytes() as u64);
-        let blob = CompressedBlob::new(Algorithm::XmLite, seq, enc.finish());
         Ok((blob, meter.finish()))
     }
 
@@ -201,24 +411,73 @@ impl Compressor for XmLite {
     ) -> Result<(PackedSeq, ResourceStats), CodecError> {
         blob.expect_algorithm(Algorithm::XmLite)?;
         let mut meter = Meter::new();
-        let mut model = XmModel::new(&self.orders);
-        let mut dec = ArithDecoder::new(&blob.payload);
+        let mut model = match blob.version {
+            VERSION_SPEED => XmModel::new_fast(&self.orders),
+            _ => XmModel::new(&self.orders),
+        };
         let mut seq = PackedSeq::with_capacity(blob.decode_capacity());
-        for _ in 0..blob.original_len {
-            let (_, cum) = model.mixture();
-            let target = dec.decode_target(cum[4]);
-            let sym = match cum[1..=4].iter().position(|&c| target < c) {
-                Some(s) => s,
-                None => return Err(CodecError::Corrupt("xm target out of range")),
-            };
-            dec.update(cum[sym], cum[sym + 1], cum[4]);
-            model.observe(sym);
-            seq.push(Base::from_code(sym as u8));
+        match blob.version {
+            VERSION => {
+                let mut dec = ArithDecoder::new(&blob.payload);
+                for _ in 0..blob.original_len {
+                    let cum = model.mixture();
+                    let target = dec.decode_target(cum[4]);
+                    let sym = match cum[1..=4].iter().position(|&c| target < c) {
+                        Some(s) => s,
+                        None => return Err(CodecError::Corrupt("xm target out of range")),
+                    };
+                    dec.update(cum[sym], cum[sym + 1], cum[4]);
+                    model.observe(sym);
+                    seq.push(Base::from_code(sym as u8));
+                }
+            }
+            VERSION_SPEED => {
+                let mut dec = EntropyDecoder::new(EntropyBackend::Rans, &blob.payload)?;
+                for _ in 0..blob.original_len {
+                    let cum = model.mixture16();
+                    let sym = dec.decode_cum16(&cum);
+                    model.observe(sym);
+                    seq.push(Base::from_code(sym as u8));
+                }
+            }
+            v => return Err(CodecError::UnknownFormat(v)),
         }
-        meter.work(blob.original_len as u64 * self.orders.len() as u64 * 6);
+        meter.work(blob.original_len as u64 * self.work_per_base());
         meter.heap_snapshot(model.heap_bytes() as u64 + seq.heap_bytes() as u64);
         blob.verify(&seq)?;
         Ok((seq, meter.finish()))
+    }
+
+    fn stage_times(&self, seq: &PackedSeq) -> Option<(f64, f64)> {
+        use std::time::Instant;
+        let t0 = Instant::now();
+        self.compress(seq).ok()?;
+        let full_ms = t0.elapsed().as_secs_f64() * 1e3;
+        // Same model walk into a discard sink.
+        let t0 = Instant::now();
+        let mut model = match self.backend {
+            EntropyBackend::Arith => XmModel::new(&self.orders),
+            EntropyBackend::Rans => XmModel::new_fast(&self.orders),
+        };
+        let mut sink = EntropyEncoder::discard();
+        for b in seq.iter() {
+            let sym = b.code() as usize;
+            let cum = match self.backend {
+                EntropyBackend::Arith => model.mixture(),
+                EntropyBackend::Rans => {
+                    model.prefetch_after(sym);
+                    model.mixture16()
+                }
+            };
+            sink.encode_cum16(&cum, sym);
+            model.observe(sym);
+        }
+        let model_ms = t0.elapsed().as_secs_f64() * 1e3;
+        Some((model_ms, (full_ms - model_ms).max(0.0)))
+    }
+
+    fn entropy_backend(&self) -> &'static str {
+        self.backend.name()
     }
 }
 
@@ -242,6 +501,67 @@ mod tests {
         roundtrip(&c, &PackedSeq::new());
         for s in ["A", "ACGT", "GGGGG"] {
             roundtrip(&c, &PackedSeq::from_ascii(s.as_bytes()).unwrap());
+        }
+    }
+
+    #[test]
+    fn backends_cross_decode_via_blob_version() {
+        let seq = GenomeModel::default().generate(6_000, 29);
+        let legacy = XmLite::with_backend(EntropyBackend::Arith);
+        let fast = XmLite::default();
+        let v1 = legacy.compress(&seq).unwrap();
+        assert_eq!(v1.version, VERSION);
+        let v2 = fast.compress(&seq).unwrap();
+        assert_eq!(v2.version, VERSION_SPEED);
+        assert_eq!(fast.decompress(&v1).unwrap(), seq);
+        assert_eq!(legacy.decompress(&v2).unwrap(), seq);
+    }
+
+    #[test]
+    fn mixture16_is_exact_and_close_to_legacy() {
+        let seq = GenomeModel::default().generate(2_000, 31);
+        let mut model = XmModel::new(&[1, 2, 4]);
+        for b in seq.iter() {
+            let legacy = model.mixture();
+            let exact = model.mixture16();
+            assert_eq!(exact[4], MIX_TOTAL);
+            assert_eq!(exact[0], 0);
+            for s in 0..4 {
+                assert!(exact[s] < exact[s + 1], "zero-width interval at {s}");
+                // First three symbols quantise identically.
+                if s < 3 {
+                    assert_eq!(exact[s], legacy[s]);
+                }
+            }
+            model.observe(b.code() as usize);
+        }
+    }
+
+    #[test]
+    fn fast_mode_tracks_legacy_within_quantisation_noise() {
+        // Fast mode runs the experts in f32 (~2⁻²⁴ relative noise per
+        // step, compounding through the weight trajectory), so the two
+        // mixtures drift apart slowly — bound the drift to a fraction of
+        // a percent of the 2¹⁶ grid. Structure (exact total, no
+        // zero-width symbol) must hold exactly regardless.
+        let seq = GenomeModel::default().generate(2_000, 31);
+        let mut slow = XmModel::new(&[1, 2, 4]);
+        let mut fast = XmModel::new_fast(&[1, 2, 4]);
+        for b in seq.iter() {
+            let a = slow.mixture16();
+            let f = fast.mixture16();
+            assert_eq!(f[4], MIX_TOTAL);
+            assert_eq!(f[0], 0);
+            for s in 0..4 {
+                assert!(f[s] < f[s + 1], "zero-width interval at {s}");
+                assert!(
+                    (f[s] as i64 - a[s] as i64).abs() <= 256,
+                    "fast/slow diverged at {s}: {f:?} vs {a:?}"
+                );
+            }
+            let sym = b.code() as usize;
+            slow.observe(sym);
+            fast.observe(sym);
         }
     }
 
@@ -276,6 +596,7 @@ mod tests {
         let seq = PackedSeq::from_ascii("ACGTT".repeat(2000).as_bytes()).unwrap();
         let mut model = XmModel::new(&[1, 6]);
         for b in seq.iter() {
+            model.mix(); // fill the prediction cache observe consumes
             model.observe(b.code() as usize);
         }
         assert!(
@@ -287,7 +608,10 @@ mod tests {
 
     #[test]
     fn single_expert_panel_still_works() {
-        let c = XmLite { orders: vec![2] };
+        let c = XmLite {
+            orders: vec![2],
+            ..XmLite::default()
+        };
         let seq = GenomeModel::default().generate(5_000, 9);
         roundtrip(&c, &seq);
     }
@@ -295,15 +619,17 @@ mod tests {
     #[test]
     fn rejects_corruption() {
         let seq = GenomeModel::default().generate(2_000, 13);
-        let c = XmLite::default();
-        let blob = c.compress(&seq).unwrap();
-        let mut bad = blob.clone();
-        let at = bad.payload.len() / 2;
-        bad.payload[at] ^= 0x40;
-        if let Ok(back) = c.decompress(&bad) { assert_eq!(back, seq) }
-        let mut wrong = blob.clone();
-        wrong.algorithm = Algorithm::Dnax;
-        assert!(c.decompress(&wrong).is_err());
+        for backend in [EntropyBackend::Arith, EntropyBackend::Rans] {
+            let c = XmLite::with_backend(backend);
+            let blob = c.compress(&seq).unwrap();
+            let mut bad = blob.clone();
+            let at = bad.payload.len() / 2;
+            bad.payload[at] ^= 0x40;
+            if let Ok(back) = c.decompress(&bad) { assert_eq!(back, seq) }
+            let mut wrong = blob.clone();
+            wrong.algorithm = Algorithm::Dnax;
+            assert!(c.decompress(&wrong).is_err());
+        }
     }
 
     proptest! {
@@ -312,6 +638,7 @@ mod tests {
         fn roundtrip_arbitrary(s in "[ACGT]{0,1200}") {
             let seq = PackedSeq::from_ascii(s.as_bytes()).unwrap();
             roundtrip(&XmLite::default(), &seq);
+            roundtrip(&XmLite::with_backend(EntropyBackend::Arith), &seq);
         }
     }
 }

@@ -154,6 +154,14 @@ fn calibration(alg: Algorithm) -> Calibration {
             dec_init_ms: 5.0,
             dec_scale: 0.1,
         },
+        Algorithm::Bwt => Calibration {
+            // Suffix-array build dominates compression; inversion is a
+            // linear LF walk, so decompression is bzip2-style cheap.
+            comp_init_ms: 150.0,
+            comp_scale: 1.3,
+            dec_init_ms: 40.0,
+            dec_scale: 0.5,
+        },
     }
 }
 
@@ -322,6 +330,7 @@ impl PerfModel {
             Algorithm::CtwLz => 2.2,
             // Bare packer: no model tables, leanest process of all.
             Algorithm::Raw => 1.1,
+            Algorithm::Bwt => 2.2,
         };
         (mb * 1024.0 * 1024.0) as u64
     }

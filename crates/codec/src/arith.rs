@@ -12,6 +12,9 @@
 
 use crate::bitio::{BitReader, BitWriter};
 use crate::error::CodecError;
+use crate::rans::{
+    quantize4, quantize_bit, RansDecoder, RansEncoder, RANS_BIT_BITS, RANS_TABLE_BITS,
+};
 
 const PRECISION: u32 = 32;
 const TOP: u64 = (1 << PRECISION) - 1;
@@ -205,6 +208,214 @@ impl<'a> ArithDecoder<'a> {
     /// existed — useful only as a corruption heuristic, not for framing.
     pub fn exhausted(&self) -> bool {
         self.input.position() > self.input.bit_len()
+    }
+}
+
+/// Which entropy coder sits behind the context models.
+///
+/// The adaptive models produce identical probability streams either way;
+/// only the final coding stage differs. `Rans` is the default (and the
+/// fast path); `Arith` is kept both as the decoder for pre-rANS blobs
+/// and as the differential-test oracle.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EntropyBackend {
+    /// Bit-serial arithmetic coder (legacy blobs, differential oracle).
+    Arith,
+    /// Interleaved table-driven rANS (see [`crate::rans`]).
+    #[default]
+    Rans,
+}
+
+impl EntropyBackend {
+    /// Stable lowercase name, used in bench artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            EntropyBackend::Arith => "arith",
+            EntropyBackend::Rans => "rans",
+        }
+    }
+}
+
+/// Backend-polymorphic entropy encoder: one enum instead of a trait so
+/// the per-symbol hot path stays a direct match, not a vtable call.
+///
+/// The `Arith` arm is byte-for-byte the pre-seam encoder behaviour; the
+/// `Discard` arm is a no-op sink used by bench stage-timing to measure
+/// model cost with the entropy stage subtracted.
+#[derive(Debug)]
+pub enum EntropyEncoder {
+    /// Bit-serial arithmetic coding.
+    Arith(ArithEncoder),
+    /// Buffering interleaved rANS.
+    Rans(RansEncoder),
+    /// Counts symbols, emits nothing (stage-timing probe).
+    Discard(usize),
+}
+
+impl EntropyEncoder {
+    /// Fresh encoder for `backend`.
+    pub fn new(backend: EntropyBackend) -> Self {
+        match backend {
+            EntropyBackend::Arith => EntropyEncoder::Arith(ArithEncoder::new()),
+            EntropyBackend::Rans => EntropyEncoder::Rans(RansEncoder::new()),
+        }
+    }
+
+    /// No-op sink: models run at full fidelity, nothing is coded.
+    pub fn discard() -> Self {
+        EntropyEncoder::Discard(0)
+    }
+
+    /// Encode one bit with probability `p0_num / p_den` of being zero.
+    /// The rANS arm quantizes to the 2^16 scale ([`quantize_bit`]) —
+    /// exact when `p_den` is already `1 << 16`.
+    pub fn encode_bit(&mut self, bit: bool, p0_num: u32, p_den: u32) {
+        match self {
+            EntropyEncoder::Arith(enc) => enc.encode_bit(bit, p0_num, p_den),
+            EntropyEncoder::Rans(enc) => {
+                enc.push_bit(bit as u8, quantize_bit(p0_num, p_den));
+            }
+            EntropyEncoder::Discard(n) => *n += 1,
+        }
+    }
+
+    /// Encode `sym` under a 4-symbol adaptive count row. The arithmetic
+    /// arm codes the raw counts exactly as the legacy `ContextModel`
+    /// path did; the rANS arm first quantizes the row with
+    /// [`quantize4`] (deterministic, so the decoder rebuilds the same
+    /// table from its own model state).
+    pub fn encode_row4(&mut self, row: &[u32; 4], total: u32, sym: usize) {
+        match self {
+            EntropyEncoder::Arith(enc) => {
+                let lo: u32 = row[..sym].iter().sum();
+                enc.encode(lo, lo + row[sym], total);
+            }
+            EntropyEncoder::Rans(enc) => {
+                let q = quantize4(row);
+                let start: u32 = q[..sym].iter().sum();
+                enc.push(start, q[sym], RANS_TABLE_BITS);
+            }
+            EntropyEncoder::Discard(n) => *n += 1,
+        }
+    }
+
+    /// Encode `sym` under an exact cumulative distribution over
+    /// `1 << 16` (5 fenceposts for 4 symbols, `cum[0] == 0`,
+    /// `cum[4] == 65536`, strictly increasing).
+    pub fn encode_cum16(&mut self, cum: &[u32; 5], sym: usize) {
+        debug_assert!(cum[0] == 0 && cum[4] == 1 << 16);
+        match self {
+            EntropyEncoder::Arith(enc) => enc.encode(cum[sym], cum[sym + 1], 1 << 16),
+            EntropyEncoder::Rans(enc) => {
+                enc.push(cum[sym], cum[sym + 1] - cum[sym], RANS_BIT_BITS);
+            }
+            EntropyEncoder::Discard(n) => *n += 1,
+        }
+    }
+
+    /// Symbols encoded so far (exact for `Discard`, which is its whole
+    /// purpose; the coding arms report what they have buffered/emitted).
+    pub fn symbols(&self) -> usize {
+        match self {
+            EntropyEncoder::Arith(enc) => enc.bit_len(), // bits, not symbols
+            EntropyEncoder::Rans(enc) => enc.len(),
+            EntropyEncoder::Discard(n) => *n,
+        }
+    }
+
+    /// Finalize the stream. `Discard` yields an empty payload.
+    pub fn finish(self) -> Vec<u8> {
+        match self {
+            EntropyEncoder::Arith(enc) => enc.finish(),
+            EntropyEncoder::Rans(enc) => enc.finish(),
+            EntropyEncoder::Discard(_) => Vec::new(),
+        }
+    }
+}
+
+/// Backend-polymorphic entropy decoder, mirror of [`EntropyEncoder`].
+#[derive(Debug)]
+pub enum EntropyDecoder<'a> {
+    /// Bit-serial arithmetic decoding.
+    Arith(ArithDecoder<'a>),
+    /// Interleaved rANS decoding.
+    Rans(RansDecoder<'a>),
+}
+
+impl<'a> EntropyDecoder<'a> {
+    /// Start decoding `bytes` under `backend`. The rANS arm validates
+    /// its 8-byte state header here (typed error, never a hang).
+    pub fn new(backend: EntropyBackend, bytes: &'a [u8]) -> Result<Self, CodecError> {
+        Ok(match backend {
+            EntropyBackend::Arith => EntropyDecoder::Arith(ArithDecoder::new(bytes)),
+            EntropyBackend::Rans => EntropyDecoder::Rans(RansDecoder::new(bytes)?),
+        })
+    }
+
+    /// Decode one bit — mirror of [`EntropyEncoder::encode_bit`].
+    pub fn decode_bit(&mut self, p0_num: u32, p_den: u32) -> bool {
+        match self {
+            EntropyDecoder::Arith(dec) => dec.decode_bit(p0_num, p_den),
+            EntropyDecoder::Rans(dec) => dec.decode_bit(quantize_bit(p0_num, p_den)) != 0,
+        }
+    }
+
+    /// Decode one symbol under a 4-symbol adaptive count row — mirror
+    /// of [`EntropyEncoder::encode_row4`].
+    pub fn decode_row4(&mut self, row: &[u32; 4], total: u32) -> usize {
+        match self {
+            EntropyDecoder::Arith(dec) => {
+                let target = dec.decode_target(total);
+                let mut lo = 0u32;
+                let mut sym = 3usize;
+                for (s, &f) in row.iter().enumerate() {
+                    if target < lo + f {
+                        sym = s;
+                        break;
+                    }
+                    lo += f;
+                }
+                let lo: u32 = row[..sym].iter().sum();
+                dec.update(lo, lo + row[sym], total);
+                sym
+            }
+            EntropyDecoder::Rans(dec) => {
+                let q = quantize4(row);
+                let target = dec.target(RANS_TABLE_BITS);
+                let mut start = 0u32;
+                let mut sym = 3usize;
+                for (s, &f) in q.iter().enumerate() {
+                    if target < start + f {
+                        sym = s;
+                        break;
+                    }
+                    start += f;
+                }
+                let start: u32 = q[..sym].iter().sum();
+                dec.advance(start, q[sym], RANS_TABLE_BITS);
+                sym
+            }
+        }
+    }
+
+    /// Decode one symbol under an exact cumulative distribution over
+    /// `1 << 16` — mirror of [`EntropyEncoder::encode_cum16`].
+    pub fn decode_cum16(&mut self, cum: &[u32; 5]) -> usize {
+        debug_assert!(cum[0] == 0 && cum[4] == 1 << 16);
+        match self {
+            EntropyDecoder::Arith(dec) => {
+                let target = dec.decode_target(1 << 16);
+                let sym = cum[1..].partition_point(|&c| c <= target);
+                dec.update(cum[sym], cum[sym + 1], 1 << 16);
+                sym
+            }
+            EntropyDecoder::Rans(dec) => {
+                let target = dec.target(RANS_BIT_BITS);
+                let sym = cum[1..].partition_point(|&c| c <= target);
+                dec.advance(cum[sym], cum[sym + 1] - cum[sym], RANS_BIT_BITS);
+                sym
+            }
+        }
     }
 }
 

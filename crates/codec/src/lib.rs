@@ -34,10 +34,12 @@ pub mod fibonacci;
 pub mod huffman;
 pub mod lz;
 pub mod models;
+pub mod rans;
 pub mod repeats;
 pub mod spaced;
 pub mod suffix;
 pub mod varint;
 
+pub use arith::{EntropyBackend, EntropyDecoder, EntropyEncoder};
 pub use bitio::{BitReader, BitWriter};
 pub use error::CodecError;

@@ -8,7 +8,7 @@
 //! * [`KtEstimator`] — the Krichevsky–Trofimov binary estimator that CTW
 //!   mixes over its context tree.
 
-use crate::arith::{ArithDecoder, ArithEncoder, MAX_TOTAL};
+use crate::arith::{ArithDecoder, ArithEncoder, EntropyDecoder, EntropyEncoder, MAX_TOTAL};
 use crate::error::CodecError;
 
 /// Adaptive order-0 model with add-one initialisation.
@@ -183,6 +183,32 @@ impl ContextModel {
             lo += f;
         }
         Err(CodecError::Corrupt("context model target out of range"))
+    }
+
+    /// Encode one symbol through the backend seam and update. The
+    /// `Arith` backend produces byte-identical output to
+    /// [`ContextModel::encode`]; the `Rans` backend quantizes the same
+    /// count row deterministically, so a decoder holding identical
+    /// model state rebuilds the identical table.
+    pub fn encode_with(&mut self, enc: &mut EntropyEncoder, sym: usize) {
+        debug_assert!(sym < 4);
+        let row = self.rows[self.ctx];
+        let total = self.totals[self.ctx];
+        enc.encode_row4(&row, total, sym);
+        self.update_counts(sym);
+        self.advance(sym);
+    }
+
+    /// Decode one symbol through the backend seam and update — mirror
+    /// of [`ContextModel::encode_with`]. Infallible: the decoder target
+    /// is always inside the model's own count row.
+    pub fn decode_with(&mut self, dec: &mut EntropyDecoder<'_>) -> usize {
+        let row = self.rows[self.ctx];
+        let total = self.totals[self.ctx];
+        let sym = dec.decode_row4(&row, total);
+        self.update_counts(sym);
+        self.advance(sym);
+        sym
     }
 
     /// Approximate heap footprint in bytes (for the RAM meter).
@@ -388,6 +414,40 @@ mod tests {
         }
         let expect = (0.5f64 * 0.75 * (5.0 / 6.0)).ln();
         assert!((logp - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn context_model_seam_arith_is_byte_identical_to_legacy() {
+        use crate::arith::{EntropyBackend, EntropyEncoder};
+        let symbols: Vec<usize> = (0..4000).map(|i| (i * 7 + i / 5) % 4).collect();
+        let mut legacy_model = ContextModel::new(3);
+        let mut legacy_enc = ArithEncoder::new();
+        let mut seam_model = ContextModel::new(3);
+        let mut seam_enc = EntropyEncoder::new(EntropyBackend::Arith);
+        for &s in &symbols {
+            legacy_model.encode(&mut legacy_enc, s);
+            seam_model.encode_with(&mut seam_enc, s);
+        }
+        assert_eq!(legacy_enc.finish(), seam_enc.finish());
+    }
+
+    #[test]
+    fn context_model_seam_roundtrips_on_both_backends() {
+        use crate::arith::{EntropyBackend, EntropyDecoder, EntropyEncoder};
+        let symbols: Vec<usize> = (0..4000).map(|i| (i * i + i / 3) % 4).collect();
+        for backend in [EntropyBackend::Arith, EntropyBackend::Rans] {
+            let mut em = ContextModel::new(4);
+            let mut enc = EntropyEncoder::new(backend);
+            for &s in &symbols {
+                em.encode_with(&mut enc, s);
+            }
+            let bytes = enc.finish();
+            let mut dm = ContextModel::new(4);
+            let mut dec = EntropyDecoder::new(backend, &bytes).unwrap();
+            for &s in &symbols {
+                assert_eq!(dm.decode_with(&mut dec), s, "backend {backend:?}");
+            }
+        }
     }
 
     proptest! {

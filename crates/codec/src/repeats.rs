@@ -9,7 +9,7 @@
 //! forward match" and "longest reverse-complement match" queries as the
 //! compressor sweeps left to right.
 
-use dnacomp_seq::Base;
+use dnacomp_seq::{common_prefix_len, Base};
 use std::collections::HashMap;
 
 /// Orientation of a repeat.
@@ -227,22 +227,27 @@ impl<'a> RepeatFinder<'a> {
         let mut probes = self.cfg.max_chain;
         while cand != NO_POS && probes > 0 {
             let c = cand as usize;
-            if self.cfg.window > 0 && dst - c > self.cfg.window {
+            if self.cfg.window > 0 && dst.saturating_sub(c) > self.cfg.window {
                 break;
             }
-            // Verify seed (hash chains are exact here, but stay defensive)
-            // and extend.
-            let max_len = n - dst;
-            let mut l = 0usize;
-            while l < max_len && self.text[c + l] == self.text[dst + l] {
-                l += 1;
-            }
-            if l >= k && best.is_none_or(|b| l > b.len) {
-                best = Some(RepeatMatch {
-                    src: c,
-                    len: l,
-                    kind: RepeatKind::Forward,
-                });
+            // A candidate at or past `dst` can surface when querying behind
+            // the published frontier; it is never a usable source (matches
+            // copy strictly from the past), so skip it — same policy as
+            // `forward_chain`.
+            if c < dst {
+                // Extend through the SIMD-dispatched prefix kernel. The
+                // source window may overlap the destination (LZ-style
+                // runs): both views are read-only, and `c < dst` keeps the
+                // source slice in bounds (`c + max_len <= n`).
+                let max_len = n - dst;
+                let l = common_prefix_len(&self.text[c..c + max_len], &self.text[dst..]);
+                if l >= k && best.is_none_or(|b| l > b.len) {
+                    best = Some(RepeatMatch {
+                        src: c,
+                        len: l,
+                        kind: RepeatKind::Forward,
+                    });
+                }
             }
             cand = self.prev[c];
             probes -= 1;
@@ -499,6 +504,27 @@ mod tests {
                 let resolved = m.resolve(&text[..dst], dst).expect("resolvable");
                 prop_assert_eq!(&resolved[..], &text[dst..dst + m.len]);
                 prop_assert!(m.len >= 4);
+            }
+        }
+
+        #[test]
+        fn forward_extension_matches_bytewise_reference(
+            s in "[ACGT]{40,400}",
+            dst_frac in 0.3f64..0.95,
+        ) {
+            // The SIMD-dispatched extension in `find_forward` must report
+            // exactly the length a scalar bytewise loop would.
+            let text = bases(&s);
+            let dst = ((text.len() as f64) * dst_frac) as usize;
+            let mut f = RepeatFinder::new(&text, small_cfg());
+            f.advance(dst);
+            if let Some(m) = f.find_forward(dst) {
+                let n = text.len();
+                let mut l = 0usize;
+                while dst + l < n && text[m.src + l] == text[dst + l] {
+                    l += 1;
+                }
+                prop_assert_eq!(m.len, l, "src {} dst {}", m.src, dst);
             }
         }
 

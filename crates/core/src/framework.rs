@@ -205,6 +205,7 @@ impl ContextAwareFramework {
             Algorithm::DnaSequitur => 20,
             Algorithm::CtwLz => 40,
             Algorithm::Raw => 1,
+            Algorithm::Bwt => 18,
         };
         let est_stats = dnacomp_algos::ResourceStats {
             work_units: n as u64 * work_per_base,

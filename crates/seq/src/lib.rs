@@ -19,7 +19,10 @@
 //!
 //! All randomness is seeded; the corpus is byte-reproducible across runs.
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the SIMD kernel module — the single place
+// unsafe is permitted — can opt in with an explicit allow. Every other
+// module still fails to compile if it introduces unsafe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod base;
@@ -30,10 +33,16 @@ pub mod fastq;
 pub mod gen;
 pub mod kmer;
 pub mod packed;
+#[allow(unsafe_code)]
+pub mod simd;
 pub mod stats;
 
 pub use base::Base;
 pub use error::SeqError;
 pub use packed::{
     pack_2bit_bytewise, pack_2bit_u64, unpack_2bit_bytewise, unpack_2bit_u64, PackedSeq,
+};
+pub use simd::{
+    common_prefix_len, common_prefix_len_bytewise, pack_2bit, prefetch_read, unpack_2bit,
+    CpuFeatures,
 };

@@ -228,9 +228,9 @@ impl PackedSeq {
 
     /// Unpack into a `Vec<Base>`. Compressors that need O(1) random access
     /// with no shift arithmetic work on the unpacked form. Runs through
-    /// the [`unpack_2bit_u64`] word kernel.
+    /// the runtime-dispatched [`crate::simd::unpack_2bit`] kernel.
     pub fn unpack(&self) -> Vec<Base> {
-        unpack_2bit_u64(&self.words, self.len)
+        crate::simd::unpack_2bit(&self.words, self.len)
             .into_iter()
             .map(Base::from_code)
             .collect()
@@ -238,14 +238,15 @@ impl PackedSeq {
 
     /// The 2-bit codes, one byte per base.
     pub fn to_codes(&self) -> Vec<u8> {
-        unpack_2bit_u64(&self.words, self.len)
+        crate::simd::unpack_2bit(&self.words, self.len)
     }
 
     /// Build from 2-bit codes (one byte per base; only the low two bits
-    /// of each code are used), through the [`pack_2bit_u64`] kernel.
+    /// of each code are used), through the runtime-dispatched
+    /// [`crate::simd::pack_2bit`] kernel.
     pub fn from_codes(codes: &[u8]) -> PackedSeq {
         PackedSeq {
-            words: pack_2bit_u64(codes),
+            words: crate::simd::pack_2bit(codes),
             len: codes.len(),
         }
     }

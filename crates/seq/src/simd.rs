@@ -1,0 +1,576 @@
+//! Runtime-dispatched SIMD kernels for the 2-bit hot paths.
+//!
+//! This module is the only place in the workspace allowed to contain
+//! `unsafe` code, and every unsafe block is one of exactly two shapes:
+//! a `std::arch` intrinsic call guarded by runtime feature detection,
+//! or a `&[Base] -> &[u8]` reinterpretation (sound because [`Base`] is
+//! `#[repr(u8)]` with values `0..=3`).
+//!
+//! Three kernels are accelerated:
+//!
+//! * [`pack_2bit`] — byte-per-base codes → 2-bit packed words
+//!   (AVX2: 32 bases/iteration via `maddubs`/`madd` reduction;
+//!   SSSE3: 16 bases/iteration; fallback: the u64 SWAR kernel).
+//! * [`unpack_2bit`] — packed words → byte-per-base codes
+//!   (AVX2: 32 bases/iteration via `shuffle_epi8` replication + masked
+//!   per-position shifts; SSSE3: 16; fallback: u64 SWAR).
+//! * [`common_prefix_len`] — the repeat-finder's match-extension inner
+//!   loop (AVX2/SSE2 `cmpeq` + movemask; fallback: u64 XOR scan).
+//!
+//! Dispatch happens through a process-wide [`CpuFeatures`] probe cached
+//! in a `OnceLock`; setting `DNACOMP_FORCE_SCALAR=1` in the environment
+//! forces every kernel onto its portable path (CI runs the differential
+//! suites both ways so both arms stay green). The bytewise reference
+//! implementations stay exported from [`crate::packed`] and
+//! [`common_prefix_len_bytewise`] here, as differential-test oracles.
+
+use crate::base::Base;
+use crate::packed::{pack_2bit_u64, unpack_2bit_u64};
+use std::sync::OnceLock;
+
+/// The CPU SIMD features the kernels may dispatch on, probed once per
+/// process. When `DNACOMP_FORCE_SCALAR` is set the feature flags read
+/// false regardless of hardware, so every kernel takes its portable
+/// path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CpuFeatures {
+    /// AVX2 available (and not forced off).
+    pub avx2: bool,
+    /// SSSE3 available (and not forced off) — gates `shuffle_epi8`.
+    pub ssse3: bool,
+    /// SSE2 available (and not forced off).
+    pub sse2: bool,
+    /// `DNACOMP_FORCE_SCALAR` was set: portable paths forced.
+    pub forced_scalar: bool,
+}
+
+impl CpuFeatures {
+    /// The cached process-wide probe result.
+    pub fn get() -> CpuFeatures {
+        static CACHE: OnceLock<CpuFeatures> = OnceLock::new();
+        *CACHE.get_or_init(CpuFeatures::probe)
+    }
+
+    fn probe() -> CpuFeatures {
+        let forced = std::env::var("DNACOMP_FORCE_SCALAR")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false);
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        {
+            CpuFeatures {
+                avx2: !forced && std::arch::is_x86_feature_detected!("avx2"),
+                ssse3: !forced && std::arch::is_x86_feature_detected!("ssse3"),
+                sse2: !forced && std::arch::is_x86_feature_detected!("sse2"),
+                forced_scalar: forced,
+            }
+        }
+        #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+        {
+            CpuFeatures {
+                avx2: false,
+                ssse3: false,
+                sse2: false,
+                forced_scalar: forced,
+            }
+        }
+    }
+
+    /// Hardware-only probe ignoring `DNACOMP_FORCE_SCALAR`, so tests can
+    /// exercise every compiled-in arm even under a forced-scalar run.
+    #[cfg(test)]
+    fn probe_raw() -> CpuFeatures {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        {
+            CpuFeatures {
+                avx2: std::arch::is_x86_feature_detected!("avx2"),
+                ssse3: std::arch::is_x86_feature_detected!("ssse3"),
+                sse2: std::arch::is_x86_feature_detected!("sse2"),
+                forced_scalar: false,
+            }
+        }
+        #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+        {
+            CpuFeatures {
+                avx2: false,
+                ssse3: false,
+                sse2: false,
+                forced_scalar: false,
+            }
+        }
+    }
+
+    /// Human/artifact-readable dispatch summary, e.g. `"avx2+ssse3+sse2"`,
+    /// `"scalar"`, or `"scalar(forced)"`.
+    pub fn summary(self) -> String {
+        if self.forced_scalar {
+            return "scalar(forced)".to_string();
+        }
+        let mut parts = Vec::new();
+        if self.avx2 {
+            parts.push("avx2");
+        }
+        if self.ssse3 {
+            parts.push("ssse3");
+        }
+        if self.sse2 {
+            parts.push("sse2");
+        }
+        if parts.is_empty() {
+            "scalar".to_string()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
+/// Reinterpret a `Base` slice as raw 2-bit codes. Sound: `Base` is
+/// `#[repr(u8)]`, so layout, size and alignment match `u8` exactly and
+/// the view is read-only.
+#[inline]
+fn base_bytes(bases: &[Base]) -> &[u8] {
+    unsafe { std::slice::from_raw_parts(bases.as_ptr().cast::<u8>(), bases.len()) }
+}
+
+/// Pack 2-bit codes (one byte per base, high bits ignored) into the
+/// packed-word layout of [`crate::PackedSeq`], dispatched to the widest
+/// kernel the CPU supports. Output is byte-identical to
+/// [`crate::packed::pack_2bit_bytewise`] on every input.
+pub fn pack_2bit(codes: &[u8]) -> Vec<u8> {
+    let feats = CpuFeatures::get();
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    {
+        if feats.avx2 {
+            return unsafe { pack_avx2(codes) };
+        }
+        if feats.ssse3 {
+            return unsafe { pack_ssse3(codes) };
+        }
+    }
+    let _ = feats;
+    pack_2bit_u64(codes)
+}
+
+/// Unpack `len` 2-bit codes from packed `words` (one byte per base on
+/// output), dispatched like [`pack_2bit`]. Byte-identical to
+/// [`crate::packed::unpack_2bit_bytewise`] on every input.
+///
+/// # Panics
+/// If `words` is shorter than `len.div_ceil(4)` bytes.
+pub fn unpack_2bit(words: &[u8], len: usize) -> Vec<u8> {
+    assert!(words.len() >= len.div_ceil(4), "word buffer too short");
+    let feats = CpuFeatures::get();
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    {
+        if feats.avx2 {
+            return unsafe { unpack_avx2(words, len) };
+        }
+        if feats.ssse3 {
+            return unsafe { unpack_ssse3(words, len) };
+        }
+    }
+    let _ = feats;
+    unpack_2bit_u64(words, len)
+}
+
+/// Length of the longest common prefix of `a` and `b` — the repeat
+/// match-extension inner loop. Dispatched to `cmpeq`+movemask on
+/// AVX2/SSE2, a u64 XOR scan otherwise. Always equals
+/// [`common_prefix_len_bytewise`].
+pub fn common_prefix_len(a: &[Base], b: &[Base]) -> usize {
+    let n = a.len().min(b.len());
+    let (ab, bb) = (&base_bytes(a)[..n], &base_bytes(b)[..n]);
+    let feats = CpuFeatures::get();
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    {
+        if feats.avx2 {
+            return unsafe { prefix_avx2(ab, bb) };
+        }
+        if feats.sse2 {
+            return unsafe { prefix_sse2(ab, bb) };
+        }
+    }
+    let _ = feats;
+    prefix_swar(ab, bb)
+}
+
+/// Base-at-a-time reference for [`common_prefix_len`]: the differential
+/// oracle for the SIMD and SWAR variants.
+pub fn common_prefix_len_bytewise(a: &[Base], b: &[Base]) -> usize {
+    a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+}
+
+/// Ask the CPU to pull the cache line holding `r` toward L1 ahead of a
+/// future read. Non-blocking and purely a performance hint — no
+/// architectural effect, so callers stay byte-exact with or without it.
+/// No-op on non-x86 targets. (The context-model compressors use this to
+/// stream their hashed count tables in ahead of the mixture step.)
+#[inline(always)]
+pub fn prefetch_read<T>(r: &T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch has no memory or register side effects; any
+    // address is valid to prefetch, and `r` is a live reference anyway.
+    unsafe {
+        std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(
+            r as *const T as *const i8,
+        );
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = r;
+}
+
+/// Portable u64 fallback: compare 8 bytes per step, locate the first
+/// differing byte with a trailing-zeros count.
+fn prefix_swar(a: &[u8], b: &[u8]) -> usize {
+    let n = a.len();
+    debug_assert_eq!(n, b.len());
+    let mut i = 0;
+    while i + 8 <= n {
+        let x = u64::from_le_bytes(a[i..i + 8].try_into().expect("8 bytes"));
+        let y = u64::from_le_bytes(b[i..i + 8].try_into().expect("8 bytes"));
+        let d = x ^ y;
+        if d != 0 {
+            return i + (d.trailing_zeros() / 8) as usize;
+        }
+        i += 8;
+    }
+    while i < n && a[i] == b[i] {
+        i += 1;
+    }
+    i
+}
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+mod x86 {
+    #[cfg(target_arch = "x86")]
+    use std::arch::x86::*;
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    use super::{pack_2bit_u64, prefix_swar, unpack_2bit_u64};
+
+    /// AVX2 pack: 32 codes → 8 packed bytes per iteration.
+    ///
+    /// `maddubs(v, [1,4])` folds byte pairs into `c0 + 4·c1` u16 lanes,
+    /// `madd([1,16])` folds lane pairs into the final packed byte per
+    /// u32 lane, then a per-lane byte gather plus a cross-lane dword
+    /// permute compacts the 8 result bytes to the front.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn pack_avx2(codes: &[u8]) -> Vec<u8> {
+        let n = codes.len();
+        let mut out = Vec::with_capacity(n.div_ceil(4));
+        let mut i = 0;
+        unsafe {
+            let mask3 = _mm256_set1_epi8(0x03);
+            let mul14 = _mm256_set1_epi16(0x0401);
+            let mul116 = _mm256_set1_epi32(0x0010_0001);
+            #[rustfmt::skip]
+            let gather = _mm256_setr_epi8(
+                0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,
+                0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,
+            );
+            let compact = _mm256_setr_epi32(0, 4, 0, 0, 0, 0, 0, 0);
+            while i + 32 <= n {
+                let v = _mm256_loadu_si256(codes.as_ptr().add(i) as *const __m256i);
+                let v = _mm256_and_si256(v, mask3);
+                let w = _mm256_maddubs_epi16(v, mul14);
+                let w = _mm256_madd_epi16(w, mul116);
+                let g = _mm256_shuffle_epi8(w, gather);
+                let g = _mm256_permutevar8x32_epi32(g, compact);
+                let packed = _mm_cvtsi128_si64(_mm256_castsi256_si128(g)) as u64;
+                out.extend_from_slice(&packed.to_le_bytes());
+                i += 32;
+            }
+        }
+        out.extend_from_slice(&pack_2bit_u64(&codes[i..]));
+        out
+    }
+
+    /// SSSE3 pack: 16 codes → 4 packed bytes per iteration (same
+    /// reduction as [`pack_avx2`] at half width).
+    #[target_feature(enable = "ssse3")]
+    pub(super) unsafe fn pack_ssse3(codes: &[u8]) -> Vec<u8> {
+        let n = codes.len();
+        let mut out = Vec::with_capacity(n.div_ceil(4));
+        let mut i = 0;
+        unsafe {
+            let mask3 = _mm_set1_epi8(0x03);
+            let mul14 = _mm_set1_epi16(0x0401);
+            let mul116 = _mm_set1_epi32(0x0010_0001);
+            let gather = _mm_setr_epi8(0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1);
+            while i + 16 <= n {
+                let v = _mm_loadu_si128(codes.as_ptr().add(i) as *const __m128i);
+                let v = _mm_and_si128(v, mask3);
+                let w = _mm_maddubs_epi16(v, mul14);
+                let w = _mm_madd_epi16(w, mul116);
+                let g = _mm_shuffle_epi8(w, gather);
+                let packed = _mm_cvtsi128_si32(g) as u32;
+                out.extend_from_slice(&packed.to_le_bytes());
+                i += 16;
+            }
+        }
+        out.extend_from_slice(&pack_2bit_u64(&codes[i..]));
+        out
+    }
+
+    /// AVX2 unpack: 8 packed bytes → 32 codes per iteration.
+    ///
+    /// Each source byte is replicated to 4 output positions with
+    /// `shuffle_epi8`; position `p` (`p % 4 == k`) then extracts its
+    /// 2-bit field with a 16-bit right shift by `2k` and a `0x03` mask
+    /// at bytes `≡ k (mod 4)` (the shift drags neighbour-byte bits in
+    /// above bit 5 only, which the mask discards).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn unpack_avx2(words: &[u8], len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len + 32);
+        let mut done = 0usize; // codes produced
+        unsafe {
+            #[rustfmt::skip]
+            let rep = _mm256_setr_epi8(
+                0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3,
+                4, 4, 4, 4, 5, 5, 5, 5, 6, 6, 6, 6, 7, 7, 7, 7,
+            );
+            let m = |k: i32| -> __m256i {
+                let mut bytes = [0i8; 32];
+                let mut p = k as usize;
+                while p < 32 {
+                    bytes[p] = 0x03;
+                    p += 4;
+                }
+                _mm256_loadu_si256(bytes.as_ptr() as *const __m256i)
+            };
+            let (m0, m1, m2, m3) = (m(0), m(1), m(2), m(3));
+            while done + 32 <= len {
+                let src = _mm_loadl_epi64(words.as_ptr().add(done / 4) as *const __m128i);
+                let v = _mm256_broadcastsi128_si256(src);
+                let x = _mm256_shuffle_epi8(v, rep);
+                let r = _mm256_or_si256(
+                    _mm256_or_si256(
+                        _mm256_and_si256(x, m0),
+                        _mm256_and_si256(_mm256_srli_epi16(x, 2), m1),
+                    ),
+                    _mm256_or_si256(
+                        _mm256_and_si256(_mm256_srli_epi16(x, 4), m2),
+                        _mm256_and_si256(_mm256_srli_epi16(x, 6), m3),
+                    ),
+                );
+                let mut buf = [0u8; 32];
+                _mm256_storeu_si256(buf.as_mut_ptr() as *mut __m256i, r);
+                out.extend_from_slice(&buf);
+                done += 32;
+            }
+        }
+        out.extend_from_slice(&unpack_2bit_u64(&words[done / 4..], len - done));
+        out
+    }
+
+    /// SSSE3 unpack: 4 packed bytes → 16 codes per iteration (same
+    /// scheme as [`unpack_avx2`] at half width).
+    #[target_feature(enable = "ssse3")]
+    pub(super) unsafe fn unpack_ssse3(words: &[u8], len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len + 16);
+        let mut done = 0usize;
+        unsafe {
+            let rep = _mm_setr_epi8(0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3);
+            let m = |k: i32| -> __m128i {
+                let mut bytes = [0i8; 16];
+                let mut p = k as usize;
+                while p < 16 {
+                    bytes[p] = 0x03;
+                    p += 4;
+                }
+                _mm_loadu_si128(bytes.as_ptr() as *const __m128i)
+            };
+            let (m0, m1, m2, m3) = (m(0), m(1), m(2), m(3));
+            while done + 16 <= len {
+                let raw = u32::from_le_bytes(
+                    words[done / 4..done / 4 + 4].try_into().expect("4 bytes"),
+                );
+                let v = _mm_cvtsi32_si128(raw as i32);
+                let x = _mm_shuffle_epi8(v, rep);
+                let r = _mm_or_si128(
+                    _mm_or_si128(
+                        _mm_and_si128(x, m0),
+                        _mm_and_si128(_mm_srli_epi16(x, 2), m1),
+                    ),
+                    _mm_or_si128(
+                        _mm_and_si128(_mm_srli_epi16(x, 4), m2),
+                        _mm_and_si128(_mm_srli_epi16(x, 6), m3),
+                    ),
+                );
+                let mut buf = [0u8; 16];
+                _mm_storeu_si128(buf.as_mut_ptr() as *mut __m128i, r);
+                out.extend_from_slice(&buf);
+                done += 16;
+            }
+        }
+        out.extend_from_slice(&unpack_2bit_u64(&words[done / 4..], len - done));
+        out
+    }
+
+    /// AVX2 prefix match: 32 bytes per `cmpeq` + movemask step; the
+    /// first zero bit of the mask is the mismatch offset.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn prefix_avx2(a: &[u8], b: &[u8]) -> usize {
+        let n = a.len();
+        let mut i = 0;
+        unsafe {
+            while i + 32 <= n {
+                let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+                let vb = _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i);
+                let eq = _mm256_cmpeq_epi8(va, vb);
+                let mask = _mm256_movemask_epi8(eq) as u32;
+                if mask != u32::MAX {
+                    return i + mask.trailing_ones() as usize;
+                }
+                i += 32;
+            }
+        }
+        i + prefix_swar(&a[i..], &b[i..])
+    }
+
+    /// SSE2 prefix match: 16 bytes per step.
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn prefix_sse2(a: &[u8], b: &[u8]) -> usize {
+        let n = a.len();
+        let mut i = 0;
+        unsafe {
+            while i + 16 <= n {
+                let va = _mm_loadu_si128(a.as_ptr().add(i) as *const __m128i);
+                let vb = _mm_loadu_si128(b.as_ptr().add(i) as *const __m128i);
+                let eq = _mm_cmpeq_epi8(va, vb);
+                let mask = _mm_movemask_epi8(eq) as u32;
+                if mask != 0xFFFF {
+                    return i + mask.trailing_ones() as usize;
+                }
+                i += 16;
+            }
+        }
+        i + prefix_swar(&a[i..], &b[i..])
+    }
+}
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+use x86::{pack_avx2, pack_ssse3, prefix_avx2, prefix_sse2, unpack_avx2, unpack_ssse3};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packed::{pack_2bit_bytewise, unpack_2bit_bytewise};
+    use proptest::prelude::*;
+
+    fn codes_for(len: usize, salt: usize) -> Vec<u8> {
+        (0..len).map(|i| ((i * 7 + salt * 13 + i / 9) & 0b11) as u8).collect()
+    }
+
+    #[test]
+    fn probe_is_cached_and_consistent() {
+        let a = CpuFeatures::get();
+        let b = CpuFeatures::get();
+        assert_eq!(a, b);
+        assert!(!a.summary().is_empty());
+    }
+
+    #[test]
+    fn pack_matches_oracle_across_lengths() {
+        for len in (0..=130).chain([255, 256, 257, 1023, 1024, 4096]) {
+            let codes = codes_for(len, len);
+            assert_eq!(
+                pack_2bit(&codes),
+                pack_2bit_bytewise(&codes),
+                "pack mismatch at len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn unpack_matches_oracle_across_lengths() {
+        for len in (0..=130).chain([255, 256, 257, 1023, 1024, 4096]) {
+            let codes = codes_for(len, len * 3 + 1);
+            let packed = pack_2bit_bytewise(&codes);
+            assert_eq!(
+                unpack_2bit(&packed, len),
+                unpack_2bit_bytewise(&packed, len),
+                "unpack mismatch at len {len}"
+            );
+            assert_eq!(unpack_2bit(&packed, len), codes);
+        }
+    }
+
+    #[test]
+    fn pack_ignores_high_bits() {
+        let dirty: Vec<u8> = (0..100).map(|i| (i as u8) | 0b1111_0100).collect();
+        let clean: Vec<u8> = dirty.iter().map(|c| c & 0b11).collect();
+        assert_eq!(pack_2bit(&dirty), pack_2bit(&clean));
+    }
+
+    #[test]
+    fn prefix_matches_oracle_at_every_mismatch_position() {
+        let n = 200;
+        let a: Vec<Base> = (0..n).map(|i| Base::from_code((i % 4) as u8)).collect();
+        for flip in 0..n {
+            let mut b = a.clone();
+            b[flip] = Base::from_code((b[flip].code() + 1) & 0b11);
+            assert_eq!(common_prefix_len(&a, &b), flip, "mismatch at {flip}");
+            assert_eq!(common_prefix_len_bytewise(&a, &b), flip);
+        }
+        assert_eq!(common_prefix_len(&a, &a), n);
+        assert_eq!(common_prefix_len(&a, &a[..50]), 50);
+        assert_eq!(common_prefix_len(&[], &a), 0);
+    }
+
+    #[test]
+    fn all_dispatch_arms_agree_when_present() {
+        // Directly exercise each compiled-in arm against the oracle, so
+        // coverage does not depend on which path the host dispatches to.
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        {
+            let feats = CpuFeatures::probe_raw();
+            for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 63, 64, 65, 1000] {
+                let codes = codes_for(len, len + 5);
+                let expect_pack = pack_2bit_bytewise(&codes);
+                let expect_unpack = codes.clone();
+                if feats.avx2 {
+                    assert_eq!(unsafe { super::pack_avx2(&codes) }, expect_pack);
+                    assert_eq!(unsafe { super::unpack_avx2(&expect_pack, len) }, expect_unpack);
+                }
+                if feats.ssse3 {
+                    assert_eq!(unsafe { super::pack_ssse3(&codes) }, expect_pack);
+                    assert_eq!(unsafe { super::unpack_ssse3(&expect_pack, len) }, expect_unpack);
+                }
+                let bases: Vec<Base> =
+                    codes.iter().map(|&c| Base::from_code(c)).collect();
+                let mut other = bases.clone();
+                if let Some(mid) = other.get_mut(len / 2) {
+                    *mid = Base::from_code((mid.code() + 2) & 0b11);
+                }
+                let expect = common_prefix_len_bytewise(&bases, &other);
+                let (ab, bb) = (super::base_bytes(&bases), super::base_bytes(&other));
+                if feats.avx2 {
+                    assert_eq!(unsafe { super::prefix_avx2(ab, bb) }, expect);
+                }
+                if feats.sse2 {
+                    assert_eq!(unsafe { super::prefix_sse2(ab, bb) }, expect);
+                }
+                assert_eq!(super::prefix_swar(ab, bb), expect);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn pack_unpack_prefix_match_oracles(
+            codes in prop::collection::vec(0u8..4, 0..1200),
+            other in prop::collection::vec(0u8..4, 0..1200),
+        ) {
+            prop_assert_eq!(pack_2bit(&codes), pack_2bit_bytewise(&codes));
+            let packed = pack_2bit(&codes);
+            prop_assert_eq!(unpack_2bit(&packed, codes.len()), codes.clone());
+            let a: Vec<Base> = codes.iter().map(|&c| Base::from_code(c)).collect();
+            let b: Vec<Base> = other.iter().map(|&c| Base::from_code(c)).collect();
+            prop_assert_eq!(
+                common_prefix_len(&a, &b),
+                common_prefix_len_bytewise(&a, &b)
+            );
+        }
+    }
+}

@@ -21,24 +21,41 @@
 //!   records `host_cpus` and `threads` so nobody mistakes the lane
 //!   curve for a wall-clock measurement on this host.
 //!
-//! A kernel micro-benchmark compares the u64 word-at-a-time 2-bit
-//! pack/unpack ([`dnacomp_seq::pack_2bit_u64`]) against the
-//! byte-at-a-time baseline kept for exactly this purpose.
+//! A kernel micro-benchmark compares three 2-bit pack/unpack tiers —
+//! the runtime-dispatched SIMD kernels ([`dnacomp_seq::pack_2bit`]),
+//! the u64 word-at-a-time portable kernels, and the byte-at-a-time
+//! baseline — plus the SIMD vs bytewise match-extension primitive
+//! ([`dnacomp_seq::common_prefix_len`]). The report records the
+//! dispatched [`CpuFeatures`] so a scalar fallback run is never
+//! mistaken for a vectorised one.
+//!
+//! Each algorithm row also carries its entropy backend and, where the
+//! pipeline has a model/entropy split, a per-stage wall breakdown
+//! ([`dnacomp_algos::Compressor::stage_times`]) — the number that says
+//! whether the model or the coder is the bottleneck.
 //!
 //! **Quick mode** is the CI perf smoke gate: a small corpus, plus hard
 //! assertions — every algorithm must round-trip both ways across the
-//! serial/parallel encoder-decoder matrix, and the packing kernels
-//! must clear a conservative throughput floor (scaled down for debug
-//! builds, which CI's `--quick` tier runs).
+//! serial/parallel encoder-decoder matrix, the packing kernels must
+//! clear a conservative throughput floor (scaled down for debug
+//! builds, which CI's `--quick` tier runs), and the rANS speed tier
+//! must not regress against the arithmetic coder on the same CTW model
+//! (profile-scaled floor).
 //!
 //! Throughputs are megabases per second (1 MB = 10⁶ bases ≙ one
 //! uncompressed ASCII byte each).
 
 use crate::bench::makespan_ms;
-use dnacomp_algos::{compressor_for, Algorithm, FramedBlob, ParallelCompressor, TaskPool};
+use dnacomp_algos::{
+    compressor_for, Algorithm, Compressor, Ctw, FramedBlob, ParallelCompressor, TaskPool,
+};
+use dnacomp_codec::arith::EntropyBackend;
 use dnacomp_codec::CodecError;
 use dnacomp_seq::gen::GenomeModel;
-use dnacomp_seq::{pack_2bit_bytewise, pack_2bit_u64, unpack_2bit_bytewise, unpack_2bit_u64};
+use dnacomp_seq::{
+    common_prefix_len, common_prefix_len_bytewise, pack_2bit, pack_2bit_bytewise, pack_2bit_u64,
+    unpack_2bit, unpack_2bit_bytewise, unpack_2bit_u64, Base, CpuFeatures,
+};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
@@ -71,24 +88,40 @@ impl Default for AlgoBenchConfig {
     }
 }
 
-/// Kernel micro-benchmark: u64 word-at-a-time vs byte-at-a-time 2-bit
-/// packing.
+/// Kernel micro-benchmark: runtime-dispatched SIMD vs u64
+/// word-at-a-time vs byte-at-a-time 2-bit packing, plus the
+/// match-extension primitive.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct KernelBench {
     /// Bases packed/unpacked per repetition.
     pub bases: usize,
+    /// Runtime-dispatched pack throughput, MB/s (best of 3) — SIMD on
+    /// capable hosts, the portable kernel otherwise.
+    pub pack_simd_mb_s: f64,
     /// u64 kernel pack throughput, MB/s (best of 3).
     pub pack_u64_mb_s: f64,
     /// Byte-at-a-time pack throughput, MB/s.
     pub pack_bytewise_mb_s: f64,
+    /// Runtime-dispatched unpack throughput, MB/s.
+    pub unpack_simd_mb_s: f64,
     /// u64 kernel unpack throughput, MB/s.
     pub unpack_u64_mb_s: f64,
     /// Byte-at-a-time unpack throughput, MB/s.
     pub unpack_bytewise_mb_s: f64,
+    /// Dispatched common-prefix (match extension) throughput, MB/s.
+    pub prefix_simd_mb_s: f64,
+    /// Byte-at-a-time common-prefix throughput, MB/s.
+    pub prefix_bytewise_mb_s: f64,
     /// `pack_u64 / pack_bytewise`.
     pub pack_speedup: f64,
     /// `unpack_u64 / unpack_bytewise`.
     pub unpack_speedup: f64,
+    /// `pack_simd / pack_u64` — the speed-tier win over the old kernel.
+    pub pack_simd_speedup: f64,
+    /// `unpack_simd / unpack_u64`.
+    pub unpack_simd_speedup: f64,
+    /// `prefix_simd / prefix_bytewise`.
+    pub prefix_speedup: f64,
 }
 
 /// One algorithm's measurements.
@@ -125,6 +158,14 @@ pub struct AlgoBenchRow {
     pub roundtrip_ok: bool,
     /// Parallel and serial encoders produced identical frame bytes.
     pub parallel_matches_serial: bool,
+    /// Entropy backend the default instance codes with
+    /// (`"arith"` or `"rans"`).
+    pub entropy_backend: String,
+    /// Wall ms spent in the model stage of one serial compress, when
+    /// the pipeline has a model/entropy split.
+    pub model_stage_ms: Option<f64>,
+    /// Wall ms attributed to the entropy coder of the same run.
+    pub entropy_stage_ms: Option<f64>,
 }
 
 /// Full benchmark output (`BENCH_algos.json`).
@@ -141,10 +182,30 @@ pub struct AlgoBenchReport {
     pub quick: bool,
     /// Corpus seed.
     pub seed: u64,
+    /// SIMD dispatch actually used by the kernels during this run
+    /// (e.g. `"avx2+ssse3+sse2"`, `"scalar(forced)"`).
+    pub cpu_features: String,
     /// Packing-kernel micro-benchmark.
     pub kernels: KernelBench,
+    /// rANS-vs-arithmetic head-to-head on the same CTW model.
+    pub speed_gate: SpeedGate,
     /// One row per algorithm.
     pub algorithms: Vec<AlgoBenchRow>,
+}
+
+/// Head-to-head of the CTW speed tier (v2: linear-domain mixing +
+/// rANS) against the legacy tier (v1: log-domain mixing + arithmetic
+/// coding) — the number the CI gate holds the speed tier to.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpeedGate {
+    /// Bases compressed per measurement.
+    pub bases: usize,
+    /// CTW serial compress with the rANS backend, MB/s (best of 3).
+    pub ctw_rans_mb_s: f64,
+    /// CTW serial compress with the arithmetic backend, MB/s.
+    pub ctw_arith_mb_s: f64,
+    /// `ctw_rans / ctw_arith`.
+    pub rans_vs_arith: f64,
 }
 
 impl AlgoBenchReport {
@@ -183,7 +244,8 @@ fn tier_bases(alg: Algorithm, quick: bool) -> usize {
         | Algorithm::Dnac
         | Algorithm::DnaCompress
         | Algorithm::Cfact
-        | Algorithm::DnaSequitur => 256 << 10,
+        | Algorithm::DnaSequitur
+        | Algorithm::Bwt => 256 << 10,
         // Heavy context-mixing models.
         Algorithm::Ctw | Algorithm::CtwLz | Algorithm::XmLite => 64 << 10,
         Algorithm::Reference => unreachable!("not in HORIZONTAL"),
@@ -200,15 +262,29 @@ fn best_of_3(bytes: usize, mut f: impl FnMut()) -> f64 {
     mb_s(bytes, best)
 }
 
+fn ratio(num: f64, den: f64) -> f64 {
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
 fn bench_kernels(quick: bool) -> KernelBench {
     let bases = if quick { 1 << 20 } else { 8 << 20 };
     let codes: Vec<u8> = (0..bases).map(|i| ((i * 2654435761) >> 7) as u8 & 3).collect();
     let packed = pack_2bit_u64(&codes);
+    let pack_simd = best_of_3(bases, || {
+        std::hint::black_box(pack_2bit(std::hint::black_box(&codes)));
+    });
     let pack_u64 = best_of_3(bases, || {
         std::hint::black_box(pack_2bit_u64(std::hint::black_box(&codes)));
     });
     let pack_bytewise = best_of_3(bases, || {
         std::hint::black_box(pack_2bit_bytewise(std::hint::black_box(&codes)));
+    });
+    let unpack_simd = best_of_3(bases, || {
+        std::hint::black_box(unpack_2bit(std::hint::black_box(&packed), bases));
     });
     let unpack_u64 = best_of_3(bases, || {
         std::hint::black_box(unpack_2bit_u64(std::hint::black_box(&packed), bases));
@@ -216,14 +292,59 @@ fn bench_kernels(quick: bool) -> KernelBench {
     let unpack_bytewise = best_of_3(bases, || {
         std::hint::black_box(unpack_2bit_bytewise(std::hint::black_box(&packed), bases));
     });
+    // Match extension: two identical strands, so every call scans the
+    // full length — the worst (and most informative) case.
+    let strand: Vec<Base> = codes.iter().map(|&c| Base::from_code(c)).collect();
+    let strand2 = strand.clone();
+    let prefix_simd = best_of_3(bases, || {
+        std::hint::black_box(common_prefix_len(
+            std::hint::black_box(&strand),
+            std::hint::black_box(&strand2),
+        ));
+    });
+    let prefix_bytewise = best_of_3(bases, || {
+        std::hint::black_box(common_prefix_len_bytewise(
+            std::hint::black_box(&strand),
+            std::hint::black_box(&strand2),
+        ));
+    });
     KernelBench {
         bases,
+        pack_simd_mb_s: pack_simd,
         pack_u64_mb_s: pack_u64,
         pack_bytewise_mb_s: pack_bytewise,
+        unpack_simd_mb_s: unpack_simd,
         unpack_u64_mb_s: unpack_u64,
         unpack_bytewise_mb_s: unpack_bytewise,
-        pack_speedup: if pack_bytewise > 0.0 { pack_u64 / pack_bytewise } else { 0.0 },
-        unpack_speedup: if unpack_bytewise > 0.0 { unpack_u64 / unpack_bytewise } else { 0.0 },
+        prefix_simd_mb_s: prefix_simd,
+        prefix_bytewise_mb_s: prefix_bytewise,
+        pack_speedup: ratio(pack_u64, pack_bytewise),
+        unpack_speedup: ratio(unpack_u64, unpack_bytewise),
+        pack_simd_speedup: ratio(pack_simd, pack_u64),
+        unpack_simd_speedup: ratio(unpack_simd, unpack_u64),
+        prefix_speedup: ratio(prefix_simd, prefix_bytewise),
+    }
+}
+
+/// rANS-vs-arithmetic head-to-head: the CTW speed tier (linear-domain
+/// mixing + rANS, what v2 blobs use) against the legacy tier
+/// (log-domain mixing + arithmetic coder, what v1 blobs use).
+fn bench_speed_gate(quick: bool, seed: u64) -> SpeedGate {
+    let bases = if quick { 24 << 10 } else { 64 << 10 };
+    let seq = GenomeModel::default().generate(bases, seed);
+    let rans = Ctw::with_backend(EntropyBackend::Rans);
+    let arith = Ctw::with_backend(EntropyBackend::Arith);
+    let rans_mb_s = best_of_3(bases, || {
+        std::hint::black_box(rans.compress(std::hint::black_box(&seq)).ok());
+    });
+    let arith_mb_s = best_of_3(bases, || {
+        std::hint::black_box(arith.compress(std::hint::black_box(&seq)).ok());
+    });
+    SpeedGate {
+        bases,
+        ctw_rans_mb_s: rans_mb_s,
+        ctw_arith_mb_s: arith_mb_s,
+        rans_vs_arith: ratio(rans_mb_s, arith_mb_s),
     }
 }
 
@@ -237,11 +358,24 @@ fn bench_algorithm(
     let seq = GenomeModel::default().generate(bases, cfg.seed);
     let codec = compressor_for(alg);
 
-    // Serial reference: one flat whole-sequence blob.
-    let (blob, serial_c) = time(|| codec.compress(&seq));
-    let blob = blob?;
-    let (decoded, serial_d) = time(|| codec.decompress(&blob));
-    let serial_ok = decoded? == seq;
+    // Serial reference: one flat whole-sequence blob. Best of 3 — the
+    // same noise discipline the kernel rows use; a single draw on a
+    // shared 1-CPU host can be 2× off its own steady state.
+    let mut serial_c = f64::INFINITY;
+    let mut blob = None;
+    for _ in 0..3 {
+        let (b, secs) = time(|| codec.compress(&seq));
+        blob = Some(b?);
+        serial_c = serial_c.min(secs);
+    }
+    let blob = blob.expect("three compress rounds ran");
+    let mut serial_d = f64::INFINITY;
+    let mut serial_ok = true;
+    for _ in 0..3 {
+        let (decoded, secs) = time(|| codec.decompress(&blob));
+        serial_ok &= decoded? == seq;
+        serial_d = serial_d.min(secs);
+    }
 
     // Framed path on the real shared pool (wall numbers).
     let pc = ParallelCompressor::new(alg, block_size, Arc::clone(pool));
@@ -278,6 +412,7 @@ fn bench_algorithm(
     let lane_d_ms = makespan_ms(&d_times, cfg.lanes);
     let lane_c = mb_s(bases, lane_c_ms / 1e3);
     let serial_c_mb_s = mb_s(bases, serial_c);
+    let stages = codec.stage_times(&seq);
 
     Ok(AlgoBenchRow {
         algorithm: alg.name().to_owned(),
@@ -294,6 +429,9 @@ fn bench_algorithm(
         lane_speedup_compress: if serial_c_mb_s > 0.0 { lane_c / serial_c_mb_s } else { 0.0 },
         roundtrip_ok: serial_ok && cross_ok,
         parallel_matches_serial: matches,
+        entropy_backend: codec.entropy_backend().to_owned(),
+        model_stage_ms: stages.map(|(m, _)| m),
+        entropy_stage_ms: stages.map(|(_, e)| e),
     })
 }
 
@@ -314,6 +452,7 @@ fn kernel_floor_mb_s() -> f64 {
 pub fn run_algo_bench(cfg: &AlgoBenchConfig) -> Result<AlgoBenchReport, String> {
     let pool = Arc::new(TaskPool::new(cfg.threads));
     let kernels = bench_kernels(cfg.quick);
+    let speed_gate = bench_speed_gate(cfg.quick, cfg.seed);
     let mut algorithms = Vec::new();
     for alg in Algorithm::HORIZONTAL {
         eprintln!("bench-algos: {} ({} bases) …", alg.name(), tier_bases(alg, cfg.quick));
@@ -327,7 +466,9 @@ pub fn run_algo_bench(cfg: &AlgoBenchConfig) -> Result<AlgoBenchReport, String> 
         lanes: cfg.lanes,
         quick: cfg.quick,
         seed: cfg.seed,
+        cpu_features: CpuFeatures::get().summary(),
         kernels,
+        speed_gate,
         algorithms,
     };
     if cfg.quick {
@@ -346,11 +487,48 @@ pub fn run_algo_bench(cfg: &AlgoBenchConfig) -> Result<AlgoBenchReport, String> 
         for (name, got) in [
             ("pack_2bit_u64", report.kernels.pack_u64_mb_s),
             ("unpack_2bit_u64", report.kernels.unpack_u64_mb_s),
+            ("pack_2bit", report.kernels.pack_simd_mb_s),
+            ("unpack_2bit", report.kernels.unpack_simd_mb_s),
         ] {
             if got < floor {
                 return Err(format!(
                     "{name} throughput {got:.1} MB/s below the {floor:.0} MB/s floor"
                 ));
+            }
+        }
+        if report.cpu_features.is_empty() {
+            return Err("cpu_features missing from the report".to_string());
+        }
+        // Speed-tier floor, scaled by build profile: the optimised rANS
+        // tier must clearly beat the arithmetic tier; the unoptimised
+        // debug build only has to stay in the same league (its table
+        // lookups don't get vectorised, and CI's quick tier runs debug).
+        let tier_floor = if cfg!(debug_assertions) { 0.8 } else { 1.5 };
+        if report.speed_gate.rans_vs_arith < tier_floor {
+            return Err(format!(
+                "speed tier regressed: CTW rans {:.2} MB/s vs arith {:.2} MB/s \
+                 ({:.2}x < {tier_floor}x floor)",
+                report.speed_gate.ctw_rans_mb_s,
+                report.speed_gate.ctw_arith_mb_s,
+                report.speed_gate.rans_vs_arith,
+            ));
+        }
+        // Release-only: on a SIMD-capable host the dispatched kernels
+        // must not lose to the portable u64 kernels they replace (debug
+        // intrinsics compile to unoptimised shims, so no debug bar).
+        if !cfg!(debug_assertions) && CpuFeatures::get().ssse3 {
+            for (name, speedup) in [
+                ("pack_2bit", report.kernels.pack_simd_speedup),
+                ("unpack_2bit", report.kernels.unpack_simd_speedup),
+                ("common_prefix_len", report.kernels.prefix_speedup),
+            ] {
+                if speedup < 1.0 {
+                    return Err(format!(
+                        "{name} SIMD dispatch slower than baseline ({speedup:.2}x) \
+                         on a {} host",
+                        report.cpu_features
+                    ));
+                }
             }
         }
     }
@@ -373,6 +551,26 @@ mod tests {
         assert!(report.algorithms.iter().all(|r| r.roundtrip_ok));
         assert!(report.algorithms.iter().all(|r| r.parallel_matches_serial));
         assert!(report.kernels.pack_u64_mb_s > 0.0);
+        assert!(report.kernels.pack_simd_mb_s > 0.0);
+        assert!(report.kernels.prefix_simd_mb_s > 0.0);
+        assert!(!report.cpu_features.is_empty());
+        assert!(report.speed_gate.ctw_rans_mb_s > 0.0);
+        assert!(report.speed_gate.ctw_arith_mb_s > 0.0);
+        // The speed-tier algorithms advertise their backend and stage
+        // split; the legacy ones stay on "arith" with no split.
+        for name in ["CTW", "CTW+LZ", "XM-lite", "BWT"] {
+            let row = report
+                .algorithms
+                .iter()
+                .find(|r| r.algorithm == name)
+                .unwrap_or_else(|| panic!("no {name} row"));
+            assert_eq!(row.entropy_backend, "rans", "{name}");
+            assert!(row.model_stage_ms.is_some(), "{name} lacks stage split");
+        }
+        assert!(report
+            .algorithms
+            .iter()
+            .any(|r| r.entropy_backend == "arith"));
         let json = report.to_json();
         let back: AlgoBenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);

@@ -68,6 +68,16 @@ timeout 300 cargo test --release --test supervision \
 step "codec fuzz suite (isolated, 600 s timeout)"
 timeout 600 cargo test --release --test fuzz_codecs -- --nocapture
 
+# Speed-tier differential suite under forced-scalar dispatch: tier-1's
+# `cargo test` already ran these differentials on this host's best SIMD
+# tier; this pass sets DNACOMP_FORCE_SCALAR=1 so the portable fallback
+# kernels are proven byte-identical to the bytewise oracles too — they
+# are what a non-x86 or feature-poor host would execute. The v1-blob
+# compat fixtures ride along in the same suite. 300 s is ~40x its
+# observed runtime.
+step "speed-tier differentials, forced scalar (isolated, 300 s timeout)"
+DNACOMP_FORCE_SCALAR=1 timeout 300 cargo test --release --test speed_tier -- --nocapture
+
 # Loopback chaos soak: concurrent clients at 0/5/25 % injected network
 # faults plus malformed-frame fuzzing against the TCP front-end. Every
 # operation is deadline-bounded by design, so a hang regression (a
@@ -164,9 +174,14 @@ fi
 
 # Perf smoke gate: `bench-algos --quick` compresses a small corpus with
 # every algorithm serially AND block-parallel, asserting round-trips,
-# parallel/serial frame-byte equality and a build-profile-scaled
-# kernel-throughput floor. Under --quick the debug binary runs (the
-# floor scales down accordingly); the full gate uses the release
+# parallel/serial frame-byte equality, a build-profile-scaled
+# kernel-throughput floor, the rANS-vs-arithmetic speed-tier floor
+# (release >= 1.5x, debug >= 0.8x on the same CTW pipeline), and — in
+# release on SIMD-capable hosts — that the dispatched pack/unpack and
+# match-extension kernels beat the portable baselines they replace.
+# The report records `cpu_features` so a scalar-fallback run is never
+# mistaken for a vectorised one. Under --quick the debug binary runs
+# (floors scale down accordingly); the full gate uses the release
 # binary already built by tier-1. 120 s is ~100x its observed runtime.
 step "perf smoke gate: dnacomp bench-algos --quick (120 s timeout)"
 if [ "$QUICK" -eq 0 ]; then

@@ -1297,20 +1297,44 @@ fn cmd_bench_algos(args: &[String]) -> Result<(), CliError> {
             report.kernels.unpack_speedup,
         );
         println!(
-            "{:>13}  {:>9}  {:>9}  {:>11}  {:>11}  {:>11}  {:>8}  {:>5}",
-            "algorithm", "bases", "bits/base", "serial MB/s", "wall MB/s",
-            format!("{}-lane MB/s", report.lanes), "speedup", "ok"
+            "simd [{}]: pack {:.0} MB/s ({:.2}x vs u64), unpack {:.0} MB/s ({:.2}x), prefix {:.0} vs {:.0} bytewise MB/s ({:.2}x)",
+            report.cpu_features,
+            report.kernels.pack_simd_mb_s,
+            report.kernels.pack_simd_speedup,
+            report.kernels.unpack_simd_mb_s,
+            report.kernels.unpack_simd_speedup,
+            report.kernels.prefix_simd_mb_s,
+            report.kernels.prefix_bytewise_mb_s,
+            report.kernels.prefix_speedup,
+        );
+        println!(
+            "speed tier ({} bases): CTW rans {:.2} MB/s vs arith {:.2} MB/s ({:.2}x)",
+            report.speed_gate.bases,
+            report.speed_gate.ctw_rans_mb_s,
+            report.speed_gate.ctw_arith_mb_s,
+            report.speed_gate.rans_vs_arith,
+        );
+        println!(
+            "{:>13}  {:>9}  {:>7}  {:>9}  {:>11}  {:>11}  {:>11}  {:>8}  {:>12}  {:>5}",
+            "algorithm", "bases", "backend", "bits/base", "serial MB/s", "wall MB/s",
+            format!("{}-lane MB/s", report.lanes), "speedup", "model/ent ms", "ok"
         );
         for r in &report.algorithms {
+            let stages = match (r.model_stage_ms, r.entropy_stage_ms) {
+                (Some(m), Some(e)) => format!("{m:.1}/{e:.1}"),
+                _ => "-".to_string(),
+            };
             println!(
-                "{:>13}  {:>9}  {:>9.4}  {:>11.2}  {:>11.2}  {:>11.2}  {:>7.2}x  {:>5}",
+                "{:>13}  {:>9}  {:>7}  {:>9.4}  {:>11.2}  {:>11.2}  {:>11.2}  {:>7.2}x  {:>12}  {:>5}",
                 r.algorithm,
                 r.bases,
+                r.entropy_backend,
                 r.bits_per_base,
                 r.serial_compress_mb_s,
                 r.block_wall_compress_mb_s,
                 r.block_lane_compress_mb_s,
                 r.lane_speedup_compress,
+                stages,
                 if r.roundtrip_ok && r.parallel_matches_serial { "yes" } else { "NO" },
             );
         }

@@ -56,6 +56,7 @@ fn random_payloads_never_panic_any_codec() {
             let seed = (alg.tag() as u64) << 32 | case;
             let len = (mix64(seed) % 512) as usize;
             let blob = CompressedBlob {
+                version: 1 + (mix64(seed ^ 4) % 2) as u8,
                 algorithm: alg,
                 original_len: (mix64(seed ^ 1) % 10_000) as usize,
                 checksum: mix64(seed ^ 2),
@@ -120,6 +121,7 @@ fn lying_headers_fail_fast_without_unbounded_preallocation() {
     for alg in Algorithm::HORIZONTAL {
         for lie in [usize::MAX, usize::MAX / 2, 1 << 40, 1 << 33] {
             let blob = CompressedBlob {
+                version: 1 + (lie % 2) as u8,
                 algorithm: alg,
                 original_len: lie,
                 checksum: 0xDEAD_BEEF,
@@ -254,6 +256,153 @@ fn container_wire_format_fuzz_never_panics() {
             bytes[3] = (unit_interval(mix64(case ^ 5)) * 16.0) as u8;
         }
         let _ = CompressedBlob::from_bytes(&bytes); // must not panic
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Speed-tier formats: rANS frequency tables, rANS decoder headers and
+// BWT section headers under attack
+// ---------------------------------------------------------------------------
+
+use dnacomp::codec::rans::{FreqTable, RansDecoder, RANS_TABLE_BITS};
+
+#[test]
+fn rans_freq_table_forgeries_refused_before_allocation() {
+    // Genuine table round-trips.
+    let table = FreqTable::build(&[900, 5, 64, 31]);
+    let mut clean = Vec::new();
+    table.write(&mut clean);
+    let mut pos = 0;
+    let back = FreqTable::read(&clean, &mut pos, 8).expect("genuine table reads");
+    assert_eq!(pos, clean.len());
+    assert_eq!(back.n_symbols(), 4);
+
+    // A forged symbol count the buffer cannot pay for must be refused
+    // on affordability, before the frequency Vec is sized by the lie.
+    for forged in [9u64, 1 << 20, 1 << 40, u64::MAX >> 1] {
+        let mut bytes = Vec::new();
+        push_uvarint(&mut bytes, forged);
+        bytes.extend(noise_bytes(forged, 16));
+        let started = std::time::Instant::now();
+        let mut pos = 0;
+        assert!(
+            FreqTable::read(&bytes, &mut pos, 8).is_err(),
+            "forged symbol count {forged} read Ok"
+        );
+        assert!(
+            started.elapsed() < std::time::Duration::from_millis(50),
+            "rejecting a lying symbol count took {:?} — it allocated first",
+            started.elapsed()
+        );
+    }
+
+    // Structural lies with honest lengths: zero frequency, a sum that
+    // overflows the 2^TABLE_BITS scale, and a sum that falls short.
+    let scale = 1u64 << RANS_TABLE_BITS;
+    for freqs in [
+        vec![0u64, scale],
+        vec![scale, scale],
+        vec![1, 2, 3],
+        vec![scale - 1],
+    ] {
+        let mut bytes = Vec::new();
+        push_uvarint(&mut bytes, freqs.len() as u64);
+        for &f in &freqs {
+            push_uvarint(&mut bytes, f);
+        }
+        bytes.extend_from_slice(&[0u8; 8]); // checksum never reached
+        let mut pos = 0;
+        assert!(
+            FreqTable::read(&bytes, &mut pos, 8).is_err(),
+            "structurally invalid table {freqs:?} read Ok"
+        );
+    }
+
+    // Every single-bit flip over a genuine image is caught — by a
+    // structural check or by the trailing FNV-1a — and every truncation
+    // is refused.
+    for at in 0..clean.len() {
+        for bit in 0..8 {
+            let mut mutant = clean.clone();
+            mutant[at] ^= 1 << bit;
+            let mut pos = 0;
+            assert!(
+                FreqTable::read(&mutant, &mut pos, 8).is_err(),
+                "table flip at byte {at} bit {bit} read Ok"
+            );
+        }
+        let mut pos = 0;
+        assert!(
+            FreqTable::read(&clean[..at], &mut pos, 8).is_err(),
+            "table truncated to {at} bytes read Ok"
+        );
+    }
+}
+
+#[test]
+fn rans_decoder_header_forgeries_are_typed_errors() {
+    // The interleaved decoder needs two 4-byte states, both ≥ the
+    // renormalisation floor. Short buffers and sub-floor states are
+    // typed errors; arbitrary noise never panics.
+    for len in 0..8 {
+        assert!(
+            RansDecoder::new(&noise_bytes(len as u64, len)).is_err(),
+            "{len}-byte rANS stream decoded Ok"
+        );
+    }
+    assert!(
+        RansDecoder::new(&[0u8; 8]).is_err(),
+        "zero states are below the renormalisation floor"
+    );
+    for case in 0..200u64 {
+        let len = 8 + (mix64(case) % 64) as usize;
+        let _ = RansDecoder::new(&noise_bytes(case, len)); // must not panic
+    }
+}
+
+#[test]
+fn bwt_forged_section_counts_refused_before_allocation() {
+    use dnacomp::algos::blob::VERSION_SPEED;
+    let c = compressor_for(Algorithm::Bwt);
+    // A payload whose leading uvarint claims an absurd section count
+    // over a handful of bytes: refused fast, before any proportional
+    // allocation.
+    for forged in [1u64 << 20, 1 << 40, u64::MAX >> 2] {
+        let mut payload = Vec::new();
+        push_uvarint(&mut payload, forged);
+        payload.extend(noise_bytes(forged, 32));
+        let blob = CompressedBlob {
+            version: VERSION_SPEED,
+            algorithm: Algorithm::Bwt,
+            original_len: 4_096,
+            checksum: 0xDEAD_BEEF,
+            payload,
+        };
+        let started = std::time::Instant::now();
+        assert!(
+            compressor_for(Algorithm::Bwt).decompress(&blob).is_err(),
+            "forged section count {forged} decoded Ok"
+        );
+        assert!(
+            started.elapsed() < std::time::Duration::from_millis(50),
+            "rejecting a lying section count took {:?} — it allocated first",
+            started.elapsed()
+        );
+    }
+    // Primary-index forgeries inside an otherwise genuine blob: flip
+    // bytes early in the first section (count, length, primary varints
+    // live there). Typed error or exact original, never a panic.
+    let original = GenomeModel::default().generate(2_500, 1234);
+    let clean = c.compress(&original).unwrap();
+    for at in 0..clean.payload.len().min(12) {
+        for bit in [0x01u8, 0x08, 0x80] {
+            let mut mutant = clean.clone();
+            mutant.payload[at] ^= bit;
+            assert_total(Algorithm::Bwt, &mutant, &format!("BWT header flip at {at}"));
+            if let Ok(seq) = c.decompress(&mutant) {
+                assert_eq!(seq, original, "BWT flip at {at} silently corrupted output");
+            }
+        }
     }
 }
 

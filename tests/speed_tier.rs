@@ -1,0 +1,208 @@
+//! Differential and compatibility suite for the speed tier.
+//!
+//! Three promises, each checked against an independent oracle:
+//!
+//! 1. **SIMD kernels are invisible** — the runtime-dispatched 2-bit
+//!    pack/unpack and match-extension kernels produce byte-identical
+//!    results to the bytewise reference loops at every length and
+//!    every slice alignment, on whatever dispatch tier this host (or a
+//!    `DNACOMP_FORCE_SCALAR=1` run) selects.
+//! 2. **The entropy backends cross-decode** — blobs and frames written
+//!    by the legacy arithmetic tier (v1) and the rANS tier (v2) both
+//!    decode through the *default* compressors at every frame-matrix
+//!    block size; the decoder follows the container version, never the
+//!    instance configuration.
+//! 3. **Old bytes stay decodable** — checked-in v1 container images
+//!    (hex fixtures, never regenerated) decode bit-exactly. A failure
+//!    here means the legacy decode path broke, not that the fixtures
+//!    are stale.
+
+use dnacomp::algos::{compressor_for, Algorithm, CompressedBlob, Compressor, Ctw, CtwLz, XmLite};
+use dnacomp::codec::arith::EntropyBackend;
+use dnacomp::codec::repeats::{RepeatConfig, RepeatFinder};
+use dnacomp::seq::gen::GenomeModel;
+use dnacomp::seq::{
+    common_prefix_len, common_prefix_len_bytewise, pack_2bit, pack_2bit_bytewise, unpack_2bit,
+    unpack_2bit_bytewise, Base, CpuFeatures,
+};
+
+/// Deterministic 2-bit code stream with enough structure to exercise
+/// every lane of a vector kernel.
+fn codes(n: usize) -> Vec<u8> {
+    (0..n).map(|i| ((i * 2654435761) >> 7) as u8 & 3).collect()
+}
+
+#[test]
+fn pack_unpack_match_bytewise_oracle_at_every_length_and_alignment() {
+    eprintln!("dispatch: {}", CpuFeatures::get().summary());
+    let all = codes(4096 + 64);
+    // Every length through 512 crosses all the vector-width remainders;
+    // the sparse tail hits block boundaries of every kernel tier.
+    let lens: Vec<usize> = (0..=512)
+        .chain([1000, 1023, 1024, 1025, 2048, 3333, 4095, 4096])
+        .collect();
+    for &len in &lens {
+        for offset in 0..8 {
+            let slice = &all[offset..offset + len];
+            let packed = pack_2bit(slice);
+            assert_eq!(
+                packed,
+                pack_2bit_bytewise(slice),
+                "pack diverged at len {len} offset {offset}"
+            );
+            assert_eq!(
+                unpack_2bit(&packed, len),
+                unpack_2bit_bytewise(&packed, len),
+                "unpack diverged at len {len} offset {offset}"
+            );
+            assert_eq!(
+                unpack_2bit(&packed, len),
+                slice,
+                "pack/unpack not inverse at len {len} offset {offset}"
+            );
+        }
+    }
+}
+
+#[test]
+fn prefix_kernel_matches_bytewise_oracle_at_every_mismatch_position() {
+    let a: Vec<Base> = codes(256).iter().map(|&c| Base::from_code(c)).collect();
+    // Mismatch at every position, compared at several slice alignments:
+    // the SIMD kernel must report the exact same prefix length as the
+    // scalar loop whether the difference lands mid-vector or in the tail.
+    for p in 0..a.len() {
+        let mut b = a.clone();
+        b[p] = Base::from_code(b[p].code() ^ 1);
+        for offset in 0..4 {
+            let (x, y) = (&a[offset..], &b[offset..]);
+            assert_eq!(
+                common_prefix_len(x, y),
+                common_prefix_len_bytewise(x, y),
+                "prefix diverged: mismatch at {p}, offset {offset}"
+            );
+        }
+    }
+    // Equal inputs of every length 0..=130: the full-scan path.
+    for len in 0..=130 {
+        let x = &a[..len];
+        assert_eq!(common_prefix_len(x, x), len, "full scan at len {len}");
+        assert_eq!(common_prefix_len_bytewise(x, x), len);
+    }
+}
+
+#[test]
+fn match_finder_results_verify_against_the_text_itself() {
+    // Whatever the extension kernel did, a reported forward match must
+    // be (a) a real byte-for-byte repeat and (b) maximal — one more
+    // base either runs off the end or mismatches.
+    let text = GenomeModel::default().generate(6_000, 99).unpack();
+    let mut finder = RepeatFinder::new(
+        &text,
+        RepeatConfig {
+            search_revcomp: false,
+            ..RepeatConfig::default()
+        },
+    );
+    let mut found = 0usize;
+    for dst in 0..text.len() {
+        finder.advance(dst);
+        if let Some(m) = finder.find(dst) {
+            assert!(m.src < dst, "match source at/after query");
+            assert_eq!(
+                &text[m.src..m.src + m.len],
+                &text[dst..dst + m.len],
+                "reported match is not a repeat (src {}, dst {dst})",
+                m.src
+            );
+            let maximal = dst + m.len == text.len()
+                || text[m.src + m.len] != text[dst + m.len];
+            assert!(maximal, "match at dst {dst} undersold by the kernel");
+            found += 1;
+        }
+    }
+    assert!(found > 100, "only {found} matches on repetitive genomic text");
+}
+
+/// The frame-matrix block sizes: degenerate single-base blocks, sizes
+/// straddling the sequence length, and power-of-two interiors.
+const BLOCK_SIZES: [usize; 7] = [1, 3, 7, 64, 256, 1000, 4096];
+
+#[test]
+fn both_backends_cross_decode_at_every_frame_block_size() {
+    let seq = GenomeModel::default().generate(1_000, 55);
+    let tiers: [(Box<dyn Compressor>, Box<dyn Compressor>); 3] = [
+        (
+            Box::new(Ctw::with_backend(EntropyBackend::Arith)),
+            Box::new(Ctw::default()),
+        ),
+        (
+            Box::new(CtwLz::with_backend(EntropyBackend::Arith)),
+            Box::new(CtwLz::default()),
+        ),
+        (
+            Box::new(XmLite::with_backend(EntropyBackend::Arith)),
+            Box::new(XmLite::default()),
+        ),
+    ];
+    for (legacy, fast) in &tiers {
+        for bs in BLOCK_SIZES {
+            // v1 frame decoded by the default (rANS-configured) tier and
+            // v2 frame decoded through the same version-dispatching path:
+            // the decoder follows the container, not the instance.
+            let v1 = dnacomp::algos::frame::compress_serial(legacy.as_ref(), &seq, bs).unwrap();
+            let v2 = dnacomp::algos::frame::compress_serial(fast.as_ref(), &seq, bs).unwrap();
+            assert_eq!(
+                dnacomp::algos::frame::decompress_serial(&v1).unwrap(),
+                seq,
+                "{}: v1 frame at block size {bs}",
+                legacy.algorithm()
+            );
+            assert_eq!(
+                dnacomp::algos::frame::decompress_serial(&v2).unwrap(),
+                seq,
+                "{}: v2 frame at block size {bs}",
+                fast.algorithm()
+            );
+        }
+        // Blob-level cross-decode in both directions.
+        let v1 = legacy.compress(&seq).unwrap();
+        let v2 = fast.compress(&seq).unwrap();
+        assert_eq!(v1.version, 1);
+        assert_eq!(v2.version, 2);
+        assert_eq!(fast.decompress(&v1).unwrap(), seq);
+        assert_eq!(legacy.decompress(&v2).unwrap(), seq);
+    }
+}
+
+// Generated by examples/speed_tier_fixtures.rs — seed 2024, 300 bases.
+const CTW_V1: &str = "44580101ac02658c75a9c5a96a0e88c1d981992bf86d63fef86a6f1cc08f5cba15fd9e74eb7bf524a3b0f0f7cd7451f37a962079142502c1bf053694321b7720c4df61bd1aba91709dbdb142f407a3f07ceaef700b9a98";
+const CTWLZ_V1: &str = "4458010cac02658c75a9c5a96a0e0b016607405903284009902188c1d981992bf86d63fef86a6f1cc08f5cba15fd9e74e992852a18773fbcd5a38b15d2ca22e7ef8d8caf7092";
+const XM_V1: &str = "44580107ac02658c75a9c5a96a0e8c2e31e96b8418528b2a775e6eff4db1593cfeae5ea5c358a79c7fd158173fdf96b25f0f4914917e463ea61ff3fe7ec10ccec0589a1f6d39925a4f3cfb9b200c02";
+const SEQUITUR_V1: &str = "4458010bac02658c75a9c5a96a0e17810105a3533f2f67a424064b698d15d328a1e6d18d6c6f05d8c82cb9dce5f1136abfcd37e59e16c7419b6eaf1b527654a0a93160b260d13f8fc8ee0ae3daecdbf60048f42eb00130b07058c6675bb9ef774880a428385a0dd66c46439e7143a112310b47cd135d74dc92ec148d34bb1008945a76ed92737c";
+
+fn unhex(s: &str) -> Vec<u8> {
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+        .collect()
+}
+
+#[test]
+fn checked_in_v1_blobs_decode_bit_exact_through_default_compressors() {
+    let expected = GenomeModel::default().generate(300, 2024);
+    for (name, hex, alg) in [
+        ("CTW", CTW_V1, Algorithm::Ctw),
+        ("CTW+LZ", CTWLZ_V1, Algorithm::CtwLz),
+        ("XM-lite", XM_V1, Algorithm::XmLite),
+        ("DNASequitur", SEQUITUR_V1, Algorithm::DnaSequitur),
+    ] {
+        let blob = CompressedBlob::from_bytes(&unhex(hex))
+            .unwrap_or_else(|e| panic!("{name}: fixture container no longer parses: {e}"));
+        assert_eq!(blob.version, 1, "{name}: fixture is not a v1 container");
+        assert_eq!(blob.algorithm, alg, "{name}: fixture algorithm tag");
+        let decoded = compressor_for(alg)
+            .decompress(&blob)
+            .unwrap_or_else(|e| panic!("{name}: v1 fixture no longer decodes: {e}"));
+        assert_eq!(decoded, expected, "{name}: v1 fixture decoded to different bases");
+    }
+}
